@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! `desim` — a minimal, deterministic discrete-event / cycle simulation
+//! substrate.
+//!
+//! The simulations in *Fair and Efficient Packet Scheduling in Wormhole
+//! Networks* (Kanhere, Parekh, Sethu; IPDPS 2000) are cycle-accurate and
+//! flit-granular: one flit crosses the scheduled resource per cycle, and
+//! every measured quantity (throughput, delay, fairness) is expressed in
+//! cycles and flits. This crate provides the shared machinery those
+//! simulations are built on:
+//!
+//! * [`Cycle`] — the simulation time base (one flit transmission per cycle).
+//! * [`EventQueue`] — a stable priority queue of timestamped events, used
+//!   by the event-driven parts of the harness (arrivals, network hops).
+//! * [`SimRng`] — a seeded, splittable random number generator so that
+//!   every experiment is exactly reproducible from a single `u64` seed.
+//! * [`OnlineStats`] / [`Histogram`] — numerically stable streaming
+//!   statistics for delay and fairness measurements.
+//! * [`CumulativeCurve`] — a monotone step function of time used to record
+//!   per-flow cumulative service (the `Sent_i(t1, t2)` of the paper's
+//!   Definition 1 is a difference of two curve evaluations).
+//!
+//! Everything here is allocation-light and free of global state; the same
+//! structures are reused by the single-link scheduler simulations and by
+//! the full wormhole network simulator.
+
+pub mod events;
+pub mod histogram;
+pub mod quantile;
+pub mod rng;
+pub mod stats;
+pub mod timeseries;
+
+pub use events::EventQueue;
+pub use histogram::Histogram;
+pub use quantile::P2Quantile;
+pub use rng::SimRng;
+pub use stats::OnlineStats;
+pub use timeseries::CumulativeCurve;
+
+/// Simulation time, measured in cycles.
+///
+/// Throughout the reproduction one cycle is the time to transmit one flit
+/// on the scheduled resource, matching the paper's "the scheduler dequeues
+/// one flit from one of the queues in each cycle".
+pub type Cycle = u64;

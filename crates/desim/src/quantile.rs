@@ -1,0 +1,234 @@
+//! Streaming quantile estimation (the P² algorithm).
+//!
+//! Delay *tails* are where unfair schedulers hurt (a PBRR victim's p99
+//! is far worse than its mean), but storing millions of per-packet
+//! delays to sort them is wasteful. The P² algorithm (Jain & Chlamtac,
+//! CACM 1985) tracks a single quantile online with five markers and
+//! O(1) memory, adjusting marker heights by parabolic interpolation.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming estimator of one quantile `q` via the P² algorithm.
+///
+/// Accuracy is typically within a fraction of a percent of the exact
+/// quantile for unimodal distributions once a few hundred samples have
+/// been seen; the first five samples are exact.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights (estimates of the 0, q/2, q, (1+q)/2, 1 quantiles).
+    heights: [f64; 5],
+    /// Marker positions (1-based ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired-position increments per observation.
+    increments: [f64; 5],
+    /// Samples seen.
+    count: u64,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for quantile `q` in `(0, 1)`.
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0, 1)");
+        Self {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// The quantile being tracked.
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// Samples observed so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        if self.count < 5 {
+            self.heights[self.count as usize] = x;
+            self.count += 1;
+            if self.count == 5 {
+                self.heights
+                    .sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+            }
+            return;
+        }
+        self.count += 1;
+        // Find the cell containing x and clamp the extremes.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut k = 0;
+            for i in 0..4 {
+                if self.heights[i] <= x && x < self.heights[i + 1] {
+                    k = i;
+                    break;
+                }
+            }
+            k
+        };
+        for p in self.positions.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(&self.increments) {
+            *d += inc;
+        }
+        // Adjust the three interior markers.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right = self.positions[i + 1] - self.positions[i];
+            let left = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
+                let d = d.signum();
+                let parabolic = self.parabolic(i, d);
+                let new_h = if self.heights[i - 1] < parabolic && parabolic < self.heights[i + 1]
+                {
+                    parabolic
+                } else {
+                    self.linear(i, d)
+                };
+                self.heights[i] = new_h;
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let (hm, h, hp) = (self.heights[i - 1], self.heights[i], self.heights[i + 1]);
+        let (pm, p, pp) = (
+            self.positions[i - 1],
+            self.positions[i],
+            self.positions[i + 1],
+        );
+        h + d / (pp - pm)
+            * ((p - pm + d) * (hp - h) / (pp - p) + (pp - p - d) * (h - hm) / (p - pm))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = (i as f64 + d) as usize;
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current estimate (`None` before any sample; exact for < 5 samples).
+    pub fn estimate(&self) -> Option<f64> {
+        match self.count {
+            0 => None,
+            n if n < 5 => {
+                let mut v: Vec<f64> = self.heights[..n as usize].to_vec();
+                v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+                let idx = ((self.q * n as f64).ceil() as usize).clamp(1, n as usize) - 1;
+                Some(v[idx])
+            }
+            _ => Some(self.heights[2]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimRng;
+
+    fn exact_quantile(data: &mut [f64], q: f64) -> f64 {
+        data.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let idx = ((q * data.len() as f64).ceil() as usize).clamp(1, data.len()) - 1;
+        data[idx]
+    }
+
+    #[test]
+    fn exact_below_five_samples() {
+        let mut p = P2Quantile::new(0.5);
+        assert_eq!(p.estimate(), None);
+        p.push(10.0);
+        assert_eq!(p.estimate(), Some(10.0));
+        p.push(2.0);
+        p.push(6.0);
+        // Median of {2, 6, 10} = 6.
+        assert_eq!(p.estimate(), Some(6.0));
+    }
+
+    #[test]
+    fn uniform_median_converges() {
+        let mut rng = SimRng::new(1);
+        let mut p = P2Quantile::new(0.5);
+        let mut data = Vec::new();
+        for _ in 0..50_000 {
+            let x = rng.uniform_f64() * 100.0;
+            p.push(x);
+            data.push(x);
+        }
+        let exact = exact_quantile(&mut data, 0.5);
+        let est = p.estimate().unwrap();
+        assert!((est - exact).abs() < 1.0, "median est {est} vs exact {exact}");
+    }
+
+    #[test]
+    fn exponential_p99_converges() {
+        let mut rng = SimRng::new(2);
+        let mut p = P2Quantile::new(0.99);
+        let mut data = Vec::new();
+        for _ in 0..100_000 {
+            let x = rng.exponential(0.1);
+            p.push(x);
+            data.push(x);
+        }
+        let exact = exact_quantile(&mut data, 0.99);
+        let est = p.estimate().unwrap();
+        let rel = (est - exact).abs() / exact;
+        assert!(rel < 0.08, "p99 est {est} vs exact {exact} (rel {rel})");
+    }
+
+    #[test]
+    fn bimodal_p90() {
+        let mut rng = SimRng::new(3);
+        let mut p = P2Quantile::new(0.9);
+        let mut data = Vec::new();
+        for _ in 0..50_000 {
+            let x = if rng.bernoulli(0.8) {
+                rng.uniform_f64() * 10.0
+            } else {
+                90.0 + rng.uniform_f64() * 10.0
+            };
+            p.push(x);
+            data.push(x);
+        }
+        // The 0.9 quantile sits at the lower edge of the upper mode.
+        let exact = exact_quantile(&mut data, 0.9);
+        let est = p.estimate().unwrap();
+        assert!(
+            (est - exact).abs() < 6.0,
+            "p90 est {est} vs exact {exact} (mode boundary)"
+        );
+    }
+
+    #[test]
+    fn monotone_input_is_fine() {
+        let mut p = P2Quantile::new(0.5);
+        for i in 0..10_000 {
+            p.push(i as f64);
+        }
+        let est = p.estimate().unwrap();
+        assert!((est - 5_000.0).abs() < 150.0, "median of 0..10000: {est}");
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn rejects_invalid_quantile() {
+        P2Quantile::new(1.0);
+    }
+}

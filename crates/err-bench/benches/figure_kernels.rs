@@ -1,0 +1,201 @@
+//! One benchmark per paper figure: the scaled simulation kernel that
+//! regenerates it.
+//!
+//! These tie the benchmark suite to the evaluation section artifact by
+//! artifact (the full-size runs live in the `repro` binary of
+//! `err-experiments`; here each kernel runs a reduced horizon so
+//! `cargo bench` completes in minutes while still exercising the exact
+//! code path of each figure).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use err_experiments::{ablation, fig3, fig4, fig5, fig6, fmwindow, latency, table1, topo, wormhole_exp};
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    c.bench_function("fig3_trace", |b| {
+        b.iter(|| {
+            let r = fig3::run();
+            assert!(r.matches);
+            black_box(r.trace.len())
+        })
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_kernel");
+    group.sample_size(10);
+    group.bench_function("5_disciplines_60k_cycles", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let cfg = fig4::Fig4Config {
+                cycles: 60_000,
+                seed,
+                base_rate: 0.006,
+            };
+            black_box(fig4::run(&cfg).series.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_kernel");
+    group.sample_size(10);
+    group.bench_function("3_intensities_2_seeds", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let cfg = fig5::Fig5Config {
+                intensities: vec![1.0, 1.15, 1.3],
+                transient: 10_000,
+                seeds: vec![seed, seed + 1],
+            };
+            black_box(fig5::run(&cfg).series.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_kernel");
+    group.sample_size(10);
+    group.bench_function("3_flowcounts_100k_cycles", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let cfg = fig6::Fig6Config {
+                flows: vec![2, 5, 8],
+                cycles: 100_000,
+                intervals: 1_000,
+                seed,
+            };
+            black_box(fig6::run(&cfg).points.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_kernel");
+    group.sample_size(10);
+    group.bench_function("fm_sweep_60k_cycles", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let cfg = table1::Table1Config {
+                fm_cycles: 60_000,
+                seed,
+                op_flow_counts: vec![16],
+                ops_per_point: 5_000,
+            };
+            black_box(table1::run(&cfg).fm_rows.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_kernel");
+    group.sample_size(10);
+    group.bench_function("knob_sweep_60k_cycles", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let cfg = ablation::AblationConfig {
+                cycles: 60_000,
+                seed,
+            };
+            black_box(ablation::run(&cfg).err_variants.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_wormhole_exp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wormhole_kernel");
+    group.sample_size(10);
+    group.bench_function("switch_and_mesh", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let cfg = wormhole_exp::WormholeConfig {
+                switch_cycles: 30_000,
+                mesh_packets_per_node: 15,
+                seed,
+            };
+            black_box(wormhole_exp::run(&cfg).switch.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_fmwindow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fmwindow_kernel");
+    group.sample_size(10);
+    group.bench_function("3_windows_80k_cycles", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let cfg = fmwindow::FmWindowConfig {
+                flows: 4,
+                cycles: 80_000,
+                windows: vec![251, 4_093],
+                intervals: 400,
+                seed,
+            };
+            black_box(fmwindow::run(&cfg).windows.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("latency_kernel");
+    group.sample_size(10);
+    group.bench_function("lr_server_60k_cycles", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let cfg = latency::LatencyConfig {
+                cycles: 60_000,
+                seed,
+            };
+            black_box(latency::run(&cfg).rows.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_topo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topo_kernel");
+    group.sample_size(10);
+    group.bench_function("6_patterns_2_topologies", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let cfg = topo::TopoConfig {
+                horizon: 5_000,
+                seed,
+                ..Default::default()
+            };
+            black_box(topo::run(&cfg).rows.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig3,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6,
+    bench_table1,
+    bench_ablation,
+    bench_wormhole_exp,
+    bench_fmwindow,
+    bench_latency,
+    bench_topo
+);
+criterion_main!(benches);

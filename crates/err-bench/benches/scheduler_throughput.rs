@@ -1,0 +1,63 @@
+//! Raw scheduler throughput: flits scheduled per second on the paper's
+//! Figure 4 traffic mix (8 flows, mixed packet sizes, overloaded link).
+//!
+//! This complements `work_complexity` (which isolates per-op cost at a
+//! fixed packet size) by measuring the full dequeue path on realistic
+//! traffic, including the workload generator and per-flit accounting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use err_sched::Discipline;
+use std::hint::black_box;
+use traffic_gen::flows::fig4_flows;
+use traffic_gen::Workload;
+
+/// Runs `cycles` of the figure-4 single-link loop, returning served flits.
+fn kernel(d: &Discipline, cycles: u64, seed: u64) -> u64 {
+    let specs = fig4_flows(0.006);
+    let mut sched = d.build(specs.len());
+    let mut workload = Workload::with_horizon(specs, seed, cycles);
+    let mut arrivals = Vec::new();
+    let mut served = 0u64;
+    for now in 0..cycles {
+        arrivals.clear();
+        workload.poll(now, &mut arrivals);
+        for pkt in &arrivals {
+            sched.enqueue(*pkt, now);
+        }
+        if sched.service_flit(now).is_some() {
+            served += 1;
+        }
+    }
+    served
+}
+
+fn bench_scheduler_throughput(c: &mut Criterion) {
+    const CYCLES: u64 = 50_000;
+    let disciplines = vec![
+        Discipline::Err,
+        Discipline::Drr { quantum: 128 },
+        Discipline::Fbrr,
+        Discipline::Pbrr,
+        Discipline::Fcfs,
+        Discipline::Wfq,
+        Discipline::Scfq,
+        Discipline::VirtualClock,
+        Discipline::Gps,
+    ];
+    let mut group = c.benchmark_group("scheduler_throughput");
+    group.sample_size(20);
+    for d in &disciplines {
+        group.throughput(Throughput::Elements(CYCLES));
+        group.bench_with_input(BenchmarkId::new("fig4_mix", d.label()), d, |b, d| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(kernel(d, CYCLES, seed))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler_throughput);
+criterion_main!(benches);

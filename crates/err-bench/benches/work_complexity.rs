@@ -1,0 +1,72 @@
+//! Table 1 (complexity column): work per scheduled flit vs flow count.
+//!
+//! Theorem 1 claims ERR's enqueue+dequeue work is O(1) in the number of
+//! flows; WFQ/SCFQ/Virtual Clock pay O(log n) for their sorted queues.
+//! Each benchmark keeps `n` flows perpetually backlogged (two queued
+//! packets each; departures immediately replaced) and measures the
+//! steady-state cost of one `service_flit` + amortized `enqueue`.
+//!
+//! Expected result: ERR/DRR/PBRR/FCFS curves flat in `n`; WFQ/SCFQ/VC
+//! growing slowly (log n).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use err_sched::{Discipline, Packet, Scheduler};
+use std::hint::black_box;
+
+const PKT_LEN: u32 = 8;
+
+/// Builds a scheduler with `n` backlogged flows (two packets each).
+fn backlogged(d: &Discipline, n: usize) -> (Box<dyn Scheduler>, u64) {
+    let mut sched = d.build(n);
+    let mut id = 0u64;
+    for flow in 0..n {
+        for _ in 0..2 {
+            sched.enqueue(Packet::new(id, flow, PKT_LEN, 0), 0);
+            id += 1;
+        }
+    }
+    (sched, id)
+}
+
+fn bench_work_complexity(c: &mut Criterion) {
+    let disciplines = vec![
+        Discipline::Err,
+        Discipline::Drr { quantum: PKT_LEN as u64 },
+        Discipline::Pbrr,
+        Discipline::Fcfs,
+        Discipline::Fbrr,
+        Discipline::Wfq,
+        Discipline::Scfq,
+        Discipline::VirtualClock,
+    ];
+    let mut group = c.benchmark_group("work_complexity");
+    for d in &disciplines {
+        for &n in &[16usize, 256, 4096] {
+            group.throughput(Throughput::Elements(1));
+            group.bench_with_input(
+                BenchmarkId::new(d.label(), n),
+                &n,
+                |b, &n| {
+                    let (mut sched, mut next_id) = backlogged(d, n);
+                    let mut now = 0u64;
+                    b.iter(|| {
+                        let flit = sched.service_flit(now).expect("backlogged");
+                        if flit.is_tail() {
+                            sched.enqueue(
+                                Packet::new(next_id, flit.flow, PKT_LEN, now),
+                                now,
+                            );
+                            next_id += 1;
+                        }
+                        now += 1;
+                        black_box(flit.flow)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_work_complexity);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Wormhole substrate throughput: switch and mesh cycles per second.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use err_sched::Packet;
+use std::hint::black_box;
+use wormhole_net::{
+    ArbiterKind, BlockingSink, LinkSched, Mesh2D, MeshNetwork, Sink, VcSwitch, WormholeSwitch,
+};
+
+/// Steps a contended 4-queue switch for `cycles`.
+fn switch_kernel(kind: ArbiterKind, cycles: u64, seed: u64) -> u64 {
+    let sink: Box<dyn Sink> = Box::new(BlockingSink::new(seed, 0.05, 0.15));
+    let mut sw = WormholeSwitch::new(4, vec![kind.build(4)], vec![sink]);
+    let mut id = 0;
+    for q in 0..4usize {
+        for _ in 0..cycles / 16 {
+            sw.inject(q, &Packet::new(id, q, 4 + (q as u32 * 4), 0), 0);
+            id += 1;
+        }
+    }
+    for now in 0..cycles {
+        sw.step(now);
+    }
+    sw.sink(0).delivered()
+}
+
+/// Steps a 4x4 mesh under uniform traffic for up to `max_cycles`.
+fn mesh_kernel(kind: ArbiterKind, packets_per_node: u64, seed: u64) -> u64 {
+    let mesh = Mesh2D::new(4, 4);
+    let mut net = MeshNetwork::new(mesh, 4, kind);
+    let mut rng = desim::SimRng::new(seed);
+    let mut id = 0;
+    for src in 0..mesh.n_nodes() {
+        for _ in 0..packets_per_node {
+            let dest = rng.index(mesh.n_nodes());
+            if dest != src {
+                net.inject(src, &Packet::new(id, src, 1 + rng.uniform_u32(1, 12), 0), dest);
+                id += 1;
+            }
+        }
+    }
+    net.run(0, 1_000_000);
+    net.delivered_flits()
+}
+
+/// Steps a 2-port, 4-VC switch through a mixed workload.
+fn vc_kernel(link: LinkSched, cycles: u64) -> u64 {
+    let mut sw = VcSwitch::new(2, 4, ArbiterKind::Err, link, 8);
+    let mut id = 0;
+    for k in 0..cycles / 20 {
+        sw.inject(0, (k % 4) as usize, &Packet::new(id, 0, 8, 0));
+        id += 1;
+        sw.inject(1, ((k + 1) % 4) as usize, &Packet::new(id, 1, 2, 0));
+        id += 1;
+    }
+    for now in 0..cycles {
+        sw.step(now);
+    }
+    sw.delivered_flits()
+}
+
+fn bench_wormhole(c: &mut Criterion) {
+    let kinds = [ArbiterKind::Err, ArbiterKind::Rr, ArbiterKind::Fcfs];
+    let mut group = c.benchmark_group("wormhole_switch");
+    const CYCLES: u64 = 20_000;
+    for kind in kinds {
+        group.throughput(Throughput::Elements(CYCLES));
+        group.bench_with_input(
+            BenchmarkId::new("blocked_output", format!("{kind:?}")),
+            &kind,
+            |b, &kind| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(switch_kernel(kind, CYCLES, seed))
+                });
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("wormhole_mesh");
+    group.sample_size(20);
+    for kind in kinds {
+        group.bench_with_input(
+            BenchmarkId::new("uniform_4x4", format!("{kind:?}")),
+            &kind,
+            |b, &kind| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(mesh_kernel(kind, 30, seed))
+                });
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("wormhole_vc_switch");
+    const VC_CYCLES: u64 = 20_000;
+    for link in [LinkSched::FlitRr, LinkSched::Err] {
+        group.throughput(Throughput::Elements(VC_CYCLES));
+        group.bench_with_input(
+            BenchmarkId::new("two_stage", format!("{link:?}")),
+            &link,
+            |b, &link| {
+                b.iter(|| black_box(vc_kernel(link, VC_CYCLES)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wormhole);
+criterion_main!(benches);

@@ -1,0 +1,283 @@
+//! Ablations of the design choices behind ERR (and DRR's quantum).
+//!
+//! The paper argues for Eq. (2)'s two ingredients — the "+1" progress
+//! grant and the `-SC_i(r-1)` surplus memory — and for DRR's quantum
+//! being tied to `Max`. This experiment removes each knob and measures
+//! what breaks:
+//!
+//! * **Surplus memory off**: overshoot is forgiven every round, so flows
+//!   with longer packets regain a PBRR-like bandwidth advantage — the
+//!   throughput-fairness table shows the skew returning.
+//! * **Bonus sweep** (`+0`, `+1`, `+4`, `+16`): the bonus sets the
+//!   per-round batching. Larger bonuses trade fairness (larger measured
+//!   FM) for fewer round-robin visits; `+0` still works (the elastic
+//!   do-while always sends one packet) but weakens the analysis.
+//! * **DRR quantum sweep**: FM degrades as the quantum grows toward and
+//!   past `Max`, bracketing ERR's quantum-free fairness.
+//! * **Weights**: weighted ERR splits bandwidth 1:2:4 as configured —
+//!   the differentiated-service extension working as claimed.
+
+use err_sched::err::{ErrCore, ErrScheduler};
+use err_sched::{Discipline, Packet, Scheduler};
+use fairness_metrics::FairnessMonitor;
+use traffic_gen::flows::fig4_flows;
+use traffic_gen::Workload;
+
+use crate::report::{fnum, Table};
+
+/// Configuration for the ablation study.
+#[derive(Clone, Debug)]
+pub struct AblationConfig {
+    /// Cycles per measurement run.
+    pub cycles: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for AblationConfig {
+    fn default() -> Self {
+        Self {
+            cycles: 1_000_000,
+            seed: 77,
+        }
+    }
+}
+
+/// Results of all four ablations.
+pub struct AblationResult {
+    /// (variant label, per-flow flit totals, exact FM) for the ERR
+    /// variants on the Figure 4 workload.
+    pub err_variants: Vec<(String, Vec<u64>, u64)>,
+    /// (quantum, exact FM) for DRR on the Figure 4 workload.
+    pub drr_quanta: Vec<(u64, u64)>,
+    /// (weight, measured share) for weighted ERR under equal traffic.
+    pub weight_shares: Vec<(u64, f64)>,
+    /// Largest packet served (`m`).
+    pub m: u64,
+}
+
+/// Runs a pre-built scheduler over the Figure 4 workload, returning
+/// per-flow totals, exact FM, and the largest served packet.
+fn measure(
+    mut sched: Box<dyn Scheduler>,
+    cycles: u64,
+    seed: u64,
+) -> (Vec<u64>, u64, u64) {
+    let specs = fig4_flows(0.006);
+    let n = specs.len();
+    let mut workload = Workload::with_horizon(specs, seed, cycles);
+    let mut monitor = FairnessMonitor::new(n);
+    let mut totals = vec![0u64; n];
+    let mut arrivals = Vec::new();
+    let mut m = 0u64;
+    for now in 0..cycles {
+        arrivals.clear();
+        workload.poll(now, &mut arrivals);
+        for pkt in &arrivals {
+            monitor.on_enqueue(pkt, now);
+            sched.enqueue(*pkt, now);
+        }
+        if let Some(flit) = sched.service_flit(now) {
+            monitor.on_flit(&flit, now);
+            totals[flit.flow] += 1;
+            if flit.is_tail() {
+                m = m.max(flit.len as u64);
+            }
+        }
+    }
+    monitor.finish(cycles);
+    (totals, monitor.exact_fm(), m)
+}
+
+/// Builds an ERR scheduler with the given knob settings.
+fn err_variant(bonus: u64, carry_surplus: bool, n: usize) -> Box<dyn Scheduler> {
+    let mut core = ErrCore::new(n);
+    core.set_allowance_bonus(bonus);
+    core.set_surplus_memory(carry_surplus);
+    Box::new(ErrScheduler::with_core(core, n))
+}
+
+/// Runs the ablation study.
+pub fn run(cfg: &AblationConfig) -> AblationResult {
+    let mut err_variants = Vec::new();
+    let mut m_seen = 0u64;
+    for (label, bonus, carry) in [
+        ("ERR (faithful, +1, SC carried)", 1u64, true),
+        ("ERR without surplus memory", 1, false),
+        ("ERR with +0 bonus", 0, true),
+        ("ERR with +4 bonus", 4, true),
+        ("ERR with +16 bonus", 16, true),
+    ] {
+        let (totals, fm, m) = measure(err_variant(bonus, carry, 8), cfg.cycles, cfg.seed);
+        m_seen = m_seen.max(m);
+        err_variants.push((label.to_string(), totals, fm));
+    }
+    let mut drr_quanta = Vec::new();
+    for quantum in [8u64, 32, 64, 128, 256] {
+        let (_, fm, m) = measure(
+            Discipline::Drr { quantum }.build(8),
+            cfg.cycles,
+            cfg.seed,
+        );
+        m_seen = m_seen.max(m);
+        drr_quanta.push((quantum, fm));
+    }
+    // Weighted ERR on equal traffic.
+    let weights = vec![1u64, 2, 4];
+    let mut sched = err_sched::werr::WerrScheduler::new(weights.clone());
+    let mut totals = vec![0u64; 3];
+    let mut id = 0u64;
+    let horizon = (cfg.cycles / 4).max(10_000);
+    for k in 0..horizon / 2 {
+        for f in 0..3usize {
+            sched.enqueue(Packet::new(id, f, 1 + (k % 7) as u32, 0), 0);
+            id += 1;
+        }
+    }
+    for now in 0..horizon {
+        if let Some(flit) = sched.service_flit(now) {
+            totals[flit.flow] += 1;
+        }
+    }
+    let total: u64 = totals.iter().sum();
+    let weight_shares = weights
+        .iter()
+        .zip(&totals)
+        .map(|(&w, &t)| (w, t as f64 / total as f64))
+        .collect();
+    AblationResult {
+        err_variants,
+        drr_quanta,
+        weight_shares,
+        m: m_seen,
+    }
+}
+
+/// Renders the three ablation tables.
+pub fn tables(r: &AblationResult) -> Vec<Table> {
+    let mut t1 = Table::new(
+        &format!("Ablation A — ERR design knobs on the Fig. 4 workload (m = {})", r.m),
+        &["variant", "exact FM (flits)", "flow-2 advantage", "3m bound"],
+    );
+    for (label, totals, fm) in &r.err_variants {
+        let others: f64 = [0usize, 1, 4, 5, 6, 7]
+            .iter()
+            .map(|&f| totals[f] as f64)
+            .sum::<f64>()
+            / 6.0;
+        let adv = totals[2] as f64 / others;
+        t1.row(vec![
+            label.clone(),
+            fm.to_string(),
+            format!("{adv:.3}"),
+            (3 * r.m).to_string(),
+        ]);
+    }
+    let mut t2 = Table::new(
+        "Ablation B — DRR quantum sweep (Fig. 4 workload, Max = 128)",
+        &["quantum (flits)", "exact FM (flits)"],
+    );
+    for (q, fm) in &r.drr_quanta {
+        t2.row(vec![q.to_string(), fm.to_string()]);
+    }
+    let mut t3 = Table::new(
+        "Ablation C — weighted ERR shares under equal backlogged traffic",
+        &["weight", "measured share", "ideal share"],
+    );
+    let wsum: u64 = r.weight_shares.iter().map(|&(w, _)| w).sum();
+    for &(w, share) in &r.weight_shares {
+        t3.row(vec![
+            w.to_string(),
+            fnum(share),
+            fnum(w as f64 / wsum as f64),
+        ]);
+    }
+    vec![t1, t2, t3]
+}
+
+/// Checks the expected ablation outcomes (empty = ok).
+pub fn check_shapes(r: &AblationResult) -> Vec<String> {
+    let mut fails = Vec::new();
+    let faithful_fm = r.err_variants[0].2;
+    if faithful_fm >= 3 * r.m {
+        fails.push(format!("faithful ERR FM {faithful_fm} >= 3m {}", 3 * r.m));
+    }
+    // Removing surplus memory must visibly worsen fairness.
+    let no_mem_fm = r.err_variants[1].2;
+    if no_mem_fm <= faithful_fm {
+        fails.push(format!(
+            "no-surplus-memory FM {no_mem_fm} not worse than faithful {faithful_fm}"
+        ));
+    }
+    // ...and restore a long-packet advantage.
+    let adv = |idx: usize| {
+        let totals = &r.err_variants[idx].1;
+        let others: f64 = [0usize, 1, 4, 5, 6, 7]
+            .iter()
+            .map(|&f| totals[f] as f64)
+            .sum::<f64>()
+            / 6.0;
+        totals[2] as f64 / others
+    };
+    if adv(0) > 1.05 {
+        fails.push(format!("faithful ERR has flow-2 advantage {:.3}", adv(0)));
+    }
+    if adv(1) < 1.2 {
+        fails.push(format!(
+            "no-surplus-memory flow-2 advantage {:.3} too small",
+            adv(1)
+        ));
+    }
+    // Bigger bonus → batching grows, so fairness must not improve
+    // meaningfully (small-sample noise allowed).
+    let fm16 = r.err_variants[4].2;
+    if (fm16 as f64) < faithful_fm as f64 * 0.8 {
+        fails.push(format!(
+            "+16 bonus FM {fm16} markedly better than faithful {faithful_fm}?"
+        ));
+    }
+    // DRR FM grows with quantum.
+    let first = r.drr_quanta.first().expect("quanta").1;
+    let last = r.drr_quanta.last().expect("quanta").1;
+    if last <= first {
+        fails.push(format!("DRR FM not increasing with quantum: {first} -> {last}"));
+    }
+    // Weighted shares near 1:2:4.
+    let wsum: f64 = r.weight_shares.iter().map(|&(w, _)| w as f64).sum();
+    for &(w, share) in &r.weight_shares {
+        let ideal = w as f64 / wsum;
+        if (share - ideal).abs() > 0.03 {
+            fails.push(format!("weight {w}: share {share:.3} vs ideal {ideal:.3}"));
+        }
+    }
+    fails
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_ablation_shapes_hold() {
+        let cfg = AblationConfig {
+            cycles: 200_000,
+            seed: 4,
+        };
+        let r = run(&cfg);
+        let fails = check_shapes(&r);
+        assert!(fails.is_empty(), "ablation failures: {fails:?}");
+    }
+
+    #[test]
+    fn tables_render() {
+        let cfg = AblationConfig {
+            cycles: 60_000,
+            seed: 2,
+        };
+        let ts = tables(&run(&cfg));
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts[0].n_rows(), 5);
+        assert_eq!(ts[1].n_rows(), 5);
+        assert_eq!(ts[2].n_rows(), 3);
+    }
+}

@@ -1,0 +1,242 @@
+//! Figure 4: throughput fairness — per-flow KBytes transmitted.
+//!
+//! 8 flows, all continuously backlogged for the measurement period
+//! (4 million cycles in the paper); flow 3 arrives at twice the packet
+//! rate of the others, flow 2's packet lengths are uniform on `[1, 128]`
+//! flits while everyone else's are uniform on `[1, 64]`; flits are
+//! 8 bytes and one flit is dequeued per cycle.
+//!
+//! Panels (paper → this module's rows):
+//!
+//! * (a) ERR vs PBRR — PBRR hands flow 2 ≈2× bandwidth (longer packets).
+//! * (b) ERR vs FBRR — both flat; the ERR spread stays under
+//!   `3m` flits = 3 KBytes (Theorem 3 made visible).
+//! * (c) ERR vs FCFS — FCFS rewards flow 2 (length) *and* flow 3 (rate).
+//! * (d) ERR vs DRR — comparable fairness under uniform lengths.
+
+use err_sched::Discipline;
+use fairness_metrics::jain_index;
+use traffic_gen::flows::fig4_flows;
+
+use crate::report::{fnum, Table};
+use crate::runner::{parallel_sweep, run_single_link};
+use crate::BYTES_PER_FLIT;
+
+/// Configuration for the Figure 4 experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig4Config {
+    /// Measurement horizon in cycles (paper: 4 000 000).
+    pub cycles: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// Per-flow packet rate of the ordinary flows (packets/cycle).
+    pub base_rate: f64,
+}
+
+impl Default for Fig4Config {
+    fn default() -> Self {
+        Self {
+            cycles: 4_000_000,
+            seed: 42,
+            base_rate: 0.006,
+        }
+    }
+}
+
+/// One discipline's measured per-flow throughput.
+pub struct Fig4Series {
+    /// Discipline label.
+    pub label: &'static str,
+    /// KBytes (1000 bytes) transmitted per flow.
+    pub kbytes: Vec<f64>,
+    /// Jain fairness index over the per-flow flit totals.
+    pub jain: f64,
+}
+
+/// The full Figure 4 result: ERR plus the four comparison disciplines.
+pub struct Fig4Result {
+    /// Series in order: ERR, PBRR, FBRR, FCFS, DRR.
+    pub series: Vec<Fig4Series>,
+    /// The largest packet actually served under ERR (`m`), flits.
+    pub m: u64,
+    /// Measurement horizon used.
+    pub cycles: u64,
+}
+
+/// The disciplines of Figure 4, in panel order.
+/// DRR's quantum is `Max` = 128 (the largest packet flow 2 can send).
+pub fn disciplines() -> Vec<Discipline> {
+    vec![
+        Discipline::Err,
+        Discipline::Pbrr,
+        Discipline::Fbrr,
+        Discipline::Fcfs,
+        Discipline::Drr { quantum: 128 },
+    ]
+}
+
+/// Runs the Figure 4 experiment.
+pub fn run(cfg: &Fig4Config) -> Fig4Result {
+    let specs = fig4_flows(cfg.base_rate);
+    let jobs: Vec<_> = disciplines()
+        .into_iter()
+        .map(|d| {
+            let specs = specs.clone();
+            let cycles = cfg.cycles;
+            let seed = cfg.seed;
+            move || run_single_link(&d, &specs, seed, cycles, false)
+        })
+        .collect();
+    let runs = parallel_sweep(jobs, 5);
+    let m = runs[0].m_seen;
+    let series = runs
+        .into_iter()
+        .map(|r| Fig4Series {
+            label: r.label,
+            kbytes: r
+                .totals
+                .iter()
+                .map(|&f| (f * BYTES_PER_FLIT) as f64 / 1000.0)
+                .collect(),
+            jain: jain_index(&r.totals),
+        })
+        .collect();
+    Fig4Result {
+        series,
+        m,
+        cycles: cfg.cycles,
+    }
+}
+
+/// Renders the per-flow KBytes table (all disciplines side by side, the
+/// union of the paper's four panels).
+pub fn table(result: &Fig4Result) -> Table {
+    let mut headers: Vec<String> = vec!["flow".into()];
+    headers.extend(result.series.iter().map(|s| format!("{} (KB)", s.label)));
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(
+        &format!(
+            "Figure 4 — KBytes transmitted per flow over {} cycles (flit = 8 B)",
+            result.cycles
+        ),
+        &header_refs,
+    );
+    let n_flows = result.series[0].kbytes.len();
+    for flow in 0..n_flows {
+        let mut row = vec![flow.to_string()];
+        row.extend(result.series.iter().map(|s| fnum(s.kbytes[flow])));
+        t.row(row);
+    }
+    let mut jain_row = vec!["Jain".into()];
+    jain_row.extend(result.series.iter().map(|s| format!("{:.4}", s.jain)));
+    t.row(jain_row);
+    t
+}
+
+/// Checks the qualitative shapes the paper's four panels show. Returns a
+/// list of human-readable failures (empty = all shapes reproduced).
+pub fn check_shapes(r: &Fig4Result) -> Vec<String> {
+    let mut fails = Vec::new();
+    let get = |label: &str| r.series.iter().find(|s| s.label == label).expect("series");
+    let err = get("ERR");
+    let pbrr = get("PBRR");
+    let fbrr = get("FBRR");
+    let fcfs = get("FCFS");
+    let drr = get("DRR");
+
+    // (a) PBRR: flow 2 gets ~2x the others; ERR flat within 3m flits.
+    let pbrr_other_avg: f64 = (0..8)
+        .filter(|&f| f != 2)
+        .map(|f| pbrr.kbytes[f])
+        .sum::<f64>()
+        / 7.0;
+    let ratio = pbrr.kbytes[2] / pbrr_other_avg;
+    if !(1.6..=2.4).contains(&ratio) {
+        fails.push(format!("fig4a: PBRR flow-2 advantage {ratio:.2}, expected ~2"));
+    }
+    let err_spread_kb = {
+        let max = err.kbytes.iter().cloned().fold(f64::MIN, f64::max);
+        let min = err.kbytes.iter().cloned().fold(f64::MAX, f64::min);
+        max - min
+    };
+    let bound_kb = (3 * r.m * BYTES_PER_FLIT) as f64 / 1000.0;
+    if err_spread_kb >= bound_kb {
+        fails.push(format!(
+            "fig4b: ERR spread {err_spread_kb:.2} KB >= 3m bound {bound_kb:.2} KB"
+        ));
+    }
+    // (b) FBRR flatter than (or equal to) ERR; both near-flat.
+    let fbrr_spread = {
+        let max = fbrr.kbytes.iter().cloned().fold(f64::MIN, f64::max);
+        let min = fbrr.kbytes.iter().cloned().fold(f64::MAX, f64::min);
+        max - min
+    };
+    if fbrr_spread > err_spread_kb + 0.01 {
+        fails.push(format!(
+            "fig4b: FBRR spread {fbrr_spread:.3} KB exceeds ERR's {err_spread_kb:.3} KB"
+        ));
+    }
+    // (c) FCFS rewards both the double-rate flow 3 and double-length flow 2.
+    let fcfs_other_avg: f64 = [0usize, 1, 4, 5, 6, 7]
+        .iter()
+        .map(|&f| fcfs.kbytes[f])
+        .sum::<f64>()
+        / 6.0;
+    for (flow, name) in [(2usize, "length"), (3, "rate")] {
+        let adv = fcfs.kbytes[flow] / fcfs_other_avg;
+        if !(1.6..=2.4).contains(&adv) {
+            fails.push(format!(
+                "fig4c: FCFS {name} advantage of flow {flow} is {adv:.2}, expected ~2"
+            ));
+        }
+    }
+    // ERR must not reward flow 2 or 3.
+    let err_other_avg: f64 = [0usize, 1, 4, 5, 6, 7]
+        .iter()
+        .map(|&f| err.kbytes[f])
+        .sum::<f64>()
+        / 6.0;
+    for flow in [2usize, 3] {
+        let adv = err.kbytes[flow] / err_other_avg;
+        if !(0.95..=1.05).contains(&adv) {
+            fails.push(format!("ERR flow {flow} share off: {adv:.3}"));
+        }
+    }
+    // (d) DRR comparable to ERR under uniform lengths.
+    if drr.jain < 0.999 {
+        fails.push(format!("fig4d: DRR Jain {:.4} not near-fair", drr.jain));
+    }
+    if err.jain < 0.999 {
+        fails.push(format!("ERR Jain {:.4} not near-fair", err.jain));
+    }
+    fails
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_fig4_reproduces_every_panel_shape() {
+        // 300k cycles instead of 4M: same qualitative shapes, ~13x faster.
+        let cfg = Fig4Config {
+            cycles: 300_000,
+            seed: 11,
+            base_rate: 0.006,
+        };
+        let r = run(&cfg);
+        let fails = check_shapes(&r);
+        assert!(fails.is_empty(), "shape failures: {fails:?}");
+    }
+
+    #[test]
+    fn table_has_flow_rows_plus_jain() {
+        let cfg = Fig4Config {
+            cycles: 50_000,
+            seed: 1,
+            base_rate: 0.006,
+        };
+        let t = table(&run(&cfg));
+        assert_eq!(t.n_rows(), 9);
+    }
+}

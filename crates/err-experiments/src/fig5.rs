@@ -1,0 +1,305 @@
+//! Figure 5: average packet delay under transient congestion.
+//!
+//! 4 flows (flow 3 at 2× rate, flow 2 with `[1,128]`-flit packets,
+//! others `[1,64]`) overload the link for 10 000 cycles at a swept
+//! intensity (total input rate / output rate from 1.0 to 1.3); injection
+//! then halts and the simulation drains. The paper plots mean packet
+//! delay vs intensity for ERR vs FCFS (5a) and ERR vs PBRR (5b), and
+//! notes that ERR, DRR and FBRR are "nearly equal" during transient
+//! congestion — we measure all five.
+
+use err_sched::Discipline;
+use traffic_gen::flows::fig5_flows;
+
+use crate::report::{fnum, Table};
+use crate::runner::{parallel_sweep, run_single_link};
+
+/// Configuration for the Figure 5 experiment.
+#[derive(Clone, Debug)]
+pub struct Fig5Config {
+    /// Congestion intensities to sweep (paper: 1.0–1.3).
+    pub intensities: Vec<f64>,
+    /// Transient length in cycles (paper: 10 000).
+    pub transient: u64,
+    /// Seeds averaged per point (the paper plots single runs; averaging
+    /// several seeds smooths the curves without changing their shape).
+    pub seeds: Vec<u64>,
+}
+
+impl Default for Fig5Config {
+    fn default() -> Self {
+        Self {
+            intensities: (0..=6).map(|i| 1.0 + 0.05 * i as f64).collect(),
+            transient: 10_000,
+            seeds: (0..20).collect(),
+        }
+    }
+}
+
+/// Mean delays for one discipline across the intensity sweep.
+pub struct Fig5Series {
+    /// Discipline label.
+    pub label: &'static str,
+    /// Mean packet delay (cycles) per intensity point.
+    pub mean_delay: Vec<f64>,
+}
+
+/// Per-flow mean delays at one intensity — the *mechanism* behind
+/// Figure 5(a): "The better average delay of ERR is achieved through
+/// the increased delay experienced by flows sending at twice the rate,
+/// or flows sending larger packets."
+pub struct Fig5FlowDetail {
+    /// Discipline label.
+    pub label: &'static str,
+    /// Mean delay per flow (flows 0-3 of the Figure 5 workload).
+    pub flow_means: Vec<f64>,
+}
+
+/// The Figure 5 sweep result.
+pub struct Fig5Result {
+    /// Intensity values.
+    pub intensities: Vec<f64>,
+    /// Series in order: ERR, FCFS, PBRR, DRR, FBRR.
+    pub series: Vec<Fig5Series>,
+    /// Per-flow breakdown at the highest swept intensity (ERR and FCFS).
+    pub detail: Vec<Fig5FlowDetail>,
+    /// Intensity the detail was measured at.
+    pub detail_intensity: f64,
+}
+
+/// The disciplines measured (panels a and b plus the "nearly equal" trio).
+pub fn disciplines() -> Vec<Discipline> {
+    vec![
+        Discipline::Err,
+        Discipline::Fcfs,
+        Discipline::Pbrr,
+        Discipline::Drr { quantum: 128 },
+        Discipline::Fbrr,
+    ]
+}
+
+/// Runs the Figure 5 sweep.
+pub fn run(cfg: &Fig5Config) -> Fig5Result {
+    let mut jobs = Vec::new();
+    for d in disciplines() {
+        for &intensity in &cfg.intensities {
+            let seeds = cfg.seeds.clone();
+            let transient = cfg.transient;
+            let d = d.clone();
+            jobs.push(move || {
+                let specs = fig5_flows(intensity);
+                let mut sum = 0.0;
+                for &seed in &seeds {
+                    let run = run_single_link(&d, &specs, seed, transient, true);
+                    sum += run.delays.mean();
+                }
+                sum / seeds.len() as f64
+            });
+        }
+    }
+    let flat = parallel_sweep(jobs, 8);
+    let n_pts = cfg.intensities.len();
+    let series = disciplines()
+        .iter()
+        .enumerate()
+        .map(|(i, d)| Fig5Series {
+            label: d.label(),
+            mean_delay: flat[i * n_pts..(i + 1) * n_pts].to_vec(),
+        })
+        .collect();
+    // Per-flow breakdown at the top intensity: who pays for ERR's better
+    // mean?
+    let detail_intensity = cfg
+        .intensities
+        .iter()
+        .cloned()
+        .fold(f64::MIN, f64::max);
+    let specs = fig5_flows(detail_intensity);
+    let detail = [Discipline::Err, Discipline::Fcfs]
+        .iter()
+        .map(|d| {
+            let mut sums = vec![0.0f64; specs.len()];
+            for &seed in &cfg.seeds {
+                let run = run_single_link(d, &specs, seed, cfg.transient, true);
+                for (f, s) in sums.iter_mut().enumerate() {
+                    *s += run.delays.flow_mean(f);
+                }
+            }
+            Fig5FlowDetail {
+                label: d.label(),
+                flow_means: sums
+                    .into_iter()
+                    .map(|s| s / cfg.seeds.len() as f64)
+                    .collect(),
+            }
+        })
+        .collect();
+    Fig5Result {
+        intensities: cfg.intensities.clone(),
+        series,
+        detail,
+        detail_intensity,
+    }
+}
+
+/// Renders the per-flow mechanism table.
+pub fn detail_table(result: &Fig5Result) -> Table {
+    let mut t = Table::new(
+        &format!(
+            "Figure 5 mechanism — per-flow mean delay at intensity {:.2} (flow 2: long packets; flow 3: 2x rate)",
+            result.detail_intensity
+        ),
+        &["discipline", "flow 0", "flow 1", "flow 2 (len x2)", "flow 3 (rate x2)"],
+    );
+    for d in &result.detail {
+        let mut row = vec![d.label.to_string()];
+        row.extend(d.flow_means.iter().map(|&v| fnum(v)));
+        t.row(row);
+    }
+    t
+}
+
+/// Renders the sweep as one table (intensity × discipline).
+pub fn table(result: &Fig5Result) -> Table {
+    let mut headers: Vec<String> = vec!["intensity".into()];
+    headers.extend(
+        result
+            .series
+            .iter()
+            .map(|s| format!("{} delay (cycles)", s.label)),
+    );
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(
+        "Figure 5 — mean packet delay vs transient congestion intensity",
+        &header_refs,
+    );
+    for (i, intensity) in result.intensities.iter().enumerate() {
+        let mut row = vec![format!("{intensity:.2}")];
+        row.extend(result.series.iter().map(|s| fnum(s.mean_delay[i])));
+        t.row(row);
+    }
+    t
+}
+
+/// Checks the paper's qualitative claims; returns failures (empty = ok).
+pub fn check_shapes(r: &Fig5Result) -> Vec<String> {
+    let mut fails = Vec::new();
+    let get = |label: &str| {
+        &r.series
+            .iter()
+            .find(|s| s.label == label)
+            .expect("series")
+            .mean_delay
+    };
+    let err = get("ERR");
+    let fcfs = get("FCFS");
+    let pbrr = get("PBRR");
+    let drr = get("DRR");
+    let last = err.len() - 1;
+    // Delays grow with intensity for every discipline.
+    for s in &r.series {
+        if s.mean_delay[last] <= s.mean_delay[0] {
+            fails.push(format!(
+                "{}: delay not increasing with intensity ({} -> {})",
+                s.label, s.mean_delay[0], s.mean_delay[last]
+            ));
+        }
+    }
+    // (a) ERR beats FCFS at high intensity.
+    if !(err[last] < fcfs[last]) {
+        fails.push(format!(
+            "fig5a: ERR {:.1} not below FCFS {:.1} at max intensity",
+            err[last], fcfs[last]
+        ));
+    }
+    // (b) ERR beats PBRR by a wide margin.
+    if !(err[last] < pbrr[last] * 0.9) {
+        fails.push(format!(
+            "fig5b: ERR {:.1} not clearly below PBRR {:.1}",
+            err[last], pbrr[last]
+        ));
+    }
+    // ERR and DRR nearly equal during transient congestion.
+    let rel = (err[last] - drr[last]).abs() / drr[last];
+    if rel > 0.15 {
+        fails.push(format!(
+            "ERR {:.1} vs DRR {:.1} differ by {:.0}% (expected nearly equal)",
+            err[last],
+            drr[last],
+            rel * 100.0
+        ));
+    }
+    // The mechanism (paper, discussing Kleinrock's conservation law):
+    // ERR's better mean comes from delaying the overdemanding flows.
+    // Well-behaved flows (0, 1) must be faster under ERR than FCFS; the
+    // 2x-length and 2x-rate flows (2, 3) slower.
+    let find = |label: &str| {
+        &r.detail
+            .iter()
+            .find(|d| d.label == label)
+            .expect("detail")
+            .flow_means
+    };
+    let err_f = find("ERR");
+    let fcfs_f = find("FCFS");
+    for f in [0usize, 1] {
+        if err_f[f] >= fcfs_f[f] {
+            fails.push(format!(
+                "flow {f} (well-behaved) not faster under ERR: {:.0} vs FCFS {:.0}",
+                err_f[f], fcfs_f[f]
+            ));
+        }
+    }
+    // The long-packet flow pays outright; the 2x-rate flow (small
+    // packets) pays relative to the compliant flows — its per-packet
+    // delay stays at FCFS levels while flows 0/1 get much faster.
+    if err_f[2] <= fcfs_f[2] {
+        fails.push(format!(
+            "flow 2 (2x length) not slower under ERR: {:.0} vs FCFS {:.0}",
+            err_f[2], fcfs_f[2]
+        ));
+    }
+    if err_f[3] < fcfs_f[3] * 0.9 {
+        fails.push(format!(
+            "flow 3 (2x rate) got cheaper under ERR: {:.0} vs FCFS {:.0}",
+            err_f[3], fcfs_f[3]
+        ));
+    }
+    for f in [0usize, 1] {
+        if err_f[3] <= err_f[f] {
+            fails.push(format!(
+                "under ERR the 2x-rate flow should wait longer than compliant flow {f}: {:.0} vs {:.0}",
+                err_f[3], err_f[f]
+            ));
+        }
+    }
+    fails
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_fig5_reproduces_shapes() {
+        let cfg = Fig5Config {
+            intensities: vec![1.0, 1.15, 1.3],
+            transient: 10_000,
+            seeds: (0..6).collect(),
+        };
+        let r = run(&cfg);
+        let fails = check_shapes(&r);
+        assert!(fails.is_empty(), "shape failures: {fails:?}");
+    }
+
+    #[test]
+    fn table_rows_match_intensities() {
+        let cfg = Fig5Config {
+            intensities: vec![1.0, 1.3],
+            transient: 3_000,
+            seeds: vec![1, 2],
+        };
+        let t = table(&run(&cfg));
+        assert_eq!(t.n_rows(), 2);
+    }
+}

@@ -1,0 +1,215 @@
+//! Extension: empirical latency-rate characterization.
+//!
+//! The follow-up literature analyzes schedulers as *LR servers*
+//! (Stiliadis & Varghese): flow `i` is guaranteed rate `rho_i` after a
+//! latency `theta_i` — in every busy period, service is at least
+//! `rho_i (t - tau - theta_i)`. This experiment measures the empirical
+//! `theta` of every discipline on the paper's Figure 4 workload at the
+//! fair rate `rho = 1/8`, for a *compliant* flow (flow 0). Disciplines
+//! with a fairness guarantee (ERR, DRR, WFQ-family, FBRR) show a small,
+//! bounded `theta`; PBRR and FCFS — whose service depends on what
+//! everyone else sends — blow up by orders of magnitude.
+
+use err_sched::Discipline;
+use fairness_metrics::FairnessMonitor;
+use traffic_gen::flows::fig4_flows;
+use traffic_gen::Workload;
+
+use crate::report::{fnum, Table};
+use crate::runner::parallel_sweep;
+
+/// Configuration for the latency experiment.
+#[derive(Clone, Debug)]
+pub struct LatencyConfig {
+    /// Measurement horizon in cycles.
+    pub cycles: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for LatencyConfig {
+    fn default() -> Self {
+        Self {
+            cycles: 1_000_000,
+            seed: 29,
+        }
+    }
+}
+
+/// One discipline's empirical latencies.
+pub struct LatencyRow {
+    /// Discipline label.
+    pub label: &'static str,
+    /// Empirical `theta` (cycles) for the compliant flow 0 at rho = 1/8.
+    pub theta_compliant: f64,
+    /// Empirical `theta` for the long-packet flow 2 at rho = 1/8.
+    pub theta_long: f64,
+}
+
+/// The experiment result.
+pub struct LatencyResult {
+    /// One row per discipline.
+    pub rows: Vec<LatencyRow>,
+    /// Largest packet served (`m`, flits).
+    pub m: u64,
+}
+
+/// Disciplines measured.
+pub fn disciplines() -> Vec<Discipline> {
+    vec![
+        Discipline::Fbrr,
+        Discipline::Err,
+        Discipline::Drr { quantum: 128 },
+        Discipline::Wfq,
+        Discipline::Scfq,
+        Discipline::Pbrr,
+        Discipline::Fcfs,
+    ]
+}
+
+/// Runs the experiment.
+pub fn run(cfg: &LatencyConfig) -> LatencyResult {
+    let jobs: Vec<_> = disciplines()
+        .into_iter()
+        .map(|d| {
+            let cycles = cfg.cycles;
+            let seed = cfg.seed;
+            move || {
+                let specs = fig4_flows(0.006);
+                let n = specs.len();
+                let mut sched = d.build(n);
+                let mut workload = Workload::with_horizon(specs, seed, cycles);
+                let mut mon = FairnessMonitor::new(n);
+                let mut arrivals = Vec::new();
+                let mut m = 0u64;
+                for now in 0..cycles {
+                    arrivals.clear();
+                    workload.poll(now, &mut arrivals);
+                    for pkt in &arrivals {
+                        mon.on_enqueue(pkt, now);
+                        sched.enqueue(*pkt, now);
+                    }
+                    if let Some(flit) = sched.service_flit(now) {
+                        mon.on_flit(&flit, now);
+                        if flit.is_tail() {
+                            m = m.max(flit.len as u64);
+                        }
+                    }
+                }
+                mon.finish(cycles);
+                let rho = 1.0 / n as f64;
+                (
+                    d.label(),
+                    mon.empirical_latency(0, rho).unwrap_or(f64::NAN),
+                    mon.empirical_latency(2, rho).unwrap_or(f64::NAN),
+                    m,
+                )
+            }
+        })
+        .collect();
+    let done = parallel_sweep(jobs, 7);
+    let m = done.iter().map(|&(_, _, _, m)| m).max().unwrap_or(0);
+    LatencyResult {
+        rows: done
+            .into_iter()
+            .map(|(label, theta_compliant, theta_long, _)| LatencyRow {
+                label,
+                theta_compliant,
+                theta_long,
+            })
+            .collect(),
+        m,
+    }
+}
+
+/// Renders the table.
+pub fn table(r: &LatencyResult) -> Table {
+    let mut t = Table::new(
+        &format!(
+            "Empirical LR-server latency at rho = 1/8 (Fig. 4 workload, m = {})",
+            r.m
+        ),
+        &["discipline", "theta flow 0 (cycles)", "theta flow 2, 2x-len (cycles)"],
+    );
+    for row in &r.rows {
+        t.row(vec![
+            row.label.to_string(),
+            fnum(row.theta_compliant),
+            fnum(row.theta_long),
+        ]);
+    }
+    t
+}
+
+/// Checks the expected ordering (empty = ok).
+pub fn check_shapes(r: &LatencyResult) -> Vec<String> {
+    let mut fails = Vec::new();
+    let theta = |label: &str| {
+        r.rows
+            .iter()
+            .find(|x| x.label == label)
+            .expect("row")
+            .theta_compliant
+    };
+    let guaranteed = ["FBRR", "ERR", "DRR", "WFQ", "SCFQ"];
+    for g in guaranteed {
+        if !theta(g).is_finite() {
+            fails.push(format!("{g}: theta not finite"));
+        }
+    }
+    // FBRR has the tightest guarantee of the pack.
+    for g in ["ERR", "DRR"] {
+        if theta("FBRR") > theta(g) {
+            fails.push(format!(
+                "FBRR theta {:.0} above {g}'s {:.0}",
+                theta("FBRR"),
+                theta(g)
+            ));
+        }
+    }
+    // The unguaranteed disciplines are far worse than ERR.
+    for u in ["PBRR", "FCFS"] {
+        if theta(u) < 3.0 * theta("ERR") {
+            fails.push(format!(
+                "{u} theta {:.0} not clearly above ERR's {:.0}",
+                theta(u),
+                theta("ERR")
+            ));
+        }
+    }
+    // ERR's latency is of the scale a round costs, not unbounded: a
+    // generous structural cap of n * 3m cycles.
+    if theta("ERR") > 8.0 * 3.0 * r.m as f64 {
+        fails.push(format!(
+            "ERR theta {:.0} beyond the n*3m scale ({})",
+            theta("ERR"),
+            8 * 3 * r.m
+        ));
+    }
+    fails
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_latency_shapes() {
+        let cfg = LatencyConfig {
+            cycles: 150_000,
+            seed: 5,
+        };
+        let r = run(&cfg);
+        let fails = check_shapes(&r);
+        assert!(fails.is_empty(), "{fails:#?}");
+    }
+
+    #[test]
+    fn table_has_all_disciplines() {
+        let cfg = LatencyConfig {
+            cycles: 40_000,
+            seed: 2,
+        };
+        assert_eq!(table(&run(&cfg)).n_rows(), disciplines().len());
+    }
+}

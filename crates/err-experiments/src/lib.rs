@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! `err-experiments` — the harness that regenerates every table and
+//! figure of *Fair and Efficient Packet Scheduling in Wormhole Networks*.
+//!
+//! | Id | Paper artifact | Module |
+//! |----|----------------|--------|
+//! | `table1` | Table 1: fairness measure & work complexity | [`table1`] |
+//! | `fig3` | Figure 3: worked 3-round ERR trace | [`fig3`] |
+//! | `fig4` | Figure 4(a–d): per-flow KBytes, ERR vs PBRR/FBRR/FCFS/DRR | [`fig4`] |
+//! | `fig5` | Figure 5(a,b): mean delay vs congestion intensity | [`fig5`] |
+//! | `fig6` | Figure 6: average relative fairness vs number of flows | [`fig6`] |
+//! | `wormhole` | §1 motivation: occupancy-time fairness in a switch | [`wormhole_exp`] |
+//! | `ablation` | design-choice ablations (Eq. 2's "+1", DRR quantum, weights) | [`ablation`] |
+//! | `fmwindow` | extension: avg FM vs measurement-window length | [`fmwindow`] |
+//! | `latency` | extension: empirical LR-server latency per discipline | [`latency`] |
+//! | `topo` | extension: mesh vs torus under standard traffic patterns | [`topo`] |
+//! | `loadsweep` | extension: the load-latency saturation curve, mesh vs torus | [`loadsweep`] |
+//!
+//! Every experiment is deterministic given its seed, runs via the
+//! `repro` binary (`cargo run -p err-experiments --release -- <id>`),
+//! prints a paper-style table, and writes a CSV next to it. The
+//! `*_scaled` constructors used by integration tests shrink the horizons
+//! while preserving the qualitative shapes.
+
+pub mod ablation;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fmwindow;
+pub mod latency;
+pub mod loadsweep;
+pub mod report;
+pub mod runner;
+pub mod table1;
+pub mod topo;
+pub mod wormhole_exp;
+
+pub use runner::{run_single_link, SingleLinkRun};
+
+/// Bytes per flit in all byte-denominated results ("we assume a flit size
+/// of 8 bytes", paper §5).
+pub const BYTES_PER_FLIT: u64 = 8;

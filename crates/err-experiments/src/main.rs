@@ -1,0 +1,273 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! Usage: repro [OPTIONS] <EXPERIMENT>...
+//!
+//! Experiments:
+//!   table1    Table 1  (fairness measure + work complexity)
+//!   fig3      Figure 3 (worked 3-round ERR trace)
+//!   fig4      Figure 4 (per-flow KBytes, ERR vs PBRR/FBRR/FCFS/DRR)
+//!   fig5      Figure 5 (mean delay vs congestion intensity)
+//!   fig6      Figure 6 (average relative fairness vs #flows)
+//!   wormhole  §1 motivation: occupancy-time fairness in a switch + mesh
+//!   ablation  Design-knob ablations
+//!   fmwindow  Extension: avg FM vs measurement-window length
+//!   latency   Extension: empirical LR-server latency per discipline
+//!   topo      Extension: mesh vs torus under standard traffic patterns
+//!   loadsweep Extension: load-latency saturation curve, mesh vs torus
+//!   all       Everything above
+//!
+//! Options:
+//!   --cycles N   Override the main horizon (scales the long experiments)
+//!   --seed N     Master seed (default: per-experiment)
+//!   --out DIR    CSV output directory (default: results)
+//!   --quick      Scaled-down defaults (~100x faster, same shapes)
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use err_experiments::report::Table;
+use err_experiments::{ablation, fig3, fig4, fig5, fig6, fmwindow, latency, loadsweep, table1, topo, wormhole_exp};
+
+struct Opts {
+    experiments: Vec<String>,
+    cycles: Option<u64>,
+    seed: Option<u64>,
+    out: PathBuf,
+    quick: bool,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        experiments: Vec::new(),
+        cycles: None,
+        seed: None,
+        out: PathBuf::from("results"),
+        quick: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--cycles" => {
+                let v = args.next().ok_or("--cycles needs a value")?;
+                opts.cycles = Some(v.parse().map_err(|e| format!("bad --cycles: {e}"))?);
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                opts.seed = Some(v.parse().map_err(|e| format!("bad --seed: {e}"))?);
+            }
+            "--out" => {
+                opts.out = PathBuf::from(args.next().ok_or("--out needs a value")?);
+            }
+            "--quick" => opts.quick = true,
+            "--help" | "-h" => return Err("help".into()),
+            e if e.starts_with('-') => return Err(format!("unknown option {e}")),
+            exp => opts.experiments.push(exp.to_string()),
+        }
+    }
+    if opts.experiments.is_empty() {
+        return Err("no experiment named".into());
+    }
+    if opts.experiments.iter().any(|e| e == "all") {
+        opts.experiments = [
+            "table1", "fig3", "fig4", "fig5", "fig6", "wormhole", "ablation", "fmwindow",
+            "latency", "topo", "loadsweep",
+        ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+    Ok(opts)
+}
+
+fn emit(tables: &[Table], out: &std::path::Path, name: &str, shapes: &[String]) {
+    for (i, t) in tables.iter().enumerate() {
+        println!("{}", t.to_markdown());
+        let suffix = if tables.len() > 1 {
+            format!("{name}_{}", (b'a' + i as u8) as char)
+        } else {
+            name.to_string()
+        };
+        match t.write_csv(out, &suffix) {
+            Ok(path) => println!("  -> {}\n", path.display()),
+            Err(e) => eprintln!("  !! could not write CSV: {e}\n"),
+        }
+    }
+    if shapes.is_empty() {
+        println!("  shape check: OK (matches the paper's qualitative result)\n");
+    } else {
+        println!("  shape check: FAILED");
+        for s in shapes {
+            println!("   - {s}");
+        }
+        println!();
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg != "help" {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!(
+                "usage: repro [--cycles N] [--seed N] [--out DIR] [--quick] \
+                 <table1|fig3|fig4|fig5|fig6|wormhole|ablation|fmwindow|latency|topo|loadsweep|all>..."
+            );
+            return if msg == "help" {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            };
+        }
+    };
+    let scale = |full: u64, quick: u64| -> u64 {
+        opts.cycles.unwrap_or(if opts.quick { quick } else { full })
+    };
+    let mut any_shape_failure = false;
+    for exp in &opts.experiments {
+        println!("== {exp} ==\n");
+        match exp.as_str() {
+            "table1" => {
+                let cfg = table1::Table1Config {
+                    fm_cycles: scale(1_000_000, 150_000),
+                    seed: opts.seed.unwrap_or(21),
+                    ops_per_point: if opts.quick { 50_000 } else { 300_000 },
+                    ..Default::default()
+                };
+                let r = table1::run(&cfg);
+                let fails = table1::check_bounds(&r);
+                any_shape_failure |= !fails.is_empty();
+                emit(&table1::tables(&r), &opts.out, "table1", &fails);
+            }
+            "fig3" => {
+                let r = fig3::run();
+                let fails = if r.matches {
+                    vec![]
+                } else {
+                    vec!["trace does not match the Eq. (1)-(2) reconstruction".to_string()]
+                };
+                any_shape_failure |= !fails.is_empty();
+                emit(&[fig3::table(&r)], &opts.out, "fig3", &fails);
+            }
+            "fig4" => {
+                let cfg = fig4::Fig4Config {
+                    cycles: scale(4_000_000, 300_000),
+                    seed: opts.seed.unwrap_or(42),
+                    ..Default::default()
+                };
+                let r = fig4::run(&cfg);
+                let fails = fig4::check_shapes(&r);
+                any_shape_failure |= !fails.is_empty();
+                emit(&[fig4::table(&r)], &opts.out, "fig4", &fails);
+            }
+            "fig5" => {
+                let cfg = fig5::Fig5Config {
+                    seeds: if opts.quick {
+                        (0..6).collect()
+                    } else {
+                        (0..20).collect()
+                    },
+                    ..Default::default()
+                };
+                let r = fig5::run(&cfg);
+                let fails = fig5::check_shapes(&r);
+                any_shape_failure |= !fails.is_empty();
+                emit(
+                    &[fig5::table(&r), fig5::detail_table(&r)],
+                    &opts.out,
+                    "fig5",
+                    &fails,
+                );
+            }
+            "fig6" => {
+                let cfg = fig6::Fig6Config {
+                    cycles: scale(4_000_000, 400_000),
+                    intervals: if opts.quick { 2_000 } else { 10_000 },
+                    seed: opts.seed.unwrap_or(7),
+                    ..Default::default()
+                };
+                let r = fig6::run(&cfg);
+                let fails = fig6::check_shapes(&r);
+                any_shape_failure |= !fails.is_empty();
+                emit(&[fig6::table(&r)], &opts.out, "fig6", &fails);
+            }
+            "wormhole" => {
+                let cfg = wormhole_exp::WormholeConfig {
+                    switch_cycles: scale(200_000, 60_000),
+                    seed: opts.seed.unwrap_or(13),
+                    ..Default::default()
+                };
+                let r = wormhole_exp::run(&cfg);
+                let fails = wormhole_exp::check_shapes(&r);
+                any_shape_failure |= !fails.is_empty();
+                emit(&wormhole_exp::tables(&r), &opts.out, "wormhole", &fails);
+            }
+            "loadsweep" => {
+                let cfg = loadsweep::LoadSweepConfig {
+                    horizon: scale(30_000, 10_000),
+                    seed: opts.seed.unwrap_or(51),
+                    ..Default::default()
+                };
+                let r = loadsweep::run(&cfg);
+                let fails = loadsweep::check_shapes(&r);
+                any_shape_failure |= !fails.is_empty();
+                emit(&[loadsweep::table(&r)], &opts.out, "loadsweep", &fails);
+            }
+            "topo" => {
+                let cfg = topo::TopoConfig {
+                    horizon: scale(50_000, 12_000),
+                    seed: opts.seed.unwrap_or(37),
+                    ..Default::default()
+                };
+                let r = topo::run(&cfg);
+                let fails = topo::check_shapes(&r);
+                any_shape_failure |= !fails.is_empty();
+                emit(&[topo::table(&r)], &opts.out, "topo", &fails);
+            }
+            "latency" => {
+                let cfg = latency::LatencyConfig {
+                    cycles: scale(1_000_000, 150_000),
+                    seed: opts.seed.unwrap_or(29),
+                };
+                let r = latency::run(&cfg);
+                let fails = latency::check_shapes(&r);
+                any_shape_failure |= !fails.is_empty();
+                emit(&[latency::table(&r)], &opts.out, "latency", &fails);
+            }
+            "fmwindow" => {
+                let cfg = fmwindow::FmWindowConfig {
+                    cycles: scale(2_000_000, 300_000),
+                    intervals: if opts.quick { 1_500 } else { 5_000 },
+                    seed: opts.seed.unwrap_or(17),
+                    ..Default::default()
+                };
+                let r = fmwindow::run(&cfg);
+                let fails = fmwindow::check_shapes(&r);
+                any_shape_failure |= !fails.is_empty();
+                emit(&[fmwindow::table(&r)], &opts.out, "fmwindow", &fails);
+            }
+            "ablation" => {
+                let cfg = ablation::AblationConfig {
+                    cycles: scale(1_000_000, 200_000),
+                    seed: opts.seed.unwrap_or(77),
+                };
+                let r = ablation::run(&cfg);
+                let fails = ablation::check_shapes(&r);
+                any_shape_failure |= !fails.is_empty();
+                emit(&ablation::tables(&r), &opts.out, "ablation", &fails);
+            }
+            other => {
+                eprintln!("error: unknown experiment '{other}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if any_shape_failure {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

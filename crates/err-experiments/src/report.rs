@@ -1,0 +1,165 @@
+//! Table and CSV output helpers for experiment results.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A simple column-oriented results table that renders to aligned
+/// markdown and to CSV.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders an aligned markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}", self.title);
+        let fmt_row = |cells: &[String]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers));
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        let _ = writeln!(out, "|-{}-|", sep.join("-|-"));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row));
+        }
+        out
+    }
+
+    /// Renders CSV (headers + rows).
+    pub fn to_csv(&self) -> String {
+        let esc = |c: &str| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Writes the CSV form to `dir/<name>.csv`, creating `dir` if needed.
+    pub fn write_csv(&self, dir: &Path, name: &str) -> io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+/// Formats a float with a sensible number of digits for tables.
+pub fn fnum(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_alignment_and_content() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.row(vec!["alpha".into(), "1".into()]);
+        t.row(vec!["b".into(), "22222".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("### Demo"));
+        assert!(md.contains("| alpha | 1     |"));
+        assert!(md.contains("| b     | 22222 |"));
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["has,comma".into(), "has\"quote".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"has,comma\",\"has\"\"quote\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let dir = std::env::temp_dir().join("err_repro_report_test");
+        let mut t = Table::new("x", &["a"]);
+        t.row(vec!["1".into()]);
+        let path = t.write_csv(&dir, "unit").unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "a\n1\n");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn fnum_ranges() {
+        assert_eq!(fnum(0.0), "0");
+        assert_eq!(fnum(3.14159), "3.142");
+        assert_eq!(fnum(42.42), "42.4");
+        assert_eq!(fnum(12345.6), "12346");
+    }
+}

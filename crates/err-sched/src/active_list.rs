@@ -1,0 +1,146 @@
+//! The `ActiveList` of the paper's Figure 1: a FIFO of active flows with
+//! O(1) membership test, append, and pop.
+
+use std::collections::VecDeque;
+
+use crate::FlowId;
+
+/// FIFO list of active flows.
+///
+/// The paper maintains "a linked list, called the ActiveList, of flows
+/// which are active", appending at the tail and serving from the head.
+/// All operations used by the Enqueue/Dequeue procedures — membership
+/// test, tail append, head pop — are O(1), which is what Theorem 1's O(1)
+/// work-complexity argument rests on.
+#[derive(Clone, Debug, Default)]
+pub struct ActiveList {
+    list: VecDeque<FlowId>,
+    in_list: Vec<bool>,
+}
+
+impl ActiveList {
+    /// Creates an empty list sized for `n_flows` (grows on demand).
+    pub fn new(n_flows: usize) -> Self {
+        Self {
+            list: VecDeque::with_capacity(n_flows),
+            in_list: vec![false; n_flows],
+        }
+    }
+
+    fn ensure(&mut self, flow: FlowId) {
+        if flow >= self.in_list.len() {
+            self.in_list.resize(flow + 1, false);
+        }
+    }
+
+    /// Whether `flow` is currently in the list.
+    pub fn contains(&self, flow: FlowId) -> bool {
+        self.in_list.get(flow).copied().unwrap_or(false)
+    }
+
+    /// Appends `flow` at the tail if absent. Returns `true` if it was
+    /// added (`ExistsInActiveList(i) == FALSE` branch of Enqueue).
+    pub fn push_back_if_absent(&mut self, flow: FlowId) -> bool {
+        self.ensure(flow);
+        if self.in_list[flow] {
+            return false;
+        }
+        self.in_list[flow] = true;
+        self.list.push_back(flow);
+        true
+    }
+
+    /// Appends `flow` at the tail unconditionally (used when re-adding the
+    /// just-served flow, which is known to be absent). Panics if present.
+    pub fn push_back(&mut self, flow: FlowId) {
+        self.ensure(flow);
+        assert!(!self.in_list[flow], "flow {flow} already in ActiveList");
+        self.in_list[flow] = true;
+        self.list.push_back(flow);
+    }
+
+    /// Removes and returns the head flow.
+    pub fn pop_front(&mut self) -> Option<FlowId> {
+        let flow = self.list.pop_front()?;
+        self.in_list[flow] = false;
+        Some(flow)
+    }
+
+    /// Flows currently in the list.
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// Iterates the flows head-to-tail (for inspection/debugging).
+    pub fn iter(&self) -> impl Iterator<Item = FlowId> + '_ {
+        self.list.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut l = ActiveList::new(4);
+        l.push_back(2);
+        l.push_back(0);
+        l.push_back(3);
+        assert_eq!(l.pop_front(), Some(2));
+        assert_eq!(l.pop_front(), Some(0));
+        assert_eq!(l.pop_front(), Some(3));
+        assert_eq!(l.pop_front(), None);
+    }
+
+    #[test]
+    fn membership_tracks_push_pop() {
+        let mut l = ActiveList::new(2);
+        assert!(!l.contains(1));
+        l.push_back(1);
+        assert!(l.contains(1));
+        l.pop_front();
+        assert!(!l.contains(1));
+    }
+
+    #[test]
+    fn push_back_if_absent_is_idempotent() {
+        let mut l = ActiveList::new(2);
+        assert!(l.push_back_if_absent(0));
+        assert!(!l.push_back_if_absent(0));
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn grows_beyond_initial_capacity() {
+        let mut l = ActiveList::new(1);
+        l.push_back(100);
+        assert!(l.contains(100));
+        assert!(!l.contains(99));
+        assert_eq!(l.pop_front(), Some(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "already in ActiveList")]
+    fn double_push_back_panics() {
+        let mut l = ActiveList::new(2);
+        l.push_back(0);
+        l.push_back(0);
+    }
+
+    #[test]
+    fn readd_after_pop_goes_to_tail() {
+        let mut l = ActiveList::new(3);
+        l.push_back(0);
+        l.push_back(1);
+        let f = l.pop_front().unwrap();
+        l.push_back(f); // round-robin re-add
+        let order: Vec<_> = l.iter().collect();
+        assert_eq!(order, vec![1, 0]);
+    }
+}

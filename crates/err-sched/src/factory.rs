@@ -1,0 +1,136 @@
+//! Discipline selection for experiments and examples.
+
+use serde::{Deserialize, Serialize};
+
+use crate::drr::DrrScheduler;
+use crate::err::ErrScheduler;
+use crate::fbrr::FbrrScheduler;
+use crate::fcfs::FcfsScheduler;
+use crate::gps::GpsReference;
+use crate::pbrr::PbrrScheduler;
+use crate::scfq::ScfqScheduler;
+use crate::traits::Scheduler;
+use crate::vclock::VclockScheduler;
+use crate::werr::WerrScheduler;
+use crate::wfq::WfqScheduler;
+
+/// The scheduling disciplines available to the experiment harness.
+///
+/// The first five are the disciplines of the paper's simulation study
+/// (§5); the remainder are the Table 1 context rows plus the weighted-ERR
+/// extension.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Discipline {
+    /// Elastic Round Robin (the paper's contribution).
+    Err,
+    /// Deficit Round Robin with the given quantum in flits.
+    Drr {
+        /// Per-visit quantum; the paper's comparisons use `Max`.
+        quantum: u64,
+    },
+    /// Flit-based round robin (virtual-channel style).
+    Fbrr,
+    /// Packet-based round robin.
+    Pbrr,
+    /// First-come-first-served.
+    Fcfs,
+    /// Weighted Fair Queuing (O(log n)).
+    Wfq,
+    /// Self-clocked fair queuing (O(log n)).
+    Scfq,
+    /// Virtual Clock (O(log n)).
+    VirtualClock,
+    /// Fluid GPS reference (O(n) per flit; measurement baseline only).
+    Gps,
+    /// Weighted ERR with the given integer weights.
+    Werr {
+        /// Per-flow integer weights (all ≥ 1).
+        weights: Vec<u64>,
+    },
+}
+
+impl Discipline {
+    /// Instantiates the discipline for `n_flows` flows.
+    pub fn build(&self, n_flows: usize) -> Box<dyn Scheduler> {
+        match self {
+            Discipline::Err => Box::new(ErrScheduler::new(n_flows)),
+            Discipline::Drr { quantum } => Box::new(DrrScheduler::new(n_flows, *quantum)),
+            Discipline::Fbrr => Box::new(FbrrScheduler::new(n_flows)),
+            Discipline::Pbrr => Box::new(PbrrScheduler::new(n_flows)),
+            Discipline::Fcfs => Box::new(FcfsScheduler::new(n_flows)),
+            Discipline::Wfq => Box::new(WfqScheduler::new(n_flows)),
+            Discipline::Scfq => Box::new(ScfqScheduler::new(n_flows)),
+            Discipline::VirtualClock => Box::new(VclockScheduler::new(n_flows)),
+            Discipline::Gps => Box::new(GpsReference::new(n_flows)),
+            Discipline::Werr { weights } => {
+                let mut w = weights.clone();
+                if w.len() < n_flows {
+                    w.resize(n_flows, 1);
+                }
+                Box::new(WerrScheduler::new(w))
+            }
+        }
+    }
+
+    /// The name used in the paper's figures and our result tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Discipline::Err => "ERR",
+            Discipline::Drr { .. } => "DRR",
+            Discipline::Fbrr => "FBRR",
+            Discipline::Pbrr => "PBRR",
+            Discipline::Fcfs => "FCFS",
+            Discipline::Wfq => "WFQ",
+            Discipline::Scfq => "SCFQ",
+            Discipline::VirtualClock => "VirtualClock",
+            Discipline::Gps => "GPS",
+            Discipline::Werr { .. } => "WERR",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Packet;
+
+    #[test]
+    fn all_disciplines_build_and_serve() {
+        let all = [
+            Discipline::Err,
+            Discipline::Drr { quantum: 64 },
+            Discipline::Fbrr,
+            Discipline::Pbrr,
+            Discipline::Fcfs,
+            Discipline::Wfq,
+            Discipline::Scfq,
+            Discipline::VirtualClock,
+            Discipline::Gps,
+            Discipline::Werr {
+                weights: vec![1, 2],
+            },
+        ];
+        for d in &all {
+            let mut s = d.build(2);
+            assert_eq!(s.name(), d.label());
+            s.enqueue(Packet::new(0, 0, 3, 0), 0);
+            s.enqueue(Packet::new(1, 1, 2, 0), 0);
+            let mut served = 0;
+            let mut now = 0;
+            while s.service_flit(now).is_some() {
+                served += 1;
+                now += 1;
+                assert!(now < 100, "{} not terminating", d.label());
+            }
+            assert_eq!(served, 5, "{} lost flits", d.label());
+            assert!(s.is_idle());
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Discipline::Err.label(), "ERR");
+        assert_eq!(Discipline::Drr { quantum: 1 }.label(), "DRR");
+        assert_eq!(Discipline::Fcfs.label(), "FCFS");
+    }
+}

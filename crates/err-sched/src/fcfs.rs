@@ -1,0 +1,143 @@
+//! First-Come-First-Served — packets are served in global arrival order.
+//!
+//! The baseline "employed in the various functional units" of most
+//! wormhole switches (paper §2). FCFS is work-conserving and simple, but
+//! "does not provide adequate protection from a bursty source": a flow
+//! that injects faster, or with longer packets, takes a proportionally
+//! larger share of the link and inflates everyone else's delay. The
+//! paper's Figures 4(c) and 5(a) quantify this; its relative fairness
+//! measure is unbounded (Table 1: ∞).
+
+use std::collections::VecDeque;
+
+use desim::Cycle;
+
+use crate::packet::FlitStream;
+use crate::traits::{Scheduler, ServedFlit};
+use crate::Packet;
+
+/// First-come-first-served scheduler.
+///
+/// Ties (same-cycle arrivals) are broken by enqueue order, which the
+/// harnesses keep deterministic.
+#[derive(Clone, Debug, Default)]
+pub struct FcfsScheduler {
+    queue: VecDeque<Packet>,
+    backlog_flits: u64,
+    in_flight: Option<FlitStream>,
+}
+
+impl FcfsScheduler {
+    /// Creates an FCFS scheduler. (`n_flows` is irrelevant to FCFS but
+    /// kept for constructor uniformity.)
+    pub fn new(_n_flows: usize) -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for FcfsScheduler {
+    fn enqueue(&mut self, pkt: Packet, _now: Cycle) {
+        self.backlog_flits += pkt.len as u64;
+        self.queue.push_back(pkt);
+    }
+
+    fn service_flit(&mut self, _now: Cycle) -> Option<ServedFlit> {
+        if self.in_flight.is_none() {
+            let pkt = self.queue.pop_front()?;
+            self.in_flight = Some(FlitStream::new(pkt));
+        }
+        let stream = self.in_flight.as_mut().expect("just loaded");
+        let pkt = *stream.packet();
+        let (idx, done) = stream.emit();
+        self.backlog_flits -= 1;
+        if done {
+            self.in_flight = None;
+        }
+        Some(ServedFlit::of(&pkt, idx))
+    }
+
+    fn backlog_flits(&self) -> u64 {
+        self.backlog_flits
+    }
+
+    fn name(&self) -> &'static str {
+        "FCFS"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FlowId;
+
+    fn pkt(id: u64, flow: FlowId, len: u32, arrival: u64) -> Packet {
+        Packet::new(id, flow, len, arrival)
+    }
+
+    fn drain(s: &mut FcfsScheduler) -> Vec<ServedFlit> {
+        let mut out = Vec::new();
+        let mut now = 0;
+        while let Some(f) = s.service_flit(now) {
+            out.push(f);
+            now += 1;
+        }
+        out
+    }
+
+    #[test]
+    fn serves_in_arrival_order() {
+        let mut s = FcfsScheduler::new(3);
+        s.enqueue(pkt(0, 2, 2, 0), 0);
+        s.enqueue(pkt(1, 0, 1, 1), 1);
+        s.enqueue(pkt(2, 1, 3, 2), 2);
+        let pids: Vec<_> = drain(&mut s)
+            .iter()
+            .filter(|f| f.is_head())
+            .map(|f| f.packet)
+            .collect();
+        assert_eq!(pids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn aggressive_flow_dominates() {
+        // Flow 0 sends twice as many packets: it gets twice the flits —
+        // the unfairness Figure 4(c) demonstrates.
+        let mut s = FcfsScheduler::new(2);
+        let mut id = 0;
+        for k in 0..30u64 {
+            s.enqueue(pkt(id, 0, 4, k), k);
+            id += 1;
+            if k % 2 == 0 {
+                s.enqueue(pkt(id, 1, 4, k), k);
+                id += 1;
+            }
+        }
+        let flits = drain(&mut s);
+        let f0 = flits.iter().filter(|f| f.flow == 0).count();
+        let f1 = flits.iter().filter(|f| f.flow == 1).count();
+        assert_eq!(f0, 120);
+        assert_eq!(f1, 60);
+    }
+
+    #[test]
+    fn no_interleaving_and_conservation() {
+        let mut s = FcfsScheduler::new(2);
+        s.enqueue(pkt(0, 0, 3, 0), 0);
+        s.enqueue(pkt(1, 1, 2, 0), 0);
+        let flits = drain(&mut s);
+        assert_eq!(
+            flits.iter().map(|f| (f.packet, f.flit_index)).collect::<Vec<_>>(),
+            vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1)]
+        );
+        assert!(s.is_idle());
+    }
+
+    #[test]
+    fn idle_returns_none() {
+        let mut s = FcfsScheduler::new(1);
+        assert!(s.service_flit(0).is_none());
+        s.enqueue(pkt(0, 0, 1, 5), 5);
+        assert!(s.service_flit(5).is_some());
+        assert!(s.service_flit(6).is_none());
+    }
+}

@@ -1,0 +1,209 @@
+//! A flit-granular Generalized Processor Sharing reference.
+//!
+//! GPS is the "unimplementable but ideal scheduling discipline" the
+//! paper's fairness notion is defined against (§2): a fluid server that
+//! gives every backlogged flow exactly its weighted share at every
+//! instant. This module discretizes the fluid model at flit granularity:
+//! each cycle it serves one flit from the backlogged flow with the least
+//! *normalized service* (service ÷ weight), self-clocking newly active
+//! flows to the current service level so they cannot claim service for
+//! the past.
+//!
+//! Selection scans the flows, so each flit costs **O(n)** — this is a
+//! measurement reference, not a contender (ERR's whole point is O(1)
+//! work). Like FBRR it interleaves flits across packets, which is only
+//! physical for flit-tagged virtual channels.
+
+use desim::Cycle;
+
+use crate::packet::FlitStream;
+use crate::traits::{Scheduler, ServedFlit};
+use crate::{FlowId, FlowQueues, Packet};
+
+/// Flit-granular GPS reference scheduler.
+pub struct GpsReference {
+    queues: FlowQueues,
+    in_flight: Vec<Option<FlitStream>>,
+    weight: Vec<f64>,
+    /// Normalized service accumulated per flow (flits / weight).
+    norm_service: Vec<f64>,
+    /// Normalized-service level of the most recently served flow — the
+    /// "virtual time" newly active flows start from.
+    level: f64,
+}
+
+impl GpsReference {
+    /// Creates a GPS reference with equal weights.
+    pub fn new(n_flows: usize) -> Self {
+        Self::with_weights(vec![1.0; n_flows])
+    }
+
+    /// Creates a GPS reference with the given positive weights.
+    pub fn with_weights(weights: Vec<f64>) -> Self {
+        assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
+        let n = weights.len();
+        Self {
+            queues: FlowQueues::new(n),
+            in_flight: (0..n).map(|_| None).collect(),
+            weight: weights,
+            norm_service: vec![0.0; n],
+            level: 0.0,
+        }
+    }
+
+    fn ensure(&mut self, flow: FlowId) {
+        if flow >= self.weight.len() {
+            self.weight.resize(flow + 1, 1.0);
+            self.norm_service.resize(flow + 1, 0.0);
+            self.in_flight.resize_with(flow + 1, || None);
+        }
+    }
+
+    fn flow_backlogged(&self, flow: FlowId) -> bool {
+        self.in_flight.get(flow).is_some_and(|s| s.is_some()) || !self.queues.is_empty(flow)
+    }
+
+    /// Backlogged flow with minimal normalized service (ties: lowest id).
+    fn pick(&self) -> Option<FlowId> {
+        let mut best: Option<(f64, FlowId)> = None;
+        for f in 0..self.weight.len() {
+            if !self.flow_backlogged(f) {
+                continue;
+            }
+            let key = self.norm_service[f];
+            match best {
+                None => best = Some((key, f)),
+                Some((bk, _)) if key < bk => best = Some((key, f)),
+                _ => {}
+            }
+        }
+        best.map(|(_, f)| f)
+    }
+}
+
+impl Scheduler for GpsReference {
+    fn enqueue(&mut self, pkt: Packet, _now: Cycle) {
+        self.ensure(pkt.flow);
+        if !self.flow_backlogged(pkt.flow) {
+            // Self-clock: a flow joining the backlogged set starts at the
+            // current level; it cannot bank credit for its idle past.
+            self.norm_service[pkt.flow] = self.norm_service[pkt.flow].max(self.level);
+        }
+        self.queues.push(pkt);
+    }
+
+    fn service_flit(&mut self, _now: Cycle) -> Option<ServedFlit> {
+        let flow = self.pick()?;
+        if self.in_flight[flow].is_none() {
+            let pkt = self.queues.pop(flow).expect("backlogged flow has a packet");
+            self.in_flight[flow] = Some(FlitStream::new(pkt));
+        }
+        let stream = self.in_flight[flow].as_mut().expect("just loaded");
+        let pkt = *stream.packet();
+        let (idx, done) = stream.emit();
+        if done {
+            self.in_flight[flow] = None;
+        }
+        self.norm_service[flow] += 1.0 / self.weight[flow];
+        self.level = self.norm_service[flow];
+        Some(ServedFlit::of(&pkt, idx))
+    }
+
+    fn backlog_flits(&self) -> u64 {
+        self.queues.backlog_flits()
+            + self
+                .in_flight
+                .iter()
+                .flatten()
+                .map(|s| s.remaining() as u64)
+                .sum::<u64>()
+    }
+
+    fn name(&self) -> &'static str {
+        "GPS"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(id: u64, flow: FlowId, len: u32) -> Packet {
+        Packet::new(id, flow, len, 0)
+    }
+
+    #[test]
+    fn equal_weights_perfectly_even() {
+        let mut s = GpsReference::new(3);
+        for k in 0..30u64 {
+            for f in 0..3usize {
+                s.enqueue(pkt(k * 3 + f as u64, f, 2), 0);
+            }
+        }
+        let mut counts = [0u64; 3];
+        for now in 0..90u64 {
+            let f = s.service_flit(now).unwrap();
+            counts[f.flow] += 1;
+        }
+        assert_eq!(counts, [30, 30, 30]);
+    }
+
+    #[test]
+    fn weighted_fluid_shares() {
+        let mut s = GpsReference::with_weights(vec![1.0, 3.0]);
+        for k in 0..100u64 {
+            s.enqueue(pkt(k, 0, 4), 0);
+            s.enqueue(pkt(1000 + k, 1, 4), 0);
+        }
+        let mut f1 = 0u64;
+        for now in 0..200u64 {
+            if s.service_flit(now).unwrap().flow == 1 {
+                f1 += 1;
+            }
+        }
+        assert_eq!(f1, 150, "weight-3 flow gets exactly 3/4 of the link");
+    }
+
+    #[test]
+    fn late_flow_does_not_claim_past_service() {
+        let mut s = GpsReference::new(2);
+        for k in 0..50u64 {
+            s.enqueue(pkt(k, 0, 2), 0);
+        }
+        let mut now = 0u64;
+        for _ in 0..60 {
+            s.service_flit(now);
+            now += 1;
+        }
+        // Flow 1 joins after flow 0 already received 60 flits.
+        for k in 0..20u64 {
+            s.enqueue(pkt(100 + k, 1, 2), now);
+        }
+        let mut f1 = 0u64;
+        for _ in 0..20 {
+            if s.service_flit(now).unwrap().flow == 1 {
+                f1 += 1;
+            }
+            now += 1;
+        }
+        assert!(
+            (9..=11).contains(&f1),
+            "flow 1 should get ~half going forward, got {f1}/20"
+        );
+    }
+
+    #[test]
+    fn conservation_and_idle() {
+        let mut s = GpsReference::new(2);
+        s.enqueue(pkt(0, 0, 3), 0);
+        s.enqueue(pkt(1, 1, 5), 0);
+        let mut served = 0u64;
+        let mut now = 0;
+        while s.service_flit(now).is_some() {
+            served += 1;
+            now += 1;
+        }
+        assert_eq!(served, 8);
+        assert!(s.is_idle());
+    }
+}

@@ -1,0 +1,150 @@
+//! Packet-Based Round Robin — one whole packet per visit.
+//!
+//! The scheduler "visits each of the queues in a round-robin fashion, and
+//! transmits an entire packet from a queue before beginning transmission
+//! from another queue" (paper §2). PBRR is starvation-free but not fair:
+//! a flow sending `k×` longer packets receives `k×` the bandwidth, which
+//! is exactly what the paper's Figure 4(a) shows and our `fig4`
+//! experiment reproduces. Its relative fairness measure is unbounded
+//! (Table 1: ∞).
+
+use desim::Cycle;
+
+use crate::active_list::ActiveList;
+use crate::packet::FlitStream;
+use crate::traits::{Scheduler, ServedFlit};
+use crate::{FlowId, FlowQueues, Packet};
+
+/// Packet-based round-robin scheduler.
+#[derive(Clone, Debug)]
+pub struct PbrrScheduler {
+    active: ActiveList,
+    queues: FlowQueues,
+    in_flight: Option<FlitStream>,
+}
+
+impl PbrrScheduler {
+    /// Creates a PBRR scheduler for `n_flows` flows.
+    pub fn new(n_flows: usize) -> Self {
+        Self {
+            active: ActiveList::new(n_flows),
+            queues: FlowQueues::new(n_flows),
+            in_flight: None,
+        }
+    }
+
+    fn is_active(&self, flow: FlowId) -> bool {
+        self.active.contains(flow)
+            || self
+                .in_flight
+                .as_ref()
+                .is_some_and(|s| s.packet().flow == flow)
+    }
+}
+
+impl Scheduler for PbrrScheduler {
+    fn enqueue(&mut self, pkt: Packet, _now: Cycle) {
+        if !self.is_active(pkt.flow) {
+            self.active.push_back(pkt.flow);
+        }
+        self.queues.push(pkt);
+    }
+
+    fn service_flit(&mut self, _now: Cycle) -> Option<ServedFlit> {
+        if self.in_flight.is_none() {
+            let flow = self.active.pop_front()?;
+            let pkt = self.queues.pop(flow).expect("active flow has a packet");
+            self.in_flight = Some(FlitStream::new(pkt));
+        }
+        let stream = self.in_flight.as_mut().expect("just loaded");
+        let pkt = *stream.packet();
+        let (idx, done) = stream.emit();
+        if done {
+            self.in_flight = None;
+            // One packet per visit: re-queue at the tail if still backlogged.
+            if !self.queues.is_empty(pkt.flow) {
+                self.active.push_back(pkt.flow);
+            }
+        }
+        Some(ServedFlit::of(&pkt, idx))
+    }
+
+    fn backlog_flits(&self) -> u64 {
+        self.queues.backlog_flits()
+            + self
+                .in_flight
+                .as_ref()
+                .map_or(0, |s| s.remaining() as u64)
+    }
+
+    fn name(&self) -> &'static str {
+        "PBRR"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(id: u64, flow: FlowId, len: u32) -> Packet {
+        Packet::new(id, flow, len, 0)
+    }
+
+    fn drain(s: &mut PbrrScheduler) -> Vec<ServedFlit> {
+        let mut out = Vec::new();
+        let mut now = 0;
+        while let Some(f) = s.service_flit(now) {
+            out.push(f);
+            now += 1;
+        }
+        out
+    }
+
+    #[test]
+    fn one_packet_per_visit_alternates_flows() {
+        let mut s = PbrrScheduler::new(2);
+        for k in 0..4u64 {
+            s.enqueue(pkt(k, 0, 2), 0);
+            s.enqueue(pkt(10 + k, 1, 2), 0);
+        }
+        let flows: Vec<_> = drain(&mut s).iter().map(|f| f.flow).collect();
+        assert_eq!(flows, vec![0, 0, 1, 1, 0, 0, 1, 1, 0, 0, 1, 1, 0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn long_packet_flow_gets_proportionally_more_bandwidth() {
+        // The unfairness PBRR is famous for: equal packet *rates*, flow 1
+        // packets 4x longer → flow 1 gets 4x the flits.
+        let mut s = PbrrScheduler::new(2);
+        for k in 0..50u64 {
+            s.enqueue(pkt(k, 0, 2), 0);
+            s.enqueue(pkt(100 + k, 1, 8), 0);
+        }
+        let flits = drain(&mut s);
+        let f0 = flits.iter().filter(|f| f.flow == 0).count();
+        let f1 = flits.iter().filter(|f| f.flow == 1).count();
+        assert_eq!(f0, 100);
+        assert_eq!(f1, 400);
+    }
+
+    #[test]
+    fn work_conserving() {
+        let mut s = PbrrScheduler::new(3);
+        s.enqueue(pkt(0, 0, 3), 0);
+        s.enqueue(pkt(1, 2, 5), 0);
+        assert_eq!(drain(&mut s).len(), 8);
+        assert!(s.is_idle());
+    }
+
+    #[test]
+    fn mid_service_arrival_not_duplicated() {
+        let mut s = PbrrScheduler::new(2);
+        s.enqueue(pkt(0, 0, 4), 0);
+        s.service_flit(0);
+        s.enqueue(pkt(1, 0, 4), 1); // arrives while flow 0 is in service
+        let rest = drain(&mut s);
+        assert_eq!(rest.len(), 7);
+        let heads: Vec<_> = rest.iter().filter(|f| f.is_head()).map(|f| f.packet).collect();
+        assert_eq!(heads, vec![1]);
+    }
+}

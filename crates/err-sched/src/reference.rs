@@ -1,0 +1,306 @@
+//! A literal, line-by-line interpreter of the paper's Figure 1
+//! pseudo-code, used as a differential-testing oracle.
+//!
+//! [`ErrScheduler`](crate::err::ErrScheduler) is an incremental,
+//! flit-clocked state machine (it must interleave with arrivals and
+//! serve one flit per cycle). This module instead transcribes the
+//! Initialize / Enqueue / Dequeue routines of Figure 1 as directly as
+//! Rust allows — whole packets per inner loop iteration, one `while`
+//! loop, the exact variable names — and replays a complete arrival
+//! schedule through them. Property tests then assert that the
+//! production scheduler's visit trace (allowances, service, surpluses,
+//! round numbers) is identical to the oracle's on arbitrary workloads.
+//!
+//! The transcription keeps time in **flit-service units**: serving a
+//! packet of `L` flits advances the clock by `L`, which is exactly the
+//! production scheduler's timing when one flit is dequeued per cycle,
+//! so arrival interleaving matches too.
+
+use std::collections::VecDeque;
+
+use crate::err::VisitRecord;
+use crate::{FlowId, Packet};
+
+/// The oracle: runs Figure 1 to completion over a fixed arrival
+/// schedule and records every service opportunity.
+pub struct ReferenceErr {
+    n_flows: usize,
+}
+
+impl ReferenceErr {
+    /// Creates an oracle for `n_flows` flows.
+    pub fn new(n_flows: usize) -> Self {
+        Self { n_flows }
+    }
+
+    /// Replays `packets` (must be sorted by arrival cycle) through the
+    /// pseudo-code and returns the visit records. The clock advances one
+    /// cycle per flit served; arrivals at cycle `t` become visible the
+    /// first time the clock reaches or passes `t` (matching the
+    /// flit-clocked scheduler, which enqueues before serving each cycle).
+    pub fn run(&self, packets: &[Packet]) -> Vec<VisitRecord> {
+        assert!(
+            packets.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+            "schedule must be sorted by arrival"
+        );
+        let n = self.n_flows;
+        // Figure 1: Initialize.
+        let mut round_robin_visit_count: usize = 0;
+        let mut previous_max_sc: u64 = 0;
+        let mut max_sc: u64 = 0;
+        let mut sc = vec![0u64; n];
+        let mut size_of_active_list: usize = 0;
+        let mut active_list: VecDeque<FlowId> = VecDeque::new();
+        let mut queues: Vec<VecDeque<u32>> = (0..n).map(|_| VecDeque::new()).collect();
+        // Not in the pseudo-code: the clock and the arrival cursor that
+        // feed Enqueue at the right instants, plus the trace.
+        let mut clock: u64 = 0;
+        let mut next_arrival = 0usize;
+        let mut trace = Vec::new();
+        let mut round: u64 = 0;
+        // The flow currently in service (popped from the list), so that
+        // Enqueue's ExistsInActiveList sees it as present.
+        let mut in_service: Option<FlowId> = None;
+
+        // Enqueue: (Invoked when a packet arrives).
+        let deliver_arrivals =
+            |clock: u64,
+             next_arrival: &mut usize,
+             queues: &mut Vec<VecDeque<u32>>,
+             active_list: &mut VecDeque<FlowId>,
+             sc: &mut Vec<u64>,
+             size_of_active_list: &mut usize,
+             in_service: Option<FlowId>| {
+                while *next_arrival < packets.len()
+                    && packets[*next_arrival].arrival <= clock
+                {
+                    let p = &packets[*next_arrival];
+                    *next_arrival += 1;
+                    let i = p.flow;
+                    queues[i].push_back(p.len);
+                    let exists = in_service == Some(i) || active_list.contains(&i);
+                    if !exists {
+                        active_list.push_back(i);
+                        *size_of_active_list += 1;
+                        sc[i] = 0;
+                    }
+                }
+            };
+
+        // Dequeue: while (TRUE) — bounded here by schedule exhaustion.
+        loop {
+            deliver_arrivals(
+                clock,
+                &mut next_arrival,
+                &mut queues,
+                &mut active_list,
+                &mut sc,
+                &mut size_of_active_list,
+                in_service,
+            );
+            if active_list.is_empty() {
+                if next_arrival >= packets.len() {
+                    break; // drained the whole schedule
+                }
+                // Idle: jump to the next arrival instant.
+                clock = clock.max(packets[next_arrival].arrival);
+                continue;
+            }
+            if round_robin_visit_count == 0 {
+                previous_max_sc = max_sc;
+                round_robin_visit_count = size_of_active_list;
+                max_sc = 0;
+                round += 1;
+            }
+            // i = HeadOfActiveList; RemoveHeadOfActiveList;
+            let i = active_list.pop_front().expect("checked non-empty");
+            in_service = Some(i);
+            // A_i = 1 + PreviousMaxSC - SC_i;
+            let allowance = 1 + previous_max_sc - sc[i];
+            // Sent_i = 0; do { Transmit } while (Sent_i < A_i);
+            let mut sent: u64 = 0;
+            loop {
+                let len = queues[i].pop_front().expect("active flow has a packet") as u64;
+                // Transmitting the packet takes `len` cycles: flits go
+                // out at cycles clock .. clock+len-1, and the
+                // continuation decision happens at the tail flit's cycle
+                // (clock+len-1) — arrivals up to *that* instant are
+                // visible to it, matching the flit-clocked scheduler.
+                clock += len;
+                sent += len;
+                deliver_arrivals(
+                    clock - 1,
+                    &mut next_arrival,
+                    &mut queues,
+                    &mut active_list,
+                    &mut sc,
+                    &mut size_of_active_list,
+                    in_service,
+                );
+                if sent >= allowance || queues[i].is_empty() {
+                    break;
+                }
+            }
+            // SC_i = Sent_i - A_i; if (SC_i > MaxSC) MaxSC = SC_i;
+            let surplus = sent.saturating_sub(allowance);
+            if surplus > max_sc {
+                max_sc = surplus;
+            }
+            // if queue non-empty re-add, else SC_i = 0 and shrink.
+            let queue_nonempty = !queues[i].is_empty();
+            if queue_nonempty {
+                sc[i] = surplus;
+                active_list.push_back(i);
+            } else {
+                sc[i] = 0;
+                size_of_active_list -= 1;
+            }
+            round_robin_visit_count -= 1;
+            in_service = None;
+            trace.push(VisitRecord {
+                round,
+                flow: i,
+                allowance,
+                sent,
+                surplus,
+                went_inactive: !queue_nonempty,
+            });
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::err::ErrScheduler;
+    use crate::traits::Scheduler;
+
+    /// Runs the production flit-clocked scheduler over the same schedule
+    /// and returns its trace.
+    fn production_trace(n: usize, packets: &[Packet]) -> Vec<VisitRecord> {
+        let mut s = ErrScheduler::new(n);
+        s.core_mut().set_trace(true);
+        let mut now = 0u64;
+        let mut next = 0usize;
+        loop {
+            while next < packets.len() && packets[next].arrival <= now {
+                s.enqueue(packets[next], now);
+                next += 1;
+            }
+            if s.service_flit(now).is_none() {
+                if next >= packets.len() {
+                    break;
+                }
+                now = now.max(packets[next].arrival);
+                continue;
+            }
+            now += 1;
+        }
+        s.core_mut().take_trace()
+    }
+
+    fn schedule(spec: &[(u64, FlowId, u32)]) -> Vec<Packet> {
+        spec.iter()
+            .enumerate()
+            .map(|(id, &(t, f, len))| Packet::new(id as u64, f, len, t))
+            .collect()
+    }
+
+    #[test]
+    fn matches_production_on_backlogged_flows() {
+        let pkts = schedule(&[
+            (0, 0, 32),
+            (0, 0, 8),
+            (0, 1, 24),
+            (0, 1, 16),
+            (0, 2, 12),
+            (0, 2, 20),
+        ]);
+        let oracle = ReferenceErr::new(3).run(&pkts);
+        let prod = production_trace(3, &pkts);
+        assert_eq!(oracle, prod);
+    }
+
+    #[test]
+    fn matches_production_with_idle_gaps() {
+        let pkts = schedule(&[
+            (0, 0, 5),
+            (3, 1, 2),
+            (50, 0, 7), // long idle gap
+            (52, 1, 1),
+            (52, 2, 9),
+        ]);
+        let oracle = ReferenceErr::new(3).run(&pkts);
+        let prod = production_trace(3, &pkts);
+        assert_eq!(oracle, prod);
+    }
+
+    #[test]
+    fn matches_production_with_mid_service_arrivals() {
+        // Arrivals landing while a flow is in service must extend its
+        // queue without duplicating it in the ActiveList in both
+        // implementations.
+        let pkts = schedule(&[
+            (0, 0, 10),
+            (2, 0, 3), // arrives while flow 0's first packet transmits
+            (4, 1, 4),
+            (5, 0, 2),
+        ]);
+        let oracle = ReferenceErr::new(2).run(&pkts);
+        let prod = production_trace(2, &pkts);
+        assert_eq!(oracle, prod);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::err::ErrScheduler;
+    use crate::traits::Scheduler;
+    use proptest::prelude::*;
+
+    fn production_trace(n: usize, packets: &[Packet]) -> Vec<VisitRecord> {
+        let mut s = ErrScheduler::new(n);
+        s.core_mut().set_trace(true);
+        let mut now = 0u64;
+        let mut next = 0usize;
+        loop {
+            while next < packets.len() && packets[next].arrival <= now {
+                s.enqueue(packets[next], now);
+                next += 1;
+            }
+            if s.service_flit(now).is_none() {
+                if next >= packets.len() {
+                    break;
+                }
+                now = now.max(packets[next].arrival);
+                continue;
+            }
+            now += 1;
+        }
+        s.core_mut().take_trace()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// The flit-clocked scheduler and the Figure 1 transcription
+        /// produce identical visit traces on arbitrary schedules.
+        #[test]
+        fn differential_against_pseudocode(
+            events in prop::collection::vec((0u64..400, 0usize..4, 1u32..24), 1..80)
+        ) {
+            let mut sorted = events.clone();
+            sorted.sort_by_key(|&(t, _, _)| t);
+            let packets: Vec<Packet> = sorted
+                .iter()
+                .enumerate()
+                .map(|(id, &(t, f, len))| Packet::new(id as u64, f, len, t))
+                .collect();
+            let oracle = ReferenceErr::new(4).run(&packets);
+            let prod = production_trace(4, &packets);
+            prop_assert_eq!(oracle, prod);
+        }
+    }
+}

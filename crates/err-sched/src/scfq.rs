@@ -1,0 +1,200 @@
+//! Self-Clocked Fair Queuing (Golestani, INFOCOM 1994) — the paper's
+//! reference \[9\], from which its relative fairness metric is taken.
+//!
+//! SCFQ avoids WFQ's expensive GPS virtual-time emulation by using the
+//! finish tag of the packet *currently in service* as the virtual time:
+//!
+//! ```text
+//! F = max(v_now, F_i) + len / w_i
+//! ```
+//!
+//! Packets are served in increasing `F`. Work per packet is O(log n)
+//! (sorted queue), and like WFQ/DRR the tag needs the packet length at
+//! arrival, so SCFQ is also inapplicable to wormhole scheduling — it is
+//! here as the fairness-metric reference and an extra Table 1 row.
+
+use desim::Cycle;
+
+use crate::packet::FlitStream;
+use crate::timestamp::TagHeap;
+use crate::traits::{Scheduler, ServedFlit};
+use crate::{FlowId, Packet};
+
+/// Self-clocked fair queuing scheduler.
+#[derive(Default)]
+pub struct ScfqScheduler {
+    heap: TagHeap,
+    /// Finish tag of the packet in (or last in) service — the "clock".
+    service_tag: f64,
+    last_finish: Vec<f64>,
+    weight: Vec<f64>,
+    backlog_flits: u64,
+    in_flight: Option<FlitStream>,
+}
+
+impl ScfqScheduler {
+    /// Creates an SCFQ scheduler with equal weights.
+    pub fn new(n_flows: usize) -> Self {
+        Self::with_weights(vec![1.0; n_flows])
+    }
+
+    /// Creates an SCFQ scheduler with the given positive weights.
+    pub fn with_weights(weights: Vec<f64>) -> Self {
+        assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
+        let n = weights.len();
+        Self {
+            heap: TagHeap::new(),
+            service_tag: 0.0,
+            last_finish: vec![0.0; n],
+            weight: weights,
+            backlog_flits: 0,
+            in_flight: None,
+        }
+    }
+
+    fn ensure(&mut self, flow: FlowId) {
+        if flow >= self.weight.len() {
+            self.weight.resize(flow + 1, 1.0);
+            self.last_finish.resize(flow + 1, 0.0);
+        }
+    }
+}
+
+impl Scheduler for ScfqScheduler {
+    fn enqueue(&mut self, pkt: Packet, _now: Cycle) {
+        self.ensure(pkt.flow);
+        if self.backlog_flits == 0 {
+            // Idle system: restart the clock so tags stay small.
+            self.service_tag = 0.0;
+            self.last_finish.iter_mut().for_each(|f| *f = 0.0);
+        }
+        self.backlog_flits += pkt.len as u64;
+        let start = self.service_tag.max(self.last_finish[pkt.flow]);
+        let finish = start + pkt.len as f64 / self.weight[pkt.flow];
+        self.last_finish[pkt.flow] = finish;
+        self.heap.push(finish, pkt);
+    }
+
+    fn service_flit(&mut self, _now: Cycle) -> Option<ServedFlit> {
+        if self.in_flight.is_none() {
+            let (tag, pkt) = self.heap.pop()?;
+            self.service_tag = tag;
+            self.in_flight = Some(FlitStream::new(pkt));
+        }
+        let stream = self.in_flight.as_mut().expect("just loaded");
+        let pkt = *stream.packet();
+        let (idx, done) = stream.emit();
+        self.backlog_flits -= 1;
+        if done {
+            self.in_flight = None;
+        }
+        Some(ServedFlit::of(&pkt, idx))
+    }
+
+    fn backlog_flits(&self) -> u64 {
+        self.backlog_flits
+    }
+
+    fn name(&self) -> &'static str {
+        "SCFQ"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(id: u64, flow: FlowId, len: u32) -> Packet {
+        Packet::new(id, flow, len, 0)
+    }
+
+    fn drain(s: &mut ScfqScheduler) -> Vec<ServedFlit> {
+        let mut out = Vec::new();
+        let mut now = 0;
+        while let Some(f) = s.service_flit(now) {
+            out.push(f);
+            now += 1;
+        }
+        out
+    }
+
+    #[test]
+    fn equal_backlogged_flows_share_equally() {
+        let mut s = ScfqScheduler::new(2);
+        for k in 0..40u64 {
+            s.enqueue(pkt(k, 0, 3), 0);
+            s.enqueue(pkt(100 + k, 1, 3), 0);
+        }
+        let flits = drain(&mut s);
+        let f0 = flits.iter().filter(|f| f.flow == 0).count();
+        assert_eq!(f0 as u64, 120);
+        // Interleaving: over any 60-flit window the split is near-even.
+        for chunk in flits.chunks(60) {
+            if chunk.len() < 60 {
+                break;
+            }
+            let c0 = chunk.iter().filter(|f| f.flow == 0).count() as i64;
+            assert!((c0 - 30).abs() <= 6, "window split {c0}/60");
+        }
+    }
+
+    #[test]
+    fn self_clock_prevents_late_flow_monopoly() {
+        // Flow 0 backlogged alone for a while builds a large clock; a
+        // newly active flow 1 must start from the current clock, not 0.
+        let mut s = ScfqScheduler::new(2);
+        for k in 0..20u64 {
+            s.enqueue(pkt(k, 0, 4), 0);
+        }
+        // Serve 40 flits of flow 0.
+        for now in 0..40u64 {
+            s.service_flit(now);
+        }
+        for k in 0..20u64 {
+            s.enqueue(pkt(100 + k, 1, 4), 40);
+        }
+        // From here both flows are backlogged: the next 40 flits should
+        // be shared roughly evenly, not monopolized by flow 1.
+        let mut f1 = 0;
+        for now in 40..80u64 {
+            if let Some(f) = s.service_flit(now) {
+                if f.flow == 1 {
+                    f1 += 1;
+                }
+            }
+        }
+        assert!((16..=24).contains(&f1), "flow 1 got {f1}/40");
+    }
+
+    #[test]
+    fn weighted_shares() {
+        let mut s = ScfqScheduler::with_weights(vec![2.0, 1.0]);
+        for k in 0..100u64 {
+            s.enqueue(pkt(k, 0, 3), 0);
+            s.enqueue(pkt(1000 + k, 1, 3), 0);
+        }
+        let mut f0 = 0u64;
+        for now in 0..300u64 {
+            if let Some(f) = s.service_flit(now) {
+                if f.flow == 0 {
+                    f0 += 1;
+                }
+            }
+        }
+        let ratio = f0 as f64 / (300.0 - f0 as f64);
+        assert!((1.6..2.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn conservation() {
+        let mut s = ScfqScheduler::new(3);
+        let mut total = 0u64;
+        for k in 0..21u64 {
+            let len = 1 + (k % 5) as u32;
+            total += len as u64;
+            s.enqueue(pkt(k, (k % 3) as usize, len), 0);
+        }
+        assert_eq!(drain(&mut s).len() as u64, total);
+        assert!(s.is_idle());
+    }
+}

@@ -1,0 +1,116 @@
+//! Shared machinery for timestamp-based disciplines (WFQ, SCFQ, Virtual
+//! Clock): a min-heap of packets keyed by finish tag.
+//!
+//! These disciplines tag each arriving packet with a (virtual) finish
+//! time and always serve the smallest tag. The heap is the source of
+//! their O(log n) per-packet work complexity — the row the paper's
+//! Table 1 contrasts with ERR's O(1).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::Packet;
+
+/// A packet tagged with its virtual finish time.
+struct Tagged {
+    finish: f64,
+    /// Insertion sequence; breaks tag ties FIFO for determinism.
+    seq: u64,
+    pkt: Packet,
+}
+
+impl PartialEq for Tagged {
+    fn eq(&self, other: &Self) -> bool {
+        self.finish == other.finish && self.seq == other.seq
+    }
+}
+impl Eq for Tagged {}
+impl PartialOrd for Tagged {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Tagged {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: smallest finish tag (then smallest seq) pops first.
+        other
+            .finish
+            .total_cmp(&self.finish)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Min-heap of packets ordered by finish tag (ties FIFO).
+#[derive(Default)]
+pub(crate) struct TagHeap {
+    heap: BinaryHeap<Tagged>,
+    next_seq: u64,
+}
+
+impl TagHeap {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn push(&mut self, finish: f64, pkt: Packet) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Tagged { finish, seq, pkt });
+    }
+
+    /// Pops the packet with the smallest finish tag, returning the tag too.
+    pub(crate) fn pop(&mut self) -> Option<(f64, Packet)> {
+        self.heap.pop().map(|t| (t.finish, t.pkt))
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(id: u64) -> Packet {
+        Packet::new(id, 0, 1, 0)
+    }
+
+    #[test]
+    fn pops_min_tag_first() {
+        let mut h = TagHeap::new();
+        h.push(3.5, pkt(0));
+        h.push(1.25, pkt(1));
+        h.push(2.0, pkt(2));
+        let order: Vec<u64> = std::iter::from_fn(|| h.pop()).map(|(_, p)| p.id).collect();
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn equal_tags_are_fifo() {
+        let mut h = TagHeap::new();
+        for id in 0..50 {
+            h.push(7.0, pkt(id));
+        }
+        for id in 0..50 {
+            assert_eq!(h.pop().unwrap().1.id, id);
+        }
+    }
+
+    #[test]
+    fn len_tracks() {
+        let mut h = TagHeap::new();
+        assert!(h.is_empty());
+        h.push(1.0, pkt(0));
+        h.push(2.0, pkt(1));
+        assert_eq!(h.len(), 2);
+        h.pop();
+        assert_eq!(h.len(), 1);
+    }
+}

@@ -1,0 +1,273 @@
+//! Property-based tests over the scheduling disciplines.
+//!
+//! These check the universal scheduler contract (conservation, FIFO,
+//! work-conservation, wormhole non-interleaving) on randomized workloads,
+//! plus the ERR-specific analytical results of the paper: Lemma 1,
+//! Corollary 1, and Theorem 2.
+
+use err_sched::err::{ErrScheduler, VisitRecord};
+use err_sched::{Discipline, Packet, Scheduler, ServedFlit};
+use proptest::prelude::*;
+
+/// A compact random workload description: (flow, len, gap-to-next-arrival).
+fn workload_strategy(
+    max_flows: usize,
+    max_len: u32,
+    max_pkts: usize,
+) -> impl Strategy<Value = Vec<(usize, u32, u64)>> {
+    prop::collection::vec(
+        (0..max_flows, 1..=max_len, 0u64..8),
+        1..max_pkts,
+    )
+}
+
+/// Runs `events` through the discipline, interleaving arrivals with
+/// service, and returns the full flit log.
+fn run(disc: &Discipline, events: &[(usize, u32, u64)], n_flows: usize) -> Vec<(u64, ServedFlit)> {
+    let mut s = disc.build(n_flows);
+    let mut log = Vec::new();
+    let mut now = 0u64;
+    let mut id = 0u64;
+    for &(flow, len, gap) in events {
+        now += gap;
+        s.enqueue(Packet::new(id, flow, len, now), now);
+        id += 1;
+        // Serve `gap` cycles worth of flits opportunistically between
+        // arrivals (one flit per cycle, matching the paper's model).
+        for _ in 0..gap {
+            if let Some(f) = s.service_flit(now) {
+                log.push((now, f));
+            }
+        }
+    }
+    // Drain.
+    while let Some(f) = s.service_flit(now) {
+        log.push((now, f));
+        now += 1;
+    }
+    assert!(s.is_idle());
+    log
+}
+
+fn all_disciplines() -> Vec<Discipline> {
+    vec![
+        Discipline::Err,
+        Discipline::Drr { quantum: 32 },
+        Discipline::Fbrr,
+        Discipline::Pbrr,
+        Discipline::Fcfs,
+        Discipline::Wfq,
+        Discipline::Scfq,
+        Discipline::VirtualClock,
+        Discipline::Gps,
+        Discipline::Werr {
+            weights: vec![1, 2, 3, 1],
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every discipline serves every flit of every packet exactly once.
+    #[test]
+    fn conservation_all_disciplines(events in workload_strategy(4, 16, 60)) {
+        let total: u64 = events.iter().map(|&(_, len, _)| len as u64).sum();
+        for d in all_disciplines() {
+            let log = run(&d, &events, 4);
+            prop_assert_eq!(log.len() as u64, total, "{} lost/duplicated flits", d.label());
+            // Each (packet, flit_index) appears exactly once.
+            let mut seen: Vec<(u64, u32)> = log.iter().map(|(_, f)| (f.packet, f.flit_index)).collect();
+            let n = seen.len();
+            seen.sort_unstable();
+            seen.dedup();
+            prop_assert_eq!(seen.len(), n, "{} duplicated a flit", d.label());
+        }
+    }
+
+    /// Per-flow packets depart in FIFO order under every discipline.
+    #[test]
+    fn per_flow_fifo_all_disciplines(events in workload_strategy(3, 12, 50)) {
+        for d in all_disciplines() {
+            let log = run(&d, &events, 3);
+            for flow in 0..3usize {
+                let tails: Vec<u64> = log
+                    .iter()
+                    .filter(|(_, f)| f.flow == flow && f.is_tail())
+                    .map(|(_, f)| f.packet)
+                    .collect();
+                let mut sorted = tails.clone();
+                sorted.sort_unstable();
+                prop_assert_eq!(&tails, &sorted, "{} violated FIFO for flow {}", d.label(), flow);
+            }
+        }
+    }
+
+    /// Packet-granular disciplines never interleave flits of different
+    /// packets (the wormhole output-queue constraint).
+    #[test]
+    fn wormhole_constraint_packet_disciplines(events in workload_strategy(4, 10, 50)) {
+        let packet_granular = [
+            Discipline::Err,
+            Discipline::Drr { quantum: 32 },
+            Discipline::Pbrr,
+            Discipline::Fcfs,
+            Discipline::Wfq,
+            Discipline::Scfq,
+            Discipline::VirtualClock,
+        ];
+        for d in packet_granular {
+            let log = run(&d, &events, 4);
+            let mut open: Option<(u64, u32)> = None;
+            for (_, f) in &log {
+                match open {
+                    None => {
+                        prop_assert!(f.is_head(), "{}: packet did not start with head", d.label());
+                        if !f.is_tail() {
+                            open = Some((f.packet, f.flit_index));
+                        }
+                    }
+                    Some((pid, idx)) => {
+                        prop_assert_eq!(f.packet, pid, "{} interleaved packets", d.label());
+                        prop_assert_eq!(f.flit_index, idx + 1);
+                        open = if f.is_tail() { None } else { Some((pid, f.flit_index)) };
+                    }
+                }
+            }
+            prop_assert!(open.is_none());
+        }
+    }
+
+    /// ERR is deterministic: identical inputs give identical flit logs.
+    #[test]
+    fn err_is_deterministic(events in workload_strategy(4, 16, 40)) {
+        let a = run(&Discipline::Err, &events, 4);
+        let b = run(&Discipline::Err, &events, 4);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Lemma 1 / Corollary 1: surpluses stay within [0, m-1] throughout.
+    #[test]
+    fn err_lemma1_surplus_bounds(events in workload_strategy(5, 24, 80)) {
+        let mut s = ErrScheduler::new(5);
+        s.core_mut().set_trace(true);
+        let mut now = 0u64;
+        let mut id = 0u64;
+        for &(flow, len, gap) in &events {
+            now += gap;
+            s.enqueue(Packet::new(id, flow, len, now), now);
+            id += 1;
+            for _ in 0..gap {
+                s.service_flit(now);
+            }
+        }
+        while s.service_flit(now).is_some() {
+            now += 1;
+        }
+        let m = s.core().largest_served();
+        prop_assert!(m >= 1);
+        for r in s.core_mut().take_trace() {
+            prop_assert!(r.surplus < m, "surplus {} > m-1 {}", r.surplus, m - 1);
+        }
+    }
+
+    /// Theorem 2: over any n consecutive rounds in which flow i is
+    /// continuously active, the flits it sends satisfy
+    /// n + Σ MaxSC(r) - (m-1) <= N <= n + Σ MaxSC(r) + (m-1),
+    /// with the sum over rounds k-1 .. k+n-2.
+    #[test]
+    fn err_theorem2_service_bounds(seed_events in workload_strategy(3, 16, 120)) {
+        let mut s = ErrScheduler::new(3);
+        s.core_mut().set_trace(true);
+        let mut id = 0u64;
+        // All packets at time zero: maximizes continuously-active spans.
+        for &(flow, len, _) in &seed_events {
+            s.enqueue(Packet::new(id, flow, len, 0), 0);
+            id += 1;
+        }
+        let mut now = 0u64;
+        while s.service_flit(now).is_some() {
+            now += 1;
+        }
+        let trace = s.core_mut().take_trace();
+        let m = s.core().largest_served() as i64;
+        prop_assume!(m >= 1);
+        let last_round = trace.iter().map(|r| r.round).max().unwrap_or(0);
+        // MaxSC per round (0 for rounds with no recorded surplus; round 0
+        // is the paper's "before execution", MaxSC = 0).
+        let mut max_sc = vec![0i64; (last_round + 2) as usize];
+        for r in &trace {
+            max_sc[r.round as usize] = max_sc[r.round as usize].max(r.surplus as i64);
+        }
+        for flow in 0..3usize {
+            let visits: Vec<&VisitRecord> =
+                trace.iter().filter(|r| r.flow == flow).collect();
+            // Find maximal spans of consecutive rounds where the flow
+            // stayed continuously active (Theorem 2's premise). A visit
+            // in which the queue emptied is excluded: the flow may then
+            // undershoot its allowance, and the theorem does not cover it.
+            let mut span: Vec<&VisitRecord> = Vec::new();
+            let mut spans: Vec<Vec<&VisitRecord>> = Vec::new();
+            for v in visits {
+                if v.went_inactive {
+                    if !span.is_empty() {
+                        spans.push(std::mem::take(&mut span));
+                    }
+                    continue;
+                }
+                match span.last() {
+                    Some(prev) if prev.round + 1 == v.round => span.push(v),
+                    Some(_) => {
+                        spans.push(std::mem::take(&mut span));
+                        span.push(v);
+                    }
+                    None => span.push(v),
+                }
+            }
+            if !span.is_empty() {
+                spans.push(span);
+            }
+            for sp in spans {
+                let k = sp[0].round as i64;
+                let n = sp.len() as i64;
+                let sent: i64 = sp.iter().map(|r| r.sent as i64).sum();
+                let sum_max: i64 = ((k - 1)..(k + n - 1))
+                    .map(|r| max_sc[r as usize])
+                    .sum();
+                let lo = n + sum_max - (m - 1);
+                let hi = n + sum_max + (m - 1);
+                prop_assert!(
+                    sent >= lo && sent <= hi,
+                    "flow {flow} rounds {k}..{} sent {sent} outside [{lo},{hi}]",
+                    k + n - 1
+                );
+            }
+        }
+    }
+
+    /// Work conservation: while flits are backlogged the scheduler always
+    /// serves.
+    #[test]
+    fn work_conserving_all_disciplines(events in workload_strategy(4, 8, 40)) {
+        for d in all_disciplines() {
+            let mut s = d.build(4);
+            let mut now = 0u64;
+            let mut id = 0u64;
+            for &(flow, len, gap) in &events {
+                now += gap;
+                s.enqueue(Packet::new(id, flow, len, now), now);
+                id += 1;
+                if !s.is_idle() {
+                    prop_assert!(
+                        s.service_flit(now).is_some(),
+                        "{} idled with backlog", d.label()
+                    );
+                }
+            }
+            while !s.is_idle() {
+                prop_assert!(s.service_flit(now).is_some(), "{} stalled", d.label());
+                now += 1;
+            }
+        }
+    }
+}

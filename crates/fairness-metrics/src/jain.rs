@@ -1,0 +1,59 @@
+//! Jain's fairness index — a secondary, paper-external cross-check.
+//!
+//! `J(x) = (Σx)² / (n · Σx²)` ranges from `1/n` (one flow takes all) to
+//! `1` (perfect equality). The paper reports raw per-flow throughputs
+//! (Figure 4); our experiment tables add this single-number summary
+//! because it makes the ERR-vs-PBRR/FCFS gap legible at a glance.
+
+/// Computes Jain's fairness index over per-flow allocations.
+///
+/// Returns 1.0 for an empty or all-zero allocation (vacuously fair).
+pub fn jain_index(alloc: &[u64]) -> f64 {
+    if alloc.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = alloc.iter().map(|&x| x as f64).sum();
+    if sum == 0.0 {
+        return 1.0;
+    }
+    let sum_sq: f64 = alloc.iter().map(|&x| (x as f64) * (x as f64)).sum();
+    (sum * sum) / (alloc.len() as f64 * sum_sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_equality_is_one() {
+        assert!((jain_index(&[5, 5, 5, 5]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monopolist_is_one_over_n() {
+        let j = jain_index(&[100, 0, 0, 0]);
+        assert!((j - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordering_reflects_fairness() {
+        let fair = jain_index(&[10, 10, 10]);
+        let skew = jain_index(&[20, 5, 5]);
+        let worse = jain_index(&[28, 1, 1]);
+        assert!(fair > skew && skew > worse);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0, 0]), 1.0);
+        assert!((jain_index(&[7]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_invariant() {
+        let a = jain_index(&[1, 2, 3]);
+        let b = jain_index(&[100, 200, 300]);
+        assert!((a - b).abs() < 1e-12);
+    }
+}

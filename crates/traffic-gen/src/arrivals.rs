@@ -1,0 +1,237 @@
+//! Packet arrival processes in discrete (cycle) time.
+
+use desim::{Cycle, SimRng};
+use serde::{Deserialize, Serialize};
+
+/// An arrival process: when do packets arrive?
+///
+/// All processes are parameterized in *packets per cycle* so that offered
+/// load is easy to express relative to the link capacity of 1 flit per
+/// cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Bernoulli/geometric process: each cycle a packet arrives with
+    /// probability `rate` (the discrete-time Poisson analogue the paper's
+    /// "arrival rate in terms of packets per second" maps to).
+    Bernoulli {
+        /// Packets per cycle, in `(0, 1]`.
+        rate: f64,
+    },
+    /// Constant bit rate: one packet every `period` cycles, starting at
+    /// `phase`.
+    Cbr {
+        /// Inter-arrival gap in cycles (≥ 1).
+        period: u64,
+        /// Offset of the first arrival.
+        phase: u64,
+    },
+    /// Markov-modulated on/off burst source: while ON, packets arrive
+    /// per-cycle with probability `rate_on`; each cycle the source
+    /// toggles OFF→ON with probability `p_on` and ON→OFF with `p_off`.
+    /// Models the bursty sources FCFS fails to contain (paper §2).
+    OnOff {
+        /// Arrival probability per cycle while ON.
+        rate_on: f64,
+        /// OFF→ON transition probability per cycle.
+        p_on: f64,
+        /// ON→OFF transition probability per cycle.
+        p_off: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Long-run average arrival rate in packets per cycle.
+    pub fn mean_rate(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Bernoulli { rate } => rate,
+            ArrivalProcess::Cbr { period, .. } => 1.0 / period as f64,
+            ArrivalProcess::OnOff {
+                rate_on,
+                p_on,
+                p_off,
+            } => {
+                // Stationary P(ON) = p_on / (p_on + p_off).
+                rate_on * p_on / (p_on + p_off)
+            }
+        }
+    }
+
+    /// Creates the generator state for this process.
+    pub fn start(&self, rng: &mut SimRng) -> ArrivalGen {
+        let state = match *self {
+            ArrivalProcess::Bernoulli { rate } => {
+                assert!(rate > 0.0 && rate <= 1.0, "rate must be in (0,1]");
+                GenState::Bernoulli {
+                    next: rng.geometric_gap(rate) - 1,
+                    rate,
+                }
+            }
+            ArrivalProcess::Cbr { period, phase } => {
+                assert!(period >= 1, "period must be >= 1");
+                GenState::Cbr {
+                    next: phase,
+                    period,
+                }
+            }
+            ArrivalProcess::OnOff {
+                rate_on,
+                p_on,
+                p_off,
+            } => {
+                assert!(rate_on > 0.0 && rate_on <= 1.0);
+                assert!(p_on > 0.0 && p_on <= 1.0);
+                assert!(p_off > 0.0 && p_off <= 1.0);
+                GenState::OnOff {
+                    on: rng.bernoulli(p_on / (p_on + p_off)),
+                    cursor: 0,
+                    rate_on,
+                    p_on,
+                    p_off,
+                }
+            }
+        };
+        ArrivalGen { state }
+    }
+}
+
+enum GenState {
+    Bernoulli { next: Cycle, rate: f64 },
+    Cbr { next: Cycle, period: u64 },
+    OnOff {
+        on: bool,
+        cursor: Cycle,
+        rate_on: f64,
+        p_on: f64,
+        p_off: f64,
+    },
+}
+
+/// Stateful arrival generator yielding a non-decreasing sequence of
+/// arrival cycles.
+pub struct ArrivalGen {
+    state: GenState,
+}
+
+impl ArrivalGen {
+    /// Returns the next arrival time (non-decreasing across calls; at
+    /// most one arrival per flow per cycle).
+    pub fn next_arrival(&mut self, rng: &mut SimRng) -> Cycle {
+        match &mut self.state {
+            GenState::Bernoulli { next, rate } => {
+                let t = *next;
+                *next += rng.geometric_gap(*rate);
+                t
+            }
+            GenState::Cbr { next, period } => {
+                let t = *next;
+                *next += *period;
+                t
+            }
+            GenState::OnOff {
+                on,
+                cursor,
+                rate_on,
+                p_on,
+                p_off,
+            } => {
+                // Walk cycle by cycle until an arrival fires. The chain
+                // mixes quickly for the parameters used here.
+                loop {
+                    if *on {
+                        if rng.bernoulli(*p_off) {
+                            *on = false;
+                        }
+                    } else if rng.bernoulli(*p_on) {
+                        *on = true;
+                    }
+                    let t = *cursor;
+                    *cursor += 1;
+                    if *on && rng.bernoulli(*rate_on) {
+                        return t;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bernoulli_rate_converges() {
+        let mut rng = SimRng::new(7);
+        let p = ArrivalProcess::Bernoulli { rate: 0.05 };
+        let mut g = p.start(&mut rng);
+        let n = 50_000;
+        let mut last = 0;
+        for _ in 0..n {
+            last = g.next_arrival(&mut rng);
+        }
+        let rate = n as f64 / last as f64;
+        assert!((rate - 0.05).abs() < 0.003, "empirical rate {rate}");
+        assert_eq!(p.mean_rate(), 0.05);
+    }
+
+    #[test]
+    fn bernoulli_times_strictly_increase() {
+        let mut rng = SimRng::new(8);
+        let mut g = ArrivalProcess::Bernoulli { rate: 0.9 }.start(&mut rng);
+        let mut prev = g.next_arrival(&mut rng);
+        for _ in 0..1000 {
+            let t = g.next_arrival(&mut rng);
+            assert!(t > prev, "{t} !> {prev}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn cbr_is_periodic() {
+        let mut rng = SimRng::new(9);
+        let mut g = ArrivalProcess::Cbr { period: 10, phase: 3 }.start(&mut rng);
+        let times: Vec<_> = (0..5).map(|_| g.next_arrival(&mut rng)).collect();
+        assert_eq!(times, vec![3, 13, 23, 33, 43]);
+        assert_eq!(ArrivalProcess::Cbr { period: 10, phase: 3 }.mean_rate(), 0.1);
+    }
+
+    #[test]
+    fn onoff_mean_rate() {
+        let mut rng = SimRng::new(10);
+        let p = ArrivalProcess::OnOff {
+            rate_on: 0.5,
+            p_on: 0.01,
+            p_off: 0.03,
+        };
+        let mut g = p.start(&mut rng);
+        let n = 50_000;
+        let mut last = 0;
+        for _ in 0..n {
+            last = g.next_arrival(&mut rng);
+        }
+        let rate = n as f64 / last as f64;
+        let expect = p.mean_rate(); // 0.5 * 0.25 = 0.125
+        assert!((rate - expect).abs() < 0.02, "rate {rate} vs {expect}");
+    }
+
+    #[test]
+    fn onoff_is_bursty() {
+        // Burstiness check: inter-arrival variance well above geometric.
+        let mut rng = SimRng::new(11);
+        let p = ArrivalProcess::OnOff {
+            rate_on: 0.8,
+            p_on: 0.005,
+            p_off: 0.05,
+        };
+        let mut g = p.start(&mut rng);
+        let mut prev = g.next_arrival(&mut rng);
+        let mut stats = desim::OnlineStats::new();
+        for _ in 0..20_000 {
+            let t = g.next_arrival(&mut rng);
+            stats.push((t - prev) as f64);
+            prev = t;
+        }
+        let cv2 = stats.variance() / (stats.mean() * stats.mean());
+        assert!(cv2 > 2.0, "squared coefficient of variation {cv2} not bursty");
+    }
+}

@@ -1,0 +1,261 @@
+//! Packet-length distributions.
+
+use desim::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// A distribution over packet lengths in flits.
+///
+/// The paper uses [`LenDist::Uniform`] for Figures 4–5 and
+/// [`LenDist::TruncExp`] (λ = 0.2 on `[1, 64]`) for Figure 6, where the
+/// rarity of near-`Max` packets is exactly what separates ERR's `3m`
+/// bound from DRR's `Max + 2m`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum LenDist {
+    /// Every packet has the same length.
+    Constant(u32),
+    /// Uniform on `[lo, hi]`, inclusive.
+    Uniform {
+        /// Smallest length.
+        lo: u32,
+        /// Largest length.
+        hi: u32,
+    },
+    /// Truncated, discretized exponential: `lo + floor(Exp(lambda))`,
+    /// resampled while above `hi`.
+    TruncExp {
+        /// Rate parameter (mean `1/lambda` above `lo` before truncation).
+        lambda: f64,
+        /// Smallest length.
+        lo: u32,
+        /// Largest length.
+        hi: u32,
+    },
+    /// Two-point mixture: `short` with probability `1 - p_long`, else
+    /// `long` (models control/data packet mixes in interconnects).
+    Bimodal {
+        /// Short packet length.
+        short: u32,
+        /// Long packet length.
+        long: u32,
+        /// Probability of a long packet.
+        p_long: f64,
+    },
+    /// Bounded Pareto: heavy-tailed lengths on `[lo, hi]` with shape
+    /// `alpha` (smaller `alpha` → heavier tail). An even harsher version
+    /// of Figure 6's "large packets are rare" regime, used by the
+    /// extension experiments.
+    BoundedPareto {
+        /// Tail index (> 0); 1.1–2.5 are typical heavy-tail settings.
+        alpha: f64,
+        /// Smallest length.
+        lo: u32,
+        /// Largest length.
+        hi: u32,
+    },
+}
+
+impl LenDist {
+    /// Draws one packet length.
+    pub fn sample(&self, rng: &mut SimRng) -> u32 {
+        match *self {
+            LenDist::Constant(len) => len,
+            LenDist::Uniform { lo, hi } => rng.uniform_u32(lo, hi),
+            LenDist::TruncExp { lambda, lo, hi } => rng.truncated_exp_u32(lambda, lo, hi),
+            LenDist::Bimodal {
+                short,
+                long,
+                p_long,
+            } => {
+                if rng.bernoulli(p_long) {
+                    long
+                } else {
+                    short
+                }
+            }
+            LenDist::BoundedPareto { alpha, lo, hi } => {
+                // Inverse-CDF of the bounded Pareto on [lo, hi + 1).
+                let (l, h) = (lo as f64, hi as f64 + 1.0);
+                let u = rng.uniform_f64();
+                let la = l.powf(alpha);
+                let ha = h.powf(alpha);
+                let x = (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / alpha);
+                (x.floor() as u32).clamp(lo, hi)
+            }
+        }
+    }
+
+    /// The largest length this distribution can produce — the paper's
+    /// `Max` (Definition 3), which DRR's quantum must match.
+    pub fn max_len(&self) -> u32 {
+        match *self {
+            LenDist::Constant(len) => len,
+            LenDist::Uniform { hi, .. } => hi,
+            LenDist::TruncExp { hi, .. } => hi,
+            LenDist::Bimodal { short, long, .. } => short.max(long),
+            LenDist::BoundedPareto { hi, .. } => hi,
+        }
+    }
+
+    /// Expected length in flits.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            LenDist::Constant(len) => len as f64,
+            LenDist::Uniform { lo, hi } => (lo as f64 + hi as f64) / 2.0,
+            LenDist::TruncExp { lambda, lo, hi } => {
+                // Mean of the discretized, truncated exponential computed
+                // by direct summation (the support is small).
+                let mut num = 0.0;
+                let mut den = 0.0;
+                for v in lo..=hi {
+                    // P(floor(lo + Exp) = v) before renormalization.
+                    let a = (v - lo) as f64;
+                    let p = (-lambda * a).exp() - (-lambda * (a + 1.0)).exp();
+                    num += v as f64 * p;
+                    den += p;
+                }
+                num / den
+            }
+            LenDist::Bimodal {
+                short,
+                long,
+                p_long,
+            } => short as f64 * (1.0 - p_long) + long as f64 * p_long,
+            LenDist::BoundedPareto { alpha, lo, hi } => {
+                // Mean of the discretized bounded Pareto by summation
+                // (small support, exactness beats a closed form with
+                // discretization error).
+                let (l, h) = (lo as f64, hi as f64 + 1.0);
+                let la = l.powf(alpha);
+                let ha = h.powf(alpha);
+                let cdf = |x: f64| -> f64 {
+                    if x <= l {
+                        0.0
+                    } else if x >= h {
+                        1.0
+                    } else {
+                        (1.0 - la * x.powf(-alpha)) / (1.0 - la / ha)
+                    }
+                };
+                let mut mean = 0.0;
+                for v in lo..=hi {
+                    let p = cdf(v as f64 + 1.0) - cdf(v as f64);
+                    mean += v as f64 * p;
+                }
+                mean
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let mut rng = SimRng::new(1);
+        let d = LenDist::Constant(9);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), 9);
+        }
+        assert_eq!(d.max_len(), 9);
+        assert_eq!(d.mean(), 9.0);
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let mut rng = SimRng::new(2);
+        let d = LenDist::Uniform { lo: 1, hi: 64 };
+        let n = 100_000;
+        let mut sum = 0u64;
+        for _ in 0..n {
+            let v = d.sample(&mut rng);
+            assert!((1..=64).contains(&v));
+            sum += v as u64;
+        }
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 32.5).abs() < 0.3, "mean {mean}");
+        assert_eq!(d.mean(), 32.5);
+        assert_eq!(d.max_len(), 64);
+    }
+
+    #[test]
+    fn trunc_exp_matches_paper_fig6_params() {
+        let mut rng = SimRng::new(3);
+        let d = LenDist::TruncExp {
+            lambda: 0.2,
+            lo: 1,
+            hi: 64,
+        };
+        let n = 100_000;
+        let mut sum = 0u64;
+        let mut long = 0u64;
+        for _ in 0..n {
+            let v = d.sample(&mut rng);
+            assert!((1..=64).contains(&v));
+            sum += v as u64;
+            if v > 32 {
+                long += 1;
+            }
+        }
+        let emp_mean = sum as f64 / n as f64;
+        assert!((emp_mean - d.mean()).abs() < 0.1, "{emp_mean} vs {}", d.mean());
+        // The point of Figure 6's distribution: large packets are rare.
+        let frac_long = long as f64 / n as f64;
+        assert!(frac_long < 0.01, "P(len > 32) = {frac_long}");
+        assert_eq!(d.max_len(), 64);
+    }
+
+    #[test]
+    fn bounded_pareto_bounds_mean_and_tail() {
+        let mut rng = SimRng::new(5);
+        let d = LenDist::BoundedPareto {
+            alpha: 1.2,
+            lo: 1,
+            hi: 128,
+        };
+        let n = 200_000;
+        let mut sum = 0u64;
+        let mut small = 0u64;
+        let mut big = 0u64;
+        for _ in 0..n {
+            let v = d.sample(&mut rng);
+            assert!((1..=128).contains(&v));
+            sum += v as u64;
+            if v <= 2 {
+                small += 1;
+            }
+            if v >= 64 {
+                big += 1;
+            }
+        }
+        let emp = sum as f64 / n as f64;
+        assert!(
+            (emp - d.mean()).abs() < 0.15,
+            "empirical {emp} vs analytic {}",
+            d.mean()
+        );
+        // Heavy tail: most mass at the bottom, but the top decile of the
+        // range still occurs.
+        assert!(small as f64 / n as f64 > 0.5, "body too light");
+        assert!(big > 0, "tail never sampled");
+        assert!((big as f64 / n as f64) < 0.05, "tail too heavy");
+        assert_eq!(d.max_len(), 128);
+    }
+
+    #[test]
+    fn bimodal_mix() {
+        let mut rng = SimRng::new(4);
+        let d = LenDist::Bimodal {
+            short: 2,
+            long: 32,
+            p_long: 0.25,
+        };
+        let n = 50_000;
+        let longs = (0..n).filter(|_| d.sample(&mut rng) == 32).count();
+        let f = longs as f64 / n as f64;
+        assert!((f - 0.25).abs() < 0.02, "long fraction {f}");
+        assert_eq!(d.max_len(), 32);
+        assert!((d.mean() - 9.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! `traffic-gen` — workload generation for the ERR reproduction.
+//!
+//! The paper's simulation study (§5) uses three workload families, all of
+//! which this crate can produce:
+//!
+//! * **Figure 4** (throughput fairness): 8 continuously backlogged flows;
+//!   flow 3 arrives at twice the packet rate of the others; packet
+//!   lengths are uniform on `[1, 64]` flits except flow 2's, which are
+//!   uniform on `[1, 128]`.
+//! * **Figure 5** (delay under transient congestion): 4 flows with the
+//!   same rate/length mix, overloading the link for 10 000 cycles at a
+//!   configurable intensity, after which injection stops and the queues
+//!   drain.
+//! * **Figure 6** (average relative fairness): 2–10 flows whose packet
+//!   lengths are truncated-exponential (λ = 0.2) on `[1, 64]`.
+//!
+//! Building blocks: [`LenDist`] (packet-length distributions),
+//! [`ArrivalProcess`] (arrival processes), [`FlowSpec`] (one flow's
+//! traffic description), and [`Workload`] (a deterministic, seeded,
+//! streaming packet source over all flows). [`trace`] provides
+//! record/replay so a workload can be captured once and re-fed to many
+//! disciplines byte-for-byte identically.
+
+pub mod arrivals;
+pub mod dist;
+pub mod flows;
+pub mod patterns;
+pub mod trace;
+pub mod workload;
+
+pub use arrivals::ArrivalProcess;
+pub use dist::LenDist;
+pub use flows::FlowSpec;
+pub use patterns::TrafficPattern;
+pub use trace::PacketTrace;
+pub use workload::Workload;

@@ -1,0 +1,168 @@
+//! Synthetic network traffic patterns.
+//!
+//! The interconnection-network literature the paper sits in (Dally &
+//! Seitz, Duato et al. — the paper's references \[5\] and \[8\])
+//! evaluates networks under a standard set of spatial patterns, each
+//! stressing a different aspect of a topology:
+//!
+//! * **Uniform** — every destination equally likely; the baseline.
+//! * **Transpose** — `(x, y) → (y, x)`; adversarial for dimension-order
+//!   routing (all traffic turns at the diagonal).
+//! * **Bit-complement** — node `i → N-1-i`; maximal average distance.
+//! * **Tornado** — each node sends halfway around its row; worst case
+//!   for rings/tori (every packet travels the maximum ring distance and
+//!   in the same direction).
+//! * **Hotspot** — a fraction of traffic converges on one node, the
+//!   congestion scenario of the paper's fairness motivation.
+//! * **Neighbor** — nearest-neighbor (stencil-exchange) communication.
+
+use desim::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// A spatial traffic pattern over a `cols × rows` node grid.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum TrafficPattern {
+    /// Uniformly random destination (excluding self).
+    Uniform,
+    /// `(x, y) → (y, x)`. Requires `cols == rows`.
+    Transpose,
+    /// `i → n_nodes - 1 - i`.
+    BitComplement,
+    /// `(x, y) → ((x + cols/2) mod cols, y)`.
+    Tornado,
+    /// With probability `fraction`, send to `node`; otherwise uniform.
+    Hotspot {
+        /// The hot node.
+        node: usize,
+        /// Fraction of traffic aimed at it.
+        fraction: f64,
+    },
+    /// `(x, y) → ((x + 1) mod cols, y)`.
+    Neighbor,
+}
+
+impl TrafficPattern {
+    /// Picks the destination for a packet from `src` on a `cols × rows`
+    /// grid. Deterministic patterns ignore `rng`. May return `src` only
+    /// for degenerate deterministic cases (e.g. transpose of a diagonal
+    /// node); callers typically skip those packets.
+    pub fn dest(&self, src: usize, cols: usize, rows: usize, rng: &mut SimRng) -> usize {
+        let n = cols * rows;
+        debug_assert!(src < n);
+        let (x, y) = (src % cols, src / cols);
+        match *self {
+            TrafficPattern::Uniform => {
+                if n == 1 {
+                    return src;
+                }
+                // Uniform over the other n-1 nodes.
+                let mut d = rng.index(n - 1);
+                if d >= src {
+                    d += 1;
+                }
+                d
+            }
+            TrafficPattern::Transpose => {
+                debug_assert_eq!(cols, rows, "transpose needs a square grid");
+                x * cols + y
+            }
+            TrafficPattern::BitComplement => n - 1 - src,
+            TrafficPattern::Tornado => y * cols + (x + cols / 2) % cols,
+            TrafficPattern::Hotspot { node, fraction } => {
+                if rng.bernoulli(fraction) && node != src {
+                    node
+                } else {
+                    TrafficPattern::Uniform.dest(src, cols, rows, rng)
+                }
+            }
+            TrafficPattern::Neighbor => y * cols + (x + 1) % cols,
+        }
+    }
+
+    /// Short label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TrafficPattern::Uniform => "uniform",
+            TrafficPattern::Transpose => "transpose",
+            TrafficPattern::BitComplement => "bit-complement",
+            TrafficPattern::Tornado => "tornado",
+            TrafficPattern::Hotspot { .. } => "hotspot",
+            TrafficPattern::Neighbor => "neighbor",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_never_self_and_covers_grid() {
+        let mut rng = SimRng::new(1);
+        let mut seen = vec![false; 16];
+        for _ in 0..2000 {
+            let d = TrafficPattern::Uniform.dest(5, 4, 4, &mut rng);
+            assert_ne!(d, 5);
+            assert!(d < 16);
+            seen[d] = true;
+        }
+        let covered = seen.iter().filter(|&&b| b).count();
+        assert_eq!(covered, 15, "all non-self nodes reachable");
+    }
+
+    #[test]
+    fn transpose_is_an_involution() {
+        let mut rng = SimRng::new(2);
+        for src in 0..25usize {
+            let d = TrafficPattern::Transpose.dest(src, 5, 5, &mut rng);
+            let back = TrafficPattern::Transpose.dest(d, 5, 5, &mut rng);
+            assert_eq!(back, src);
+        }
+    }
+
+    #[test]
+    fn bit_complement_is_a_permutation_of_max_distance() {
+        let mut rng = SimRng::new(3);
+        let mut dests: Vec<usize> = (0..12)
+            .map(|s| TrafficPattern::BitComplement.dest(s, 4, 3, &mut rng))
+            .collect();
+        dests.sort_unstable();
+        assert_eq!(dests, (0..12).collect::<Vec<_>>());
+        // (0,0) -> (3,2): the far corner.
+        assert_eq!(TrafficPattern::BitComplement.dest(0, 4, 3, &mut rng), 11);
+    }
+
+    #[test]
+    fn tornado_goes_halfway_around_the_row() {
+        let mut rng = SimRng::new(4);
+        // 6-wide: (1, y) -> (4, y).
+        assert_eq!(TrafficPattern::Tornado.dest(7, 6, 2, &mut rng), 10);
+        // Stays in the row.
+        for src in 0..12usize {
+            let d = TrafficPattern::Tornado.dest(src, 6, 2, &mut rng);
+            assert_eq!(d / 6, src / 6);
+        }
+    }
+
+    #[test]
+    fn hotspot_concentration() {
+        let mut rng = SimRng::new(5);
+        let p = TrafficPattern::Hotspot {
+            node: 3,
+            fraction: 0.5,
+        };
+        let hits = (0..4000)
+            .filter(|_| p.dest(9, 4, 4, &mut rng) == 3)
+            .count();
+        let f = hits as f64 / 4000.0;
+        // 0.5 directed plus a sliver of uniform traffic landing there.
+        assert!((0.45..0.60).contains(&f), "hotspot fraction {f}");
+    }
+
+    #[test]
+    fn neighbor_wraps_row() {
+        let mut rng = SimRng::new(6);
+        assert_eq!(TrafficPattern::Neighbor.dest(3, 4, 2, &mut rng), 0);
+        assert_eq!(TrafficPattern::Neighbor.dest(4, 4, 2, &mut rng), 5);
+    }
+}

@@ -1,0 +1,320 @@
+//! Output-port arbiters: who gets the output queue next?
+//!
+//! In a wormhole switch, "in scheduling entry into the output queues from
+//! the various input queues, all flits of a packet have to be scheduled
+//! before a flit from another packet enters the same output queue"
+//! (paper §1). The arbiter therefore grants an output to one input queue
+//! at a time, holds the grant until the packet's tail passes, and is
+//! charged **per cycle the output is held** — including cycles in which
+//! the packet is stalled by downstream congestion. That occupancy time is
+//! the quantity the paper says fairness must be measured over, and it is
+//! unknown at grant time, which is why only ERR (not DRR) can implement
+//! fairness here.
+
+use std::collections::VecDeque;
+
+use err_sched::err::{ErrCore, VisitOutcome};
+use err_sched::ActiveList;
+use serde::{Deserialize, Serialize};
+
+/// A per-output arbiter over requesting input queues.
+///
+/// Protocol, driven by the switch each cycle:
+///
+/// 1. [`flow_activated(q)`](OutputArbiter::flow_activated) when input
+///    queue `q` newly has a head flit routed to this output.
+/// 2. [`grant()`](OutputArbiter::grant) when the output is free; returns
+///    the queue to lock it to.
+/// 3. [`charge()`](OutputArbiter::charge) once per cycle the output stays
+///    locked (transferring *or stalled*).
+/// 4. [`packet_done(still_requesting)`](OutputArbiter::packet_done) when
+///    the tail flit leaves; `still_requesting` says whether the same
+///    queue's next packet is already waiting for this output.
+pub trait OutputArbiter {
+    /// Input queue `q` newly requests this output.
+    fn flow_activated(&mut self, q: usize);
+    /// Picks the queue to lock the free output to, if any requester.
+    fn grant(&mut self) -> Option<usize>;
+    /// One cycle of occupancy by the granted queue.
+    fn charge(&mut self);
+    /// The granted packet's tail has left the output.
+    fn packet_done(&mut self, still_requesting: bool);
+    /// Discipline label.
+    fn name(&self) -> &'static str;
+}
+
+/// Which arbiter to instantiate (experiment configuration).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArbiterKind {
+    /// Elastic Round Robin with occupancy-time charging.
+    Err,
+    /// Plain packet round robin (one packet per grant).
+    Rr,
+    /// Grants in request-arrival order.
+    Fcfs,
+}
+
+impl ArbiterKind {
+    /// Builds the arbiter for `n_queues` input queues.
+    pub fn build(&self, n_queues: usize) -> Box<dyn OutputArbiter> {
+        match self {
+            ArbiterKind::Err => Box::new(ErrArbiter::new(n_queues)),
+            ArbiterKind::Rr => Box::new(RrArbiter::new(n_queues)),
+            ArbiterKind::Fcfs => Box::new(FcfsArbiter::new()),
+        }
+    }
+}
+
+/// ERR arbitration: [`ErrCore`] charged one unit per cycle of occupancy.
+///
+/// Because the core is charged in *cycles held*, a packet stalled by a
+/// congested downstream run costs its flow accordingly more allowance —
+/// the elastic mechanism needs no knowledge of how long the packet will
+/// hold the port when it grants it.
+pub struct ErrArbiter {
+    core: ErrCore,
+    /// Occupancy units charged to the packet currently holding the port.
+    held_units: u64,
+}
+
+impl ErrArbiter {
+    /// Creates an ERR arbiter over `n_queues` requesters.
+    pub fn new(n_queues: usize) -> Self {
+        Self {
+            core: ErrCore::new(n_queues),
+            held_units: 0,
+        }
+    }
+
+    /// Instrumentation access to the decision engine.
+    pub fn core(&self) -> &ErrCore {
+        &self.core
+    }
+}
+
+impl OutputArbiter for ErrArbiter {
+    fn flow_activated(&mut self, q: usize) {
+        self.core.activate(q);
+    }
+
+    fn grant(&mut self) -> Option<usize> {
+        self.held_units = 0;
+        if let Some(v) = self.core.visit() {
+            // Mid-visit continuation: the previous packet_done answered
+            // ContinueVisit, so the same queue keeps the port.
+            return Some(v.flow);
+        }
+        self.core.begin_visit()
+    }
+
+    fn charge(&mut self) {
+        self.core.charge(1);
+        self.held_units += 1;
+    }
+
+    fn packet_done(&mut self, still_requesting: bool) {
+        let outcome = self
+            .core
+            .on_packet_complete(self.held_units, still_requesting);
+        debug_assert!(
+            still_requesting || outcome == VisitOutcome::VisitEnded,
+            "cannot continue a visit with an empty queue"
+        );
+        self.held_units = 0;
+    }
+
+    fn name(&self) -> &'static str {
+        "ERR"
+    }
+}
+
+/// Packet-granular round robin (the PBRR the paper compares against):
+/// one packet per grant, requesters re-queued at the tail.
+pub struct RrArbiter {
+    active: ActiveList,
+    granted: Option<usize>,
+}
+
+impl RrArbiter {
+    /// Creates a round-robin arbiter over `n_queues` requesters.
+    pub fn new(n_queues: usize) -> Self {
+        Self {
+            active: ActiveList::new(n_queues),
+            granted: None,
+        }
+    }
+}
+
+impl OutputArbiter for RrArbiter {
+    fn flow_activated(&mut self, q: usize) {
+        if self.granted != Some(q) {
+            self.active.push_back_if_absent(q);
+        }
+    }
+
+    fn grant(&mut self) -> Option<usize> {
+        let q = self.active.pop_front()?;
+        self.granted = Some(q);
+        Some(q)
+    }
+
+    fn charge(&mut self) {}
+
+    fn packet_done(&mut self, still_requesting: bool) {
+        if let Some(q) = self.granted.take() {
+            if still_requesting {
+                self.active.push_back(q);
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "RR"
+    }
+}
+
+/// FCFS arbitration: grants go in the order requests arrived.
+#[derive(Default)]
+pub struct FcfsArbiter {
+    order: VecDeque<usize>,
+    granted: Option<usize>,
+}
+
+impl FcfsArbiter {
+    /// Creates an FCFS arbiter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl OutputArbiter for FcfsArbiter {
+    fn flow_activated(&mut self, q: usize) {
+        if self.granted != Some(q) && !self.order.contains(&q) {
+            self.order.push_back(q);
+        }
+    }
+
+    fn grant(&mut self) -> Option<usize> {
+        let q = self.order.pop_front()?;
+        self.granted = Some(q);
+        Some(q)
+    }
+
+    fn charge(&mut self) {}
+
+    fn packet_done(&mut self, still_requesting: bool) {
+        if let Some(q) = self.granted.take() {
+            if still_requesting {
+                self.order.push_back(q);
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "FCFS"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Simulate a sequence of (queue, occupancy) packets all continuously
+    /// requesting, and return the grant order over `n_grants`.
+    fn run_grants(
+        arb: &mut dyn OutputArbiter,
+        n_queues: usize,
+        occupancy: &dyn Fn(usize) -> u64,
+        n_grants: usize,
+    ) -> Vec<usize> {
+        for q in 0..n_queues {
+            arb.flow_activated(q);
+        }
+        let mut grants = Vec::new();
+        for _ in 0..n_grants {
+            let q = arb.grant().expect("requesters available");
+            grants.push(q);
+            for _ in 0..occupancy(q) {
+                arb.charge();
+            }
+            arb.packet_done(true);
+        }
+        grants
+    }
+
+    #[test]
+    fn rr_alternates() {
+        let mut arb = RrArbiter::new(3);
+        let grants = run_grants(&mut arb, 3, &|_| 4, 9);
+        assert_eq!(grants, vec![0, 1, 2, 0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn fcfs_respects_request_order() {
+        let mut arb = FcfsArbiter::new();
+        arb.flow_activated(2);
+        arb.flow_activated(0);
+        assert_eq!(arb.grant(), Some(2));
+        arb.charge();
+        arb.packet_done(false);
+        assert_eq!(arb.grant(), Some(0));
+        arb.charge();
+        arb.packet_done(false);
+        assert_eq!(arb.grant(), None);
+    }
+
+    #[test]
+    fn err_equalizes_occupancy_time_not_packet_count() {
+        // Queue 0's packets hold the port 10 cycles each (long packets or
+        // a congested route); queue 1's hold 1 cycle. Over many grants,
+        // ERR gives each queue ~equal *occupancy time*, so queue 1 gets
+        // ~10x the packet count.
+        let mut arb = ErrArbiter::new(2);
+        let grants = run_grants(&mut arb, 2, &|q| if q == 0 { 10 } else { 1 }, 220);
+        let g0 = grants.iter().filter(|&&q| q == 0).count() as f64;
+        let g1 = grants.iter().filter(|&&q| q == 1).count() as f64;
+        let time0 = g0 * 10.0;
+        let time1 = g1;
+        let ratio = time0 / time1;
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "occupancy-time ratio {ratio} (grants {g0}/{g1})"
+        );
+    }
+
+    #[test]
+    fn rr_is_unfair_in_occupancy_time() {
+        // Same scenario under plain RR: equal packet counts → 10x time skew.
+        let mut arb = RrArbiter::new(2);
+        let grants = run_grants(&mut arb, 2, &|q| if q == 0 { 10 } else { 1 }, 200);
+        let g0 = grants.iter().filter(|&&q| q == 0).count() as f64;
+        let time_ratio = g0 * 10.0 / (200.0 - g0);
+        assert!(time_ratio > 8.0, "RR time ratio {time_ratio}");
+    }
+
+    #[test]
+    fn err_arbiter_handles_queue_going_idle() {
+        let mut arb = ErrArbiter::new(2);
+        arb.flow_activated(0);
+        assert_eq!(arb.grant(), Some(0));
+        arb.charge();
+        arb.packet_done(false); // queue 0 empties
+        assert_eq!(arb.grant(), None);
+        arb.flow_activated(1);
+        assert_eq!(arb.grant(), Some(1));
+        arb.charge();
+        arb.packet_done(false);
+        assert_eq!(arb.grant(), None);
+    }
+
+    #[test]
+    fn kinds_build() {
+        for kind in [ArbiterKind::Err, ArbiterKind::Rr, ArbiterKind::Fcfs] {
+            let mut a = kind.build(2);
+            a.flow_activated(0);
+            assert_eq!(a.grant(), Some(0));
+            a.charge();
+            a.packet_done(false);
+        }
+    }
+}

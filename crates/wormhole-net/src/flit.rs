@@ -1,0 +1,135 @@
+//! Flits and packetization.
+//!
+//! "The granularity of flow control in a wormhole network can be smaller
+//! than a packet. This unit of flow control is called a flit. In order to
+//! not add to the per-flit overhead, only the head flit of a packet
+//! contains information necessary to route the packet through the
+//! network." (paper §1)
+
+use desim::Cycle;
+use err_sched::{FlowId, Packet, PacketId};
+use serde::{Deserialize, Serialize};
+
+/// The routing-relevant part of a flit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlitPayload {
+    /// Head flit: the only flit carrying routing information.
+    Head {
+        /// Destination node (mesh) or output port (single switch).
+        dest: usize,
+        /// Total packet length in flits, carried for accounting only —
+        /// the simulator's schedulers never read it before service
+        /// (mirroring networks whose headers have no length field).
+        len: u32,
+    },
+    /// Body flit: follows the path its head established.
+    Body,
+    /// Tail flit: releases the wormhole path behind it.
+    Tail,
+}
+
+/// One flit in flight.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Flit {
+    /// Packet this flit belongs to.
+    pub packet: PacketId,
+    /// Flow (traffic class / source flow) of the packet.
+    pub flow: FlowId,
+    /// 0-based index within the packet.
+    pub index: u32,
+    /// Head/body/tail role.
+    pub payload: FlitPayload,
+    /// Cycle the packet was injected (for end-to-end latency).
+    pub injected_at: Cycle,
+}
+
+impl Flit {
+    /// Whether this is the head flit.
+    pub fn is_head(&self) -> bool {
+        matches!(self.payload, FlitPayload::Head { .. })
+    }
+
+    /// Whether this is the tail flit (a 1-flit packet's head is encoded
+    /// as `Head`, so the tail test also checks the head's `len`).
+    pub fn is_tail(&self) -> bool {
+        match self.payload {
+            FlitPayload::Tail => true,
+            FlitPayload::Head { len, .. } => len == 1,
+            FlitPayload::Body => false,
+        }
+    }
+
+    /// Destination carried by a head flit.
+    pub fn dest(&self) -> Option<usize> {
+        match self.payload {
+            FlitPayload::Head { dest, .. } => Some(dest),
+            _ => None,
+        }
+    }
+}
+
+/// Converts a packet into its flit sequence, bound for `dest`.
+pub fn packetize(pkt: &Packet, dest: usize) -> Vec<Flit> {
+    let mut flits = Vec::with_capacity(pkt.len as usize);
+    for i in 0..pkt.len {
+        let payload = if i == 0 {
+            FlitPayload::Head {
+                dest,
+                len: pkt.len,
+            }
+        } else if i + 1 == pkt.len {
+            FlitPayload::Tail
+        } else {
+            FlitPayload::Body
+        };
+        flits.push(Flit {
+            packet: pkt.id,
+            flow: pkt.flow,
+            index: i,
+            payload,
+            injected_at: pkt.arrival,
+        });
+    }
+    flits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packetize_roles() {
+        let pkt = Packet::new(7, 2, 4, 100);
+        let flits = packetize(&pkt, 3);
+        assert_eq!(flits.len(), 4);
+        assert!(flits[0].is_head());
+        assert_eq!(flits[0].dest(), Some(3));
+        assert!(!flits[0].is_tail());
+        assert_eq!(flits[1].payload, FlitPayload::Body);
+        assert_eq!(flits[2].payload, FlitPayload::Body);
+        assert!(flits[3].is_tail());
+        assert!(flits.iter().all(|f| f.packet == 7 && f.flow == 2 && f.injected_at == 100));
+        assert_eq!(
+            flits.iter().map(|f| f.index).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn single_flit_packet_is_head_and_tail() {
+        let pkt = Packet::new(1, 0, 1, 0);
+        let flits = packetize(&pkt, 9);
+        assert_eq!(flits.len(), 1);
+        assert!(flits[0].is_head());
+        assert!(flits[0].is_tail());
+    }
+
+    #[test]
+    fn only_head_carries_dest() {
+        let pkt = Packet::new(1, 0, 3, 0);
+        let flits = packetize(&pkt, 5);
+        assert_eq!(flits[0].dest(), Some(5));
+        assert_eq!(flits[1].dest(), None);
+        assert_eq!(flits[2].dest(), None);
+    }
+}

@@ -1,0 +1,202 @@
+//! 2-D mesh topology and XY dimension-order routing.
+//!
+//! Interconnection networks for parallel systems — the paper's target
+//! domain — are built from switches "connected together in a certain
+//! topology" (§1); the 2-D mesh with dimension-order routing is the
+//! canonical wormhole example (Dally & Seitz's torus routing chip is the
+//! paper's reference \[5\]). XY routing sends a packet fully along the X
+//! dimension, then along Y, which is deadlock-free on a mesh.
+
+use serde::{Deserialize, Serialize};
+
+/// Switch port roles. `LOCAL` connects to the node's injection/ejection
+/// interface; the rest to neighboring switches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Port {
+    /// Node interface (injection/ejection).
+    Local = 0,
+    /// Toward larger x.
+    East = 1,
+    /// Toward smaller x.
+    West = 2,
+    /// Toward smaller y.
+    North = 3,
+    /// Toward larger y.
+    South = 4,
+}
+
+/// Number of ports on a mesh switch.
+pub const N_PORTS: usize = 5;
+
+impl Port {
+    /// All ports, indexable by `as usize`.
+    pub const ALL: [Port; N_PORTS] = [Port::Local, Port::East, Port::West, Port::North, Port::South];
+
+    /// Converts a port index back to the port.
+    pub fn from_index(i: usize) -> Port {
+        Self::ALL[i]
+    }
+
+    /// The port on the neighboring switch that this port's link lands on.
+    pub fn opposite(self) -> Port {
+        match self {
+            Port::Local => Port::Local,
+            Port::East => Port::West,
+            Port::West => Port::East,
+            Port::North => Port::South,
+            Port::South => Port::North,
+        }
+    }
+}
+
+/// A `cols × rows` 2-D mesh. Node `(x, y)` has id `y * cols + x`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mesh2D {
+    /// Width (x dimension).
+    pub cols: usize,
+    /// Height (y dimension).
+    pub rows: usize,
+}
+
+impl Mesh2D {
+    /// Creates a mesh. Both dimensions must be nonzero.
+    pub fn new(cols: usize, rows: usize) -> Self {
+        assert!(cols >= 1 && rows >= 1, "mesh dimensions must be nonzero");
+        Self { cols, rows }
+    }
+
+    /// Total nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// Node id of `(x, y)`.
+    pub fn node(&self, x: usize, y: usize) -> usize {
+        debug_assert!(x < self.cols && y < self.rows);
+        y * self.cols + x
+    }
+
+    /// Coordinates of `node`.
+    pub fn coords(&self, node: usize) -> (usize, usize) {
+        debug_assert!(node < self.n_nodes());
+        (node % self.cols, node / self.cols)
+    }
+
+    /// The neighbor reached through `port` of `node`, if the link exists.
+    pub fn neighbor(&self, node: usize, port: Port) -> Option<usize> {
+        let (x, y) = self.coords(node);
+        match port {
+            Port::Local => None,
+            Port::East => (x + 1 < self.cols).then(|| self.node(x + 1, y)),
+            Port::West => (x > 0).then(|| self.node(x - 1, y)),
+            Port::North => (y > 0).then(|| self.node(x, y - 1)),
+            Port::South => (y + 1 < self.rows).then(|| self.node(x, y + 1)),
+        }
+    }
+
+    /// XY dimension-order routing: the output port at `cur` for a packet
+    /// headed to `dest`. Returns `Port::Local` on arrival.
+    pub fn route_xy(&self, cur: usize, dest: usize) -> Port {
+        let (cx, cy) = self.coords(cur);
+        let (dx, dy) = self.coords(dest);
+        if cx < dx {
+            Port::East
+        } else if cx > dx {
+            Port::West
+        } else if cy > dy {
+            Port::North
+        } else if cy < dy {
+            Port::South
+        } else {
+            Port::Local
+        }
+    }
+
+    /// Hop count of the XY route from `src` to `dest`.
+    pub fn distance(&self, src: usize, dest: usize) -> usize {
+        let (sx, sy) = self.coords(src);
+        let (dx, dy) = self.coords(dest);
+        sx.abs_diff(dx) + sy.abs_diff(dy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coords_roundtrip() {
+        let m = Mesh2D::new(4, 3);
+        for node in 0..m.n_nodes() {
+            let (x, y) = m.coords(node);
+            assert_eq!(m.node(x, y), node);
+        }
+    }
+
+    #[test]
+    fn neighbors_and_edges() {
+        let m = Mesh2D::new(3, 3);
+        // Center node 4 = (1,1).
+        assert_eq!(m.neighbor(4, Port::East), Some(5));
+        assert_eq!(m.neighbor(4, Port::West), Some(3));
+        assert_eq!(m.neighbor(4, Port::North), Some(1));
+        assert_eq!(m.neighbor(4, Port::South), Some(7));
+        // Corner node 0 = (0,0).
+        assert_eq!(m.neighbor(0, Port::West), None);
+        assert_eq!(m.neighbor(0, Port::North), None);
+        assert_eq!(m.neighbor(0, Port::East), Some(1));
+        assert_eq!(m.neighbor(0, Port::South), Some(3));
+    }
+
+    #[test]
+    fn links_are_symmetric() {
+        let m = Mesh2D::new(4, 4);
+        for node in 0..m.n_nodes() {
+            for port in [Port::East, Port::West, Port::North, Port::South] {
+                if let Some(nb) = m.neighbor(node, port) {
+                    assert_eq!(m.neighbor(nb, port.opposite()), Some(node));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn xy_routes_x_first() {
+        let m = Mesh2D::new(4, 4);
+        let src = m.node(0, 0);
+        let dest = m.node(2, 3);
+        assert_eq!(m.route_xy(src, dest), Port::East);
+        assert_eq!(m.route_xy(m.node(1, 0), dest), Port::East);
+        assert_eq!(m.route_xy(m.node(2, 0), dest), Port::South);
+        assert_eq!(m.route_xy(m.node(2, 2), dest), Port::South);
+        assert_eq!(m.route_xy(dest, dest), Port::Local);
+    }
+
+    #[test]
+    fn xy_route_terminates_everywhere() {
+        let m = Mesh2D::new(5, 4);
+        for src in 0..m.n_nodes() {
+            for dest in 0..m.n_nodes() {
+                let mut cur = src;
+                let mut hops = 0;
+                loop {
+                    let p = m.route_xy(cur, dest);
+                    if p == Port::Local {
+                        break;
+                    }
+                    cur = m.neighbor(cur, p).expect("route fell off the mesh");
+                    hops += 1;
+                    assert!(hops <= m.cols + m.rows, "route loops");
+                }
+                assert_eq!(cur, dest);
+                assert_eq!(hops, m.distance(src, dest));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_dimension_rejected() {
+        Mesh2D::new(0, 3);
+    }
+}

@@ -1,0 +1,238 @@
+//! Downstream models for switch outputs.
+//!
+//! "Downstream congestion can thwart further progress of flits belonging
+//! to packet P for an unpredictable amount of time" (paper §1). These
+//! sinks create exactly that: an output that is sometimes unwilling to
+//! accept the next flit, stretching a packet's occupancy of the output
+//! beyond its length — the condition under which DRR's
+//! length-before-service requirement is unsatisfiable and ERR's
+//! time-based charging matters.
+
+use desim::{Cycle, SimRng};
+
+use crate::flit::Flit;
+
+/// Where an output port's flits go.
+pub trait Sink {
+    /// Advances internal state to cycle `now`. The switch calls this once
+    /// per cycle before consulting [`can_accept`](Self::can_accept).
+    fn tick(&mut self, _now: Cycle) {}
+    /// Whether the sink can accept a flit this cycle (after `tick(now)`).
+    fn can_accept(&self, now: Cycle) -> bool;
+    /// Delivers a flit (only called when [`can_accept`](Self::can_accept)
+    /// returned true this cycle).
+    fn accept(&mut self, flit: Flit, now: Cycle);
+    /// Flits delivered so far.
+    fn delivered(&self) -> u64;
+}
+
+/// Always ready: an uncongested output link.
+#[derive(Debug, Default)]
+pub struct PerfectSink {
+    delivered: u64,
+    /// Tail-flit departures as (packet, flow, injected_at, now).
+    departures: Vec<(u64, usize, Cycle, Cycle)>,
+}
+
+impl PerfectSink {
+    /// Creates an always-ready sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Packet departure log (tail flits only).
+    pub fn departures(&self) -> &[(u64, usize, Cycle, Cycle)] {
+        &self.departures
+    }
+}
+
+impl Sink for PerfectSink {
+    fn can_accept(&self, _now: Cycle) -> bool {
+        true
+    }
+
+    fn accept(&mut self, flit: Flit, now: Cycle) {
+        self.delivered += 1;
+        if flit.is_tail() {
+            self.departures
+                .push((flit.packet, flit.flow, flit.injected_at, now));
+        }
+    }
+
+    fn delivered(&self) -> u64 {
+        self.delivered
+    }
+}
+
+/// Accepts one flit every `period` cycles: a slow downstream link
+/// (bandwidth mismatch), giving every packet an occupancy of
+/// `period × len` regardless of the switch's speed.
+#[derive(Debug)]
+pub struct ThrottledSink {
+    period: u64,
+    delivered: u64,
+}
+
+impl ThrottledSink {
+    /// Creates a sink that accepts on cycles where `now % period == 0`.
+    pub fn new(period: u64) -> Self {
+        assert!(period >= 1);
+        Self {
+            period,
+            delivered: 0,
+        }
+    }
+}
+
+impl Sink for ThrottledSink {
+    fn can_accept(&self, now: Cycle) -> bool {
+        now.is_multiple_of(self.period)
+    }
+
+    fn accept(&mut self, _flit: Flit, _now: Cycle) {
+        self.delivered += 1;
+    }
+
+    fn delivered(&self) -> u64 {
+        self.delivered
+    }
+}
+
+/// Randomly alternates between open and blocked periods — unpredictable
+/// downstream congestion. Durations are sampled geometrically from a
+/// seeded RNG, so runs are reproducible.
+pub struct BlockingSink {
+    rng: SimRng,
+    /// Current window: open until this cycle (exclusive) if `open`,
+    /// blocked until it otherwise.
+    until: Cycle,
+    open: bool,
+    p_close: f64,
+    p_open: f64,
+    delivered: u64,
+}
+
+impl BlockingSink {
+    /// Creates a blocking sink: while open it closes with per-cycle
+    /// probability `p_close`; while blocked it reopens with `p_open`.
+    pub fn new(seed: u64, p_close: f64, p_open: f64) -> Self {
+        assert!(p_close > 0.0 && p_close < 1.0);
+        assert!(p_open > 0.0 && p_open <= 1.0);
+        let mut rng = SimRng::new(seed);
+        let until = rng.geometric_gap(p_close);
+        Self {
+            rng,
+            until,
+            open: true,
+            p_close,
+            p_open,
+            delivered: 0,
+        }
+    }
+
+    fn roll(&mut self, now: Cycle) -> bool {
+        // Windows are laid out lazily; advance until `now` is covered.
+        let mut open = self.open;
+        let mut until = self.until;
+        while now >= until {
+            open = !open;
+            let p = if open { self.p_close } else { self.p_open };
+            until += self.rng.geometric_gap(p);
+        }
+        self.open = open;
+        self.until = until;
+        open
+    }
+}
+
+impl Sink for BlockingSink {
+    fn tick(&mut self, now: Cycle) {
+        self.roll(now);
+    }
+
+    fn can_accept(&self, now: Cycle) -> bool {
+        // `tick(now)` has materialized the window covering `now`.
+        debug_assert!(now < self.until, "can_accept before tick({now})");
+        self.open
+    }
+
+    fn accept(&mut self, _flit: Flit, now: Cycle) {
+        debug_assert!(self.roll(now), "accept while blocked");
+        self.delivered += 1;
+    }
+
+    fn delivered(&self) -> u64 {
+        self.delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::packetize;
+    use err_sched::Packet;
+
+    fn a_flit() -> Flit {
+        packetize(&Packet::new(0, 0, 1, 0), 0)[0]
+    }
+
+    #[test]
+    fn perfect_sink_logs_departures() {
+        let mut s = PerfectSink::new();
+        assert!(s.can_accept(0));
+        let flits = packetize(&Packet::new(3, 1, 2, 10), 0);
+        s.accept(flits[0], 20);
+        s.accept(flits[1], 21);
+        assert_eq!(s.delivered(), 2);
+        assert_eq!(s.departures(), &[(3, 1, 10, 21)]);
+    }
+
+    #[test]
+    fn throttled_sink_period() {
+        let s = ThrottledSink::new(3);
+        let pattern: Vec<bool> = (0..9).map(|t| s.can_accept(t)).collect();
+        assert_eq!(
+            pattern,
+            vec![true, false, false, true, false, false, true, false, false]
+        );
+    }
+
+    #[test]
+    fn blocking_sink_alternates_and_is_deterministic() {
+        let mut a = BlockingSink::new(5, 0.05, 0.1);
+        let mut b = BlockingSink::new(5, 0.05, 0.1);
+        let mut opens = 0;
+        for now in 0..5000 {
+            a.tick(now);
+            b.tick(now);
+            assert_eq!(a.can_accept(now), b.can_accept(now), "cycle {now}");
+            if a.can_accept(now) {
+                opens += 1;
+                a.accept(a_flit(), now);
+                b.accept(a_flit(), now);
+            }
+        }
+        // Expected open fraction = p_open / (p_open + p_close) = 2/3.
+        let frac = opens as f64 / 5000.0;
+        assert!((0.5..0.85).contains(&frac), "open fraction {frac}");
+        assert!(opens > 0);
+        assert_eq!(a.delivered(), opens);
+    }
+
+    #[test]
+    fn blocking_sink_has_blocked_stretches() {
+        let mut s = BlockingSink::new(11, 0.2, 0.2);
+        let mut longest_block = 0u64;
+        let mut cur = 0u64;
+        for now in 0..10_000 {
+            s.tick(now);
+            if s.can_accept(now) {
+                cur = 0;
+            } else {
+                cur += 1;
+                longest_block = longest_block.max(cur);
+            }
+        }
+        assert!(longest_block >= 5, "longest block only {longest_block}");
+    }
+}

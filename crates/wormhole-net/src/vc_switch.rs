@@ -1,0 +1,494 @@
+//! A virtual-channel wormhole switch with the paper's **two** scheduling
+//! points.
+//!
+//! §1 of the paper distinguishes two places ERR applies inside a
+//! VC-based wormhole switch (Dally's virtual channels, reference \[4\]):
+//!
+//! 1. **Entry into the output queues** from the input queues. Each
+//!    output *link* has one output queue per virtual channel; all flits
+//!    of a packet must enter its output queue before any other packet
+//!    may — the wormhole constraint, enforced here per `(link, vc)`
+//!    queue, arbitrated by a pluggable [`OutputArbiter`] charged per
+//!    occupancy cycle.
+//! 2. **Scheduling flits from the VC output queues onto the link.**
+//!    Because every flit is tagged with its VC, the link may interleave
+//!    packets of different VCs flit by flit; the paper notes ERR "can
+//!    actually also be used for achieving low average delay in the fair
+//!    scheduling of packets to the output link from output queues
+//!    belonging to various virtual channels" — implemented here as
+//!    [`LinkSched::Err`] (an [`ErrCore`] over VCs, switching only at
+//!    packet boundaries) alongside [`LinkSched::FlitRr`] (FBRR).
+//!
+//! The crossbar has speedup 1: at most one flit per cycle moves into the
+//! output-queue stage per link, and one flit per cycle leaves on the
+//! link. Output queues have finite capacity, so a congested link
+//! back-pressures stage 1 — which is how a long packet's *occupancy*
+//! diverges from its length organically inside the switch.
+
+use std::collections::VecDeque;
+
+use desim::Cycle;
+use err_sched::err::ErrCore;
+use err_sched::{Packet, PacketId};
+use serde::{Deserialize, Serialize};
+
+use crate::arbiter::{ArbiterKind, OutputArbiter};
+use crate::flit::{packetize, Flit};
+
+/// The stage-2 (output link) scheduling discipline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkSched {
+    /// Flit-based round robin over the VCs (the fairest possible at flit
+    /// granularity; legal because flits are VC-tagged).
+    FlitRr,
+    /// ERR over the VCs: visits switch VCs only at packet boundaries,
+    /// with elastic allowances — the paper's suggested low-delay link
+    /// scheduler.
+    Err,
+}
+
+/// A packet delivered onto the output link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VcDelivery {
+    /// Packet identity.
+    pub packet: PacketId,
+    /// Virtual channel it travelled on.
+    pub vc: usize,
+    /// Input port it came from.
+    pub input: usize,
+    /// Injection cycle.
+    pub injected_at: Cycle,
+    /// Cycle its tail flit left on the link.
+    pub departed_at: Cycle,
+}
+
+/// Stage-2 state for one VC's output queue.
+#[derive(Default)]
+struct OutQueue {
+    flits: VecDeque<Flit>,
+}
+
+/// A single-output-link virtual-channel wormhole switch.
+///
+/// `n_inputs` input ports each carry `n_vcs` virtual channels (one
+/// input queue per (port, vc)); all traffic heads to one output link
+/// with `n_vcs` output queues. This is the paper's scheduling problem in
+/// its pure form — multiple logical queues contending for one resource —
+/// with both scheduling points live.
+pub struct VcSwitch {
+    n_inputs: usize,
+    n_vcs: usize,
+    /// Input queues, indexed `port * n_vcs + vc`.
+    inputs: Vec<VecDeque<Flit>>,
+    /// Stage-1 arbiter per VC (output queue) over the input ports.
+    stage1: Vec<Box<dyn OutputArbiter>>,
+    /// Input port currently holding each output queue (wormhole lock).
+    oq_lock: Vec<Option<usize>>,
+    /// Which input queues have registered a request with stage 1.
+    requesting: Vec<bool>,
+    /// Output queue per VC.
+    out_queues: Vec<OutQueue>,
+    /// Output-queue capacity in flits.
+    oq_capacity: usize,
+    /// Crossbar rotation pointer over VCs (speedup-1 tie-break).
+    xbar_ptr: usize,
+    /// Stage-2 scheduler state.
+    link_sched: LinkSched,
+    /// FBRR rotation pointer over VCs.
+    link_ptr: usize,
+    /// ERR core over VCs (used when `link_sched == Err`).
+    link_err: ErrCore,
+    /// VC whose packet currently owns the link under ERR (mid-packet).
+    link_owner: Option<usize>,
+    /// Charge units accumulated by the packet currently on the link.
+    link_pkt_units: u64,
+    deliveries: Vec<VcDelivery>,
+    delivered_flits: u64,
+}
+
+impl VcSwitch {
+    /// Creates a switch with `n_inputs` ports × `n_vcs` virtual
+    /// channels, stage-1 arbitration `arb` per output queue, stage-2
+    /// link scheduling `link_sched`, and `oq_capacity` flits per output
+    /// queue.
+    pub fn new(
+        n_inputs: usize,
+        n_vcs: usize,
+        arb: ArbiterKind,
+        link_sched: LinkSched,
+        oq_capacity: usize,
+    ) -> Self {
+        assert!(n_inputs >= 1 && n_vcs >= 1);
+        assert!(oq_capacity >= 1, "output queues need capacity");
+        Self {
+            n_inputs,
+            n_vcs,
+            inputs: (0..n_inputs * n_vcs).map(|_| VecDeque::new()).collect(),
+            stage1: (0..n_vcs).map(|_| arb.build(n_inputs)).collect(),
+            oq_lock: vec![None; n_vcs],
+            requesting: vec![false; n_inputs * n_vcs],
+            out_queues: (0..n_vcs).map(|_| OutQueue::default()).collect(),
+            oq_capacity,
+            xbar_ptr: 0,
+            link_sched,
+            link_ptr: 0,
+            link_err: ErrCore::new(n_vcs),
+            link_owner: None,
+            link_pkt_units: 0,
+            deliveries: Vec::new(),
+            delivered_flits: 0,
+        }
+    }
+
+    fn iq(&self, port: usize, vc: usize) -> usize {
+        port * self.n_vcs + vc
+    }
+
+    /// Injects a packet at `port` on virtual channel `vc`.
+    pub fn inject(&mut self, port: usize, vc: usize, pkt: &Packet) {
+        assert!(port < self.n_inputs && vc < self.n_vcs);
+        let idx = self.iq(port, vc);
+        // dest field doubles as the VC id for a single-link switch.
+        self.inputs[idx].extend(packetize(pkt, vc));
+    }
+
+    /// Packets delivered on the link.
+    pub fn deliveries(&self) -> &[VcDelivery] {
+        &self.deliveries
+    }
+
+    /// Flits that have left on the link.
+    pub fn delivered_flits(&self) -> u64 {
+        self.delivered_flits
+    }
+
+    /// Whether all queues (input and output) are empty.
+    pub fn is_idle(&self) -> bool {
+        self.inputs.iter().all(|q| q.is_empty())
+            && self.out_queues.iter().all(|q| q.flits.is_empty())
+    }
+
+    /// Advances the switch one cycle: stage-1 routing/arbitration, one
+    /// crossbar transfer, and one link flit.
+    pub fn step(&mut self, now: Cycle) {
+        // --- Stage 1: register requests (paper's Enqueue analogue). ---
+        for port in 0..self.n_inputs {
+            for vc in 0..self.n_vcs {
+                let idx = self.iq(port, vc);
+                if !self.requesting[idx] && !self.inputs[idx].is_empty() {
+                    self.requesting[idx] = true;
+                    self.stage1[vc].flow_activated(port);
+                }
+            }
+        }
+        // Grant free output queues.
+        for vc in 0..self.n_vcs {
+            if self.oq_lock[vc].is_none() {
+                if let Some(port) = self.stage1[vc].grant() {
+                    self.oq_lock[vc] = Some(port);
+                }
+            }
+        }
+        // --- Crossbar: one flit into one output queue (speedup 1). ---
+        // Rotate over VCs so concurrent fills share the crossbar fairly;
+        // each locked VC is charged for the cycle regardless (its output
+        // queue is reserved either way).
+        for vc in 0..self.n_vcs {
+            if self.oq_lock[vc].is_some() {
+                self.stage1[vc].charge();
+            }
+        }
+        let mut moved = false;
+        for k in 0..self.n_vcs {
+            let vc = (self.xbar_ptr + k) % self.n_vcs;
+            let Some(port) = self.oq_lock[vc] else { continue };
+            if self.out_queues[vc].flits.len() >= self.oq_capacity {
+                continue; // back-pressure from the link stage
+            }
+            let idx = self.iq(port, vc);
+            let Some(&flit) = self.inputs[idx].front() else {
+                continue;
+            };
+            self.inputs[idx].pop_front();
+            let is_tail = flit.is_tail();
+            self.out_queues[vc].flits.push_back(flit);
+            if is_tail {
+                // Wormhole path through this output queue released.
+                self.requesting[idx] = false;
+                let still = !self.inputs[idx].is_empty();
+                if still {
+                    self.requesting[idx] = true;
+                }
+                self.stage1[vc].packet_done(still);
+                self.oq_lock[vc] = None;
+            }
+            self.xbar_ptr = (vc + 1) % self.n_vcs;
+            moved = true;
+            break;
+        }
+        let _ = moved;
+        // --- Stage 2: one flit from the VC output queues to the link. ---
+        match self.link_sched {
+            LinkSched::FlitRr => self.link_flit_rr(now),
+            LinkSched::Err => self.link_err_step(now),
+        }
+    }
+
+    /// FBRR over the VCs: next non-empty queue after the pointer sends
+    /// one flit.
+    fn link_flit_rr(&mut self, now: Cycle) {
+        for k in 0..self.n_vcs {
+            let vc = (self.link_ptr + k) % self.n_vcs;
+            if let Some(flit) = self.out_queues[vc].flits.pop_front() {
+                self.emit(vc, flit, now);
+                self.link_ptr = (vc + 1) % self.n_vcs;
+                return;
+            }
+        }
+    }
+
+    /// ERR over the VCs at packet granularity: the core picks a VC,
+    /// whole packets stream out (one flit per cycle), and the elastic
+    /// allowance decides whether the visit continues with the VC's next
+    /// packet.
+    ///
+    /// A VC's "queue empty" means its *output queue* holds no further
+    /// flits right now; a momentarily starved VC (packet still crossing
+    /// the crossbar) ends its visit rather than idling the link — ERR is
+    /// work-conserving.
+    fn link_err_step(&mut self, now: Cycle) {
+        // Activate VCs that have flits but aren't active.
+        for vc in 0..self.n_vcs {
+            if !self.out_queues[vc].flits.is_empty() && !self.link_err.is_active(vc) {
+                self.link_err.activate(vc);
+            }
+        }
+        let vc = match self.link_owner {
+            Some(vc) => vc,
+            None => {
+                let vc = if let Some(v) = self.link_err.visit() {
+                    v.flow
+                } else {
+                    match self.link_err.begin_visit() {
+                        Some(v) => v,
+                        None => return,
+                    }
+                };
+                self.link_owner = Some(vc);
+                vc
+            }
+        };
+        let Some(flit) = self.out_queues[vc].flits.pop_front() else {
+            // Starved mid-packet by the crossbar: the link idles this
+            // cycle but the VC keeps the grant (wormhole-style, the
+            // packet must finish before the link visits another VC's
+            // packet under ERR's packet-granular stage 2).
+            self.link_err.charge(1);
+            self.link_pkt_units += 1;
+            return;
+        };
+        self.link_err.charge(1);
+        self.link_pkt_units += 1;
+        let is_tail = flit.is_tail();
+        self.emit(vc, flit, now);
+        if is_tail {
+            self.link_owner = None;
+            let nonempty = !self.out_queues[vc].flits.is_empty()
+                || self.oq_lock[vc].is_some(); // more of this VC inbound
+            // The packet's cost in charge units: its flits plus any
+            // crossbar-starved cycles (feeds ErrCore's `m` tracking).
+            self.link_err
+                .on_packet_complete(self.link_pkt_units, nonempty);
+            self.link_pkt_units = 0;
+        }
+    }
+
+    fn emit(&mut self, vc: usize, flit: Flit, now: Cycle) {
+        self.delivered_flits += 1;
+        if flit.is_tail() {
+            self.deliveries.push(VcDelivery {
+                packet: flit.packet,
+                vc,
+                input: flit.flow % self.n_inputs,
+                injected_at: flit.injected_at,
+                departed_at: now,
+            });
+        }
+    }
+
+    /// Runs until idle or `max_cycles`; returns the final cycle.
+    pub fn run_until_idle(&mut self, start: Cycle, max_cycles: u64) -> Cycle {
+        let mut now = start;
+        while !self.is_idle() && now < start + max_cycles {
+            self.step(now);
+            now += 1;
+        }
+        now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(vcs: usize, arb: ArbiterKind, link: LinkSched) -> VcSwitch {
+        VcSwitch::new(2, vcs, arb, link, 4)
+    }
+
+    #[test]
+    fn single_packet_flows_through_both_stages() {
+        let mut sw = mk(2, ArbiterKind::Err, LinkSched::FlitRr);
+        sw.inject(0, 0, &Packet::new(7, 0, 5, 0));
+        let end = sw.run_until_idle(0, 100);
+        assert!(sw.is_idle(), "stuck at {end}");
+        assert_eq!(sw.delivered_flits(), 5);
+        assert_eq!(sw.deliveries().len(), 1);
+        assert_eq!(sw.deliveries()[0].packet, 7);
+        assert_eq!(sw.deliveries()[0].vc, 0);
+    }
+
+    #[test]
+    fn conservation_across_vcs_and_ports() {
+        for link in [LinkSched::FlitRr, LinkSched::Err] {
+            let mut sw = mk(3, ArbiterKind::Err, link);
+            let mut id = 0;
+            let mut total = 0u64;
+            for port in 0..2usize {
+                for vc in 0..3usize {
+                    for k in 0..5u64 {
+                        let len = 1 + ((k + vc as u64) % 6) as u32;
+                        total += len as u64;
+                        sw.inject(port, vc, &Packet::new(id, port, len, 0));
+                        id += 1;
+                    }
+                }
+            }
+            sw.run_until_idle(0, 50_000);
+            assert!(sw.is_idle(), "{link:?} did not drain");
+            assert_eq!(sw.delivered_flits(), total, "{link:?} lost flits");
+            assert_eq!(sw.deliveries().len(), 30);
+        }
+    }
+
+    #[test]
+    fn link_interleaves_vcs_but_not_within_a_vc() {
+        // Two VCs each streaming packets: the link output interleaves
+        // VCs flit by flit (FBRR), but within a VC packets must be
+        // contiguous (wormhole per output queue).
+        let mut sw = mk(2, ArbiterKind::Rr, LinkSched::FlitRr);
+        for k in 0..4u64 {
+            sw.inject(0, 0, &Packet::new(k, 0, 6, 0));
+            sw.inject(1, 1, &Packet::new(100 + k, 1, 6, 0));
+        }
+        // Track per-VC packet contiguity via delivery order per VC.
+        sw.run_until_idle(0, 10_000);
+        for vc in 0..2usize {
+            let pids: Vec<u64> = sw
+                .deliveries()
+                .iter()
+                .filter(|d| d.vc == vc)
+                .map(|d| d.packet)
+                .collect();
+            let mut sorted = pids.clone();
+            sorted.sort_unstable();
+            assert_eq!(pids, sorted, "VC {vc} packets out of order");
+        }
+        // Interleaving did happen: with both VCs backlogged the first
+        // two tails depart within ~a packet of each other, not 6+6 serial.
+        let d0 = sw.deliveries()[0].departed_at;
+        let d1 = sw.deliveries()[1].departed_at;
+        assert!(d1 - d0 <= 4, "no VC interleaving on the link ({d0} vs {d1})");
+    }
+
+    #[test]
+    fn vc_cut_through_beats_single_queue_for_short_packets() {
+        // A 24-flit packet on VC0 and a 2-flit packet on VC1, injected
+        // together. With 2 VCs the short packet's tail leaves early
+        // (link interleaves); with 1 VC it waits behind the long packet.
+        let delay_of_short = |vcs: usize| -> u64 {
+            let mut sw = VcSwitch::new(2, vcs, ArbiterKind::Err, LinkSched::FlitRr, 4);
+            sw.inject(0, 0, &Packet::new(0, 0, 24, 0));
+            sw.inject(1, vcs - 1, &Packet::new(1, 1, 2, 0));
+            sw.run_until_idle(0, 10_000);
+            sw.deliveries()
+                .iter()
+                .find(|d| d.packet == 1)
+                .expect("short packet delivered")
+                .departed_at
+        };
+        let with_vcs = delay_of_short(2);
+        let without = delay_of_short(1);
+        assert!(
+            with_vcs + 10 < without,
+            "VCs should cut the short packet through: {with_vcs} vs {without}"
+        );
+    }
+
+    #[test]
+    fn stage1_err_time_fairness_applies_per_output_queue() {
+        // Two ports share VC 0; port 0 sends 16-flit packets, port 1
+        // sends 2-flit packets. Stage-1 ERR splits output-queue
+        // occupancy evenly, so port 1 gets ~8x the packet count.
+        let mut sw = VcSwitch::new(2, 1, ArbiterKind::Err, LinkSched::FlitRr, 4);
+        let mut id = 0;
+        for _ in 0..60 {
+            sw.inject(0, 0, &Packet::new(id, 0, 16, 0));
+            id += 1;
+        }
+        for _ in 0..480 {
+            sw.inject(1, 0, &Packet::new(id, 1, 2, 0));
+            id += 1;
+        }
+        for now in 0..1200u64 {
+            sw.step(now);
+        }
+        let p0 = sw.deliveries().iter().filter(|d| d.input == 0).count() as f64;
+        let p1 = sw.deliveries().iter().filter(|d| d.input == 1).count() as f64;
+        let flit_ratio = (p0 * 16.0) / (p1 * 2.0);
+        assert!(
+            (0.6..1.6).contains(&flit_ratio),
+            "stage-1 ERR flit-time ratio {flit_ratio} ({p0} vs {p1} pkts)"
+        );
+    }
+
+    #[test]
+    fn err_link_sched_is_packet_contiguous_on_the_link() {
+        // Under LinkSched::Err the link must not interleave packets at
+        // all (ERR is packet-granular): reconstruct the link stream via
+        // departures and flit counts.
+        let mut sw = mk(2, ArbiterKind::Rr, LinkSched::Err);
+        for k in 0..6u64 {
+            sw.inject(0, 0, &Packet::new(k, 0, 4, 0));
+            sw.inject(1, 1, &Packet::new(100 + k, 1, 4, 0));
+        }
+        sw.run_until_idle(0, 10_000);
+        assert_eq!(sw.deliveries().len(), 12);
+        // Tails must be spaced >= packet length apart (no interleave).
+        let mut times: Vec<u64> = sw.deliveries().iter().map(|d| d.departed_at).collect();
+        times.sort_unstable();
+        for w in times.windows(2) {
+            assert!(w[1] - w[0] >= 4, "packets interleaved on the link: {times:?}");
+        }
+    }
+
+    #[test]
+    fn backpressure_stalls_stage1_without_losing_flits() {
+        // Tiny output queues + a hot link: stage 1 must stall on full
+        // queues and everything still drains.
+        let mut sw = VcSwitch::new(2, 2, ArbiterKind::Fcfs, LinkSched::FlitRr, 1);
+        let mut id = 0;
+        let mut total = 0u64;
+        for port in 0..2usize {
+            for vc in 0..2usize {
+                for _ in 0..10 {
+                    sw.inject(port, vc, &Packet::new(id, port, 7, 0));
+                    id += 1;
+                    total += 7;
+                }
+            }
+        }
+        let end = sw.run_until_idle(0, 100_000);
+        assert!(sw.is_idle(), "stalled at {end}");
+        assert_eq!(sw.delivered_flits(), total);
+    }
+}

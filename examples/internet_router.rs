@@ -1,0 +1,107 @@
+//! ERR as a datagram scheduler: protecting well-behaved flows from a
+//! bursty neighbor.
+//!
+//! The paper notes ERR "may also be implemented in Internet routers for
+//! fair scheduling of various flows of traffic" and that FCFS "does not
+//! provide adequate protection from a bursty source" (§2). Here three
+//! well-behaved flows share a link with an aggressive on/off burster;
+//! we compare the well-behaved flows' mean delay under FCFS vs ERR.
+//!
+//! Run with: `cargo run --example internet_router`
+
+use err_repro::desim::P2Quantile;
+use err_repro::fairness::DelayRecorder;
+use err_repro::sched::Discipline;
+use err_repro::traffic::{ArrivalProcess, FlowSpec, LenDist, Workload};
+
+fn specs() -> Vec<FlowSpec> {
+    let steady = FlowSpec {
+        arrivals: ArrivalProcess::Bernoulli { rate: 0.02 },
+        lengths: LenDist::Uniform { lo: 1, hi: 16 },
+    };
+    let burster = FlowSpec {
+        // ~0.9 packets/cycle while ON, ON ~11% of the time: long greedy
+        // bursts that would monopolize an FCFS queue.
+        arrivals: ArrivalProcess::OnOff {
+            rate_on: 0.9,
+            p_on: 0.005,
+            p_off: 0.04,
+        },
+        lengths: LenDist::Uniform { lo: 1, hi: 16 },
+    };
+    vec![steady, steady, steady, burster]
+}
+
+fn run(d: &Discipline, seed: u64) -> (f64, f64, f64) {
+    const HORIZON: u64 = 400_000;
+    let mut sched = d.build(4);
+    let mut workload = Workload::with_horizon(specs(), seed, HORIZON);
+    let mut delays = DelayRecorder::new(4, 64, 8192);
+    // Tail of the well-behaved flows' delays, tracked in O(1) memory.
+    let mut steady_p99 = P2Quantile::new(0.99);
+    let mut arrivals = Vec::new();
+    let mut now = 0;
+    loop {
+        if now < HORIZON {
+            arrivals.clear();
+            workload.poll(now, &mut arrivals);
+            for pkt in &arrivals {
+                sched.enqueue(*pkt, now);
+            }
+        }
+        match sched.service_flit(now) {
+            Some(flit) => {
+                delays.on_flit(&flit, now);
+                if flit.is_tail() && flit.flow < 3 {
+                    steady_p99.push((now - flit.arrival) as f64);
+                }
+            }
+            None if now >= HORIZON => break,
+            None => {}
+        }
+        now += 1;
+    }
+    let steady_mean =
+        (delays.flow_mean(0) + delays.flow_mean(1) + delays.flow_mean(2)) / 3.0;
+    (
+        steady_mean,
+        steady_p99.estimate().unwrap_or(0.0),
+        delays.flow_mean(3),
+    )
+}
+
+fn main() {
+    println!("3 well-behaved flows + 1 on/off burster share a router output.\n");
+    println!(
+        "{:<22} {:>24} {:>18} {:>20}",
+        "discipline", "steady flows mean delay", "steady p99", "burster mean delay"
+    );
+    for d in [
+        Discipline::Fcfs,
+        Discipline::Err,
+        Discipline::Drr { quantum: 16 },
+        Discipline::Wfq,
+    ] {
+        let mut steady = 0.0;
+        let mut p99 = 0.0;
+        let mut burst = 0.0;
+        const SEEDS: u64 = 5;
+        for seed in 0..SEEDS {
+            let (s, q, b) = run(&d, seed);
+            steady += s;
+            p99 += q;
+            burst += b;
+        }
+        println!(
+            "{:<22} {:>18.1} cycles {:>11.1} cyc {:>14.1} cycles",
+            d.label(),
+            steady / SEEDS as f64,
+            p99 / SEEDS as f64,
+            burst / SEEDS as f64
+        );
+    }
+    println!("\nUnder FCFS the burster's queue spikes inflate everyone's delay;");
+    println!("ERR isolates the steady flows and pushes the cost onto the burster —");
+    println!("the 'firewall' property the paper motivates, at O(1) cost and without");
+    println!("needing packet lengths in advance (unlike DRR/WFQ).");
+}

@@ -1,0 +1,75 @@
+//! Multi-user isolation and differentiated service with weighted ERR.
+//!
+//! The paper motivates fairness partly by "multi-user environments in
+//! parallel systems, with the interconnection network shared by several
+//! users" and by "customer-specific differentiated services" (§1). Here
+//! a premium user (weight 3) and two standard users (weight 1) share a
+//! link; each user's traffic mix differs, yet the bandwidth split tracks
+//! the configured weights — and a user flooding the link cannot push the
+//! others below their share.
+//!
+//! Run with: `cargo run --example multiuser_isolation`
+
+use err_repro::sched::werr::WerrScheduler;
+use err_repro::sched::Scheduler;
+use err_repro::traffic::{ArrivalProcess, FlowSpec, LenDist, Workload};
+
+fn main() {
+    // User 0: premium (weight 3), moderate load, large packets.
+    // User 1: standard (weight 1), heavy flood of small packets.
+    // User 2: standard (weight 1), moderate mixed traffic.
+    let specs = vec![
+        FlowSpec {
+            arrivals: ArrivalProcess::Bernoulli { rate: 0.04 },
+            lengths: LenDist::Uniform { lo: 16, hi: 48 },
+        },
+        FlowSpec {
+            arrivals: ArrivalProcess::Bernoulli { rate: 0.9 },
+            lengths: LenDist::Uniform { lo: 1, hi: 4 },
+        },
+        FlowSpec {
+            arrivals: ArrivalProcess::Bernoulli { rate: 0.08 },
+            lengths: LenDist::Uniform { lo: 1, hi: 16 },
+        },
+    ];
+    let weights = vec![3u64, 1, 1];
+    let mut sched = WerrScheduler::new(weights.clone());
+    let mut workload = Workload::new(specs, 2024);
+
+    const CYCLES: u64 = 1_000_000;
+    let mut totals = [0u64; 3];
+    let mut arrivals = Vec::new();
+    for now in 0..CYCLES {
+        arrivals.clear();
+        workload.poll(now, &mut arrivals);
+        for pkt in &arrivals {
+            sched.enqueue(*pkt, now);
+        }
+        if let Some(flit) = sched.service_flit(now) {
+            totals[flit.flow] += 1;
+        }
+    }
+
+    let served: u64 = totals.iter().sum();
+    println!("weighted ERR on a shared link, {CYCLES} cycles (flit = 8 B):\n");
+    println!(
+        "{:<10} {:>7} {:>14} {:>15} {:>15}",
+        "user", "weight", "MB served", "share", "entitlement"
+    );
+    let wsum: u64 = weights.iter().sum();
+    for (u, &t) in totals.iter().enumerate() {
+        println!(
+            "{:<10} {:>7} {:>11.2} MB {:>14.1}% {:>14.1}%",
+            format!("user {u}"),
+            weights[u],
+            (t * 8) as f64 / 1e6,
+            100.0 * t as f64 / served as f64,
+            100.0 * weights[u] as f64 / wsum as f64,
+        );
+    }
+    println!(
+        "\nUser 1 floods the link (≈0.9 packets/cycle) yet cannot exceed its 20% share;\n\
+         the premium user's 60% holds. Isolation comes from Eq. (2)'s surplus memory,\n\
+         with O(1) work per packet and no packet-length oracle."
+    );
+}

@@ -1,0 +1,83 @@
+//! Virtual channels and the two scheduling points of a wormhole switch.
+//!
+//! One output link, two traffic classes: 32-flit DMA transfers on VC 0
+//! and latency-sensitive 1-4-flit messages on the last VC. Sweeping the
+//! VC count shows head-of-line blocking disappearing; the stage-2 link
+//! scheduler (flit round robin vs packet-granular ERR) trades the short
+//! class's latency against strict packet contiguity on the link.
+//!
+//! Run with: `cargo run --release --example virtual_channels`
+
+use err_repro::desim::{OnlineStats, SimRng};
+use err_repro::sched::Packet;
+use err_repro::wormhole::{ArbiterKind, LinkSched, VcSwitch};
+
+fn run(n_vcs: usize, link: LinkSched) -> (f64, f64) {
+    let mut rng = SimRng::new(7);
+    let mut sw = VcSwitch::new(2, n_vcs, ArbiterKind::Err, link, 8);
+    // Staggered, ~70% load: one long packet per 80 cycles, one short
+    // message per 8 cycles.
+    let horizon = 80_000u64;
+    let mut schedule = Vec::new();
+    let mut t = 0;
+    while t < horizon {
+        schedule.push((t, 0usize, 0usize, 32u32));
+        t += 80;
+    }
+    let mut t = 3;
+    while t < horizon {
+        schedule.push((t, 1, n_vcs - 1, 1 + rng.uniform_u32(0, 3)));
+        t += 8;
+    }
+    schedule.sort_by_key(|&(t, ..)| t);
+    let (mut cursor, mut now, mut id) = (0usize, 0u64, 0u64);
+    while cursor < schedule.len() || !sw.is_idle() {
+        while cursor < schedule.len() && schedule[cursor].0 <= now {
+            let (t, port, vc, len) = schedule[cursor];
+            sw.inject(port, vc, &Packet::new(id, port, len, t));
+            id += 1;
+            cursor += 1;
+        }
+        sw.step(now);
+        now += 1;
+    }
+    let mut short = OnlineStats::new();
+    let mut long = OnlineStats::new();
+    for d in sw.deliveries() {
+        let delay = (d.departed_at - d.injected_at) as f64;
+        if d.input == 0 {
+            long.push(delay);
+        } else {
+            short.push(delay);
+        }
+    }
+    (short.mean(), long.mean())
+}
+
+fn main() {
+    println!("One link; 32-flit transfers on VC 0 vs 1-4-flit messages, ~70% load.\n");
+    println!(
+        "{:<28} {:>22} {:>22}",
+        "configuration", "short msg mean delay", "long xfer mean delay"
+    );
+    for (vcs, link) in [
+        (1usize, LinkSched::FlitRr),
+        (2, LinkSched::FlitRr),
+        (4, LinkSched::FlitRr),
+        (4, LinkSched::Err),
+    ] {
+        let (s, l) = run(vcs, link);
+        println!(
+            "{:<28} {:>16.1} cyc {:>16.1} cyc",
+            format!("{vcs} VC(s), link={link:?}"),
+            s,
+            l
+        );
+    }
+    println!(
+        "\nWith one VC a short message can sit a full 32-flit transfer behind the\n\
+         output queue; flit-tagged VCs let the link interleave and the short\n\
+         class cuts through. Packet-granular ERR at the link keeps per-VC\n\
+         bandwidth fair without flit interleaving — the trade §1 describes."
+    );
+}

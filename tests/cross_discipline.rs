@@ -1,0 +1,131 @@
+//! Cross-discipline integration: every scheduler fed the identical
+//! workload must conserve traffic, respect per-flow FIFO, and rank in
+//! fairness the way the paper's Table 1 predicts.
+
+use err_repro::fairness::{jain_index, FairnessMonitor};
+use err_repro::sched::Discipline;
+use err_repro::traffic::{PacketTrace, Workload};
+use err_repro::traffic::flows::fig4_flows;
+
+fn all_disciplines() -> Vec<Discipline> {
+    vec![
+        Discipline::Err,
+        Discipline::Drr { quantum: 128 },
+        Discipline::Fbrr,
+        Discipline::Pbrr,
+        Discipline::Fcfs,
+        Discipline::Wfq,
+        Discipline::Scfq,
+        Discipline::VirtualClock,
+        Discipline::Gps,
+        Discipline::Werr {
+            weights: vec![1; 8],
+        },
+    ]
+}
+
+/// Replays a captured trace through a discipline, returning (per-flow
+/// totals, exact FM, packets out).
+fn replay(
+    d: &Discipline,
+    trace: &PacketTrace,
+    horizon: u64,
+) -> (Vec<u64>, u64, u64) {
+    let n = trace.n_flows();
+    let mut sched = d.build(n);
+    let mut monitor = FairnessMonitor::new(n);
+    let mut totals = vec![0u64; n];
+    let mut t = trace.clone();
+    let mut arrivals = Vec::new();
+    let mut pkts_out = 0;
+    for now in 0..horizon {
+        arrivals.clear();
+        t.poll(now, &mut arrivals);
+        for pkt in &arrivals {
+            monitor.on_enqueue(pkt, now);
+            sched.enqueue(*pkt, now);
+        }
+        if let Some(flit) = sched.service_flit(now) {
+            monitor.on_flit(&flit, now);
+            totals[flit.flow] += 1;
+            if flit.is_tail() {
+                pkts_out += 1;
+            }
+        }
+    }
+    monitor.finish(horizon);
+    (totals, monitor.exact_fm(), pkts_out)
+}
+
+#[test]
+fn identical_trace_identical_totals_across_replays() {
+    let mut w = Workload::new(fig4_flows(0.006), 31);
+    let trace = PacketTrace::capture(&mut w, 40_000);
+    for d in all_disciplines() {
+        let a = replay(&d, &trace, 40_000);
+        let b = replay(&d, &trace, 40_000);
+        assert_eq!(a.0, b.0, "{} replay not deterministic", d.label());
+    }
+}
+
+#[test]
+fn fairness_ranking_matches_table1() {
+    // On the overloaded fig4 mix: flit-granular GPS/FBRR are fairest,
+    // then ERR/DRR/WFQ-family (bounded), then PBRR/FCFS (unbounded).
+    let mut w = Workload::new(fig4_flows(0.006), 77);
+    let trace = PacketTrace::capture(&mut w, 120_000);
+    let fm_of = |d: &Discipline| replay(d, &trace, 120_000).1;
+    let fm_fbrr = fm_of(&Discipline::Fbrr);
+    let fm_gps = fm_of(&Discipline::Gps);
+    let fm_err = fm_of(&Discipline::Err);
+    let fm_drr = fm_of(&Discipline::Drr { quantum: 128 });
+    let fm_pbrr = fm_of(&Discipline::Pbrr);
+    let fm_fcfs = fm_of(&Discipline::Fcfs);
+    // FBRR's strict rotation keeps the gap at 1 flit; GPS's id tie-break
+    // can briefly reach 2 across busy-window joins.
+    assert!(
+        fm_fbrr <= 1 && fm_gps <= 2,
+        "flit-granular are near-perfect (FBRR {fm_fbrr}, GPS {fm_gps})"
+    );
+    assert!(fm_err > fm_fbrr, "ERR is packet-granular, coarser than FBRR");
+    assert!(fm_err < 3 * 128, "ERR within 3m");
+    assert!(fm_drr <= 128 + 2 * 128, "DRR within Max + 2m");
+    // The unbounded disciplines blow past everyone on this workload.
+    assert!(fm_pbrr > fm_err * 3, "PBRR {fm_pbrr} vs ERR {fm_err}");
+    assert!(fm_fcfs > fm_err * 3, "FCFS {fm_fcfs} vs ERR {fm_err}");
+}
+
+#[test]
+fn throughput_fairness_jain_ordering() {
+    let mut w = Workload::new(fig4_flows(0.006), 5);
+    let trace = PacketTrace::capture(&mut w, 150_000);
+    let jain_of = |d: &Discipline| {
+        let (totals, _, _) = replay(d, &trace, 150_000);
+        jain_index(&totals)
+    };
+    let j_err = jain_of(&Discipline::Err);
+    let j_pbrr = jain_of(&Discipline::Pbrr);
+    let j_fcfs = jain_of(&Discipline::Fcfs);
+    assert!(j_err > 0.9999, "ERR Jain {j_err}");
+    assert!(j_pbrr < 0.99, "PBRR should skew: {j_pbrr}");
+    assert!(j_fcfs < 0.99, "FCFS should skew: {j_fcfs}");
+}
+
+#[test]
+fn work_conservation_identical_service_volume() {
+    // Work-conserving disciplines serve the same number of flits per
+    // cycle on the same arrivals — totals may differ per flow, but the
+    // grand total may not.
+    let mut w = Workload::new(fig4_flows(0.006), 13);
+    let trace = PacketTrace::capture(&mut w, 30_000);
+    let volumes: Vec<u64> = all_disciplines()
+        .iter()
+        .map(|d| replay(d, &trace, 30_000).0.iter().sum())
+        .collect();
+    for (i, v) in volumes.iter().enumerate() {
+        assert_eq!(
+            *v, volumes[0],
+            "discipline #{i} served a different flit volume"
+        );
+    }
+}

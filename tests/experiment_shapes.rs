@@ -1,0 +1,146 @@
+//! Scaled-down versions of every experiment in the harness, asserting
+//! the qualitative shapes the paper reports. The full-size runs live in
+//! `cargo run -p err-experiments --release -- all`; these keep the whole
+//! evaluation honest on every `cargo test`.
+
+use err_repro::experiments::{ablation, fig3, fig4, fig5, fig6, fmwindow, latency, loadsweep, table1, topo, wormhole_exp};
+
+#[test]
+fn fig3_trace_matches_reconstruction() {
+    let r = fig3::run();
+    assert!(r.matches, "trace diverged:\n{:#?}", r.trace);
+}
+
+#[test]
+fn fig4_shapes() {
+    let cfg = fig4::Fig4Config {
+        cycles: 250_000,
+        seed: 2,
+        base_rate: 0.006,
+    };
+    let r = fig4::run(&cfg);
+    let fails = fig4::check_shapes(&r);
+    assert!(fails.is_empty(), "{fails:#?}");
+    // Quantify panel (a): under PBRR flow 2 ends up with roughly twice
+    // the KBytes of an ordinary flow, while ERR gives everyone ~1/8.
+    let err = &r.series[0];
+    let total_kb: f64 = err.kbytes.iter().sum();
+    for f in 0..8 {
+        let share = err.kbytes[f] / total_kb;
+        assert!(
+            (0.115..0.135).contains(&share),
+            "ERR flow {f} share {share:.4}"
+        );
+    }
+}
+
+#[test]
+fn fig5_shapes() {
+    let cfg = fig5::Fig5Config {
+        intensities: vec![1.0, 1.15, 1.3],
+        transient: 10_000,
+        seeds: (0..5).collect(),
+    };
+    let r = fig5::run(&cfg);
+    let fails = fig5::check_shapes(&r);
+    assert!(fails.is_empty(), "{fails:#?}");
+}
+
+#[test]
+fn fig6_shapes() {
+    let cfg = fig6::Fig6Config {
+        flows: vec![2, 6, 10],
+        cycles: 300_000,
+        intervals: 1_500,
+        seed: 12,
+    };
+    let r = fig6::run(&cfg);
+    let fails = fig6::check_shapes(&r);
+    assert!(fails.is_empty(), "{fails:#?}");
+}
+
+#[test]
+fn table1_bounds() {
+    let cfg = table1::Table1Config {
+        fm_cycles: 120_000,
+        seed: 6,
+        op_flow_counts: vec![16],
+        ops_per_point: 4_000,
+    };
+    let r = table1::run(&cfg);
+    let fails = table1::check_bounds(&r);
+    assert!(fails.is_empty(), "{fails:#?}");
+}
+
+#[test]
+fn wormhole_shapes() {
+    let cfg = wormhole_exp::WormholeConfig {
+        switch_cycles: 50_000,
+        mesh_packets_per_node: 20,
+        seed: 4,
+    };
+    let r = wormhole_exp::run(&cfg);
+    let fails = wormhole_exp::check_shapes(&r);
+    assert!(fails.is_empty(), "{fails:#?}");
+}
+
+#[test]
+fn fmwindow_shapes() {
+    let cfg = fmwindow::FmWindowConfig {
+        flows: 6,
+        cycles: 250_000,
+        windows: vec![131, 2_053, 32_771],
+        intervals: 1_000,
+        seed: 21,
+    };
+    let r = fmwindow::run(&cfg);
+    let fails = fmwindow::check_shapes(&r);
+    assert!(fails.is_empty(), "{fails:#?}");
+}
+
+#[test]
+fn latency_shapes() {
+    let cfg = latency::LatencyConfig {
+        cycles: 120_000,
+        seed: 14,
+    };
+    let r = latency::run(&cfg);
+    let fails = latency::check_shapes(&r);
+    assert!(fails.is_empty(), "{fails:#?}");
+}
+
+#[test]
+fn topo_shapes() {
+    let cfg = topo::TopoConfig {
+        horizon: 10_000,
+        seed: 6,
+        ..Default::default()
+    };
+    let r = topo::run(&cfg);
+    let fails = topo::check_shapes(&r);
+    assert!(fails.is_empty(), "{fails:#?}");
+}
+
+#[test]
+fn loadsweep_shapes() {
+    let cfg = loadsweep::LoadSweepConfig {
+        loads: vec![0.05, 0.25, 0.5],
+        horizon: 9_000,
+        seed: 2,
+        ..Default::default()
+    };
+    let r = loadsweep::run(&cfg);
+    let fails = loadsweep::check_shapes(&r);
+    assert!(fails.is_empty(), "{fails:#?}");
+}
+
+#[test]
+fn ablation_shapes() {
+    let cfg = ablation::AblationConfig {
+        cycles: 150_000,
+        seed: 8,
+    };
+    let r = ablation::run(&cfg);
+    let fails = ablation::check_shapes(&r);
+    assert!(fails.is_empty(), "{fails:#?}");
+}

@@ -1,0 +1,188 @@
+//! Wormhole network integration: conservation, ordering, the
+//! no-interleaving invariant, and occupancy-time fairness, exercised
+//! through the public crate APIs under randomized traffic.
+
+use err_repro::desim::SimRng;
+use err_repro::sched::Packet;
+use err_repro::wormhole::{
+    ArbiterKind, BlockingSink, Mesh2D, MeshNetwork, Sink, ThrottledSink, WormholeSwitch,
+};
+
+#[test]
+fn mesh_conserves_flits_under_random_traffic() {
+    for seed in 0..5u64 {
+        let mesh = Mesh2D::new(4, 4);
+        let mut net = MeshNetwork::new(mesh, 3, ArbiterKind::Err);
+        let mut rng = SimRng::new(seed);
+        let mut id = 0;
+        let mut expected_pkts = 0;
+        for src in 0..mesh.n_nodes() {
+            for _ in 0..30 {
+                let dest = rng.index(mesh.n_nodes());
+                if dest == src {
+                    continue;
+                }
+                net.inject(src, &Packet::new(id, src, 1 + rng.uniform_u32(0, 19), 0), dest);
+                id += 1;
+                expected_pkts += 1;
+            }
+        }
+        let injected = net.injected_flits();
+        net.run(0, 2_000_000);
+        assert!(net.is_idle(), "seed {seed}: network did not drain");
+        assert_eq!(net.delivered_flits(), injected, "seed {seed}: flits lost");
+        assert_eq!(net.deliveries().len(), expected_pkts);
+        assert_eq!(net.in_flight_flits(), 0);
+    }
+}
+
+#[test]
+fn mesh_preserves_source_destination_order() {
+    // Wormhole + deterministic XY routing: packets between one (src,
+    // dest) pair arrive in injection order.
+    let mesh = Mesh2D::new(4, 4);
+    let mut net = MeshNetwork::new(mesh, 4, ArbiterKind::Rr);
+    let mut rng = SimRng::new(3);
+    let mut id = 0u64;
+    // Background noise plus an ordered stream 0 -> 15.
+    for src in 0..16usize {
+        for _ in 0..10 {
+            let dest = rng.index(16);
+            if dest != src {
+                net.inject(src, &Packet::new(1000 + id, src, 1 + rng.uniform_u32(0, 7), 0), dest);
+                id += 1;
+            }
+        }
+    }
+    for k in 0..25u64 {
+        net.inject(0, &Packet::new(k, 0, 4, 0), 15);
+    }
+    net.run(0, 2_000_000);
+    assert!(net.is_idle());
+    let stream: Vec<u64> = net
+        .deliveries()
+        .iter()
+        .filter(|d| d.packet < 1000 && d.node == 15 && d.flow == 0)
+        .map(|d| d.packet)
+        .collect();
+    assert_eq!(stream, (0..25).collect::<Vec<_>>());
+}
+
+#[test]
+fn switch_output_never_interleaves_packets() {
+    // Deliveries at a PerfectSink record tails; to check interleaving we
+    // watch the sink's flit stream via a recording sink.
+    struct RecordingSink {
+        flits: Vec<err_repro::wormhole::Flit>,
+    }
+    impl Sink for RecordingSink {
+        fn can_accept(&self, _now: u64) -> bool {
+            true
+        }
+        fn accept(&mut self, flit: err_repro::wormhole::Flit, _now: u64) {
+            self.flits.push(flit);
+        }
+        fn delivered(&self) -> u64 {
+            self.flits.len() as u64
+        }
+    }
+    let sink = Box::new(RecordingSink { flits: Vec::new() });
+    let mut sw = WormholeSwitch::new(3, vec![ArbiterKind::Err.build(3)], vec![sink]);
+    let mut rng = SimRng::new(8);
+    let mut id = 0;
+    for q in 0..3usize {
+        for _ in 0..40 {
+            sw.inject(q, &Packet::new(id, q, 1 + rng.uniform_u32(0, 11), 0), 0);
+            id += 1;
+        }
+    }
+    sw.run_until_idle(0, 100_000);
+    // Downcast back via the public accessor is not possible; rely on the
+    // occupancy log + total count instead: each record's `held` >= len
+    // and the total delivered equals the total injected.
+    let total_len: u64 = sw.occupancy_log().iter().map(|r| r.len as u64).sum();
+    assert_eq!(sw.sink(0).delivered(), total_len);
+    for rec in sw.occupancy_log() {
+        assert!(
+            rec.held >= rec.len as u64,
+            "occupancy {} below length {}",
+            rec.held,
+            rec.len
+        );
+    }
+}
+
+#[test]
+fn throttled_sink_stretches_occupancy_proportionally() {
+    let sink: Box<dyn Sink> = Box::new(ThrottledSink::new(4));
+    let mut sw = WormholeSwitch::new(1, vec![ArbiterKind::Err.build(1)], vec![sink]);
+    for k in 0..10u64 {
+        sw.inject(0, &Packet::new(k, 0, 6, 0), 0);
+    }
+    sw.run_until_idle(0, 100_000);
+    for rec in sw.occupancy_log() {
+        // One flit every 4 cycles: occupancy ~4x length.
+        let stretch = rec.held as f64 / rec.len as f64;
+        assert!(
+            (3.0..5.0).contains(&stretch),
+            "packet {}: stretch {stretch}",
+            rec.packet
+        );
+    }
+}
+
+#[test]
+fn err_arbitration_time_shares_converge_under_blocking() {
+    // Three queues with wildly different packet sizes (2 / 8 / 32 flits)
+    // into a randomly blocking output: ERR gives each ~1/3 of the
+    // output's occupied time.
+    let sink: Box<dyn Sink> = Box::new(BlockingSink::new(4, 0.1, 0.2));
+    let mut sw = WormholeSwitch::new(3, vec![ArbiterKind::Err.build(3)], vec![sink]);
+    let mut id = 0;
+    for _ in 0..3000 {
+        sw.inject(0, &Packet::new(id, 0, 2, 0), 0);
+        id += 1;
+    }
+    for _ in 0..750 {
+        sw.inject(1, &Packet::new(id, 1, 8, 0), 0);
+        id += 1;
+    }
+    for _ in 0..190 {
+        sw.inject(2, &Packet::new(id, 2, 32, 0), 0);
+        id += 1;
+    }
+    for now in 0..18_000u64 {
+        sw.step(now);
+    }
+    let mut held = [0u64; 3];
+    for rec in sw.occupancy_log() {
+        held[rec.queue] += rec.held;
+    }
+    let total: u64 = held.iter().sum();
+    for (q, h) in held.iter().enumerate() {
+        let share = *h as f64 / total as f64;
+        assert!(
+            (0.26..0.40).contains(&share),
+            "queue {q} share {share:.3}, expected ~1/3 ({held:?})"
+        );
+    }
+}
+
+#[test]
+fn mesh_latency_scales_with_distance_when_uncontended() {
+    let mesh = Mesh2D::new(8, 1);
+    for hops in [1usize, 3, 6] {
+        let mut net = MeshNetwork::new(mesh, 4, ArbiterKind::Err);
+        net.inject(0, &Packet::new(0, 0, 4, 0), hops);
+        net.run(0, 10_000);
+        assert!(net.is_idle());
+        let lat = net.latency().mean();
+        // Lower bound: each hop costs >= 1 cycle of link latency plus the
+        // serialization of 4 flits at the end.
+        assert!(
+            lat >= (hops + 3) as f64,
+            "{hops} hops: latency {lat}"
+        );
+        assert!(lat < (hops as f64 + 4.0) * 4.0, "{hops} hops: latency {lat} too big");
+    }
+}
