@@ -95,8 +95,7 @@ impl P2Quantile {
             if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
                 let d = d.signum();
                 let parabolic = self.parabolic(i, d);
-                let new_h = if self.heights[i - 1] < parabolic && parabolic < self.heights[i + 1]
-                {
+                let new_h = if self.heights[i - 1] < parabolic && parabolic < self.heights[i + 1] {
                     parabolic
                 } else {
                     self.linear(i, d)
@@ -174,7 +173,10 @@ mod tests {
         }
         let exact = exact_quantile(&mut data, 0.5);
         let est = p.estimate().unwrap();
-        assert!((est - exact).abs() < 1.0, "median est {est} vs exact {exact}");
+        assert!(
+            (est - exact).abs() < 1.0,
+            "median est {est} vs exact {exact}"
+        );
     }
 
     #[test]

@@ -52,7 +52,9 @@ impl SimRng {
     /// `rng.derive(a)` and `rng.derive(b)` are statistically independent
     /// for `a != b`, and independent of `rng` itself.
     pub fn derive(&self, stream: u64) -> SimRng {
-        SimRng::new(splitmix64(self.seed ^ splitmix64(stream.wrapping_add(0xA5A5_A5A5))))
+        SimRng::new(splitmix64(
+            self.seed ^ splitmix64(stream.wrapping_add(0xA5A5_A5A5)),
+        ))
     }
 
     /// Uniform integer in `[lo, hi]` (inclusive on both ends).

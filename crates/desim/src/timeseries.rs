@@ -37,7 +37,10 @@ impl CumulativeCurve {
                 last.1 += amount;
             }
             Some(&mut (last_t, total)) => {
-                assert!(t > last_t, "times must be non-decreasing: {t} after {last_t}");
+                assert!(
+                    t > last_t,
+                    "times must be non-decreasing: {t} after {last_t}"
+                );
                 self.points.push((t, total + amount));
             }
             None => self.points.push((t, amount)),

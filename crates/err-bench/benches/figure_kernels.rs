@@ -8,7 +8,9 @@
 //! code path of each figure).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use err_experiments::{ablation, fig3, fig4, fig5, fig6, fmwindow, latency, table1, topo, wormhole_exp};
+use err_experiments::{
+    ablation, fig3, fig4, fig5, fig6, fmwindow, latency, table1, topo, wormhole_exp,
+};
 use std::hint::black_box;
 
 fn bench_fig3(c: &mut Criterion) {

@@ -1,0 +1,55 @@
+//! End-to-end sharded-runtime throughput: packets pushed through the
+//! full submit → ring → shard-scheduler → drain pipeline per second,
+//! swept over shard counts.
+//!
+//! Wall-clock scaling across shards needs idle cores; on a saturated or
+//! single-core machine the interesting outputs are the absolute
+//! pipeline rate (submit-path + scheduling overhead per packet) and the
+//! logical capacity figure reported by `runtime-bench` /
+//! `BENCH_runtime.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use err_runtime::{Runtime, RuntimeConfig, Submitted};
+use err_sched::{Discipline, Packet};
+use std::hint::black_box;
+
+const N_FLOWS: usize = 64;
+const PACKET_LEN: u32 = 8;
+const PACKETS: u64 = 20_000;
+
+/// One full runtime lifecycle: start, submit the uniform workload,
+/// drain, and return served packets.
+fn pipeline(shards: usize) -> u64 {
+    let (rt, handle) = Runtime::start(RuntimeConfig {
+        shards,
+        n_flows: N_FLOWS,
+        discipline: Discipline::Err,
+        ..RuntimeConfig::default()
+    });
+    for id in 0..PACKETS {
+        let pkt = Packet::new(id, (id % N_FLOWS as u64) as usize, PACKET_LEN, 0);
+        assert_eq!(handle.submit(pkt), Ok(Submitted::Enqueued));
+    }
+    let report = rt.shutdown();
+    assert!(report.is_conserving());
+    report.served_packets()
+}
+
+fn bench_runtime_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime_scaling");
+    group.sample_size(10);
+    for shards in [1usize, 2, 4, 8] {
+        group.throughput(Throughput::Elements(PACKETS));
+        group.bench_with_input(
+            BenchmarkId::new("uniform_64_flows", shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| black_box(pipeline(shards)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_runtime_scaling);
+criterion_main!(benches);

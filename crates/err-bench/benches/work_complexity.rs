@@ -31,7 +31,9 @@ fn backlogged(d: &Discipline, n: usize) -> (Box<dyn Scheduler>, u64) {
 fn bench_work_complexity(c: &mut Criterion) {
     let disciplines = vec![
         Discipline::Err,
-        Discipline::Drr { quantum: PKT_LEN as u64 },
+        Discipline::Drr {
+            quantum: PKT_LEN as u64,
+        },
         Discipline::Pbrr,
         Discipline::Fcfs,
         Discipline::Fbrr,
@@ -43,26 +45,19 @@ fn bench_work_complexity(c: &mut Criterion) {
     for d in &disciplines {
         for &n in &[16usize, 256, 4096] {
             group.throughput(Throughput::Elements(1));
-            group.bench_with_input(
-                BenchmarkId::new(d.label(), n),
-                &n,
-                |b, &n| {
-                    let (mut sched, mut next_id) = backlogged(d, n);
-                    let mut now = 0u64;
-                    b.iter(|| {
-                        let flit = sched.service_flit(now).expect("backlogged");
-                        if flit.is_tail() {
-                            sched.enqueue(
-                                Packet::new(next_id, flit.flow, PKT_LEN, now),
-                                now,
-                            );
-                            next_id += 1;
-                        }
-                        now += 1;
-                        black_box(flit.flow)
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(d.label(), n), &n, |b, &n| {
+                let (mut sched, mut next_id) = backlogged(d, n);
+                let mut now = 0u64;
+                b.iter(|| {
+                    let flit = sched.service_flit(now).expect("backlogged");
+                    if flit.is_tail() {
+                        sched.enqueue(Packet::new(next_id, flit.flow, PKT_LEN, now), now);
+                        next_id += 1;
+                    }
+                    now += 1;
+                    black_box(flit.flow)
+                });
+            });
         }
     }
     group.finish();

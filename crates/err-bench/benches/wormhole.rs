@@ -34,7 +34,11 @@ fn mesh_kernel(kind: ArbiterKind, packets_per_node: u64, seed: u64) -> u64 {
         for _ in 0..packets_per_node {
             let dest = rng.index(mesh.n_nodes());
             if dest != src {
-                net.inject(src, &Packet::new(id, src, 1 + rng.uniform_u32(1, 12), 0), dest);
+                net.inject(
+                    src,
+                    &Packet::new(id, src, 1 + rng.uniform_u32(1, 12), 0),
+                    dest,
+                );
                 id += 1;
             }
         }

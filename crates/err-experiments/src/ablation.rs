@@ -58,11 +58,7 @@ pub struct AblationResult {
 
 /// Runs a pre-built scheduler over the Figure 4 workload, returning
 /// per-flow totals, exact FM, and the largest served packet.
-fn measure(
-    mut sched: Box<dyn Scheduler>,
-    cycles: u64,
-    seed: u64,
-) -> (Vec<u64>, u64, u64) {
+fn measure(mut sched: Box<dyn Scheduler>, cycles: u64, seed: u64) -> (Vec<u64>, u64, u64) {
     let specs = fig4_flows(0.006);
     let n = specs.len();
     let mut workload = Workload::with_horizon(specs, seed, cycles);
@@ -114,11 +110,7 @@ pub fn run(cfg: &AblationConfig) -> AblationResult {
     }
     let mut drr_quanta = Vec::new();
     for quantum in [8u64, 32, 64, 128, 256] {
-        let (_, fm, m) = measure(
-            Discipline::Drr { quantum }.build(8),
-            cfg.cycles,
-            cfg.seed,
-        );
+        let (_, fm, m) = measure(Discipline::Drr { quantum }.build(8), cfg.cycles, cfg.seed);
         m_seen = m_seen.max(m);
         drr_quanta.push((quantum, fm));
     }
@@ -156,8 +148,16 @@ pub fn run(cfg: &AblationConfig) -> AblationResult {
 /// Renders the three ablation tables.
 pub fn tables(r: &AblationResult) -> Vec<Table> {
     let mut t1 = Table::new(
-        &format!("Ablation A — ERR design knobs on the Fig. 4 workload (m = {})", r.m),
-        &["variant", "exact FM (flits)", "flow-2 advantage", "3m bound"],
+        &format!(
+            "Ablation A — ERR design knobs on the Fig. 4 workload (m = {})",
+            r.m
+        ),
+        &[
+            "variant",
+            "exact FM (flits)",
+            "flow-2 advantage",
+            "3m bound",
+        ],
     );
     for (label, totals, fm) in &r.err_variants {
         let others: f64 = [0usize, 1, 4, 5, 6, 7]
@@ -240,7 +240,9 @@ pub fn check_shapes(r: &AblationResult) -> Vec<String> {
     let first = r.drr_quanta.first().expect("quanta").1;
     let last = r.drr_quanta.last().expect("quanta").1;
     if last <= first {
-        fails.push(format!("DRR FM not increasing with quantum: {first} -> {last}"));
+        fails.push(format!(
+            "DRR FM not increasing with quantum: {first} -> {last}"
+        ));
     }
     // Weighted shares near 1:2:4.
     let wsum: f64 = r.weight_shares.iter().map(|&(w, _)| w as f64).sum();

@@ -83,7 +83,13 @@ pub fn run() -> Fig3Result {
 pub fn table(result: &Fig3Result) -> Table {
     let mut t = Table::new(
         "Figure 3 — three rounds of an ERR execution (reconstructed)",
-        &["round", "flow", "allowance A_i(r)", "sent Sent_i(r)", "surplus SC_i(r)"],
+        &[
+            "round",
+            "flow",
+            "allowance A_i(r)",
+            "sent Sent_i(r)",
+            "surplus SC_i(r)",
+        ],
     );
     for r in &result.trace {
         t.row(vec![
@@ -111,22 +117,19 @@ mod tests {
     fn expected_table_is_internally_consistent() {
         // Re-derive EXPECTED from Eqs. (1)-(2) and the elastic do-while,
         // independent of the scheduler implementation.
-        let mut queues: Vec<std::collections::VecDeque<u32>> = QUEUES
-            .iter()
-            .map(|q| q.iter().copied().collect())
-            .collect();
+        let mut queues: Vec<std::collections::VecDeque<u32>> =
+            QUEUES.iter().map(|q| q.iter().copied().collect()).collect();
         let mut sc = [0u64; 3];
         let mut max_sc_prev = 0u64;
-        for round in 0..3 {
+        for (round, expected_round) in EXPECTED.iter().enumerate() {
             let mut max_sc = 0;
             for flow in 0..3 {
                 let a = 1 + max_sc_prev - sc[flow];
-                let (ea, esent, esc) = EXPECTED[round][flow];
+                let (ea, esent, esc) = expected_round[flow];
                 assert_eq!(a, ea, "round {round} flow {flow} allowance");
                 let mut sent = 0u64;
                 // do { transmit } while (sent < a && queue non-empty)
-                loop {
-                    let Some(len) = queues[flow].pop_front() else { break };
+                while let Some(len) = queues[flow].pop_front() {
                     sent += len as u64;
                     if sent >= a {
                         break;

@@ -109,11 +109,7 @@ pub fn run(cfg: &Fig5Config) -> Fig5Result {
         .collect();
     // Per-flow breakdown at the top intensity: who pays for ERR's better
     // mean?
-    let detail_intensity = cfg
-        .intensities
-        .iter()
-        .cloned()
-        .fold(f64::MIN, f64::max);
+    let detail_intensity = cfg.intensities.iter().cloned().fold(f64::MIN, f64::max);
     let specs = fig5_flows(detail_intensity);
     let detail = [Discipline::Err, Discipline::Fcfs]
         .iter()
@@ -182,6 +178,8 @@ pub fn table(result: &Fig5Result) -> Table {
 }
 
 /// Checks the paper's qualitative claims; returns failures (empty = ok).
+// Negated float comparisons are deliberate: a NaN mean must fail the check.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
 pub fn check_shapes(r: &Fig5Result) -> Vec<String> {
     let mut fails = Vec::new();
     let get = |label: &str| {

@@ -121,7 +121,11 @@ pub fn run(cfg: &FmWindowConfig) -> FmWindowResult {
 /// Renders the sweep as a table.
 pub fn table(r: &FmWindowResult) -> Table {
     let mut headers: Vec<String> = vec!["window (cycles)".into()];
-    headers.extend(r.series.iter().map(|s| format!("{} avg FM (bytes)", s.label)));
+    headers.extend(
+        r.series
+            .iter()
+            .map(|s| format!("{} avg FM (bytes)", s.label)),
+    );
     headers.push("ERR 3m bound (bytes)".into());
     let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     let mut t = Table::new(

@@ -129,7 +129,11 @@ pub fn table(r: &LatencyResult) -> Table {
             "Empirical LR-server latency at rho = 1/8 (Fig. 4 workload, m = {})",
             r.m
         ),
-        &["discipline", "theta flow 0 (cycles)", "theta flow 2, 2x-len (cycles)"],
+        &[
+            "discipline",
+            "theta flow 0 (cycles)",
+            "theta flow 2, 2x-len (cycles)",
+        ],
     );
     for row in &r.rows {
         t.row(vec![

@@ -9,7 +9,7 @@
 //! is reported alongside: below saturation it tracks the offered load;
 //! past it, it flattens at the network's capacity.
 
-use desim::{Cycle, SimRng};
+use desim::SimRng;
 use err_sched::Packet;
 use traffic_gen::TrafficPattern;
 use wormhole_net::{ArbiterKind, Mesh2D, MeshNetwork, Torus2D, TorusNetwork};
@@ -168,7 +168,10 @@ pub fn check_shapes(r: &LoadSweepResult) -> Vec<String> {
     let first = &r.points[0];
     let last = r.points.last().expect("points");
     // At the lightest load both networks accept ~everything.
-    for (label, acc) in [("mesh", first.mesh_accepted), ("torus", first.torus_accepted)] {
+    for (label, acc) in [
+        ("mesh", first.mesh_accepted),
+        ("torus", first.torus_accepted),
+    ] {
         if acc < first.offered * 0.85 {
             fails.push(format!(
                 "{label}: accepted {acc:.3} far below offered {:.3} at light load",

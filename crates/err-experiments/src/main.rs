@@ -28,7 +28,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use err_experiments::report::Table;
-use err_experiments::{ablation, fig3, fig4, fig5, fig6, fmwindow, latency, loadsweep, table1, topo, wormhole_exp};
+use err_experiments::{
+    ablation, fig3, fig4, fig5, fig6, fmwindow, latency, loadsweep, table1, topo, wormhole_exp,
+};
 
 struct Opts {
     experiments: Vec<String>,
@@ -71,12 +73,21 @@ fn parse_args() -> Result<Opts, String> {
     }
     if opts.experiments.iter().any(|e| e == "all") {
         opts.experiments = [
-            "table1", "fig3", "fig4", "fig5", "fig6", "wormhole", "ablation", "fmwindow",
-            "latency", "topo", "loadsweep",
+            "table1",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "wormhole",
+            "ablation",
+            "fmwindow",
+            "latency",
+            "topo",
+            "loadsweep",
         ]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     }
     Ok(opts)
 }

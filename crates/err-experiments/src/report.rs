@@ -80,7 +80,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -158,7 +162,7 @@ mod tests {
     #[test]
     fn fnum_ranges() {
         assert_eq!(fnum(0.0), "0");
-        assert_eq!(fnum(3.14159), "3.142");
+        assert_eq!(fnum(4.56789), "4.568");
         assert_eq!(fnum(42.42), "42.4");
         assert_eq!(fnum(12345.6), "12346");
     }

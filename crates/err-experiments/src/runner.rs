@@ -178,9 +178,7 @@ mod tests {
 
     #[test]
     fn parallel_sweep_preserves_order() {
-        let jobs: Vec<_> = (0..17)
-            .map(|i| move || i * i)
-            .collect();
+        let jobs: Vec<_> = (0..17).map(|i| move || i * i).collect();
         let out = parallel_sweep(jobs, 4);
         assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<i32>>());
     }

@@ -179,7 +179,7 @@ fn ops_disciplines() -> Vec<Discipline> {
 /// Runs the Table 1 experiment.
 pub fn run(cfg: &Table1Config) -> Table1Result {
     let max = 128u64; // Figure 4 workload: flow 2 up to 128 flits.
-    // Fairness measurements in parallel.
+                      // Fairness measurements in parallel.
     let jobs: Vec<_> = fm_disciplines(max)
         .into_iter()
         .map(|(d, analytic)| {
@@ -192,11 +192,7 @@ pub fn run(cfg: &Table1Config) -> Table1Result {
         })
         .collect();
     let fm_measured = parallel_sweep(jobs, 7);
-    let m = fm_measured
-        .iter()
-        .map(|&(_, _, _, m)| m)
-        .max()
-        .unwrap_or(0);
+    let m = fm_measured.iter().map(|&(_, _, _, m)| m).max().unwrap_or(0);
     let fm_rows = fm_measured
         .into_iter()
         .map(|(label, analytic, measured_fm, _)| {

@@ -189,7 +189,13 @@ pub fn run(cfg: &TopoConfig) -> TopoResult {
 pub fn table(r: &TopoResult) -> Table {
     let mut t = Table::new(
         "Topology study — mean latency (cycles) by traffic pattern, 6x6, ERR arbitration",
-        &["pattern", "mesh", "torus (dateline VCs)", "torus/mesh", "packets"],
+        &[
+            "pattern",
+            "mesh",
+            "torus (dateline VCs)",
+            "torus/mesh",
+            "packets",
+        ],
     );
     for row in &r.rows {
         t.row(vec![
@@ -228,10 +234,8 @@ pub fn check_shapes(r: &TopoResult) -> Vec<String> {
     // Nearest-neighbor traffic is cheapest everywhere.
     let neighbor = get("neighbor");
     let uniform = get("uniform");
-    let selectors: [(&str, fn(&TopoRow) -> f64); 2] = [
-        ("mesh", |r| r.mesh_mean),
-        ("torus", |r| r.torus_mean),
-    ];
+    type MeanSel = fn(&TopoRow) -> f64;
+    let selectors: [(&str, MeanSel); 2] = [("mesh", |r| r.mesh_mean), ("torus", |r| r.torus_mean)];
     for (label, row) in selectors {
         if row(neighbor) >= row(uniform) {
             fails.push(format!(

@@ -309,6 +309,8 @@ pub fn tables(r: &WormholeResult) -> Vec<Table> {
 }
 
 /// Checks the qualitative expectations (empty = ok).
+// Negated float comparisons are deliberate: a NaN latency must fail the check.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
 pub fn check_shapes(r: &WormholeResult) -> Vec<String> {
     let mut fails = Vec::new();
     let find = |label: &str| r.switch.iter().find(|o| o.label == label).expect("outcome");
@@ -326,7 +328,10 @@ pub fn check_shapes(r: &WormholeResult) -> Vec<String> {
     // ERR: queue 0's share of port time ≈ 1/4; RR: ≈ 32/(32+12) ≈ 0.73.
     let share = |o: &SwitchOutcome| o.held[0] as f64 / o.held.iter().sum::<u64>() as f64;
     if !(0.17..0.33).contains(&share(err)) {
-        fails.push(format!("ERR q0 time share {:.3}, expected ~0.25", share(err)));
+        fails.push(format!(
+            "ERR q0 time share {:.3}, expected ~0.25",
+            share(err)
+        ));
     }
     if share(rr) < 0.55 {
         fails.push(format!(

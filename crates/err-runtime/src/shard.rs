@@ -1,0 +1,115 @@
+//! The shard worker: a private scheduler driven in batched service loops.
+//!
+//! Each shard owns one discipline instance (usually ERR) and never shares
+//! it — there is no lock around scheduling state, which is what keeps the
+//! per-flit decision O(1) end to end. The loop alternates between two
+//! batched phases:
+//!
+//! 1. **Intake** — drain up to `batch_packets` arrivals from the ingress
+//!    ring into the scheduler's per-flow queues;
+//! 2. **Service** — serve up to `batch_flits` flits, advancing the
+//!    shard's flit clock by one cycle per flit (the paper's model: the
+//!    egress link carries one flit per cycle).
+//!
+//! Batching amortizes ring traffic and stats updates over many flits
+//! without changing the discipline's decisions: ERR is defined per
+//! visit/round, and `service_batch` replays exactly the per-flit
+//! sequence the single-stepped scheduler would produce.
+//!
+//! When there is nothing to do the worker spins briefly, then parks with
+//! a timeout; producers never need to wake it explicitly (no lost-wakeup
+//! protocol to get wrong), at the cost of at most `PARK_TIMEOUT` of
+//! added latency on an idle→busy transition.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use desim::Cycle;
+use err_sched::{Packet, Scheduler, ServedFlit};
+
+use crate::ingress::Shared;
+
+/// Spins this many empty loops before parking.
+const SPIN_BEFORE_PARK: u32 = 64;
+/// Idle park duration; bounds wake-up latency after an idle period.
+const PARK_TIMEOUT: Duration = Duration::from_micros(100);
+
+/// Per-shard configuration handed to the worker thread.
+pub(crate) struct ShardConfig {
+    pub(crate) shard: usize,
+    pub(crate) batch_packets: usize,
+    pub(crate) batch_flits: usize,
+}
+
+/// Sink for served flits (per shard, owned by the worker thread).
+pub type EgressSink = Box<dyn FnMut(usize, &ServedFlit) + Send>;
+
+/// Runs one shard to completion: serves until `shutdown()` has been
+/// called *and* the ring plus the scheduler are fully drained. Returns
+/// the shard's final flit clock.
+pub(crate) fn run_shard(
+    shared: Arc<Shared>,
+    cfg: ShardConfig,
+    mut scheduler: Box<dyn Scheduler + Send>,
+    mut egress: Option<EgressSink>,
+) -> Cycle {
+    let ring = &shared.rings[cfg.shard];
+    let stats = &shared.stats[cfg.shard];
+    let mut arrivals: Vec<Packet> = Vec::with_capacity(cfg.batch_packets);
+    let mut served: Vec<ServedFlit> = Vec::with_capacity(cfg.batch_flits);
+    let mut now: Cycle = 0;
+    let mut idle_spins: u32 = 0;
+
+    loop {
+        // Intake phase.
+        arrivals.clear();
+        let pulled = ring.pop_batch(&mut arrivals, cfg.batch_packets);
+        for pkt in arrivals.drain(..) {
+            scheduler.enqueue(pkt, now);
+        }
+
+        // Service phase: one flit per cycle of the shard's flit clock.
+        served.clear();
+        let n = scheduler.service_batch(now, cfg.batch_flits, &mut served);
+        now += n as u64;
+        if n > 0 {
+            let mut tail_count = 0u64;
+            for flit in &served {
+                if flit.is_tail() {
+                    tail_count += 1;
+                    shared.admission.on_packet_served(flit.flow, flit.len);
+                }
+                if let Some(sink) = egress.as_mut() {
+                    sink(cfg.shard, flit);
+                }
+            }
+            stats.served_flits.add(n as u64);
+            stats.served_packets.add(tail_count);
+        }
+        stats.backlog_flits.set(scheduler.backlog_flits());
+
+        if pulled == 0 && n == 0 {
+            // Nothing moved. Exit only when shutdown has been requested,
+            // no producer is still inside `submit` (see
+            // `Shared::can_finish` — a mid-submit producer could still
+            // push), and everything this shard owns is drained. The ring
+            // check must come after `can_finish`: once that returns
+            // true no further push can happen, so empty is stable.
+            if shared.can_finish() && ring.is_empty() && scheduler.is_idle() {
+                break;
+            }
+            idle_spins += 1;
+            if idle_spins < SPIN_BEFORE_PARK {
+                std::hint::spin_loop();
+            } else {
+                stats.parks.add(1);
+                std::thread::park_timeout(PARK_TIMEOUT);
+            }
+        } else {
+            idle_spins = 0;
+            stats.busy_loops.add(1);
+        }
+    }
+    stats.backlog_flits.set(0);
+    now
+}

@@ -1,0 +1,209 @@
+//! Lock-free per-shard statistics and their merged runtime view.
+//!
+//! Each shard owns one [`ShardStats`] block of cache-line-padded atomic
+//! counters; the worker updates them with relaxed stores on its hot path
+//! and readers take consistent-enough [`ShardSnapshot`]s at any time
+//! without stopping the world. [`RuntimeStats`] merges the per-shard
+//! snapshots into the aggregate view the operator cares about.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A cache-line-padded atomic counter, so two shards' hot counters never
+/// share a line (false sharing would serialize the shards through the
+/// coherence protocol — exactly what the sharded design exists to avoid).
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub struct PaddedCounter(AtomicU64);
+
+impl PaddedCounter {
+    /// Adds `n` (relaxed; counters are monotonic and independently read).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrites the value (for gauges such as backlog).
+    #[inline]
+    pub fn set(&self, n: u64) {
+        self.0.store(n, Ordering::Relaxed);
+    }
+
+    /// Reads the current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// One shard's counters. Written by its worker (and, for the admission
+/// counters, by producers); read by anyone.
+#[derive(Debug, Default)]
+pub struct ShardStats {
+    /// Packets accepted into this shard's ingress ring.
+    pub enqueued_packets: PaddedCounter,
+    /// Flits belonging to accepted packets.
+    pub enqueued_flits: PaddedCounter,
+    /// Packets dropped by drop-tail admission (never entered the ring).
+    pub dropped_packets: PaddedCounter,
+    /// Flits of dropped packets.
+    pub dropped_flits: PaddedCounter,
+    /// Packets refused with an error under the reject policy.
+    pub rejected_packets: PaddedCounter,
+    /// Flits served by the shard's scheduler.
+    pub served_flits: PaddedCounter,
+    /// Packets whose tail flit has been served.
+    pub served_packets: PaddedCounter,
+    /// Scheduler backlog in flits (gauge, refreshed every service batch).
+    pub backlog_flits: PaddedCounter,
+    /// Service-loop iterations that moved at least one packet or flit.
+    pub busy_loops: PaddedCounter,
+    /// Times the worker parked because there was nothing to do.
+    pub parks: PaddedCounter,
+}
+
+impl ShardStats {
+    /// Takes a point-in-time copy of the counters.
+    pub fn snapshot(&self, shard: usize) -> ShardSnapshot {
+        ShardSnapshot {
+            shard,
+            enqueued_packets: self.enqueued_packets.get(),
+            enqueued_flits: self.enqueued_flits.get(),
+            dropped_packets: self.dropped_packets.get(),
+            dropped_flits: self.dropped_flits.get(),
+            rejected_packets: self.rejected_packets.get(),
+            served_flits: self.served_flits.get(),
+            served_packets: self.served_packets.get(),
+            backlog_flits: self.backlog_flits.get(),
+            busy_loops: self.busy_loops.get(),
+            parks: self.parks.get(),
+        }
+    }
+}
+
+/// Plain-value copy of one shard's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardSnapshot {
+    /// Shard index.
+    pub shard: usize,
+    /// See [`ShardStats::enqueued_packets`].
+    pub enqueued_packets: u64,
+    /// See [`ShardStats::enqueued_flits`].
+    pub enqueued_flits: u64,
+    /// See [`ShardStats::dropped_packets`].
+    pub dropped_packets: u64,
+    /// See [`ShardStats::dropped_flits`].
+    pub dropped_flits: u64,
+    /// See [`ShardStats::rejected_packets`].
+    pub rejected_packets: u64,
+    /// See [`ShardStats::served_flits`].
+    pub served_flits: u64,
+    /// See [`ShardStats::served_packets`].
+    pub served_packets: u64,
+    /// See [`ShardStats::backlog_flits`].
+    pub backlog_flits: u64,
+    /// See [`ShardStats::busy_loops`].
+    pub busy_loops: u64,
+    /// See [`ShardStats::parks`].
+    pub parks: u64,
+}
+
+/// The merged, runtime-wide statistics view.
+#[derive(Clone, Debug, Default)]
+pub struct RuntimeStats {
+    /// Per-shard snapshots, indexed by shard.
+    pub shards: Vec<ShardSnapshot>,
+}
+
+macro_rules! sum_field {
+    ($(#[$doc:meta] $fn_name:ident => $field:ident),+ $(,)?) => {$(
+        #[$doc]
+        pub fn $fn_name(&self) -> u64 {
+            self.shards.iter().map(|s| s.$field).sum()
+        }
+    )+};
+}
+
+impl RuntimeStats {
+    /// Merges per-shard stat blocks into one view.
+    pub fn collect(stats: &[ShardStats]) -> Self {
+        Self {
+            shards: stats
+                .iter()
+                .enumerate()
+                .map(|(i, s)| s.snapshot(i))
+                .collect(),
+        }
+    }
+
+    sum_field! {
+        /// Total packets accepted across shards.
+        enqueued_packets => enqueued_packets,
+        /// Total flits accepted across shards.
+        enqueued_flits => enqueued_flits,
+        /// Total packets dropped by drop-tail admission.
+        dropped_packets => dropped_packets,
+        /// Total flits dropped by drop-tail admission.
+        dropped_flits => dropped_flits,
+        /// Total packets refused under the reject policy.
+        rejected_packets => rejected_packets,
+        /// Total flits served.
+        served_flits => served_flits,
+        /// Total packets fully served.
+        served_packets => served_packets,
+        /// Total scheduler backlog in flits (sum of gauges).
+        backlog_flits => backlog_flits,
+        /// Total times any worker parked idle.
+        parks => parks,
+    }
+
+    /// Packets that entered the system one way or another: accepted,
+    /// dropped, or rejected.
+    pub fn submitted_packets(&self) -> u64 {
+        self.enqueued_packets() + self.dropped_packets() + self.rejected_packets()
+    }
+
+    /// Fraction of submitted packets dropped or rejected (0 when idle).
+    pub fn loss_rate(&self) -> f64 {
+        let submitted = self.submitted_packets();
+        if submitted == 0 {
+            return 0.0;
+        }
+        (self.dropped_packets() + self.rejected_packets()) as f64 / submitted as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_merge() {
+        let blocks = [ShardStats::default(), ShardStats::default()];
+        blocks[0].enqueued_packets.add(3);
+        blocks[0].enqueued_flits.add(12);
+        blocks[1].enqueued_packets.add(4);
+        blocks[1].dropped_packets.add(1);
+        blocks[1].dropped_flits.add(9);
+        blocks[0].served_flits.add(12);
+        blocks[0].served_packets.add(3);
+        blocks[1].backlog_flits.set(7);
+
+        let m = RuntimeStats::collect(&blocks);
+        assert_eq!(m.shards.len(), 2);
+        assert_eq!(m.enqueued_packets(), 7);
+        assert_eq!(m.enqueued_flits(), 12);
+        assert_eq!(m.dropped_packets(), 1);
+        assert_eq!(m.submitted_packets(), 8);
+        assert_eq!(m.served_packets(), 3);
+        assert_eq!(m.backlog_flits(), 7);
+        assert!((m.loss_rate() - 1.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gauge_set_overwrites() {
+        let c = PaddedCounter::default();
+        c.set(10);
+        c.set(4);
+        assert_eq!(c.get(), 4);
+    }
+}

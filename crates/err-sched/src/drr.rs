@@ -150,11 +150,7 @@ impl Scheduler for DrrScheduler {
     }
 
     fn backlog_flits(&self) -> u64 {
-        self.queues.backlog_flits()
-            + self
-                .in_flight
-                .as_ref()
-                .map_or(0, |s| s.remaining() as u64)
+        self.queues.backlog_flits() + self.in_flight.as_ref().map_or(0, |s| s.remaining() as u64)
     }
 
     fn name(&self) -> &'static str {

@@ -425,11 +425,7 @@ impl Scheduler for ErrScheduler {
     }
 
     fn backlog_flits(&self) -> u64 {
-        self.queues.backlog_flits()
-            + self
-                .in_flight
-                .as_ref()
-                .map_or(0, |s| s.remaining() as u64)
+        self.queues.backlog_flits() + self.in_flight.as_ref().map_or(0, |s| s.remaining() as u64)
     }
 
     fn name(&self) -> &'static str {
@@ -477,15 +473,30 @@ mod tests {
         // Round 1.
         assert_eq!(trace[0].round, 1);
         assert_eq!(
-            (trace[0].flow, trace[0].allowance, trace[0].sent, trace[0].surplus),
+            (
+                trace[0].flow,
+                trace[0].allowance,
+                trace[0].sent,
+                trace[0].surplus
+            ),
             (0, 1, 32, 31)
         );
         assert_eq!(
-            (trace[1].flow, trace[1].allowance, trace[1].sent, trace[1].surplus),
+            (
+                trace[1].flow,
+                trace[1].allowance,
+                trace[1].sent,
+                trace[1].surplus
+            ),
             (1, 1, 24, 23)
         );
         assert_eq!(
-            (trace[2].flow, trace[2].allowance, trace[2].sent, trace[2].surplus),
+            (
+                trace[2].flow,
+                trace[2].allowance,
+                trace[2].sent,
+                trace[2].surplus
+            ),
             (2, 1, 12, 11)
         );
         // Round 2 allowances follow Eq. 2 with MaxSC(1) = 31.
@@ -537,7 +548,10 @@ mod tests {
         // Find flow 0's round-2 visit.
         let v = t.iter().find(|r| r.round == 2 && r.flow == 0).unwrap();
         assert_eq!(v.allowance, 21);
-        assert_eq!(v.sent, 24, "six 4-flit packets: last starts at sent=20 < 21");
+        assert_eq!(
+            v.sent, 24,
+            "six 4-flit packets: last starts at sent=20 < 21"
+        );
         assert_eq!(v.surplus, 3);
     }
 
@@ -645,8 +659,7 @@ mod tests {
         let mut s = ErrScheduler::new(5);
         let mut next_id = 0u64;
         let mut m_seen = 0u64;
-        let mut now = 0u64;
-        for step in 0..20_000u64 {
+        for now in 0..20_000u64 {
             if rng.bernoulli(0.3) {
                 let f = rng.index(5);
                 let len = rng.uniform_u32(1, 40);
@@ -661,7 +674,7 @@ mod tests {
                         let sc = s.core().surplus_count(f);
                         assert!(
                             m_seen == 0 || sc < m_seen,
-                            "step {step}: SC_{f} = {sc} exceeds m-1 = {}",
+                            "cycle {now}: SC_{f} = {sc} exceeds m-1 = {}",
                             m_seen - 1
                         );
                     }
@@ -671,7 +684,6 @@ mod tests {
                     );
                 }
             }
-            now += 1;
         }
         assert_eq!(s.core().largest_served(), m_seen);
     }
@@ -799,7 +811,11 @@ mod tests {
         assert_eq!(flits.len() + 1, 16);
         assert_eq!(s.core().active_flows(), 0);
         // Every packet served exactly once (no duplication).
-        let mut heads: Vec<u64> = flits.iter().filter(|f| f.is_head()).map(|f| f.packet).collect();
+        let mut heads: Vec<u64> = flits
+            .iter()
+            .filter(|f| f.is_head())
+            .map(|f| f.packet)
+            .collect();
         heads.sort_unstable();
         assert_eq!(heads, vec![1, 2, 3]);
     }

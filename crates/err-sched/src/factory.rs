@@ -1,4 +1,6 @@
-//! Discipline selection for experiments and examples.
+//! Discipline selection for experiments, examples, and runtime CLIs.
+
+use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
@@ -51,7 +53,12 @@ pub enum Discipline {
 
 impl Discipline {
     /// Instantiates the discipline for `n_flows` flows.
-    pub fn build(&self, n_flows: usize) -> Box<dyn Scheduler> {
+    ///
+    /// The trait object is `Send` so a scheduler can be built on one
+    /// thread and owned by a worker on another (every discipline's
+    /// state is plain owned data); it is still `!Sync` by design — a
+    /// scheduler belongs to exactly one driver at a time.
+    pub fn build(&self, n_flows: usize) -> Box<dyn Scheduler + Send> {
         match self {
             Discipline::Err => Box::new(ErrScheduler::new(n_flows)),
             Discipline::Drr { quantum } => Box::new(DrrScheduler::new(n_flows, *quantum)),
@@ -85,6 +92,100 @@ impl Discipline {
             Discipline::VirtualClock => "VirtualClock",
             Discipline::Gps => "GPS",
             Discipline::Werr { .. } => "WERR",
+        }
+    }
+}
+
+/// Error from parsing a [`Discipline`] name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseDisciplineError {
+    input: String,
+}
+
+impl fmt::Display for ParseDisciplineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown discipline `{}` (expected one of: err, drr[:quantum], fbrr, pbrr, fcfs, \
+             wfq, scfq, vclock, gps, werr[:w1,w2,...])",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseDisciplineError {}
+
+/// Canonical textual form, parseable back via [`FromStr`]:
+/// `err`, `drr:32`, `fbrr`, `pbrr`, `fcfs`, `wfq`, `scfq`, `vclock`,
+/// `gps`, `werr:1,2,3`.
+impl fmt::Display for Discipline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Discipline::Err => write!(f, "err"),
+            Discipline::Drr { quantum } => write!(f, "drr:{quantum}"),
+            Discipline::Fbrr => write!(f, "fbrr"),
+            Discipline::Pbrr => write!(f, "pbrr"),
+            Discipline::Fcfs => write!(f, "fcfs"),
+            Discipline::Wfq => write!(f, "wfq"),
+            Discipline::Scfq => write!(f, "scfq"),
+            Discipline::VirtualClock => write!(f, "vclock"),
+            Discipline::Gps => write!(f, "gps"),
+            Discipline::Werr { weights } => {
+                write!(f, "werr:")?;
+                for (i, w) in weights.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{w}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Parses the [`Display`] forms (case-insensitive). `drr` without a
+/// quantum defaults to 32 flits; `werr` without weights is rejected
+/// (weights are what distinguish it from `err`).
+impl std::str::FromStr for Discipline {
+    type Err = ParseDisciplineError;
+
+    fn from_str(s: &str) -> Result<Self, ParseDisciplineError> {
+        let err = |input: &str| ParseDisciplineError {
+            input: input.to_owned(),
+        };
+        let lower = s.trim().to_ascii_lowercase();
+        let (name, arg) = match lower.split_once(':') {
+            Some((n, a)) => (n, Some(a)),
+            None => (lower.as_str(), None),
+        };
+        match (name, arg) {
+            ("err", None) => Ok(Discipline::Err),
+            ("drr", None) => Ok(Discipline::Drr { quantum: 32 }),
+            ("drr", Some(q)) => q
+                .parse::<u64>()
+                .ok()
+                .filter(|&q| q >= 1)
+                .map(|quantum| Discipline::Drr { quantum })
+                .ok_or_else(|| err(s)),
+            ("fbrr", None) => Ok(Discipline::Fbrr),
+            ("pbrr", None) => Ok(Discipline::Pbrr),
+            ("fcfs", None) => Ok(Discipline::Fcfs),
+            ("wfq", None) => Ok(Discipline::Wfq),
+            ("scfq", None) => Ok(Discipline::Scfq),
+            ("vclock" | "virtualclock", None) => Ok(Discipline::VirtualClock),
+            ("gps", None) => Ok(Discipline::Gps),
+            ("werr", Some(ws)) => {
+                let weights: Option<Vec<u64>> = ws
+                    .split(',')
+                    .map(|w| w.trim().parse::<u64>().ok().filter(|&w| w >= 1))
+                    .collect();
+                match weights {
+                    Some(w) if !w.is_empty() => Ok(Discipline::Werr { weights: w }),
+                    _ => Err(err(s)),
+                }
+            }
+            _ => Err(err(s)),
         }
     }
 }
@@ -132,5 +233,63 @@ mod tests {
         assert_eq!(Discipline::Err.label(), "ERR");
         assert_eq!(Discipline::Drr { quantum: 1 }.label(), "DRR");
         assert_eq!(Discipline::Fcfs.label(), "FCFS");
+    }
+
+    #[test]
+    fn display_round_trips_through_fromstr() {
+        let all = [
+            Discipline::Err,
+            Discipline::Drr { quantum: 64 },
+            Discipline::Fbrr,
+            Discipline::Pbrr,
+            Discipline::Fcfs,
+            Discipline::Wfq,
+            Discipline::Scfq,
+            Discipline::VirtualClock,
+            Discipline::Gps,
+            Discipline::Werr {
+                weights: vec![1, 2, 3],
+            },
+        ];
+        for d in &all {
+            let text = d.to_string();
+            let parsed: Discipline = text.parse().unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert_eq!(&parsed, d, "round-trip of `{text}`");
+        }
+    }
+
+    #[test]
+    fn parsing_accepts_aliases_and_defaults() {
+        assert_eq!("ERR".parse::<Discipline>().unwrap(), Discipline::Err);
+        assert_eq!(
+            " drr ".parse::<Discipline>().unwrap(),
+            Discipline::Drr { quantum: 32 }
+        );
+        assert_eq!(
+            "drr:128".parse::<Discipline>().unwrap(),
+            Discipline::Drr { quantum: 128 }
+        );
+        assert_eq!(
+            "VirtualClock".parse::<Discipline>().unwrap(),
+            Discipline::VirtualClock
+        );
+        assert_eq!(
+            "werr:2, 3,4".parse::<Discipline>().unwrap(),
+            Discipline::Werr {
+                weights: vec![2, 3, 4]
+            }
+        );
+    }
+
+    #[test]
+    fn parsing_rejects_malformed_names() {
+        for bad in [
+            "", "err2", "drr:", "drr:0", "drr:x", "werr", "werr:", "werr:0", "gps:1",
+        ] {
+            assert!(
+                bad.parse::<Discipline>().is_err(),
+                "`{bad}` should not parse"
+            );
+        }
     }
 }

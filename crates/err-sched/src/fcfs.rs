@@ -126,7 +126,10 @@ mod tests {
         s.enqueue(pkt(1, 1, 2, 0), 0);
         let flits = drain(&mut s);
         assert_eq!(
-            flits.iter().map(|f| (f.packet, f.flit_index)).collect::<Vec<_>>(),
+            flits
+                .iter()
+                .map(|f| (f.packet, f.flit_index))
+                .collect::<Vec<_>>(),
             vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1)]
         );
         assert!(s.is_idle());

@@ -70,11 +70,7 @@ impl Scheduler for PbrrScheduler {
     }
 
     fn backlog_flits(&self) -> u64 {
-        self.queues.backlog_flits()
-            + self
-                .in_flight
-                .as_ref()
-                .map_or(0, |s| s.remaining() as u64)
+        self.queues.backlog_flits() + self.in_flight.as_ref().map_or(0, |s| s.remaining() as u64)
     }
 
     fn name(&self) -> &'static str {
@@ -144,7 +140,11 @@ mod tests {
         s.enqueue(pkt(1, 0, 4), 1); // arrives while flow 0 is in service
         let rest = drain(&mut s);
         assert_eq!(rest.len(), 7);
-        let heads: Vec<_> = rest.iter().filter(|f| f.is_head()).map(|f| f.packet).collect();
+        let heads: Vec<_> = rest
+            .iter()
+            .filter(|f| f.is_head())
+            .map(|f| f.packet)
+            .collect();
         assert_eq!(heads, vec![1]);
     }
 }

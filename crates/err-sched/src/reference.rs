@@ -63,29 +63,26 @@ impl ReferenceErr {
         let mut in_service: Option<FlowId> = None;
 
         // Enqueue: (Invoked when a packet arrives).
-        let deliver_arrivals =
-            |clock: u64,
-             next_arrival: &mut usize,
-             queues: &mut Vec<VecDeque<u32>>,
-             active_list: &mut VecDeque<FlowId>,
-             sc: &mut Vec<u64>,
-             size_of_active_list: &mut usize,
-             in_service: Option<FlowId>| {
-                while *next_arrival < packets.len()
-                    && packets[*next_arrival].arrival <= clock
-                {
-                    let p = &packets[*next_arrival];
-                    *next_arrival += 1;
-                    let i = p.flow;
-                    queues[i].push_back(p.len);
-                    let exists = in_service == Some(i) || active_list.contains(&i);
-                    if !exists {
-                        active_list.push_back(i);
-                        *size_of_active_list += 1;
-                        sc[i] = 0;
-                    }
+        let deliver_arrivals = |clock: u64,
+                                next_arrival: &mut usize,
+                                queues: &mut Vec<VecDeque<u32>>,
+                                active_list: &mut VecDeque<FlowId>,
+                                sc: &mut Vec<u64>,
+                                size_of_active_list: &mut usize,
+                                in_service: Option<FlowId>| {
+            while *next_arrival < packets.len() && packets[*next_arrival].arrival <= clock {
+                let p = &packets[*next_arrival];
+                *next_arrival += 1;
+                let i = p.flow;
+                queues[i].push_back(p.len);
+                let exists = in_service == Some(i) || active_list.contains(&i);
+                if !exists {
+                    active_list.push_back(i);
+                    *size_of_active_list += 1;
+                    sc[i] = 0;
                 }
-            };
+            }
+        };
 
         // Dequeue: while (TRUE) — bounded here by schedule exhaustion.
         loop {

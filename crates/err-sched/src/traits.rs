@@ -70,6 +70,30 @@ pub trait Scheduler {
     /// Serves one flit at cycle `now`, or `None` if idle.
     fn service_flit(&mut self, now: Cycle) -> Option<ServedFlit>;
 
+    /// Serves up to `max_flits` flits starting at cycle `now`, one flit
+    /// per cycle (the paper's egress-link model), appending them to
+    /// `out`. Returns the number served; fewer than `max_flits` means
+    /// the scheduler went idle.
+    ///
+    /// This is the batched entry point the multi-shard runtime drives:
+    /// it makes exactly the same decisions as `max_flits` single calls
+    /// to [`service_flit`](Scheduler::service_flit) at cycles `now`,
+    /// `now + 1`, … — batching amortizes call overhead, it never
+    /// changes the discipline's schedule.
+    fn service_batch(&mut self, now: Cycle, max_flits: usize, out: &mut Vec<ServedFlit>) -> usize {
+        let mut served = 0;
+        while served < max_flits {
+            match self.service_flit(now + served as Cycle) {
+                Some(f) => {
+                    out.push(f);
+                    served += 1;
+                }
+                None => break,
+            }
+        }
+        served
+    }
+
     /// Flits currently backlogged (queued + in service but unsent).
     fn backlog_flits(&self) -> u64;
 

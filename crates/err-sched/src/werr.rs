@@ -148,9 +148,21 @@ mod tests {
         let total: u64 = counts.iter().sum();
         assert_eq!(total, 12_000, "work conserving while backlogged");
         let share = |f: usize| counts[f] as f64 / total as f64;
-        assert!((share(0) - 1.0 / 7.0).abs() < 0.02, "w=1 share {}", share(0));
-        assert!((share(1) - 2.0 / 7.0).abs() < 0.02, "w=2 share {}", share(1));
-        assert!((share(2) - 4.0 / 7.0).abs() < 0.02, "w=4 share {}", share(2));
+        assert!(
+            (share(0) - 1.0 / 7.0).abs() < 0.02,
+            "w=1 share {}",
+            share(0)
+        );
+        assert!(
+            (share(1) - 2.0 / 7.0).abs() < 0.02,
+            "w=2 share {}",
+            share(1)
+        );
+        assert!(
+            (share(2) - 4.0 / 7.0).abs() < 0.02,
+            "w=4 share {}",
+            share(2)
+        );
     }
 
     #[test]

@@ -52,10 +52,7 @@ impl WfqScheduler {
 
     /// Creates a WFQ scheduler with the given positive per-flow weights.
     pub fn with_weights(weights: Vec<f64>) -> Self {
-        assert!(
-            weights.iter().all(|&w| w > 0.0),
-            "weights must be positive"
-        );
+        assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
         let n = weights.len();
         Self {
             heap: TagHeap::new(),
@@ -187,7 +184,10 @@ mod tests {
         let flits = drain(&mut s);
         // In the first 64 flits, flow 1 should have sent ~32.
         let f1_early = flits[..64].iter().filter(|f| f.flow == 1).count();
-        assert!(f1_early >= 28, "flow 1 served only {f1_early}/64 early flits");
+        assert!(
+            f1_early >= 28,
+            "flow 1 served only {f1_early}/64 early flits"
+        );
     }
 
     #[test]

@@ -15,10 +15,7 @@ fn workload_strategy(
     max_len: u32,
     max_pkts: usize,
 ) -> impl Strategy<Value = Vec<(usize, u32, u64)>> {
-    prop::collection::vec(
-        (0..max_flows, 1..=max_len, 0u64..8),
-        1..max_pkts,
-    )
+    prop::collection::vec((0..max_flows, 1..=max_len, 0u64..8), 1..max_pkts)
 }
 
 /// Runs `events` through the discipline, interleaving arrivals with
@@ -27,11 +24,9 @@ fn run(disc: &Discipline, events: &[(usize, u32, u64)], n_flows: usize) -> Vec<(
     let mut s = disc.build(n_flows);
     let mut log = Vec::new();
     let mut now = 0u64;
-    let mut id = 0u64;
-    for &(flow, len, gap) in events {
+    for (id, &(flow, len, gap)) in events.iter().enumerate() {
         now += gap;
-        s.enqueue(Packet::new(id, flow, len, now), now);
-        id += 1;
+        s.enqueue(Packet::new(id as u64, flow, len, now), now);
         // Serve `gap` cycles worth of flits opportunistically between
         // arrivals (one flit per cycle, matching the paper's model).
         for _ in 0..gap {
@@ -152,11 +147,9 @@ proptest! {
         let mut s = ErrScheduler::new(5);
         s.core_mut().set_trace(true);
         let mut now = 0u64;
-        let mut id = 0u64;
-        for &(flow, len, gap) in &events {
+        for (id, &(flow, len, gap)) in events.iter().enumerate() {
             now += gap;
-            s.enqueue(Packet::new(id, flow, len, now), now);
-            id += 1;
+            s.enqueue(Packet::new(id as u64, flow, len, now), now);
             for _ in 0..gap {
                 s.service_flit(now);
             }
@@ -179,11 +172,9 @@ proptest! {
     fn err_theorem2_service_bounds(seed_events in workload_strategy(3, 16, 120)) {
         let mut s = ErrScheduler::new(3);
         s.core_mut().set_trace(true);
-        let mut id = 0u64;
         // All packets at time zero: maximizes continuously-active spans.
-        for &(flow, len, _) in &seed_events {
-            s.enqueue(Packet::new(id, flow, len, 0), 0);
-            id += 1;
+        for (id, &(flow, len, _)) in seed_events.iter().enumerate() {
+            s.enqueue(Packet::new(id as u64, flow, len, 0), 0);
         }
         let mut now = 0u64;
         while s.service_flit(now).is_some() {
@@ -245,6 +236,84 @@ proptest! {
         }
     }
 
+    /// Lemma 1 bounds hold on the *batched* service path the runtime
+    /// drives: with arrivals interleaved at random batch boundaries and
+    /// service done via `service_batch`, every visit still grants an
+    /// allowance `A_i(r) >= 1` and records a surplus `SC_i(r) < m`
+    /// (batching must never change ERR's decisions — it is the same
+    /// per-flit schedule with the calls amortized).
+    #[test]
+    fn err_lemma_bounds_on_batched_path(
+        events in workload_strategy(5, 24, 80),
+        batch in 1usize..32,
+    ) {
+        let mut s = ErrScheduler::new(5);
+        s.core_mut().set_trace(true);
+        let mut now = 0u64;
+        let mut out = Vec::new();
+        let mut total = 0u64;
+        for (id, &(flow, len, gap)) in events.iter().enumerate() {
+            now += gap;
+            s.enqueue(Packet::new(id as u64, flow, len, now), now);
+            total += len as u64;
+            now += s.service_batch(now, batch, &mut out) as u64;
+        }
+        while !s.is_idle() {
+            let n = s.service_batch(now, batch, &mut out);
+            prop_assert!(n > 0, "batched path stalled with backlog");
+            now += n as u64;
+        }
+        prop_assert_eq!(out.len() as u64, total, "batched path lost flits");
+        let m = s.core().largest_served();
+        prop_assert!(m >= 1);
+        for r in s.core_mut().take_trace() {
+            prop_assert!(
+                r.allowance >= 1,
+                "round {} flow {}: allowance {} < 1",
+                r.round, r.flow, r.allowance
+            );
+            prop_assert!(
+                r.surplus < m,
+                "round {} flow {}: surplus {} >= m {}",
+                r.round, r.flow, r.surplus, m
+            );
+        }
+    }
+
+    /// The batched path is *identical* to the single-stepped path: same
+    /// flits, same order, for any batch size.
+    #[test]
+    fn err_batched_equals_single_stepped(
+        events in workload_strategy(4, 16, 60),
+        batch in 1usize..48,
+    ) {
+        // Single-stepped reference.
+        let single = run(&Discipline::Err, &events, 4);
+        let single: Vec<ServedFlit> = single.into_iter().map(|(_, f)| f).collect();
+        // Batched run with the same arrival interleaving as `run`.
+        let mut s = Discipline::Err.build(4);
+        let mut out = Vec::new();
+        let mut now = 0u64;
+        for (id, &(flow, len, gap)) in events.iter().enumerate() {
+            now += gap;
+            s.enqueue(Packet::new(id as u64, flow, len, now), now);
+            // `run` serves at most one flit per cycle of the gap.
+            let mut budget = gap as usize;
+            while budget > 0 {
+                let n = s.service_batch(now, batch.min(budget), &mut out);
+                if n == 0 {
+                    break;
+                }
+                budget -= n;
+            }
+        }
+        while s.service_batch(now, batch, &mut out) > 0 {}
+        prop_assert_eq!(out.len(), single.len());
+        for (i, (b, s_)) in out.iter().zip(single.iter()).enumerate() {
+            prop_assert_eq!(b, s_, "flit {} differs between batched and single", i);
+        }
+    }
+
     /// Work conservation: while flits are backlogged the scheduler always
     /// serves.
     #[test]
@@ -252,11 +321,9 @@ proptest! {
         for d in all_disciplines() {
             let mut s = d.build(4);
             let mut now = 0u64;
-            let mut id = 0u64;
-            for &(flow, len, gap) in &events {
+            for (id, &(flow, len, gap)) in events.iter().enumerate() {
                 now += gap;
-                s.enqueue(Packet::new(id, flow, len, now), now);
-                id += 1;
+                s.enqueue(Packet::new(id as u64, flow, len, now), now);
                 if !s.is_idle() {
                     prop_assert!(
                         s.service_flit(now).is_some(),

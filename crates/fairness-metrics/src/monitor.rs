@@ -1,6 +1,6 @@
 //! Per-flow service accounting and the relative fairness measure.
 
-use desim::{Cycle, CumulativeCurve, SimRng};
+use desim::{CumulativeCurve, Cycle, SimRng};
 use err_sched::{FlowId, Packet, ServedFlit};
 
 /// Records per-flow cumulative service and backlog ("busy") windows,
@@ -318,7 +318,12 @@ mod tests {
 
     /// Run a discipline over a fully backlogged workload, feeding the
     /// monitor, and return it.
-    fn run_backlogged(d: &Discipline, n_flows: usize, pkts_per_flow: u64, len: u32) -> FairnessMonitor {
+    fn run_backlogged(
+        d: &Discipline,
+        n_flows: usize,
+        pkts_per_flow: u64,
+        len: u32,
+    ) -> FairnessMonitor {
         let mut s = d.build(n_flows);
         let mut mon = FairnessMonitor::new(n_flows);
         let mut id = 0;

@@ -95,8 +95,14 @@ impl ArrivalProcess {
 }
 
 enum GenState {
-    Bernoulli { next: Cycle, rate: f64 },
-    Cbr { next: Cycle, period: u64 },
+    Bernoulli {
+        next: Cycle,
+        rate: f64,
+    },
+    Cbr {
+        next: Cycle,
+        period: u64,
+    },
     OnOff {
         on: bool,
         cursor: Cycle,
@@ -189,10 +195,21 @@ mod tests {
     #[test]
     fn cbr_is_periodic() {
         let mut rng = SimRng::new(9);
-        let mut g = ArrivalProcess::Cbr { period: 10, phase: 3 }.start(&mut rng);
+        let mut g = ArrivalProcess::Cbr {
+            period: 10,
+            phase: 3,
+        }
+        .start(&mut rng);
         let times: Vec<_> = (0..5).map(|_| g.next_arrival(&mut rng)).collect();
         assert_eq!(times, vec![3, 13, 23, 33, 43]);
-        assert_eq!(ArrivalProcess::Cbr { period: 10, phase: 3 }.mean_rate(), 0.1);
+        assert_eq!(
+            ArrivalProcess::Cbr {
+                period: 10,
+                phase: 3
+            }
+            .mean_rate(),
+            0.1
+        );
     }
 
     #[test]
@@ -232,6 +249,9 @@ mod tests {
             prev = t;
         }
         let cv2 = stats.variance() / (stats.mean() * stats.mean());
-        assert!(cv2 > 2.0, "squared coefficient of variation {cv2} not bursty");
+        assert!(
+            cv2 > 2.0,
+            "squared coefficient of variation {cv2} not bursty"
+        );
     }
 }

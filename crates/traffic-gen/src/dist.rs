@@ -199,7 +199,11 @@ mod tests {
             }
         }
         let emp_mean = sum as f64 / n as f64;
-        assert!((emp_mean - d.mean()).abs() < 0.1, "{emp_mean} vs {}", d.mean());
+        assert!(
+            (emp_mean - d.mean()).abs() < 0.1,
+            "{emp_mean} vs {}",
+            d.mean()
+        );
         // The point of Figure 6's distribution: large packets are rare.
         let frac_long = long as f64 / n as f64;
         assert!(frac_long < 0.01, "P(len > 32) = {frac_long}");

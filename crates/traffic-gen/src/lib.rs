@@ -26,6 +26,7 @@
 pub mod arrivals;
 pub mod dist;
 pub mod flows;
+pub mod par_feed;
 pub mod patterns;
 pub mod trace;
 pub mod workload;
@@ -33,6 +34,7 @@ pub mod workload;
 pub use arrivals::ArrivalProcess;
 pub use dist::LenDist;
 pub use flows::FlowSpec;
+pub use par_feed::par_feed;
 pub use patterns::TrafficPattern;
 pub use trace::PacketTrace;
 pub use workload::Workload;

@@ -99,7 +99,7 @@ mod tests {
     #[test]
     fn uniform_never_self_and_covers_grid() {
         let mut rng = SimRng::new(1);
-        let mut seen = vec![false; 16];
+        let mut seen = [false; 16];
         for _ in 0..2000 {
             let d = TrafficPattern::Uniform.dest(5, 4, 4, &mut rng);
             assert_ne!(d, 5);
@@ -151,9 +151,7 @@ mod tests {
             node: 3,
             fraction: 0.5,
         };
-        let hits = (0..4000)
-            .filter(|_| p.dest(9, 4, 4, &mut rng) == 3)
-            .count();
+        let hits = (0..4000).filter(|_| p.dest(9, 4, 4, &mut rng) == 3).count();
         let f = hits as f64 / 4000.0;
         // 0.5 directed plus a sliver of uniform traffic landing there.
         assert!((0.45..0.60).contains(&f), "hotspot fraction {f}");

@@ -145,7 +145,10 @@ mod tests {
                     lengths: LenDist::Uniform { lo: 1, hi: 9 },
                 },
                 FlowSpec {
-                    arrivals: ArrivalProcess::Cbr { period: 11, phase: 2 },
+                    arrivals: ArrivalProcess::Cbr {
+                        period: 11,
+                        phase: 2,
+                    },
                     lengths: LenDist::Constant(4),
                 },
             ],
@@ -184,9 +187,7 @@ mod tests {
         assert!(PacketTrace::from_csv("id,flow,len,arrival\n1,2\n").is_err());
         assert!(PacketTrace::from_csv("id,flow,len,arrival\n1,0,0,4\n").is_err());
         // Unsorted arrivals.
-        assert!(
-            PacketTrace::from_csv("id,flow,len,arrival\n0,0,1,10\n1,0,1,5\n").is_err()
-        );
+        assert!(PacketTrace::from_csv("id,flow,len,arrival\n0,0,1,10\n1,0,1,5\n").is_err());
     }
 
     #[test]
@@ -204,10 +205,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "sorted")]
     fn from_packets_rejects_unsorted() {
-        PacketTrace::from_packets(vec![
-            Packet::new(0, 0, 1, 9),
-            Packet::new(1, 0, 1, 3),
-        ]);
+        PacketTrace::from_packets(vec![Packet::new(0, 0, 1, 9), Packet::new(1, 0, 1, 3)]);
     }
 
     #[test]

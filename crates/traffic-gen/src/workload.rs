@@ -3,8 +3,8 @@
 use desim::{Cycle, EventQueue, SimRng};
 use err_sched::Packet;
 
-use crate::flows::FlowSpec;
 use crate::arrivals::ArrivalGen;
+use crate::flows::FlowSpec;
 
 /// A seeded, streaming workload: polls out the packets arriving at each
 /// cycle, in deterministic order.
@@ -16,7 +16,11 @@ use crate::arrivals::ArrivalGen;
 pub struct Workload {
     gens: Vec<(ArrivalGen, SimRng)>,
     specs: Vec<FlowSpec>,
-    /// Pending arrivals keyed by cycle; flow index as payload.
+    /// Global flow id carried by each local flow's packets (and used to
+    /// derive its RNG stream) — identity unless built via
+    /// [`with_flow_ids`](Self::with_flow_ids).
+    ids: Vec<usize>,
+    /// Pending arrivals keyed by cycle; local flow index as payload.
     pending: EventQueue<usize>,
     next_id: u64,
     /// Injection stops at this cycle (exclusive); `u64::MAX` = never.
@@ -34,21 +38,40 @@ impl Workload {
     /// the Figure 5 transient ("after these 10,000 cycles, we halt all
     /// injection").
     pub fn with_horizon(specs: Vec<FlowSpec>, seed: u64, horizon: Cycle) -> Self {
+        let flows = specs.into_iter().enumerate().collect();
+        Self::with_flow_ids(flows, seed, horizon)
+    }
+
+    /// Creates a workload over an arbitrary subset of a flow set: each
+    /// `(global_id, spec)` pair derives its RNG stream from `global_id`
+    /// and stamps its packets with `flow = global_id`.
+    ///
+    /// This is what makes partitioned feeding exact: a workload over any
+    /// partition of the flows produces, flow for flow, the *same* packet
+    /// streams as the serial workload over all of them — see
+    /// [`par_feed`](crate::par_feed::par_feed). (Packet ids are local to
+    /// the instance; callers that merge partitions remap them.)
+    pub fn with_flow_ids(flows: Vec<(usize, FlowSpec)>, seed: u64, horizon: Cycle) -> Self {
         let root = SimRng::new(seed);
-        let mut pending = EventQueue::with_capacity(specs.len());
-        let mut gens = Vec::with_capacity(specs.len());
-        for (i, spec) in specs.iter().enumerate() {
-            let mut rng = root.derive(i as u64);
+        let mut pending = EventQueue::with_capacity(flows.len());
+        let mut gens = Vec::with_capacity(flows.len());
+        let mut specs = Vec::with_capacity(flows.len());
+        let mut ids = Vec::with_capacity(flows.len());
+        for (local, (global, spec)) in flows.into_iter().enumerate() {
+            let mut rng = root.derive(global as u64);
             let mut gen = spec.arrivals.start(&mut rng);
             let first = gen.next_arrival(&mut rng);
             if first < horizon {
-                pending.push(first, i);
+                pending.push(first, local);
             }
             gens.push((gen, rng));
+            specs.push(spec);
+            ids.push(global);
         }
         Self {
             gens,
             specs,
+            ids,
             pending,
             next_id: 0,
             horizon,
@@ -72,7 +95,7 @@ impl Workload {
             debug_assert!(t <= now);
             let (gen, rng) = &mut self.gens[flow];
             let len = self.specs[flow].lengths.sample(rng);
-            out.push(Packet::new(self.next_id, flow, len, t));
+            out.push(Packet::new(self.next_id, self.ids[flow], len, t));
             self.next_id += 1;
             let next = gen.next_arrival(rng);
             if next < self.horizon {
@@ -106,7 +129,10 @@ mod tests {
                 lengths: LenDist::Uniform { lo: 1, hi: 8 },
             },
             FlowSpec {
-                arrivals: ArrivalProcess::Cbr { period: 7, phase: 0 },
+                arrivals: ArrivalProcess::Cbr {
+                    period: 7,
+                    phase: 0,
+                },
                 lengths: LenDist::Constant(3),
             },
         ]
@@ -181,7 +207,11 @@ mod tests {
             a.poll(now, &mut pa);
             b.poll(now, &mut pb);
         }
-        let b0: Vec<_> = pb.iter().filter(|p| p.flow == 0).map(|p| (p.len, p.arrival)).collect();
+        let b0: Vec<_> = pb
+            .iter()
+            .filter(|p| p.flow == 0)
+            .map(|p| (p.len, p.arrival))
+            .collect();
         let a0: Vec<_> = pa.iter().map(|p| (p.len, p.arrival)).collect();
         assert_eq!(a0, b0);
     }

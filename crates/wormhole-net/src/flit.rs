@@ -73,10 +73,7 @@ pub fn packetize(pkt: &Packet, dest: usize) -> Vec<Flit> {
     let mut flits = Vec::with_capacity(pkt.len as usize);
     for i in 0..pkt.len {
         let payload = if i == 0 {
-            FlitPayload::Head {
-                dest,
-                len: pkt.len,
-            }
+            FlitPayload::Head { dest, len: pkt.len }
         } else if i + 1 == pkt.len {
             FlitPayload::Tail
         } else {
@@ -108,7 +105,9 @@ mod tests {
         assert_eq!(flits[1].payload, FlitPayload::Body);
         assert_eq!(flits[2].payload, FlitPayload::Body);
         assert!(flits[3].is_tail());
-        assert!(flits.iter().all(|f| f.packet == 7 && f.flow == 2 && f.injected_at == 100));
+        assert!(flits
+            .iter()
+            .all(|f| f.packet == 7 && f.flow == 2 && f.injected_at == 100));
         assert_eq!(
             flits.iter().map(|f| f.index).collect::<Vec<_>>(),
             vec![0, 1, 2, 3]

@@ -30,7 +30,13 @@ pub const N_PORTS: usize = 5;
 
 impl Port {
     /// All ports, indexable by `as usize`.
-    pub const ALL: [Port; N_PORTS] = [Port::Local, Port::East, Port::West, Port::North, Port::South];
+    pub const ALL: [Port; N_PORTS] = [
+        Port::Local,
+        Port::East,
+        Port::West,
+        Port::North,
+        Port::South,
+    ];
 
     /// Converts a port index back to the port.
     pub fn from_index(i: usize) -> Port {

@@ -32,7 +32,9 @@ struct Router {
 impl Router {
     fn new(kind: ArbiterKind) -> Self {
         Self {
-            inputs: (0..N_PORTS).map(|_| std::collections::VecDeque::new()).collect(),
+            inputs: (0..N_PORTS)
+                .map(|_| std::collections::VecDeque::new())
+                .collect(),
             in_target: vec![None; N_PORTS],
             out_lock: vec![None; N_PORTS],
             arbiters: (0..N_PORTS).map(|_| kind.build(N_PORTS)).collect(),
@@ -369,10 +371,8 @@ mod tests {
     fn arbiter_kinds_all_drain_the_same_traffic() {
         for kind in [ArbiterKind::Err, ArbiterKind::Rr, ArbiterKind::Fcfs] {
             let mut n = net(3, 3, kind);
-            let mut id = 0;
             for src in 0..9usize {
-                n.inject(src, &Packet::new(id, src, 5, 0), (src + 4) % 9);
-                id += 1;
+                n.inject(src, &Packet::new(src as u64, src, 5, 0), (src + 4) % 9);
             }
             n.run(0, 20_000);
             assert!(n.is_idle(), "{kind:?} failed to drain");

@@ -140,9 +140,7 @@ impl WormholeSwitch {
         for q in 0..self.queues.len() {
             if self.q_target[q].is_none() {
                 if let Some(f) = self.queues[q].front() {
-                    let o = f
-                        .dest()
-                        .expect("head of an idle queue must be a head flit");
+                    let o = f.dest().expect("head of an idle queue must be a head flit");
                     assert!(o < self.n_outputs(), "routed to missing output");
                     self.q_target[q] = Some(o);
                     self.arbiters[o].flow_activated(q);
@@ -265,9 +263,7 @@ mod tests {
         // packet contiguously by construction if no panic fired); verify
         // total conservation here.
         let total: u64 = (0..3).map(|q| sw.served_flits()[q]).sum();
-        let expect: u64 = (0..3)
-            .flat_map(|_| (0..4u64).map(|k| 3 + k))
-            .sum();
+        let expect: u64 = (0..3).flat_map(|_| (0..4u64).map(|k| 3 + k)).sum();
         assert_eq!(total, expect);
         assert_eq!(sw.occupancy_log().len(), 12);
     }
@@ -325,11 +321,7 @@ mod tests {
 
     #[test]
     fn rr_arbitration_is_packet_fair_not_time_fair() {
-        let mut sw = switch(
-            ArbiterKind::Rr,
-            2,
-            vec![Box::new(PerfectSink::new())],
-        );
+        let mut sw = switch(ArbiterKind::Rr, 2, vec![Box::new(PerfectSink::new())]);
         for k in 0..200u64 {
             sw.inject(0, &Packet::new(k, 0, 16, 0), 0);
             sw.inject(1, &Packet::new(1000 + k, 1, 2, 0), 0);

@@ -91,13 +91,7 @@ impl Torus2D {
     /// a packet stays on its current VC within a dimension, switches to
     /// VC 1 on the hop that crosses the dimension's wrap-around link,
     /// and resets to VC 0 when it turns into a new dimension.
-    pub fn route(
-        &self,
-        cur: usize,
-        dest: usize,
-        in_port: Port,
-        in_vc: usize,
-    ) -> (Port, usize) {
+    pub fn route(&self, cur: usize, dest: usize, in_port: Port, in_vc: usize) -> (Port, usize) {
         let (cx, cy) = self.coords(cur);
         let (dx, dy) = self.coords(dest);
         if cx != dx {
@@ -304,8 +298,7 @@ impl TorusNetwork {
                         if let Some(f) = self.routers[node].inputs[ic].front() {
                             let dest = f.dest().expect("head flit leads each packet");
                             let (op, mut ov) =
-                                self.torus
-                                    .route(node, dest, Port::from_index(port), vc);
+                                self.torus.route(node, dest, Port::from_index(port), vc);
                             if !self.dateline {
                                 ov = 0;
                             }
@@ -385,10 +378,7 @@ impl TorusNetwork {
                             .front()
                             .and_then(|nf| nf.dest())
                             .is_some_and(|d| {
-                                let (ip, ivc) = (
-                                    Port::from_index(ic / N_VCS),
-                                    ic % N_VCS,
-                                );
+                                let (ip, ivc) = (Port::from_index(ic / N_VCS), ic % N_VCS);
                                 let (op, mut ov) = self.torus.route(node, d, ip, ivc);
                                 if !self.dateline {
                                     ov = 0;

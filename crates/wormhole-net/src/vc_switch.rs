@@ -201,7 +201,9 @@ impl VcSwitch {
         let mut moved = false;
         for k in 0..self.n_vcs {
             let vc = (self.xbar_ptr + k) % self.n_vcs;
-            let Some(port) = self.oq_lock[vc] else { continue };
+            let Some(port) = self.oq_lock[vc] else {
+                continue;
+            };
             if self.out_queues[vc].flits.len() >= self.oq_capacity {
                 continue; // back-pressure from the link stage
             }
@@ -293,10 +295,9 @@ impl VcSwitch {
         self.emit(vc, flit, now);
         if is_tail {
             self.link_owner = None;
-            let nonempty = !self.out_queues[vc].flits.is_empty()
-                || self.oq_lock[vc].is_some(); // more of this VC inbound
-            // The packet's cost in charge units: its flits plus any
-            // crossbar-starved cycles (feeds ErrCore's `m` tracking).
+            let nonempty = !self.out_queues[vc].flits.is_empty() || self.oq_lock[vc].is_some(); // more of this VC inbound
+                                                                                                // The packet's cost in charge units: its flits plus any
+                                                                                                // crossbar-starved cycles (feeds ErrCore's `m` tracking).
             self.link_err
                 .on_packet_complete(self.link_pkt_units, nonempty);
             self.link_pkt_units = 0;
@@ -397,7 +398,10 @@ mod tests {
         // two tails depart within ~a packet of each other, not 6+6 serial.
         let d0 = sw.deliveries()[0].departed_at;
         let d1 = sw.deliveries()[1].departed_at;
-        assert!(d1 - d0 <= 4, "no VC interleaving on the link ({d0} vs {d1})");
+        assert!(
+            d1 - d0 <= 4,
+            "no VC interleaving on the link ({d0} vs {d1})"
+        );
     }
 
     #[test]
@@ -467,7 +471,10 @@ mod tests {
         let mut times: Vec<u64> = sw.deliveries().iter().map(|d| d.departed_at).collect();
         times.sort_unstable();
         for w in times.windows(2) {
-            assert!(w[1] - w[0] >= 4, "packets interleaved on the link: {times:?}");
+            assert!(
+                w[1] - w[0] >= 4,
+                "packets interleaved on the link: {times:?}"
+            );
         }
     }
 

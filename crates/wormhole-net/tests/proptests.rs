@@ -4,8 +4,10 @@
 
 use err_sched::Packet;
 use proptest::prelude::*;
-use wormhole_net::{ArbiterKind, LinkSched, Mesh2D, MeshNetwork, PerfectSink, Sink, Torus2D,
-    TorusNetwork, VcSwitch, WormholeSwitch};
+use wormhole_net::{
+    ArbiterKind, LinkSched, Mesh2D, MeshNetwork, PerfectSink, Sink, Torus2D, TorusNetwork,
+    VcSwitch, WormholeSwitch,
+};
 
 fn arb_kind() -> impl Strategy<Value = ArbiterKind> {
     prop_oneof![
@@ -116,8 +118,8 @@ proptest! {
         }
         sw.run_until_idle(0, 200_000);
         prop_assert!(sw.is_idle());
-        for q in 0..3 {
-            prop_assert_eq!(sw.served_flits()[q], per_queue[q]);
+        for (q, &expect) in per_queue.iter().enumerate() {
+            prop_assert_eq!(sw.served_flits()[q], expect);
         }
         for rec in sw.occupancy_log() {
             prop_assert!(rec.held >= rec.len as u64,

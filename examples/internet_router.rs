@@ -61,8 +61,7 @@ fn run(d: &Discipline, seed: u64) -> (f64, f64, f64) {
         }
         now += 1;
     }
-    let steady_mean =
-        (delays.flow_mean(0) + delays.flow_mean(1) + delays.flow_mean(2)) / 3.0;
+    let steady_mean = (delays.flow_mean(0) + delays.flow_mean(1) + delays.flow_mean(2)) / 3.0;
     (
         steady_mean,
         steady_p99.estimate().unwrap_or(0.0),

@@ -25,7 +25,11 @@ fn run(kind: ArbiterKind, seed: u64) -> (f64, f64, usize, u64) {
             if dest == src {
                 continue;
             }
-            net.inject(src, &Packet::new(id, src, 2 + rng.uniform_u32(0, 14), 0), dest);
+            net.inject(
+                src,
+                &Packet::new(id, src, 2 + rng.uniform_u32(0, 14), 0),
+                dest,
+            );
             id += 1;
         }
     }

@@ -50,7 +50,10 @@ fn main() {
     println!();
 
     println!("first three rounds of the ERR trace (Eq. 1-2 in action):");
-    println!("{:>5} {:>5} {:>10} {:>6} {:>8}", "round", "flow", "allowance", "sent", "surplus");
+    println!(
+        "{:>5} {:>5} {:>10} {:>6} {:>8}",
+        "round", "flow", "allowance", "sent", "surplus"
+    );
     for rec in sched.core_mut().take_trace().iter().take(9) {
         println!(
             "{:>5} {:>5} {:>10} {:>6} {:>8}",

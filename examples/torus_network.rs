@@ -39,7 +39,10 @@ fn main() {
     mesh.run(0, 5_000_000);
     assert!(torus.is_idle() && mesh.is_idle());
 
-    println!("6x6, uniform random traffic, {} packets, ERR arbitration:\n", pairs.len());
+    println!(
+        "6x6, uniform random traffic, {} packets, ERR arbitration:\n",
+        pairs.len()
+    );
     println!(
         "  mesh : mean latency {:>7.1} cycles ({} delivered)",
         mesh.latency().mean(),
@@ -61,7 +64,11 @@ fn main() {
         let mut id = 0;
         for x in 0..6usize {
             for _ in 0..6 {
-                net.inject(t.node(x, 0), &Packet::new(id, x, 6, 0), t.node((x + 3) % 6, 0));
+                net.inject(
+                    t.node(x, 0),
+                    &Packet::new(id, x, 6, 0),
+                    t.node((x + 3) % 6, 0),
+                );
                 id += 1;
             }
         }

@@ -6,6 +6,7 @@
 
 pub use desim;
 pub use err_experiments as experiments;
+pub use err_runtime as runtime;
 pub use err_sched as sched;
 pub use fairness_metrics as fairness;
 pub use traffic_gen as traffic;

@@ -4,8 +4,8 @@
 
 use err_repro::fairness::{jain_index, FairnessMonitor};
 use err_repro::sched::Discipline;
-use err_repro::traffic::{PacketTrace, Workload};
 use err_repro::traffic::flows::fig4_flows;
+use err_repro::traffic::{PacketTrace, Workload};
 
 fn all_disciplines() -> Vec<Discipline> {
     vec![
@@ -26,11 +26,7 @@ fn all_disciplines() -> Vec<Discipline> {
 
 /// Replays a captured trace through a discipline, returning (per-flow
 /// totals, exact FM, packets out).
-fn replay(
-    d: &Discipline,
-    trace: &PacketTrace,
-    horizon: u64,
-) -> (Vec<u64>, u64, u64) {
+fn replay(d: &Discipline, trace: &PacketTrace, horizon: u64) -> (Vec<u64>, u64, u64) {
     let n = trace.n_flows();
     let mut sched = d.build(n);
     let mut monitor = FairnessMonitor::new(n);
@@ -87,7 +83,10 @@ fn fairness_ranking_matches_table1() {
         fm_fbrr <= 1 && fm_gps <= 2,
         "flit-granular are near-perfect (FBRR {fm_fbrr}, GPS {fm_gps})"
     );
-    assert!(fm_err > fm_fbrr, "ERR is packet-granular, coarser than FBRR");
+    assert!(
+        fm_err > fm_fbrr,
+        "ERR is packet-granular, coarser than FBRR"
+    );
     assert!(fm_err < 3 * 128, "ERR within 3m");
     assert!(fm_drr <= 128 + 2 * 128, "DRR within Max + 2m");
     // The unbounded disciplines blow past everyone on this workload.

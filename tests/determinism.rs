@@ -61,7 +61,11 @@ fn mesh_network_bit_identical() {
             for _ in 0..15 {
                 let dest = rng.index(9);
                 if dest != src {
-                    net.inject(src, &Packet::new(id, src, 1 + rng.uniform_u32(0, 9), 0), dest);
+                    net.inject(
+                        src,
+                        &Packet::new(id, src, 1 + rng.uniform_u32(0, 9), 0),
+                        dest,
+                    );
                     id += 1;
                 }
             }

@@ -3,7 +3,9 @@
 //! `cargo run -p err-experiments --release -- all`; these keep the whole
 //! evaluation honest on every `cargo test`.
 
-use err_repro::experiments::{ablation, fig3, fig4, fig5, fig6, fmwindow, latency, loadsweep, table1, topo, wormhole_exp};
+use err_repro::experiments::{
+    ablation, fig3, fig4, fig5, fig6, fmwindow, latency, loadsweep, table1, topo, wormhole_exp,
+};
 
 #[test]
 fn fig3_trace_matches_reconstruction() {

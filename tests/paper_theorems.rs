@@ -97,14 +97,12 @@ fn theorem1_err_cost_does_not_scale_with_flows() {
         }
         let ops = 150_000u64;
         let start = std::time::Instant::now();
-        let mut now = 0u64;
-        for _ in 0..ops {
+        for now in 0..ops {
             let flit = sched.service_flit(now).expect("backlogged");
             if flit.is_tail() {
                 sched.enqueue(err_repro::sched::Packet::new(id, flit.flow, 6, now), now);
                 id += 1;
             }
-            now += 1;
         }
         start.elapsed().as_nanos() as f64 / ops as f64
     };

@@ -22,7 +22,11 @@ fn mesh_conserves_flits_under_random_traffic() {
                 if dest == src {
                     continue;
                 }
-                net.inject(src, &Packet::new(id, src, 1 + rng.uniform_u32(0, 19), 0), dest);
+                net.inject(
+                    src,
+                    &Packet::new(id, src, 1 + rng.uniform_u32(0, 19), 0),
+                    dest,
+                );
                 id += 1;
                 expected_pkts += 1;
             }
@@ -49,7 +53,11 @@ fn mesh_preserves_source_destination_order() {
         for _ in 0..10 {
             let dest = rng.index(16);
             if dest != src {
-                net.inject(src, &Packet::new(1000 + id, src, 1 + rng.uniform_u32(0, 7), 0), dest);
+                net.inject(
+                    src,
+                    &Packet::new(1000 + id, src, 1 + rng.uniform_u32(0, 7), 0),
+                    dest,
+                );
                 id += 1;
             }
         }
@@ -179,10 +187,10 @@ fn mesh_latency_scales_with_distance_when_uncontended() {
         let lat = net.latency().mean();
         // Lower bound: each hop costs >= 1 cycle of link latency plus the
         // serialization of 4 flits at the end.
+        assert!(lat >= (hops + 3) as f64, "{hops} hops: latency {lat}");
         assert!(
-            lat >= (hops + 3) as f64,
-            "{hops} hops: latency {lat}"
+            lat < (hops as f64 + 4.0) * 4.0,
+            "{hops} hops: latency {lat} too big"
         );
-        assert!(lat < (hops as f64 + 4.0) * 4.0, "{hops} hops: latency {lat} too big");
     }
 }

@@ -1,0 +1,301 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Provides the API surface this workspace's benches use —
+//! `benchmark_group`, `sample_size`, `throughput`, `bench_function`,
+//! `bench_with_input`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — implemented as a plain
+//! wall-clock harness: per benchmark it warms up briefly, takes
+//! `sample_size` timed samples, and prints median/min/max ns per
+//! iteration (plus element throughput when configured). No statistics,
+//! plots, or baselines; swap the workspace dependency back to the real
+//! crate for those.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement settings shared by a group's benchmarks.
+#[derive(Clone, Copy, Debug)]
+struct Settings {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            warm_up: Duration::from_millis(150),
+            measurement_time: Duration::from_millis(600),
+            throughput: None,
+        }
+    }
+}
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\ngroup {name}");
+        BenchmarkGroup {
+            _c: self,
+            name,
+            settings: Settings::default(),
+        }
+    }
+
+    /// Runs a standalone benchmark (an implicit single-entry group).
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut group = BenchmarkGroup {
+            _c: self,
+            name: String::new(),
+            settings: Settings::default(),
+        };
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// Units the measured iterations process, for derived rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// A named set of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Sets the throughput used to derive rates for following benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.settings.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark with no explicit input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.settings);
+        f(&mut b);
+        b.report(&self.name, &id.id);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.settings);
+        f(&mut b, input);
+        b.report(&self.name, &id.id);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Timing driver handed to each benchmark closure. Measurement happens
+/// inside [`iter`](Self::iter) so the routine may borrow locals.
+pub struct Bencher {
+    settings: Settings,
+    routine_ns: Vec<f64>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    fn new(settings: Settings) -> Self {
+        Self {
+            settings,
+            routine_ns: Vec::new(),
+            iters_per_sample: 0,
+        }
+    }
+
+    /// Measures the routine: warms it up, picks an iteration count
+    /// targeting the group's measurement time, and records
+    /// `sample_size` timed samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let mut run = |iters: u64| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            start.elapsed()
+        };
+        // Warm-up: single iterations until the warm-up budget is spent,
+        // which also yields a first per-iter estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        let mut warm_elapsed = Duration::ZERO;
+        while warm_elapsed < self.settings.warm_up || warm_iters == 0 {
+            warm_elapsed += run(1);
+            warm_iters += 1;
+            if warm_start.elapsed() > self.settings.warm_up * 4 {
+                break;
+            }
+        }
+        let est_ns = (warm_elapsed.as_nanos() as f64 / warm_iters as f64).max(1.0);
+        let budget_ns =
+            self.settings.measurement_time.as_nanos() as f64 / self.settings.sample_size as f64;
+        self.iters_per_sample = (budget_ns / est_ns).max(1.0).round() as u64;
+        self.routine_ns.clear();
+        for _ in 0..self.settings.sample_size {
+            let d = run(self.iters_per_sample);
+            self.routine_ns
+                .push(d.as_nanos() as f64 / self.iters_per_sample as f64);
+        }
+    }
+
+    fn report(self, group: &str, id: &str) {
+        let label = if group.is_empty() {
+            id.to_owned()
+        } else {
+            format!("{group}/{id}")
+        };
+        if self.routine_ns.is_empty() {
+            eprintln!("  {label}: no routine registered");
+            return;
+        }
+        let mut s = self.routine_ns;
+        s.sort_by(|a, b| a.total_cmp(b));
+        let median = s[s.len() / 2];
+        let (min, max) = (s[0], s[s.len() - 1]);
+        let rate = match self.settings.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:.3} Melem/s", n as f64 / median * 1e3 / 1e6)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:.3} MiB/s", n as f64 / median * 1e9 / (1 << 20) as f64)
+            }
+            None => String::new(),
+        };
+        eprintln!(
+            "  {label}: median {median:.1} ns/iter (min {min:.1}, max {max:.1}, \
+             {} iters x {} samples){rate}",
+            self.iters_per_sample,
+            s.len()
+        );
+    }
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, honouring `--test` (smoke mode
+/// used by `cargo test --benches`) by still running the benches once.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(5));
+        group.throughput(Throughput::Elements(64));
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..64u64).sum::<u64>());
+        });
+        group.bench_with_input(BenchmarkId::new("sum_to", 128u64), &128u64, |b, &n| {
+            b.iter(move || (0..n).sum::<u64>());
+        });
+        group.finish();
+    }
+}

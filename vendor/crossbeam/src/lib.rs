@@ -1,0 +1,66 @@
+//! Minimal offline stand-in for `crossbeam`.
+//!
+//! Only the surface the workspace consumes is provided: the
+//! [`channel::unbounded`] and [`channel::bounded`] constructors, backed
+//! by `std::sync::mpsc`. The semantics the callers rely on — cloneable
+//! senders, blocking receive, iteration until all senders drop — are
+//! identical; crossbeam's multi-consumer receivers and `select!` are not
+//! provided (nothing here uses them).
+
+#![warn(missing_docs)]
+
+/// Multi-producer channels (std-backed subset of `crossbeam-channel`).
+pub mod channel {
+    pub use std::sync::mpsc::{
+        Receiver, RecvError, SendError, Sender, SyncSender, TryRecvError, TrySendError,
+    };
+
+    /// Creates an unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+
+    /// Creates a bounded MPSC channel; `send` blocks when full.
+    pub fn bounded<T>(cap: usize) -> (SyncSender<T>, Receiver<T>) {
+        std::sync::mpsc::sync_channel(cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn unbounded_fan_in_preserves_messages() {
+        let (tx, rx) = channel::unbounded::<usize>();
+        let handles: Vec<_> = (0..4)
+            .map(|k| {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        tx.send(k * 100 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let mut got: Vec<usize> = rx.into_iter().collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        got.sort_unstable();
+        assert_eq!(got, (0..400).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounded_blocks_and_delivers() {
+        let (tx, rx) = channel::bounded::<u32>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert!(tx.try_send(3).is_err());
+        assert_eq!(rx.recv().unwrap(), 1);
+        tx.try_send(3).unwrap();
+        drop(tx);
+        assert_eq!(rx.into_iter().collect::<Vec<_>>(), vec![2, 3]);
+    }
+}

@@ -1,0 +1,22 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! Nothing in this workspace currently serializes at runtime (there is no
+//! `serde_json`/`bincode` consumer), but many types carry
+//! `#[derive(Serialize, Deserialize)]` so they are ready for one. This
+//! stub keeps those annotations compiling without network access: the
+//! traits are markers and the derive macros (re-exported from
+//! `serde_derive` under the `derive` feature) expand to nothing.
+//!
+//! Swap the workspace `serde` path dependency back to the registry crate
+//! to restore real serialization.
+
+#![warn(missing_docs)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,17 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline `serde`
+//! stand-in. Deriving is legal on any item and expands to nothing; the
+//! annotations stay in place for when the real crates are restored.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; keeps `#[derive(Serialize)]` compiling offline.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; keeps `#[derive(Deserialize)]` compiling offline.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
