@@ -1,0 +1,92 @@
+//! Egress-coupling cost and stall-resilience: full runtime lifecycles
+//! (submit → shard scheduler → egress → drain) comparing the legacy
+//! synchronous sink against the buffered credit-based stage, with and
+//! without a churning downstream-stall schedule.
+//!
+//! The buffered path pays a per-flit toll (credit CAS + SPSC commit +
+//! flusher hop) to buy stall isolation; these benches price that toll
+//! when nothing stalls and show it stays flat when the `StallPlan`
+//! churns — the sync path has no comparable stalled variant because a
+//! frozen sync sink simply stops the shard clock (see
+//! `BENCH_egress.json` for the wall-clock isolation figures).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use err_runtime::{BufferedConfig, EgressMode, Runtime, RuntimeConfig, StallPlan, Submitted};
+use err_sched::{Discipline, Packet, ServedFlit};
+use std::hint::black_box;
+
+const N_FLOWS: usize = 64;
+const N_LINKS: usize = 4;
+const PACKET_LEN: u32 = 8;
+const PACKETS: u64 = 20_000;
+
+/// One full lifecycle under the given egress mode; returns flits seen
+/// by the sink (sync) or delivered by the flushers (buffered).
+fn pipeline(shards: usize, egress: EgressMode) -> u64 {
+    let buffered = matches!(egress, EgressMode::Buffered(_));
+    let (rt, handle) = Runtime::start_with_egress(
+        RuntimeConfig {
+            shards,
+            n_flows: N_FLOWS,
+            discipline: Discipline::Err,
+            egress,
+            ..RuntimeConfig::default()
+        },
+        |_shard| {
+            Some(|_s: usize, f: &ServedFlit| {
+                black_box(f.len);
+            })
+        },
+    );
+    for id in 0..PACKETS {
+        let pkt = Packet::new(id, (id % N_FLOWS as u64) as usize, PACKET_LEN, 0);
+        assert_eq!(handle.submit(pkt), Ok(Submitted::Enqueued));
+    }
+    let report = rt.shutdown();
+    assert!(report.is_conserving());
+    if buffered {
+        report.stats.flushed_flits()
+    } else {
+        report.stats.served_flits()
+    }
+}
+
+fn buffered(stall_plan: Option<StallPlan>) -> EgressMode {
+    EgressMode::Buffered(BufferedConfig {
+        ring_capacity: 256,
+        credits: 32,
+        n_links: N_LINKS,
+        stall_plan,
+    })
+}
+
+/// Short recoverable stalls across every link for the whole run.
+fn churn_plan() -> StallPlan {
+    let rng = desim::SimRng::new(0xBEAC);
+    StallPlan::from_rng(&rng, N_LINKS, PACKETS * PACKET_LEN as u64, 0.001, 50, 500)
+}
+
+fn bench_egress_stall(c: &mut Criterion) {
+    let mut group = c.benchmark_group("egress_stall");
+    group.sample_size(10);
+    for shards in [1usize, 4] {
+        group.throughput(Throughput::Elements(PACKETS * PACKET_LEN as u64));
+        group.bench_with_input(BenchmarkId::new("sync", shards), &shards, |b, &s| {
+            b.iter(|| black_box(pipeline(s, EgressMode::Sync)));
+        });
+        group.bench_with_input(BenchmarkId::new("buffered", shards), &shards, |b, &s| {
+            b.iter(|| black_box(pipeline(s, buffered(None))));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("buffered_stall_churn", shards),
+            &shards,
+            |b, &s| {
+                b.iter(|| black_box(pipeline(s, buffered(Some(churn_plan())))));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_egress_stall);
+criterion_main!(benches);

@@ -1,0 +1,283 @@
+//! The flusher: one thread per shard draining that shard's output ring.
+//!
+//! The flusher is the boundary between the scheduler's flit clock and
+//! the downstream's delivery clock — the decoupling the paper's
+//! analysis presumes. It pops flits from the shard's SPSC ring, routes
+//! each to its link, and delivers through the caller's sink unless the
+//! link is frozen, in which case the flit waits in a per-link pending
+//! queue. Pending flits hold their link credits, so a frozen link's
+//! buffered backlog is bounded by the credit pool no matter how long
+//! the stall lasts.
+//!
+//! Ordering: per-link order is exactly ring order (pending queues are
+//! drained before fresh ring flits for the same link); flits of
+//! different links may reorder, which is fine — they leave on
+//! different channels.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use err_sched::ServedFlit;
+
+use crate::link::LinkSet;
+use crate::spsc::Consumer;
+use crate::stall::StallInjector;
+use crate::stats::ShardEgressStats;
+use crate::Egress;
+
+/// Max ring pops per [`FlusherCore::step`] call, so one step can't
+/// monopolize the thread when the worker is producing at full tilt.
+const BURST: usize = 256;
+
+/// Single-threaded flusher state machine. Split from the thread loop so
+/// tests (and proptests) can drive it step-by-step deterministically.
+pub struct FlusherCore {
+    shard: usize,
+    rx: Consumer<ServedFlit>,
+    /// Flits popped from the ring but stuck behind a frozen link,
+    /// per link, in ring order.
+    pending: Vec<VecDeque<ServedFlit>>,
+    pending_total: usize,
+}
+
+impl FlusherCore {
+    /// A flusher for `shard`, draining `rx` toward `n_links` links.
+    pub fn new(shard: usize, rx: Consumer<ServedFlit>, n_links: usize) -> Self {
+        Self {
+            shard,
+            rx,
+            pending: (0..n_links).map(|_| VecDeque::new()).collect(),
+            pending_total: 0,
+        }
+    }
+
+    /// Flits currently parked behind `link`'s stall.
+    pub fn pending_len(&self, link: usize) -> usize {
+        self.pending[link].len()
+    }
+
+    /// Whether both the ring and every pending queue are empty.
+    pub fn is_idle(&mut self) -> bool {
+        self.pending_total == 0 && self.rx.is_empty()
+    }
+
+    fn deliver<E: Egress + ?Sized>(
+        &self,
+        flit: &ServedFlit,
+        link: usize,
+        links: &LinkSet,
+        injector: Option<&StallInjector>,
+        sink: &mut E,
+    ) {
+        sink.emit(self.shard, flit);
+        links.on_delivered(link);
+        // The clock moved: stall events may now be due. Polling per
+        // delivery keeps single-shard schedules cycle-exact.
+        if let Some(inj) = injector {
+            inj.poll(links);
+        }
+    }
+
+    /// One pump: drain deliverable pending flits, then pop up to
+    /// `BURST` ring flits, delivering or parking each. Returns the
+    /// number delivered to the sink.
+    pub fn step<E: Egress + ?Sized>(
+        &mut self,
+        links: &LinkSet,
+        injector: Option<&StallInjector>,
+        sink: &mut E,
+    ) -> u64 {
+        if let Some(inj) = injector {
+            inj.poll(links);
+        }
+        let mut delivered = 0u64;
+        // Pending first: per-link FIFO requires stalled flits to leave
+        // before fresh ones for the same link.
+        if self.pending_total > 0 {
+            for link in 0..self.pending.len() {
+                while !self.pending[link].is_empty() && !links.blocked(link) {
+                    let flit = self.pending[link].pop_front().expect("checked non-empty");
+                    self.pending_total -= 1;
+                    self.deliver(&flit, link, links, injector, sink);
+                    delivered += 1;
+                }
+            }
+        }
+        for _ in 0..BURST {
+            let Some(flit) = self.rx.pop() else { break };
+            let link = links.route(flit.flow);
+            if links.blocked(link) || !self.pending[link].is_empty() {
+                self.pending[link].push_back(flit);
+                self.pending_total += 1;
+                // Every pending flit holds a credit, so the stall
+                // buffer is bounded by the credit pool.
+                debug_assert!(
+                    self.pending[link].len() as u64 <= links.credits_per_link(),
+                    "pending overflow on link {link}"
+                );
+            } else {
+                self.deliver(&flit, link, links, injector, sink);
+                delivered += 1;
+            }
+        }
+        delivered
+    }
+}
+
+/// Thread body: pumps `core` until `closed` is set *and* everything
+/// buffered has been delivered. The runtime sets `closed` only after
+/// the shard worker has exited and [`LinkSet::set_draining`] is on, so
+/// exit implies no flit is stranded.
+pub fn run_flusher<E: Egress>(
+    mut core: FlusherCore,
+    links: Arc<LinkSet>,
+    injector: Option<Arc<StallInjector>>,
+    closed: Arc<AtomicBool>,
+    stats: Arc<ShardEgressStats>,
+    mut sink: E,
+) {
+    let inj = injector.as_deref();
+    let mut idle_rounds = 0u32;
+    loop {
+        let n = core.step(&links, inj, &mut sink);
+        if n > 0 {
+            stats.flushed_flits.fetch_add(n, Ordering::Relaxed);
+            idle_rounds = 0;
+            continue;
+        }
+        if closed.load(Ordering::Acquire) && core.is_idle() {
+            return;
+        }
+        idle_rounds += 1;
+        if idle_rounds < 64 {
+            std::hint::spin_loop();
+        } else {
+            // Long-idle (e.g. mid-stall with nothing deliverable):
+            // back off so a frozen link doesn't burn a core.
+            std::thread::sleep(std::time::Duration::from_micros(50));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spsc::spsc_ring;
+
+    fn flit(flow: usize, packet: u64, idx: u32, len: u32) -> ServedFlit {
+        ServedFlit {
+            flow,
+            packet,
+            arrival: 0,
+            len,
+            flit_index: idx,
+        }
+    }
+
+    #[test]
+    fn delivers_in_ring_order_when_unstalled() {
+        let links = LinkSet::new(2, 8);
+        let (mut tx, rx) = spsc_ring(16);
+        let mut core = FlusherCore::new(0, rx, 2);
+        for i in 0..6u64 {
+            assert!(links.try_acquire((i % 2) as usize));
+            tx.push(flit((i % 2) as usize, i, 0, 1)).unwrap();
+        }
+        let mut out = Vec::new();
+        let mut sink = |_s: usize, f: &ServedFlit| out.push(f.packet);
+        assert_eq!(core.step(&links, None, &mut sink), 6);
+        assert_eq!(out, vec![0, 1, 2, 3, 4, 5]);
+        assert!(core.is_idle());
+        assert_eq!(links.flush_clock(), 6);
+    }
+
+    #[test]
+    fn frozen_link_parks_flits_others_flow() {
+        let links = LinkSet::new(2, 8);
+        links.freeze(1);
+        let (mut tx, rx) = spsc_ring(16);
+        let mut core = FlusherCore::new(0, rx, 2);
+        // Interleaved flits for links 0 and 1.
+        for i in 0..8u64 {
+            assert!(links.try_acquire((i % 2) as usize));
+            tx.push(flit((i % 2) as usize, i, 0, 1)).unwrap();
+        }
+        let out = std::sync::Mutex::new(Vec::new());
+        let mut sink = |_s: usize, f: &ServedFlit| out.lock().unwrap().push(f.packet);
+        assert_eq!(core.step(&links, None, &mut sink), 4);
+        assert_eq!(
+            *out.lock().unwrap(),
+            vec![0, 2, 4, 6],
+            "even packets ride link 0"
+        );
+        assert_eq!(core.pending_len(1), 4, "odd packets wait out the stall");
+        // Thaw: pending leaves first, in order.
+        links.release_stall(1);
+        assert_eq!(core.step(&links, None, &mut sink), 4);
+        assert_eq!(*out.lock().unwrap(), vec![0, 2, 4, 6, 1, 3, 5, 7]);
+        assert!(core.is_idle());
+    }
+
+    #[test]
+    fn per_link_fifo_across_thaw_boundary() {
+        // A flit arriving while its link thaws must not overtake the
+        // pending queue.
+        let links = LinkSet::new(1, 8);
+        let (mut tx, rx) = spsc_ring(16);
+        let mut core = FlusherCore::new(0, rx, 1);
+        links.freeze(0);
+        links.try_acquire(0);
+        tx.push(flit(0, 0, 0, 1)).unwrap();
+        let mut out = Vec::new();
+        let mut sink = |_s: usize, f: &ServedFlit| out.push(f.packet);
+        core.step(&links, None, &mut sink);
+        assert_eq!(core.pending_len(0), 1);
+        links.release_stall(0);
+        // New flit behind the pending one.
+        links.try_acquire(0);
+        tx.push(flit(0, 1, 0, 1)).unwrap();
+        core.step(&links, None, &mut sink);
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn run_flusher_drains_and_exits() {
+        let links = Arc::new(LinkSet::new(2, 64));
+        let closed = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ShardEgressStats::default());
+        let (mut tx, rx) = spsc_ring(64);
+        let core = FlusherCore::new(3, rx, 2);
+        let out = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let sink = {
+            let out = Arc::clone(&out);
+            move |s: usize, f: &ServedFlit| out.lock().unwrap().push((s, f.packet))
+        };
+        let h = {
+            let links = Arc::clone(&links);
+            let closed = Arc::clone(&closed);
+            let stats = Arc::clone(&stats);
+            std::thread::spawn(move || run_flusher(core, links, None, closed, stats, sink))
+        };
+        for i in 0..100u64 {
+            links.try_acquire((i % 2) as usize);
+            let mut f = flit((i % 2) as usize, i, 0, 1);
+            loop {
+                match tx.push(f) {
+                    Ok(()) => break,
+                    Err(back) => {
+                        f = back;
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+        closed.store(true, Ordering::Release);
+        h.join().unwrap();
+        let out = out.lock().unwrap();
+        assert_eq!(out.len(), 100, "no flit stranded");
+        assert!(out.iter().all(|&(s, _)| s == 3), "shard id propagated");
+        assert_eq!(stats.snapshot().flushed_flits, 100);
+        assert_eq!(links.flush_clock(), 100);
+    }
+}

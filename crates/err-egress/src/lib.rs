@@ -1,0 +1,162 @@
+//! Credit-based asynchronous egress for the sharded ERR runtime.
+//!
+//! The paper's opening argument is that wormhole links stall: "a packet
+//! which has begun transmission may be stalled due to lack of buffer
+//! space downstream", for a time no scheduler can predict (§1). A
+//! synchronous egress callback couples the scheduler's flit clock to
+//! that unpredictable downstream — one dead link freezes an entire
+//! shard, fairness state and all. This crate decouples them with the
+//! standard wormhole machinery, in three pieces:
+//!
+//! * **Per-shard output ring** ([`spsc`]): the shard worker pushes
+//!   served flits into a bounded SPSC ring; a dedicated flusher thread
+//!   ([`flusher`]) drains it toward the downstream sink. The
+//!   scheduler's clock never waits on delivery.
+//! * **Per-link credits** ([`link`]): each downstream link advertises a
+//!   credit pool, virtual-channel style. A worker spends one credit per
+//!   flit it commits; the flusher returns the credit on delivery. A
+//!   stalled link stops returning credits, so its backlog anywhere in
+//!   the egress path is bounded by the pool — and the worker reacts by
+//!   *parking* the link's flows in the scheduler
+//!   ([`Scheduler::park_flow`](err_sched::Scheduler::park_flow)), which
+//!   keeps serving everyone else.
+//! * **Deterministic stalls** ([`stall`]): a seeded [`StallInjector`]
+//!   freezes and thaws links on the flush clock (flits delivered, not
+//!   wall time), and a per-link watchdog ([`link::LinkSnapshot`])
+//!   reports stall-duration histograms. The stalled-downstream regime
+//!   the paper treats analytically becomes a reproducible experiment.
+//!
+//! The runtime integration (`err-runtime`'s `EgressMode::Buffered`)
+//! wires these together; this crate is freestanding and each piece is
+//! testable on its own.
+
+pub mod flusher;
+pub mod link;
+pub mod spsc;
+pub mod stall;
+pub mod stats;
+
+use std::sync::Arc;
+
+use err_sched::ServedFlit;
+
+pub use flusher::{run_flusher, FlusherCore};
+pub use link::{LinkSet, LinkSnapshot};
+pub use spsc::{spsc_ring, Consumer, Producer};
+pub use stall::{StallInjector, StallPlan, StallWindow};
+pub use stats::{EgressSnapshot, ShardEgressSnapshot, ShardEgressStats};
+
+/// The downstream sink: where flits go when they leave the scheduler.
+///
+/// `shard` identifies the shard whose scheduler served the flit.
+/// Implementations must be `Send` (the flusher thread owns the sink)
+/// but need not be `Sync` — each shard gets its own sink value.
+///
+/// Any `FnMut(usize, &ServedFlit) + Send` closure is an `Egress` via
+/// the blanket impl, so callback-style callers keep working unchanged:
+///
+/// ```
+/// use err_egress::Egress;
+/// use err_sched::ServedFlit;
+///
+/// fn takes_egress(mut e: impl Egress, f: &ServedFlit) {
+///     e.emit(0, f);
+/// }
+///
+/// let mut n = 0u64;
+/// takes_egress(
+///     |_shard: usize, _flit: &ServedFlit| n += 1,
+///     &ServedFlit { flow: 0, packet: 0, arrival: 0, len: 1, flit_index: 0 },
+/// );
+/// ```
+pub trait Egress: Send {
+    /// Consumes one flit served by `shard`'s scheduler.
+    fn emit(&mut self, shard: usize, flit: &ServedFlit);
+}
+
+impl<F: FnMut(usize, &ServedFlit) + Send> Egress for F {
+    fn emit(&mut self, shard: usize, flit: &ServedFlit) {
+        self(shard, flit)
+    }
+}
+
+/// Configuration of the buffered egress path.
+#[derive(Clone, Debug)]
+pub struct BufferedConfig {
+    /// Capacity of each shard's output ring, in flits.
+    pub ring_capacity: usize,
+    /// Credits per downstream link — the most flits that can be
+    /// committed-but-undelivered to one link at a time.
+    pub credits: u64,
+    /// Number of downstream links. Flows map to links statically:
+    /// `link = flow % n_links`.
+    pub n_links: usize,
+    /// Optional deterministic stall schedule applied on the flush
+    /// clock.
+    pub stall_plan: Option<StallPlan>,
+}
+
+impl Default for BufferedConfig {
+    fn default() -> Self {
+        Self {
+            ring_capacity: 1024,
+            credits: 64,
+            n_links: 4,
+            stall_plan: None,
+        }
+    }
+}
+
+/// Handle over a running buffered-egress stage: freeze/thaw links and
+/// snapshot the counters while the runtime is live. Cloneable; all
+/// clones view the same links.
+#[derive(Clone)]
+pub struct EgressController {
+    links: Arc<LinkSet>,
+    injector: Option<Arc<StallInjector>>,
+    shard_stats: Vec<Arc<ShardEgressStats>>,
+}
+
+impl EgressController {
+    /// Bundles the shared egress state into a controller.
+    pub fn new(
+        links: Arc<LinkSet>,
+        injector: Option<Arc<StallInjector>>,
+        shard_stats: Vec<Arc<ShardEgressStats>>,
+    ) -> Self {
+        Self {
+            links,
+            injector,
+            shard_stats,
+        }
+    }
+
+    /// The shared link set.
+    pub fn links(&self) -> &Arc<LinkSet> {
+        &self.links
+    }
+
+    /// Manually freezes `link` (same effect as an injector event).
+    pub fn freeze(&self, link: usize) {
+        self.links.freeze(link);
+    }
+
+    /// Manually thaws `link`.
+    pub fn release_stall(&self, link: usize) {
+        self.links.release_stall(link);
+    }
+
+    /// Whether a configured stall plan has fully played out (`true`
+    /// when no plan was configured).
+    pub fn stall_plan_exhausted(&self) -> bool {
+        self.injector.as_ref().is_none_or(|i| i.exhausted())
+    }
+
+    /// Snapshots per-shard and per-link egress counters.
+    pub fn snapshot(&self) -> EgressSnapshot {
+        EgressSnapshot {
+            shards: self.shard_stats.iter().map(|s| s.snapshot()).collect(),
+            links: self.links.snapshot(),
+        }
+    }
+}

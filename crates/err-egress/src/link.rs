@@ -1,0 +1,340 @@
+//! Per-link credit counters, stall flags, and the stall watchdog.
+//!
+//! This is the wormhole virtual-channel flow-control model: a link
+//! advertises `credits` flit buffers; the sender (a shard worker)
+//! consumes one credit per flit it commits to egress, and the receiver
+//! (the flusher, standing in for the downstream router) returns the
+//! credit when the flit is actually delivered. A stalled link simply
+//! stops returning credits, so the backpressure a slow downstream can
+//! exert is bounded by the credit pool — exactly the regime the paper
+//! assumes when it argues that "a packet which has begun transmission
+//! may be stalled due to lack of buffer space downstream" must not
+//! freeze the scheduler (§1).
+//!
+//! All state is atomic: workers acquire credits, flushers release them,
+//! and the [`StallInjector`](crate::stall::StallInjector) freezes links,
+//! each from its own thread without locks on the fast path. Time is the
+//! **flush clock** — the total number of flits delivered across all
+//! links — not wall time, so stall durations are deterministic and
+//! reproducible.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use desim::Histogram;
+use serde::Serialize;
+
+/// Geometry of the stall-duration histograms (flush-clock cycles per
+/// bin × bins). Stalls longer than 64k delivered flits land in the
+/// overflow bucket; `max_stall_cycles` still records them exactly.
+const STALL_HIST_BIN: u64 = 256;
+const STALL_HIST_BINS: usize = 256;
+
+/// State of one downstream link.
+pub struct LinkState {
+    /// Credits currently available to senders.
+    credits: AtomicU64,
+    /// Whether the downstream is refusing flits.
+    stalled: AtomicBool,
+    /// Flush-clock reading when the current stall began (valid while
+    /// `stalled`).
+    stall_began: AtomicU64,
+    /// Stalls observed so far (frozen at least once).
+    stall_events: AtomicU64,
+    /// Longest completed stall, in flush-clock cycles.
+    max_stall_cycles: AtomicU64,
+    /// Flits delivered downstream on this link.
+    delivered: AtomicU64,
+    /// Peak credits outstanding at once (high-water mark of buffered
+    /// flits committed to this link).
+    outstanding_peak: AtomicU64,
+    /// Completed stall durations. Watchdog-only state, touched once per
+    /// stall release — never on the per-flit path — so a `Mutex` is fine.
+    stall_hist: Mutex<Histogram>,
+}
+
+impl LinkState {
+    fn new(credits: u64) -> Self {
+        Self {
+            credits: AtomicU64::new(credits),
+            stalled: AtomicBool::new(false),
+            stall_began: AtomicU64::new(0),
+            stall_events: AtomicU64::new(0),
+            max_stall_cycles: AtomicU64::new(0),
+            delivered: AtomicU64::new(0),
+            outstanding_peak: AtomicU64::new(0),
+            stall_hist: Mutex::new(Histogram::new(STALL_HIST_BIN, STALL_HIST_BINS)),
+        }
+    }
+}
+
+/// Point-in-time view of one link's counters.
+#[derive(Clone, Debug, Serialize)]
+pub struct LinkSnapshot {
+    /// Flits delivered downstream.
+    pub delivered_flits: u64,
+    /// Credits available at snapshot time.
+    pub credits_available: u64,
+    /// Peak credits outstanding at once.
+    pub outstanding_peak: u64,
+    /// Number of stalls that began on this link.
+    pub stall_events: u64,
+    /// Longest completed stall in flush-clock cycles.
+    pub max_stall_cycles: u64,
+    /// Mean completed-stall duration in flush-clock cycles.
+    pub mean_stall_cycles: f64,
+    /// Completed stalls recorded by the watchdog histogram.
+    pub stalls_completed: u64,
+}
+
+/// The set of downstream links shared by every shard's egress path.
+///
+/// Flows are mapped to links statically: `link = flow % n_links`. That
+/// matches the wormhole setting, where a flow is a (source, destination)
+/// stream whose packets all traverse the same output channel.
+pub struct LinkSet {
+    links: Vec<LinkState>,
+    credits_per_link: u64,
+    /// While draining, `blocked` reports false so buffered flits can
+    /// reach the sink even through a frozen link (conservation at
+    /// shutdown outranks stall fidelity).
+    draining: AtomicBool,
+    /// Total flits delivered across all links — the deterministic clock
+    /// that stall schedules and watchdog durations are measured on.
+    flush_clock: AtomicU64,
+}
+
+impl LinkSet {
+    /// Creates `n_links` links, each with `credits` credits.
+    pub fn new(n_links: usize, credits: u64) -> Self {
+        assert!(n_links > 0, "need at least one link");
+        assert!(credits > 0, "need at least one credit per link");
+        Self {
+            links: (0..n_links).map(|_| LinkState::new(credits)).collect(),
+            credits_per_link: credits,
+            draining: AtomicBool::new(false),
+            flush_clock: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of links.
+    pub fn n_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Credits each link starts with.
+    pub fn credits_per_link(&self) -> u64 {
+        self.credits_per_link
+    }
+
+    /// The link that carries `flow`.
+    pub fn route(&self, flow: usize) -> usize {
+        flow % self.links.len()
+    }
+
+    /// Current flush-clock reading (total delivered flits).
+    pub fn flush_clock(&self) -> u64 {
+        self.flush_clock.load(Ordering::Acquire)
+    }
+
+    /// Tries to take one credit on `link`. Returns `false` when the
+    /// pool is exhausted — the caller must stop committing flits to
+    /// this link until credits return.
+    pub fn try_acquire(&self, link: usize) -> bool {
+        let l = &self.links[link];
+        let mut cur = l.credits.load(Ordering::Relaxed);
+        loop {
+            if cur == 0 {
+                return false;
+            }
+            match l
+                .credits
+                .compare_exchange_weak(cur, cur - 1, Ordering::AcqRel, Ordering::Relaxed)
+            {
+                Ok(_) => {
+                    let outstanding = self.credits_per_link - (cur - 1);
+                    l.outstanding_peak.fetch_max(outstanding, Ordering::Relaxed);
+                    return true;
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Records a flit delivered downstream on `link`: returns its
+    /// credit and advances the flush clock. Called by the flusher only.
+    pub fn on_delivered(&self, link: usize) -> u64 {
+        let l = &self.links[link];
+        l.delivered.fetch_add(1, Ordering::Relaxed);
+        let prev = l.credits.fetch_add(1, Ordering::AcqRel);
+        debug_assert!(
+            prev < self.credits_per_link,
+            "credit overflow on link {link}"
+        );
+        self.flush_clock.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Whether `link` currently refuses flits. Always `false` while
+    /// draining.
+    pub fn blocked(&self, link: usize) -> bool {
+        self.links[link].stalled.load(Ordering::Acquire) && !self.draining.load(Ordering::Acquire)
+    }
+
+    /// Whether `link` is administratively frozen (ignores draining —
+    /// used by tests and stats).
+    pub fn is_stalled(&self, link: usize) -> bool {
+        self.links[link].stalled.load(Ordering::Acquire)
+    }
+
+    /// Freezes `link`: delivery stops until [`release_stall`]. A no-op
+    /// if already frozen. The watchdog timestamps the stall on the
+    /// flush clock.
+    ///
+    /// [`release_stall`]: LinkSet::release_stall
+    pub fn freeze(&self, link: usize) {
+        let l = &self.links[link];
+        if l.stalled.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        l.stall_began
+            .store(self.flush_clock.load(Ordering::Acquire), Ordering::Release);
+        l.stall_events.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Releases a frozen `link` and records the stall duration (in
+    /// flush-clock cycles) into the watchdog histogram. A no-op if not
+    /// frozen.
+    pub fn release_stall(&self, link: usize) {
+        let l = &self.links[link];
+        if !l.stalled.swap(false, Ordering::AcqRel) {
+            return;
+        }
+        let began = l.stall_began.load(Ordering::Acquire);
+        let dur = self
+            .flush_clock
+            .load(Ordering::Acquire)
+            .saturating_sub(began);
+        l.max_stall_cycles.fetch_max(dur, Ordering::Relaxed);
+        l.stall_hist
+            .lock()
+            .expect("stall histogram poisoned")
+            .record(dur);
+    }
+
+    /// Releases every still-open stall (shutdown: closes the watchdog
+    /// windows so the histograms account for stalls that never ended).
+    pub fn release_all_stalls(&self) {
+        for link in 0..self.links.len() {
+            self.release_stall(link);
+        }
+    }
+
+    /// Enters drain mode: frozen links stop blocking so buffered flits
+    /// can reach the sink.
+    pub fn set_draining(&self, draining: bool) {
+        self.draining.store(draining, Ordering::Release);
+    }
+
+    /// Snapshots every link's counters.
+    pub fn snapshot(&self) -> Vec<LinkSnapshot> {
+        self.links
+            .iter()
+            .map(|l| {
+                let h = l.stall_hist.lock().expect("stall histogram poisoned");
+                LinkSnapshot {
+                    delivered_flits: l.delivered.load(Ordering::Relaxed),
+                    credits_available: l.credits.load(Ordering::Relaxed),
+                    outstanding_peak: l.outstanding_peak.load(Ordering::Relaxed),
+                    stall_events: l.stall_events.load(Ordering::Relaxed),
+                    max_stall_cycles: l.max_stall_cycles.load(Ordering::Relaxed),
+                    mean_stall_cycles: h.mean(),
+                    stalls_completed: h.count(),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn credits_bound_outstanding() {
+        let links = LinkSet::new(2, 3);
+        assert!(links.try_acquire(0));
+        assert!(links.try_acquire(0));
+        assert!(links.try_acquire(0));
+        assert!(!links.try_acquire(0), "pool exhausted");
+        assert!(links.try_acquire(1), "links are independent");
+        links.on_delivered(0);
+        assert!(links.try_acquire(0), "delivery returns the credit");
+        let snap = links.snapshot();
+        assert_eq!(snap[0].outstanding_peak, 3);
+        assert_eq!(snap[0].delivered_flits, 1);
+    }
+
+    #[test]
+    fn flush_clock_counts_deliveries() {
+        let links = LinkSet::new(2, 8);
+        assert_eq!(links.flush_clock(), 0);
+        links.try_acquire(0);
+        links.try_acquire(1);
+        assert_eq!(links.on_delivered(0), 1);
+        assert_eq!(links.on_delivered(1), 2);
+        assert_eq!(links.flush_clock(), 2);
+    }
+
+    #[test]
+    fn watchdog_measures_stall_on_flush_clock() {
+        let links = LinkSet::new(2, 8);
+        links.freeze(0);
+        assert!(links.blocked(0));
+        assert!(!links.blocked(1));
+        // 5 flits flow through link 1 while link 0 is frozen.
+        for _ in 0..5 {
+            links.try_acquire(1);
+            links.on_delivered(1);
+        }
+        links.release_stall(0);
+        let snap = links.snapshot();
+        assert_eq!(snap[0].stall_events, 1);
+        assert_eq!(snap[0].max_stall_cycles, 5);
+        assert_eq!(snap[0].stalls_completed, 1);
+        assert!((snap[0].mean_stall_cycles - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn freeze_is_idempotent_release_closes_window() {
+        let links = LinkSet::new(1, 4);
+        links.freeze(0);
+        links.freeze(0); // no second event
+        links.release_stall(0);
+        links.release_stall(0); // no second completion
+        let snap = links.snapshot();
+        assert_eq!(snap[0].stall_events, 1);
+        assert_eq!(snap[0].stalls_completed, 1);
+    }
+
+    #[test]
+    fn draining_unblocks_frozen_links() {
+        let links = LinkSet::new(1, 4);
+        links.freeze(0);
+        assert!(links.blocked(0));
+        links.set_draining(true);
+        assert!(!links.blocked(0), "drain overrides the stall");
+        assert!(links.is_stalled(0), "the stall itself is still recorded");
+    }
+
+    #[test]
+    fn release_all_closes_open_windows() {
+        let links = LinkSet::new(3, 4);
+        links.freeze(0);
+        links.freeze(2);
+        links.release_all_stalls();
+        let snap = links.snapshot();
+        assert_eq!(snap[0].stalls_completed, 1);
+        assert_eq!(snap[1].stalls_completed, 0);
+        assert_eq!(snap[2].stalls_completed, 1);
+    }
+}

@@ -1,0 +1,240 @@
+//! Bounded single-producer/single-consumer ring buffer.
+//!
+//! Each shard worker is the sole producer of its output ring and the
+//! shard's flusher thread the sole consumer, so the egress path can use
+//! the classic Lamport queue instead of the heavier multi-producer ring
+//! the ingress side needs (`err-runtime`'s Vyukov ring): one atomic
+//! load + one atomic store per operation, with cached cursors so the
+//! common case touches only one shared cache line.
+//!
+//! Capacity is rounded up to a power of two; one slot is sacrificed to
+//! distinguish full from empty, so a ring built with capacity `c` holds
+//! at least `c` items.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct Inner<T> {
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: usize,
+    /// Next slot to read (owned by the consumer, read by the producer).
+    head: AtomicUsize,
+    /// Next slot to write (owned by the producer, read by the consumer).
+    tail: AtomicUsize,
+}
+
+// The producer/consumer split guarantees each slot is accessed by at most
+// one thread at a time (ownership transfers through the head/tail
+// acquire/release pair).
+unsafe impl<T: Send> Send for Inner<T> {}
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        // Drop any items still in flight (both handles are gone, so the
+        // cursors are stable).
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Relaxed);
+        let mut i = head;
+        while i != tail {
+            unsafe { (*self.buf[i & self.mask].get()).assume_init_drop() };
+            i = i.wrapping_add(1);
+        }
+    }
+}
+
+/// Producer half of the ring. Not clonable: exactly one producer.
+pub struct Producer<T> {
+    inner: Arc<Inner<T>>,
+    /// Producer's private copy of `head`; refreshed only when the ring
+    /// looks full, so most pushes never read the consumer's cache line.
+    cached_head: usize,
+    tail: usize,
+}
+
+/// Consumer half of the ring. Not clonable: exactly one consumer.
+pub struct Consumer<T> {
+    inner: Arc<Inner<T>>,
+    /// Consumer's private copy of `tail`; refreshed only when the ring
+    /// looks empty.
+    cached_tail: usize,
+    head: usize,
+}
+
+/// Creates a bounded SPSC ring holding at least `capacity` items.
+pub fn spsc_ring<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    assert!(capacity > 0, "ring capacity must be positive");
+    // +1 because one slot separates full from empty.
+    let cap = (capacity + 1).next_power_of_two();
+    let buf = (0..cap)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect::<Vec<_>>()
+        .into_boxed_slice();
+    let inner = Arc::new(Inner {
+        buf,
+        mask: cap - 1,
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+    });
+    (
+        Producer {
+            inner: Arc::clone(&inner),
+            cached_head: 0,
+            tail: 0,
+        },
+        Consumer {
+            inner,
+            cached_tail: 0,
+            head: 0,
+        },
+    )
+}
+
+impl<T> Producer<T> {
+    /// Pushes `item`, or returns it if the ring is full.
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        let cap = self.inner.mask + 1;
+        if self.tail.wrapping_sub(self.cached_head) == cap - 1 {
+            self.cached_head = self.inner.head.load(Ordering::Acquire);
+            if self.tail.wrapping_sub(self.cached_head) == cap - 1 {
+                return Err(item);
+            }
+        }
+        unsafe {
+            (*self.inner.buf[self.tail & self.inner.mask].get()).write(item);
+        }
+        self.tail = self.tail.wrapping_add(1);
+        self.inner.tail.store(self.tail, Ordering::Release);
+        Ok(())
+    }
+
+    /// Items currently buffered, as seen from the producer side (exact
+    /// for the producer's own pushes; the consumer may have drained more
+    /// since `cached_head` was refreshed, so this is an upper bound).
+    pub fn occupancy(&mut self) -> usize {
+        self.cached_head = self.inner.head.load(Ordering::Acquire);
+        self.tail.wrapping_sub(self.cached_head)
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Pops the oldest item, or `None` if the ring is empty.
+    pub fn pop(&mut self) -> Option<T> {
+        if self.head == self.cached_tail {
+            self.cached_tail = self.inner.tail.load(Ordering::Acquire);
+            if self.head == self.cached_tail {
+                return None;
+            }
+        }
+        let item =
+            unsafe { (*self.inner.buf[self.head & self.inner.mask].get()).assume_init_read() };
+        self.head = self.head.wrapping_add(1);
+        self.inner.head.store(self.head, Ordering::Release);
+        Some(item)
+    }
+
+    /// Whether the ring is empty right now (refreshes the tail view).
+    pub fn is_empty(&mut self) -> bool {
+        if self.head != self.cached_tail {
+            return false;
+        }
+        self.cached_tail = self.inner.tail.load(Ordering::Acquire);
+        self.head == self.cached_tail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let (mut tx, mut rx) = spsc_ring::<u32>(8);
+        for v in 0..8 {
+            tx.push(v).unwrap();
+        }
+        for v in 0..8 {
+            assert_eq!(rx.pop(), Some(v));
+        }
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn full_ring_rejects_and_recovers() {
+        let (mut tx, mut rx) = spsc_ring::<u32>(2);
+        // Rounded capacity is at least 2; fill until rejection.
+        let mut n = 0;
+        while tx.push(n).is_ok() {
+            n += 1;
+        }
+        assert!(n >= 2, "holds at least the requested capacity");
+        assert_eq!(rx.pop(), Some(0));
+        tx.push(n).unwrap(); // space reappears after a pop
+        for v in 1..=n {
+            assert_eq!(rx.pop(), Some(v));
+        }
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn occupancy_tracks_contents() {
+        let (mut tx, mut rx) = spsc_ring::<u32>(8);
+        assert_eq!(tx.occupancy(), 0);
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        assert_eq!(tx.occupancy(), 2);
+        rx.pop();
+        assert_eq!(tx.occupancy(), 1);
+    }
+
+    #[test]
+    fn drops_in_flight_items() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let (mut tx, rx) = spsc_ring::<D>(4);
+        assert!(tx.push(D).is_ok());
+        assert!(tx.push(D).is_ok());
+        drop(tx);
+        drop(rx);
+        assert_eq!(DROPS.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn cross_thread_stress_preserves_order() {
+        let (mut tx, mut rx) = spsc_ring::<u64>(64);
+        const N: u64 = 200_000;
+        let producer = std::thread::spawn(move || {
+            for v in 0..N {
+                let mut item = v;
+                loop {
+                    match tx.push(item) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            item = back;
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+            }
+        });
+        let mut next = 0u64;
+        while next < N {
+            if let Some(v) = rx.pop() {
+                assert_eq!(v, next);
+                next += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+        assert!(rx.is_empty());
+    }
+}

@@ -30,7 +30,8 @@ pub enum AdmissionPolicy {
         /// Per-flow outstanding-flit cap.
         max_backlog: u64,
     },
-    /// Refuse over-cap packets with [`SubmitError::Rejected`].
+    /// Refuse over-cap packets with
+    /// [`SubmitError::Rejected`](crate::SubmitError::Rejected).
     Reject {
         /// Per-flow outstanding-flit cap.
         max_backlog: u64,

@@ -1,8 +1,13 @@
 //! Runtime throughput harness: measures wall-clock packets/sec through
-//! the sharded runtime at 1 and 8 shards, and the drop rate under 2×
-//! admission overload, then writes `BENCH_runtime.json`.
+//! the sharded runtime at 1 and 8 shards, the drop rate under 2×
+//! admission overload (`BENCH_runtime.json`), and the stalled-downstream
+//! scenario comparing buffered and sync egress with 1 of 4 links frozen
+//! (`BENCH_egress.json`).
 //!
-//! Usage: `runtime-bench [OUTPUT_PATH]` (default `BENCH_runtime.json`).
+//! Usage: `runtime-bench [--smoke] [RUNTIME_OUT] [EGRESS_OUT]`
+//! (defaults `BENCH_runtime.json` / `BENCH_egress.json`). `--smoke`
+//! shrinks every run for CI: it exercises the exact same code paths in
+//! a few hundred milliseconds without producing publishable numbers.
 //!
 //! The numbers are honest wall-clock figures for *this* machine — on a
 //! single-core container the shard workers time-slice one CPU, so the
@@ -11,14 +16,17 @@
 //! (flits served per cycle of the slowest shard's flit clock), which is
 //! what the sharded design buys when cores are available.
 
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use err_runtime::{AdmissionPolicy, Runtime, RuntimeConfig, Submitted};
-use err_sched::{Discipline, Packet};
+use err_runtime::{
+    AdmissionPolicy, BufferedConfig, EgressMode, Runtime, RuntimeConfig, StallPlan, Submitted,
+};
+use err_sched::{Discipline, Packet, ServedFlit};
 
 const N_FLOWS: usize = 64;
 const PACKET_LEN: u32 = 8;
-const PACKETS_PER_RUN: u64 = 200_000;
 
 struct ThroughputSample {
     shards: usize,
@@ -28,7 +36,7 @@ struct ThroughputSample {
     flits_per_shard_cycle: f64,
 }
 
-fn throughput_run(shards: usize) -> ThroughputSample {
+fn throughput_run(shards: usize, packets: u64) -> ThroughputSample {
     let (rt, handle) = Runtime::start(RuntimeConfig {
         shards,
         n_flows: N_FLOWS,
@@ -36,19 +44,19 @@ fn throughput_run(shards: usize) -> ThroughputSample {
         ..RuntimeConfig::default()
     });
     let start = Instant::now();
-    for id in 0..PACKETS_PER_RUN {
+    for id in 0..packets {
         let pkt = Packet::new(id, (id % N_FLOWS as u64) as usize, PACKET_LEN, 0);
         handle.submit(pkt).expect("unlimited admission never fails");
     }
     let report = rt.shutdown();
     let elapsed = start.elapsed().as_secs_f64();
     assert!(report.is_conserving(), "lost packets: {report:?}");
-    assert_eq!(report.served_packets(), PACKETS_PER_RUN);
+    assert_eq!(report.served_packets(), packets);
     ThroughputSample {
         shards,
-        packets: PACKETS_PER_RUN,
+        packets,
         elapsed_secs: elapsed,
-        packets_per_sec: PACKETS_PER_RUN as f64 / elapsed,
+        packets_per_sec: packets as f64 / elapsed,
         flits_per_shard_cycle: report.flits_per_shard_cycle(),
     }
 }
@@ -107,19 +115,152 @@ fn overload_run() -> OverloadSample {
     }
 }
 
-fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_runtime.json".to_owned());
+/// 1-of-N-links dead downstream, the tentpole scenario of the buffered
+/// egress stage.
+const EGRESS_LINKS: usize = 4;
 
-    eprintln!("runtime-bench: throughput at 1 shard ({PACKETS_PER_RUN} packets)...");
-    let one = throughput_run(1);
+struct EgressSample {
+    shards: usize,
+    buffered_baseline_fps: f64,
+    buffered_stalled_fps: f64,
+    /// Unstalled-link throughput with link 0 frozen, relative to the
+    /// no-stall baseline. The buffered claim is ratio >= 0.9.
+    buffered_isolation: f64,
+    sync_baseline_fps: f64,
+    sync_stalled_fps: f64,
+    sync_isolation: f64,
+}
+
+/// Offers a saturating drop-tail workload for `window` and returns the
+/// wall-clock delivery rate (flits/sec) of links 1..N only — the links
+/// a frozen link 0 is supposed to leave alone. `sync_frozen` (sync mode
+/// only) makes the sink block on link-0 flits while set.
+fn egress_measure(
+    shards: usize,
+    egress: EgressMode,
+    sync_frozen: Option<Arc<AtomicBool>>,
+    window: Duration,
+) -> f64 {
+    let delivered: Arc<Vec<AtomicU64>> =
+        Arc::new((0..EGRESS_LINKS).map(|_| AtomicU64::new(0)).collect());
+    let d2 = Arc::clone(&delivered);
+    let (rt, handle) = Runtime::start_with_egress(
+        RuntimeConfig {
+            shards,
+            n_flows: N_FLOWS,
+            discipline: Discipline::Err,
+            admission: AdmissionPolicy::DropTail { max_backlog: 64 },
+            egress,
+            ..RuntimeConfig::default()
+        },
+        move |_shard| {
+            let delivered = Arc::clone(&d2);
+            let frozen = sync_frozen.clone();
+            Some(move |_s: usize, f: &ServedFlit| {
+                let link = f.flow % EGRESS_LINKS;
+                if link == 0 {
+                    if let Some(flag) = &frozen {
+                        while flag.load(Ordering::Acquire) {
+                            std::thread::sleep(Duration::from_micros(100));
+                        }
+                    }
+                }
+                delivered[link].fetch_add(1, Ordering::Relaxed);
+            })
+        },
+    );
+    let start = Instant::now();
+    let deadline = start + window;
+    let mut id = 0u64;
+    while Instant::now() < deadline {
+        for _ in 0..64 {
+            let _ = handle.submit(Packet::new(
+                id,
+                (id % N_FLOWS as u64) as usize,
+                PACKET_LEN,
+                0,
+            ));
+            id += 1;
+        }
+    }
+    let unstalled: u64 = delivered
+        .iter()
+        .skip(1)
+        .map(|c| c.load(Ordering::Relaxed))
+        .sum();
+    let elapsed = start.elapsed().as_secs_f64();
+    rt.shutdown();
+    unstalled as f64 / elapsed
+}
+
+fn buffered_mode(stall_plan: Option<StallPlan>) -> EgressMode {
+    EgressMode::Buffered(BufferedConfig {
+        ring_capacity: 256,
+        credits: 32,
+        n_links: EGRESS_LINKS,
+        stall_plan,
+    })
+}
+
+fn egress_stall_run(shards: usize, window: Duration) -> EgressSample {
+    let buffered_baseline_fps = egress_measure(shards, buffered_mode(None), None, window);
+    let buffered_stalled_fps = egress_measure(
+        shards,
+        buffered_mode(Some(StallPlan::freeze_forever(0, 0))),
+        None,
+        window,
+    );
+    let sync_baseline_fps = egress_measure(shards, EgressMode::Sync, None, window);
+    // The sync "dead downstream" blocks worker threads, so it must be
+    // released after the measurement window or shutdown would hang.
+    let frozen = Arc::new(AtomicBool::new(true));
+    let f2 = Arc::clone(&frozen);
+    let unfreezer = std::thread::spawn(move || {
+        std::thread::sleep(window + Duration::from_millis(50));
+        f2.store(false, Ordering::Release);
+    });
+    let sync_stalled_fps = egress_measure(shards, EgressMode::Sync, Some(frozen), window);
+    unfreezer.join().expect("unfreezer panicked");
+    EgressSample {
+        shards,
+        buffered_baseline_fps,
+        buffered_stalled_fps,
+        buffered_isolation: buffered_stalled_fps / buffered_baseline_fps.max(1.0),
+        sync_baseline_fps,
+        sync_stalled_fps,
+        sync_isolation: sync_stalled_fps / sync_baseline_fps.max(1.0),
+    }
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut paths: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            _ => paths.push(arg),
+        }
+    }
+    let runtime_out = paths
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "BENCH_runtime.json".to_owned());
+    let egress_out = paths
+        .get(1)
+        .cloned()
+        .unwrap_or_else(|| "BENCH_egress.json".to_owned());
+    let packets_per_run: u64 = if smoke { 10_000 } else { 200_000 };
+    let window = Duration::from_millis(if smoke { 40 } else { 250 });
+    let egress_shards: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+
+    eprintln!("runtime-bench: throughput at 1 shard ({packets_per_run} packets)...");
+    let one = throughput_run(1, packets_per_run);
     eprintln!(
         "  1 shard: {:.0} packets/s ({:.3} flits/shard-cycle)",
         one.packets_per_sec, one.flits_per_shard_cycle
     );
     eprintln!("runtime-bench: throughput at 8 shards...");
-    let eight = throughput_run(8);
+    let eight = throughput_run(8, packets_per_run);
     eprintln!(
         "  8 shards: {:.0} packets/s ({:.3} flits/shard-cycle)",
         eight.packets_per_sec, eight.flits_per_shard_cycle
@@ -133,6 +274,25 @@ fn main() {
         overload.dropped_packets,
         overload.drop_rate
     );
+
+    eprintln!("runtime-bench: stalled downstream, 1 of {EGRESS_LINKS} links frozen...");
+    let egress_samples: Vec<EgressSample> = egress_shards
+        .iter()
+        .map(|&s| {
+            let sample = egress_stall_run(s, window);
+            eprintln!(
+                "  {s} shard(s): buffered isolation {:.3} ({:.0} of {:.0} flits/s), \
+                 sync isolation {:.3} ({:.0} of {:.0} flits/s)",
+                sample.buffered_isolation,
+                sample.buffered_stalled_fps,
+                sample.buffered_baseline_fps,
+                sample.sync_isolation,
+                sample.sync_stalled_fps,
+                sample.sync_baseline_fps,
+            );
+            sample
+        })
+        .collect();
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -166,6 +326,45 @@ fn main() {
     ));
     json.push_str("}\n");
 
-    std::fs::write(&out_path, json).expect("writing bench output");
-    eprintln!("runtime-bench: wrote {out_path}");
+    std::fs::write(&runtime_out, json).expect("writing bench output");
+    eprintln!("runtime-bench: wrote {runtime_out}");
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"err-egress stalled downstream\",\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"n_links\": {EGRESS_LINKS},\n"));
+    json.push_str("  \"frozen_links\": [0],\n");
+    json.push_str("  \"ring_capacity\": 256,\n");
+    json.push_str("  \"credits_per_link\": 32,\n");
+    json.push_str(&format!("  \"n_flows\": {N_FLOWS},\n"));
+    json.push_str(&format!(
+        "  \"measure_window_secs\": {:.3},\n",
+        window.as_secs_f64()
+    ));
+    json.push_str(
+        "  \"metric\": \"wall-clock delivered flits/sec on the 3 unstalled links; \
+         isolation = stalled / baseline\",\n",
+    );
+    json.push_str("  \"runs\": [\n");
+    for (i, s) in egress_samples.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"shards\": {}, \
+             \"buffered\": {{\"baseline_fps\": {:.1}, \"stalled_fps\": {:.1}, \"isolation\": {:.4}}}, \
+             \"sync\": {{\"baseline_fps\": {:.1}, \"stalled_fps\": {:.1}, \"isolation\": {:.4}}}}}{}\n",
+            s.shards,
+            s.buffered_baseline_fps,
+            s.buffered_stalled_fps,
+            s.buffered_isolation,
+            s.sync_baseline_fps,
+            s.sync_stalled_fps,
+            s.sync_isolation,
+            if i + 1 == egress_samples.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+
+    std::fs::write(&egress_out, json).expect("writing egress bench output");
+    eprintln!("runtime-bench: wrote {egress_out}");
 }

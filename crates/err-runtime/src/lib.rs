@@ -36,6 +36,11 @@
 //! * [`stats`] publishes lock-free per-shard counters merged on demand.
 //! * [`drain`] documents the shutdown protocol: close admission, serve
 //!   the residual backlog to empty, join every worker deterministically.
+//! * [`EgressMode::Buffered`] inserts the `err-egress` stage between
+//!   scheduler and sink: per-shard SPSC output rings drained by flusher
+//!   threads, per-link credit flow control, and flow parking so a
+//!   stalled downstream freezes only its own flows — the regime the
+//!   paper's stalled-wormhole argument is about.
 //!
 //! # Quick example
 //!
@@ -69,11 +74,16 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use err_sched::Discipline;
+use err_egress::{spsc_ring, FlusherCore, LinkSet, ShardEgressStats, StallInjector};
+use err_sched::{Discipline, ServedFlit};
 
 pub use admission::{AdmissionController, AdmissionPolicy, AdmitDecision};
 pub use drain::DrainReport;
+pub use err_egress::{
+    BufferedConfig, Egress, EgressController, EgressSnapshot, StallPlan, StallWindow,
+};
 pub use ingress::{RuntimeHandle, SubmitError, Submitted};
+#[allow(deprecated)]
 pub use shard::EgressSink;
 pub use stats::{RuntimeStats, ShardSnapshot};
 
@@ -81,6 +91,31 @@ use admission::AdmissionController as Controller;
 use channel::MpscRing;
 use ingress::Shared;
 use stats::ShardStats;
+
+/// Wraps a per-shard sink that may be absent; the flusher requires a
+/// concrete [`Egress`] value either way.
+struct OptionalSink<E>(Option<E>);
+
+impl<E: Egress> Egress for OptionalSink<E> {
+    fn emit(&mut self, shard: usize, flit: &ServedFlit) {
+        if let Some(sink) = self.0.as_mut() {
+            sink.emit(shard, flit);
+        }
+    }
+}
+
+/// How served flits reach the downstream sink.
+#[derive(Clone, Debug, Default)]
+pub enum EgressMode {
+    /// Legacy path: the worker calls the sink inline for every flit. A
+    /// slow or stalled sink freezes the shard's whole flit clock.
+    #[default]
+    Sync,
+    /// Credit-based asynchronous path (`err-egress`): per-shard output
+    /// rings drained by flusher threads, per-link credits, flow parking
+    /// on stall, optional deterministic stall injection.
+    Buffered(BufferedConfig),
+}
 
 /// Configuration of a [`Runtime`].
 #[derive(Clone, Debug)]
@@ -99,6 +134,8 @@ pub struct RuntimeConfig {
     pub batch_flits: usize,
     /// Overload policy; [`AdmissionPolicy::Unlimited`] turns capping off.
     pub admission: AdmissionPolicy,
+    /// Egress coupling; [`EgressMode::Sync`] is the legacy inline path.
+    pub egress: EgressMode,
 }
 
 impl Default for RuntimeConfig {
@@ -111,6 +148,7 @@ impl Default for RuntimeConfig {
             batch_packets: 64,
             batch_flits: 256,
             admission: AdmissionPolicy::Unlimited,
+            egress: EgressMode::Sync,
         }
     }
 }
@@ -121,6 +159,12 @@ impl Default for RuntimeConfig {
 pub struct Runtime {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<u64>>,
+    flushers: Vec<JoinHandle<()>>,
+    /// Buffered-mode state; `None` under [`EgressMode::Sync`].
+    egress: Option<EgressController>,
+    /// Tells the flushers the workers are gone and everything buffered
+    /// may be final-delivered. Set strictly after the workers join.
+    egress_closed: Arc<AtomicBool>,
     drained: AtomicBool,
 }
 
@@ -129,15 +173,23 @@ impl Runtime {
     /// fresh instance of the configured discipline. Returns the runtime
     /// and a cloneable producer handle.
     pub fn start(config: RuntimeConfig) -> (Self, RuntimeHandle) {
-        Self::start_with_egress(config, |_shard| None)
+        // `fn` item: any no-op sink type works, `E` just needs naming.
+        Self::start_with_egress(config, |_shard| None::<fn(usize, &ServedFlit)>)
     }
 
     /// Like [`start`](Self::start), but `egress(shard)` may return a
-    /// sink the shard's worker feeds every served flit through (e.g. to
+    /// sink every served flit of that shard is fed through (e.g. to
     /// forward downstream or record departures for delay measurement).
-    pub fn start_with_egress(
+    /// Any `FnMut(usize, &ServedFlit) + Send` closure is a sink; so is
+    /// any [`Egress`] implementation.
+    ///
+    /// Under [`EgressMode::Sync`] the shard worker calls the sink
+    /// inline. Under [`EgressMode::Buffered`] the sink moves to the
+    /// shard's flusher thread and the worker only commits flits to the
+    /// output ring — sink latency no longer stalls scheduling.
+    pub fn start_with_egress<E: Egress + 'static>(
         config: RuntimeConfig,
-        mut egress: impl FnMut(usize) -> Option<EgressSink>,
+        mut egress: impl FnMut(usize) -> Option<E>,
     ) -> (Self, RuntimeHandle) {
         assert!(config.shards >= 1, "need at least one shard");
         assert!(config.batch_flits >= 1 && config.batch_packets >= 1);
@@ -150,22 +202,72 @@ impl Runtime {
             closed: AtomicBool::new(false),
             in_flight: std::sync::atomic::AtomicU64::new(0),
         });
-        let workers = (0..config.shards)
-            .map(|shard| {
-                let shared = Arc::clone(&shared);
-                let scheduler = config.discipline.build(config.n_flows);
-                let sink = egress(shard);
-                let cfg = shard::ShardConfig {
-                    shard,
-                    batch_packets: config.batch_packets,
-                    batch_flits: config.batch_flits,
-                };
-                std::thread::Builder::new()
-                    .name(format!("err-shard-{shard}"))
-                    .spawn(move || shard::run_shard(shared, cfg, scheduler, sink))
-                    .expect("spawning shard worker")
-            })
-            .collect();
+        let egress_closed = Arc::new(AtomicBool::new(false));
+        let mut workers = Vec::with_capacity(config.shards);
+        let mut flushers = Vec::new();
+        let mut controller = None;
+
+        match &config.egress {
+            EgressMode::Sync => {
+                for shard in 0..config.shards {
+                    let shared = Arc::clone(&shared);
+                    let scheduler = config.discipline.build(config.n_flows);
+                    let sink = egress(shard);
+                    let cfg = shard_config(&config, shard);
+                    workers.push(
+                        std::thread::Builder::new()
+                            .name(format!("err-shard-{shard}"))
+                            .spawn(move || shard::run_shard(shared, cfg, scheduler, sink))
+                            .expect("spawning shard worker"),
+                    );
+                }
+            }
+            EgressMode::Buffered(bc) => {
+                let links = Arc::new(LinkSet::new(bc.n_links, bc.credits));
+                let injector = bc
+                    .stall_plan
+                    .as_ref()
+                    .map(|p| Arc::new(StallInjector::new(p)));
+                let mut shard_stats = Vec::with_capacity(config.shards);
+                for shard in 0..config.shards {
+                    let (tx, rx) = spsc_ring::<ServedFlit>(bc.ring_capacity);
+                    let estats = Arc::new(ShardEgressStats::default());
+                    shard_stats.push(Arc::clone(&estats));
+                    let sink = OptionalSink(egress(shard));
+                    let core = FlusherCore::new(shard, rx, bc.n_links);
+                    {
+                        let links = Arc::clone(&links);
+                        let injector = injector.clone();
+                        let closed = Arc::clone(&egress_closed);
+                        let estats = Arc::clone(&estats);
+                        flushers.push(
+                            std::thread::Builder::new()
+                                .name(format!("err-flusher-{shard}"))
+                                .spawn(move || {
+                                    err_egress::run_flusher(
+                                        core, links, injector, closed, estats, sink,
+                                    )
+                                })
+                                .expect("spawning flusher"),
+                        );
+                    }
+                    let shared = Arc::clone(&shared);
+                    let scheduler = config.discipline.build(config.n_flows);
+                    let links = Arc::clone(&links);
+                    let cfg = shard_config(&config, shard);
+                    workers.push(
+                        std::thread::Builder::new()
+                            .name(format!("err-shard-{shard}"))
+                            .spawn(move || {
+                                shard::run_shard_buffered(shared, cfg, scheduler, tx, links, estats)
+                            })
+                            .expect("spawning shard worker"),
+                    );
+                }
+                controller = Some(EgressController::new(links, injector, shard_stats));
+            }
+        }
+
         let handle = RuntimeHandle {
             shared: Arc::clone(&shared),
         };
@@ -173,6 +275,9 @@ impl Runtime {
             Self {
                 shared,
                 workers,
+                flushers,
+                egress: controller,
+                egress_closed,
                 drained: AtomicBool::new(false),
             },
             handle,
@@ -186,9 +291,20 @@ impl Runtime {
         }
     }
 
-    /// Live merged statistics.
+    /// Live merged statistics (egress counters included in buffered
+    /// mode).
     pub fn stats(&self) -> RuntimeStats {
-        RuntimeStats::collect(&self.shared.stats)
+        let stats = RuntimeStats::collect(&self.shared.stats);
+        match &self.egress {
+            Some(ctrl) => stats.with_egress(ctrl.snapshot()),
+            None => stats,
+        }
+    }
+
+    /// The egress controller: freeze/thaw links and snapshot egress
+    /// counters while running. `None` under [`EgressMode::Sync`].
+    pub fn egress_controller(&self) -> Option<&EgressController> {
+        self.egress.as_ref()
     }
 
     /// Gracefully drains and stops the runtime: closes admission, lets
@@ -203,6 +319,14 @@ impl Runtime {
         // SeqCst: pairs with the in-flight counter in `submit` (see
         // `Shared::can_finish`) so workers never miss a late producer.
         self.shared.closed.store(true, Ordering::SeqCst);
+        // Buffered mode: enter drain *before* joining workers. Frozen
+        // links stop blocking, so the flushers deliver their pending
+        // flits, credits flow back, and workers can unpark stalled
+        // flows and serve out their backlog — without this ordering an
+        // indefinitely stalled link would deadlock the join below.
+        if let Some(ctrl) = &self.egress {
+            ctrl.links().set_draining(true);
+        }
         let mut shard_cycles = Vec::with_capacity(self.workers.len());
         for (shard, worker) in self.workers.drain(..).enumerate() {
             // Unpark in case the worker is in an idle park; it would
@@ -214,10 +338,35 @@ impl Runtime {
                 .unwrap_or_else(|_| panic!("shard {shard} worker panicked"));
             shard_cycles.push(cycles);
         }
+        // Workers are gone: nothing can enter the output rings anymore,
+        // so "closed and empty" is a stable exit condition for the
+        // flushers.
+        self.egress_closed.store(true, Ordering::SeqCst);
+        for (shard, flusher) in self.flushers.drain(..).enumerate() {
+            flusher
+                .join()
+                .unwrap_or_else(|_| panic!("flusher {shard} panicked"));
+        }
+        let mut stats = RuntimeStats::collect(&self.shared.stats);
+        if let Some(ctrl) = &self.egress {
+            // Close any still-open stall windows so the watchdog
+            // histograms account for stalls that outlived the run.
+            ctrl.links().release_all_stalls();
+            stats = stats.with_egress(ctrl.snapshot());
+        }
         DrainReport {
-            stats: RuntimeStats::collect(&self.shared.stats),
+            stats,
             shard_cycles,
         }
+    }
+}
+
+fn shard_config(config: &RuntimeConfig, shard: usize) -> shard::ShardConfig {
+    shard::ShardConfig {
+        shard,
+        batch_packets: config.batch_packets,
+        batch_flits: config.batch_flits,
+        n_flows: config.n_flows,
     }
 }
 
@@ -255,6 +404,64 @@ mod tests {
         assert_eq!(report.served_packets(), 500);
         assert_eq!(report.stats.served_flits(), flits);
         assert_eq!(report.dropped_packets(), 0);
+    }
+
+    #[test]
+    fn buffered_mode_conserves_and_reports_egress() {
+        use std::sync::atomic::AtomicU64;
+        let delivered = Arc::new(AtomicU64::new(0));
+        let d2 = Arc::clone(&delivered);
+        let (rt, handle) = Runtime::start_with_egress(
+            RuntimeConfig {
+                shards: 2,
+                n_flows: 8,
+                egress: EgressMode::Buffered(BufferedConfig {
+                    ring_capacity: 64,
+                    credits: 8,
+                    n_links: 2,
+                    stall_plan: None,
+                }),
+                ..RuntimeConfig::default()
+            },
+            move |_shard| {
+                let d = Arc::clone(&d2);
+                Some(move |_s: usize, f: &err_sched::ServedFlit| {
+                    d.fetch_add(f.is_tail() as u64, Ordering::Relaxed);
+                })
+            },
+        );
+        let mut flits = 0u64;
+        for id in 0..800u64 {
+            let len = 1 + (id % 6) as u32;
+            flits += len as u64;
+            handle
+                .submit(Packet::new(id, (id % 8) as usize, len, 0))
+                .unwrap();
+        }
+        let report = rt.shutdown();
+        assert!(report.is_conserving(), "{report:?}");
+        assert_eq!(report.served_packets(), 800);
+        assert_eq!(
+            delivered.load(Ordering::Relaxed),
+            800,
+            "every tail delivered"
+        );
+        let egress = report
+            .stats
+            .egress
+            .as_ref()
+            .expect("buffered mode snapshots egress");
+        assert_eq!(egress.flushed_flits(), flits, "no flit stranded in a ring");
+        assert_eq!(report.stats.flushed_flits(), flits);
+        assert!(egress.peak_ring_occupancy() <= 64 + 1);
+        let per_link: u64 = egress.links.iter().map(|l| l.delivered_flits).sum();
+        assert_eq!(per_link, flits, "link accounting matches");
+        for l in &egress.links {
+            assert_eq!(l.credits_available, 8, "all credits returned");
+            assert!(l.outstanding_peak <= 8, "credit pool bound respected");
+        }
+        // Human-readable Display covers the egress section.
+        assert!(report.stats.to_string().contains("egress:"));
     }
 
     #[test]
@@ -298,9 +505,9 @@ mod tests {
             },
             move |shard| {
                 let seen = Arc::clone(&seen2);
-                Some(Box::new(move |_s, flit: &err_sched::ServedFlit| {
+                Some(move |_s: usize, flit: &err_sched::ServedFlit| {
                     seen.lock().unwrap()[shard].push(*flit);
-                }) as EgressSink)
+                })
             },
         );
         let mut total = 0u64;

@@ -16,15 +16,29 @@
 //! visit/round, and `service_batch` replays exactly the per-flit
 //! sequence the single-stepped scheduler would produce.
 //!
+//! Two egress couplings exist:
+//!
+//! * `run_shard` — **sync**: every served flit passes through the
+//!   caller's sink inline, on the worker thread. Simple, but a slow
+//!   sink stalls the shard's whole flit clock.
+//! * `run_shard_buffered` — **buffered**: served flits are committed
+//!   to a per-shard SPSC ring under per-link credit flow control
+//!   (`err-egress`); a flusher thread delivers them. A credit-starved
+//!   link *parks* its flows in the scheduler (when the discipline
+//!   supports it), so the shard keeps serving everyone else — the
+//!   decoupling the paper's stalled-downstream argument calls for.
+//!
 //! When there is nothing to do the worker spins briefly, then parks with
 //! a timeout; producers never need to wake it explicitly (no lost-wakeup
 //! protocol to get wrong), at the cost of at most `PARK_TIMEOUT` of
 //! added latency on an idle→busy transition.
 
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
 use desim::Cycle;
+use err_egress::{Egress, LinkSet, Producer, ShardEgressStats};
 use err_sched::{Packet, Scheduler, ServedFlit};
 
 use crate::ingress::Shared;
@@ -39,19 +53,27 @@ pub(crate) struct ShardConfig {
     pub(crate) shard: usize,
     pub(crate) batch_packets: usize,
     pub(crate) batch_flits: usize,
+    /// Flow-id space, needed by the buffered worker to sweep a link's
+    /// flows on park/unpark.
+    pub(crate) n_flows: usize,
 }
 
-/// Sink for served flits (per shard, owned by the worker thread).
+/// Boxed-closure sink for served flits.
+#[deprecated(
+    since = "0.1.0",
+    note = "implement or pass any `err_egress::Egress` (closures qualify via \
+            the blanket impl); boxing is no longer required"
+)]
 pub type EgressSink = Box<dyn FnMut(usize, &ServedFlit) + Send>;
 
-/// Runs one shard to completion: serves until `shutdown()` has been
-/// called *and* the ring plus the scheduler are fully drained. Returns
-/// the shard's final flit clock.
-pub(crate) fn run_shard(
+/// Runs one shard to completion with **synchronous** egress: serves
+/// until `shutdown()` has been called *and* the ring plus the scheduler
+/// are fully drained. Returns the shard's final flit clock.
+pub(crate) fn run_shard<E: Egress>(
     shared: Arc<Shared>,
     cfg: ShardConfig,
     mut scheduler: Box<dyn Scheduler + Send>,
-    mut egress: Option<EgressSink>,
+    mut egress: Option<E>,
 ) -> Cycle {
     let ring = &shared.rings[cfg.shard];
     let stats = &shared.stats[cfg.shard];
@@ -80,7 +102,7 @@ pub(crate) fn run_shard(
                     shared.admission.on_packet_served(flit.flow, flit.len);
                 }
                 if let Some(sink) = egress.as_mut() {
-                    sink(cfg.shard, flit);
+                    sink.emit(cfg.shard, flit);
                 }
             }
             stats.served_flits.add(n as u64);
@@ -96,6 +118,163 @@ pub(crate) fn run_shard(
             // check must come after `can_finish`: once that returns
             // true no further push can happen, so empty is stable.
             if shared.can_finish() && ring.is_empty() && scheduler.is_idle() {
+                break;
+            }
+            idle_spins += 1;
+            if idle_spins < SPIN_BEFORE_PARK {
+                std::hint::spin_loop();
+            } else {
+                stats.parks.add(1);
+                std::thread::park_timeout(PARK_TIMEOUT);
+            }
+        } else {
+            idle_spins = 0;
+            stats.busy_loops.add(1);
+        }
+    }
+    stats.backlog_flits.set(0);
+    now
+}
+
+/// Commits `flit` to the output ring, spinning while it is full. Bounded
+/// wait: the flusher always makes progress (a blocked link's flits move
+/// to its bounded pending queue), so ring slots keep freeing up.
+fn push_ring(tx: &mut Producer<ServedFlit>, estats: &ShardEgressStats, flit: ServedFlit) {
+    let mut item = flit;
+    let mut first = true;
+    loop {
+        match tx.push(item) {
+            Ok(()) => break,
+            Err(back) => {
+                item = back;
+                if first {
+                    estats.ring_full_spins.fetch_add(1, Ordering::Relaxed);
+                    first = false;
+                }
+                std::hint::spin_loop();
+            }
+        }
+    }
+    estats.note_ring_occupancy(tx.occupancy() as u64);
+}
+
+/// Runs one shard to completion with **buffered** egress.
+///
+/// Flit-by-flit service with per-link credit flow control:
+///
+/// * a credit is acquired *before* a flit is committed to the ring, so
+///   the flits buffered anywhere for one link never exceed the credit
+///   pool (plus the single stashed flit below);
+/// * on credit exhaustion the already-served flit is stashed (at most
+///   one per link — parked flows produce no more) and every flow of
+///   that link is parked in the scheduler, which keeps serving the
+///   other links' flows at full rate;
+/// * each loop, stashed flits retry; success unparks the link's flows.
+///
+/// Disciplines without parking support fall back to blocking on the
+/// exhausted pool — the legacy coupling, kept because skipping without
+/// scheduler cooperation would either reorder flows or buffer
+/// unboundedly.
+pub(crate) fn run_shard_buffered(
+    shared: Arc<Shared>,
+    cfg: ShardConfig,
+    mut scheduler: Box<dyn Scheduler + Send>,
+    mut tx: Producer<ServedFlit>,
+    links: Arc<LinkSet>,
+    estats: Arc<ShardEgressStats>,
+) -> Cycle {
+    let ring = &shared.rings[cfg.shard];
+    let stats = &shared.stats[cfg.shard];
+    let n_links = links.n_links();
+    let parking = scheduler.supports_parking();
+    let mut arrivals: Vec<Packet> = Vec::with_capacity(cfg.batch_packets);
+    // At most one served-but-uncommitted flit per link.
+    let mut stash: Vec<Option<ServedFlit>> = vec![None; n_links];
+    let mut stash_count = 0usize;
+    let mut link_parked: Vec<bool> = vec![false; n_links];
+    let mut now: Cycle = 0;
+    let mut idle_spins: u32 = 0;
+
+    loop {
+        // Unstick phase: links whose credits returned get their stashed
+        // flit committed and their flows unparked.
+        if stash_count > 0 {
+            for link in 0..n_links {
+                if stash[link].is_some() && links.try_acquire(link) {
+                    let flit = stash[link].take().expect("stash checked non-empty");
+                    stash_count -= 1;
+                    push_ring(&mut tx, &estats, flit);
+                    if link_parked[link] {
+                        link_parked[link] = false;
+                        let mut flow = link;
+                        while flow < cfg.n_flows {
+                            scheduler.unpark_flow(flow);
+                            flow += n_links;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Intake phase.
+        arrivals.clear();
+        let pulled = ring.pop_batch(&mut arrivals, cfg.batch_packets);
+        for pkt in arrivals.drain(..) {
+            scheduler.enqueue(pkt, now);
+        }
+
+        // Service phase, flit by flit: the credit check must sit
+        // between serving a flit and serving the next, or a stalled
+        // link could strand a whole batch of already-served flits.
+        let mut n = 0u64;
+        let mut tail_count = 0u64;
+        while (n as usize) < cfg.batch_flits {
+            let Some(flit) = scheduler.service_flit(now + n) else {
+                break;
+            };
+            n += 1;
+            if flit.is_tail() {
+                tail_count += 1;
+                shared.admission.on_packet_served(flit.flow, flit.len);
+            }
+            let link = links.route(flit.flow);
+            if links.try_acquire(link) {
+                push_ring(&mut tx, &estats, flit);
+            } else {
+                estats.credit_exhaustions.fetch_add(1, Ordering::Relaxed);
+                if parking {
+                    debug_assert!(stash[link].is_none(), "second stash for link {link}");
+                    stash[link] = Some(flit);
+                    stash_count += 1;
+                    link_parked[link] = true;
+                    let mut flow = link;
+                    while flow < cfg.n_flows {
+                        let _ = scheduler.park_flow(flow);
+                        flow += n_links;
+                    }
+                } else {
+                    // Blocking fallback: couples the shard's clock to
+                    // the slow link until a credit frees.
+                    while !links.try_acquire(link) {
+                        std::hint::spin_loop();
+                    }
+                    push_ring(&mut tx, &estats, flit);
+                }
+            }
+        }
+        now += n;
+        if n > 0 {
+            stats.served_flits.add(n);
+            stats.served_packets.add(tail_count);
+        }
+        stats.backlog_flits.set(scheduler.backlog_flits());
+
+        if pulled == 0 && n == 0 {
+            // Same exit protocol as the sync worker, plus: no flit may
+            // sit in a stash. Parked flows keep `is_idle()` false, so a
+            // stalled link holds the worker here until drain mode
+            // releases the credits (see `Runtime::drain` ordering).
+            if stash_count == 0 && shared.can_finish() && ring.is_empty() && scheduler.is_idle() {
                 break;
             }
             idle_spins += 1;

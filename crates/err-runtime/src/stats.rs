@@ -6,7 +6,10 @@
 //! without stopping the world. [`RuntimeStats`] merges the per-shard
 //! snapshots into the aggregate view the operator cares about.
 
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+use err_egress::EgressSnapshot;
 
 /// A cache-line-padded atomic counter, so two shards' hot counters never
 /// share a line (false sharing would serialize the shards through the
@@ -112,6 +115,9 @@ pub struct ShardSnapshot {
 pub struct RuntimeStats {
     /// Per-shard snapshots, indexed by shard.
     pub shards: Vec<ShardSnapshot>,
+    /// Egress-side counters; `None` under `EgressMode::Sync` (the
+    /// legacy path has no rings, credits, or stalls to report).
+    pub egress: Option<EgressSnapshot>,
 }
 
 macro_rules! sum_field {
@@ -132,7 +138,14 @@ impl RuntimeStats {
                 .enumerate()
                 .map(|(i, s)| s.snapshot(i))
                 .collect(),
+            egress: None,
         }
+    }
+
+    /// Attaches an egress snapshot (buffered mode).
+    pub fn with_egress(mut self, egress: EgressSnapshot) -> Self {
+        self.egress = Some(egress);
+        self
     }
 
     sum_field! {
@@ -170,6 +183,82 @@ impl RuntimeStats {
         }
         (self.dropped_packets() + self.rejected_packets()) as f64 / submitted as f64
     }
+
+    /// Flits delivered downstream by the flushers (0 in sync mode,
+    /// where delivery is counted as `served_flits`).
+    pub fn flushed_flits(&self) -> u64 {
+        self.egress.as_ref().map_or(0, |e| e.flushed_flits())
+    }
+
+    /// Largest output-ring occupancy any shard reached (0 in sync mode).
+    pub fn peak_ring_occupancy(&self) -> u64 {
+        self.egress.as_ref().map_or(0, |e| e.peak_ring_occupancy())
+    }
+
+    /// Downstream stall events across links (0 in sync mode).
+    pub fn stall_events(&self) -> u64 {
+        self.egress.as_ref().map_or(0, |e| e.stall_events())
+    }
+
+    /// Longest completed stall in flush-clock cycles (0 in sync mode).
+    pub fn max_stall_cycles(&self) -> u64 {
+        self.egress.as_ref().map_or(0, |e| e.max_stall_cycles())
+    }
+}
+
+impl fmt::Display for RuntimeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "runtime: {} shards | submitted {} pkts | served {} pkts / {} flits | \
+             dropped {} | rejected {} | backlog {} flits | loss {:.2}%",
+            self.shards.len(),
+            self.submitted_packets(),
+            self.served_packets(),
+            self.served_flits(),
+            self.dropped_packets(),
+            self.rejected_packets(),
+            self.backlog_flits(),
+            self.loss_rate() * 100.0,
+        )?;
+        for s in &self.shards {
+            writeln!(
+                f,
+                "  shard {}: enq {} pkts | served {} pkts / {} flits | drop {} | parks {}",
+                s.shard,
+                s.enqueued_packets,
+                s.served_packets,
+                s.served_flits,
+                s.dropped_packets,
+                s.parks,
+            )?;
+        }
+        if let Some(e) = &self.egress {
+            writeln!(
+                f,
+                "  egress: flushed {} flits | ring peak {} | stalls {} | max stall {} cycles",
+                e.flushed_flits(),
+                e.peak_ring_occupancy(),
+                e.stall_events(),
+                e.max_stall_cycles(),
+            )?;
+            for (i, l) in e.links.iter().enumerate() {
+                writeln!(
+                    f,
+                    "    link {}: delivered {} flits | credits {} | peak outstanding {} | \
+                     stalls {} (mean {:.0} / max {} cycles)",
+                    i,
+                    l.delivered_flits,
+                    l.credits_available,
+                    l.outstanding_peak,
+                    l.stall_events,
+                    l.mean_stall_cycles,
+                    l.max_stall_cycles,
+                )?;
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -197,6 +286,33 @@ mod tests {
         assert_eq!(m.served_packets(), 3);
         assert_eq!(m.backlog_flits(), 7);
         assert!((m.loss_rate() - 1.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let blocks = [ShardStats::default()];
+        blocks[0].enqueued_packets.add(2);
+        blocks[0].served_packets.add(2);
+        blocks[0].served_flits.add(9);
+        let mut m = RuntimeStats::collect(&blocks);
+        let text = m.to_string();
+        assert!(text.contains("served 2 pkts / 9 flits"), "{text}");
+        assert!(!text.contains("egress:"), "sync mode has no egress line");
+
+        let egress = EgressSnapshot {
+            shards: vec![err_egress::ShardEgressSnapshot {
+                flushed_flits: 9,
+                ring_peak: 3,
+                ..Default::default()
+            }],
+            links: Vec::new(),
+        };
+        m = m.with_egress(egress);
+        let text = m.to_string();
+        assert!(text.contains("flushed 9 flits"), "{text}");
+        assert_eq!(m.flushed_flits(), 9);
+        assert_eq!(m.peak_ring_occupancy(), 3);
+        assert_eq!(m.stall_events(), 0);
     }
 
     #[test]

@@ -59,6 +59,27 @@ impl ActiveList {
         self.list.push_back(flow);
     }
 
+    /// Removes `flow` from wherever it sits in the list, preserving the
+    /// relative order of the others. Returns whether it was present.
+    ///
+    /// O(n) in the list length — used only on park transitions (a
+    /// credit-starved egress link freezing a flow), which happen at
+    /// stall frequency, never on the per-flit fast path; the per-flit
+    /// operations stay O(1) (Theorem 1).
+    pub fn remove(&mut self, flow: FlowId) -> bool {
+        if !self.contains(flow) {
+            return false;
+        }
+        self.in_list[flow] = false;
+        let idx = self
+            .list
+            .iter()
+            .position(|&f| f == flow)
+            .expect("in_list and list out of sync");
+        self.list.remove(idx);
+        true
+    }
+
     /// Removes and returns the head flow.
     pub fn pop_front(&mut self) -> Option<FlowId> {
         let flow = self.list.pop_front()?;
@@ -131,6 +152,24 @@ mod tests {
         let mut l = ActiveList::new(2);
         l.push_back(0);
         l.push_back(0);
+    }
+
+    #[test]
+    fn remove_preserves_order_of_others() {
+        let mut l = ActiveList::new(4);
+        l.push_back(0);
+        l.push_back(1);
+        l.push_back(2);
+        l.push_back(3);
+        assert!(l.remove(1));
+        assert!(!l.remove(1));
+        assert!(!l.contains(1));
+        let order: Vec<_> = l.iter().collect();
+        assert_eq!(order, vec![0, 2, 3]);
+        // Removed flows can rejoin at the tail.
+        l.push_back(1);
+        let order: Vec<_> = l.iter().collect();
+        assert_eq!(order, vec![0, 2, 3, 1]);
     }
 
     #[test]

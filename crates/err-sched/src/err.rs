@@ -60,6 +60,22 @@ pub struct Visit {
     pub sent: u64,
 }
 
+/// What a flow was doing at the instant [`ErrCore::park`] removed it
+/// from the rotation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Parked {
+    /// The flow was inactive (no queued packets); only the parked flag
+    /// was set, so future arrivals wait instead of activating it.
+    Idle,
+    /// The flow was waiting in the ActiveList; it was removed with its
+    /// surplus count preserved.
+    Dequeued,
+    /// The flow was in service; its visit was suspended and must be
+    /// restored via [`ErrCore::resume_visit`] after unparking, before
+    /// any new visit begins.
+    Suspended(Visit),
+}
+
 /// One completed service opportunity, for tracing and theorem checks.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct VisitRecord {
@@ -128,6 +144,17 @@ pub struct ErrCore {
     /// `- SC_i(r-1)` term). Disabling this is the ablation that shows the
     /// surplus count is what buys ERR its fairness.
     carry_surplus: bool,
+    /// Flows currently parked (credit-starved egress link): skipped by
+    /// the rotation, surplus counts preserved.
+    parked: Vec<bool>,
+    /// Flows with a suspended (parked mid-service) visit outstanding.
+    /// Such a flow counts as active for `ExistsInActiveList` purposes —
+    /// it must not be re-activated into the list while its open visit
+    /// waits to be resumed.
+    limbo: Vec<bool>,
+    /// Total park transitions ever; parking shifts round boundaries, so
+    /// the Lemma 1 bookkeeping assertion is only checked while zero.
+    park_epochs: u64,
 }
 
 impl ErrCore {
@@ -160,6 +187,9 @@ impl ErrCore {
             trace: None,
             bonus: 1,
             carry_surplus: true,
+            parked: vec![false; n],
+            limbo: vec![false; n],
+            park_epochs: 0,
         }
     }
 
@@ -183,6 +213,10 @@ impl ErrCore {
             self.sc.resize(flow + 1, 0);
             self.weight.resize(flow + 1, 1);
         }
+        if flow >= self.parked.len() {
+            self.parked.resize(flow + 1, false);
+            self.limbo.resize(flow + 1, false);
+        }
     }
 
     /// Enables per-visit trace recording (see [`take_trace`]).
@@ -197,26 +231,101 @@ impl ErrCore {
         self.trace.as_mut().map(std::mem::take).unwrap_or_default()
     }
 
-    /// Whether `flow` is active: in the ActiveList or currently in
-    /// service. (The paper's `ExistsInActiveList` must see the in-service
-    /// flow as present, otherwise a mid-service arrival would duplicate
-    /// it in the list.)
+    /// Whether `flow` is active: in the ActiveList, currently in
+    /// service, or suspended mid-visit by parking. (The paper's
+    /// `ExistsInActiveList` must see the in-service flow as present,
+    /// otherwise a mid-service arrival would duplicate it in the list;
+    /// the same holds for a flow whose visit is suspended.)
     pub fn is_active(&self, flow: FlowId) -> bool {
-        self.active.contains(flow) || self.visit.is_some_and(|v| v.flow == flow)
+        self.active.contains(flow)
+            || self.visit.is_some_and(|v| v.flow == flow)
+            || self.limbo.get(flow).copied().unwrap_or(false)
+    }
+
+    /// Whether `flow` is currently parked.
+    pub fn is_parked(&self, flow: FlowId) -> bool {
+        self.parked.get(flow).copied().unwrap_or(false)
     }
 
     /// The Enqueue routine: called when a packet arrives for `flow`.
     /// If the flow was inactive it joins the ActiveList tail with its
     /// surplus count reset; returns whether it was newly activated.
+    /// Parked flows are never activated — their packets wait until
+    /// [`unpark`](Self::unpark).
     pub fn activate(&mut self, flow: FlowId) -> bool {
         self.ensure(flow);
-        if self.is_active(flow) {
+        if self.parked[flow] || self.is_active(flow) {
             return false;
         }
         self.active.push_back(flow);
         self.size_active += 1;
         self.sc[flow] = 0;
         true
+    }
+
+    /// Parks `flow`: removes it from the rotation (skipped by
+    /// [`begin_visit`](Self::begin_visit)) while preserving its surplus
+    /// count — parking is a downstream stall, not a deactivation, so
+    /// the flow must neither forfeit its debt nor have it forgiven.
+    /// Returns what the flow was doing; on [`Parked::Suspended`] the
+    /// caller owns the open visit and must hand it back through
+    /// [`resume_visit`](Self::resume_visit) once the flow is unparked.
+    pub fn park(&mut self, flow: FlowId) -> Parked {
+        self.ensure(flow);
+        debug_assert!(!self.parked[flow], "flow {flow} already parked");
+        self.parked[flow] = true;
+        self.park_epochs += 1;
+        if self.visit.is_some_and(|v| v.flow == flow) {
+            let v = self.visit.take().expect("just checked");
+            self.limbo[flow] = true;
+            self.size_active -= 1;
+            self.rr_visit_count = self.rr_visit_count.saturating_sub(1);
+            Parked::Suspended(v)
+        } else if self.active.remove(flow) {
+            self.size_active -= 1;
+            self.rr_visit_count = self.rr_visit_count.saturating_sub(1);
+            Parked::Dequeued
+        } else {
+            Parked::Idle
+        }
+    }
+
+    /// Unparks `flow`. If it has backlog and no suspended visit it
+    /// rejoins the ActiveList tail with its surplus count intact (unlike
+    /// [`activate`](Self::activate), which resets it: the flow never
+    /// went inactive, its link merely stalled). A flow with a suspended
+    /// visit stays out of the list — it re-enters service through
+    /// [`resume_visit`](Self::resume_visit) instead.
+    pub fn unpark(&mut self, flow: FlowId, has_backlog: bool) {
+        self.ensure(flow);
+        if !self.parked[flow] {
+            return;
+        }
+        self.parked[flow] = false;
+        if !self.limbo[flow] && has_backlog && !self.is_active(flow) {
+            self.active.push_back(flow);
+            self.size_active += 1;
+        }
+    }
+
+    /// Restores a visit suspended by [`park`](Self::park): the flow
+    /// re-enters service exactly where it left off (same allowance, same
+    /// `Sent_i` so far). Panics if another visit is in progress or the
+    /// flow is still parked.
+    pub fn resume_visit(&mut self, v: Visit) {
+        assert!(
+            self.visit.is_none(),
+            "cannot resume a visit while another is in progress"
+        );
+        assert!(
+            !self.parked[v.flow],
+            "flow {} must be unparked before its visit resumes",
+            v.flow
+        );
+        debug_assert!(self.limbo[v.flow], "no suspended visit for flow {}", v.flow);
+        self.limbo[v.flow] = false;
+        self.size_active += 1;
+        self.visit = Some(v);
     }
 
     /// Starts the next service opportunity: pops the ActiveList head and
@@ -241,8 +350,14 @@ impl ErrCore {
         // Eq. (2), weighted form: A_i = w_i * (1 + PreviousMaxSC) - SC_i.
         // With w_i = 1 this is exactly the paper's 1 + PreviousMaxSC - SC_i.
         let entitlement = self.weight[flow] * (self.bonus + self.prev_max_sc);
+        // Parking shifts round boundaries and can preserve an SC across
+        // rounds whose MaxSC has since shrunk, so the Lemma 1 relation
+        // is only asserted on park-free histories (where it is exact).
         debug_assert!(
-            self.sc[flow] <= self.prev_max_sc || self.weight[flow] > 1 || self.bonus != 1,
+            self.sc[flow] <= self.prev_max_sc
+                || self.weight[flow] > 1
+                || self.bonus != 1
+                || self.park_epochs > 0,
             "SC_i must not exceed PreviousMaxSC (Lemma 1 bookkeeping)"
         );
         let allowance = entitlement
@@ -287,7 +402,10 @@ impl ErrCore {
             self.sc[v.flow] = 0;
             self.size_active -= 1;
         }
-        self.rr_visit_count -= 1;
+        // Saturating: a visit suspended by parking already forfeited its
+        // round slot at park time; if it resumes and completes after the
+        // round boundary there is no slot left to consume.
+        self.rr_visit_count = self.rr_visit_count.saturating_sub(1);
         if let Some(t) = self.trace.as_mut() {
             t.push(VisitRecord {
                 round: self.round,
@@ -339,6 +457,17 @@ impl ErrCore {
     }
 }
 
+/// A visit (and possibly a packet mid-wormhole) frozen by
+/// [`Scheduler::park_flow`], waiting to be resumed.
+#[derive(Clone, Debug)]
+struct SuspendedVisit {
+    /// The interrupted packet's remaining flits, if the park hit
+    /// mid-packet (`None` when it hit a packet boundary within the
+    /// visit).
+    stream: Option<FlitStream>,
+    visit: Visit,
+}
+
 /// Flit-clocked ERR: the [`Scheduler`] front-end over [`ErrCore`] used in
 /// the paper's single-link simulations, where one unit of service is one
 /// flit and packets are served without interleaving.
@@ -347,6 +476,15 @@ pub struct ErrScheduler {
     core: ErrCore,
     queues: FlowQueues,
     in_flight: Option<FlitStream>,
+    /// Per-flow suspended visits (parked mid-service).
+    suspended: Vec<Option<SuspendedVisit>>,
+    /// Unparked flows whose suspended visit must resume before any new
+    /// visit begins: a packet interrupted mid-wormhole finishes ahead of
+    /// any other packet its egress link could see.
+    resume_queue: std::collections::VecDeque<FlowId>,
+    /// Flits held inside suspended streams (kept so `backlog_flits`
+    /// stays O(1)).
+    suspended_flits: u64,
 }
 
 impl ErrScheduler {
@@ -366,6 +504,15 @@ impl ErrScheduler {
             core,
             queues: FlowQueues::new(n_flows),
             in_flight: None,
+            suspended: (0..n_flows).map(|_| None).collect(),
+            resume_queue: std::collections::VecDeque::new(),
+            suspended_flits: 0,
+        }
+    }
+
+    fn ensure_suspended(&mut self, flow: FlowId) {
+        if flow >= self.suspended.len() {
+            self.suspended.resize_with(flow + 1, || None);
         }
     }
 
@@ -379,10 +526,37 @@ impl ErrScheduler {
         &mut self.core
     }
 
-    /// Starts the next packet: either continuing the current visit or
-    /// beginning a new one. Returns `false` when idle.
+    /// Starts the next packet: resuming a suspended visit if one is due,
+    /// else continuing the current visit, else beginning a new one.
+    /// Returns `false` when idle (or when every backlogged flow is
+    /// parked).
     fn load_packet(&mut self) -> bool {
         debug_assert!(self.in_flight.is_none());
+        // Unparked suspended visits take priority over everything else:
+        // a packet interrupted mid-wormhole must finish before any flow
+        // sharing its egress link starts a new packet, and the simplest
+        // sound rule is "before any new visit at all".
+        if self.core.visit().is_none() {
+            while let Some(flow) = self.resume_queue.pop_front() {
+                if self.core.is_parked(flow) {
+                    // Re-parked before it could resume; its next unpark
+                    // will queue it again.
+                    continue;
+                }
+                let s = self.suspended[flow]
+                    .take()
+                    .expect("resume_queue entries have a suspended visit");
+                self.core.resume_visit(s.visit);
+                if let Some(stream) = s.stream {
+                    self.suspended_flits -= stream.remaining() as u64;
+                    self.in_flight = Some(stream);
+                    return true;
+                }
+                // Suspended at a packet boundary: the restored visit
+                // continues below by popping the flow's next packet.
+                break;
+            }
+        }
         let flow = if let Some(v) = self.core.visit() {
             // Mid-visit: the previous on_packet_complete said Continue,
             // which guarantees the queue is non-empty.
@@ -424,8 +598,51 @@ impl Scheduler for ErrScheduler {
         Some(ServedFlit::of(&pkt, idx))
     }
 
+    fn supports_parking(&self) -> bool {
+        true
+    }
+
+    fn park_flow(&mut self, flow: FlowId) -> bool {
+        if self.core.is_parked(flow) {
+            return true;
+        }
+        match self.core.park(flow) {
+            Parked::Suspended(v) => {
+                // The in-flight stream, if any, belongs to the suspended
+                // visit (`load_packet` only ever loads the visiting
+                // flow's packets).
+                let stream = self.in_flight.take();
+                debug_assert!(stream.as_ref().is_none_or(|s| s.packet().flow == flow));
+                if let Some(s) = &stream {
+                    self.suspended_flits += s.remaining() as u64;
+                }
+                self.ensure_suspended(flow);
+                self.suspended[flow] = Some(SuspendedVisit { stream, visit: v });
+            }
+            Parked::Dequeued | Parked::Idle => {}
+        }
+        true
+    }
+
+    fn unpark_flow(&mut self, flow: FlowId) {
+        if !self.core.is_parked(flow) {
+            return;
+        }
+        self.ensure_suspended(flow);
+        if self.suspended[flow].is_some() {
+            self.core.unpark(flow, false);
+            if !self.resume_queue.contains(&flow) {
+                self.resume_queue.push_back(flow);
+            }
+        } else {
+            self.core.unpark(flow, !self.queues.is_empty(flow));
+        }
+    }
+
     fn backlog_flits(&self) -> u64 {
-        self.queues.backlog_flits() + self.in_flight.as_ref().map_or(0, |s| s.remaining() as u64)
+        self.queues.backlog_flits()
+            + self.in_flight.as_ref().map_or(0, |s| s.remaining() as u64)
+            + self.suspended_flits
     }
 
     fn name(&self) -> &'static str {
@@ -794,6 +1011,132 @@ mod tests {
         let flits = drain(&mut s);
         let expect: u64 = (0..40u64).map(|k| 1 + (k % 6)).sum();
         assert_eq!(flits.len() as u64, expect);
+    }
+
+    #[test]
+    fn parked_flow_is_skipped_and_resumes_mid_packet() {
+        let mut s = ErrScheduler::new(2);
+        s.enqueue(pkt(0, 0, 6), 0);
+        s.enqueue(pkt(1, 1, 4), 0);
+        // Serve two flits — flow 0's packet is now mid-wormhole.
+        let a = s.service_flit(0).unwrap();
+        let b = s.service_flit(1).unwrap();
+        assert_eq!((a.flow, b.flow), (0, 0));
+        assert!(s.park_flow(0));
+        // Only flow 1 is served while 0 is parked.
+        let mut now = 2;
+        let mut f1 = 0;
+        while let Some(f) = s.service_flit(now) {
+            assert_eq!(f.flow, 1, "parked flow must not be served");
+            f1 += 1;
+            now += 1;
+        }
+        assert_eq!(f1, 4);
+        assert_eq!(s.backlog_flits(), 4, "suspended flits still backlogged");
+        assert!(!s.is_idle());
+        // Unparked: the interrupted packet finishes first, in flit order.
+        s.unpark_flow(0);
+        let rest: Vec<_> = std::iter::from_fn(|| {
+            now += 1;
+            s.service_flit(now)
+        })
+        .collect();
+        assert_eq!(rest.len(), 4);
+        assert!(rest.iter().all(|f| f.flow == 0 && f.packet == 0));
+        assert_eq!(
+            rest.iter().map(|f| f.flit_index).collect::<Vec<_>>(),
+            vec![2, 3, 4, 5]
+        );
+        assert!(s.is_idle());
+    }
+
+    #[test]
+    fn all_flows_parked_goes_quiet_not_lossy() {
+        let mut s = ErrScheduler::new(2);
+        s.enqueue(pkt(0, 0, 3), 0);
+        s.enqueue(pkt(1, 1, 2), 0);
+        assert!(s.park_flow(0));
+        assert!(s.park_flow(1));
+        assert!(s.service_flit(0).is_none(), "everything parked");
+        assert_eq!(s.backlog_flits(), 5);
+        // Packets arriving for a parked flow wait without activating it.
+        s.enqueue(pkt(2, 0, 1), 1);
+        assert!(s.service_flit(1).is_none());
+        s.unpark_flow(0);
+        s.unpark_flow(1);
+        assert_eq!(drain(&mut s).len(), 6);
+        assert!(s.is_idle());
+    }
+
+    #[test]
+    fn park_preserves_surplus_count() {
+        // Flow 0 earns a large surplus, then gets parked while waiting in
+        // the ActiveList; its SC must survive the park/unpark cycle (a
+        // stall is not a deactivation — the debt is neither forfeited
+        // nor forgiven).
+        let mut s = ErrScheduler::new(2);
+        s.enqueue(pkt(0, 0, 10), 0);
+        s.enqueue(pkt(1, 0, 1), 0);
+        s.enqueue(pkt(2, 1, 1), 0);
+        s.enqueue(pkt(3, 1, 1), 0);
+        // Round 1, flow 0's visit: allowance 1, sends 10, surplus 9.
+        for now in 0..10 {
+            assert_eq!(s.service_flit(now).unwrap().flow, 0);
+        }
+        assert_eq!(s.core().surplus_count(0), 9);
+        assert!(s.park_flow(0));
+        assert_eq!(s.core().surplus_count(0), 9);
+        s.unpark_flow(0);
+        assert_eq!(s.core().surplus_count(0), 9, "SC must survive parking");
+        drain(&mut s);
+    }
+
+    #[test]
+    fn park_unpark_of_idle_flow_defers_activation() {
+        let mut s = ErrScheduler::new(2);
+        assert!(s.park_flow(0));
+        s.enqueue(pkt(0, 0, 2), 0);
+        assert!(s.service_flit(0).is_none());
+        s.unpark_flow(0);
+        assert_eq!(drain(&mut s).len(), 2);
+    }
+
+    #[test]
+    fn double_park_and_stray_unpark_are_noops() {
+        let mut s = ErrScheduler::new(2);
+        s.enqueue(pkt(0, 0, 2), 0);
+        assert!(s.park_flow(0));
+        assert!(s.park_flow(0));
+        s.unpark_flow(1); // never parked
+        s.unpark_flow(0);
+        s.unpark_flow(0);
+        assert_eq!(drain(&mut s).len(), 2);
+    }
+
+    #[test]
+    fn repark_while_awaiting_resume_keeps_packet_intact() {
+        let mut s = ErrScheduler::new(2);
+        s.enqueue(pkt(0, 0, 5), 0);
+        s.enqueue(pkt(1, 1, 3), 0);
+        s.service_flit(0); // flow 0 mid-packet
+        s.park_flow(0);
+        s.unpark_flow(0); // queued for resume...
+        s.park_flow(0); // ...but re-parked before it could
+        let mut served = Vec::new();
+        let mut now = 1;
+        while let Some(f) = s.service_flit(now) {
+            served.push(f.flow);
+            now += 1;
+        }
+        assert_eq!(served, vec![1, 1, 1], "only flow 1 may run");
+        s.unpark_flow(0);
+        let rest = drain(&mut s);
+        assert_eq!(rest.len(), 4);
+        assert!(rest.iter().all(|f| f.packet == 0));
+        assert_eq!(
+            rest.iter().map(|f| f.flit_index).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4]
+        );
     }
 
     #[test]

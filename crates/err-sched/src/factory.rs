@@ -115,7 +115,7 @@ impl fmt::Display for ParseDisciplineError {
 
 impl std::error::Error for ParseDisciplineError {}
 
-/// Canonical textual form, parseable back via [`FromStr`]:
+/// Canonical textual form, parseable back via [`FromStr`](std::str::FromStr):
 /// `err`, `drr:32`, `fbrr`, `pbrr`, `fcfs`, `wfq`, `scfq`, `vclock`,
 /// `gps`, `werr:1,2,3`.
 impl fmt::Display for Discipline {
@@ -144,7 +144,8 @@ impl fmt::Display for Discipline {
     }
 }
 
-/// Parses the [`Display`] forms (case-insensitive). `drr` without a
+/// Parses the [`Display`](std::fmt::Display) forms (case-insensitive).
+/// `drr` without a
 /// quantum defaults to 32 flits; `werr` without weights is rejected
 /// (weights are what distinguish it from `err`).
 impl std::str::FromStr for Discipline {

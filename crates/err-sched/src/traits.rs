@@ -53,7 +53,9 @@ impl ServedFlit {
 /// * Each cycle the link can carry one flit; the harness calls
 ///   [`service_flit`], and the discipline picks the flit.
 /// * The scheduler must be **work-conserving**: `service_flit` returns
-///   `Some` whenever any flit is backlogged.
+///   `Some` whenever any flit is backlogged. The single exception is
+///   flow parking (below): while every backlogged flow is parked,
+///   `service_flit` returns `None` even though `backlog_flits() > 0`.
 /// * Per-flow FIFO order must be preserved.
 /// * Packet-granular disciplines must not interleave packets: between a
 ///   head flit and its tail flit, every served flit belongs to the same
@@ -61,8 +63,26 @@ impl ServedFlit {
 ///   exempt — they model flit-tagged virtual-channel scheduling where
 ///   interleaving is legal.
 ///
+/// # Flow parking
+///
+/// Wormhole downstreams stall: a credit-starved egress link cannot
+/// accept flits for an unpredictable time, and a driver that kept
+/// serving a starved flow would have to buffer its output unboundedly
+/// or block its whole flit clock (the coupling the paper argues
+/// against). [`park_flow`] tells the scheduler to *skip* a flow —
+/// serve everyone else — until [`unpark_flow`]. Parking must be
+/// position-preserving: the flow keeps its scheduling state (for ERR,
+/// its surplus count, and a packet interrupted mid-wormhole resumes
+/// before the flow starts another), so a stall costs the flow no
+/// fairness beyond the stall itself. Support is opt-in via
+/// [`supports_parking`]; the defaults refuse, and drivers must fall
+/// back to blocking for such disciplines.
+///
 /// [`enqueue`]: Scheduler::enqueue
 /// [`service_flit`]: Scheduler::service_flit
+/// [`park_flow`]: Scheduler::park_flow
+/// [`unpark_flow`]: Scheduler::unpark_flow
+/// [`supports_parking`]: Scheduler::supports_parking
 pub trait Scheduler {
     /// Adds a packet to its flow's queue at cycle `now`.
     fn enqueue(&mut self, pkt: Packet, now: Cycle);
@@ -93,6 +113,32 @@ pub trait Scheduler {
         }
         served
     }
+
+    /// Whether this discipline implements [`park_flow`] /
+    /// [`unpark_flow`]. Drivers must check this before relying on
+    /// parking for flow isolation; when `false`, [`park_flow`] is a
+    /// refused no-op and the driver has to block instead.
+    ///
+    /// [`park_flow`]: Scheduler::park_flow
+    /// [`unpark_flow`]: Scheduler::unpark_flow
+    fn supports_parking(&self) -> bool {
+        false
+    }
+
+    /// Parks `flow`: its flits are skipped by service until
+    /// [`unpark_flow`](Scheduler::unpark_flow), without losing the
+    /// flow's scheduling position or fairness state. Packets of a
+    /// parked flow may still be enqueued; they wait. Returns whether
+    /// the flow is now parked (`false` means parking is unsupported and
+    /// nothing changed). Parking an already-parked flow is a no-op
+    /// returning `true`.
+    fn park_flow(&mut self, _flow: FlowId) -> bool {
+        false
+    }
+
+    /// Unparks `flow`, making its backlog eligible for service again.
+    /// A no-op for flows that are not parked.
+    fn unpark_flow(&mut self, _flow: FlowId) {}
 
     /// Flits currently backlogged (queued + in service but unsent).
     fn backlog_flits(&self) -> u64;

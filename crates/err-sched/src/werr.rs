@@ -82,6 +82,18 @@ impl Scheduler for WerrScheduler {
         self.inner.service_flit(now)
     }
 
+    fn supports_parking(&self) -> bool {
+        self.inner.supports_parking()
+    }
+
+    fn park_flow(&mut self, flow: crate::FlowId) -> bool {
+        self.inner.park_flow(flow)
+    }
+
+    fn unpark_flow(&mut self, flow: crate::FlowId) {
+        self.inner.unpark_flow(flow)
+    }
+
     fn backlog_flits(&self) -> u64 {
         self.inner.backlog_flits()
     }

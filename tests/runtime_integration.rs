@@ -96,9 +96,9 @@ fn drop_tail_bounds_drops_exactly_under_2x_overload() {
             ..RuntimeConfig::default()
         },
         |_shard| {
-            Some(Box::new(|_, _: &err_sched::ServedFlit| {
+            Some(|_: usize, _: &err_sched::ServedFlit| {
                 std::thread::sleep(Duration::from_millis(1));
-            }) as err_runtime::EgressSink)
+            })
         },
     );
     // 2x overload: offer 2 * CAP_FLITS flits in one burst.
@@ -145,9 +145,9 @@ fn reject_policy_errors_instead_of_dropping() {
             ..RuntimeConfig::default()
         },
         |_shard| {
-            Some(Box::new(|_, _: &err_sched::ServedFlit| {
+            Some(|_: usize, _: &err_sched::ServedFlit| {
                 std::thread::sleep(Duration::from_millis(1));
-            }) as err_runtime::EgressSink)
+            })
         },
     );
     let mut rejected = 0u64;
