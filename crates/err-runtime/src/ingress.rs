@@ -60,6 +60,9 @@ pub(crate) struct Shared {
     pub(crate) rings: Vec<MpscRing<Packet>>,
     pub(crate) stats: Vec<ShardStats>,
     pub(crate) admission: AdmissionController,
+    /// Work-stealing state (`RuntimeConfig::stealing`); `None` keeps
+    /// the static partition and a migration-free submit path.
+    pub(crate) steal: Option<crate::migrate::StealRuntime>,
     /// Set by `shutdown()`: submits fail, workers drain then exit.
     pub(crate) closed: AtomicBool,
     /// Producers currently inside `submit` that have already passed the
@@ -74,8 +77,16 @@ pub(crate) struct Shared {
 }
 
 impl Shared {
+    /// The shard `flow` currently routes to: the migration overlay's
+    /// mapping when stealing is on (and the flow is inside the id
+    /// space), else the static hash.
     #[inline]
     pub(crate) fn shard_of(&self, flow: usize) -> usize {
+        if let Some(st) = &self.steal {
+            if let Some(shard) = st.map.shard_of(flow) {
+                return shard;
+            }
+        }
         (mix_flow(flow) % self.rings.len() as u64) as usize
     }
 
@@ -135,9 +146,13 @@ impl RuntimeHandle {
         if shared.closed.load(Ordering::SeqCst) {
             return Err(SubmitError::Closed);
         }
-        let shard = shared.shard_of(pkt.flow);
-        let stats = &shared.stats[shard];
-        // Admission: one atomic RMW on the flow's backlog counter.
+        // Admission first, *outside* the migration window below: the
+        // backpressure wait can last until flits are served, and the
+        // flow being admitted may be parked mid-migration — holding the
+        // window through that wait would deadlock the donor's drain.
+        // Drop/reject attribution uses the flow's current home (racy
+        // read; counters only).
+        let stats = &shared.stats[shared.shard_of(pkt.flow)];
         loop {
             match shared.admission.try_admit(pkt.flow, pkt.len) {
                 AdmitDecision::Admit => break,
@@ -158,6 +173,19 @@ impl RuntimeHandle {
                 }
             }
         }
+        // Route-and-push, bracketed by the per-flow submit window when
+        // stealing is on (DESIGN.md §8.3 fence 2): window += 1 → read
+        // FlowMap → push → window −= 1 (via the guard's Drop, on every
+        // exit path). The SeqCst pairing with the donor's map flip and
+        // window check guarantees the donor's drain target covers every
+        // old-epoch push.
+        let _window = shared
+            .steal
+            .as_ref()
+            .filter(|st| pkt.flow < st.map.n_flows())
+            .map(|st| crate::migrate::WindowGuard::enter(st, pkt.flow));
+        let shard = shared.shard_of(pkt.flow);
+        let stats = &shared.stats[shard];
         // Ring push: one CAS. Full ring means the shard is behind; wait
         // for space (drop-tail drops instead, shedding at the ring too).
         let ring = &shared.rings[shard];
@@ -199,7 +227,10 @@ impl RuntimeHandle {
         self.shared.is_closed()
     }
 
-    /// The shard a flow maps to (stable for the runtime's lifetime).
+    /// The shard a flow maps to. Stable for the runtime's lifetime
+    /// under the static partition; with stealing enabled
+    /// (`RuntimeConfig::stealing`) this is a point-in-time read of the
+    /// migration overlay and may change between calls.
     pub fn shard_of(&self, flow: usize) -> usize {
         self.shared.shard_of(flow)
     }

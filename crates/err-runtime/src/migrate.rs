@@ -1,0 +1,701 @@
+//! Flow migration & work stealing across shards (DESIGN.md §8).
+//!
+//! The static SplitMix64 partition balances flow *counts*, not flit
+//! load: under a skewed (e.g. Zipf) rate distribution one shard can own
+//! most of the offered flits while its neighbours idle. This module
+//! implements the two-phase quiesce→handoff protocol specified in
+//! DESIGN.md §8 — which the code here must match, state for state:
+//!
+//! * [`FlowMap`] — the epoch-stamped flow→shard routing overlay
+//!   consulted by every `submit`;
+//! * [`LoadBoard`] — per-shard projected finish + backlog, relaxed
+//!   atomics;
+//! * [`MigrationSlot`] + [`MigrationPhase`] — the single global
+//!   migration state machine (`Idle → Requested → Quiescing → Draining
+//!   → InTransit → Idle`);
+//! * `MigrationDriver` (crate-private) — the per-worker tick that
+//!   advances whatever role (thief or donor) its shard currently plays;
+//! * [`StealingConfig`] — the hysteresis policy knobs.
+//!
+//! The scheduler-side state package ([`MigratedFlow`]) and the
+//! extract/absorb operations live in `err_sched::migrate`; this module
+//! owns the *runtime* side: when to steal, how to quiesce, and why no
+//! packet is lost or reordered while a flow changes homes.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use err_sched::migrate::MigratedFlow;
+use err_sched::Scheduler;
+
+use crate::ingress::{mix_flow, Shared};
+
+/// Policy knobs for work stealing (DESIGN.md §8.5). The defaults are
+/// deliberately conservative: near-balanced shards must never trade
+/// flows back and forth.
+#[derive(Clone, Copy, Debug)]
+pub struct StealingConfig {
+    /// Worker loop iterations between LoadBoard refreshes / steal
+    /// evaluations while busy (idle workers poll every loop).
+    pub poll_interval: u32,
+    /// A shard considers stealing only when its own backlog (flits) is
+    /// below this — stealing while busy moves queues, not makespan.
+    pub steal_threshold: u64,
+    /// Absolute hysteresis floor in flits, twice over: the donor's
+    /// projected finish must exceed the thief's by at least this, and
+    /// a donor serves at least this many cycles between handoffs (the
+    /// serve-chunk guard, §8.5).
+    pub min_gap: u64,
+    /// Polls during which a shard that just took part in a migration
+    /// (either role) initiates nothing — its own board entry must
+    /// refresh before it reasons from the board again.
+    pub cooldown_polls: u32,
+}
+
+impl Default for StealingConfig {
+    fn default() -> Self {
+        Self {
+            poll_interval: 16,
+            steal_threshold: 512,
+            min_gap: 1024,
+            cooldown_polls: 8,
+        }
+    }
+}
+
+/// Per-shard *projected finish* (flit clock + backlog) and the backlog
+/// term by itself, a pair of relaxed atomics per shard (DESIGN.md
+/// §8.1). Each worker updates only its own entries; everyone reads all
+/// of them. Relaxed is enough: the board only steers a heuristic —
+/// staleness costs efficiency, never correctness.
+///
+/// Projected finish is the quantity `flits_per_shard_cycle` maximizes
+/// over (total flits / max shard clock), and unlike instantaneous
+/// idleness it is noise-free: the clock is monotone and the backlog
+/// only falls when flits are really served, so an arrival gap — or a
+/// time-sliced core whose producers are simply not running during this
+/// worker's slice — does not masquerade as need (§8.5). The backlog
+/// rides along because projected finish alone cannot tell a laggard
+/// from a finisher: a drained shard publishes `finish = clock`, a
+/// record of work done rather than a forecast, and the policy uses the
+/// backlog to keep such shards out of the donor pool and out of the
+/// thief competition.
+pub struct LoadBoard {
+    finish: Vec<AtomicU64>,
+    backlog: Vec<AtomicU64>,
+}
+
+impl LoadBoard {
+    /// A board for `shards` shards, all projected finishes and
+    /// backlogs zero.
+    pub fn new(shards: usize) -> Self {
+        Self {
+            finish: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            backlog: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Publishes `shard`'s projected finish (its flit clock plus its
+    /// instantaneous flit load: scheduler backlog + ingress-ring
+    /// occupancy) and that flit load by itself. Single writer per
+    /// entry, so plain stores are race-free; the pair is not read
+    /// atomically, which is fine for a heuristic.
+    pub fn update(&self, shard: usize, projected_finish: u64, backlog: u64) {
+        self.finish[shard].store(projected_finish, Ordering::Relaxed);
+        self.backlog[shard].store(backlog, Ordering::Relaxed);
+    }
+
+    /// `shard`'s published projected finish.
+    pub fn load(&self, shard: usize) -> u64 {
+        self.finish[shard].load(Ordering::Relaxed)
+    }
+
+    /// `shard`'s published backlog (flits).
+    pub fn backlog(&self, shard: usize) -> u64 {
+        self.backlog[shard].load(Ordering::Relaxed)
+    }
+
+    /// The donor candidate for `me` (DESIGN.md §8.5): the shard with
+    /// the largest projected finish among shards other than `me` whose
+    /// backlog is at least `min_backlog`. The floor keeps drained
+    /// shards — whose projected finish is their final clock, history
+    /// rather than forecast — and shards with only scraps left out of
+    /// the donor pool.
+    pub fn richest_donor(&self, me: usize, min_backlog: u64) -> Option<usize> {
+        (0..self.finish.len())
+            .filter(|&s| s != me && self.backlog(s) >= min_backlog)
+            .max_by_key(|&s| self.load(s))
+    }
+
+    /// The smallest projected finish among shards other than `me` that
+    /// are themselves eligible thieves (backlog below
+    /// `thief_threshold`) — the competition the minimum-finish gate
+    /// compares against. `u64::MAX` when no such shard exists: a busy
+    /// shard cannot steal, so its low projected finish must not veto
+    /// the idle ones.
+    pub fn min_thief_finish(&self, me: usize, thief_threshold: u64) -> u64 {
+        (0..self.finish.len())
+            .filter(|&s| s != me && self.backlog(s) < thief_threshold)
+            .map(|s| self.load(s))
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+}
+
+/// Phase of the (single, global) migration in flight — DESIGN.md §8.2.
+/// Each transition is owned by exactly one side (thief or donor
+/// worker), so no transition races with itself.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum MigrationPhase {
+    /// No migration in flight; the slot is free to claim.
+    Idle = 0,
+    /// A thief claimed the slot and named a donor; the donor has not
+    /// yet picked a victim.
+    Requested = 1,
+    /// The donor parked the victim and published it; waiting for the
+    /// thief to park its side and ack.
+    Quiescing = 2,
+    /// The FlowMap has flipped; the donor waits out the victim's
+    /// submit window, then pumps its ring to the recorded drain target.
+    Draining = 3,
+    /// The donor published the extracted [`MigratedFlow`] package; the
+    /// thief absorbs and unparks.
+    InTransit = 4,
+}
+
+impl MigrationPhase {
+    fn from_u8(v: u8) -> Self {
+        match v {
+            0 => Self::Idle,
+            1 => Self::Requested,
+            2 => Self::Quiescing,
+            3 => Self::Draining,
+            4 => Self::InTransit,
+            _ => unreachable!("invalid migration phase {v}"),
+        }
+    }
+}
+
+/// The single global migration slot (DESIGN.md §8.1): at most one
+/// migration is in flight system-wide, which bounds protocol complexity
+/// and means the handoff never has to compose with itself. The
+/// hysteresis policy, not slot contention, limits the rebalancing rate.
+pub struct MigrationSlot {
+    phase: AtomicU8,
+    thief: AtomicUsize,
+    donor: AtomicUsize,
+    flow: AtomicUsize,
+    thief_ack: AtomicBool,
+    /// The extracted flow state, donor → thief. A mutex is fine here:
+    /// it is touched twice per migration, never on the packet path.
+    package: Mutex<Option<MigratedFlow>>,
+}
+
+impl Default for MigrationSlot {
+    fn default() -> Self {
+        Self {
+            phase: AtomicU8::new(MigrationPhase::Idle as u8),
+            thief: AtomicUsize::new(usize::MAX),
+            donor: AtomicUsize::new(usize::MAX),
+            flow: AtomicUsize::new(usize::MAX),
+            thief_ack: AtomicBool::new(false),
+            package: Mutex::new(None),
+        }
+    }
+}
+
+impl MigrationSlot {
+    /// Current phase.
+    pub fn phase(&self) -> MigrationPhase {
+        MigrationPhase::from_u8(self.phase.load(Ordering::SeqCst))
+    }
+
+    /// The claiming (stealing) shard; valid while the phase is not
+    /// [`MigrationPhase::Idle`].
+    pub fn thief(&self) -> usize {
+        self.thief.load(Ordering::SeqCst)
+    }
+
+    /// The shard being stolen from; valid while the phase is not
+    /// [`MigrationPhase::Idle`].
+    pub fn donor(&self) -> usize {
+        self.donor.load(Ordering::SeqCst)
+    }
+
+    /// The victim flow; valid from [`MigrationPhase::Quiescing`] on.
+    pub fn flow(&self) -> usize {
+        self.flow.load(Ordering::SeqCst)
+    }
+
+    /// Whether this shard is a party to the migration in flight — the
+    /// extra worker-exit clause of DESIGN.md §8.6.
+    pub fn involves(&self, shard: usize) -> bool {
+        self.phase() != MigrationPhase::Idle && (self.thief() == shard || self.donor() == shard)
+    }
+
+    /// Thief claims the idle slot, naming itself and `donor`. The
+    /// claim is serialized through the package mutex so a losing
+    /// claimant can never tear the winner's thief/donor fields.
+    pub(crate) fn try_claim(&self, thief: usize, donor: usize) -> bool {
+        let guard = self.package.lock().expect("slot mutex");
+        if self.phase() != MigrationPhase::Idle {
+            return false;
+        }
+        self.thief.store(thief, Ordering::SeqCst);
+        self.donor.store(donor, Ordering::SeqCst);
+        self.thief_ack.store(false, Ordering::SeqCst);
+        self.phase
+            .store(MigrationPhase::Requested as u8, Ordering::SeqCst);
+        drop(guard);
+        true
+    }
+
+    fn cas_phase(&self, from: MigrationPhase, to: MigrationPhase) -> bool {
+        self.phase
+            .compare_exchange(from as u8, to as u8, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    fn store_phase(&self, to: MigrationPhase) {
+        self.phase.store(to as u8, Ordering::SeqCst);
+    }
+}
+
+/// The epoch-stamped flow→shard routing overlay (DESIGN.md §8.1): one
+/// atomic per flow packing `(epoch << 32) | shard`. Producers consult
+/// it inside `submit`; the donor flips it with one `SeqCst` store — the
+/// instant that separates a flow's old home from its new one. Flows
+/// outside the configured id space fall back to the static hash and
+/// never migrate.
+pub struct FlowMap {
+    entries: Vec<AtomicU64>,
+    shards: usize,
+}
+
+impl FlowMap {
+    /// Builds the overlay at epoch 0, matching the static partition.
+    pub fn new(n_flows: usize, shards: usize) -> Self {
+        Self {
+            entries: (0..n_flows)
+                .map(|f| AtomicU64::new(mix_flow(f) % shards as u64))
+                .collect(),
+            shards,
+        }
+    }
+
+    /// Flows covered by the overlay.
+    pub fn n_flows(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The shard `flow` currently routes to, or `None` for flows
+    /// outside the overlay (static fallback, never migrated).
+    pub fn shard_of(&self, flow: usize) -> Option<usize> {
+        self.entries
+            .get(flow)
+            .map(|e| (e.load(Ordering::SeqCst) & 0xFFFF_FFFF) as usize)
+    }
+
+    /// `flow`'s migration epoch (0 until first stolen).
+    pub fn epoch_of(&self, flow: usize) -> u64 {
+        self.entries
+            .get(flow)
+            .map_or(0, |e| e.load(Ordering::SeqCst) >> 32)
+    }
+
+    /// Re-homes `flow` to `shard`, bumping its epoch, in one `SeqCst`
+    /// store. Donor-only, and only while the flow is parked on both
+    /// sides (DESIGN.md §8.3 fence 1).
+    pub(crate) fn reroute(&self, flow: usize, shard: usize) {
+        debug_assert!(shard < self.shards);
+        let old = self.entries[flow].load(Ordering::SeqCst);
+        let epoch = (old >> 32) + 1;
+        self.entries[flow].store((epoch << 32) | shard as u64, Ordering::SeqCst);
+    }
+}
+
+/// Shared stealing state hung off the runtime's `Shared` block.
+pub(crate) struct StealRuntime {
+    pub(crate) map: FlowMap,
+    /// Per-flow submit window (DESIGN.md §8.3 fence 2): the count of
+    /// producers currently between "read the FlowMap" and "push
+    /// completed" for this flow. SeqCst on both sides gives the
+    /// Dekker-style dichotomy the drain target relies on.
+    pub(crate) window: Vec<AtomicU32>,
+    pub(crate) board: LoadBoard,
+    pub(crate) slot: MigrationSlot,
+    pub(crate) config: StealingConfig,
+}
+
+impl StealRuntime {
+    pub(crate) fn new(n_flows: usize, shards: usize, config: StealingConfig) -> Self {
+        Self {
+            map: FlowMap::new(n_flows, shards),
+            window: (0..n_flows).map(|_| AtomicU32::new(0)).collect(),
+            board: LoadBoard::new(shards),
+            slot: MigrationSlot::default(),
+            config,
+        }
+    }
+
+    /// Whether no producer currently holds `flow`'s submit window.
+    fn window_clear(&self, flow: usize) -> bool {
+        self.window[flow].load(Ordering::SeqCst) == 0
+    }
+}
+
+/// RAII bracket for the per-flow submit window: `enter` before reading
+/// the FlowMap, dropped after the ring push completes (on every exit
+/// path, including drop-tail and closed returns).
+pub(crate) struct WindowGuard<'a> {
+    counter: &'a AtomicU32,
+}
+
+impl<'a> WindowGuard<'a> {
+    pub(crate) fn enter(st: &'a StealRuntime, flow: usize) -> Self {
+        let counter = &st.window[flow];
+        counter.fetch_add(1, Ordering::SeqCst);
+        Self { counter }
+    }
+}
+
+impl Drop for WindowGuard<'_> {
+    fn drop(&mut self) {
+        self.counter.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Per-worker migration driver: one lives on each shard worker's stack
+/// and is ticked once per service loop. It advances whatever role the
+/// shard currently plays in the global slot's state machine and
+/// evaluates the stealing policy at poll boundaries.
+pub(crate) struct MigrationDriver {
+    shard: usize,
+    loops_since_poll: u32,
+    cooldown: u32,
+    /// This shard's flit clock at the completion of the last migration
+    /// it took part in (either role) — the serve-chunk guard (§8.5)
+    /// refuses to donate again before `min_gap` more cycles of service.
+    last_handoff_clock: u64,
+    /// Donor-side: the ring enqueue cursor recorded once the victim's
+    /// submit window cleared; `None` while still waiting for it.
+    drain_target: Option<usize>,
+}
+
+impl MigrationDriver {
+    pub(crate) fn new(shard: usize) -> Self {
+        Self {
+            shard,
+            loops_since_poll: 0,
+            cooldown: 0,
+            last_handoff_clock: 0,
+            drain_target: None,
+        }
+    }
+
+    /// Advances the protocol one step, called after the worker's
+    /// intake+service phases (so the ring's dequeue cursor only ever
+    /// covers packets already inside the scheduler). `idle` is whether
+    /// that loop iteration moved nothing: idle workers poll the board
+    /// every tick (§8.5) — the `poll_interval` throttle only protects
+    /// the busy service path, and end-game rebalancing dies if a parked
+    /// shard reacts a park-timeout too late.
+    ///
+    /// `pre_backlog` is the shard's flit load sampled at *intake* time
+    /// (scheduler backlog after arrivals were enqueued, plus leftover
+    /// ring occupancy). Sampling at this post-service instant instead
+    /// would make a shard whose service keeps pace with its intake —
+    /// every batch drained within the loop that pulled it — publish a
+    /// perpetually empty queue, hiding exactly the inflow the donor
+    /// floor looks for (§8.1).
+    pub(crate) fn tick(
+        &mut self,
+        shared: &Shared,
+        scheduler: &mut Box<dyn Scheduler + Send>,
+        idle: bool,
+        now: u64,
+        pre_backlog: u64,
+    ) {
+        let Some(st) = shared.steal.as_ref() else {
+            return;
+        };
+        let slot = &st.slot;
+
+        self.loops_since_poll += 1;
+        if idle || self.loops_since_poll >= st.config.poll_interval {
+            self.loops_since_poll = 0;
+            st.board.update(self.shard, now + pre_backlog, pre_backlog);
+            if self.cooldown > 0 {
+                self.cooldown -= 1;
+            } else if slot.phase() == MigrationPhase::Idle && !shared.is_closed() {
+                self.maybe_request(st, pre_backlog, now + pre_backlog);
+            }
+        }
+
+        match slot.phase() {
+            MigrationPhase::Idle => {}
+            MigrationPhase::Requested => self.tick_requested(shared, st, scheduler, now),
+            MigrationPhase::Quiescing => self.tick_quiescing(shared, st, scheduler),
+            MigrationPhase::Draining => self.tick_draining(shared, st, scheduler, now),
+            MigrationPhase::InTransit => self.tick_in_transit(shared, st, scheduler, now),
+        }
+    }
+
+    /// Steal evaluation (DESIGN.md §8.5): request only when near-empty,
+    /// furthest behind among the shards that could steal at all, and
+    /// aimed at a donor with real work whose projected finish is worth
+    /// a handoff.
+    fn maybe_request(&mut self, st: &StealRuntime, my_backlog: u64, my_finish: u64) {
+        if my_backlog >= st.config.steal_threshold {
+            return;
+        }
+        if my_finish
+            > st.board
+                .min_thief_finish(self.shard, st.config.steal_threshold)
+        {
+            return;
+        }
+        let Some(donor) = st.board.richest_donor(self.shard, st.config.min_gap) else {
+            return;
+        };
+        if st.board.load(donor) > my_finish + st.config.min_gap {
+            st.slot.try_claim(self.shard, donor);
+        }
+    }
+
+    fn tick_requested(
+        &mut self,
+        shared: &Shared,
+        st: &StealRuntime,
+        scheduler: &mut Box<dyn Scheduler + Send>,
+        now: u64,
+    ) {
+        let slot = &st.slot;
+        let me = self.shard;
+        if slot.thief() == me && shared.is_closed() {
+            // Abort the own pending request at shutdown; the CAS races
+            // the donor's Requested→Quiescing CAS — whoever wins
+            // decides whether the migration runs or dies (§8.6).
+            if slot.cas_phase(MigrationPhase::Requested, MigrationPhase::Idle) {
+                shared.stats[me].steal_aborts.add(1);
+            }
+            return;
+        }
+        if slot.donor() != me {
+            return;
+        }
+        if shared.is_closed() {
+            if slot.cas_phase(MigrationPhase::Requested, MigrationPhase::Idle) {
+                shared.stats[me].steal_aborts.add(1);
+            }
+            return;
+        }
+        // Victim selection: the heaviest flow the FlowMap still homes
+        // here with a nonzero backlog. `flow_backlog_flits` is O(1) per
+        // flow, so the scan is O(n_flows).
+        let victim = (0..st.map.n_flows())
+            .filter(|&f| st.map.shard_of(f) == Some(me))
+            .map(|f| (scheduler.flow_backlog_flits(f), f))
+            .filter(|&(b, _)| b > 0)
+            .max();
+        match victim {
+            Some((_, flow)) => {
+                // Serve-chunk guard (§8.5): a flow that just landed
+                // here must be *served*, not forwarded — leave the
+                // request pending (the thief waits; we keep serving)
+                // until this shard has put min_gap cycles of work in
+                // since its last handoff. A victim exists, so the
+                // clock is still advancing and the guard must clear.
+                if now.wrapping_sub(self.last_handoff_clock) < st.config.min_gap {
+                    return;
+                }
+                // Quiesce, donor side: park before publishing, so the
+                // flow is unservable here from this point on (§8.3
+                // fence 1).
+                scheduler.park_flow(flow);
+                slot.flow.store(flow, Ordering::SeqCst);
+                if !slot.cas_phase(MigrationPhase::Requested, MigrationPhase::Quiescing) {
+                    // The thief aborted concurrently; undo the park.
+                    scheduler.unpark_flow(flow);
+                }
+            }
+            None => {
+                if slot.cas_phase(MigrationPhase::Requested, MigrationPhase::Idle) {
+                    shared.stats[me].steal_aborts.add(1);
+                }
+            }
+        }
+    }
+
+    fn tick_quiescing(
+        &mut self,
+        shared: &Shared,
+        st: &StealRuntime,
+        scheduler: &mut Box<dyn Scheduler + Send>,
+    ) {
+        let slot = &st.slot;
+        let me = self.shard;
+        if slot.thief() == me && !slot.thief_ack.load(Ordering::SeqCst) {
+            // Quiesce, thief side: park before acking, so new-epoch
+            // arrivals wait unserved until the handoff lands.
+            scheduler.park_flow(slot.flow());
+            slot.thief_ack.store(true, Ordering::SeqCst);
+        } else if slot.donor() == me && slot.thief_ack.load(Ordering::SeqCst) {
+            // Both sides parked: flip the map. From the next SeqCst
+            // read on, producers route to the thief.
+            st.map.reroute(slot.flow(), slot.thief());
+            self.drain_target = None;
+            slot.store_phase(MigrationPhase::Draining);
+        }
+        let _ = shared;
+    }
+
+    fn tick_draining(
+        &mut self,
+        shared: &Shared,
+        st: &StealRuntime,
+        scheduler: &mut Box<dyn Scheduler + Send>,
+        now: u64,
+    ) {
+        let slot = &st.slot;
+        let me = self.shard;
+        if slot.donor() != me {
+            return;
+        }
+        let flow = slot.flow();
+        let ring = &shared.rings[me];
+        if self.drain_target.is_none() {
+            // §8.3 fence 2: wait (non-blocking — the worker keeps
+            // pumping intake between ticks, so a producer spinning on
+            // a full donor ring still completes) until no producer is
+            // mid-push under the old routing.
+            if !st.window_clear(flow) {
+                return;
+            }
+            self.drain_target = Some(ring.enqueue_pos());
+        }
+        let target = self.drain_target.expect("just set");
+        // §8.3 fence 3: the single consumer never skips a slot, so
+        // dequeue ≥ target means every old-epoch packet has been popped
+        // into the (parked) queue that extract_flow is about to take.
+        if (ring.dequeue_pos().wrapping_sub(target) as isize) < 0 {
+            return;
+        }
+        let pkg = scheduler
+            .extract_flow(flow)
+            .expect("victim is parked on the donor");
+        shared.stats[me].donated_out.add(1);
+        shared.stats[me].migrated_flits.add(pkg.flits());
+        *slot.package.lock().expect("slot mutex") = Some(pkg);
+        self.drain_target = None;
+        self.cooldown = st.config.cooldown_polls;
+        self.last_handoff_clock = now;
+        slot.store_phase(MigrationPhase::InTransit);
+    }
+
+    fn tick_in_transit(
+        &mut self,
+        shared: &Shared,
+        st: &StealRuntime,
+        scheduler: &mut Box<dyn Scheduler + Send>,
+        now: u64,
+    ) {
+        let slot = &st.slot;
+        let me = self.shard;
+        if slot.thief() != me {
+            return;
+        }
+        let flow = slot.flow();
+        let pkg = slot
+            .package
+            .lock()
+            .expect("slot mutex")
+            .take()
+            .expect("donor published the package");
+        let absorbed = scheduler.absorb_flow(flow, pkg);
+        debug_assert!(absorbed, "thief parked the flow before acking");
+        scheduler.unpark_flow(flow);
+        shared.stats[me].stolen_in.add(1);
+        self.cooldown = st.config.cooldown_polls;
+        self.last_handoff_clock = now;
+        slot.store_phase(MigrationPhase::Idle);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_map_starts_on_static_partition_and_reroutes() {
+        let map = FlowMap::new(8, 4);
+        for f in 0..8 {
+            assert_eq!(map.shard_of(f), Some((mix_flow(f) % 4) as usize));
+            assert_eq!(map.epoch_of(f), 0);
+        }
+        assert_eq!(map.shard_of(100), None, "outside the overlay");
+        map.reroute(3, 1);
+        assert_eq!(map.shard_of(3), Some(1));
+        assert_eq!(map.epoch_of(3), 1);
+        map.reroute(3, 2);
+        assert_eq!((map.shard_of(3), map.epoch_of(3)), (Some(2), 2));
+    }
+
+    #[test]
+    fn load_board_orders_projected_finishes() {
+        let b = LoadBoard::new(3);
+        b.update(0, 1000, 900);
+        b.update(1, 8000, 7000);
+        b.update(2, 500, 100);
+        assert_eq!(b.load(1), 8000, "raw projected finish, no smoothing");
+        assert_eq!(b.backlog(1), 7000);
+        assert_eq!(b.richest_donor(2, 1), Some(1));
+        assert_eq!(b.richest_donor(1, 1), Some(0));
+        // The donor-backlog floor skips shards with only scraps.
+        assert_eq!(b.richest_donor(2, 1000), Some(1), "shard 0 below floor");
+        assert_eq!(b.richest_donor(1, 1000), None, "no donor has enough");
+        // The thief competition only counts near-empty shards: with a
+        // threshold of 256 only shard 2 (backlog 100) competes.
+        assert_eq!(b.min_thief_finish(0, 256), 500);
+        assert_eq!(b.min_thief_finish(2, 256), u64::MAX, "no rival thief");
+        // With a huge threshold everyone competes.
+        assert_eq!(b.min_thief_finish(1, u64::MAX), 500);
+        // A drained shard keeps its final clock as `finish` but drops
+        // out of the donor pool entirely.
+        b.update(1, 8000, 0);
+        assert_eq!(b.richest_donor(2, 1), Some(0));
+        // A 1-shard board has no "others" to steal from.
+        let solo = LoadBoard::new(1);
+        assert_eq!(solo.richest_donor(0, 0), None);
+        assert_eq!(solo.min_thief_finish(0, u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn slot_claim_is_exclusive_until_idle() {
+        let slot = MigrationSlot::default();
+        assert_eq!(slot.phase(), MigrationPhase::Idle);
+        assert!(slot.try_claim(2, 0));
+        assert_eq!(slot.phase(), MigrationPhase::Requested);
+        assert_eq!((slot.thief(), slot.donor()), (2, 0));
+        assert!(!slot.try_claim(3, 1), "slot is taken");
+        assert_eq!((slot.thief(), slot.donor()), (2, 0), "fields untorn");
+        assert!(slot.involves(2) && slot.involves(0) && !slot.involves(1));
+        assert!(slot.cas_phase(MigrationPhase::Requested, MigrationPhase::Idle));
+        assert!(!slot.involves(2));
+        assert!(slot.try_claim(3, 1), "free again");
+    }
+
+    #[test]
+    fn phase_roundtrip() {
+        for p in [
+            MigrationPhase::Idle,
+            MigrationPhase::Requested,
+            MigrationPhase::Quiescing,
+            MigrationPhase::Draining,
+            MigrationPhase::InTransit,
+        ] {
+            assert_eq!(MigrationPhase::from_u8(p as u8), p);
+        }
+    }
+}

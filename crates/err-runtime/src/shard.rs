@@ -77,6 +77,10 @@ pub(crate) fn run_shard<E: Egress>(
 ) -> Cycle {
     let ring = &shared.rings[cfg.shard];
     let stats = &shared.stats[cfg.shard];
+    let mut migration = shared
+        .steal
+        .as_ref()
+        .map(|_| crate::migrate::MigrationDriver::new(cfg.shard));
     let mut arrivals: Vec<Packet> = Vec::with_capacity(cfg.batch_packets);
     let mut served: Vec<ServedFlit> = Vec::with_capacity(cfg.batch_flits);
     let mut now: Cycle = 0;
@@ -89,6 +93,12 @@ pub(crate) fn run_shard<E: Egress>(
         for pkt in arrivals.drain(..) {
             scheduler.enqueue(pkt, now);
         }
+        // LoadBoard input, sampled here rather than at the tick below:
+        // a shard that drains each intake batch within its own loop
+        // would otherwise always report an empty queue — the backlog
+        // it is absorbing lives in flight between producer and service
+        // phase, never at a post-service instant (DESIGN.md §8.1).
+        let pre_backlog = scheduler.backlog_flits() + ring.len() as u64;
 
         // Service phase: one flit per cycle of the shard's flit clock.
         served.clear();
@@ -110,18 +120,52 @@ pub(crate) fn run_shard<E: Egress>(
         }
         stats.backlog_flits.set(scheduler.backlog_flits());
 
+        // Migration phase: advance whatever role (thief/donor) this
+        // shard plays in the global slot, and evaluate the stealing
+        // policy at poll boundaries (DESIGN.md §8). Ticked after
+        // intake so the ring's dequeue cursor only covers packets
+        // already enqueued into the scheduler.
+        let mut hot_handoff = false;
+        let mut migrating = false;
+        if let Some(driver) = migration.as_mut() {
+            driver.tick(
+                &shared,
+                &mut scheduler,
+                pulled == 0 && n == 0,
+                now,
+                pre_backlog,
+            );
+            if let Some(st) = shared.steal.as_ref() {
+                migrating = st.slot.involves(cfg.shard);
+                // Requested can stay pending behind the donor's
+                // serve-chunk guard (§8.5) — a thief spinning hot
+                // through that would only steal CPU from the very
+                // shard it is waiting on. Spin hot from Quiescing on,
+                // where the peer needs our next protocol step fast.
+                hot_handoff =
+                    migrating && st.slot.phase() != crate::migrate::MigrationPhase::Requested;
+            }
+        }
+
         if pulled == 0 && n == 0 {
             // Nothing moved. Exit only when shutdown has been requested,
             // no producer is still inside `submit` (see
             // `Shared::can_finish` — a mid-submit producer could still
-            // push), and everything this shard owns is drained. The ring
-            // check must come after `can_finish`: once that returns
+            // push), everything this shard owns is drained, *and* no
+            // migration in flight names this shard (DESIGN.md §8.6 — a
+            // mid-handoff exit would strand the victim's packets). The
+            // ring check must come after `can_finish`: once that returns
             // true no further push can happen, so empty is stable.
-            if shared.can_finish() && ring.is_empty() && scheduler.is_idle() {
+            if !migrating && shared.can_finish() && ring.is_empty() && scheduler.is_idle() {
                 break;
             }
             idle_spins += 1;
-            if idle_spins < SPIN_BEFORE_PARK {
+            if hot_handoff {
+                // Stay hot: the peer worker is waiting on our next
+                // protocol step; a timed park would add up to
+                // PARK_TIMEOUT to every transition.
+                std::hint::spin_loop();
+            } else if idle_spins < SPIN_BEFORE_PARK {
                 std::hint::spin_loop();
             } else {
                 stats.parks.add(1);

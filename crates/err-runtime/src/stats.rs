@@ -62,6 +62,15 @@ pub struct ShardStats {
     pub busy_loops: PaddedCounter,
     /// Times the worker parked because there was nothing to do.
     pub parks: PaddedCounter,
+    /// Flows this shard stole (absorbed) from another shard.
+    pub stolen_in: PaddedCounter,
+    /// Flows this shard gave up (extracted) to a thief.
+    pub donated_out: PaddedCounter,
+    /// Flits that changed shards inside migration packages.
+    pub migrated_flits: PaddedCounter,
+    /// Steal requests that died before quiescing (no eligible victim,
+    /// or shutdown).
+    pub steal_aborts: PaddedCounter,
 }
 
 impl ShardStats {
@@ -79,6 +88,10 @@ impl ShardStats {
             backlog_flits: self.backlog_flits.get(),
             busy_loops: self.busy_loops.get(),
             parks: self.parks.get(),
+            stolen_in: self.stolen_in.get(),
+            donated_out: self.donated_out.get(),
+            migrated_flits: self.migrated_flits.get(),
+            steal_aborts: self.steal_aborts.get(),
         }
     }
 }
@@ -108,6 +121,14 @@ pub struct ShardSnapshot {
     pub busy_loops: u64,
     /// See [`ShardStats::parks`].
     pub parks: u64,
+    /// See [`ShardStats::stolen_in`].
+    pub stolen_in: u64,
+    /// See [`ShardStats::donated_out`].
+    pub donated_out: u64,
+    /// See [`ShardStats::migrated_flits`].
+    pub migrated_flits: u64,
+    /// See [`ShardStats::steal_aborts`].
+    pub steal_aborts: u64,
 }
 
 /// The merged, runtime-wide statistics view.
@@ -167,6 +188,12 @@ impl RuntimeStats {
         backlog_flits => backlog_flits,
         /// Total times any worker parked idle.
         parks => parks,
+        /// Total completed flow migrations (each counted at the thief).
+        migrations => stolen_in,
+        /// Total flits moved between shards by migrations.
+        migrated_flits => migrated_flits,
+        /// Total steal requests aborted before quiescing.
+        steal_aborts => steal_aborts,
     }
 
     /// Packets that entered the system one way or another: accepted,
@@ -221,6 +248,15 @@ impl fmt::Display for RuntimeStats {
             self.backlog_flits(),
             self.loss_rate() * 100.0,
         )?;
+        if self.migrations() > 0 || self.steal_aborts() > 0 {
+            writeln!(
+                f,
+                "  stealing: {} migrations | {} flits moved | {} aborted requests",
+                self.migrations(),
+                self.migrated_flits(),
+                self.steal_aborts(),
+            )?;
+        }
         for s in &self.shards {
             writeln!(
                 f,

@@ -13,6 +13,9 @@ use crate::{FlowId, Packet};
 #[derive(Clone, Debug, Default)]
 pub struct FlowQueues {
     queues: Vec<VecDeque<Packet>>,
+    /// Per-flow waiting flits (parallel to `queues`), so the migration
+    /// donor's victim scan is O(1) per flow.
+    flits: Vec<u64>,
     backlog_flits: u64,
     backlog_pkts: u64,
 }
@@ -22,6 +25,7 @@ impl FlowQueues {
     pub fn new(n_flows: usize) -> Self {
         Self {
             queues: (0..n_flows).map(|_| VecDeque::new()).collect(),
+            flits: vec![0; n_flows],
             backlog_flits: 0,
             backlog_pkts: 0,
         }
@@ -30,6 +34,7 @@ impl FlowQueues {
     fn ensure(&mut self, flow: FlowId) {
         if flow >= self.queues.len() {
             self.queues.resize_with(flow + 1, VecDeque::new);
+            self.flits.resize(flow + 1, 0);
         }
     }
 
@@ -43,6 +48,7 @@ impl FlowQueues {
         self.ensure(pkt.flow);
         self.backlog_flits += pkt.len as u64;
         self.backlog_pkts += 1;
+        self.flits[pkt.flow] += pkt.len as u64;
         self.queues[pkt.flow].push_back(pkt);
     }
 
@@ -51,7 +57,39 @@ impl FlowQueues {
         let pkt = self.queues.get_mut(flow)?.pop_front()?;
         self.backlog_flits -= pkt.len as u64;
         self.backlog_pkts -= 1;
+        self.flits[flow] -= pkt.len as u64;
         Some(pkt)
+    }
+
+    /// Removes and returns `flow`'s entire queue in FIFO order,
+    /// adjusting the backlog counters (migration extraction).
+    pub fn take(&mut self, flow: FlowId) -> VecDeque<Packet> {
+        let Some(q) = self.queues.get_mut(flow) else {
+            return VecDeque::new();
+        };
+        let q = std::mem::take(q);
+        let flits = std::mem::take(&mut self.flits[flow]);
+        self.backlog_flits -= flits;
+        self.backlog_pkts -= q.len() as u64;
+        q
+    }
+
+    /// Prepends `front` (in FIFO order) ahead of whatever `flow`
+    /// already has queued, adjusting the backlog counters (migration
+    /// absorption: old-epoch packets go before new-epoch arrivals).
+    pub fn prepend(&mut self, flow: FlowId, mut front: VecDeque<Packet>) {
+        self.ensure(flow);
+        let flits: u64 = front.iter().map(|p| p.len as u64).sum();
+        self.backlog_flits += flits;
+        self.backlog_pkts += front.len() as u64;
+        self.flits[flow] += flits;
+        front.append(&mut self.queues[flow]);
+        self.queues[flow] = front;
+    }
+
+    /// Flits waiting in `flow`'s queue (excludes any packet in service).
+    pub fn flow_flits(&self, flow: FlowId) -> u64 {
+        self.flits.get(flow).copied().unwrap_or(0)
     }
 
     /// Length in flits of the head packet of `flow`, if any.
@@ -146,5 +184,36 @@ mod tests {
     fn pop_unknown_flow_is_none() {
         let mut q = FlowQueues::new(1);
         assert_eq!(q.pop(9), None);
+    }
+
+    #[test]
+    fn take_empties_flow_and_fixes_counters() {
+        let mut q = FlowQueues::new(2);
+        q.push(pkt(1, 0, 4));
+        q.push(pkt(2, 0, 2));
+        q.push(pkt(3, 1, 5));
+        assert_eq!(q.flow_flits(0), 6);
+        let taken = q.take(0);
+        assert_eq!(taken.iter().map(|p| p.id).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(q.flow_flits(0), 0);
+        assert_eq!(q.backlog_flits(), 5);
+        assert_eq!(q.backlog_pkts(), 1);
+        assert!(q.is_empty(0));
+        assert!(q.take(7).is_empty(), "out of range takes nothing");
+    }
+
+    #[test]
+    fn prepend_goes_ahead_of_existing_packets() {
+        let mut q = FlowQueues::new(1);
+        q.push(pkt(10, 0, 1)); // new-epoch arrival already waiting
+        let mut old = VecDeque::new();
+        old.push_back(pkt(1, 0, 2));
+        old.push_back(pkt(2, 0, 3));
+        q.prepend(0, old);
+        assert_eq!(q.flow_flits(0), 6);
+        assert_eq!(q.backlog_pkts(), 3);
+        assert_eq!(q.pop(0).unwrap().id, 1);
+        assert_eq!(q.pop(0).unwrap().id, 2);
+        assert_eq!(q.pop(0).unwrap().id, 10);
     }
 }

@@ -2,6 +2,7 @@
 
 use desim::Cycle;
 
+use crate::migrate::MigratedFlow;
 use crate::{FlowId, Packet, PacketId};
 
 /// One flit leaving the scheduler, with enough context for measurement.
@@ -139,6 +140,47 @@ pub trait Scheduler {
     /// Unparks `flow`, making its backlog eligible for service again.
     /// A no-op for flows that are not parked.
     fn unpark_flow(&mut self, _flow: FlowId) {}
+
+    /// Whether this discipline implements [`extract_flow`] /
+    /// [`absorb_flow`] (DESIGN.md §8). Implies
+    /// [`supports_parking`](Scheduler::supports_parking): migration
+    /// quiesces a flow by parking it on both sides first.
+    ///
+    /// [`extract_flow`]: Scheduler::extract_flow
+    /// [`absorb_flow`]: Scheduler::absorb_flow
+    fn supports_migration(&self) -> bool {
+        false
+    }
+
+    /// Flits currently backlogged for `flow` alone (queued packets plus
+    /// the unsent remainder of a packet in service or suspended). Used
+    /// by the migration donor to pick the heaviest victim; disciplines
+    /// without migration support may return 0.
+    fn flow_backlog_flits(&self, _flow: FlowId) -> u64 {
+        0
+    }
+
+    /// Removes `flow`'s entire scheduler-side state — FIFO queue,
+    /// surplus count, suspended visit — as a portable [`MigratedFlow`]
+    /// package, leaving the flow blank (unparked, no debt) here.
+    ///
+    /// The flow must be parked (quiesced) when this is called; the
+    /// default returns `None` (unsupported).
+    fn extract_flow(&mut self, _flow: FlowId) -> Option<MigratedFlow> {
+        None
+    }
+
+    /// Installs a [`MigratedFlow`] package for `flow`, *prepending* its
+    /// queue to any packets that already arrived here (old routing
+    /// epoch before new — per-flow FIFO across the steal) and adopting
+    /// its surplus count verbatim. The flow must be parked here; it
+    /// becomes servable on the next
+    /// [`unpark_flow`](Scheduler::unpark_flow). Returns whether the
+    /// package was installed (`false` means migration is unsupported
+    /// and nothing changed).
+    fn absorb_flow(&mut self, _flow: FlowId, _state: MigratedFlow) -> bool {
+        false
+    }
 
     /// Flits currently backlogged (queued + in service but unsent).
     fn backlog_flits(&self) -> u64;

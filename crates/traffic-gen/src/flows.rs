@@ -98,6 +98,33 @@ pub fn fig6_flows(n: usize) -> Vec<FlowSpec> {
         .collect()
 }
 
+/// Normalized Zipf weights: flow `i` gets weight `(i+1)^-s`, scaled so
+/// the weights sum to 1. With `s = 1.2` and 32 flows the heaviest flow
+/// carries ~41% of the total — the skew regime where static per-flow
+/// partitioning strands capacity and work stealing earns its keep
+/// (DESIGN.md §8).
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    assert!(n >= 1, "need at least one flow");
+    let raw: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-s)).collect();
+    let sum: f64 = raw.iter().sum();
+    raw.into_iter().map(|w| w / sum).collect()
+}
+
+/// A Zipf(s)-skewed workload: `n` flows sharing `total_load` flits per
+/// cycle in [`zipf_weights`] proportions, all drawing packet lengths
+/// from `lengths`.
+pub fn zipf_flows(n: usize, s: f64, total_load: f64, lengths: LenDist) -> Vec<FlowSpec> {
+    zipf_weights(n, s)
+        .into_iter()
+        .map(|w| FlowSpec {
+            arrivals: ArrivalProcess::Bernoulli {
+                rate: (w * total_load / lengths.mean()).min(1.0),
+            },
+            lengths,
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,6 +163,37 @@ mod tests {
                 (total - intensity).abs() < 1e-9,
                 "intensity {intensity}: load {total}"
             );
+        }
+    }
+
+    #[test]
+    fn zipf_weights_are_normalized_and_skewed() {
+        let w = zipf_weights(32, 1.2);
+        assert_eq!(w.len(), 32);
+        let total: f64 = w.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12, "normalized, got {total}");
+        assert!(w.windows(2).all(|p| p[0] > p[1]), "strictly decreasing");
+        // Zipf(1.2) at n=32: the head flow carries ~32% of the load
+        // (1 / Σ_{k=1..32} k^-1.2 ≈ 0.323).
+        assert!(
+            (0.31..0.34).contains(&w[0]),
+            "head share {} off the Zipf(1.2) value",
+            w[0]
+        );
+        // s = 0 degenerates to uniform.
+        let flat = zipf_weights(4, 0.0);
+        assert!(flat.iter().all(|&x| (x - 0.25).abs() < 1e-12));
+    }
+
+    #[test]
+    fn zipf_flows_split_total_load_by_weight() {
+        let lengths = LenDist::Constant(16);
+        let specs = zipf_flows(8, 1.2, 0.9, lengths);
+        let total: f64 = specs.iter().map(|s| s.offered_load()).sum();
+        assert!((total - 0.9).abs() < 1e-9, "total load {total}");
+        let w = zipf_weights(8, 1.2);
+        for (spec, wi) in specs.iter().zip(&w) {
+            assert!((spec.offered_load() - wi * 0.9).abs() < 1e-9);
         }
     }
 

@@ -33,7 +33,7 @@ pub mod workload;
 
 pub use arrivals::ArrivalProcess;
 pub use dist::LenDist;
-pub use flows::FlowSpec;
+pub use flows::{zipf_flows, zipf_weights, FlowSpec};
 pub use par_feed::par_feed;
 pub use patterns::TrafficPattern;
 pub use trace::PacketTrace;
