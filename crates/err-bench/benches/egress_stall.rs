@@ -57,6 +57,7 @@ fn buffered(stall_plan: Option<StallPlan>) -> EgressMode {
         credits: 32,
         n_links: N_LINKS,
         stall_plan,
+        ..BufferedConfig::default()
     })
 }
 

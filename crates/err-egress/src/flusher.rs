@@ -20,7 +20,7 @@ use std::sync::Arc;
 
 use err_sched::ServedFlit;
 
-use crate::link::LinkSet;
+use crate::link::{DeadLinkPolicy, LinkSet};
 use crate::spsc::Consumer;
 use crate::stall::StallInjector;
 use crate::stats::ShardEgressStats;
@@ -55,6 +55,11 @@ pub struct FlusherCore {
     /// per link, in ring order.
     pending: Vec<VecDeque<ServedFlit>>,
     pending_total: usize,
+    /// Flits dead-lettered since the last [`take_dead_lettered`]
+    /// (DESIGN.md §9.3).
+    ///
+    /// [`take_dead_lettered`]: FlusherCore::take_dead_lettered
+    dead_lettered: u64,
 }
 
 impl FlusherCore {
@@ -65,12 +70,20 @@ impl FlusherCore {
             rx,
             pending: (0..n_links).map(|_| VecDeque::new()).collect(),
             pending_total: 0,
+            dead_lettered: 0,
         }
     }
 
     /// Flits currently parked behind `link`'s stall.
     pub fn pending_len(&self, link: usize) -> usize {
         self.pending[link].len()
+    }
+
+    /// Flits dead-lettered since the last call; resets the counter.
+    /// The thread loop uses this as a progress signal — a burst of
+    /// dead-letters is work done even though nothing reached the sink.
+    pub fn take_dead_lettered(&mut self) -> u64 {
+        std::mem::take(&mut self.dead_lettered)
     }
 
     /// Whether both the ring and every pending queue are empty.
@@ -107,11 +120,24 @@ impl FlusherCore {
         if let Some(inj) = injector {
             inj.poll(links);
         }
+        links.poll_deadlines();
+        let drop_dead = links.policy() == DeadLinkPolicy::DropAndAccount;
         let mut delivered = 0u64;
         // Pending first: per-link FIFO requires stalled flits to leave
         // before fresh ones for the same link.
         if self.pending_total > 0 {
             for link in 0..self.pending.len() {
+                if drop_dead && links.is_dead(link) {
+                    // The link died under its backlog: the whole queue
+                    // dead-letters, in order, credits returning as it
+                    // goes (§9.3).
+                    while self.pending[link].pop_front().is_some() {
+                        self.pending_total -= 1;
+                        links.on_dead_letter(link);
+                        self.dead_lettered += 1;
+                    }
+                    continue;
+                }
                 while !self.pending[link].is_empty() && !links.blocked(link) {
                     let flit = self.pending[link].pop_front().expect("checked non-empty");
                     self.pending_total -= 1;
@@ -123,7 +149,10 @@ impl FlusherCore {
         for _ in 0..BURST {
             let Some(flit) = self.rx.pop() else { break };
             let link = links.route(flit.flow);
-            if links.blocked(link) || !self.pending[link].is_empty() {
+            if drop_dead && links.is_dead(link) {
+                links.on_dead_letter(link);
+                self.dead_lettered += 1;
+            } else if links.blocked(link) || !self.pending[link].is_empty() {
                 self.pending[link].push_back(flit);
                 self.pending_total += 1;
                 // Every pending flit holds a credit, so the stall
@@ -138,6 +167,28 @@ impl FlusherCore {
             }
         }
         delivered
+    }
+
+    /// Shutdown path for [`DeadLinkPolicy::HoldForRecovery`]: a dead
+    /// link blocks even in drain mode, so flits held behind it would
+    /// strand the flusher forever. Once the runtime is closed, the
+    /// thread loop calls this to dead-letter every flit still held
+    /// behind a dead link — the honest outcome when the downstream
+    /// never came back. Returns the number dead-lettered.
+    pub fn finalize_dead_letters(&mut self, links: &LinkSet) -> u64 {
+        let mut n = 0u64;
+        for link in 0..self.pending.len() {
+            if !links.is_dead(link) {
+                continue;
+            }
+            while self.pending[link].pop_front().is_some() {
+                self.pending_total -= 1;
+                links.on_dead_letter(link);
+                n += 1;
+            }
+        }
+        self.dead_lettered += n;
+        n
     }
 }
 
@@ -158,14 +209,25 @@ pub fn run_flusher<E: Egress>(
     let mut backoff = BACKOFF_FLOOR;
     loop {
         let n = core.step(&links, inj, &mut sink);
-        if n > 0 {
-            stats.flushed_flits.fetch_add(n, Ordering::Relaxed);
+        let dead = core.take_dead_lettered();
+        if n > 0 || dead > 0 {
+            if n > 0 {
+                stats.flushed_flits.fetch_add(n, Ordering::Relaxed);
+            }
             idle_rounds = 0;
             backoff = BACKOFF_FLOOR;
             continue;
         }
-        if closed.load(Ordering::Acquire) && core.is_idle() {
-            return;
+        if closed.load(Ordering::Acquire) {
+            if core.is_idle() {
+                return;
+            }
+            // Nothing deliverable and the worker is gone: whatever is
+            // still pending sits behind a dead HoldForRecovery link.
+            // Dead-letter it so shutdown terminates (§9.3).
+            if core.finalize_dead_letters(&links) > 0 {
+                continue;
+            }
         }
         idle_rounds += 1;
         if idle_rounds < SPIN_ROUNDS {
@@ -261,6 +323,82 @@ mod tests {
         tx.push(flit(0, 1, 0, 1)).unwrap();
         core.step(&links, None, &mut sink);
         assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn drop_policy_dead_letters_backlog_and_fresh_flits() {
+        let links = LinkSet::with_fault_policy(2, 8, None, DeadLinkPolicy::DropAndAccount);
+        let (mut tx, rx) = spsc_ring(16);
+        let mut core = FlusherCore::new(0, rx, 2);
+        // Park two flits behind a stall on link 1, then kill the link.
+        links.freeze(1);
+        for i in 0..2u64 {
+            links.try_acquire(1);
+            tx.push(flit(1, i, 0, 1)).unwrap();
+        }
+        let mut out = Vec::new();
+        let mut sink = |_s: usize, f: &ServedFlit| out.push(f.packet);
+        assert_eq!(core.step(&links, None, &mut sink), 0);
+        assert_eq!(core.pending_len(1), 2);
+        links.declare_dead(1);
+        // Fresh flit for the dead link plus one for the live link.
+        links.try_acquire(1);
+        tx.push(flit(1, 2, 0, 1)).unwrap();
+        links.try_acquire(0);
+        tx.push(flit(0, 3, 0, 1)).unwrap();
+        assert_eq!(core.step(&links, None, &mut sink), 1, "live link delivers");
+        assert_eq!(out, vec![3]);
+        assert_eq!(core.take_dead_lettered(), 3, "backlog + fresh flit");
+        assert!(core.is_idle());
+        let snap = links.snapshot();
+        assert_eq!(snap[1].dead_letter_flits, 3);
+        assert_eq!(
+            snap[1].credits_available, 8,
+            "dead-letters returned every credit"
+        );
+    }
+
+    #[test]
+    fn hold_policy_holds_then_delivers_on_resurrect() {
+        let links = LinkSet::with_fault_policy(1, 8, None, DeadLinkPolicy::HoldForRecovery);
+        let (mut tx, rx) = spsc_ring(16);
+        let mut core = FlusherCore::new(0, rx, 1);
+        links.declare_dead(0);
+        for i in 0..3u64 {
+            links.try_acquire(0);
+            tx.push(flit(0, i, 0, 1)).unwrap();
+        }
+        let mut out = Vec::new();
+        let mut sink = |_s: usize, f: &ServedFlit| out.push(f.packet);
+        assert_eq!(core.step(&links, None, &mut sink), 0);
+        assert_eq!(core.pending_len(0), 3, "held, not dropped");
+        assert_eq!(core.take_dead_lettered(), 0);
+        links.resurrect(0);
+        assert_eq!(core.step(&links, None, &mut sink), 3);
+        assert_eq!(out, vec![0, 1, 2], "held flits deliver in order");
+    }
+
+    #[test]
+    fn finalize_dead_letters_unsticks_held_flits() {
+        let links = LinkSet::with_fault_policy(1, 8, None, DeadLinkPolicy::HoldForRecovery);
+        let (mut tx, rx) = spsc_ring(16);
+        let mut core = FlusherCore::new(0, rx, 1);
+        links.declare_dead(0);
+        for i in 0..2u64 {
+            links.try_acquire(0);
+            tx.push(flit(0, i, 0, 1)).unwrap();
+        }
+        let mut sink = |_s: usize, _f: &ServedFlit| panic!("nothing should deliver");
+        assert_eq!(core.step(&links, None, &mut sink), 0);
+        links.set_draining(true);
+        assert_eq!(
+            core.step(&links, None, &mut sink),
+            0,
+            "death outlasts drain"
+        );
+        assert_eq!(core.finalize_dead_letters(&links), 2);
+        assert!(core.is_idle());
+        assert_eq!(links.snapshot()[0].dead_letter_flits, 2);
     }
 
     #[test]

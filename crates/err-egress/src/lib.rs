@@ -43,7 +43,7 @@ use std::sync::Arc;
 use err_sched::ServedFlit;
 
 pub use flusher::{run_flusher, FlusherCore};
-pub use link::{LinkSet, LinkSnapshot};
+pub use link::{DeadLinkPolicy, LinkSet, LinkSnapshot, LinkState};
 pub use spsc::{spsc_ring, Consumer, Producer};
 pub use stall::{StallInjector, StallPlan, StallWindow};
 pub use stats::{EgressSnapshot, ShardEgressSnapshot, ShardEgressStats};
@@ -82,6 +82,46 @@ impl<F: FnMut(usize, &ServedFlit) + Send> Egress for F {
     }
 }
 
+/// A cloneable, `Sync`-shareable [`Egress`] over one underlying sink.
+///
+/// Groundwork for stealing under buffered egress (ROADMAP): a migrated
+/// flow's flits must reach the *same* downstream sink from a different
+/// flusher, which requires a sink handle that several threads can hold.
+/// `SharedEgress` provides that by serializing `emit` through a mutex —
+/// correct, but a lock on the per-flit path, which is why the runtime
+/// does not use it on the hot path yet (see ROADMAP for the remaining
+/// gap: per-link flow parking is keyed by the owning shard, so sharing
+/// the sink alone is not sufficient to enable stealing).
+pub struct SharedEgress<E: Egress> {
+    inner: Arc<std::sync::Mutex<E>>,
+}
+
+impl<E: Egress> SharedEgress<E> {
+    /// Wraps `sink` for shared use.
+    pub fn new(sink: E) -> Self {
+        Self {
+            inner: Arc::new(std::sync::Mutex::new(sink)),
+        }
+    }
+}
+
+impl<E: Egress> Clone for SharedEgress<E> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<E: Egress> Egress for SharedEgress<E> {
+    fn emit(&mut self, shard: usize, flit: &ServedFlit) {
+        self.inner
+            .lock()
+            .expect("shared egress sink poisoned")
+            .emit(shard, flit);
+    }
+}
+
 /// Configuration of the buffered egress path.
 #[derive(Clone, Debug)]
 pub struct BufferedConfig {
@@ -96,6 +136,12 @@ pub struct BufferedConfig {
     /// Optional deterministic stall schedule applied on the flush
     /// clock.
     pub stall_plan: Option<StallPlan>,
+    /// Flush-clock cycles without a credit return (while credits are
+    /// outstanding) before a link is declared [`LinkState::Dead`];
+    /// `None` disables the dead-link watchdog (DESIGN.md §9.3).
+    pub dead_link_deadline: Option<u64>,
+    /// What happens to flits bound for a dead link.
+    pub dead_link_policy: DeadLinkPolicy,
 }
 
 impl Default for BufferedConfig {
@@ -105,6 +151,8 @@ impl Default for BufferedConfig {
             credits: 64,
             n_links: 4,
             stall_plan: None,
+            dead_link_deadline: None,
+            dead_link_policy: DeadLinkPolicy::default(),
         }
     }
 }
@@ -146,6 +194,24 @@ impl EgressController {
     /// Manually thaws `link`.
     pub fn release_stall(&self, link: usize) {
         self.links.release_stall(link);
+    }
+
+    /// Manually declares `link` dead (same effect as the deadline
+    /// watchdog firing).
+    pub fn declare_dead(&self, link: usize) {
+        self.links.declare_dead(link);
+    }
+
+    /// Revives a dead `link`: under
+    /// [`DeadLinkPolicy::HoldForRecovery`] its held flits deliver and
+    /// its parked flows resume.
+    pub fn resurrect(&self, link: usize) {
+        self.links.resurrect(link);
+    }
+
+    /// Lifecycle state of `link`.
+    pub fn link_state(&self, link: usize) -> LinkState {
+        self.links.state(link)
     }
 
     /// Whether a configured stall plan has fully played out (`true`

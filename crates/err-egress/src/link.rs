@@ -30,8 +30,44 @@ use serde::Serialize;
 const STALL_HIST_BIN: u64 = 256;
 const STALL_HIST_BINS: usize = 256;
 
-/// State of one downstream link.
-pub struct LinkState {
+/// Lifecycle state of a downstream link (DESIGN.md §9.3).
+///
+/// `Alive → Stalled ⇄ Alive` is the PR-2 injector/watchdog cycle; a
+/// link with outstanding credits whose credit returns stop for
+/// [`dead_link_deadline`](crate::BufferedConfig::dead_link_deadline)
+/// flush-clock cycles is declared `Dead` and only
+/// [`resurrect`](LinkSet::resurrect) revives it — unlike a stall,
+/// drain mode does not override death.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum LinkState {
+    /// Delivering normally.
+    Alive,
+    /// Administratively frozen (stall injection); drain mode overrides.
+    Stalled,
+    /// Declared dead by the credit-return deadline (or
+    /// [`LinkSet::declare_dead`]); handled per [`DeadLinkPolicy`].
+    Dead,
+}
+
+/// What happens to flits bound for a [`LinkState::Dead`] link
+/// (DESIGN.md §9.3).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub enum DeadLinkPolicy {
+    /// The dead link becomes an accounted blackhole: its flits are
+    /// dead-lettered ([`LinkSnapshot::dead_letter_flits`]), credits
+    /// return, and the link's flows keep being scheduled at full rate.
+    #[default]
+    DropAndAccount,
+    /// Pending flits are held and credits stay exhausted, so the
+    /// link's flows park (§7) and nothing is lost; a
+    /// [`resurrect`](LinkSet::resurrect) delivers the held flits and
+    /// revives the link. Flits still held at shutdown are
+    /// dead-lettered then.
+    HoldForRecovery,
+}
+
+/// Counters of one downstream link.
+struct Link {
     /// Credits currently available to senders.
     credits: AtomicU64,
     /// Whether the downstream is refusing flits.
@@ -48,12 +84,24 @@ pub struct LinkState {
     /// Peak credits outstanding at once (high-water mark of buffered
     /// flits committed to this link).
     outstanding_peak: AtomicU64,
+    /// Whether the link has been declared dead (DESIGN.md §9.3).
+    dead: AtomicBool,
+    /// Flush-clock reading at the last credit return (delivery or
+    /// dead-letter); the deadline watchdog measures from here.
+    last_credit_return: AtomicU64,
+    /// Flits dead-lettered on this link (dropped into the ledger
+    /// instead of delivered).
+    dead_letters: AtomicU64,
+    /// Times this link was declared dead.
+    deaths: AtomicU64,
+    /// Times this link was resurrected.
+    resurrections: AtomicU64,
     /// Completed stall durations. Watchdog-only state, touched once per
     /// stall release — never on the per-flit path — so a `Mutex` is fine.
     stall_hist: Mutex<Histogram>,
 }
 
-impl LinkState {
+impl Link {
     fn new(credits: u64) -> Self {
         Self {
             credits: AtomicU64::new(credits),
@@ -63,6 +111,11 @@ impl LinkState {
             max_stall_cycles: AtomicU64::new(0),
             delivered: AtomicU64::new(0),
             outstanding_peak: AtomicU64::new(0),
+            dead: AtomicBool::new(false),
+            last_credit_return: AtomicU64::new(0),
+            dead_letters: AtomicU64::new(0),
+            deaths: AtomicU64::new(0),
+            resurrections: AtomicU64::new(0),
             stall_hist: Mutex::new(Histogram::new(STALL_HIST_BIN, STALL_HIST_BINS)),
         }
     }
@@ -85,6 +138,14 @@ pub struct LinkSnapshot {
     pub mean_stall_cycles: f64,
     /// Completed stalls recorded by the watchdog histogram.
     pub stalls_completed: u64,
+    /// Lifecycle state at snapshot time (DESIGN.md §9.3).
+    pub state: LinkState,
+    /// Flits dead-lettered instead of delivered.
+    pub dead_letter_flits: u64,
+    /// Times the link was declared dead.
+    pub deaths: u64,
+    /// Times the link was resurrected.
+    pub resurrections: u64,
 }
 
 /// The set of downstream links shared by every shard's egress path.
@@ -93,7 +154,7 @@ pub struct LinkSnapshot {
 /// matches the wormhole setting, where a flow is a (source, destination)
 /// stream whose packets all traverse the same output channel.
 pub struct LinkSet {
-    links: Vec<LinkState>,
+    links: Vec<Link>,
     credits_per_link: u64,
     /// While draining, `blocked` reports false so buffered flits can
     /// reach the sink even through a frozen link (conservation at
@@ -102,19 +163,44 @@ pub struct LinkSet {
     /// Total flits delivered across all links — the deterministic clock
     /// that stall schedules and watchdog durations are measured on.
     flush_clock: AtomicU64,
+    /// Flush-clock cycles without a credit return (while credits are
+    /// outstanding) after which a link is declared dead; `None`
+    /// disables the deadline watchdog.
+    dead_deadline: Option<u64>,
+    /// What the flusher does with a dead link's flits.
+    policy: DeadLinkPolicy,
 }
 
 impl LinkSet {
-    /// Creates `n_links` links, each with `credits` credits.
+    /// Creates `n_links` links, each with `credits` credits, with the
+    /// dead-link watchdog disabled.
     pub fn new(n_links: usize, credits: u64) -> Self {
+        Self::with_fault_policy(n_links, credits, None, DeadLinkPolicy::default())
+    }
+
+    /// Creates `n_links` links with a dead-link deadline and policy
+    /// (DESIGN.md §9.3).
+    pub fn with_fault_policy(
+        n_links: usize,
+        credits: u64,
+        dead_deadline: Option<u64>,
+        policy: DeadLinkPolicy,
+    ) -> Self {
         assert!(n_links > 0, "need at least one link");
         assert!(credits > 0, "need at least one credit per link");
         Self {
-            links: (0..n_links).map(|_| LinkState::new(credits)).collect(),
+            links: (0..n_links).map(|_| Link::new(credits)).collect(),
             credits_per_link: credits,
             draining: AtomicBool::new(false),
             flush_clock: AtomicU64::new(0),
+            dead_deadline,
+            policy,
         }
+    }
+
+    /// The configured dead-link policy.
+    pub fn policy(&self) -> DeadLinkPolicy {
+        self.policy
     }
 
     /// Number of links.
@@ -171,19 +257,112 @@ impl LinkSet {
             prev < self.credits_per_link,
             "credit overflow on link {link}"
         );
-        self.flush_clock.fetch_add(1, Ordering::AcqRel) + 1
+        let clock = self.flush_clock.fetch_add(1, Ordering::AcqRel) + 1;
+        l.last_credit_return.store(clock, Ordering::Relaxed);
+        clock
     }
 
-    /// Whether `link` currently refuses flits. Always `false` while
-    /// draining.
+    /// Records a flit finally *not* delivered on a dead `link`: the
+    /// flit is dead-lettered, its credit returns so the scheduler side
+    /// keeps moving, and the flush clock does **not** advance (the
+    /// clock counts real deliveries). Called by the flusher only.
+    pub fn on_dead_letter(&self, link: usize) {
+        let l = &self.links[link];
+        l.dead_letters.fetch_add(1, Ordering::Relaxed);
+        let prev = l.credits.fetch_add(1, Ordering::AcqRel);
+        debug_assert!(
+            prev < self.credits_per_link,
+            "credit overflow on link {link}"
+        );
+        l.last_credit_return
+            .store(self.flush_clock.load(Ordering::Acquire), Ordering::Relaxed);
+    }
+
+    /// Whether `link` currently refuses flits. A stall stops blocking
+    /// while draining; a dead link under
+    /// [`DeadLinkPolicy::HoldForRecovery`] blocks even then (drain must
+    /// not pretend an absent downstream returned — its held flits are
+    /// dead-lettered at flusher exit instead).
     pub fn blocked(&self, link: usize) -> bool {
-        self.links[link].stalled.load(Ordering::Acquire) && !self.draining.load(Ordering::Acquire)
+        let l = &self.links[link];
+        if l.dead.load(Ordering::Acquire) {
+            return self.policy == DeadLinkPolicy::HoldForRecovery;
+        }
+        l.stalled.load(Ordering::Acquire) && !self.draining.load(Ordering::Acquire)
     }
 
     /// Whether `link` is administratively frozen (ignores draining —
     /// used by tests and stats).
     pub fn is_stalled(&self, link: usize) -> bool {
         self.links[link].stalled.load(Ordering::Acquire)
+    }
+
+    /// Whether `link` has been declared dead.
+    pub fn is_dead(&self, link: usize) -> bool {
+        self.links[link].dead.load(Ordering::Acquire)
+    }
+
+    /// Lifecycle state of `link`. Death shadows a stall: a dead link
+    /// reports [`LinkState::Dead`] even if the stall flag is still set.
+    pub fn state(&self, link: usize) -> LinkState {
+        let l = &self.links[link];
+        if l.dead.load(Ordering::Acquire) {
+            LinkState::Dead
+        } else if l.stalled.load(Ordering::Acquire) {
+            LinkState::Stalled
+        } else {
+            LinkState::Alive
+        }
+    }
+
+    /// Declares `link` dead (DESIGN.md §9.3). Idempotent: a link that
+    /// is already dead records no second death.
+    pub fn declare_dead(&self, link: usize) {
+        let l = &self.links[link];
+        if !l.dead.swap(true, Ordering::AcqRel) {
+            l.deaths.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Revives a dead `link`. The deadline watchdog is re-armed from
+    /// the current flush-clock reading so the link is not immediately
+    /// re-declared dead for credits that were outstanding while it was
+    /// down. A no-op on a live link.
+    pub fn resurrect(&self, link: usize) {
+        let l = &self.links[link];
+        if l.dead.swap(false, Ordering::AcqRel) {
+            l.last_credit_return
+                .store(self.flush_clock.load(Ordering::Acquire), Ordering::Relaxed);
+            l.resurrections.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Deadline watchdog (DESIGN.md §9.3): declares dead every live
+    /// link that has credits outstanding and has returned none for more
+    /// than `dead_deadline` flush-clock cycles. Returns the links
+    /// declared dead by this poll. Called by the flusher on its idle /
+    /// post-burst path; a no-op when no deadline is configured.
+    pub fn poll_deadlines(&self) -> Vec<usize> {
+        let Some(deadline) = self.dead_deadline else {
+            return Vec::new();
+        };
+        let clock = self.flush_clock.load(Ordering::Acquire);
+        let mut died = Vec::new();
+        for (link, l) in self.links.iter().enumerate() {
+            if l.dead.load(Ordering::Acquire) {
+                continue;
+            }
+            let outstanding = self.credits_per_link - l.credits.load(Ordering::Acquire);
+            if outstanding == 0 {
+                continue;
+            }
+            let last = l.last_credit_return.load(Ordering::Relaxed);
+            if clock.saturating_sub(last) > deadline {
+                self.declare_dead(link);
+                died.push(link);
+            }
+        }
+        died
     }
 
     /// Freezes `link`: delivery stops until [`release_stall`]. A no-op
@@ -249,6 +428,16 @@ impl LinkSet {
                     max_stall_cycles: l.max_stall_cycles.load(Ordering::Relaxed),
                     mean_stall_cycles: h.mean(),
                     stalls_completed: h.count(),
+                    state: if l.dead.load(Ordering::Acquire) {
+                        LinkState::Dead
+                    } else if l.stalled.load(Ordering::Acquire) {
+                        LinkState::Stalled
+                    } else {
+                        LinkState::Alive
+                    },
+                    dead_letter_flits: l.dead_letters.load(Ordering::Relaxed),
+                    deaths: l.deaths.load(Ordering::Relaxed),
+                    resurrections: l.resurrections.load(Ordering::Relaxed),
                 }
             })
             .collect()
@@ -324,6 +513,96 @@ mod tests {
         links.set_draining(true);
         assert!(!links.blocked(0), "drain overrides the stall");
         assert!(links.is_stalled(0), "the stall itself is still recorded");
+    }
+
+    #[test]
+    fn deadline_declares_dead_on_flush_clock() {
+        let links = LinkSet::with_fault_policy(2, 4, Some(10), DeadLinkPolicy::DropAndAccount);
+        // Link 0 has a credit outstanding and returns nothing.
+        links.try_acquire(0);
+        // Link 1 delivers 11 flits: clock reaches 11, link 0's last
+        // return is still 0 → past the 10-cycle deadline.
+        for _ in 0..11 {
+            links.try_acquire(1);
+            links.on_delivered(1);
+        }
+        assert_eq!(links.poll_deadlines(), vec![0]);
+        assert_eq!(links.state(0), LinkState::Dead);
+        assert_eq!(links.state(1), LinkState::Alive);
+        assert!(links.poll_deadlines().is_empty(), "death is latched");
+        let snap = links.snapshot();
+        assert_eq!(snap[0].deaths, 1);
+    }
+
+    #[test]
+    fn deadline_ignores_idle_links() {
+        let links = LinkSet::with_fault_policy(1, 4, Some(2), DeadLinkPolicy::DropAndAccount);
+        // No credits outstanding: the downstream owes nothing, so a
+        // silent link is idle, not dead.
+        assert!(links.poll_deadlines().is_empty());
+        assert_eq!(links.state(0), LinkState::Alive);
+    }
+
+    #[test]
+    fn dead_letter_returns_credit_without_advancing_clock() {
+        let links = LinkSet::with_fault_policy(1, 2, None, DeadLinkPolicy::DropAndAccount);
+        links.try_acquire(0);
+        links.try_acquire(0);
+        assert!(!links.try_acquire(0));
+        links.declare_dead(0);
+        links.on_dead_letter(0);
+        assert!(links.try_acquire(0), "dead-letter returned the credit");
+        assert_eq!(links.flush_clock(), 0, "clock counts real deliveries");
+        let snap = links.snapshot();
+        assert_eq!(snap[0].dead_letter_flits, 1);
+        assert_eq!(snap[0].delivered_flits, 0);
+    }
+
+    #[test]
+    fn drop_policy_does_not_block_dead_link() {
+        let links = LinkSet::with_fault_policy(1, 4, None, DeadLinkPolicy::DropAndAccount);
+        links.declare_dead(0);
+        assert!(!links.blocked(0), "DropAndAccount keeps flows scheduled");
+    }
+
+    #[test]
+    fn hold_policy_blocks_dead_link_even_while_draining() {
+        let links = LinkSet::with_fault_policy(1, 4, None, DeadLinkPolicy::HoldForRecovery);
+        links.declare_dead(0);
+        assert!(links.blocked(0));
+        links.set_draining(true);
+        assert!(links.blocked(0), "drain does not override death");
+        links.resurrect(0);
+        assert!(!links.blocked(0));
+    }
+
+    #[test]
+    fn declare_and_resurrect_are_idempotent() {
+        let links = LinkSet::with_fault_policy(1, 4, Some(100), DeadLinkPolicy::HoldForRecovery);
+        links.resurrect(0); // live link: no-op
+        links.declare_dead(0);
+        links.declare_dead(0);
+        links.resurrect(0);
+        links.resurrect(0);
+        let snap = links.snapshot();
+        assert_eq!(snap[0].deaths, 1);
+        assert_eq!(snap[0].resurrections, 1);
+        assert_eq!(snap[0].state, LinkState::Alive);
+    }
+
+    #[test]
+    fn resurrect_rearms_the_deadline() {
+        let links = LinkSet::with_fault_policy(2, 4, Some(5), DeadLinkPolicy::HoldForRecovery);
+        links.try_acquire(0);
+        for _ in 0..6 {
+            links.try_acquire(1);
+            links.on_delivered(1);
+        }
+        assert_eq!(links.poll_deadlines(), vec![0]);
+        links.resurrect(0);
+        // The credit is still outstanding, but the watchdog now measures
+        // from the resurrection clock — no instant re-death.
+        assert!(links.poll_deadlines().is_empty());
     }
 
     #[test]

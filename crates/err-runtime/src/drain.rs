@@ -13,19 +13,52 @@
 //!    shard order, making shutdown deterministic (no detached threads,
 //!    no abandoned packets).
 //!
+//! Under a deadline ([`shutdown_within`](crate::Runtime::shutdown_within),
+//! DESIGN.md §9.4) the drain escalates instead of waiting forever:
+//! graceful drain → forced abort (workers count their residuals lost) →
+//! abandon (a wedged worker is left behind, recorded as
+//! [`ShardExit::Abandoned`]). Worker panics are *reported*, never
+//! re-thrown out of shutdown.
+//!
 //! The resulting [`DrainReport`] carries the conservation invariant the
 //! integration tests assert: every submitted packet is accounted as
-//! served, dropped, or rejected — nothing is lost in the pipeline.
+//! served, dropped, rejected, timed out, or (under faults) lost —
+//! nothing leaks silently.
 
 use crate::stats::RuntimeStats;
+
+/// How one worker (shard or flusher) thread left the runtime
+/// (DESIGN.md §9.4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardExit {
+    /// Drained and returned normally.
+    Clean,
+    /// The thread panicked; under supervision its state was salvaged or
+    /// counted lost, without supervision its backlog is unaccounted.
+    Panicked,
+    /// The thread missed the shutdown deadline and was left running
+    /// (detached); its cycles report as 0 and conservation may not
+    /// balance.
+    Abandoned,
+}
 
 /// Final accounting returned by [`Runtime::shutdown`](crate::Runtime::shutdown).
 #[derive(Clone, Debug)]
 pub struct DrainReport {
     /// Statistics at the instant every worker had exited.
     pub stats: RuntimeStats,
-    /// Final flit-clock value of each shard (cycles of service).
+    /// Final flit-clock value of each shard (cycles of service);
+    /// 0 for panicked or abandoned workers.
     pub shard_cycles: Vec<u64>,
+    /// Per-shard worker exit status.
+    pub exits: Vec<ShardExit>,
+    /// Per-shard flusher exit status (empty under sync egress).
+    pub flusher_exits: Vec<ShardExit>,
+    /// Whether the shutdown deadline forced an abort: residual packets
+    /// were counted lost rather than served (DESIGN.md §9.4). For
+    /// non-migratable disciplines a forced abort can only account an
+    /// aggregate flit count, so `is_conserving` may honestly fail.
+    pub forced: bool,
 }
 
 impl DrainReport {
@@ -44,19 +77,48 @@ impl DrainReport {
         self.stats.rejected_packets()
     }
 
-    /// Packets submitted (served + dropped + rejected after a drain).
+    /// Packets whose backpressure wait exceeded a submit deadline.
+    pub fn timedout_packets(&self) -> u64 {
+        self.stats.timedout_packets()
+    }
+
+    /// Packets lost to shard death or forced shutdown, admission
+    /// charges revoked (DESIGN.md §9.2, §9.4).
+    pub fn lost_packets(&self) -> u64 {
+        self.stats.lost_packets()
+    }
+
+    /// Packets re-homed by panic salvage, counted at the dying shard.
+    pub fn salvaged_packets(&self) -> u64 {
+        self.stats.salvaged_packets()
+    }
+
+    /// Packets submitted (served + dropped + rejected + timed out +
+    /// lost after a drain).
     pub fn submitted_packets(&self) -> u64 {
         self.stats.submitted_packets()
     }
 
-    /// The drain conservation invariant: after shutdown, every
-    /// submitted packet was served, dropped, or rejected, and no flits
-    /// remain backlogged anywhere.
+    /// Whether every worker and flusher exited [`ShardExit::Clean`].
+    pub fn all_clean(&self) -> bool {
+        self.exits.iter().all(|e| *e == ShardExit::Clean)
+            && self.flusher_exits.iter().all(|e| *e == ShardExit::Clean)
+    }
+
+    /// The drain conservation invariant (DESIGN.md §9.2 ledger): after
+    /// shutdown, every submitted packet was served, dropped, rejected,
+    /// timed out, or counted lost; no flits remain backlogged; and
+    /// every packet that entered a ring either left on a link or was
+    /// explicitly lost.
     pub fn is_conserving(&self) -> bool {
-        self.served_packets() + self.dropped_packets() + self.rejected_packets()
+        self.served_packets()
+            + self.dropped_packets()
+            + self.rejected_packets()
+            + self.timedout_packets()
+            + self.lost_packets()
             == self.submitted_packets()
             && self.stats.backlog_flits() == 0
-            && self.stats.enqueued_packets() == self.served_packets()
+            && self.stats.enqueued_packets() == self.served_packets() + self.lost_packets()
     }
 
     /// Aggregate throughput over the drain in flits per shard-cycle,

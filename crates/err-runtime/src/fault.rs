@@ -1,0 +1,962 @@
+//! Shard supervision, panic salvage, and the deterministic chaos
+//! harness (DESIGN.md §9).
+//!
+//! The fault model is *fail-stop with an honest ledger*: a shard worker
+//! that panics (or is quarantined for a frozen heartbeat) salvages its
+//! own state on the way down — every flow the [`FlowMap`] homes on the
+//! dead shard is extracted, its ingress ring drained, and the resulting
+//! packages re-homed to a live rescue shard through a salvage inbox.
+//! What cannot be saved (a mid-packet wormhole cursor, or everything
+//! when no live shard remains) is counted `lost` with its admission
+//! charge revoked, never silently leaked. The [`FaultBoard`] records
+//! heartbeats, health transitions, and death/recovery timestamps; a
+//! supervisor thread applies the single quarantine rule; a seeded
+//! [`FaultPlan`] replays shard panics, wedges, and link deaths on the
+//! shard flit clocks, which is what makes the chaos bench an experiment
+//! rather than an anecdote (§9.5).
+//!
+//! Concurrency note (§9.2): all salvage operations — and the
+//! `Exited`/`Dead` health transitions that race them — serialize
+//! through one global salvage mutex. Death is rare, so the lock is
+//! uncontended in practice and never on any hot path; workers take it
+//! with `try_lock` in their exit check so a blocked exit can keep
+//! beating instead of tripping the supervisor.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, TryLockError};
+use std::time::{Duration, Instant};
+
+use desim::{Cycle, SimRng};
+use err_egress::LinkSet;
+use err_sched::migrate::MigratedFlow;
+use err_sched::Scheduler;
+
+use crate::admission::AdmissionController;
+use crate::ingress::Shared;
+use crate::migrate::FlowMap;
+use crate::stats::{PaddedCounter, ShardStats};
+
+/// Locks `m`, treating poisoning as benign: the protected state is a
+/// token or a message queue whose invariants do not depend on the
+/// panicking critical section having completed (and panics are this
+/// module's business, not an anomaly).
+pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Supervisor policy knobs (DESIGN.md §9.1).
+#[derive(Clone, Copy, Debug)]
+pub struct SupervisionConfig {
+    /// How often the supervisor thread scans the [`FaultBoard`].
+    pub poll: Duration,
+    /// A `Running` shard whose heartbeat has not advanced for this long
+    /// is marked [`ShardHealth::Quarantined`]. Must comfortably exceed
+    /// the worker's idle park timeout (100µs) — the default leaves two
+    /// orders of magnitude of slack.
+    pub heartbeat_deadline: Duration,
+}
+
+impl Default for SupervisionConfig {
+    fn default() -> Self {
+        Self {
+            poll: Duration::from_millis(2),
+            heartbeat_deadline: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Lifecycle state of one shard worker (DESIGN.md §9.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ShardHealth {
+    /// Serving normally.
+    Running = 0,
+    /// The supervisor saw a frozen heartbeat; the worker's own fault
+    /// hook honors the flag by panicking into the salvage path.
+    Quarantined = 1,
+    /// The worker panicked (organically, by injection, or honoring a
+    /// quarantine); its flows were salvaged or counted lost.
+    Dead = 2,
+    /// The worker drained cleanly and returned.
+    Exited = 3,
+}
+
+impl ShardHealth {
+    fn from_u8(v: u8) -> Self {
+        match v {
+            0 => Self::Running,
+            1 => Self::Quarantined,
+            2 => Self::Dead,
+            3 => Self::Exited,
+            _ => unreachable!("invalid shard health {v}"),
+        }
+    }
+}
+
+/// Sentinel for "never stamped" in the timestamp cells.
+const NEVER: u64 = u64::MAX;
+
+struct BoardCell {
+    heartbeat: PaddedCounter,
+    health: AtomicU8,
+    death_at: AtomicU64,
+    recovered_at: AtomicU64,
+}
+
+impl Default for BoardCell {
+    fn default() -> Self {
+        Self {
+            heartbeat: PaddedCounter::default(),
+            health: AtomicU8::new(ShardHealth::Running as u8),
+            death_at: AtomicU64::new(NEVER),
+            recovered_at: AtomicU64::new(NEVER),
+        }
+    }
+}
+
+/// Per-shard health, heartbeat, and death/recovery timestamps —
+/// LoadBoard-style atomics, one cache-padded entry per shard
+/// (DESIGN.md §9.1). The timestamps are microseconds since runtime
+/// start and are the raw material of the chaos bench's recovery-time
+/// distribution.
+pub struct FaultBoard {
+    cells: Vec<BoardCell>,
+    start: Instant,
+}
+
+impl FaultBoard {
+    pub(crate) fn new(shards: usize) -> Self {
+        Self {
+            cells: (0..shards).map(|_| BoardCell::default()).collect(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Number of shards on the board.
+    pub fn shards(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Bumped by `shard`'s worker once per service loop (idle loops
+    /// included — a parked worker wakes at the park timeout and beats).
+    pub(crate) fn beat(&self, shard: usize) {
+        self.cells[shard].heartbeat.add(1);
+    }
+
+    /// Current heartbeat count of `shard`.
+    pub fn heartbeat(&self, shard: usize) -> u64 {
+        self.cells[shard].heartbeat.get()
+    }
+
+    /// Current health of `shard`.
+    pub fn health(&self, shard: usize) -> ShardHealth {
+        ShardHealth::from_u8(self.cells[shard].health.load(Ordering::SeqCst))
+    }
+
+    pub(crate) fn set_health(&self, shard: usize, health: ShardHealth) {
+        self.cells[shard]
+            .health
+            .store(health as u8, Ordering::SeqCst);
+    }
+
+    /// Supervisor-only `Running → Quarantined` transition; returns
+    /// whether this call made it (a racing death wins).
+    pub(crate) fn quarantine(&self, shard: usize) -> bool {
+        self.cells[shard]
+            .health
+            .compare_exchange(
+                ShardHealth::Running as u8,
+                ShardHealth::Quarantined as u8,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_ok()
+    }
+
+    fn now_micros(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
+    pub(crate) fn stamp_death(&self, shard: usize) {
+        self.cells[shard]
+            .death_at
+            .store(self.now_micros(), Ordering::SeqCst);
+    }
+
+    pub(crate) fn stamp_recovery(&self, shard: usize) {
+        self.cells[shard]
+            .recovered_at
+            .store(self.now_micros(), Ordering::SeqCst);
+    }
+
+    /// Microseconds (since runtime start) at which `shard` died, if it
+    /// did.
+    pub fn death_micros(&self, shard: usize) -> Option<u64> {
+        match self.cells[shard].death_at.load(Ordering::SeqCst) {
+            NEVER => None,
+            t => Some(t),
+        }
+    }
+
+    /// Microseconds (since runtime start) at which `shard`'s salvage
+    /// completed, if it did.
+    pub fn recovery_micros(&self, shard: usize) -> Option<u64> {
+        match self.cells[shard].recovered_at.load(Ordering::SeqCst) {
+            NEVER => None,
+            t => Some(t),
+        }
+    }
+}
+
+/// One injected fault (DESIGN.md §9.5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic the shard worker (unwinds into the salvage path).
+    PanicShard,
+    /// Wedge the worker: it stops beating without unwinding, until the
+    /// supervisor quarantines it and the wedge loop honors the flag.
+    StickShard,
+    /// Declare the given egress link dead (buffered mode only; ignored
+    /// under sync egress, which has no links).
+    KillLink(usize),
+}
+
+/// A planned fault: `kind` fires on `shard`'s flit clock at the first
+/// intake boundary at or after cycle `at`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Shard whose worker observes the event.
+    pub shard: usize,
+    /// Shard-local flit-clock cycle at which the event is due.
+    pub at: Cycle,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic, replayable chaos schedule — the fault-injection
+/// analogue of [`StallPlan`](err_egress::StallPlan): explicit
+/// constructors or a seeded [`from_rng`](Self::from_rng), compiled by
+/// [`FaultInjector`] into per-shard sorted event lists consumed by
+/// cursor. Events fire on each shard's own flit clock, so a plan
+/// replays identically for a given seed and workload (DESIGN.md §9.5).
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan; chain the `*_at` builders onto it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Panics `shard`'s worker at cycle `at`.
+    pub fn kill_shard_at(mut self, shard: usize, at: Cycle) -> Self {
+        self.events.push(FaultEvent {
+            shard,
+            at,
+            kind: FaultKind::PanicShard,
+        });
+        self
+    }
+
+    /// Wedges `shard`'s worker (heartbeat freeze) at cycle `at`.
+    pub fn stick_shard_at(mut self, shard: usize, at: Cycle) -> Self {
+        self.events.push(FaultEvent {
+            shard,
+            at,
+            kind: FaultKind::StickShard,
+        });
+        self
+    }
+
+    /// Declares egress `link` dead when `shard`'s clock reaches `at`.
+    pub fn kill_link_at(mut self, shard: usize, link: usize, at: Cycle) -> Self {
+        self.events.push(FaultEvent {
+            shard,
+            at,
+            kind: FaultKind::KillLink(link),
+        });
+        self
+    }
+
+    /// Seeded random plan: each shard independently draws at most one
+    /// fault, at a geometric time with per-cycle rate `fault_rate`,
+    /// kept only if it lands inside `horizon` cycles. Derivation uses
+    /// a per-shard stream of the workspace [`SimRng`], so adding
+    /// shards never perturbs the other shards' draws.
+    pub fn from_rng(
+        rng: &SimRng,
+        shards: usize,
+        n_links: usize,
+        fault_rate: f64,
+        horizon: Cycle,
+    ) -> Self {
+        let mut events = Vec::new();
+        for shard in 0..shards {
+            let mut r = rng.derive(0xFA17_0000 + shard as u64);
+            let at = r.geometric_gap(fault_rate);
+            if at > horizon {
+                continue;
+            }
+            let kind = match r.uniform_u32(0, 2) {
+                0 => FaultKind::PanicShard,
+                1 => FaultKind::StickShard,
+                _ if n_links > 0 => {
+                    FaultKind::KillLink(r.uniform_u32(0, n_links as u32 - 1) as usize)
+                }
+                _ => FaultKind::PanicShard,
+            };
+            events.push(FaultEvent { shard, at, kind });
+        }
+        Self { events }
+    }
+
+    /// The planned events, in insertion order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Compiled [`FaultPlan`]: per-shard event lists sorted by due cycle,
+/// consumed by a per-shard cursor. Each cursor has a single consumer
+/// (the shard's own worker), mirroring
+/// [`StallInjector`](err_egress::StallInjector).
+pub struct FaultInjector {
+    events: Vec<Vec<FaultEvent>>,
+    cursors: Vec<AtomicUsize>,
+}
+
+impl FaultInjector {
+    /// Compiles `plan` for a runtime with `shards` shards; events
+    /// naming an out-of-range shard are dropped.
+    pub fn new(plan: &FaultPlan, shards: usize) -> Self {
+        let mut events: Vec<Vec<FaultEvent>> = vec![Vec::new(); shards];
+        for ev in plan.events() {
+            if ev.shard < shards {
+                events[ev.shard].push(*ev);
+            }
+        }
+        for list in &mut events {
+            list.sort_by_key(|e| e.at);
+        }
+        Self {
+            cursors: (0..shards).map(|_| AtomicUsize::new(0)).collect(),
+            events,
+        }
+    }
+
+    /// The next event due on `shard` at flit-clock `now`, consuming it.
+    pub fn next_due(&self, shard: usize, now: Cycle) -> Option<FaultKind> {
+        let cur = self.cursors[shard].load(Ordering::Relaxed);
+        let ev = self.events[shard].get(cur)?;
+        if ev.at <= now {
+            self.cursors[shard].store(cur + 1, Ordering::Relaxed);
+            Some(ev.kind)
+        } else {
+            None
+        }
+    }
+
+    /// Whether every planned event has fired.
+    pub fn exhausted(&self) -> bool {
+        self.cursors
+            .iter()
+            .zip(&self.events)
+            .all(|(c, e)| c.load(Ordering::Relaxed) >= e.len())
+    }
+}
+
+/// Traffic on a shard's salvage inbox (DESIGN.md §9.2).
+pub(crate) enum SalvageMsg {
+    /// Pre-park request: the dying shard asks its chosen rescue to park
+    /// these flows *before* the FlowMap flips, so no new-epoch arrival
+    /// can be served ahead of the salvaged old-epoch packets (the same
+    /// fence the §8 thief provides by parking before its ack). The
+    /// handler bumps the global ack counter once per message.
+    Park { flows: Vec<usize> },
+    /// A salvaged flow package; the handler parks (idempotent), absorbs
+    /// (old epoch prepends ahead of new, §8.3), and unparks. Delivered
+    /// for *every* re-homed flow, even empty — absorption is also what
+    /// clears any pre-park left behind by an abandoned rescue attempt.
+    Package {
+        /// The re-homed flow.
+        flow: usize,
+        /// Its scheduler-side state.
+        pkg: MigratedFlow,
+    },
+}
+
+/// Fault-tolerance state hung off the runtime's `Shared` block when
+/// `RuntimeConfig::supervision` is set.
+pub(crate) struct FaultRuntime {
+    pub(crate) board: FaultBoard,
+    /// Flow→shard overlay, reused from §8: salvage re-homes flows with
+    /// the same epoch-bump `reroute` a steal uses.
+    pub(crate) map: FlowMap,
+    /// Per-flow submit window (§8.3 fence 2), maintained by `submit`
+    /// exactly as under stealing.
+    pub(crate) window: Vec<AtomicU32>,
+    inboxes: Vec<Mutex<VecDeque<SalvageMsg>>>,
+    /// Cheap hot-path signal that a shard's inbox is non-empty.
+    inbox_flags: Vec<AtomicBool>,
+    /// Bumped once per handled `Park` message. Only one salvage runs at
+    /// a time (the salvage lock), so the waiter reads a private delta.
+    park_acks: AtomicU64,
+    pub(crate) injector: Option<FaultInjector>,
+    /// The global salvage lock (see the module docs): serializes every
+    /// salvage and the `Dead`/`Exited` transitions that race them.
+    salvage: Mutex<()>,
+    pub(crate) config: SupervisionConfig,
+}
+
+impl FaultRuntime {
+    pub(crate) fn new(
+        n_flows: usize,
+        shards: usize,
+        config: SupervisionConfig,
+        injector: Option<FaultInjector>,
+    ) -> Self {
+        Self {
+            board: FaultBoard::new(shards),
+            map: FlowMap::new(n_flows, shards),
+            window: (0..n_flows).map(|_| AtomicU32::new(0)).collect(),
+            inboxes: (0..shards).map(|_| Mutex::new(VecDeque::new())).collect(),
+            inbox_flags: (0..shards).map(|_| AtomicBool::new(false)).collect(),
+            park_acks: AtomicU64::new(0),
+            injector,
+            salvage: Mutex::new(()),
+            config,
+        }
+    }
+
+    /// Pushes messages to `shard`'s inbox and raises its flag.
+    fn post(&self, shard: usize, msgs: impl IntoIterator<Item = SalvageMsg>) {
+        let mut inbox = lock_unpoisoned(&self.inboxes[shard]);
+        inbox.extend(msgs);
+        self.inbox_flags[shard].store(true, Ordering::Release);
+    }
+
+    /// The rescue candidate: the first `Running` shard after `from` in
+    /// ring order, skipping `exclude` (candidates that timed out).
+    fn next_alive(&self, from: usize, exclude: &[usize]) -> Option<usize> {
+        let n = self.board.shards();
+        (1..=n)
+            .map(|d| (from + d) % n)
+            .find(|&s| !exclude.contains(&s) && self.board.health(s) == ShardHealth::Running)
+    }
+}
+
+/// Link-parking context the buffered worker lends to [`fault_tick`] so
+/// salvage parks/unparks compose with per-link credit parking (§9.3):
+///
+/// * a pre-park on behalf of a pending salvage is recorded in
+///   `salvage_parked`, and the worker's link-unstick sweep must skip
+///   such flows — credits returning must not let new-epoch arrivals be
+///   served ahead of the package in flight;
+/// * conversely, package absorption must *not* unpark a flow whose
+///   link is currently credit-parked, or the one-stash-per-link
+///   invariant breaks.
+pub(crate) struct BufferedFaultCtx<'a> {
+    pub(crate) links: &'a LinkSet,
+    pub(crate) link_parked: &'a [bool],
+    pub(crate) salvage_parked: &'a mut [bool],
+}
+
+/// Per-loop fault hook, called by both worker loops at the intake
+/// boundary: beat the heartbeat, absorb salvage traffic, honor a
+/// quarantine (by panicking into the salvage path), and fire due
+/// injected events. `ctx` is `None` under sync egress, where `KillLink`
+/// events are ignored and no link parking exists to compose with.
+pub(crate) fn fault_tick(
+    shared: &Shared,
+    shard: usize,
+    scheduler: &mut Box<dyn Scheduler + Send>,
+    now: Cycle,
+    mut ctx: Option<BufferedFaultCtx<'_>>,
+) {
+    let Some(fr) = shared.fault.as_ref() else {
+        return;
+    };
+    fr.board.beat(shard);
+    if fr.inbox_flags[shard].load(Ordering::Acquire) {
+        drain_inbox(fr, shard, scheduler, &mut ctx);
+    }
+    if fr.board.health(shard) == ShardHealth::Quarantined {
+        panic!("shard {shard}: quarantine honored (heartbeat stalled past deadline)");
+    }
+    if let Some(inj) = fr.injector.as_ref() {
+        while let Some(kind) = inj.next_due(shard, now) {
+            match kind {
+                FaultKind::PanicShard => {
+                    panic!("shard {shard}: injected panic at cycle {now} (FaultPlan)")
+                }
+                FaultKind::StickShard => stick(shared, fr, shard),
+                FaultKind::KillLink(link) => {
+                    if let Some(c) = ctx.as_ref() {
+                        if link < c.links.n_links() {
+                            c.links.declare_dead(link);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Handles everything queued on `shard`'s salvage inbox.
+fn drain_inbox(
+    fr: &FaultRuntime,
+    shard: usize,
+    scheduler: &mut Box<dyn Scheduler + Send>,
+    ctx: &mut Option<BufferedFaultCtx<'_>>,
+) {
+    let msgs: Vec<SalvageMsg> = {
+        let mut inbox = lock_unpoisoned(&fr.inboxes[shard]);
+        fr.inbox_flags[shard].store(false, Ordering::Release);
+        inbox.drain(..).collect()
+    };
+    for msg in msgs {
+        match msg {
+            SalvageMsg::Park { flows } => {
+                for flow in flows {
+                    let _ = scheduler.park_flow(flow);
+                    if let Some(c) = ctx.as_mut() {
+                        if let Some(slot) = c.salvage_parked.get_mut(flow) {
+                            *slot = true;
+                        }
+                    }
+                }
+                fr.park_acks.fetch_add(1, Ordering::SeqCst);
+            }
+            SalvageMsg::Package { flow, pkg } => {
+                let _ = scheduler.park_flow(flow);
+                let absorbed = scheduler.absorb_flow(flow, pkg);
+                debug_assert!(absorbed, "salvage target failed to absorb flow {flow}");
+                // The flow is home; it only resumes service if its link
+                // has credits — a credit-parked link keeps it parked
+                // and the unstick sweep releases it with the rest.
+                let keep_parked = match ctx.as_mut() {
+                    Some(c) => {
+                        if let Some(slot) = c.salvage_parked.get_mut(flow) {
+                            *slot = false;
+                        }
+                        c.link_parked[c.links.route(flow)]
+                    }
+                    None => false,
+                };
+                if !keep_parked {
+                    scheduler.unpark_flow(flow);
+                }
+            }
+        }
+    }
+}
+
+/// The injected wedge: spin without beating until the supervisor
+/// quarantines this shard (or the runtime aborts), then panic into the
+/// salvage path — modelling a wedge that a watchdog kill eventually
+/// reaches (DESIGN.md §9.2).
+fn stick(shared: &Shared, fr: &FaultRuntime, shard: usize) {
+    loop {
+        if fr.board.health(shard) == ShardHealth::Quarantined {
+            panic!("shard {shard}: quarantine honored (injected wedge)");
+        }
+        if shared.abort.load(Ordering::Acquire) {
+            panic!("shard {shard}: injected wedge aborted by shutdown");
+        }
+        std::thread::park_timeout(Duration::from_micros(200));
+    }
+}
+
+/// An empty package: what an untouched flow's state looks like.
+fn empty_package() -> MigratedFlow {
+    MigratedFlow {
+        packets: VecDeque::new(),
+        surplus: 0,
+        resume: None,
+    }
+}
+
+/// Strips a mid-packet cursor from an extracted package, counting its
+/// unserved remainder as lost and revoking the packet's admission
+/// charge: its head flits already left on the dead shard's link, and
+/// replaying the tail elsewhere would corrupt the wormhole (§9.2).
+fn strip_cursor(
+    stats: &ShardStats,
+    admission: &AdmissionController,
+    flow: usize,
+    pkg: &mut MigratedFlow,
+) {
+    if let Some(cursor) = pkg.resume.take().and_then(|v| v.cursor) {
+        stats.lost_packets.add(1);
+        stats
+            .lost_flits
+            .add((cursor.packet.len - cursor.next_flit) as u64);
+        admission.revoke(flow, cursor.packet.len);
+    }
+}
+
+/// FIFO-merges `pkg` behind whatever `slot` already holds (older
+/// material merges first: forwarded inbox packages, then the local
+/// extraction, then the ring drain).
+fn merge_package(slot: &mut Option<MigratedFlow>, mut pkg: MigratedFlow) {
+    debug_assert!(pkg.resume.is_none(), "cursor must be stripped before merge");
+    match slot {
+        None => *slot = Some(pkg),
+        Some(base) => {
+            base.packets.append(&mut pkg.packets);
+            base.surplus += pkg.surplus;
+        }
+    }
+}
+
+/// Counts one packet as lost and releases its admission charge.
+fn lose_packet(stats: &ShardStats, admission: &AdmissionController, flow: usize, len: u32) {
+    stats.lost_packets.add(1);
+    stats.lost_flits.add(len as u64);
+    admission.revoke(flow, len);
+}
+
+/// Salvage, run on the dying worker's own thread after its
+/// `catch_unwind` caught the panic (DESIGN.md §9.2): mark `Dead`,
+/// re-home every flow the map puts here (pre-parking them at the
+/// rescue), drain the dead ingress ring, deliver the packages, and
+/// account every packet as salvaged or lost.
+pub(crate) fn salvage_shard(
+    shared: &Shared,
+    shard: usize,
+    scheduler: &mut Box<dyn Scheduler + Send>,
+) {
+    let Some(fr) = shared.fault.as_ref() else {
+        return;
+    };
+    let _guard = lock_unpoisoned(&fr.salvage);
+    // Dead before anything else: producers spinning on this shard's
+    // full ring observe it and re-route once the map flips below, and
+    // other salvages stop considering this shard a rescue.
+    fr.board.set_health(shard, ShardHealth::Dead);
+    fr.board.stamp_death(shard);
+    let stats = &shared.stats[shard];
+
+    // Our own inbox first: forwarded packages from an earlier death sit
+    // here unabsorbed. Stale pre-park requests die with us — their
+    // salvager already timed out and moved on.
+    let pending: Vec<SalvageMsg> = {
+        let mut inbox = lock_unpoisoned(&fr.inboxes[shard]);
+        fr.inbox_flags[shard].store(false, Ordering::Release);
+        inbox.drain(..).collect()
+    };
+    let n_flows = fr.map.n_flows();
+    let mut packages: Vec<Option<MigratedFlow>> = (0..n_flows).map(|_| None).collect();
+    for msg in pending {
+        if let SalvageMsg::Package { flow, pkg } = msg {
+            merge_package(&mut packages[flow], pkg);
+        }
+    }
+
+    let owned: Vec<usize> = (0..n_flows)
+        .filter(|&f| fr.map.shard_of(f) == Some(shard))
+        .collect();
+
+    // Choose a rescue and pre-park the flows there (the §8 thief-side
+    // fence). A candidate that does not ack within the heartbeat
+    // deadline is itself dying, wedged, or blocked — move on.
+    let mut excluded = vec![shard];
+    let rescue = loop {
+        let Some(candidate) = fr.next_alive(shard, &excluded) else {
+            break None;
+        };
+        let base = fr.park_acks.load(Ordering::SeqCst);
+        fr.post(
+            candidate,
+            [SalvageMsg::Park {
+                flows: owned.clone(),
+            }],
+        );
+        let deadline = Instant::now() + fr.config.heartbeat_deadline;
+        let acked = loop {
+            if fr.park_acks.load(Ordering::SeqCst) > base {
+                break true;
+            }
+            if fr.board.health(candidate) != ShardHealth::Running
+                || shared.abort.load(Ordering::Acquire)
+                || Instant::now() >= deadline
+            {
+                break false;
+            }
+            std::thread::yield_now();
+        };
+        if acked {
+            break Some(candidate);
+        }
+        if shared.abort.load(Ordering::Acquire) {
+            break None;
+        }
+        excluded.push(candidate);
+    };
+
+    // Extract scheduler state and drain the ring into the packages.
+    // With a rescue, the map flips *first* and the submit windows are
+    // waited out, so the ring drain covers every old-epoch push (§8.3).
+    if let Some(r) = rescue {
+        for &flow in &owned {
+            fr.map.reroute(flow, r);
+        }
+        for &flow in &owned {
+            while fr.window[flow].load(Ordering::SeqCst) != 0 {
+                std::thread::yield_now();
+            }
+        }
+    }
+    for &flow in &owned {
+        let _ = scheduler.park_flow(flow);
+        if let Some(mut pkg) = scheduler.extract_flow(flow) {
+            strip_cursor(stats, &shared.admission, flow, &mut pkg);
+            merge_package(&mut packages[flow], pkg);
+        }
+    }
+    while let Some(pkt) = shared.rings[shard].pop() {
+        packages[pkt.flow]
+            .get_or_insert_with(empty_package)
+            .packets
+            .push_back(pkt);
+    }
+
+    match rescue {
+        Some(r) => {
+            // Deliver a package for every re-homed flow — even an empty
+            // one, since absorption is what unparks the pre-park — and
+            // account the contents as salvaged at this (dying) shard.
+            let msgs: Vec<SalvageMsg> = owned
+                .iter()
+                .map(|&flow| {
+                    let pkg = packages[flow].take().unwrap_or_else(empty_package);
+                    stats.salvaged_packets.add(pkg.packets.len() as u64);
+                    stats.salvaged_flits.add(pkg.flits());
+                    SalvageMsg::Package { flow, pkg }
+                })
+                .collect();
+            fr.post(r, msgs);
+        }
+        None => {
+            // Total failure: no live rescuer (every shard dead, or the
+            // shutdown abort fired mid-salvage). Close the runtime
+            // *first* so producers fail fast, then quiesce *all*
+            // in-flight submits — not just the windowed ones: a
+            // producer past admission but before the window can still
+            // land a push in our ring (the map never flipped), and the
+            // ledger would leak it. Every submit path re-checks
+            // `closed` on its blocking loops, so `in_flight` drains
+            // promptly. Then re-drain, count everything lost, and
+            // revoke the charges — an honest shutdown, not a hang
+            // (§9.2).
+            shared.closed.store(true, Ordering::SeqCst);
+            while !shared.can_finish() {
+                std::thread::yield_now();
+            }
+            while let Some(pkt) = shared.rings[shard].pop() {
+                packages[pkt.flow]
+                    .get_or_insert_with(empty_package)
+                    .packets
+                    .push_back(pkt);
+            }
+            for (flow, slot) in packages.iter_mut().enumerate() {
+                if let Some(pkg) = slot.take() {
+                    for p in &pkg.packets {
+                        lose_packet(stats, &shared.admission, flow, p.len);
+                    }
+                }
+            }
+        }
+    }
+    fr.board.stamp_recovery(shard);
+    stats.backlog_flits.set(0);
+}
+
+/// Final exit gate for a supervised worker that has drained: refuses if
+/// salvage traffic is (or is about to be) queued, otherwise transitions
+/// to `Exited` under the salvage lock so no salvager can pick this
+/// shard as a rescue afterwards. Uses `try_lock` — a worker blocked
+/// here could not beat, and the supervisor would quarantine it.
+pub(crate) fn try_exit(shared: &Shared, shard: usize) -> bool {
+    let Some(fr) = shared.fault.as_ref() else {
+        return true;
+    };
+    if fr.inbox_flags[shard].load(Ordering::SeqCst) {
+        return false;
+    }
+    let _guard = match fr.salvage.try_lock() {
+        Ok(g) => g,
+        Err(TryLockError::Poisoned(e)) => e.into_inner(),
+        Err(TryLockError::WouldBlock) => return false,
+    };
+    if fr.inbox_flags[shard].load(Ordering::SeqCst) {
+        return false;
+    }
+    fr.board.set_health(shard, ShardHealth::Exited);
+    true
+}
+
+/// Forced-shutdown residue accounting (DESIGN.md §9.4): when the abort
+/// flag fires, a worker stops serving and counts its residual state —
+/// ring contents and extracted flow packages — as lost, with admission
+/// charges revoked. Exact for migratable disciplines; others can only
+/// report an aggregate flit count (the report's `forced` flag marks the
+/// accounting as lossy).
+pub(crate) fn abort_residuals(
+    shared: &Shared,
+    shard: usize,
+    n_flows: usize,
+    scheduler: &mut Box<dyn Scheduler + Send>,
+) {
+    let stats = &shared.stats[shard];
+    while let Some(pkt) = shared.rings[shard].pop() {
+        lose_packet(stats, &shared.admission, pkt.flow, pkt.len);
+    }
+    if scheduler.supports_migration() {
+        for flow in 0..n_flows {
+            let _ = scheduler.park_flow(flow);
+            if let Some(pkg) = scheduler.extract_flow(flow) {
+                if let Some(cursor) = pkg.resume.and_then(|v| v.cursor) {
+                    stats.lost_packets.add(1);
+                    stats
+                        .lost_flits
+                        .add((cursor.packet.len - cursor.next_flit) as u64);
+                    shared.admission.revoke(flow, cursor.packet.len);
+                }
+                for p in &pkg.packets {
+                    lose_packet(stats, &shared.admission, flow, p.len);
+                }
+            }
+        }
+    } else {
+        stats.lost_flits.add(scheduler.backlog_flits());
+    }
+    stats.backlog_flits.set(0);
+    if let Some(fr) = shared.fault.as_ref() {
+        let _guard = lock_unpoisoned(&fr.salvage);
+        // Packages that raced the abort into our inbox are lost too.
+        let pending: Vec<SalvageMsg> = {
+            let mut inbox = lock_unpoisoned(&fr.inboxes[shard]);
+            fr.inbox_flags[shard].store(false, Ordering::Release);
+            inbox.drain(..).collect()
+        };
+        for msg in pending {
+            if let SalvageMsg::Package { flow, pkg } = msg {
+                for p in &pkg.packets {
+                    lose_packet(stats, &shared.admission, flow, p.len);
+                }
+            }
+        }
+        fr.board.set_health(shard, ShardHealth::Exited);
+    }
+}
+
+/// The supervisor loop (DESIGN.md §9.1): every `poll`, quarantine any
+/// `Running` shard whose heartbeat has not advanced for
+/// `heartbeat_deadline`. Never touches a scheduler — quarantine is a
+/// flag the worker's own fault hook honors.
+pub(crate) fn run_supervisor(shared: Arc<Shared>, stop: Arc<AtomicBool>) {
+    let Some(fr) = shared.fault.as_ref() else {
+        return;
+    };
+    let shards = fr.board.shards();
+    let mut last_beat: Vec<u64> = (0..shards).map(|s| fr.board.heartbeat(s)).collect();
+    let mut last_change: Vec<Instant> = vec![Instant::now(); shards];
+    while !stop.load(Ordering::Acquire) {
+        std::thread::sleep(fr.config.poll);
+        for s in 0..shards {
+            let beat = fr.board.heartbeat(s);
+            if beat != last_beat[s] {
+                last_beat[s] = beat;
+                last_change[s] = Instant::now();
+            } else if fr.board.health(s) == ShardHealth::Running
+                && last_change[s].elapsed() >= fr.config.heartbeat_deadline
+            {
+                fr.board.quarantine(s);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn board_transitions_and_stamps() {
+        let b = FaultBoard::new(2);
+        assert_eq!(b.shards(), 2);
+        assert_eq!(b.health(0), ShardHealth::Running);
+        assert_eq!(b.death_micros(0), None);
+        assert!(b.quarantine(0), "Running → Quarantined");
+        assert_eq!(b.health(0), ShardHealth::Quarantined);
+        assert!(!b.quarantine(0), "CAS only fires from Running");
+        b.set_health(0, ShardHealth::Dead);
+        b.stamp_death(0);
+        b.stamp_recovery(0);
+        let (d, r) = (b.death_micros(0).unwrap(), b.recovery_micros(0).unwrap());
+        assert!(r >= d, "recovery postdates death");
+        assert_eq!(b.recovery_micros(1), None);
+        b.beat(1);
+        b.beat(1);
+        assert_eq!(b.heartbeat(1), 2);
+        assert_eq!(b.heartbeat(0), 0);
+    }
+
+    #[test]
+    fn plan_builders_compile_sorted_per_shard() {
+        let plan = FaultPlan::new()
+            .kill_shard_at(1, 500)
+            .stick_shard_at(0, 100)
+            .kill_link_at(1, 3, 200)
+            .kill_shard_at(7, 10); // out of range, dropped by compile
+        assert_eq!(plan.events().len(), 4);
+        let inj = FaultInjector::new(&plan, 2);
+        assert_eq!(inj.next_due(0, 99), None, "not due yet");
+        assert_eq!(inj.next_due(0, 100), Some(FaultKind::StickShard));
+        assert_eq!(inj.next_due(0, 100_000), None, "consumed");
+        // Shard 1's two events fire in `at` order regardless of
+        // insertion order, both due at once.
+        assert_eq!(inj.next_due(1, 1_000), Some(FaultKind::KillLink(3)));
+        assert_eq!(inj.next_due(1, 1_000), Some(FaultKind::PanicShard));
+        assert!(inj.exhausted());
+    }
+
+    #[test]
+    fn from_rng_is_deterministic_and_bounded() {
+        let rng = SimRng::new(42);
+        let a = FaultPlan::from_rng(&rng, 8, 4, 0.001, 10_000);
+        let b = FaultPlan::from_rng(&rng, 8, 4, 0.001, 10_000);
+        assert_eq!(a.events(), b.events(), "same seed, same plan");
+        for ev in a.events() {
+            assert!(ev.shard < 8);
+            assert!(ev.at <= 10_000, "events land inside the horizon");
+            if let FaultKind::KillLink(l) = ev.kind {
+                assert!(l < 4);
+            }
+        }
+        // A wider horizon with certain rate faults every shard.
+        let all = FaultPlan::from_rng(&rng, 4, 2, 1.0, 10);
+        assert_eq!(all.events().len(), 4);
+        // Different seeds diverge (overwhelmingly likely with 8 shards).
+        let c = FaultPlan::from_rng(&SimRng::new(43), 8, 4, 1.0, 10_000);
+        assert_ne!(a.events(), c.events());
+    }
+
+    #[test]
+    fn empty_plan_and_injector_are_inert() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_empty());
+        let inj = FaultInjector::new(&plan, 4);
+        assert!(inj.exhausted());
+        assert_eq!(inj.next_due(0, u64::MAX), None);
+    }
+}

@@ -23,6 +23,11 @@ pub enum SubmitError {
     Closed,
     /// The flow is over its admission cap under the reject policy.
     Rejected,
+    /// A [`submit_within`](RuntimeHandle::submit_within) deadline
+    /// expired while waiting (backpressure or ring space); the packet
+    /// never entered a ring and its admission charge, if any, was
+    /// revoked (DESIGN.md §9.4).
+    TimedOut,
 }
 
 impl std::fmt::Display for SubmitError {
@@ -30,6 +35,7 @@ impl std::fmt::Display for SubmitError {
         match self {
             SubmitError::Closed => write!(f, "runtime is draining; admission closed"),
             SubmitError::Rejected => write!(f, "flow over admission cap"),
+            SubmitError::TimedOut => write!(f, "submit deadline expired while waiting"),
         }
     }
 }
@@ -63,8 +69,14 @@ pub(crate) struct Shared {
     /// Work-stealing state (`RuntimeConfig::stealing`); `None` keeps
     /// the static partition and a migration-free submit path.
     pub(crate) steal: Option<crate::migrate::StealRuntime>,
+    /// Fault-tolerance state (`RuntimeConfig::supervision`); mutually
+    /// exclusive with `steal` (DESIGN.md §9.2).
+    pub(crate) fault: Option<crate::fault::FaultRuntime>,
     /// Set by `shutdown()`: submits fail, workers drain then exit.
     pub(crate) closed: AtomicBool,
+    /// Forced-shutdown flag (DESIGN.md §9.4): workers stop serving and
+    /// count their residual state lost.
+    pub(crate) abort: AtomicBool,
     /// Producers currently inside `submit` that have already passed the
     /// closed check. Workers may only take their *final* look at the
     /// ingress rings once this is zero — otherwise a producer that
@@ -87,7 +99,25 @@ impl Shared {
                 return shard;
             }
         }
+        if let Some(fr) = &self.fault {
+            if let Some(shard) = fr.map.shard_of(flow) {
+                return shard;
+            }
+        }
         (mix_flow(flow) % self.rings.len() as u64) as usize
+    }
+
+    /// The per-flow submit-window counter, if any overlay (stealing or
+    /// fault) maintains one for `flow`.
+    #[inline]
+    pub(crate) fn flow_window(&self, flow: usize) -> Option<&std::sync::atomic::AtomicU32> {
+        if let Some(st) = &self.steal {
+            return st.window.get(flow);
+        }
+        if let Some(fr) = &self.fault {
+            return fr.window.get(flow);
+        }
+        None
     }
 
     pub(crate) fn is_closed(&self) -> bool {
@@ -136,6 +166,27 @@ impl RuntimeHandle {
     /// every policy) the call spins/yields until there is room, so it
     /// may block the producer — that is the point of backpressure.
     pub fn submit(&self, pkt: Packet) -> Result<Submitted, SubmitError> {
+        self.submit_inner(pkt, None)
+    }
+
+    /// Like [`submit`](Self::submit), but any wait — the backpressure
+    /// spin or a full ingress ring — gives up when `timeout` elapses,
+    /// returning [`SubmitError::TimedOut`] with the packet's admission
+    /// charge revoked and the attempt counted in `timedout_packets`
+    /// (DESIGN.md §9.4). A zero timeout makes the call non-blocking.
+    pub fn submit_within(
+        &self,
+        pkt: Packet,
+        timeout: std::time::Duration,
+    ) -> Result<Submitted, SubmitError> {
+        self.submit_inner(pkt, Some(std::time::Instant::now() + timeout))
+    }
+
+    fn submit_inner(
+        &self,
+        pkt: Packet,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<Submitted, SubmitError> {
         let shared = &*self.shared;
         // Announce the in-flight submit *before* the closed check (the
         // Dekker pairing with `Shared::can_finish`): once a worker has
@@ -169,49 +220,73 @@ impl RuntimeHandle {
                     if shared.is_closed() {
                         return Err(SubmitError::Closed);
                     }
+                    if let Some(d) = deadline {
+                        if std::time::Instant::now() >= d {
+                            stats.timedout_packets.add(1);
+                            return Err(SubmitError::TimedOut);
+                        }
+                    }
                     std::thread::yield_now();
                 }
+                // `try_admit` never produces this verdict; the submit
+                // layer reclassifies an over-deadline `Wait` itself.
+                AdmitDecision::TimedOut => unreachable!("admission does not track deadlines"),
             }
         }
         // Route-and-push, bracketed by the per-flow submit window when
-        // stealing is on (DESIGN.md §8.3 fence 2): window += 1 → read
-        // FlowMap → push → window −= 1 (via the guard's Drop, on every
-        // exit path). The SeqCst pairing with the donor's map flip and
-        // window check guarantees the donor's drain target covers every
-        // old-epoch push.
-        let _window = shared
-            .steal
-            .as_ref()
-            .filter(|st| pkt.flow < st.map.n_flows())
-            .map(|st| crate::migrate::WindowGuard::enter(st, pkt.flow));
-        let shard = shared.shard_of(pkt.flow);
-        let stats = &shared.stats[shard];
-        // Ring push: one CAS. Full ring means the shard is behind; wait
-        // for space (drop-tail drops instead, shedding at the ring too).
-        let ring = &shared.rings[shard];
-        loop {
-            match ring.push(pkt) {
-                Ok(()) => {
-                    stats.enqueued_packets.add(1);
-                    stats.enqueued_flits.add(pkt.len as u64);
-                    return Ok(Submitted::Enqueued);
-                }
-                Err(crate::channel::RingFull) => {
-                    if matches!(
-                        shared.admission.policy(),
-                        crate::admission::AdmissionPolicy::DropTail { .. }
-                    ) {
-                        shared.admission.revoke(pkt.flow, pkt.len);
-                        stats.dropped_packets.add(1);
-                        stats.dropped_flits.add(pkt.len as u64);
-                        return Ok(Submitted::Dropped);
+        // an overlay (stealing or fault) is on (DESIGN.md §8.3 fence 2):
+        // window += 1 → read FlowMap → push → window −= 1 (via the
+        // guard's Drop, on every exit path). The SeqCst pairing with the
+        // map flip and window check guarantees a drain target covers
+        // every old-epoch push. The outer loop re-routes when the target
+        // shard turns out to be dead (§9.2): drop the window, re-read
+        // the map — the salvage is flipping it.
+        'route: loop {
+            let _window = shared
+                .flow_window(pkt.flow)
+                .map(crate::migrate::WindowGuard::enter_counter);
+            let shard = shared.shard_of(pkt.flow);
+            let stats = &shared.stats[shard];
+            // Ring push: one CAS. Full ring means the shard is behind;
+            // wait for space (drop-tail drops instead, shedding at the
+            // ring too).
+            let ring = &shared.rings[shard];
+            loop {
+                match ring.push(pkt) {
+                    Ok(()) => {
+                        stats.enqueued_packets.add(1);
+                        stats.enqueued_flits.add(pkt.len as u64);
+                        return Ok(Submitted::Enqueued);
                     }
-                    if shared.is_closed() {
-                        shared.admission.revoke(pkt.flow, pkt.len);
-                        return Err(SubmitError::Closed);
+                    Err(crate::channel::RingFull) => {
+                        if matches!(
+                            shared.admission.policy(),
+                            crate::admission::AdmissionPolicy::DropTail { .. }
+                        ) {
+                            shared.admission.revoke(pkt.flow, pkt.len);
+                            stats.dropped_packets.add(1);
+                            stats.dropped_flits.add(pkt.len as u64);
+                            return Ok(Submitted::Dropped);
+                        }
+                        if shared.is_closed() {
+                            shared.admission.revoke(pkt.flow, pkt.len);
+                            return Err(SubmitError::Closed);
+                        }
+                        if let Some(fr) = shared.fault.as_ref() {
+                            if fr.board.health(shard) == crate::fault::ShardHealth::Dead {
+                                continue 'route;
+                            }
+                        }
+                        if let Some(d) = deadline {
+                            if std::time::Instant::now() >= d {
+                                shared.admission.revoke(pkt.flow, pkt.len);
+                                stats.timedout_packets.add(1);
+                                return Err(SubmitError::TimedOut);
+                            }
+                        }
+                        // `Packet` is `Copy`; retry with the same value.
+                        std::thread::yield_now();
                     }
-                    // `Packet` is `Copy`; retry with the same value.
-                    std::thread::yield_now();
                 }
             }
         }

@@ -41,6 +41,13 @@
 //!   threads, per-link credit flow control, and flow parking so a
 //!   stalled downstream freezes only its own flows — the regime the
 //!   paper's stalled-wormhole argument is about.
+//! * [`fault`] adds the failure half of that story (DESIGN.md §9):
+//!   supervised workers that salvage their flows when they panic, a
+//!   heartbeat supervisor that quarantines wedged shards, dead-link
+//!   failover in the egress stage, bounded shutdown
+//!   ([`Runtime::shutdown_within`]) and submit
+//!   ([`RuntimeHandle::submit_within`]), and a seeded [`FaultPlan`]
+//!   chaos harness that replays shard and link deaths deterministically.
 //!
 //! # Quick example
 //!
@@ -66,6 +73,7 @@
 pub mod admission;
 pub mod channel;
 pub mod drain;
+pub mod fault;
 pub mod ingress;
 pub mod migrate;
 pub mod shard;
@@ -74,19 +82,22 @@ pub mod stats;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use err_egress::{spsc_ring, FlusherCore, LinkSet, ShardEgressStats, StallInjector};
 use err_sched::{Discipline, ServedFlit};
 
 pub use admission::{AdmissionController, AdmissionPolicy, AdmitDecision};
-pub use drain::DrainReport;
+pub use drain::{DrainReport, ShardExit};
 pub use err_egress::{
-    BufferedConfig, Egress, EgressController, EgressSnapshot, StallPlan, StallWindow,
+    BufferedConfig, DeadLinkPolicy, Egress, EgressController, EgressSnapshot, LinkState,
+    SharedEgress, StallPlan, StallWindow,
+};
+pub use fault::{
+    FaultBoard, FaultEvent, FaultInjector, FaultKind, FaultPlan, ShardHealth, SupervisionConfig,
 };
 pub use ingress::{RuntimeHandle, SubmitError, Submitted};
 pub use migrate::{FlowMap, LoadBoard, MigrationPhase, MigrationSlot, StealingConfig};
-#[allow(deprecated)]
-pub use shard::EgressSink;
 pub use stats::{RuntimeStats, ShardSnapshot};
 
 use admission::AdmissionController as Controller;
@@ -143,6 +154,15 @@ pub struct RuntimeConfig {
     /// with `supports_migration()` (ERR/WERR) — `Runtime::start`
     /// asserts both.
     pub stealing: Option<StealingConfig>,
+    /// Shard supervision and panic salvage (DESIGN.md §9). Requires a
+    /// discipline with extract/absorb support (ERR/WERR) and is
+    /// mutually exclusive with `stealing` — both overlays would need
+    /// one FlowMap; composing them is future work. `Runtime::start`
+    /// asserts both conditions.
+    pub supervision: Option<SupervisionConfig>,
+    /// Deterministic fault injection (DESIGN.md §9.5); events fire on
+    /// each shard's flit clock. Requires `supervision`.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for RuntimeConfig {
@@ -157,6 +177,8 @@ impl Default for RuntimeConfig {
             admission: AdmissionPolicy::Unlimited,
             egress: EgressMode::Sync,
             stealing: None,
+            supervision: None,
+            fault_plan: None,
         }
     }
 }
@@ -173,8 +195,15 @@ pub struct Runtime {
     /// Tells the flushers the workers are gone and everything buffered
     /// may be final-delivered. Set strictly after the workers join.
     egress_closed: Arc<AtomicBool>,
+    /// Supervisor thread and its stop flag (`RuntimeConfig::supervision`).
+    supervisor: Option<(Arc<AtomicBool>, JoinHandle<()>)>,
     drained: AtomicBool,
 }
+
+/// Interval at which the deadline drain polls worker exits
+/// (DESIGN.md §9.4: `shutdown_within` returns within the deadline plus
+/// at most one of these).
+const DRAIN_POLL: Duration = Duration::from_millis(1);
 
 impl Runtime {
     /// Starts the runtime: spawns one worker per shard, each owning a
@@ -215,6 +244,28 @@ impl Runtime {
             );
             migrate::StealRuntime::new(config.n_flows, config.shards, sc)
         });
+        let fault = config.supervision.map(|sup| {
+            assert!(
+                config.stealing.is_none(),
+                "supervision is mutually exclusive with work stealing \
+                 (DESIGN.md §9.2: both overlays would need one FlowMap)"
+            );
+            assert!(
+                config.discipline.build(1).supports_migration(),
+                "supervision requires a discipline with extract/absorb \
+                 support (ERR or WERR), got {:?}",
+                config.discipline
+            );
+            let injector = config
+                .fault_plan
+                .as_ref()
+                .map(|p| fault::FaultInjector::new(p, config.shards));
+            fault::FaultRuntime::new(config.n_flows, config.shards, sup, injector)
+        });
+        assert!(
+            config.fault_plan.is_none() || fault.is_some(),
+            "a FaultPlan requires supervision (RuntimeConfig::supervision)"
+        );
         let shared = Arc::new(Shared {
             rings: (0..config.shards)
                 .map(|_| MpscRing::with_capacity(config.ring_capacity))
@@ -222,8 +273,20 @@ impl Runtime {
             stats: (0..config.shards).map(|_| ShardStats::default()).collect(),
             admission: Controller::new(config.admission, config.n_flows),
             steal,
+            fault,
             closed: AtomicBool::new(false),
+            abort: AtomicBool::new(false),
             in_flight: std::sync::atomic::AtomicU64::new(0),
+        });
+        let supervisor = shared.fault.as_ref().map(|_| {
+            let stop = Arc::new(AtomicBool::new(false));
+            let shared = Arc::clone(&shared);
+            let stop2 = Arc::clone(&stop);
+            let handle = std::thread::Builder::new()
+                .name("err-supervisor".into())
+                .spawn(move || fault::run_supervisor(shared, stop2))
+                .expect("spawning supervisor");
+            (stop, handle)
         });
         let egress_closed = Arc::new(AtomicBool::new(false));
         let mut workers = Vec::with_capacity(config.shards);
@@ -246,7 +309,12 @@ impl Runtime {
                 }
             }
             EgressMode::Buffered(bc) => {
-                let links = Arc::new(LinkSet::new(bc.n_links, bc.credits));
+                let links = Arc::new(LinkSet::with_fault_policy(
+                    bc.n_links,
+                    bc.credits,
+                    bc.dead_link_deadline,
+                    bc.dead_link_policy,
+                ));
                 let injector = bc
                     .stall_plan
                     .as_ref()
@@ -301,6 +369,7 @@ impl Runtime {
                 flushers,
                 egress: controller,
                 egress_closed,
+                supervisor,
                 drained: AtomicBool::new(false),
             },
             handle,
@@ -332,12 +401,32 @@ impl Runtime {
 
     /// Gracefully drains and stops the runtime: closes admission, lets
     /// every shard serve its residual backlog to completion, joins all
-    /// workers in shard order, and returns the final accounting.
+    /// workers in shard order, and returns the final accounting. Worker
+    /// panics are reported in [`DrainReport::exits`], never re-thrown.
     pub fn shutdown(mut self) -> DrainReport {
-        self.drain()
+        self.drain_within(None)
     }
 
-    fn drain(&mut self) -> DrainReport {
+    /// Bounded shutdown (DESIGN.md §9.4): the three-rung ladder
+    /// *graceful drain → forced abort → abandon*. The runtime drains
+    /// gracefully until the deadline minus a small grace budget, then
+    /// raises the abort flag (workers stop serving and count residuals
+    /// lost, [`DrainReport::forced`]), and any worker still running at
+    /// the deadline is left behind as [`ShardExit::Abandoned`]. Returns
+    /// within `deadline` plus at most one drain poll (~1 ms) under any
+    /// fault pattern — the call that must come back even when links or
+    /// shards never will.
+    pub fn shutdown_within(mut self, deadline: Duration) -> DrainReport {
+        self.drain_within(Some(deadline))
+    }
+
+    /// The fault board, when supervision is enabled: per-shard health,
+    /// heartbeats, and death/recovery timestamps (DESIGN.md §9.1).
+    pub fn fault_board(&self) -> Option<&FaultBoard> {
+        self.shared.fault.as_ref().map(|fr| &fr.board)
+    }
+
+    fn drain_within(&mut self, timeout: Option<Duration>) -> DrainReport {
         self.drained.store(true, Ordering::Relaxed);
         // SeqCst: pairs with the in-flight counter in `submit` (see
         // `Shared::can_finish`) so workers never miss a late producer.
@@ -347,28 +436,107 @@ impl Runtime {
         // flits, credits flow back, and workers can unpark stalled
         // flows and serve out their backlog — without this ordering an
         // indefinitely stalled link would deadlock the join below.
+        // (Dead links are *not* released by draining — §9.3.)
         if let Some(ctrl) = &self.egress {
             ctrl.links().set_draining(true);
         }
-        let mut shard_cycles = Vec::with_capacity(self.workers.len());
-        for (shard, worker) in self.workers.drain(..).enumerate() {
-            // Unpark in case the worker is in an idle park; it would
-            // wake on its own at the park timeout, this just avoids the
-            // last <=100us wait per shard.
-            worker.thread().unpark();
-            let cycles = worker
-                .join()
-                .unwrap_or_else(|_| panic!("shard {shard} worker panicked"));
-            shard_cycles.push(cycles);
+        let start = Instant::now();
+        // Reserve a slice of the budget for the forced-abort rung, so
+        // workers have time to run their residue accounting before the
+        // abandon rung fires.
+        let graceful_deadline = timeout.map(|t| {
+            let grace = (t / 2).min(Duration::from_millis(50));
+            start + (t - grace)
+        });
+        let final_deadline = timeout.map(|t| start + t);
+        let mut forced = false;
+        loop {
+            // Unpark idle workers; they would wake at the park timeout
+            // anyway, this shaves the last <=100us per shard.
+            for worker in &self.workers {
+                worker.thread().unpark();
+            }
+            if self.workers.iter().all(|w| w.is_finished()) {
+                break;
+            }
+            let now = Instant::now();
+            if let Some(g) = graceful_deadline {
+                if !forced && now >= g {
+                    forced = true;
+                    self.shared.abort.store(true, Ordering::SeqCst);
+                }
+            }
+            if let Some(f) = final_deadline {
+                if now >= f {
+                    break;
+                }
+            }
+            if timeout.is_some() {
+                std::thread::sleep(DRAIN_POLL);
+            } else {
+                std::thread::sleep(Duration::from_micros(100));
+            }
         }
-        // Workers are gone: nothing can enter the output rings anymore,
-        // so "closed and empty" is a stable exit condition for the
-        // flushers.
+        let mut shard_cycles = Vec::with_capacity(self.workers.len());
+        let mut exits = Vec::with_capacity(self.workers.len());
+        for (shard, worker) in self.workers.drain(..).enumerate() {
+            if timeout.is_some() && !worker.is_finished() {
+                // Abandon rung: the thread is wedged past the deadline;
+                // detach it and record the hole in the accounting.
+                exits.push(ShardExit::Abandoned);
+                shard_cycles.push(0);
+                drop(worker);
+                continue;
+            }
+            match worker.join() {
+                Ok(cycles) => {
+                    // A supervised worker that panicked returns normally
+                    // after salvage; the board remembers the death.
+                    let died = self
+                        .shared
+                        .fault
+                        .as_ref()
+                        .is_some_and(|fr| fr.board.health(shard) == ShardHealth::Dead);
+                    exits.push(if died {
+                        ShardExit::Panicked
+                    } else {
+                        ShardExit::Clean
+                    });
+                    shard_cycles.push(cycles);
+                }
+                Err(_) => {
+                    exits.push(ShardExit::Panicked);
+                    shard_cycles.push(0);
+                }
+            }
+        }
+        if let Some((stop, handle)) = self.supervisor.take() {
+            stop.store(true, Ordering::Release);
+            let _ = handle.join();
+        }
+        // Workers are gone (or abandoned): the flushers may final-
+        // deliver everything buffered. "Closed and empty" is a stable
+        // exit condition for them; dead-held flits dead-letter on the
+        // way out (§9.3).
         self.egress_closed.store(true, Ordering::SeqCst);
-        for (shard, flusher) in self.flushers.drain(..).enumerate() {
-            flusher
-                .join()
-                .unwrap_or_else(|_| panic!("flusher {shard} panicked"));
+        let mut flusher_exits = Vec::with_capacity(self.flushers.len());
+        for flusher in self.flushers.drain(..) {
+            if let Some(f) = final_deadline {
+                // Keep the deadline promise even against a wedged
+                // flusher (it normally exits within microseconds here).
+                while !flusher.is_finished() && Instant::now() < f + DRAIN_POLL {
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+                if !flusher.is_finished() {
+                    flusher_exits.push(ShardExit::Abandoned);
+                    drop(flusher);
+                    continue;
+                }
+            }
+            flusher_exits.push(match flusher.join() {
+                Ok(()) => ShardExit::Clean,
+                Err(_) => ShardExit::Panicked,
+            });
         }
         let mut stats = RuntimeStats::collect(&self.shared.stats);
         if let Some(ctrl) = &self.egress {
@@ -380,6 +548,9 @@ impl Runtime {
         DrainReport {
             stats,
             shard_cycles,
+            exits,
+            flusher_exits,
+            forced,
         }
     }
 }
@@ -396,7 +567,7 @@ fn shard_config(config: &RuntimeConfig, shard: usize) -> shard::ShardConfig {
 impl Drop for Runtime {
     fn drop(&mut self) {
         if !self.drained.load(Ordering::Relaxed) {
-            self.drain();
+            self.drain_within(None);
         }
     }
 }
@@ -442,7 +613,7 @@ mod tests {
                     ring_capacity: 64,
                     credits: 8,
                     n_links: 2,
-                    stall_plan: None,
+                    ..BufferedConfig::default()
                 }),
                 ..RuntimeConfig::default()
             },
@@ -550,7 +721,7 @@ mod tests {
                 ring_capacity: 64,
                 credits: 8,
                 n_links: 1,
-                stall_plan: None,
+                ..BufferedConfig::default()
             }),
             ..RuntimeConfig::default()
         });

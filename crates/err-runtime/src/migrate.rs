@@ -353,8 +353,11 @@ pub(crate) struct WindowGuard<'a> {
 }
 
 impl<'a> WindowGuard<'a> {
-    pub(crate) fn enter(st: &'a StealRuntime, flow: usize) -> Self {
-        let counter = &st.window[flow];
+    /// Brackets a window counter — the stealing and fault overlays
+    /// (DESIGN.md §8.3 fence 2, §9.2) both maintain per-flow windows
+    /// with the same Dekker discipline, entered via
+    /// `Shared::flow_window`.
+    pub(crate) fn enter_counter(counter: &'a AtomicU32) -> Self {
         counter.fetch_add(1, Ordering::SeqCst);
         Self { counter }
     }

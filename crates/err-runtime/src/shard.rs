@@ -28,11 +28,19 @@
 //!   supports it), so the shard keeps serving everyone else — the
 //!   decoupling the paper's stalled-downstream argument calls for.
 //!
+//! Both loops run inside a `catch_unwind` fence with the scheduler owned
+//! *outside* the closure (DESIGN.md §9.2): a panic unwinds out of the
+//! loop, the fence catches it, and — under supervision — the salvage
+//! path re-homes the dead shard's flows with the scheduler state intact.
+//! Without supervision the payload is re-thrown so the join observes the
+//! panic (and shutdown reports it as [`ShardExit::Panicked`](crate::ShardExit)).
+//!
 //! When there is nothing to do the worker spins briefly, then parks with
 //! a timeout; producers never need to wake it explicitly (no lost-wakeup
 //! protocol to get wrong), at the cost of at most `PARK_TIMEOUT` of
 //! added latency on an idle→busy transition.
 
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
@@ -41,6 +49,7 @@ use desim::Cycle;
 use err_egress::{Egress, LinkSet, Producer, ShardEgressStats};
 use err_sched::{Packet, Scheduler, ServedFlit};
 
+use crate::fault::{abort_residuals, fault_tick, salvage_shard, try_exit};
 use crate::ingress::Shared;
 
 /// Spins this many empty loops before parking.
@@ -54,17 +63,38 @@ pub(crate) struct ShardConfig {
     pub(crate) batch_packets: usize,
     pub(crate) batch_flits: usize,
     /// Flow-id space, needed by the buffered worker to sweep a link's
-    /// flows on park/unpark.
+    /// flows on park/unpark and by forced-abort residue accounting.
     pub(crate) n_flows: usize,
 }
 
-/// Boxed-closure sink for served flits.
-#[deprecated(
-    since = "0.1.0",
-    note = "implement or pass any `err_egress::Egress` (closures qualify via \
-            the blanket impl); boxing is no longer required"
-)]
-pub type EgressSink = Box<dyn FnMut(usize, &ServedFlit) + Send>;
+/// Shared epilogue of both workers: unwrap a clean exit, or handle the
+/// caught panic — salvage under supervision (on this same thread, so
+/// the scheduler state is still owned here), re-throw without it.
+fn finish_worker(
+    shared: &Shared,
+    cfg: &ShardConfig,
+    scheduler: &mut Box<dyn Scheduler + Send>,
+    result: std::thread::Result<()>,
+    now: Cycle,
+) -> Cycle {
+    match result {
+        Ok(()) => now,
+        Err(payload) => {
+            if shared.fault.is_some() {
+                // A panic *inside* salvage (double fault) abandons
+                // conservation for this shard — documented in DESIGN.md
+                // §9.2; the fence keeps the worker from aborting the
+                // process under panic=unwind.
+                let _ = panic::catch_unwind(AssertUnwindSafe(|| {
+                    salvage_shard(shared, cfg.shard, scheduler);
+                }));
+                now
+            } else {
+                panic::resume_unwind(payload)
+            }
+        }
+    }
+}
 
 /// Runs one shard to completion with **synchronous** egress: serves
 /// until `shutdown()` has been called *and* the ring plus the scheduler
@@ -75,6 +105,20 @@ pub(crate) fn run_shard<E: Egress>(
     mut scheduler: Box<dyn Scheduler + Send>,
     mut egress: Option<E>,
 ) -> Cycle {
+    let mut now: Cycle = 0;
+    let result = panic::catch_unwind(AssertUnwindSafe(|| {
+        run_sync_loop(&shared, &cfg, &mut scheduler, &mut egress, &mut now)
+    }));
+    finish_worker(&shared, &cfg, &mut scheduler, result, now)
+}
+
+fn run_sync_loop<E: Egress>(
+    shared: &Shared,
+    cfg: &ShardConfig,
+    scheduler: &mut Box<dyn Scheduler + Send>,
+    egress: &mut Option<E>,
+    now: &mut Cycle,
+) {
     let ring = &shared.rings[cfg.shard];
     let stats = &shared.stats[cfg.shard];
     let mut migration = shared
@@ -83,15 +127,23 @@ pub(crate) fn run_shard<E: Egress>(
         .map(|_| crate::migrate::MigrationDriver::new(cfg.shard));
     let mut arrivals: Vec<Packet> = Vec::with_capacity(cfg.batch_packets);
     let mut served: Vec<ServedFlit> = Vec::with_capacity(cfg.batch_flits);
-    let mut now: Cycle = 0;
     let mut idle_spins: u32 = 0;
 
     loop {
+        // Fault phase (DESIGN.md §9): forced-shutdown abort, heartbeat,
+        // salvage inbox, quarantine, injected events. KillLink events
+        // are meaningless under sync egress (`None`).
+        if shared.abort.load(Ordering::Acquire) {
+            abort_residuals(shared, cfg.shard, cfg.n_flows, scheduler);
+            return;
+        }
+        fault_tick(shared, cfg.shard, scheduler, *now, None);
+
         // Intake phase.
         arrivals.clear();
         let pulled = ring.pop_batch(&mut arrivals, cfg.batch_packets);
         for pkt in arrivals.drain(..) {
-            scheduler.enqueue(pkt, now);
+            scheduler.enqueue(pkt, *now);
         }
         // LoadBoard input, sampled here rather than at the tick below:
         // a shard that drains each intake batch within its own loop
@@ -102,8 +154,8 @@ pub(crate) fn run_shard<E: Egress>(
 
         // Service phase: one flit per cycle of the shard's flit clock.
         served.clear();
-        let n = scheduler.service_batch(now, cfg.batch_flits, &mut served);
-        now += n as u64;
+        let n = scheduler.service_batch(*now, cfg.batch_flits, &mut served);
+        *now += n as u64;
         if n > 0 {
             let mut tail_count = 0u64;
             for flit in &served {
@@ -128,13 +180,7 @@ pub(crate) fn run_shard<E: Egress>(
         let mut hot_handoff = false;
         let mut migrating = false;
         if let Some(driver) = migration.as_mut() {
-            driver.tick(
-                &shared,
-                &mut scheduler,
-                pulled == 0 && n == 0,
-                now,
-                pre_backlog,
-            );
+            driver.tick(shared, scheduler, pulled == 0 && n == 0, *now, pre_backlog);
             if let Some(st) = shared.steal.as_ref() {
                 migrating = st.slot.involves(cfg.shard);
                 // Requested can stay pending behind the donor's
@@ -151,12 +197,19 @@ pub(crate) fn run_shard<E: Egress>(
             // Nothing moved. Exit only when shutdown has been requested,
             // no producer is still inside `submit` (see
             // `Shared::can_finish` — a mid-submit producer could still
-            // push), everything this shard owns is drained, *and* no
-            // migration in flight names this shard (DESIGN.md §8.6 — a
-            // mid-handoff exit would strand the victim's packets). The
-            // ring check must come after `can_finish`: once that returns
-            // true no further push can happen, so empty is stable.
-            if !migrating && shared.can_finish() && ring.is_empty() && scheduler.is_idle() {
+            // push), everything this shard owns is drained, no migration
+            // in flight names this shard (DESIGN.md §8.6 — a mid-handoff
+            // exit would strand the victim's packets), *and* — under
+            // supervision — the Exited transition wins the salvage lock
+            // with an empty inbox (§9.2). The ring check must come after
+            // `can_finish`: once that returns true no further push can
+            // happen, so empty is stable.
+            if !migrating
+                && shared.can_finish()
+                && ring.is_empty()
+                && scheduler.is_idle()
+                && try_exit(shared, cfg.shard)
+            {
                 break;
             }
             idle_spins += 1;
@@ -177,7 +230,6 @@ pub(crate) fn run_shard<E: Egress>(
         }
     }
     stats.backlog_flits.set(0);
-    now
 }
 
 /// Commits `flit` to the output ring, spinning while it is full. Bounded
@@ -227,6 +279,30 @@ pub(crate) fn run_shard_buffered(
     links: Arc<LinkSet>,
     estats: Arc<ShardEgressStats>,
 ) -> Cycle {
+    let mut now: Cycle = 0;
+    let result = panic::catch_unwind(AssertUnwindSafe(|| {
+        run_buffered_loop(
+            &shared,
+            &cfg,
+            &mut scheduler,
+            &mut tx,
+            &links,
+            &estats,
+            &mut now,
+        )
+    }));
+    finish_worker(&shared, &cfg, &mut scheduler, result, now)
+}
+
+fn run_buffered_loop(
+    shared: &Shared,
+    cfg: &ShardConfig,
+    scheduler: &mut Box<dyn Scheduler + Send>,
+    tx: &mut Producer<ServedFlit>,
+    links: &Arc<LinkSet>,
+    estats: &ShardEgressStats,
+    now: &mut Cycle,
+) {
     let ring = &shared.rings[cfg.shard];
     let stats = &shared.stats[cfg.shard];
     let n_links = links.n_links();
@@ -236,23 +312,55 @@ pub(crate) fn run_shard_buffered(
     let mut stash: Vec<Option<ServedFlit>> = vec![None; n_links];
     let mut stash_count = 0usize;
     let mut link_parked: Vec<bool> = vec![false; n_links];
-    let mut now: Cycle = 0;
+    // Flows pre-parked on behalf of a pending salvage (§9.2); the
+    // unstick sweep must not release them before their package lands.
+    let mut salvage_parked: Vec<bool> = vec![
+        false;
+        if shared.fault.is_some() {
+            cfg.n_flows
+        } else {
+            0
+        }
+    ];
     let mut idle_spins: u32 = 0;
 
     loop {
+        // Fault phase (DESIGN.md §9). On forced abort the stash is
+        // discarded, not counted lost: its flits were already counted
+        // served, and they hold no credits (flits are stashed exactly
+        // when the acquire failed).
+        if shared.abort.load(Ordering::Acquire) {
+            abort_residuals(shared, cfg.shard, cfg.n_flows, scheduler);
+            return;
+        }
+        fault_tick(
+            shared,
+            cfg.shard,
+            scheduler,
+            *now,
+            Some(crate::fault::BufferedFaultCtx {
+                links,
+                link_parked: &link_parked,
+                salvage_parked: &mut salvage_parked,
+            }),
+        );
+
         // Unstick phase: links whose credits returned get their stashed
-        // flit committed and their flows unparked.
+        // flit committed and their flows unparked (except flows a
+        // pending salvage pre-parked — their package has not landed).
         if stash_count > 0 {
             for link in 0..n_links {
                 if stash[link].is_some() && links.try_acquire(link) {
                     let flit = stash[link].take().expect("stash checked non-empty");
                     stash_count -= 1;
-                    push_ring(&mut tx, &estats, flit);
+                    push_ring(tx, estats, flit);
                     if link_parked[link] {
                         link_parked[link] = false;
                         let mut flow = link;
                         while flow < cfg.n_flows {
-                            scheduler.unpark_flow(flow);
+                            if !salvage_parked.get(flow).copied().unwrap_or(false) {
+                                scheduler.unpark_flow(flow);
+                            }
                             flow += n_links;
                         }
                     }
@@ -264,7 +372,7 @@ pub(crate) fn run_shard_buffered(
         arrivals.clear();
         let pulled = ring.pop_batch(&mut arrivals, cfg.batch_packets);
         for pkt in arrivals.drain(..) {
-            scheduler.enqueue(pkt, now);
+            scheduler.enqueue(pkt, *now);
         }
 
         // Service phase, flit by flit: the credit check must sit
@@ -273,7 +381,7 @@ pub(crate) fn run_shard_buffered(
         let mut n = 0u64;
         let mut tail_count = 0u64;
         while (n as usize) < cfg.batch_flits {
-            let Some(flit) = scheduler.service_flit(now + n) else {
+            let Some(flit) = scheduler.service_flit(*now + n) else {
                 break;
             };
             n += 1;
@@ -283,7 +391,7 @@ pub(crate) fn run_shard_buffered(
             }
             let link = links.route(flit.flow);
             if links.try_acquire(link) {
-                push_ring(&mut tx, &estats, flit);
+                push_ring(tx, estats, flit);
             } else {
                 estats.credit_exhaustions.fetch_add(1, Ordering::Relaxed);
                 if parking {
@@ -298,15 +406,23 @@ pub(crate) fn run_shard_buffered(
                     }
                 } else {
                     // Blocking fallback: couples the shard's clock to
-                    // the slow link until a credit frees.
-                    while !links.try_acquire(link) {
+                    // the slow link until a credit frees. A forced
+                    // abort releases the wait (the flit is discarded —
+                    // it was served; delivery is what the abort cuts).
+                    loop {
+                        if links.try_acquire(link) {
+                            push_ring(tx, estats, flit);
+                            break;
+                        }
+                        if shared.abort.load(Ordering::Acquire) {
+                            break;
+                        }
                         std::hint::spin_loop();
                     }
-                    push_ring(&mut tx, &estats, flit);
                 }
             }
         }
-        now += n;
+        *now += n;
         if n > 0 {
             stats.served_flits.add(n);
             stats.served_packets.add(tail_count);
@@ -318,7 +434,12 @@ pub(crate) fn run_shard_buffered(
             // sit in a stash. Parked flows keep `is_idle()` false, so a
             // stalled link holds the worker here until drain mode
             // releases the credits (see `Runtime::drain` ordering).
-            if stash_count == 0 && shared.can_finish() && ring.is_empty() && scheduler.is_idle() {
+            if stash_count == 0
+                && shared.can_finish()
+                && ring.is_empty()
+                && scheduler.is_idle()
+                && try_exit(shared, cfg.shard)
+            {
                 break;
             }
             idle_spins += 1;
@@ -334,5 +455,4 @@ pub(crate) fn run_shard_buffered(
         }
     }
     stats.backlog_flits.set(0);
-    now
 }

@@ -71,6 +71,21 @@ pub struct ShardStats {
     /// Steal requests that died before quiescing (no eligible victim,
     /// or shutdown).
     pub steal_aborts: PaddedCounter,
+    /// Packets rescued out of a dead shard (ring drain + flow
+    /// extraction) and re-homed; counted at the dying shard, per hop
+    /// (DESIGN.md §9.2 step 6).
+    pub salvaged_packets: PaddedCounter,
+    /// Flits of salvaged packets.
+    pub salvaged_flits: PaddedCounter,
+    /// Packets the fault layer could not save: abandoned mid-service
+    /// state, salvage with no live rescuer, or forced-abort losses.
+    pub lost_packets: PaddedCounter,
+    /// Flits of lost packets (partially served packets count only
+    /// their unserved remainder).
+    pub lost_flits: PaddedCounter,
+    /// Backpressure waits that hit their submit deadline
+    /// (`AdmitDecision::TimedOut`); the packet never entered a ring.
+    pub timedout_packets: PaddedCounter,
 }
 
 impl ShardStats {
@@ -92,6 +107,11 @@ impl ShardStats {
             donated_out: self.donated_out.get(),
             migrated_flits: self.migrated_flits.get(),
             steal_aborts: self.steal_aborts.get(),
+            salvaged_packets: self.salvaged_packets.get(),
+            salvaged_flits: self.salvaged_flits.get(),
+            lost_packets: self.lost_packets.get(),
+            lost_flits: self.lost_flits.get(),
+            timedout_packets: self.timedout_packets.get(),
         }
     }
 }
@@ -129,6 +149,16 @@ pub struct ShardSnapshot {
     pub migrated_flits: u64,
     /// See [`ShardStats::steal_aborts`].
     pub steal_aborts: u64,
+    /// See [`ShardStats::salvaged_packets`].
+    pub salvaged_packets: u64,
+    /// See [`ShardStats::salvaged_flits`].
+    pub salvaged_flits: u64,
+    /// See [`ShardStats::lost_packets`].
+    pub lost_packets: u64,
+    /// See [`ShardStats::lost_flits`].
+    pub lost_flits: u64,
+    /// See [`ShardStats::timedout_packets`].
+    pub timedout_packets: u64,
 }
 
 /// The merged, runtime-wide statistics view.
@@ -194,12 +224,25 @@ impl RuntimeStats {
         migrated_flits => migrated_flits,
         /// Total steal requests aborted before quiescing.
         steal_aborts => steal_aborts,
+        /// Total packets rescued out of dead shards (per rescue hop).
+        salvaged_packets => salvaged_packets,
+        /// Total flits of salvaged packets (per rescue hop).
+        salvaged_flits => salvaged_flits,
+        /// Total packets lost to faults or forced shutdown.
+        lost_packets => lost_packets,
+        /// Total flits of lost packets.
+        lost_flits => lost_flits,
+        /// Total backpressure waits that hit their submit deadline.
+        timedout_packets => timedout_packets,
     }
 
     /// Packets that entered the system one way or another: accepted,
-    /// dropped, or rejected.
+    /// dropped, rejected, or timed out waiting for admission.
     pub fn submitted_packets(&self) -> u64 {
-        self.enqueued_packets() + self.dropped_packets() + self.rejected_packets()
+        self.enqueued_packets()
+            + self.dropped_packets()
+            + self.rejected_packets()
+            + self.timedout_packets()
     }
 
     /// Fraction of submitted packets dropped or rejected (0 when idle).
@@ -255,6 +298,18 @@ impl fmt::Display for RuntimeStats {
                 self.migrations(),
                 self.migrated_flits(),
                 self.steal_aborts(),
+            )?;
+        }
+        if self.salvaged_packets() > 0 || self.lost_packets() > 0 || self.timedout_packets() > 0 {
+            writeln!(
+                f,
+                "  faults: salvaged {} pkts / {} flits | lost {} pkts / {} flits | \
+                 timed out {} pkts",
+                self.salvaged_packets(),
+                self.salvaged_flits(),
+                self.lost_packets(),
+                self.lost_flits(),
+                self.timedout_packets(),
             )?;
         }
         for s in &self.shards {

@@ -27,6 +27,7 @@ fn buffered(stall_plan: Option<StallPlan>) -> EgressMode {
         credits: 32,
         n_links: N_LINKS,
         stall_plan,
+        ..BufferedConfig::default()
     })
 }
 
@@ -164,6 +165,7 @@ fn drain_with_active_stall_strands_no_flit() {
                 credits: 8,
                 n_links: N_LINKS,
                 stall_plan: Some(StallPlan::freeze_forever(0, 0)),
+                ..BufferedConfig::default()
             }),
             ..RuntimeConfig::default()
         },
@@ -268,6 +270,7 @@ fn credit_pool_bounds_buffered_flits_per_link() {
                 credits: CREDITS,
                 n_links: N_LINKS,
                 stall_plan: Some(plan),
+                ..BufferedConfig::default()
             }),
             ..RuntimeConfig::default()
         },

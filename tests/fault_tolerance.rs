@@ -1,0 +1,423 @@
+//! Tier-1 acceptance for the fault-tolerance layer (DESIGN.md §9).
+//!
+//! Four parts:
+//!
+//! * doc–code drift tests in the `tests/migration_stealing.rs` style:
+//!   DESIGN.md §9 is a normative spec, so it must keep naming exactly
+//!   the lifecycle variants and protocol vocabulary the code exports;
+//! * a chaos integration run: a seeded `FaultPlan` kills 1 of 4 shards
+//!   mid-run, the runtime finishes without panicking, the ledger
+//!   balances including `salvaged`/`lost`, and per-flow emit order is
+//!   unchanged vs a fault-free run (except the at-most-one packet cut
+//!   mid-wormhole at the death, whose tail is honestly `lost`);
+//! * `shutdown_within` under a forever-stalled link: returns within
+//!   the deadline instead of hanging, with the abandoned backlog
+//!   reported as losses;
+//! * a regression for the pre-§9 bug where `Runtime::shutdown`
+//!   re-panicked on a panicked worker join.
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use desim::SimRng;
+use err_runtime::{
+    AdmissionPolicy, BufferedConfig, DeadLinkPolicy, EgressMode, FaultKind, FaultPlan, LinkState,
+    Runtime, RuntimeConfig, ShardExit, ShardHealth, StallPlan, Submitted, SupervisionConfig,
+};
+use err_sched::{Packet, ServedFlit};
+
+/// Supervision catches worker panics with `catch_unwind`, which is
+/// only possible under unwinding — if a profile ever flips to
+/// `panic=abort`, every §9 recovery path silently becomes a crash.
+#[test]
+// The value is constant *per build* — asserting a build-config
+// invariant is the entire point of this test.
+#[allow(clippy::assertions_on_constants)]
+fn panics_unwind_in_this_build() {
+    assert!(
+        cfg!(panic = "unwind"),
+        "fault tolerance requires -C panic=unwind (catch_unwind is the salvage fence)"
+    );
+}
+
+/// DESIGN.md §9, as written.
+fn design_section_9() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/DESIGN.md");
+    let text = std::fs::read_to_string(path).expect("DESIGN.md readable");
+    let start = text
+        .find("## 9")
+        .expect("DESIGN.md must contain a section 9");
+    match text[start + 4..].find("\n## ") {
+        Some(end) => text[start..start + 4 + end].to_owned(),
+        None => text[start..].to_owned(),
+    }
+}
+
+/// The spec names every lifecycle variant of the real enums, derived
+/// via `Debug` so a code rename breaks this test until DESIGN.md §9
+/// follows.
+#[test]
+fn design_section_9_names_the_lifecycle_variants() {
+    let spec = design_section_9();
+    for exit in [ShardExit::Clean, ShardExit::Panicked, ShardExit::Abandoned] {
+        let name = format!("{exit:?}");
+        assert!(
+            spec.contains(&name),
+            "DESIGN.md §9 no longer names shard exit `{name}`"
+        );
+    }
+    for health in [
+        ShardHealth::Running,
+        ShardHealth::Quarantined,
+        ShardHealth::Dead,
+        ShardHealth::Exited,
+    ] {
+        let name = format!("{health:?}");
+        assert!(
+            spec.contains(&name),
+            "DESIGN.md §9 no longer names shard health `{name}`"
+        );
+    }
+    for state in [LinkState::Alive, LinkState::Stalled, LinkState::Dead] {
+        let name = format!("{state:?}");
+        assert!(
+            spec.contains(&name),
+            "DESIGN.md §9 no longer names link state `{name}`"
+        );
+    }
+    for policy in [
+        DeadLinkPolicy::DropAndAccount,
+        DeadLinkPolicy::HoldForRecovery,
+    ] {
+        let name = format!("{policy:?}");
+        assert!(
+            spec.contains(&name),
+            "DESIGN.md §9 no longer names dead-link policy `{name}`"
+        );
+    }
+}
+
+/// The spec names the public types and verbs the protocol is built
+/// from.
+#[test]
+fn design_section_9_names_the_protocol_vocabulary() {
+    let spec = design_section_9();
+    for name in [
+        "FaultPlan",
+        "FaultBoard",
+        "shutdown_within",
+        "TimedOut",
+        "salvaged",
+        "lost",
+        "heartbeat",
+        "resurrect",
+        "dead_letter",
+        "quarantine",
+    ] {
+        assert!(
+            spec.contains(name),
+            "DESIGN.md §9 no longer mentions `{name}`"
+        );
+    }
+}
+
+const CHAOS_FLOWS: usize = 8;
+const CHAOS_PACKETS: u64 = 24_000;
+const CHAOS_LEN: u32 = 8;
+
+/// First seed whose `FaultPlan::from_rng` draw is exactly one shard
+/// panic due inside the run — the chaos scenario of the acceptance
+/// criteria, reached through the seeded path rather than the explicit
+/// builder. The search is deterministic, so the test replays the same
+/// plan forever.
+fn seeded_kill_plan(shards: usize) -> FaultPlan {
+    for seed in 0..20_000u64 {
+        let rng = SimRng::new(seed);
+        let plan = FaultPlan::from_rng(&rng, shards, 0, 1.0 / 800.0, 2_000);
+        let events = plan.events();
+        if events.len() == 1 && events[0].kind == FaultKind::PanicShard && events[0].at >= 200 {
+            return plan;
+        }
+    }
+    unreachable!("no seed under 20k yields a lone mid-run shard kill");
+}
+
+type FlowLog = Vec<Mutex<Vec<(u64, u32)>>>;
+
+/// Runs the fixed chaos workload, capturing per-flow emissions, and
+/// returns (per-flow logs, drain report).
+fn chaos_workload(plan: Option<FaultPlan>) -> (Vec<Vec<(u64, u32)>>, err_runtime::DrainReport) {
+    let planned_victims: Vec<usize> = plan
+        .as_ref()
+        .map(|p| {
+            p.events()
+                .iter()
+                .filter(|e| !matches!(e.kind, FaultKind::KillLink(_)))
+                .map(|e| e.shard)
+                .collect()
+        })
+        .unwrap_or_default();
+    let captured: Arc<FlowLog> =
+        Arc::new((0..CHAOS_FLOWS).map(|_| Mutex::new(Vec::new())).collect());
+    let (rt, handle) = Runtime::start_with_egress(
+        RuntimeConfig {
+            shards: 4,
+            n_flows: CHAOS_FLOWS,
+            ring_capacity: 1 << 14,
+            supervision: Some(SupervisionConfig::default()),
+            fault_plan: plan,
+            ..RuntimeConfig::default()
+        },
+        {
+            let captured = Arc::clone(&captured);
+            move |_shard| {
+                let captured = Arc::clone(&captured);
+                Some(move |_s: usize, f: &ServedFlit| {
+                    // Only one shard serves a flow at any instant (the
+                    // salvage park/absorb handshake keeps it so across a
+                    // death), so one lock per flow records a well-defined
+                    // per-flow order.
+                    captured[f.flow]
+                        .lock()
+                        .unwrap()
+                        .push((f.packet, f.flit_index));
+                })
+            }
+        },
+    );
+    for id in 0..CHAOS_PACKETS {
+        let flow = (id % CHAOS_FLOWS as u64) as usize;
+        assert_eq!(
+            handle.submit(Packet::new(id, flow, CHAOS_LEN, 0)),
+            Ok(Submitted::Enqueued)
+        );
+    }
+    // Wait for every planned shard fault to run its salvage before
+    // closing: once `shutdown` flips `closed`, an idle shard may drain
+    // out and exit, and a victim dying after that has fewer (or no)
+    // rescuers — a legitimate total-loss path, but not the mid-run
+    // scenario this test is about.
+    if let Some(board) = rt.fault_board() {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while planned_victims
+            .iter()
+            .any(|&v| board.recovery_micros(v).is_none())
+        {
+            assert!(
+                Instant::now() < deadline,
+                "planned fault never fired/salvaged"
+            );
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+    let report = rt.shutdown();
+    let logs = captured.iter().map(|m| m.lock().unwrap().clone()).collect();
+    (logs, report)
+}
+
+/// The expected fault-free per-flow emission: submission order, flit
+/// indices contiguous per packet.
+fn expected_flow_log(flow: usize) -> Vec<(u64, u32)> {
+    let mut v = Vec::new();
+    let mut id = flow as u64;
+    while id < CHAOS_PACKETS {
+        for idx in 0..CHAOS_LEN {
+            v.push((id, idx));
+        }
+        id += CHAOS_FLOWS as u64;
+    }
+    v
+}
+
+/// Seeded `FaultPlan` kills 1 of 4 shards mid-run: no panic escapes,
+/// the ledger balances including `salvaged`/`lost`, and every flow's
+/// emit order matches the fault-free run — the only permitted
+/// difference is the at-most-one packet whose wormhole was cut by the
+/// death: its emitted head is a proper prefix and its unsent tail is
+/// exactly what the report counts `lost`.
+#[test]
+fn seeded_shard_kill_preserves_flow_order_and_conserves() {
+    let (clean_logs, clean_report) = chaos_workload(None);
+    assert!(clean_report.is_conserving(), "{clean_report:?}");
+    assert_eq!(clean_report.served_packets(), CHAOS_PACKETS);
+    for (flow, log) in clean_logs.iter().enumerate() {
+        assert_eq!(log, &expected_flow_log(flow), "fault-free flow {flow}");
+    }
+
+    let plan = seeded_kill_plan(4);
+    let victim = plan.events()[0].shard;
+    let (logs, report) = chaos_workload(Some(plan));
+
+    assert!(report.is_conserving(), "{report:?}");
+    assert!(
+        report.exits[victim] == ShardExit::Panicked,
+        "victim shard {victim} should be recorded Panicked: {:?}",
+        report.exits
+    );
+    assert!(
+        report.salvaged_packets() > 0,
+        "a mid-run kill with backlog must salvage something: {report:?}"
+    );
+    assert!(
+        report.lost_packets() <= 1,
+        "one death cuts at most one wormhole: {report:?}"
+    );
+    assert_eq!(
+        report.served_packets() + report.lost_packets(),
+        CHAOS_PACKETS,
+        "{report:?}"
+    );
+
+    let mut lost_flits = 0u64;
+    let mut cut_packets = 0u64;
+    for (flow, log) in logs.iter().enumerate() {
+        let expected = expected_flow_log(flow);
+        if log == &expected {
+            assert_eq!(
+                log, &clean_logs[flow],
+                "surviving flow {flow} diverged from the fault-free run"
+            );
+            continue;
+        }
+        // The flow crossed the death: its log must be the expected
+        // sequence with the cut packet's tail (possibly the whole
+        // packet) removed — the packet in flight on the dying shard,
+        // whose tail cannot be replayed elsewhere without corrupting
+        // the wormhole. Greedy in-order match: every expected item the
+        // log skipped must belong to that single cut packet, and once
+        // cut, a packet may never emit again.
+        let mut li = 0usize;
+        let mut cut: Option<u64> = None;
+        for &(eid, eidx) in &expected {
+            if li < log.len() && log[li] == (eid, eidx) {
+                assert!(
+                    cut != Some(eid),
+                    "flow {flow}: packet {eid} resumed after its wormhole was cut"
+                );
+                li += 1;
+                continue;
+            }
+            match cut {
+                None => {
+                    cut = Some(eid);
+                    cut_packets += 1;
+                    lost_flits += 1;
+                }
+                Some(c) if c == eid => lost_flits += 1,
+                Some(c) => panic!(
+                    "flow {flow}: packet {eid} flit {eidx} missing but packet {c} \
+                     was already cut — one death cuts one wormhole"
+                ),
+            }
+        }
+        assert_eq!(
+            li,
+            log.len(),
+            "flow {flow}: emitted flits beyond the submitted sequence (reorder?)"
+        );
+    }
+    assert_eq!(
+        cut_packets,
+        report.lost_packets(),
+        "cut wormholes vs reported lost packets"
+    );
+    assert_eq!(
+        lost_flits,
+        report.stats.lost_flits(),
+        "unsent tails vs reported lost flits"
+    );
+}
+
+/// A link whose credits never return, escalated to `Dead` under
+/// `HoldForRecovery`, keeps its flits held and its flows parked even
+/// through drain mode (drain releases stalls, never deaths — §9.3).
+/// `shutdown_within` must still return by its deadline — graceful
+/// drain, then forced abort with the abandoned backlog reported as
+/// losses — rather than hanging like `shutdown` would.
+#[test]
+fn shutdown_within_bounds_a_forever_stalled_link() {
+    const LINKS: usize = 4;
+    const FLOWS: usize = 8;
+    let (rt, handle) = Runtime::start(RuntimeConfig {
+        shards: 2,
+        n_flows: FLOWS,
+        egress: EgressMode::Buffered(BufferedConfig {
+            n_links: LINKS,
+            credits: 8,
+            ring_capacity: 256,
+            // Link 0 never returns a credit from cycle 0 on.
+            stall_plan: Some(StallPlan::freeze_forever(0, 0)),
+            dead_link_policy: DeadLinkPolicy::HoldForRecovery,
+            ..BufferedConfig::default()
+        }),
+        admission: AdmissionPolicy::DropTail { max_backlog: 512 },
+        ..RuntimeConfig::default()
+    });
+    for id in 0..2_000u64 {
+        let _ = handle.submit(Packet::new(id, (id % FLOWS as u64) as usize, 4, 0));
+    }
+    // The credit-return watchdog's verdict, delivered by hand (same
+    // effect, deterministic timing): the stall becomes a death, and
+    // HoldForRecovery keeps everything parked waiting for a resurrect
+    // that never comes.
+    std::thread::sleep(Duration::from_millis(20));
+    rt.egress_controller()
+        .expect("buffered egress has a controller")
+        .declare_dead(0);
+    let deadline = Duration::from_millis(400);
+    let start = Instant::now();
+    let report = rt.shutdown_within(deadline);
+    let elapsed = start.elapsed();
+    // The promise is deadline ± one drain poll; the slack covers OS
+    // scheduling noise on a loaded CI container, not a design margin.
+    assert!(
+        elapsed < deadline + Duration::from_millis(100),
+        "shutdown_within({deadline:?}) took {elapsed:?}"
+    );
+    assert!(report.forced, "a forever-stall must escalate to abort");
+    assert!(
+        report.stats.lost_flits() > 0,
+        "the stalled link's parked backlog must be reported lost: {report:?}"
+    );
+    assert!(report.is_conserving(), "{report:?}");
+}
+
+/// Regression: before §9, `Runtime::shutdown` called `join().expect()`
+/// and re-panicked when an *unsupervised* worker had panicked (e.g. a
+/// user sink bug). It must instead report `ShardExit::Panicked` for
+/// that shard and return the drain report normally.
+#[test]
+fn shutdown_reports_worker_panic_instead_of_propagating() {
+    let (rt, handle) = Runtime::start_with_egress(
+        RuntimeConfig {
+            shards: 2,
+            n_flows: 4,
+            ..RuntimeConfig::default()
+        },
+        |_shard| {
+            Some(move |_s: usize, f: &ServedFlit| {
+                if f.flow == 0 {
+                    panic!("sink bug: flow 0 is cursed");
+                }
+            })
+        },
+    );
+    // Flow 0 detonates whichever shard serves it; flow 1 keeps the
+    // runtime busy (on the same shard or the other, either is fine —
+    // the point is that shutdown survives the dead worker).
+    for id in 0..8u64 {
+        let _ = handle.submit(Packet::new(id, (id % 2) as usize, 4, 0));
+    }
+    // Give the doomed worker time to hit the sink before closing.
+    std::thread::sleep(Duration::from_millis(50));
+    let report = rt.shutdown();
+    assert!(
+        report.exits.contains(&ShardExit::Panicked),
+        "the panicked worker must surface in exits: {:?}",
+        report.exits
+    );
+    assert!(
+        !report.all_clean(),
+        "all_clean must be false after a worker panic"
+    );
+}
