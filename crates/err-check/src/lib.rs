@@ -1,0 +1,719 @@
+//! Concurrency static analysis for the workspace sources.
+//!
+//! The runtime's correctness claims rest on hand-rolled lock-free code
+//! — the MPSC ingress ring, the Lamport SPSC egress ring, the credit
+//! counters, the `closed+in_flight` drain gate, and the epoch-stamped
+//! migration/salvage protocols. This crate enforces the hygiene rules
+//! that keep those claims auditable (DESIGN.md §10):
+//!
+//! * **safety-comment** — every `unsafe` token carries a `// SAFETY:`
+//!   justification within the preceding few lines.
+//! * **ordering-comment** — every non-`Relaxed` atomic ordering carries
+//!   a `// ordering:` comment naming its pairing site.
+//! * **seqcst-scope** — `Ordering::SeqCst` is allowlisted per file (the
+//!   drain/salvage Dekker protocols) and an error anywhere else; the
+//!   per-site justification is the mandatory `// ordering:` comment.
+//! * **no-std-mutex** — `std::sync::Mutex` only in allowlisted modules
+//!   (cold-path locks documented as such); never on a per-flit path.
+//! * **stats-relaxed** — `stats.rs` modules are approximate-under-race
+//!   by contract and may only use `Relaxed`.
+//! * **doc-drift** — declarative needle rules keeping DESIGN.md §8/§9/
+//!   §10, README.md, and EXPERIMENTS.md naming the real protocol
+//!   vocabulary (generalizes the PR 3/PR 4 drift tests).
+//!
+//! The scanner is a deliberately small line lexer, not a full parser:
+//! it masks string/char literals and comments (so `"unsafe"` in a
+//! string does not count), tracks nested block comments and raw
+//! strings, and skips `#[cfg(test)]` modules by brace counting. Rules
+//! then run over the masked code with an N-line comment lookback.
+//!
+//! `vendor/` is excluded: the vendored stand-ins (including the loom
+//! checker itself) are the instrumentation layer, not product code.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// How many lines above an `unsafe`/ordering site a justifying comment
+/// may sit (multi-line statements push the token below its comment).
+const LOOKBACK: usize = 8;
+
+/// Files allowed to use `Ordering::SeqCst`. Everything here is a
+/// store→load (Dekker) protocol where independent total order is the
+/// point: the drain gate's `closed+in_flight` pairing and the
+/// salvage/migration epoch machinery built on it.
+const SEQCST_FILES: &[&str] = &[
+    "crates/err-runtime/src/gate.rs",
+    "crates/err-runtime/src/fault.rs",
+    "crates/err-runtime/src/migrate.rs",
+];
+
+/// Files allowed to hold a `std::sync::Mutex`. Each is a documented
+/// cold-path lock: never taken on the per-flit fast path.
+const MUTEX_FILES: &[&str] = &[
+    // SharedEgress: serialized sink for stealing groundwork (lib docs).
+    "crates/err-egress/src/lib.rs",
+    // stall_hist: watchdog-only, touched once per stall release.
+    "crates/err-egress/src/link.rs",
+    // MigrationSlot package handoff: once per migration, not per flit.
+    "crates/err-runtime/src/migrate.rs",
+    // Salvage lock + exit collection: once per shard death.
+    "crates/err-runtime/src/fault.rs",
+    // Experiment-harness job queue (parking_lot): offline runner, no
+    // runtime fast path.
+    "crates/err-experiments/src/runner.rs",
+];
+
+/// One declarative doc-drift rule: `doc` (under the workspace root)
+/// must contain every needle, inside `section` when one is given.
+struct DocRule {
+    doc: &'static str,
+    /// A `## N` heading; the rule applies from there to the next `## `.
+    section: Option<&'static str>,
+    needles: &'static [&'static str],
+}
+
+/// The drift contract: normative docs must keep naming the protocol
+/// vocabulary the code exports. Mirrors (and extends to §10) the
+/// enum-derived drift tests in `tests/migration_stealing.rs` and
+/// `tests/fault_tolerance.rs`.
+const DOC_RULES: &[DocRule] = &[
+    DocRule {
+        doc: "DESIGN.md",
+        section: Some("## 8"),
+        needles: &[
+            "Idle",
+            "Requested",
+            "Quiescing",
+            "Draining",
+            "InTransit",
+            "FlowMap",
+            "LoadBoard",
+            "MigrationSlot",
+            "MigratedFlow",
+            "extract_flow",
+            "absorb_flow",
+            "park_flow",
+        ],
+    },
+    DocRule {
+        doc: "DESIGN.md",
+        section: Some("## 9"),
+        needles: &[
+            "Running",
+            "Quarantined",
+            "Dead",
+            "Exited",
+            "Clean",
+            "Panicked",
+            "Abandoned",
+            "FaultBoard",
+            "salvage",
+        ],
+    },
+    DocRule {
+        doc: "DESIGN.md",
+        section: Some("## 10"),
+        needles: &[
+            "MpscRing",
+            "DrainGate",
+            "CreditPool",
+            "spsc",
+            "Acquire",
+            "Release",
+            "SeqCst",
+            "err-check",
+            "loom",
+            "happens-before",
+        ],
+    },
+    DocRule {
+        doc: "README.md",
+        section: None,
+        needles: &["err-check", "loom"],
+    },
+    DocRule {
+        doc: "EXPERIMENTS.md",
+        section: None,
+        needles: &["interleavings", "mutant"],
+    },
+];
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line (0 for whole-document rules).
+    pub line: usize,
+    /// Rule identifier, e.g. `safety-comment`.
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.msg
+        )
+    }
+}
+
+/// One source line after masking: `code` has comments and literal
+/// contents blanked out; `comment` is the text of any `//` comment.
+#[derive(Debug, Default)]
+struct Line {
+    code: String,
+    comment: String,
+}
+
+/// Masks `text` line by line: string/char literal contents and comment
+/// bodies become spaces in `code`; `//` comment text is captured
+/// separately so the SAFETY/ordering rules can read it. Handles nested
+/// block comments, raw strings, and multi-line strings.
+fn scrub(text: &str) -> Vec<Line> {
+    #[derive(PartialEq)]
+    enum S {
+        Code,
+        Block(u32),
+        Str,
+        RawStr(u32),
+    }
+    let mut state = S::Code;
+    let mut out = Vec::new();
+    for raw in text.lines() {
+        let b: Vec<char> = raw.chars().collect();
+        let mut code = String::with_capacity(b.len());
+        let mut comment = String::new();
+        let mut i = 0;
+        while i < b.len() {
+            match state {
+                S::Block(depth) => {
+                    if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        state = if depth == 1 {
+                            S::Code
+                        } else {
+                            S::Block(depth - 1)
+                        };
+                        i += 2;
+                    } else if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        state = S::Block(depth + 1);
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                    code.push(' ');
+                }
+                S::Str => {
+                    if b[i] == '\\' {
+                        i += 2;
+                        code.push(' ');
+                    } else {
+                        if b[i] == '"' {
+                            state = S::Code;
+                        }
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                S::RawStr(hashes) => {
+                    if b[i] == '"'
+                        && b[i + 1..]
+                            .iter()
+                            .take(hashes as usize)
+                            .filter(|c| **c == '#')
+                            .count()
+                            == hashes as usize
+                    {
+                        state = S::Code;
+                        i += 1 + hashes as usize;
+                        code.push(' ');
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                S::Code => match b[i] {
+                    '/' if b.get(i + 1) == Some(&'/') => {
+                        comment = b[i..].iter().collect();
+                        i = b.len();
+                    }
+                    '/' if b.get(i + 1) == Some(&'*') => {
+                        state = S::Block(1);
+                        code.push(' ');
+                        i += 2;
+                    }
+                    '"' => {
+                        state = S::Str;
+                        code.push(' ');
+                        i += 1;
+                    }
+                    'r' | 'b' if raw_string_at(&b, i).is_some() => {
+                        let (quote, hashes) = raw_string_at(&b, i).expect("guard checked");
+                        state = S::RawStr(hashes);
+                        for _ in i..=quote {
+                            code.push(' ');
+                        }
+                        i = quote + 1;
+                    }
+                    '\'' => {
+                        // Char literal vs lifetime: a literal closes
+                        // with a `'` right after one (possibly escaped)
+                        // character; a lifetime never closes.
+                        if b.get(i + 1) == Some(&'\\') {
+                            let close = b[i + 2..].iter().position(|c| *c == '\'');
+                            match close {
+                                Some(off) => {
+                                    for _ in 0..off + 3 {
+                                        code.push(' ');
+                                    }
+                                    i += off + 3;
+                                }
+                                None => {
+                                    code.push(' ');
+                                    i += 1;
+                                }
+                            }
+                        } else if b.get(i + 2) == Some(&'\'') {
+                            code.push_str("   ");
+                            i += 3;
+                        } else {
+                            code.push('\'');
+                            i += 1;
+                        }
+                    }
+                    c => {
+                        code.push(c);
+                        i += 1;
+                    }
+                },
+            }
+        }
+        out.push(Line { code, comment });
+    }
+    out
+}
+
+/// Detects a raw-string opener (`r"`, `r#"`, `br"`, …) at `i`:
+/// returns the index of the opening quote and the hash count.
+fn raw_string_at(b: &[char], i: usize) -> Option<(usize, u32)> {
+    let mut j = i + 1;
+    if b[i] == 'b' {
+        if b.get(j) != Some(&'r') {
+            return None;
+        }
+        j += 1;
+    }
+    let mut hashes = 0u32;
+    while b.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (b.get(j) == Some(&'"')).then_some((j, hashes))
+}
+
+/// Whether `code` contains `word` as a standalone token (not a
+/// substring of a longer identifier).
+fn has_token(code: &str, word: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0 || {
+            let c = bytes[at - 1] as char;
+            !c.is_alphanumeric() && c != '_'
+        };
+        let end = at + word.len();
+        let after_ok = end >= code.len() || {
+            let c = bytes[end] as char;
+            !c.is_alphanumeric() && c != '_'
+        };
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + word.len();
+    }
+    false
+}
+
+/// Marks the lines belonging to `#[cfg(test)]` items (by brace
+/// counting from the attribute), so test code is exempt from the
+/// production-hygiene rules.
+fn test_mask(lines: &[Line]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        let code = &lines[i].code;
+        if code.contains("#[cfg(test)]") || code.contains("#[cfg(all(test") {
+            // Skip until the attached item ends: at the first `;`
+            // before any `{`, or at the brace that closes the item.
+            let mut depth = 0usize;
+            let mut entered = false;
+            while i < lines.len() {
+                mask[i] = true;
+                for c in lines[i].code.chars() {
+                    match c {
+                        '{' => {
+                            depth += 1;
+                            entered = true;
+                        }
+                        '}' => depth = depth.saturating_sub(1),
+                        ';' if !entered => {
+                            entered = true;
+                            depth = 0;
+                        }
+                        _ => {}
+                    }
+                }
+                i += 1;
+                if entered && depth == 0 {
+                    break;
+                }
+            }
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+/// Whether any comment within the lookback window (ending at `line`,
+/// inclusive) contains `needle`.
+fn comment_nearby(lines: &[Line], line: usize, needle: &str) -> bool {
+    let lo = line.saturating_sub(LOOKBACK);
+    lines[lo..=line].iter().any(|l| l.comment.contains(needle))
+}
+
+/// Runs every source rule over one file. `relpath` uses `/` separators
+/// relative to the workspace root.
+pub fn lint_source(relpath: &str, text: &str) -> Vec<Violation> {
+    let lines = scrub(text);
+    let in_test = test_mask(&lines);
+    let is_stats = relpath.ends_with("src/stats.rs");
+    let seqcst_ok = SEQCST_FILES.contains(&relpath);
+    let mutex_ok = MUTEX_FILES.contains(&relpath);
+    let mut v = Vec::new();
+    let mut push = |line: usize, rule: &'static str, msg: String| {
+        v.push(Violation {
+            file: relpath.to_owned(),
+            line: line + 1,
+            rule,
+            msg,
+        });
+    };
+    for (i, l) in lines.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        if has_token(&l.code, "unsafe") && !comment_nearby(&lines, i, "SAFETY:") {
+            push(
+                i,
+                "safety-comment",
+                "`unsafe` without a `// SAFETY:` justification in the preceding lines".into(),
+            );
+        }
+        let non_relaxed = [
+            "Ordering::Acquire",
+            "Ordering::Release",
+            "Ordering::AcqRel",
+            "Ordering::SeqCst",
+        ]
+        .iter()
+        .any(|o| l.code.contains(o));
+        if non_relaxed {
+            if !comment_nearby(&lines, i, "ordering:") {
+                push(
+                    i,
+                    "ordering-comment",
+                    "non-Relaxed atomic ordering without a `// ordering:` comment naming its pairing site"
+                        .into(),
+                );
+            }
+            if is_stats {
+                push(
+                    i,
+                    "stats-relaxed",
+                    "stats modules are approximate-under-race by contract and may only use `Relaxed`"
+                        .into(),
+                );
+            }
+        }
+        if l.code.contains("Ordering::SeqCst") && !seqcst_ok {
+            push(
+                i,
+                "seqcst-scope",
+                format!(
+                    "`SeqCst` outside the drain/salvage allowlist ({}); justify with a Dekker argument and allowlist the file, or downgrade",
+                    SEQCST_FILES.join(", ")
+                ),
+            );
+        }
+        if has_token(&l.code, "Mutex") && !mutex_ok {
+            push(
+                i,
+                "no-std-mutex",
+                "`Mutex` outside the documented cold-path allowlist; use the lock-free cores or allowlist with a rationale"
+                    .into(),
+            );
+        }
+    }
+    v
+}
+
+/// Applies the declarative doc-drift rules against the docs under `root`.
+pub fn check_docs(root: &Path) -> Vec<Violation> {
+    let mut v = Vec::new();
+    for rule in DOC_RULES {
+        let text = match std::fs::read_to_string(root.join(rule.doc)) {
+            Ok(t) => t,
+            Err(e) => {
+                v.push(Violation {
+                    file: rule.doc.into(),
+                    line: 0,
+                    rule: "doc-drift",
+                    msg: format!("unreadable: {e}"),
+                });
+                continue;
+            }
+        };
+        let scope = match rule.section {
+            None => text.as_str(),
+            Some(heading) => {
+                let Some(start) = text.find(&format!("\n{heading}")) else {
+                    v.push(Violation {
+                        file: rule.doc.into(),
+                        line: 0,
+                        rule: "doc-drift",
+                        msg: format!("missing section `{heading}`"),
+                    });
+                    continue;
+                };
+                let rest = &text[start + 1..];
+                match rest[heading.len()..].find("\n## ") {
+                    Some(end) => &rest[..heading.len() + end],
+                    None => rest,
+                }
+            }
+        };
+        // Case-insensitive needle match: docs may capitalize prose
+        // ("Mutant kill matrix") differently from identifiers.
+        let lower = scope.to_lowercase();
+        for needle in rule.needles {
+            if !lower.contains(&needle.to_lowercase()) {
+                let at = rule
+                    .section
+                    .map(|s| format!(" section `{s}`"))
+                    .unwrap_or_default();
+                v.push(Violation {
+                    file: rule.doc.into(),
+                    line: 0,
+                    rule: "doc-drift",
+                    msg: format!("{}{at} no longer mentions `{needle}`", rule.doc),
+                });
+            }
+        }
+    }
+    v
+}
+
+/// Collects the `.rs` files subject to the source rules: `src/` and
+/// every `crates/*/src` tree (recursively). `vendor/`, `target/`, and
+/// integration-test trees are out of scope by construction.
+fn source_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+        for entry in std::fs::read_dir(dir)? {
+            let path = entry?.path();
+            if path.is_dir() {
+                walk(&path, out)?;
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+        Ok(())
+    }
+    let mut files = Vec::new();
+    let top = root.join("src");
+    if top.is_dir() {
+        walk(&top, &mut files)?;
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        for entry in std::fs::read_dir(&crates)? {
+            let src = entry?.path().join("src");
+            if src.is_dir() {
+                walk(&src, &mut files)?;
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Lints every in-scope source file plus the doc-drift rules. Returns
+/// all violations, sorted by file and line.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let mut violations = Vec::new();
+    for path in source_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let text = std::fs::read_to_string(&path)?;
+        violations.extend(lint_source(&rel, &text));
+    }
+    violations.extend(check_docs(root));
+    violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(violations)
+}
+
+/// The workspace root, resolved at compile time (two levels above this
+/// crate's manifest), so the binary works from any cwd.
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crate lives two levels under the workspace root")
+        .to_path_buf()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(v: &[Violation]) -> Vec<&'static str> {
+        v.iter().map(|x| x.rule).collect()
+    }
+
+    #[test]
+    fn unsafe_requires_safety_comment() {
+        let bad = "fn f() {\n    unsafe { g() }\n}\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/x/src/a.rs", bad)),
+            ["safety-comment"]
+        );
+        let good = "fn f() {\n    // SAFETY: g has no preconditions here.\n    unsafe { g() }\n}\n";
+        assert!(lint_source("crates/x/src/a.rs", good).is_empty());
+    }
+
+    #[test]
+    fn non_relaxed_requires_ordering_comment() {
+        let bad = "fn f(a: &AtomicU64) {\n    a.load(Ordering::Acquire);\n}\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/x/src/a.rs", bad)),
+            ["ordering-comment"]
+        );
+        let good =
+            "fn f(a: &AtomicU64) {\n    // ordering: Acquire pairs with the Release store in g.\n    a.load(Ordering::Acquire);\n}\n";
+        assert!(lint_source("crates/x/src/a.rs", good).is_empty());
+        let relaxed = "fn f(a: &AtomicU64) {\n    a.load(Ordering::Relaxed);\n}\n";
+        assert!(lint_source("crates/x/src/a.rs", relaxed).is_empty());
+    }
+
+    #[test]
+    fn seqcst_is_scoped_to_the_drain_allowlist() {
+        let src = "fn f(a: &AtomicU64) {\n    // ordering: SeqCst Dekker with g.\n    a.load(Ordering::SeqCst);\n}\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/x/src/a.rs", src)),
+            ["seqcst-scope"]
+        );
+        assert!(lint_source("crates/err-runtime/src/gate.rs", src).is_empty());
+    }
+
+    #[test]
+    fn mutex_is_scoped_to_the_cold_path_allowlist() {
+        let src = "use std::sync::Mutex;\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/x/src/a.rs", src)),
+            ["no-std-mutex"]
+        );
+        assert!(lint_source("crates/err-egress/src/link.rs", src).is_empty());
+    }
+
+    #[test]
+    fn stats_modules_must_stay_relaxed() {
+        let src = "fn f(a: &AtomicU64) {\n    // ordering: Acquire pairs with merge.\n    a.load(Ordering::Acquire);\n}\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/err-runtime/src/stats.rs", src)),
+            ["stats-relaxed"]
+        );
+        let relaxed = "fn f(a: &AtomicU64) {\n    a.load(Ordering::Relaxed);\n}\n";
+        assert!(lint_source("crates/err-runtime/src/stats.rs", relaxed).is_empty());
+    }
+
+    #[test]
+    fn literals_and_comments_do_not_trip_rules() {
+        let src = concat!(
+            "fn f() {\n",
+            "    let s = \"unsafe Ordering::SeqCst Mutex\";\n",
+            "    let c = 'u';\n",
+            "    let r = r#\"unsafe { Mutex }\"#;\n",
+            "    /* unsafe Mutex Ordering::Acquire */\n",
+            "}\n",
+            "// prose about unsafe Mutex blocks is fine\n",
+        );
+        assert!(lint_source("crates/x/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn multi_line_strings_stay_masked() {
+        let src = "fn f() {\n    let s = \"line one\n    unsafe Mutex line two\";\n}\n";
+        assert!(lint_source("crates/x/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_modules_are_exempt() {
+        let src = concat!(
+            "fn prod() {}\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    use std::sync::Mutex;\n",
+            "    fn t() {\n",
+            "        unsafe { core::hint::unreachable_unchecked() }\n",
+            "    }\n",
+            "}\n",
+        );
+        assert!(lint_source("crates/x/src/a.rs", src).is_empty());
+        let outside = "use std::sync::Mutex;\n#[cfg(test)]\nmod tests {}\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/x/src/a.rs", outside)),
+            ["no-std-mutex"]
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        // If `'a` were treated as an opening char literal the rest of
+        // the line would be masked and the violation missed.
+        let src = "fn f<'a>(x: &'a AtomicU64) {\n    x.load(Ordering::Acquire);\n}\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/x/src/a.rs", src)),
+            ["ordering-comment"]
+        );
+    }
+
+    #[test]
+    fn lookback_window_is_bounded() {
+        let mut src = String::from("// SAFETY: too far away.\n");
+        for _ in 0..LOOKBACK + 1 {
+            src.push_str("fn pad() {}\n");
+        }
+        src.push_str("fn f() {\n    unsafe { g() }\n}\n");
+        assert_eq!(
+            rules_of(&lint_source("crates/x/src/a.rs", &src)),
+            ["safety-comment"]
+        );
+    }
+
+    #[test]
+    fn token_matching_requires_word_boundaries() {
+        let src = "fn f(unsafety: u32, my_mutex_count: MutexCount) {}\n";
+        // `unsafety` and `MutexCount` are distinct identifiers, not the
+        // `unsafe` / `Mutex` tokens.
+        assert!(lint_source("crates/x/src/a.rs", src).is_empty());
+    }
+}

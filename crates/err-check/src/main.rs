@@ -1,0 +1,69 @@
+//! `err-check` CLI.
+//!
+//! * `err-check lint [--root PATH]` — run the concurrency source lints
+//!   and doc-drift rules over the workspace; exit 1 on any violation.
+//! * `err-check mutants` — smoke-run the intentionally-broken model
+//!   mutants (`cargo test -p err-check --features model mutant_`) and
+//!   fail unless every one of them is caught by the checker.
+
+use std::path::PathBuf;
+use std::process::{Command, ExitCode};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: err-check lint [--root PATH] | err-check mutants");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let root = match args.get(1).map(String::as_str) {
+                None => err_check::workspace_root(),
+                Some("--root") => match args.get(2) {
+                    Some(p) => PathBuf::from(p),
+                    None => return usage(),
+                },
+                Some(_) => return usage(),
+            };
+            let violations = match err_check::lint_workspace(&root) {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!("err-check: cannot scan {}: {e}", root.display());
+                    return ExitCode::from(2);
+                }
+            };
+            if violations.is_empty() {
+                println!("err-check: clean ({})", root.display());
+                ExitCode::SUCCESS
+            } else {
+                for v in &violations {
+                    println!("{v}");
+                }
+                println!("err-check: {} violation(s)", violations.len());
+                ExitCode::FAILURE
+            }
+        }
+        Some("mutants") => {
+            // Each `mutant_*` test re-runs a lock-free core with one
+            // ordering deliberately weakened and asserts the model
+            // checker reports a violation — so a passing filter run
+            // means every shipped mutant is caught.
+            let status = Command::new(std::env::var("CARGO").unwrap_or_else(|_| "cargo".into()))
+                .args(["test", "-p", "err-check", "--features", "model", "mutant_"])
+                .status();
+            match status {
+                Ok(s) if s.success() => ExitCode::SUCCESS,
+                Ok(_) => {
+                    eprintln!("err-check: a mutant escaped the model checker");
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("err-check: failed to spawn cargo: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,388 @@
+//! Loom-style model checks over the workspace's lock-free cores, plus
+//! intentionally-broken mutants the checker must catch.
+//!
+//! Run with `cargo test -p err-check --features model`. Each shipped
+//! structure gets a model that passes (exhaustively where the state
+//! space allows, preemption-bounded where it doesn't) and a paired
+//! `mutant_*` test that weakens exactly one memory ordering and asserts
+//! the checker reports a violation. `cargo run -p err-check -- mutants`
+//! runs only the mutant half as a CI smoke.
+#![cfg(feature = "model")]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use err_egress::{spsc_ring, CreditPool};
+use err_runtime::channel::MpscRing;
+use err_runtime::gate::DrainGate;
+use loom::cell::UnsafeCell;
+use loom::model::Builder;
+use loom::thread;
+
+/// Runs `f` under the checker expecting a violation (data race, failed
+/// assertion, deadlock); panics if the mutant escapes.
+fn expect_violation<F>(name: &str, f: F)
+where
+    F: FnOnce(),
+{
+    let payload = catch_unwind(AssertUnwindSafe(f))
+        .expect_err(&format!("mutant `{name}` escaped the model checker"));
+    let msg = payload
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| payload.downcast_ref::<&str>().copied())
+        .unwrap_or("");
+    assert!(
+        msg.contains("loom model violation"),
+        "mutant `{name}` panicked for the wrong reason: {msg}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Shipped models: these must pass.
+// ---------------------------------------------------------------------
+
+/// Two producers race into the ingress MPSC ring while the consumer
+/// drains; nothing is lost, duplicated, or torn. Preemption-bounded:
+/// three threads with retry loops blow up the unbounded schedule space,
+/// and two preemptions already cover every publish/consume overlap.
+#[test]
+fn model_mpsc_two_producers_no_loss() {
+    let mut b = Builder::new();
+    b.max_preemptions = Some(2);
+    b.max_iterations = 2_000_000;
+    let report = b.check(|| {
+        let ring = Arc::new(MpscRing::with_capacity(2));
+        let handles: Vec<_> = [1u32, 2u32]
+            .into_iter()
+            .map(|v| {
+                let ring = Arc::clone(&ring);
+                thread::spawn(move || {
+                    ring.push(v).expect("capacity 2 never fills with 2 pushes");
+                })
+            })
+            .collect();
+        let mut got = Vec::new();
+        while got.len() < 2 {
+            match ring.pop() {
+                Some(v) => got.push(v),
+                None => thread::yield_now(),
+            }
+        }
+        for h in handles {
+            h.join().expect("producer");
+        }
+        got.sort_unstable();
+        assert_eq!(got, [1, 2], "each packet delivered exactly once");
+        assert!(ring.is_empty());
+    });
+    println!(
+        "model_mpsc_two_producers_no_loss: {} interleavings (complete={})",
+        report.executions, report.complete
+    );
+    assert!(report.complete, "bounded DFS must exhaust");
+}
+
+/// A capacity-1 ring forced through sequence-number wraparound: the
+/// producer pushes two packets back-to-back (retrying while full), so
+/// the same slot is reused with a lap-incremented sequence. FIFO order
+/// must survive the wrap.
+#[test]
+fn model_mpsc_wraparound_capacity_one() {
+    let mut b = Builder::new();
+    b.max_preemptions = Some(2);
+    b.max_iterations = 2_000_000;
+    let report = b.check(|| {
+        let ring = Arc::new(MpscRing::with_capacity(1));
+        let producer = {
+            let ring = Arc::clone(&ring);
+            thread::spawn(move || {
+                for v in [10u32, 20u32] {
+                    let mut item = v;
+                    loop {
+                        match ring.push(item) {
+                            Ok(()) => break,
+                            Err(_) => {
+                                item = v;
+                                thread::yield_now();
+                            }
+                        }
+                    }
+                }
+            })
+        };
+        let mut got = Vec::new();
+        while got.len() < 2 {
+            match ring.pop() {
+                Some(v) => got.push(v),
+                None => thread::yield_now(),
+            }
+        }
+        producer.join().expect("producer");
+        assert_eq!(got, [10, 20], "FIFO across the wraparound");
+    });
+    println!(
+        "model_mpsc_wraparound_capacity_one: {} interleavings (complete={})",
+        report.executions, report.complete
+    );
+    assert!(report.complete, "bounded DFS must exhaust");
+}
+
+/// The egress pipeline in miniature: the worker acquires a credit
+/// before pushing into the SPSC ring; the flusher pops and releases the
+/// credit on delivery. With one credit the ring can never hold more
+/// than one in-flight flit, order is preserved, and the pool returns to
+/// full once drained.
+#[test]
+fn model_spsc_credit_pipeline() {
+    let mut b = Builder::new();
+    b.max_preemptions = Some(3);
+    b.max_iterations = 2_000_000;
+    let report = b.check(|| {
+        let (mut tx, mut rx) = spsc_ring::<u32>(2);
+        let credits = Arc::new(CreditPool::new(1));
+        let producer = {
+            let credits = Arc::clone(&credits);
+            thread::spawn(move || {
+                for v in [7u32, 8u32] {
+                    while !credits.try_acquire() {
+                        thread::yield_now();
+                    }
+                    tx.push(v).expect("a held credit guarantees ring space");
+                }
+            })
+        };
+        let mut got = Vec::new();
+        while got.len() < 2 {
+            match rx.pop() {
+                Some(v) => {
+                    got.push(v);
+                    credits.release();
+                }
+                None => thread::yield_now(),
+            }
+        }
+        producer.join().expect("producer");
+        assert_eq!(got, [7, 8], "SPSC order preserved");
+        assert!(rx.is_empty());
+        assert_eq!(credits.available(), 1, "all credits returned");
+        assert_eq!(credits.outstanding(), 0);
+    });
+    println!(
+        "model_spsc_credit_pipeline: {} interleavings (complete={})",
+        report.executions, report.complete
+    );
+    assert!(report.complete, "bounded DFS must exhaust");
+}
+
+/// The closed+in_flight drain pairing (DESIGN.md §10), pinning PR 4's
+/// one-packet leak: a submitter races `DrainGate::enter` against the
+/// worker's `close` → `can_finish` → final ring read. The shipped
+/// announce-then-check order means any packet the gate admits is
+/// visible to the worker's final read — checked exhaustively, no
+/// preemption bound.
+#[test]
+fn model_drain_gate_no_lost_packet() {
+    let report = Builder::new().check(|| {
+        let gate = Arc::new(DrainGate::new());
+        let ring = Arc::new(UnsafeCell::new(0u32));
+        let submitter = {
+            let gate = Arc::clone(&gate);
+            let ring = Arc::clone(&ring);
+            thread::spawn(move || match gate.enter() {
+                Some(permit) => {
+                    ring.with_mut(|p| unsafe { *p += 1 });
+                    drop(permit);
+                    true
+                }
+                None => false,
+            })
+        };
+        gate.close();
+        while !gate.can_finish() {
+            thread::yield_now();
+        }
+        // can_finish() == true orders this read after any admitted
+        // push's permit drop; a rejected submitter never touches the
+        // ring. The race detector proves both claims.
+        let drained = ring.with(|p| unsafe { *p });
+        let accepted = submitter.join().expect("submitter");
+        assert_eq!(
+            drained,
+            u32::from(accepted),
+            "every admitted packet is drained, every rejected one untouched"
+        );
+    });
+    println!(
+        "model_drain_gate_no_lost_packet: {} interleavings (complete={})",
+        report.executions, report.complete
+    );
+    assert!(report.complete, "gate model must be exhaustive");
+}
+
+// ---------------------------------------------------------------------
+// Mutants: one weakened ordering each; the checker must catch them.
+// Each is a self-contained miniature of the shipped structure with the
+// single load/store under test flipped to a broken ordering.
+// ---------------------------------------------------------------------
+
+/// MpscRing's slot-sequence publish (`channel.rs` push) with the
+/// Release store weakened to Relaxed: the consumer's Acquire sequence
+/// load no longer carries the cell write, so reading the payload is a
+/// data race.
+#[test]
+fn mutant_mpsc_publish_relaxed() {
+    use loom::sync::atomic::{AtomicUsize, Ordering};
+    expect_violation("mpsc_publish_relaxed", || {
+        Builder::new().check(|| {
+            let seq = Arc::new(AtomicUsize::new(0));
+            let val = Arc::new(UnsafeCell::new(0usize));
+            let producer = {
+                let (seq, val) = (Arc::clone(&seq), Arc::clone(&val));
+                thread::spawn(move || {
+                    val.with_mut(|p| unsafe { *p = 42 });
+                    // MUTATION: shipped code publishes with Release.
+                    seq.store(1, Ordering::Relaxed);
+                })
+            };
+            while seq.load(Ordering::Acquire) != 1 {
+                thread::yield_now();
+            }
+            let got = val.with(|p| unsafe { *p });
+            assert_eq!(got, 42);
+            producer.join().expect("producer");
+        });
+    });
+}
+
+/// The SPSC ring's Lamport tail publish (`spsc.rs` push) weakened from
+/// Release to Relaxed: the consumer's Acquire tail load observes the
+/// new index without acquiring the slot write before it.
+#[test]
+fn mutant_spsc_tail_relaxed() {
+    use loom::sync::atomic::{AtomicUsize, Ordering};
+    expect_violation("spsc_tail_relaxed", || {
+        Builder::new().check(|| {
+            let tail = Arc::new(AtomicUsize::new(0));
+            let head = Arc::new(AtomicUsize::new(0));
+            let slot = Arc::new(UnsafeCell::new(0u64));
+            let producer = {
+                let (tail, slot) = (Arc::clone(&tail), Arc::clone(&slot));
+                thread::spawn(move || {
+                    let t = tail.load(Ordering::Relaxed);
+                    slot.with_mut(|p| unsafe { *p = 99 });
+                    // MUTATION: shipped code stores tail with Release.
+                    tail.store(t + 1, Ordering::Relaxed);
+                })
+            };
+            let h = head.load(Ordering::Relaxed);
+            while tail.load(Ordering::Acquire) == h {
+                thread::yield_now();
+            }
+            let got = slot.with(|p| unsafe { *p });
+            assert_eq!(got, 99);
+            head.store(h + 1, Ordering::Release);
+            producer.join().expect("producer");
+        });
+    });
+}
+
+/// CreditPool::release (`credit.rs`) weakened from AcqRel to Relaxed:
+/// the next try_acquire's CAS sees the credit come back but not the
+/// payload work it covered, so two holders of the same credit race on
+/// the guarded cell.
+#[test]
+fn mutant_credit_release_relaxed() {
+    use loom::sync::atomic::{AtomicU64, Ordering};
+    expect_violation("credit_release_relaxed", || {
+        Builder::new().check(|| {
+            let credits = Arc::new(AtomicU64::new(1));
+            let guarded = Arc::new(UnsafeCell::new(0u32));
+            let try_acquire = |c: &AtomicU64| {
+                // Acquire CAS, as shipped (the consume side is sound).
+                c.compare_exchange(1, 0, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            };
+            let holder = {
+                let (credits, guarded) = (Arc::clone(&credits), Arc::clone(&guarded));
+                thread::spawn(move || {
+                    assert!(try_acquire(&credits), "credit starts available");
+                    guarded.with_mut(|p| unsafe { *p += 1 });
+                    // MUTATION: shipped release is AcqRel fetch_add.
+                    credits.fetch_add(1, Ordering::Relaxed);
+                })
+            };
+            while !try_acquire(&credits) {
+                thread::yield_now();
+            }
+            guarded.with_mut(|p| unsafe { *p += 1 });
+            credits.fetch_add(1, Ordering::Relaxed);
+            holder.join().expect("holder");
+        });
+    });
+}
+
+/// DrainGate::enter (`gate.rs`) with the Dekker inverted to
+/// check-then-announce — exactly PR 4's one-packet drain leak: the
+/// submitter reads `closed == false`, stalls before bumping
+/// `in_flight`, the worker closes, sees `in_flight == 0`, declares the
+/// drain finished and takes its final ring read — then the stalled
+/// submitter lands a packet nobody will ever flush.
+#[test]
+fn mutant_drain_gate_check_then_enter() {
+    use loom::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    struct BrokenGate {
+        closed: AtomicBool,
+        in_flight: AtomicU64,
+    }
+    impl BrokenGate {
+        // MUTATION: shipped enter announces (fetch_add) *before*
+        // checking closed; this checks first.
+        fn enter(&self) -> bool {
+            if self.closed.load(Ordering::SeqCst) {
+                return false;
+            }
+            self.in_flight.fetch_add(1, Ordering::SeqCst);
+            true
+        }
+        fn exit(&self) {
+            self.in_flight.fetch_sub(1, Ordering::SeqCst);
+        }
+        fn can_finish(&self) -> bool {
+            self.closed.load(Ordering::SeqCst) && self.in_flight.load(Ordering::SeqCst) == 0
+        }
+    }
+    expect_violation("drain_gate_check_then_enter", || {
+        // The leak needs one preemption (submitter stalled between its
+        // closed check and its in_flight announce); bounding keeps the
+        // yield-spin schedule space from drowning it.
+        let mut b = Builder::new();
+        b.max_preemptions = Some(3);
+        b.check(|| {
+            let gate = Arc::new(BrokenGate {
+                closed: AtomicBool::new(false),
+                in_flight: AtomicU64::new(0),
+            });
+            let ring = Arc::new(UnsafeCell::new(0u32));
+            let submitter = {
+                let (gate, ring) = (Arc::clone(&gate), Arc::clone(&ring));
+                thread::spawn(move || {
+                    if gate.enter() {
+                        ring.with_mut(|p| unsafe { *p += 1 });
+                        gate.exit();
+                        true
+                    } else {
+                        false
+                    }
+                })
+            };
+            gate.closed.store(true, Ordering::SeqCst);
+            while !gate.can_finish() {
+                thread::yield_now();
+            }
+            let drained = ring.with(|p| unsafe { *p });
+            let accepted = submitter.join().expect("submitter");
+            assert_eq!(drained, u32::from(accepted), "leaked packet");
+        });
+    });
+}

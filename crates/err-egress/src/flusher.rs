@@ -218,6 +218,9 @@ pub fn run_flusher<E: Egress>(
             backoff = BACKOFF_FLOOR;
             continue;
         }
+        // ordering: Acquire pairs with the runtime's Release
+        // `egress_closed` store at shutdown (err-runtime
+        // drain_within) — the one-way "workers are gone" latch.
         if closed.load(Ordering::Acquire) {
             if core.is_idle() {
                 return;

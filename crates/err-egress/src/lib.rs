@@ -32,16 +32,19 @@
 
 #![warn(missing_docs)]
 
+pub mod credit;
 pub mod flusher;
 pub mod link;
 pub mod spsc;
 pub mod stall;
 pub mod stats;
+pub(crate) mod sync;
 
 use std::sync::Arc;
 
 use err_sched::ServedFlit;
 
+pub use credit::CreditPool;
 pub use flusher::{run_flusher, FlusherCore};
 pub use link::{DeadLinkPolicy, LinkSet, LinkSnapshot, LinkState};
 pub use spsc::{spsc_ring, Consumer, Producer};

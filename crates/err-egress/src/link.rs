@@ -24,6 +24,8 @@ use std::sync::Mutex;
 use desim::Histogram;
 use serde::Serialize;
 
+use crate::credit::CreditPool;
+
 /// Geometry of the stall-duration histograms (flush-clock cycles per
 /// bin × bins). Stalls longer than 64k delivered flits land in the
 /// overflow bucket; `max_stall_cycles` still records them exactly.
@@ -68,8 +70,8 @@ pub enum DeadLinkPolicy {
 
 /// Counters of one downstream link.
 struct Link {
-    /// Credits currently available to senders.
-    credits: AtomicU64,
+    /// The link's credit pool (available credits + outstanding peak).
+    credits: CreditPool,
     /// Whether the downstream is refusing flits.
     stalled: AtomicBool,
     /// Flush-clock reading when the current stall began (valid while
@@ -81,9 +83,6 @@ struct Link {
     max_stall_cycles: AtomicU64,
     /// Flits delivered downstream on this link.
     delivered: AtomicU64,
-    /// Peak credits outstanding at once (high-water mark of buffered
-    /// flits committed to this link).
-    outstanding_peak: AtomicU64,
     /// Whether the link has been declared dead (DESIGN.md §9.3).
     dead: AtomicBool,
     /// Flush-clock reading at the last credit return (delivery or
@@ -104,13 +103,12 @@ struct Link {
 impl Link {
     fn new(credits: u64) -> Self {
         Self {
-            credits: AtomicU64::new(credits),
+            credits: CreditPool::new(credits),
             stalled: AtomicBool::new(false),
             stall_began: AtomicU64::new(0),
             stall_events: AtomicU64::new(0),
             max_stall_cycles: AtomicU64::new(0),
             delivered: AtomicU64::new(0),
-            outstanding_peak: AtomicU64::new(0),
             dead: AtomicBool::new(false),
             last_credit_return: AtomicU64::new(0),
             dead_letters: AtomicU64::new(0),
@@ -220,6 +218,9 @@ impl LinkSet {
 
     /// Current flush-clock reading (total delivered flits).
     pub fn flush_clock(&self) -> u64 {
+        // ordering: Acquire pairs with the AcqRel clock advance in
+        // `on_delivered` — a reader at clock `t` observes every
+        // delivery that produced ticks ≤ `t`.
         self.flush_clock.load(Ordering::Acquire)
     }
 
@@ -227,24 +228,7 @@ impl LinkSet {
     /// pool is exhausted — the caller must stop committing flits to
     /// this link until credits return.
     pub fn try_acquire(&self, link: usize) -> bool {
-        let l = &self.links[link];
-        let mut cur = l.credits.load(Ordering::Relaxed);
-        loop {
-            if cur == 0 {
-                return false;
-            }
-            match l
-                .credits
-                .compare_exchange_weak(cur, cur - 1, Ordering::AcqRel, Ordering::Relaxed)
-            {
-                Ok(_) => {
-                    let outstanding = self.credits_per_link - (cur - 1);
-                    l.outstanding_peak.fetch_max(outstanding, Ordering::Relaxed);
-                    return true;
-                }
-                Err(seen) => cur = seen,
-            }
-        }
+        self.links[link].credits.try_acquire()
     }
 
     /// Records a flit delivered downstream on `link`: returns its
@@ -252,11 +236,11 @@ impl LinkSet {
     pub fn on_delivered(&self, link: usize) -> u64 {
         let l = &self.links[link];
         l.delivered.fetch_add(1, Ordering::Relaxed);
-        let prev = l.credits.fetch_add(1, Ordering::AcqRel);
-        debug_assert!(
-            prev < self.credits_per_link,
-            "credit overflow on link {link}"
-        );
+        l.credits.release();
+        // ordering: AcqRel — Release publishes this delivery to
+        // `flush_clock` Acquire readers (watchdog, stall plans);
+        // Acquire chains deliveries from other flushers so the clock
+        // is a consistent total count.
         let clock = self.flush_clock.fetch_add(1, Ordering::AcqRel) + 1;
         l.last_credit_return.store(clock, Ordering::Relaxed);
         clock
@@ -269,11 +253,9 @@ impl LinkSet {
     pub fn on_dead_letter(&self, link: usize) {
         let l = &self.links[link];
         l.dead_letters.fetch_add(1, Ordering::Relaxed);
-        let prev = l.credits.fetch_add(1, Ordering::AcqRel);
-        debug_assert!(
-            prev < self.credits_per_link,
-            "credit overflow on link {link}"
-        );
+        l.credits.release();
+        // ordering: Acquire — same flush-clock pairing as
+        // `flush_clock()` (reads the clock without advancing it).
         l.last_credit_return
             .store(self.flush_clock.load(Ordering::Acquire), Ordering::Relaxed);
     }
@@ -285,20 +267,30 @@ impl LinkSet {
     /// dead-lettered at flusher exit instead).
     pub fn blocked(&self, link: usize) -> bool {
         let l = &self.links[link];
+        // ordering: Acquire pairs with the AcqRel `dead` swap in
+        // `declare_dead`/`resurrect` — a worker that sees the verdict
+        // is ordered after the watchdog's bookkeeping.
         if l.dead.load(Ordering::Acquire) {
             return self.policy == DeadLinkPolicy::HoldForRecovery;
         }
+        // ordering: Acquire on both flags — pairs with the AcqRel
+        // `stalled` swap in `freeze`/`release_stall` and the Release
+        // `draining` store in `set_draining`.
         l.stalled.load(Ordering::Acquire) && !self.draining.load(Ordering::Acquire)
     }
 
     /// Whether `link` is administratively frozen (ignores draining —
     /// used by tests and stats).
     pub fn is_stalled(&self, link: usize) -> bool {
+        // ordering: Acquire pairs with the AcqRel `stalled` swap in
+        // `freeze`/`release_stall`.
         self.links[link].stalled.load(Ordering::Acquire)
     }
 
     /// Whether `link` has been declared dead.
     pub fn is_dead(&self, link: usize) -> bool {
+        // ordering: Acquire pairs with the AcqRel `dead` swap in
+        // `declare_dead`/`resurrect`.
         self.links[link].dead.load(Ordering::Acquire)
     }
 
@@ -306,6 +298,8 @@ impl LinkSet {
     /// reports [`LinkState::Dead`] even if the stall flag is still set.
     pub fn state(&self, link: usize) -> LinkState {
         let l = &self.links[link];
+        // ordering: Acquire on both flags — same pairings as
+        // `is_dead`/`is_stalled`.
         if l.dead.load(Ordering::Acquire) {
             LinkState::Dead
         } else if l.stalled.load(Ordering::Acquire) {
@@ -319,6 +313,9 @@ impl LinkSet {
     /// is already dead records no second death.
     pub fn declare_dead(&self, link: usize) {
         let l = &self.links[link];
+        // ordering: AcqRel — Release publishes the verdict to the
+        // Acquire readers (`blocked`, `is_dead`, `state`); Acquire
+        // orders a re-declaration after a racing `resurrect`.
         if !l.dead.swap(true, Ordering::AcqRel) {
             l.deaths.fetch_add(1, Ordering::Relaxed);
         }
@@ -330,7 +327,10 @@ impl LinkSet {
     /// down. A no-op on a live link.
     pub fn resurrect(&self, link: usize) {
         let l = &self.links[link];
+        // ordering: AcqRel — mirror of `declare_dead`'s swap.
         if l.dead.swap(false, Ordering::AcqRel) {
+            // ordering: Acquire — flush-clock pairing as in
+            // `flush_clock()` (re-arms the deadline from "now").
             l.last_credit_return
                 .store(self.flush_clock.load(Ordering::Acquire), Ordering::Relaxed);
             l.resurrections.fetch_add(1, Ordering::Relaxed);
@@ -346,13 +346,17 @@ impl LinkSet {
         let Some(deadline) = self.dead_deadline else {
             return Vec::new();
         };
+        // ordering: Acquire — flush-clock pairing as in
+        // `flush_clock()`; deadlines are judged on a clock no newer
+        // than any credit-return timestamp read below.
         let clock = self.flush_clock.load(Ordering::Acquire);
         let mut died = Vec::new();
         for (link, l) in self.links.iter().enumerate() {
+            // ordering: Acquire — pairs with the AcqRel `dead` swaps.
             if l.dead.load(Ordering::Acquire) {
                 continue;
             }
-            let outstanding = self.credits_per_link - l.credits.load(Ordering::Acquire);
+            let outstanding = l.credits.outstanding();
             if outstanding == 0 {
                 continue;
             }
@@ -372,9 +376,15 @@ impl LinkSet {
     /// [`release_stall`]: LinkSet::release_stall
     pub fn freeze(&self, link: usize) {
         let l = &self.links[link];
+        // ordering: AcqRel — Release publishes the freeze to `blocked`
+        // Acquire readers; Acquire orders this freeze after a racing
+        // release's histogram write.
         if l.stalled.swap(true, Ordering::AcqRel) {
             return;
         }
+        // ordering: Release `stall_began` pairs with the Acquire load
+        // in `release_stall`; the clock load is the `flush_clock()`
+        // pairing.
         l.stall_began
             .store(self.flush_clock.load(Ordering::Acquire), Ordering::Release);
         l.stall_events.fetch_add(1, Ordering::Relaxed);
@@ -385,9 +395,14 @@ impl LinkSet {
     /// frozen.
     pub fn release_stall(&self, link: usize) {
         let l = &self.links[link];
+        // ordering: AcqRel — mirror of `freeze`'s swap; the Acquire
+        // half orders this thaw after the freezer's `stall_began`
+        // store.
         if !l.stalled.swap(false, Ordering::AcqRel) {
             return;
         }
+        // ordering: Acquire pairs with the Release `stall_began` store
+        // in `freeze`; the clock load is the `flush_clock()` pairing.
         let began = l.stall_began.load(Ordering::Acquire);
         let dur = self
             .flush_clock
@@ -411,6 +426,8 @@ impl LinkSet {
     /// Enters drain mode: frozen links stop blocking so buffered flits
     /// can reach the sink.
     pub fn set_draining(&self, draining: bool) {
+        // ordering: Release pairs with the Acquire `draining` load in
+        // `blocked` — a one-way (per drain) override latch.
         self.draining.store(draining, Ordering::Release);
     }
 
@@ -422,12 +439,14 @@ impl LinkSet {
                 let h = l.stall_hist.lock().expect("stall histogram poisoned");
                 LinkSnapshot {
                     delivered_flits: l.delivered.load(Ordering::Relaxed),
-                    credits_available: l.credits.load(Ordering::Relaxed),
-                    outstanding_peak: l.outstanding_peak.load(Ordering::Relaxed),
+                    credits_available: l.credits.available(),
+                    outstanding_peak: l.credits.outstanding_peak(),
                     stall_events: l.stall_events.load(Ordering::Relaxed),
                     max_stall_cycles: l.max_stall_cycles.load(Ordering::Relaxed),
                     mean_stall_cycles: h.mean(),
                     stalls_completed: h.count(),
+                    // ordering: Acquire on both flags — same pairings
+                    // as `state()`.
                     state: if l.dead.load(Ordering::Acquire) {
                         LinkState::Dead
                     } else if l.stalled.load(Ordering::Acquire) {

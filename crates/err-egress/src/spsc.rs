@@ -11,10 +11,10 @@
 //! distinguish full from empty, so a ring built with capacity `c` holds
 //! at least `c` items.
 
-use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+
+use crate::sync::{AtomicUsize, Ordering, UnsafeCell};
 
 struct Inner<T> {
     buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
@@ -25,21 +25,27 @@ struct Inner<T> {
     tail: AtomicUsize,
 }
 
-// The producer/consumer split guarantees each slot is accessed by at most
-// one thread at a time (ownership transfers through the head/tail
-// acquire/release pair).
+// SAFETY: the ring owns its values; moving it moves them, so `T: Send`
+// suffices.
 unsafe impl<T: Send> Send for Inner<T> {}
+// SAFETY: the producer/consumer split guarantees each slot is accessed
+// by at most one thread at a time — ownership transfers through the
+// head/tail Acquire/Release pairs in `push`/`pop`.
 unsafe impl<T: Send> Sync for Inner<T> {}
 
 impl<T> Drop for Inner<T> {
     fn drop(&mut self) {
         // Drop any items still in flight (both handles are gone, so the
-        // cursors are stable).
+        // cursors are stable; the Arc teardown that got us `&mut self`
+        // already ordered us after both sides' last access).
         let head = self.head.load(Ordering::Relaxed);
         let tail = self.tail.load(Ordering::Relaxed);
         let mut i = head;
         while i != tail {
-            unsafe { (*self.buf[i & self.mask].get()).assume_init_drop() };
+            // SAFETY: positions in [head, tail) were written by the
+            // producer and never read out by the consumer, and `&mut
+            // self` proves no other accessor exists.
+            self.buf[i & self.mask].with_mut(|p| unsafe { (*p).assume_init_drop() });
             i = i.wrapping_add(1);
         }
     }
@@ -97,15 +103,24 @@ impl<T> Producer<T> {
     pub fn push(&mut self, item: T) -> Result<(), T> {
         let cap = self.inner.mask + 1;
         if self.tail.wrapping_sub(self.cached_head) == cap - 1 {
+            // ordering: Acquire pairs with the consumer's Release
+            // `head` store in `pop` — the consumer's read-out of the
+            // slot we are about to overwrite completed before it
+            // advanced `head`.
             self.cached_head = self.inner.head.load(Ordering::Acquire);
             if self.tail.wrapping_sub(self.cached_head) == cap - 1 {
                 return Err(item);
             }
         }
-        unsafe {
-            (*self.inner.buf[self.tail & self.inner.mask].get()).write(item);
-        }
+        // SAFETY: the slot at `tail` is outside [head, tail) — the
+        // consumer never touches it — and the full-check above proved
+        // the previous lap's value was read out (via the Acquire edge
+        // on `head`), so the single producer owns it exclusively.
+        self.inner.buf[self.tail & self.inner.mask].with_mut(|p| unsafe { (*p).write(item) });
         self.tail = self.tail.wrapping_add(1);
+        // ordering: Release pairs with the consumer's Acquire `tail`
+        // load in `pop`/`is_empty` — publishes the cell write above
+        // before the slot becomes visible.
         self.inner.tail.store(self.tail, Ordering::Release);
         Ok(())
     }
@@ -114,6 +129,8 @@ impl<T> Producer<T> {
     /// for the producer's own pushes; the consumer may have drained more
     /// since `cached_head` was refreshed, so this is an upper bound).
     pub fn occupancy(&mut self) -> usize {
+        // ordering: Acquire — same pairing as the full-check in `push`
+        // (the refreshed `cached_head` may be reused there).
         self.cached_head = self.inner.head.load(Ordering::Acquire);
         self.tail.wrapping_sub(self.cached_head)
     }
@@ -123,14 +140,25 @@ impl<T> Consumer<T> {
     /// Pops the oldest item, or `None` if the ring is empty.
     pub fn pop(&mut self) -> Option<T> {
         if self.head == self.cached_tail {
+            // ordering: Acquire pairs with the producer's Release
+            // `tail` store in `push` — the cell write at `head` is
+            // visible before the slot appears occupied.
             self.cached_tail = self.inner.tail.load(Ordering::Acquire);
             if self.head == self.cached_tail {
                 return None;
             }
         }
-        let item =
-            unsafe { (*self.inner.buf[self.head & self.inner.mask].get()).assume_init_read() };
+        // SAFETY: `head < cached_tail` (where `cached_tail` came from
+        // the Acquire load above) proves the producer published this
+        // slot, and the single consumer owns position `head`
+        // exclusively, so the initialized value can be moved out
+        // exactly once.
+        let item = self.inner.buf[self.head & self.inner.mask]
+            .with(|p| unsafe { (*p).assume_init_read() });
         self.head = self.head.wrapping_add(1);
+        // ordering: Release pairs with the producer's Acquire `head`
+        // load in `push` — the read-out above completes before the slot
+        // reads free, so the next lap's write cannot clobber it.
         self.inner.head.store(self.head, Ordering::Release);
         Some(item)
     }
@@ -140,6 +168,8 @@ impl<T> Consumer<T> {
         if self.head != self.cached_tail {
             return false;
         }
+        // ordering: Acquire — same pairing as the empty-check in `pop`
+        // (the refreshed `cached_tail` may be reused there).
         self.cached_tail = self.inner.tail.load(Ordering::Acquire);
         self.head == self.cached_tail
     }

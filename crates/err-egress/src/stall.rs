@@ -150,6 +150,9 @@ impl StallInjector {
     /// due: one atomic load and one clock read.
     pub fn poll(&self, links: &LinkSet) {
         loop {
+            // ordering: Acquire pairs with the AcqRel claim CAS below —
+            // a poller that observes an advanced cursor is ordered
+            // after the claiming poller's freeze/release.
             let idx = self.cursor.load(Ordering::Acquire);
             let Some(e) = self.events.get(idx) else {
                 return;
@@ -158,6 +161,9 @@ impl StallInjector {
                 return;
             }
             // Claim the event; on a race the loser retries at idx+1.
+            // ordering: AcqRel — Release publishes the claim to the
+            // Acquire loads above; Acquire orders this poller after
+            // the previous claimer when cursors chain.
             if self
                 .cursor
                 .compare_exchange(idx, idx + 1, Ordering::AcqRel, Ordering::Acquire)
@@ -174,6 +180,9 @@ impl StallInjector {
 
     /// Whether every scheduled event has been applied.
     pub fn exhausted(&self) -> bool {
+        // ordering: Acquire pairs with the AcqRel claim CAS in `poll`
+        // so an exhausted verdict is ordered after the last event's
+        // application.
         self.cursor.load(Ordering::Acquire) >= self.events.len()
     }
 }

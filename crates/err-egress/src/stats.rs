@@ -1,4 +1,10 @@
 //! Egress-side counters: per-shard atomics plus aggregate snapshots.
+//!
+//! Like the runtime's stats module, every counter is **approximate
+//! under race**: all accesses are `Relaxed` (enforced by err-check's
+//! `stats-relaxed` lint), each counter is individually exact, and
+//! cross-counter relationships are only meaningful after a drain.
+//! Nothing in the scheduling or flow-control path reads these.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 

@@ -170,6 +170,8 @@ fn egress_measure(
                 let link = f.flow % EGRESS_LINKS;
                 if link == 0 {
                     if let Some(flag) = &frozen {
+                        // ordering: Acquire pairs with the unfreezer
+                        // thread's Release store below.
                         while flag.load(Ordering::Acquire) {
                             std::thread::sleep(Duration::from_micros(100));
                         }
@@ -228,6 +230,7 @@ fn egress_stall_run(shards: usize, window: Duration) -> EgressSample {
     let f2 = Arc::clone(&frozen);
     let unfreezer = std::thread::spawn(move || {
         std::thread::sleep(window + Duration::from_millis(50));
+        // ordering: Release pairs with the sync sink's Acquire spin.
         f2.store(false, Ordering::Release);
     });
     let sync_stalled_fps = egress_measure(shards, EgressMode::Sync, Some(frozen), window);

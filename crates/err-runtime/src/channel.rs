@@ -9,9 +9,9 @@
 //! free, matching the runtime's goal of link-rate admission: a producer
 //! never takes a lock to hand a packet to a shard.
 
-use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::sync::{AtomicUsize, Ordering, UnsafeCell};
 
 /// Result of a failed [`MpscRing::push`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -37,7 +37,12 @@ pub struct MpscRing<T> {
     dequeue: AtomicUsize,
 }
 
+// SAFETY: the ring owns its values; moving the ring moves them, so
+// `T: Send` suffices.
 unsafe impl<T: Send> Send for MpscRing<T> {}
+// SAFETY: cross-thread access to each slot's `value` cell is mediated by
+// its `seq` Acquire/Release handshake (exclusive claim before write,
+// publication before read), so sharing the ring only requires `T: Send`.
 unsafe impl<T: Send> Sync for MpscRing<T> {}
 
 impl<T> MpscRing<T> {
@@ -77,19 +82,30 @@ impl<T> MpscRing<T> {
         self.len() == 0
     }
 
-    /// The raw enqueue cursor (`SeqCst`). Slot positions below it are
-    /// claimed; the migration donor reads it once the victim's submit
-    /// window is clear, as the drain *target* (DESIGN.md §8.3).
+    /// The raw enqueue cursor. Slot positions below it are claimed; the
+    /// migration donor reads it once the victim's submit window is
+    /// clear, as the drain *target* (DESIGN.md §8.3).
     pub fn enqueue_pos(&self) -> usize {
-        self.enqueue.load(Ordering::SeqCst)
+        // ordering: Acquire (downgraded from SeqCst in PR 5) — the
+        // donor is ordered after every pre-quiesce push by the submit
+        // window's SeqCst exit (migrate.rs WindowGuard), whose edge
+        // already covers the producer's cursor CAS; coherence then
+        // guarantees this load sees that CAS or newer. No ordering is
+        // needed from this load itself.
+        self.enqueue.load(Ordering::Acquire)
     }
 
-    /// The raw dequeue cursor (`SeqCst`). The single consumer advances
-    /// it strictly in slot order and never skips an unpublished slot,
-    /// so `dequeue_pos() ≥ target` proves every pre-target push has
-    /// been popped (DESIGN.md §8.3).
+    /// The raw dequeue cursor. The single consumer advances it strictly
+    /// in slot order and never skips an unpublished slot, so
+    /// `dequeue_pos() ≥ target` proves every pre-target push has been
+    /// popped (DESIGN.md §8.3).
     pub fn dequeue_pos(&self) -> usize {
-        self.dequeue.load(Ordering::SeqCst)
+        // ordering: Acquire (downgraded from SeqCst in PR 5) — pairs
+        // with the consumer's Release `seq` store in `pop`: observing
+        // `dequeue_pos() ≥ target` happens-after every pop below
+        // target. The donor only *waits* on this cursor (monotone
+        // predicate), so a stale read merely retries.
+        self.dequeue.load(Ordering::Acquire)
     }
 
     /// Attempts to enqueue `value`. Lock-free; fails when the ring is
@@ -98,10 +114,15 @@ impl<T> MpscRing<T> {
         let mut pos = self.enqueue.load(Ordering::Relaxed);
         loop {
             let slot = &self.slots[pos & self.mask];
+            // ordering: Acquire pairs with the consumer's Release `seq`
+            // store in `pop` — a freed slot's previous value was fully
+            // read out before this producer may overwrite it.
             let seq = slot.seq.load(Ordering::Acquire);
             let diff = seq as isize - pos as isize;
             if diff == 0 {
-                // Slot free for this lap: try to claim it.
+                // Slot free for this lap: try to claim it (Relaxed: the
+                // claim itself publishes nothing; the slot handshake
+                // below carries all payload ordering).
                 match self.enqueue.compare_exchange_weak(
                     pos,
                     pos.wrapping_add(1),
@@ -109,8 +130,15 @@ impl<T> MpscRing<T> {
                     Ordering::Relaxed,
                 ) {
                     Ok(_) => {
-                        // We own the slot until we publish seq = pos + 1.
-                        unsafe { (*slot.value.get()).write(value) };
+                        // SAFETY: the CAS claimed slot `pos` exclusively
+                        // (losers chase the cursor), and `seq == pos`
+                        // proved the consumer finished with the previous
+                        // lap's value, so writing the uninit cell is
+                        // race-free until we publish `seq = pos + 1`.
+                        slot.value.with_mut(|p| unsafe { (*p).write(value) });
+                        // ordering: Release pairs with the consumer's
+                        // Acquire `seq` load in `pop` — publishes the
+                        // cell write above before the slot reads full.
                         slot.seq.store(pos.wrapping_add(1), Ordering::Release);
                         return Ok(());
                     }
@@ -133,14 +161,28 @@ impl<T> MpscRing<T> {
     pub fn pop(&self) -> Option<T> {
         let pos = self.dequeue.load(Ordering::Relaxed);
         let slot = &self.slots[pos & self.mask];
+        // ordering: Acquire pairs with the producer's Release `seq`
+        // store in `push` — the cell write is visible before the slot
+        // reads full.
         let seq = slot.seq.load(Ordering::Acquire);
         if (seq as isize - (pos.wrapping_add(1)) as isize) < 0 {
             return None; // Nothing published at this position yet.
         }
         // Single consumer: no CAS needed on the dequeue cursor.
-        self.dequeue.store(pos.wrapping_add(1), Ordering::Relaxed);
-        let value = unsafe { (*slot.value.get()).assume_init_read() };
+        // ordering: Release (upgraded from Relaxed in PR 5) pairs with
+        // the Acquire `dequeue` load in `dequeue_pos` — a window
+        // watcher that reads the advanced cursor is ordered after this
+        // pop, which the old Relaxed store never guaranteed.
+        self.dequeue.store(pos.wrapping_add(1), Ordering::Release);
+        // SAFETY: `seq == pos + 1` proves the producer published this
+        // slot (its write happens-before the Acquire load above), and
+        // the single consumer owns position `pos` exclusively, so the
+        // initialized value can be moved out exactly once.
+        let value = slot.value.with(|p| unsafe { (*p).assume_init_read() });
         // Free the slot for the producer one lap ahead.
+        // ordering: Release pairs with the producer's Acquire `seq`
+        // load in `push` — the read-out above completes before the slot
+        // reads free, so the next lap's write cannot clobber it.
         slot.seq.store(
             pos.wrapping_add(self.mask).wrapping_add(1),
             Ordering::Release,

@@ -151,10 +151,17 @@ impl FaultBoard {
 
     /// Current health of `shard`.
     pub fn health(&self, shard: usize) -> ShardHealth {
+        // ordering: SeqCst — the health byte arbitrates between the
+        // supervisor's quarantine CAS, the dying worker's Dead store,
+        // and salvagers' rescue checks; every observer must agree on
+        // one total order of transitions (a racing death beats a
+        // quarantine everywhere, not per-thread).
         ShardHealth::from_u8(self.cells[shard].health.load(Ordering::SeqCst))
     }
 
     pub(crate) fn set_health(&self, shard: usize, health: ShardHealth) {
+        // ordering: SeqCst — same single-total-order contract as
+        // `health` (this is the Dead/Exited side of the arbitration).
         self.cells[shard]
             .health
             .store(health as u8, Ordering::SeqCst);
@@ -163,11 +170,15 @@ impl FaultBoard {
     /// Supervisor-only `Running → Quarantined` transition; returns
     /// whether this call made it (a racing death wins).
     pub(crate) fn quarantine(&self, shard: usize) -> bool {
+        // ordering: SeqCst/SeqCst — the supervisor's half of the
+        // health arbitration (see `health`): the CAS loses to a racing
+        // Dead store in the same total order every observer sees.
         self.cells[shard]
             .health
             .compare_exchange(
                 ShardHealth::Running as u8,
                 ShardHealth::Quarantined as u8,
+                // ordering: SeqCst/SeqCst — see above.
                 Ordering::SeqCst,
                 Ordering::SeqCst,
             )
@@ -179,12 +190,16 @@ impl FaultBoard {
     }
 
     pub(crate) fn stamp_death(&self, shard: usize) {
+        // ordering: SeqCst — stamped inside the salvage protocol and
+        // read against the health bytes; keeping it in the same total
+        // order means a reader that saw Dead also sees the timestamp.
         self.cells[shard]
             .death_at
             .store(self.now_micros(), Ordering::SeqCst);
     }
 
     pub(crate) fn stamp_recovery(&self, shard: usize) {
+        // ordering: SeqCst — see `stamp_death`.
         self.cells[shard]
             .recovered_at
             .store(self.now_micros(), Ordering::SeqCst);
@@ -193,6 +208,7 @@ impl FaultBoard {
     /// Microseconds (since runtime start) at which `shard` died, if it
     /// did.
     pub fn death_micros(&self, shard: usize) -> Option<u64> {
+        // ordering: SeqCst — reader side of `stamp_death`.
         match self.cells[shard].death_at.load(Ordering::SeqCst) {
             NEVER => None,
             t => Some(t),
@@ -202,6 +218,7 @@ impl FaultBoard {
     /// Microseconds (since runtime start) at which `shard`'s salvage
     /// completed, if it did.
     pub fn recovery_micros(&self, shard: usize) -> Option<u64> {
+        // ordering: SeqCst — reader side of `stamp_recovery`.
         match self.cells[shard].recovered_at.load(Ordering::SeqCst) {
             NEVER => None,
             t => Some(t),
@@ -440,6 +457,10 @@ impl FaultRuntime {
     fn post(&self, shard: usize, msgs: impl IntoIterator<Item = SalvageMsg>) {
         let mut inbox = lock_unpoisoned(&self.inboxes[shard]);
         inbox.extend(msgs);
+        // ordering: Release pairs with the Acquire flag load in
+        // `fault_tick` (the messages themselves travel under the inbox
+        // lock; the flag is the cheap "look inside" hint). `try_exit`
+        // reads it SeqCst for its flag→lock→flag fence.
         self.inbox_flags[shard].store(true, Ordering::Release);
     }
 
@@ -485,6 +506,7 @@ pub(crate) fn fault_tick(
         return;
     };
     fr.board.beat(shard);
+    // ordering: Acquire pairs with the Release flag store in `post`.
     if fr.inbox_flags[shard].load(Ordering::Acquire) {
         drain_inbox(fr, shard, scheduler, &mut ctx);
     }
@@ -519,6 +541,9 @@ fn drain_inbox(
 ) {
     let msgs: Vec<SalvageMsg> = {
         let mut inbox = lock_unpoisoned(&fr.inboxes[shard]);
+        // ordering: Release — cleared under the inbox lock before the
+        // drain; a `post` that lands after this store re-raises the
+        // flag, so no message is left behind with the flag down.
         fr.inbox_flags[shard].store(false, Ordering::Release);
         inbox.drain(..).collect()
     };
@@ -533,6 +558,11 @@ fn drain_inbox(
                         }
                     }
                 }
+                // ordering: SeqCst — the ack side of the pre-park
+                // fence: the salvager reads `park_acks` (SeqCst) while
+                // racing health transitions; one total order keeps
+                // "acked" and "candidate died" mutually exclusive
+                // verdicts.
                 fr.park_acks.fetch_add(1, Ordering::SeqCst);
             }
             SalvageMsg::Package { flow, pkg } => {
@@ -568,6 +598,8 @@ fn stick(shared: &Shared, fr: &FaultRuntime, shard: usize) {
         if fr.board.health(shard) == ShardHealth::Quarantined {
             panic!("shard {shard}: quarantine honored (injected wedge)");
         }
+        // ordering: Acquire pairs with the Release `abort` store in
+        // `Runtime::drain_within`.
         if shared.abort.load(Ordering::Acquire) {
             panic!("shard {shard}: injected wedge aborted by shutdown");
         }
@@ -650,6 +682,8 @@ pub(crate) fn salvage_shard(
     // salvager already timed out and moved on.
     let pending: Vec<SalvageMsg> = {
         let mut inbox = lock_unpoisoned(&fr.inboxes[shard]);
+        // ordering: Release — same clear-under-lock pattern as
+        // `drain_inbox`.
         fr.inbox_flags[shard].store(false, Ordering::Release);
         inbox.drain(..).collect()
     };
@@ -673,6 +707,8 @@ pub(crate) fn salvage_shard(
         let Some(candidate) = fr.next_alive(shard, &excluded) else {
             break None;
         };
+        // ordering: SeqCst — baseline for the ack wait below; see the
+        // fence note on the `park_acks` increment in `drain_inbox`.
         let base = fr.park_acks.load(Ordering::SeqCst);
         fr.post(
             candidate,
@@ -682,9 +718,14 @@ pub(crate) fn salvage_shard(
         );
         let deadline = Instant::now() + fr.config.heartbeat_deadline;
         let acked = loop {
+            // ordering: SeqCst — pairs with the SeqCst `park_acks`
+            // increment; ordered against the SeqCst health reads so an
+            // ack and a death verdict cannot both be concluded.
             if fr.park_acks.load(Ordering::SeqCst) > base {
                 break true;
             }
+            // ordering: Acquire `abort` — shutdown latch pairing with
+            // `Runtime::drain_within`.
             if fr.board.health(candidate) != ShardHealth::Running
                 || shared.abort.load(Ordering::Acquire)
                 || Instant::now() >= deadline
@@ -696,6 +737,7 @@ pub(crate) fn salvage_shard(
         if acked {
             break Some(candidate);
         }
+        // ordering: Acquire — shutdown latch pairing as above.
         if shared.abort.load(Ordering::Acquire) {
             break None;
         }
@@ -710,6 +752,11 @@ pub(crate) fn salvage_shard(
             fr.map.reroute(flow, r);
         }
         for &flow in &owned {
+            // ordering: SeqCst — the salvager's half of the submit-
+            // window Dekker (migrate.rs WindowGuard): window enter
+            // (SeqCst fetch_add) then map read, versus map flip then
+            // this SeqCst zero-check; one total order means any submit
+            // the flip missed is still counted in the window here.
             while fr.window[flow].load(Ordering::SeqCst) != 0 {
                 std::thread::yield_now();
             }
@@ -757,7 +804,7 @@ pub(crate) fn salvage_shard(
             // promptly. Then re-drain, count everything lost, and
             // revoke the charges — an honest shutdown, not a hang
             // (§9.2).
-            shared.closed.store(true, Ordering::SeqCst);
+            shared.gate.close();
             while !shared.can_finish() {
                 std::thread::yield_now();
             }
@@ -789,6 +836,8 @@ pub(crate) fn try_exit(shared: &Shared, shard: usize) -> bool {
     let Some(fr) = shared.fault.as_ref() else {
         return true;
     };
+    // ordering: SeqCst — cheap pre-check of the flag→lock→flag exit
+    // fence (full argument on the recheck below).
     if fr.inbox_flags[shard].load(Ordering::SeqCst) {
         return false;
     }
@@ -797,6 +846,10 @@ pub(crate) fn try_exit(shared: &Shared, shard: usize) -> bool {
         Err(TryLockError::Poisoned(e)) => e.into_inner(),
         Err(TryLockError::WouldBlock) => return false,
     };
+    // ordering: SeqCst — under the salvage lock no new salvager can
+    // start; SeqCst orders this recheck against a concurrent salvager
+    // posting a package just before it released the lock, so an exit
+    // can never strand a posted package.
     if fr.inbox_flags[shard].load(Ordering::SeqCst) {
         return false;
     }
@@ -845,6 +898,8 @@ pub(crate) fn abort_residuals(
         // Packages that raced the abort into our inbox are lost too.
         let pending: Vec<SalvageMsg> = {
             let mut inbox = lock_unpoisoned(&fr.inboxes[shard]);
+            // ordering: Release — clear-under-lock pattern as in
+            // `drain_inbox`.
             fr.inbox_flags[shard].store(false, Ordering::Release);
             inbox.drain(..).collect()
         };
@@ -870,6 +925,8 @@ pub(crate) fn run_supervisor(shared: Arc<Shared>, stop: Arc<AtomicBool>) {
     let shards = fr.board.shards();
     let mut last_beat: Vec<u64> = (0..shards).map(|s| fr.board.heartbeat(s)).collect();
     let mut last_change: Vec<Instant> = vec![Instant::now(); shards];
+    // ordering: Acquire pairs with the Release `stop` store in
+    // `Runtime::drain_within` (supervisor shutdown latch).
     while !stop.load(Ordering::Acquire) {
         std::thread::sleep(fr.config.poll);
         for s in 0..shards {

@@ -1,0 +1,135 @@
+//! The drain gate: the `closed + in_flight` Dekker pairing that lets
+//! shard workers take a *final* look at their ingress rings without
+//! stranding a late producer's packet.
+//!
+//! The protocol (DESIGN.md §10, model-checked by err-check's
+//! `drain_gate` loom models):
+//!
+//! * a producer **announces** itself (`in_flight += 1`) *before*
+//!   checking `closed`; if closed it backs out, otherwise it holds the
+//!   permit across its ring push;
+//! * a worker may only finish once it observes `closed == true` and
+//!   `in_flight == 0` — and must re-check ring emptiness *after* that
+//!   observation.
+//!
+//! Both sides use `SeqCst` because this is a store→load (Dekker)
+//! pattern: the producer's `in_flight` increment and `closed` read,
+//! versus the closer's `closed` store and the worker's `in_flight`
+//! read, must fall into one total order. With weaker orderings both
+//! the producer could miss `closed` *and* the worker could miss the
+//! producer's increment — exactly the one-packet leak PR 4's proptest
+//! caught (pinned as the `drain_gate_check_then_enter` mutant model).
+
+use crate::sync::{AtomicBool, AtomicU64, Ordering};
+
+/// The shutdown gate shared by producers (submit) and shard workers
+/// (exit protocol). See the module docs for the protocol.
+#[derive(Debug, Default)]
+pub struct DrainGate {
+    /// Set once by [`close`](DrainGate::close); never cleared.
+    closed: AtomicBool,
+    /// Producers currently inside a submit that have already passed the
+    /// closed check (holding a [`SubmitPermit`]).
+    in_flight: AtomicU64,
+}
+
+/// Proof that a producer announced itself before the gate closed; held
+/// across the ring push so [`DrainGate::can_finish`] cannot report
+/// quiescence mid-push. Dropping the permit retires the announcement.
+#[derive(Debug)]
+pub struct SubmitPermit<'a> {
+    gate: &'a DrainGate,
+}
+
+impl Drop for SubmitPermit<'_> {
+    fn drop(&mut self) {
+        // ordering: Release pairs with the worker's SeqCst `in_flight`
+        // load in `can_finish` — the push this permit covered is
+        // visible before the count drops.
+        self.gate.in_flight.fetch_sub(1, Ordering::Release);
+    }
+}
+
+impl DrainGate {
+    /// An open gate with no announced producers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Producer side: announce, then check. `None` means the gate is
+    /// closed and nothing may be pushed; `Some(permit)` licenses one
+    /// push, which must complete before the permit drops.
+    pub fn enter(&self) -> Option<SubmitPermit<'_>> {
+        // ordering: SeqCst increment *before* the SeqCst closed check —
+        // the Dekker pairing with `close`/`can_finish`. Once a worker
+        // observed `closed && in_flight == 0`, any producer reaching
+        // here is ordered after the `close` store and must see it.
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        let permit = SubmitPermit { gate: self };
+        // ordering: SeqCst — see the increment above; pairs with the
+        // SeqCst store in `close`.
+        if self.closed.load(Ordering::SeqCst) {
+            drop(permit); // retire the announcement
+            return None;
+        }
+        Some(permit)
+    }
+
+    /// Closes the gate: all future [`enter`](DrainGate::enter) calls
+    /// fail. Producers already holding a permit finish their push and
+    /// are awaited via [`can_finish`](DrainGate::can_finish).
+    pub fn close(&self) {
+        // ordering: SeqCst store pairs with the SeqCst load in `enter`
+        // (Dekker) — combined with `can_finish` it guarantees no push
+        // lands after a worker's final ring check.
+        self.closed.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether [`close`](DrainGate::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        // ordering: Acquire pairs with the `close` store for callers
+        // that only branch on the flag (wait loops, steal policy); the
+        // exit protocol goes through `can_finish` instead.
+        self.closed.load(Ordering::Acquire)
+    }
+
+    /// Worker side: whether shutdown was requested and no producer is
+    /// still mid-submit. Must be checked *before* the final ring-empty
+    /// check — once it returns true, no further push can ever happen
+    /// (late producers see `closed` in [`enter`](DrainGate::enter) and
+    /// back out without touching a ring).
+    pub fn can_finish(&self) -> bool {
+        // ordering: SeqCst pair — the closed read and in_flight read
+        // must be ordered after the producer's SeqCst increment in the
+        // single total order (Dekker); see the module docs.
+        self.closed.load(Ordering::SeqCst) && self.in_flight.load(Ordering::SeqCst) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_gate_admits_and_counts() {
+        let g = DrainGate::new();
+        assert!(!g.is_closed());
+        assert!(!g.can_finish());
+        let p = g.enter().expect("open gate admits");
+        g.close();
+        // A permit is still out: the worker may not finish.
+        assert!(!g.can_finish());
+        drop(p);
+        assert!(g.can_finish());
+    }
+
+    #[test]
+    fn closed_gate_rejects_and_retires() {
+        let g = DrainGate::new();
+        g.close();
+        assert!(g.is_closed());
+        assert!(g.enter().is_none());
+        // The rejected announcement was retired: quiescent.
+        assert!(g.can_finish());
+    }
+}

@@ -7,13 +7,14 @@
 //! spread evenly. The submit path is: admission check (one atomic RMW) →
 //! ring push (one CAS) → stats bump. No locks, no allocation.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
 use err_sched::Packet;
 
 use crate::admission::{AdmissionController, AdmitDecision};
 use crate::channel::MpscRing;
+use crate::gate::DrainGate;
 use crate::stats::{RuntimeStats, ShardStats};
 
 /// Why a submit did not accept a packet.
@@ -72,20 +73,15 @@ pub(crate) struct Shared {
     /// Fault-tolerance state (`RuntimeConfig::supervision`); mutually
     /// exclusive with `steal` (DESIGN.md §9.2).
     pub(crate) fault: Option<crate::fault::FaultRuntime>,
-    /// Set by `shutdown()`: submits fail, workers drain then exit.
-    pub(crate) closed: AtomicBool,
+    /// The shutdown gate: `closed` flag + in-flight submit counter as a
+    /// Dekker-style pair, so workers never take their *final* look at
+    /// the ingress rings while a producer that missed the close is
+    /// mid-push. Extracted to [`crate::gate`] (and model-checked by
+    /// err-check) in PR 5.
+    pub(crate) gate: DrainGate,
     /// Forced-shutdown flag (DESIGN.md §9.4): workers stop serving and
     /// count their residual state lost.
     pub(crate) abort: AtomicBool,
-    /// Producers currently inside `submit` that have already passed the
-    /// closed check. Workers may only take their *final* look at the
-    /// ingress rings once this is zero — otherwise a producer that
-    /// observed `closed == false` could push after the worker's last
-    /// empty-check and the packet would be stranded. The counter and the
-    /// `closed` flag form a Dekker-style pair, hence the `SeqCst`
-    /// orderings in [`RuntimeHandle::submit`] and
-    /// [`can_finish`](Self::can_finish).
-    pub(crate) in_flight: AtomicU64,
 }
 
 impl Shared {
@@ -121,29 +117,13 @@ impl Shared {
     }
 
     pub(crate) fn is_closed(&self) -> bool {
-        self.closed.load(Ordering::Acquire)
+        self.gate.is_closed()
     }
 
     /// Whether a worker is allowed to exit once its own ring and
-    /// scheduler are empty: shutdown requested and no producer is still
-    /// mid-submit. Must be checked *before* the final ring-empty check —
-    /// once it returns true, no further push can ever happen (late
-    /// producers see `closed` and bail before touching a ring).
+    /// scheduler are empty; see [`DrainGate::can_finish`].
     pub(crate) fn can_finish(&self) -> bool {
-        self.closed.load(Ordering::SeqCst) && self.in_flight.load(Ordering::SeqCst) == 0
-    }
-}
-
-/// Decrements `in_flight` on every exit path of `submit` (Release pairs
-/// with the worker's acquire-or-stronger load so a completed push is
-/// visible before the count drops).
-struct InFlightGuard<'a> {
-    shared: &'a Shared,
-}
-
-impl Drop for InFlightGuard<'_> {
-    fn drop(&mut self) {
-        self.shared.in_flight.fetch_sub(1, Ordering::Release);
+        self.gate.can_finish()
     }
 }
 
@@ -189,14 +169,13 @@ impl RuntimeHandle {
     ) -> Result<Submitted, SubmitError> {
         let shared = &*self.shared;
         // Announce the in-flight submit *before* the closed check (the
-        // Dekker pairing with `Shared::can_finish`): once a worker has
+        // Dekker pairing inside `DrainGate::enter`): once a worker has
         // seen `closed && in_flight == 0`, any producer arriving here
-        // must observe `closed` below and bail without touching a ring.
-        shared.in_flight.fetch_add(1, Ordering::SeqCst);
-        let _guard = InFlightGuard { shared };
-        if shared.closed.load(Ordering::SeqCst) {
+        // must observe the closed gate and bail without touching a
+        // ring. The permit is held across every exit path below.
+        let Some(_permit) = shared.gate.enter() else {
             return Err(SubmitError::Closed);
-        }
+        };
         // Admission first, *outside* the migration window below: the
         // backpressure wait can last until flits are served, and the
         // flow being admitted may be parked mid-migration — holding the

@@ -74,10 +74,12 @@ pub mod admission;
 pub mod channel;
 pub mod drain;
 pub mod fault;
+pub mod gate;
 pub mod ingress;
 pub mod migrate;
 pub mod shard;
 pub mod stats;
+pub(crate) mod sync;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -274,9 +276,8 @@ impl Runtime {
             admission: Controller::new(config.admission, config.n_flows),
             steal,
             fault,
-            closed: AtomicBool::new(false),
+            gate: gate::DrainGate::new(),
             abort: AtomicBool::new(false),
-            in_flight: std::sync::atomic::AtomicU64::new(0),
         });
         let supervisor = shared.fault.as_ref().map(|_| {
             let stop = Arc::new(AtomicBool::new(false));
@@ -428,9 +429,9 @@ impl Runtime {
 
     fn drain_within(&mut self, timeout: Option<Duration>) -> DrainReport {
         self.drained.store(true, Ordering::Relaxed);
-        // SeqCst: pairs with the in-flight counter in `submit` (see
-        // `Shared::can_finish`) so workers never miss a late producer.
-        self.shared.closed.store(true, Ordering::SeqCst);
+        // Dekker pairing with the in-flight counter in `submit` (see
+        // `DrainGate`) so workers never miss a late producer.
+        self.shared.gate.close();
         // Buffered mode: enter drain *before* joining workers. Frozen
         // links stop blocking, so the flushers deliver their pending
         // flits, credits flow back, and workers can unpark stalled
@@ -463,7 +464,13 @@ impl Runtime {
             if let Some(g) = graceful_deadline {
                 if !forced && now >= g {
                     forced = true;
-                    self.shared.abort.store(true, Ordering::SeqCst);
+                    // ordering: Release (downgraded from SeqCst in
+                    // PR 5) pairs with the workers' Acquire `abort`
+                    // loads (shard.rs, fault.rs). A one-way stop latch
+                    // needs no Dekker pairing: no reader consults a
+                    // second flag whose order against this store
+                    // matters.
+                    self.shared.abort.store(true, Ordering::Release);
                 }
             }
             if let Some(f) = final_deadline {
@@ -511,6 +518,8 @@ impl Runtime {
             }
         }
         if let Some((stop, handle)) = self.supervisor.take() {
+            // ordering: Release pairs with the supervisor loop's
+            // Acquire `stop` load (fault.rs) — a plain shutdown latch.
             stop.store(true, Ordering::Release);
             let _ = handle.join();
         }
@@ -518,7 +527,12 @@ impl Runtime {
         // deliver everything buffered. "Closed and empty" is a stable
         // exit condition for them; dead-held flits dead-letter on the
         // way out (§9.3).
-        self.egress_closed.store(true, Ordering::SeqCst);
+        // ordering: Release (downgraded from SeqCst in PR 5) pairs
+        // with the flusher's Acquire `closed` load (err-egress
+        // run_flusher). One-way latch; the ring-empty check the
+        // flusher combines it with is ordered by the ring's own
+        // Release `tail` store, not by this flag.
+        self.egress_closed.store(true, Ordering::Release);
         let mut flusher_exits = Vec::with_capacity(self.flushers.len());
         for flusher in self.flushers.drain(..) {
             if let Some(f) = final_deadline {

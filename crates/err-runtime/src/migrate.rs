@@ -208,23 +208,32 @@ impl Default for MigrationSlot {
 impl MigrationSlot {
     /// Current phase.
     pub fn phase(&self) -> MigrationPhase {
+        // ordering: SeqCst — the migration state machine is advanced
+        // by thief, donor, and exiting workers; every participant must
+        // see phase transitions in one total order or two shards could
+        // both believe they hold the hand-off baton (DESIGN.md §8.2).
         MigrationPhase::from_u8(self.phase.load(Ordering::SeqCst))
     }
 
     /// The claiming (stealing) shard; valid while the phase is not
     /// [`MigrationPhase::Idle`].
     pub fn thief(&self) -> usize {
+        // ordering: SeqCst — read against the SeqCst phase machine;
+        // published in `try_claim` before the Requested flip.
         self.thief.load(Ordering::SeqCst)
     }
 
     /// The shard being stolen from; valid while the phase is not
     /// [`MigrationPhase::Idle`].
     pub fn donor(&self) -> usize {
+        // ordering: SeqCst — see `thief`.
         self.donor.load(Ordering::SeqCst)
     }
 
     /// The victim flow; valid from [`MigrationPhase::Quiescing`] on.
     pub fn flow(&self) -> usize {
+        // ordering: SeqCst — published by the donor before the
+        // Quiescing flip; same total order as the phase machine.
         self.flow.load(Ordering::SeqCst)
     }
 
@@ -242,6 +251,9 @@ impl MigrationSlot {
         if self.phase() != MigrationPhase::Idle {
             return false;
         }
+        // ordering: SeqCst ×4 — identity fields land before the phase
+        // flip in the one total order all parties read them through
+        // (see `phase`); the Requested store is the publication point.
         self.thief.store(thief, Ordering::SeqCst);
         self.donor.store(donor, Ordering::SeqCst);
         self.thief_ack.store(false, Ordering::SeqCst);
@@ -252,12 +264,16 @@ impl MigrationSlot {
     }
 
     fn cas_phase(&self, from: MigrationPhase, to: MigrationPhase) -> bool {
+        // ordering: SeqCst/SeqCst — phase transitions race (thief
+        // abort vs donor advance); the single total order makes
+        // exactly one of the racing CASes win (see `phase`).
         self.phase
             .compare_exchange(from as u8, to as u8, Ordering::SeqCst, Ordering::SeqCst)
             .is_ok()
     }
 
     fn store_phase(&self, to: MigrationPhase) {
+        // ordering: SeqCst — see `phase`.
         self.phase.store(to as u8, Ordering::SeqCst);
     }
 }
@@ -292,6 +308,11 @@ impl FlowMap {
     /// The shard `flow` currently routes to, or `None` for flows
     /// outside the overlay (static fallback, never migrated).
     pub fn shard_of(&self, flow: usize) -> Option<usize> {
+        // ordering: SeqCst — producer half of the submit-window Dekker
+        // (§8.3): this map read sits between the SeqCst window enter
+        // and the ring push; one total order against `reroute`'s flip
+        // plus the drain's window zero-check means a flip the producer
+        // missed still sees the producer counted in the window.
         self.entries
             .get(flow)
             .map(|e| (e.load(Ordering::SeqCst) & 0xFFFF_FFFF) as usize)
@@ -299,6 +320,7 @@ impl FlowMap {
 
     /// `flow`'s migration epoch (0 until first stolen).
     pub fn epoch_of(&self, flow: usize) -> u64 {
+        // ordering: SeqCst — same read side as `shard_of`.
         self.entries
             .get(flow)
             .map_or(0, |e| e.load(Ordering::SeqCst) >> 32)
@@ -309,8 +331,14 @@ impl FlowMap {
     /// sides (DESIGN.md §8.3 fence 1).
     pub(crate) fn reroute(&self, flow: usize, shard: usize) {
         debug_assert!(shard < self.shards);
+        // ordering: SeqCst load — donor-only writer, so the load just
+        // joins the same total order as the store below.
         let old = self.entries[flow].load(Ordering::SeqCst);
         let epoch = (old >> 32) + 1;
+        // ordering: SeqCst — the flip side of the submit-window Dekker
+        // (§8.3 fence 1): ordered against `shard_of`'s SeqCst read and
+        // the window zero-check so no producer can route to the old
+        // home unseen.
         self.entries[flow].store((epoch << 32) | shard as u64, Ordering::SeqCst);
     }
 }
@@ -341,6 +369,9 @@ impl StealRuntime {
 
     /// Whether no producer currently holds `flow`'s submit window.
     fn window_clear(&self, flow: usize) -> bool {
+        // ordering: SeqCst — drain half of the §8.3 fence-2 Dekker:
+        // ordered after the map flip, so any producer this check does
+        // not count is guaranteed to have read the flipped map.
         self.window[flow].load(Ordering::SeqCst) == 0
     }
 }
@@ -358,6 +389,10 @@ impl<'a> WindowGuard<'a> {
     /// with the same Dekker discipline, entered via
     /// `Shared::flow_window`.
     pub(crate) fn enter_counter(counter: &'a AtomicU32) -> Self {
+        // ordering: SeqCst — producer half of the §8.3 fence-2 Dekker:
+        // the increment precedes the FlowMap read in the total order,
+        // so a drain that sees zero knows this producer will read the
+        // flipped map.
         counter.fetch_add(1, Ordering::SeqCst);
         Self { counter }
     }
@@ -365,6 +400,8 @@ impl<'a> WindowGuard<'a> {
 
 impl Drop for WindowGuard<'_> {
     fn drop(&mut self) {
+        // ordering: SeqCst — the exit must not sink below the ring
+        // push it brackets; the drain's zero-check relies on it.
         self.counter.fetch_sub(1, Ordering::SeqCst);
     }
 }
@@ -517,6 +554,8 @@ impl MigrationDriver {
                 // flow is unservable here from this point on (§8.3
                 // fence 1).
                 scheduler.park_flow(flow);
+                // ordering: SeqCst — victim published before the
+                // Quiescing flip, in the phase machine's total order.
                 slot.flow.store(flow, Ordering::SeqCst);
                 if !slot.cas_phase(MigrationPhase::Requested, MigrationPhase::Quiescing) {
                     // The thief aborted concurrently; undo the park.
@@ -539,11 +578,16 @@ impl MigrationDriver {
     ) {
         let slot = &st.slot;
         let me = self.shard;
+        // ordering: SeqCst (ack load/store below) — the ack rides the
+        // phase machine's total order: the donor flips the map only
+        // after seeing the ack, which the thief stores only after
+        // parking its side (§8.3 fence 1, both-parked before flip).
         if slot.thief() == me && !slot.thief_ack.load(Ordering::SeqCst) {
             // Quiesce, thief side: park before acking, so new-epoch
             // arrivals wait unserved until the handoff lands.
             scheduler.park_flow(slot.flow());
             slot.thief_ack.store(true, Ordering::SeqCst);
+            // ordering: SeqCst ack load below — donor half; see above.
         } else if slot.donor() == me && slot.thief_ack.load(Ordering::SeqCst) {
             // Both sides parked: flip the map. From the next SeqCst
             // read on, producers route to the thief.

@@ -133,6 +133,8 @@ fn run_sync_loop<E: Egress>(
         // Fault phase (DESIGN.md §9): forced-shutdown abort, heartbeat,
         // salvage inbox, quarantine, injected events. KillLink events
         // are meaningless under sync egress (`None`).
+        // ordering: Acquire pairs with the Release `abort` store in
+        // `Runtime::drain_within` (forced-shutdown latch).
         if shared.abort.load(Ordering::Acquire) {
             abort_residuals(shared, cfg.shard, cfg.n_flows, scheduler);
             return;
@@ -329,6 +331,8 @@ fn run_buffered_loop(
         // discarded, not counted lost: its flits were already counted
         // served, and they hold no credits (flits are stashed exactly
         // when the acquire failed).
+        // ordering: Acquire pairs with the Release `abort` store in
+        // `Runtime::drain_within` (forced-shutdown latch).
         if shared.abort.load(Ordering::Acquire) {
             abort_residuals(shared, cfg.shard, cfg.n_flows, scheduler);
             return;
@@ -414,6 +418,10 @@ fn run_buffered_loop(
                             push_ring(tx, estats, flit);
                             break;
                         }
+                        // ordering: Acquire pairs with the Release
+                        // `abort` store in `Runtime::drain_within` —
+                        // the only exit from this credit-wait spin
+                        // besides the credit itself.
                         if shared.abort.load(Ordering::Acquire) {
                             break;
                         }

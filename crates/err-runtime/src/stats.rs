@@ -5,6 +5,16 @@
 //! and readers take consistent-enough [`ShardSnapshot`]s at any time
 //! without stopping the world. [`RuntimeStats`] merges the per-shard
 //! snapshots into the aggregate view the operator cares about.
+//!
+//! Every counter here is **approximate under race** by design: all
+//! accesses are `Relaxed`, so a snapshot taken while shards are running
+//! may mix counter values from slightly different instants (e.g.
+//! `admitted` from after a push that `flushed` hasn't caught up to).
+//! Each counter is individually exact — monotonic, no lost updates —
+//! but cross-counter invariants only hold after a quiescent drain.
+//! err-check's `stats-relaxed` lint pins this contract: a non-Relaxed
+//! ordering in a stats module is an error, because needing one would
+//! mean a correctness decision was being made off these counters.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -1,0 +1,114 @@
+//! Race-checked [`UnsafeCell`]: the modeled home of non-atomic data
+//! published through atomics.
+
+use std::panic::Location;
+use std::sync::Mutex;
+
+use crate::rt::{self, Engine, VClock};
+
+/// Access history of one cell: the epoch of every thread's last write
+/// and last read, compared FastTrack-style against the accessor's
+/// vector clock.
+#[derive(Debug, Default)]
+struct CellState {
+    writes: VClock,
+    reads: VClock,
+}
+
+/// A cell whose raw accesses are checked for data races against the
+/// happens-before relation tracked by the engine.
+///
+/// [`with`](UnsafeCell::with) models an immutable (read) access: every
+/// prior write must happen-before it. [`with_mut`](UnsafeCell::with_mut)
+/// models a mutable (write) access: every prior read *and* write must
+/// happen-before it. A violation aborts the execution with a data-race
+/// report carrying the schedule.
+#[derive(Debug)]
+pub struct UnsafeCell<T> {
+    data: std::cell::UnsafeCell<T>,
+    state: Mutex<CellState>,
+}
+
+// SAFETY: the engine serializes model threads (exactly one runs at a
+// time), so the raw accesses handed out by `with`/`with_mut` never
+// physically overlap; logically-concurrent accesses are *reported* via
+// the vector-clock check instead of being UB.
+unsafe impl<T: Send> Send for UnsafeCell<T> {}
+// SAFETY: as above — cross-thread sharing is mediated by the engine's
+// serialization plus the race check.
+unsafe impl<T: Send> Sync for UnsafeCell<T> {}
+
+impl<T> UnsafeCell<T> {
+    /// Creates a new race-checked cell.
+    pub fn new(data: T) -> Self {
+        Self {
+            data: std::cell::UnsafeCell::new(data),
+            state: Mutex::new(CellState::default()),
+        }
+    }
+
+    /// Models a read access and hands `f` a shared raw pointer.
+    #[track_caller]
+    pub fn with<F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(*const T) -> R,
+    {
+        self.access(false, Location::caller());
+        f(self.data.get() as *const T)
+    }
+
+    /// Models a write access and hands `f` an exclusive raw pointer.
+    #[track_caller]
+    pub fn with_mut<F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(*mut T) -> R,
+    {
+        self.access(true, Location::caller());
+        f(self.data.get())
+    }
+
+    /// Consumes the cell, returning the wrapped value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+
+    fn access(&self, write: bool, site: &'static Location<'static>) {
+        if !rt::in_model() {
+            return;
+        }
+        if std::thread::panicking() {
+            // Drop glue during an already-failing execution (e.g. a
+            // ring destructor draining its cells): skip modeling — a
+            // race report here could not be surfaced without a double
+            // panic, and the execution has already been judged.
+            return;
+        }
+        let what = if write { "cell write" } else { "cell read" };
+        rt::with_ctx(|engine, tid| {
+            engine.op(tid, site, what, write, |es, tid| {
+                let clock = Engine::thread_clock(es, tid);
+                let mut st = self.state.lock().expect("cell state");
+                if !st.writes.leq(&clock) {
+                    return Err(format!(
+                        "data race: concurrent {what} at {site} — a prior write to this cell \
+                         does not happen-before it (missing release/acquire pairing on the \
+                         atomic that publishes this data?)"
+                    ));
+                }
+                if write {
+                    if !st.reads.leq(&clock) {
+                        return Err(format!(
+                            "data race: concurrent cell write at {site} — a prior read of this \
+                             cell does not happen-before it (missing release/acquire pairing on \
+                             the atomic that publishes this data?)"
+                        ));
+                    }
+                    st.writes.0[tid] = clock.0[tid];
+                } else {
+                    st.reads.0[tid] = clock.0[tid];
+                }
+                Ok(())
+            })
+        });
+    }
+}

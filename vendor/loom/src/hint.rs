@@ -1,0 +1,13 @@
+//! Modeled spin hints.
+
+/// Modeled `std::hint::spin_loop`: inside a model this is a scheduling
+/// yield (the spinning thread steps aside until the state it is polling
+/// could have changed), outside it falls through to the real hint.
+#[track_caller]
+pub fn spin_loop() {
+    if crate::rt::in_model() {
+        crate::thread::yield_now();
+    } else {
+        std::hint::spin_loop();
+    }
+}

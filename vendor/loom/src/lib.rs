@@ -1,0 +1,52 @@
+//! A minimal, offline, loom-style concurrency model checker.
+//!
+//! This is a from-scratch shim with the same surface shape as the real
+//! [`loom`](https://crates.io/crates/loom) crate, vendored because the
+//! build environment has no network access. It explores thread
+//! interleavings of a model closure:
+//!
+//! ```
+//! use loom::sync::atomic::{AtomicUsize, Ordering};
+//! use loom::sync::Arc;
+//!
+//! loom::model(|| {
+//!     let n = Arc::new(AtomicUsize::new(0));
+//!     let n2 = Arc::clone(&n);
+//!     let t = loom::thread::spawn(move || {
+//!         n2.fetch_add(1, Ordering::AcqRel);
+//!     });
+//!     n.fetch_add(1, Ordering::AcqRel);
+//!     t.join().unwrap();
+//!     assert_eq!(n.load(Ordering::Acquire), 2);
+//! });
+//! ```
+//!
+//! The engine serializes the model's threads (one runs at a time) and
+//! performs a depth-first search over every point where more than one
+//! thread could take the next step, so `loom::model` runs the closure
+//! once per interleaving. Happens-before is tracked with vector clocks;
+//! [`cell::UnsafeCell`] accesses are checked against them, so a missing
+//! `Release`/`Acquire` pairing on the atomic that publishes a cell
+//! surfaces as a reported **data race** even though atomic *values*
+//! are sequentially consistent in this simulation (see `rt` module docs
+//! for the exact memory-model approximation). Assertion failures,
+//! deadlocks, and livelocks (step-bounded) are reported with the
+//! schedule that produced them.
+//!
+//! Differences from real loom, beyond the memory-model approximation:
+//! no `loom::sync::Mutex`/`Condvar`/`Notify` (the code under test here
+//! is lock-free), no `lazy_static`/`thread_local` modeling, and
+//! exploration is bounded by `max_iterations`/`max_steps` with an
+//! optional seeded random tail ([`model::Builder::random_iterations`])
+//! instead of loom's partial-order reduction.
+
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod hint;
+pub mod model;
+mod rt;
+pub mod sync;
+pub mod thread;
+
+pub use model::model;

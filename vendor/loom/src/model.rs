@@ -1,0 +1,160 @@
+//! The exploration driver: [`Builder`] configuration and the
+//! [`model`] entry point.
+
+use std::sync::Arc;
+
+use desim::SimRng;
+
+use crate::rt::{ChoiceRec, Engine, ExecCfg};
+
+/// Exploration statistics returned by [`Builder::check`].
+#[derive(Clone, Copy, Debug)]
+pub struct Report {
+    /// Number of executions (interleavings) actually run, including the
+    /// random tail.
+    pub executions: u64,
+    /// `true` when the systematic DFS exhausted the schedule space —
+    /// every interleaving (under the step/preemption bounds) was
+    /// explored.
+    pub complete: bool,
+}
+
+/// Configures a model-checking run.
+///
+/// ```
+/// let report = loom::model::Builder::new().check(|| {
+///     // model body
+/// });
+/// assert!(report.complete);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Builder {
+    /// Budget for the systematic DFS phase. When the space is larger,
+    /// the run stops early (`Report::complete == false`) after this
+    /// many executions. Default 100 000.
+    pub max_iterations: u64,
+    /// Per-execution operation bound; exceeding it is reported as a
+    /// livelock (an unbounded spin the yield-gating did not tame).
+    /// Default 10 000.
+    pub max_steps: u64,
+    /// Extra seeded-random executions appended after an *incomplete*
+    /// systematic phase, probing schedules the truncated DFS never
+    /// reached. Ignored when the DFS completes. Default 0.
+    pub random_iterations: u64,
+    /// Seed for the random tail (desim `SimRng`). Default 0.
+    pub seed: u64,
+    /// When set, bounds involuntary context switches per execution —
+    /// classic preemption bounding: most real bugs need only a few
+    /// preemptions, and the bound cuts the space combinatorially.
+    /// `None` (default) explores everything.
+    pub max_preemptions: Option<u32>,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Self {
+            max_iterations: 100_000,
+            max_steps: 10_000,
+            random_iterations: 0,
+            seed: 0,
+            max_preemptions: None,
+        }
+    }
+}
+
+impl Builder {
+    /// A builder with the default bounds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Explores interleavings of `f`, panicking (with the failing
+    /// schedule) on the first violation: data race, assertion failure,
+    /// deadlock, or livelock.
+    pub fn check<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Sync + Send + 'static,
+    {
+        let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        let cfg = ExecCfg {
+            max_steps: self.max_steps,
+            max_preemptions: self.max_preemptions,
+        };
+        let mut executions = 0u64;
+        let mut complete = false;
+
+        // Systematic phase: depth-first search over schedule prefixes.
+        // Each execution replays `prefix` then takes first-branch
+        // choices; advancing = bump the deepest non-exhausted choice.
+        let mut prefix: Vec<ChoiceRec> = Vec::new();
+        loop {
+            if executions >= self.max_iterations {
+                break;
+            }
+            let engine = Arc::new(Engine::new(cfg, prefix.clone(), None));
+            engine.spawn_root(Arc::clone(&f));
+            let (schedule, failure) = engine.finish();
+            executions += 1;
+            if let Some(failure) = failure {
+                panic!(
+                    "loom model violation after {executions} execution(s):\n{}",
+                    failure.msg
+                );
+            }
+            match advance(schedule) {
+                Some(next) => prefix = next,
+                None => {
+                    complete = true;
+                    break;
+                }
+            }
+        }
+
+        // Random tail: probe schedules beyond the truncated DFS.
+        if !complete && self.random_iterations > 0 {
+            let rng = SimRng::new(self.seed);
+            for _ in 0..self.random_iterations {
+                let engine = Arc::new(Engine::new(cfg, Vec::new(), Some(rng.derive(executions))));
+                engine.spawn_root(Arc::clone(&f));
+                let (_, failure) = engine.finish();
+                executions += 1;
+                if let Some(failure) = failure {
+                    panic!(
+                        "loom model violation after {executions} execution(s) (random phase):\n{}",
+                        failure.msg
+                    );
+                }
+            }
+        }
+
+        Report {
+            executions,
+            complete,
+        }
+    }
+}
+
+/// DFS successor of a fully-taken schedule: increment the deepest
+/// decision that still has an untried branch, dropping everything after
+/// it; `None` when every decision is exhausted.
+fn advance(mut schedule: Vec<ChoiceRec>) -> Option<Vec<ChoiceRec>> {
+    while let Some(last) = schedule.pop() {
+        if last.chosen + 1 < last.alts {
+            schedule.push(ChoiceRec {
+                chosen: last.chosen + 1,
+                alts: last.alts,
+            });
+            return Some(schedule);
+        }
+    }
+    None
+}
+
+/// Explores interleavings of `f` with the default [`Builder`] bounds,
+/// panicking on the first violation.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    Builder::new().check(f);
+}

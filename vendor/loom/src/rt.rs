@@ -1,0 +1,643 @@
+//! The model-checking engine: serialized OS threads driven over an
+//! explicit schedule.
+//!
+//! One *execution* runs the model closure with every modeled operation
+//! (atomic access, cell access, spawn/join/yield) serialized through a
+//! token: exactly one model thread runs at a time, and at every point
+//! where more than one thread could take the next step the engine
+//! consults the schedule. The driver ([`crate::model::Builder`])
+//! enumerates schedules depth-first, so re-running the closure under
+//! each recorded choice sequence enumerates the interleavings.
+//!
+//! Happens-before is tracked with vector clocks:
+//!
+//! * every modeled operation bumps the running thread's own epoch;
+//! * a `Release` (or stronger) store publishes the writer's clock on the
+//!   atomic; an `Acquire` (or stronger) load joins it — the C11
+//!   release/acquire edge. RMWs extend a release sequence even when
+//!   relaxed;
+//! * `SeqCst` operations additionally join through a global SC clock
+//!   (slightly stronger than C11, which does not make the SC order a
+//!   happens-before source; the approximation is conservative for the
+//!   protocols modeled here and is documented in DESIGN.md §10);
+//! * [`crate::cell::UnsafeCell`] accesses are checked against the
+//!   clocks FastTrack-style: a read must happen-after every write, a
+//!   write must happen-after every read and write, otherwise the
+//!   execution is reported as a **data race** with the schedule that
+//!   produced it.
+//!
+//! Values are sequentially consistent (every load observes the latest
+//! store in the interleaving); weak-memory *value* effects such as
+//! stale `Relaxed` reads are not simulated. An `Acquire` weakened to
+//! `Relaxed` is still caught — not through the value it reads but
+//! through the missing happens-before edge on the data it guards.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe, Location};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use desim::SimRng;
+
+/// Hard cap on model threads per execution (vector clocks are fixed
+/// width). Models here use 2–4 threads.
+pub(crate) const MAX_THREADS: usize = 8;
+
+/// Cap on remembered operations for failure reports.
+const TRACE_CAP: usize = 64;
+
+/// A fixed-width vector clock over model-thread ids.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock(pub(crate) [u64; MAX_THREADS]);
+
+impl VClock {
+    /// Pointwise max, in place.
+    pub(crate) fn join(&mut self, other: &VClock) {
+        for i in 0..MAX_THREADS {
+            self.0[i] = self.0[i].max(other.0[i]);
+        }
+    }
+
+    /// Whether every component of `self` is ≤ the matching component of
+    /// `other` (i.e. everything recorded in `self` happens-before a
+    /// thread whose clock is `other`).
+    pub(crate) fn leq(&self, other: &VClock) -> bool {
+        (0..MAX_THREADS).all(|i| self.0[i] <= other.0[i])
+    }
+}
+
+/// One recorded scheduling decision: which of the `alts` eligible
+/// threads ran. Decisions are only recorded where `alts >= 2`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChoiceRec {
+    /// Index into the (tid-sorted) eligible set that was chosen.
+    pub chosen: u16,
+    /// Size of the eligible set at this decision.
+    pub alts: u16,
+}
+
+/// Why an execution was declared a violation.
+#[derive(Clone, Debug)]
+pub(crate) struct Failure {
+    pub(crate) msg: String,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    /// Waiting for the thread with this id to finish.
+    Blocked(usize),
+    Finished,
+}
+
+struct ThreadInfo {
+    status: Status,
+    /// Set by `yield_now`; cleared when another thread performs a
+    /// state-changing operation. A yielded thread is not eligible until
+    /// then, which is what keeps modeled spin loops from exploding the
+    /// schedule space — and turns spins nobody can satisfy into
+    /// step-bounded livelock reports instead of infinite loops.
+    yielded: bool,
+    clock: VClock,
+}
+
+/// Per-execution engine state, guarded by [`Engine::state`].
+pub(crate) struct EngineState {
+    threads: Vec<ThreadInfo>,
+    /// The thread currently holding the run token; `usize::MAX` once
+    /// every thread has finished.
+    current: usize,
+    abort: Option<Failure>,
+    steps: u64,
+    /// Next decision index into / past `schedule`.
+    decision: usize,
+    /// Replay prefix (from the driver) followed by freshly recorded
+    /// decisions.
+    schedule: Vec<ChoiceRec>,
+    /// Involuntary context switches taken so far (for bounding).
+    preemptions: u32,
+    /// Global SC clock: every `SeqCst` operation joins through it.
+    sc_clock: VClock,
+    /// Recent operations, for failure reports.
+    trace: VecDeque<String>,
+    /// Random scheduler for choices past the prefix; `None` = take the
+    /// first (systematic DFS) branch.
+    rng: Option<SimRng>,
+    finished: usize,
+}
+
+/// Execution limits, owned by the driver.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ExecCfg {
+    pub(crate) max_steps: u64,
+    pub(crate) max_preemptions: Option<u32>,
+}
+
+/// Panic payload used to unwind model threads when an execution aborts.
+/// Recognized (and swallowed) by the thread wrapper.
+pub(crate) struct AbortPayload;
+
+pub(crate) struct Engine {
+    pub(crate) state: Mutex<EngineState>,
+    pub(crate) cv: Condvar,
+    cfg: ExecCfg,
+    /// OS handles of every model thread, joined by the driver at the
+    /// end of the execution.
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    /// The engine and model-thread id of the current OS thread, set for
+    /// the lifetime of one execution.
+    static CTX: RefCell<Option<(Arc<Engine>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with the current model-thread context; panics if called
+/// outside [`crate::model`].
+pub(crate) fn with_ctx<R>(f: impl FnOnce(&Arc<Engine>, usize) -> R) -> R {
+    CTX.with(|ctx| {
+        let borrow = ctx.borrow();
+        let (engine, tid) = borrow
+            .as_ref()
+            .expect("loom primitives may only be used inside loom::model");
+        f(engine, *tid)
+    })
+}
+
+/// Whether the current OS thread is a model thread.
+pub(crate) fn in_model() -> bool {
+    CTX.with(|ctx| ctx.borrow().is_some())
+}
+
+impl Engine {
+    pub(crate) fn new(cfg: ExecCfg, prefix: Vec<ChoiceRec>, rng: Option<SimRng>) -> Self {
+        Self {
+            state: Mutex::new(EngineState {
+                threads: Vec::new(),
+                current: 0,
+                abort: None,
+                steps: 0,
+                decision: 0,
+                schedule: prefix,
+                preemptions: 0,
+                sc_clock: VClock::default(),
+                trace: VecDeque::new(),
+                rng,
+                finished: 0,
+            }),
+            cv: Condvar::new(),
+            cfg,
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Spawns the root model thread (tid 0) running `f`.
+    pub(crate) fn spawn_root(self: &Arc<Self>, f: Arc<dyn Fn() + Send + Sync>) {
+        {
+            let mut st = self.state.lock().expect("engine state");
+            debug_assert!(st.threads.is_empty());
+            let mut clock = VClock::default();
+            clock.0[0] = 1;
+            st.threads.push(ThreadInfo {
+                status: Status::Runnable,
+                yielded: false,
+                clock,
+            });
+            st.current = 0;
+        }
+        self.spawn_os_thread(0, Box::new(move || f()));
+    }
+
+    /// Registers a new model thread whose closure is `body`; must be
+    /// called while `parent` holds the token. Returns the child tid.
+    ///
+    /// Spawn is a scheduling point, but only *after* the child's OS
+    /// thread exists: the registration itself is token-local (choosing
+    /// a child with no OS thread would deadlock), then the parent
+    /// re-enters the scheduler so the child can legally run before the
+    /// parent's next operation — without this, every effect the parent
+    /// issues right after `spawn` would be unobservable-in-the-past to
+    /// the child, hiding real interleavings (e.g. a child reading a
+    /// flag the parent sets immediately after spawning it).
+    pub(crate) fn spawn_model_thread(
+        self: &Arc<Self>,
+        parent: usize,
+        site: &'static Location<'static>,
+        body: Box<dyn FnOnce() + Send>,
+    ) -> usize {
+        let child = self.op_local(parent, site, "spawn", |state, _| {
+            let child = state.threads.len();
+            if child >= MAX_THREADS {
+                return Err(format!("model spawned more than {MAX_THREADS} threads"));
+            }
+            // The child starts with (and therefore happens-after)
+            // everything the parent has done so far.
+            let mut clock = state.threads[parent].clock;
+            clock.0[child] = 1;
+            state.threads.push(ThreadInfo {
+                status: Status::Runnable,
+                yielded: false,
+                clock,
+            });
+            Ok(child)
+        });
+        self.spawn_os_thread(child, body);
+        // The child's OS thread now exists (parked in
+        // `wait_for_token`), so hand the decision to the scheduler:
+        // this is the choice point that lets the child run first.
+        let mut st = self.state.lock().expect("engine state");
+        if st.abort.is_none() {
+            self.schedule_next(&mut st, parent);
+        }
+        loop {
+            if st.abort.is_some() {
+                if std::thread::panicking() {
+                    return child;
+                }
+                drop(st);
+                panic::panic_any(AbortPayload);
+            }
+            if st.current == parent {
+                return child;
+            }
+            st = self.cv.wait(st).expect("engine state");
+        }
+    }
+
+    fn spawn_os_thread(self: &Arc<Self>, tid: usize, body: Box<dyn FnOnce() + Send>) {
+        let engine = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name(format!("loom-model-{tid}"))
+            .spawn(move || {
+                CTX.with(|ctx| *ctx.borrow_mut() = Some((Arc::clone(&engine), tid)));
+                let wait = panic::catch_unwind(AssertUnwindSafe(|| engine.wait_for_token(tid)));
+                let result = match wait {
+                    Ok(()) => panic::catch_unwind(AssertUnwindSafe(body)).err(),
+                    // Aborted before first being scheduled: the body
+                    // never ran.
+                    Err(payload) => Some(payload),
+                };
+                engine.thread_finished(tid, result);
+                CTX.with(|ctx| *ctx.borrow_mut() = None);
+            })
+            .expect("spawning model thread");
+        self.handles.lock().expect("engine handles").push(handle);
+    }
+
+    /// Blocks the calling OS thread until its model thread holds the
+    /// token (or the execution aborted, in which case it unwinds).
+    fn wait_for_token(&self, tid: usize) {
+        let mut st = self.state.lock().expect("engine state");
+        loop {
+            if st.abort.is_some() {
+                drop(st);
+                panic::panic_any(AbortPayload);
+            }
+            if st.current == tid {
+                return;
+            }
+            st = self.cv.wait(st).expect("engine state");
+        }
+    }
+
+    /// Performs one modeled operation for `tid`: bumps the thread's
+    /// epoch, applies `f` under the engine lock, then makes the next
+    /// scheduling decision and waits until `tid` is scheduled again.
+    ///
+    /// `f` returns `Err(reason)` to declare a violation (data race,
+    /// model limit); the execution then aborts and this call unwinds.
+    ///
+    /// `rearm` re-enables yielded threads — pass `true` for operations
+    /// that change shared state (stores, RMWs, cell writes), `false`
+    /// for pure observations (loads, cell reads, yields): a spinner's
+    /// condition cannot change when no state changed, so not re-arming
+    /// it keeps the schedule space smaller without losing behaviors.
+    pub(crate) fn op<R>(
+        self: &Arc<Self>,
+        tid: usize,
+        site: &'static Location<'static>,
+        what: &str,
+        rearm: bool,
+        f: impl FnOnce(&mut EngineState, usize) -> Result<R, String>,
+    ) -> R {
+        let (v, bypassed) = self.op_effect(tid, site, what, rearm, f);
+        if bypassed {
+            // Unwind-bypass: the effect was applied without scheduling
+            // so drop glue can finish while the execution fails.
+            return v;
+        }
+        // Make the next scheduling decision and wait for the token.
+        let mut st = self.state.lock().expect("engine state");
+        if st.abort.is_none() {
+            self.schedule_next(&mut st, tid);
+        }
+        loop {
+            if st.abort.is_some() {
+                if std::thread::panicking() {
+                    // Already unwinding (drop glue re-entered the
+                    // engine): do not panic again, just hand the value
+                    // back so the destructor can finish.
+                    return v;
+                }
+                drop(st);
+                panic::panic_any(AbortPayload);
+            }
+            if st.current == tid {
+                return v;
+            }
+            st = self.cv.wait(st).expect("engine state");
+        }
+    }
+
+    /// The bookkeeping half of [`Engine::op`] without rescheduling —
+    /// the caller still holds the token when this returns. Used by
+    /// `spawn`, which must not lose the token before the child's OS
+    /// thread exists.
+    fn op_local<R>(
+        self: &Arc<Self>,
+        tid: usize,
+        site: &'static Location<'static>,
+        what: &str,
+        f: impl FnOnce(&mut EngineState, usize) -> Result<R, String>,
+    ) -> R {
+        self.op_effect(tid, site, what, true, f).0
+    }
+
+    /// Applies one operation's bookkeeping and effect. Returns the
+    /// effect's value plus whether the unwind-bypass path was taken
+    /// (abort already set while this thread is panicking). Unwinds on
+    /// violation.
+    fn op_effect<R>(
+        self: &Arc<Self>,
+        tid: usize,
+        site: &'static Location<'static>,
+        what: &str,
+        rearm: bool,
+        f: impl FnOnce(&mut EngineState, usize) -> Result<R, String>,
+    ) -> (R, bool) {
+        let mut st = self.state.lock().expect("engine state");
+        if st.abort.is_some() {
+            // The execution already failed. If this thread is mid-unwind
+            // its drop glue still needs raw effects (ring destructors
+            // read cursors); apply them without scheduling. Otherwise
+            // start unwinding.
+            if std::thread::panicking() {
+                if let Ok(v) = f(&mut st, tid) {
+                    return (v, true);
+                }
+            }
+            drop(st);
+            panic::panic_any(AbortPayload);
+        }
+        debug_assert_eq!(st.current, tid, "op from a thread not holding the token");
+        st.steps += 1;
+        if st.steps > self.cfg.max_steps {
+            let msg = format!(
+                "execution exceeded {} steps — unbounded spin or livelock in the model",
+                self.cfg.max_steps
+            );
+            self.fail(st, msg);
+        }
+        if rearm {
+            // A state-changing operation by `tid` re-arms every other
+            // yielded (spinning) thread.
+            for (u, t) in st.threads.iter_mut().enumerate() {
+                if u != tid {
+                    t.yielded = false;
+                }
+            }
+        }
+        st.threads[tid].clock.0[tid] += 1;
+        if st.trace.len() == TRACE_CAP {
+            st.trace.pop_front();
+        }
+        let line = format!("thread {tid}: {what} at {site}");
+        st.trace.push_back(line);
+        match f(&mut st, tid) {
+            Ok(v) => (v, false),
+            Err(reason) => self.fail(st, reason),
+        }
+    }
+
+    /// Marks the thread yielded, then schedules. The yielded thread is
+    /// ineligible until another thread performs a state-changing
+    /// operation.
+    pub(crate) fn yield_now(self: &Arc<Self>, tid: usize, site: &'static Location<'static>) {
+        self.op(tid, site, "yield", false, |state, tid| {
+            state.threads[tid].yielded = true;
+            Ok(())
+        });
+    }
+
+    /// Models `join`: blocks until `target` finishes, then joins its
+    /// final clock into the caller's (the happens-before edge of a real
+    /// `JoinHandle::join`).
+    pub(crate) fn join_thread(
+        self: &Arc<Self>,
+        tid: usize,
+        target: usize,
+        site: &'static Location<'static>,
+    ) {
+        self.op(tid, site, "join", false, |state, tid| {
+            if state.threads[target].status != Status::Finished {
+                state.threads[tid].status = Status::Blocked(target);
+            }
+            Ok(())
+        });
+        // Back on the token: the blocked status was cleared by the
+        // target's finish (or the target was already finished).
+        let mut st = self.state.lock().expect("engine state");
+        if st.abort.is_some() && !std::thread::panicking() {
+            drop(st);
+            panic::panic_any(AbortPayload);
+        }
+        let target_clock = st.threads[target].clock;
+        st.threads[tid].clock.join(&target_clock);
+    }
+
+    /// Marks `tid` finished, unblocks joiners, hands the token on.
+    /// `panicked` carries a non-abort user panic out as a violation.
+    fn thread_finished(
+        self: &Arc<Self>,
+        tid: usize,
+        panicked: Option<Box<dyn std::any::Any + Send>>,
+    ) {
+        let mut st = self.state.lock().expect("engine state");
+        st.threads[tid].status = Status::Finished;
+        st.threads[tid].yielded = false;
+        st.finished += 1;
+        if let Some(payload) = panicked {
+            if !payload.is::<AbortPayload>() && st.abort.is_none() {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "model thread panicked".to_string());
+                let failure = self.render_failure(&st, format!("thread {tid} panicked: {msg}"));
+                st.abort = Some(failure);
+            }
+            self.cv.notify_all();
+            return;
+        }
+        if st.abort.is_some() {
+            self.cv.notify_all();
+            return;
+        }
+        for t in st.threads.iter_mut() {
+            if t.status == Status::Blocked(tid) {
+                t.status = Status::Runnable;
+            }
+        }
+        self.schedule_next(&mut st, tid);
+    }
+
+    /// Picks the next thread to hold the token. Called with the state
+    /// lock held by the thread releasing the token.
+    fn schedule_next(self: &Arc<Self>, st: &mut EngineState, from: usize) {
+        if st.finished == st.threads.len() {
+            st.current = usize::MAX;
+            self.cv.notify_all();
+            return;
+        }
+        let runnable: Vec<usize> = (0..st.threads.len())
+            .filter(|&u| st.threads[u].status == Status::Runnable)
+            .collect();
+        let mut eligible: Vec<usize> = runnable
+            .iter()
+            .copied()
+            .filter(|&u| !st.threads[u].yielded)
+            .collect();
+        if eligible.is_empty() {
+            // Only yielded threads remain runnable: re-arm them all
+            // rather than reporting a false deadlock. If they are
+            // spinning on something no thread will ever change, the
+            // step bound converts the spin into a livelock report.
+            for &u in &runnable {
+                st.threads[u].yielded = false;
+            }
+            eligible = runnable;
+        }
+        if eligible.is_empty() {
+            let msg = "deadlock: every unfinished thread is blocked".to_string();
+            self.fail_in_place(st, msg);
+            return;
+        }
+        // Preemption bounding: once the budget is spent, a runnable
+        // token holder keeps running (other threads still get their
+        // turn when this one blocks, yields, or finishes).
+        if let Some(bound) = self.cfg.max_preemptions {
+            if st.preemptions >= bound && eligible.contains(&from) {
+                eligible = vec![from];
+            }
+        }
+        let chosen = if eligible.len() == 1 {
+            eligible[0]
+        } else {
+            let d = st.decision;
+            let idx = if d < st.schedule.len() {
+                let rec = st.schedule[d];
+                debug_assert_eq!(
+                    rec.alts as usize,
+                    eligible.len(),
+                    "schedule replay diverged — the model closure is nondeterministic"
+                );
+                (rec.chosen as usize).min(eligible.len() - 1)
+            } else {
+                let idx = match st.rng.as_mut() {
+                    Some(rng) => rng.uniform_u32(0, eligible.len() as u32 - 1) as usize,
+                    None => 0,
+                };
+                st.schedule.push(ChoiceRec {
+                    chosen: idx as u16,
+                    alts: eligible.len() as u16,
+                });
+                idx
+            };
+            st.decision += 1;
+            eligible[idx]
+        };
+        // Count an involuntary switch away from a thread that could
+        // have kept running (voluntary yields are not preemptions).
+        if chosen != from
+            && from < st.threads.len()
+            && st.threads[from].status == Status::Runnable
+            && !st.threads[from].yielded
+        {
+            st.preemptions += 1;
+        }
+        st.current = chosen;
+        self.cv.notify_all();
+    }
+
+    /// Declares a violation and unwinds the calling thread. Consumes
+    /// the state guard.
+    fn fail(self: &Arc<Self>, mut st: MutexGuard<'_, EngineState>, reason: String) -> ! {
+        self.fail_in_place(&mut st, reason);
+        drop(st);
+        panic::panic_any(AbortPayload);
+    }
+
+    fn fail_in_place(self: &Arc<Self>, st: &mut EngineState, reason: String) {
+        if st.abort.is_none() {
+            let failure = self.render_failure(st, reason);
+            st.abort = Some(failure);
+        }
+        self.cv.notify_all();
+    }
+
+    fn render_failure(&self, st: &EngineState, reason: String) -> Failure {
+        let trace: Vec<String> = st.trace.iter().cloned().collect();
+        let schedule: Vec<u16> = st.schedule[..st.decision.min(st.schedule.len())]
+            .iter()
+            .map(|c| c.chosen)
+            .collect();
+        Failure {
+            msg: format!(
+                "{reason}\nschedule (branch indices): {schedule:?}\nlast operations:\n  {}",
+                trace.join("\n  ")
+            ),
+        }
+    }
+
+    /// Driver side: waits for the execution to end, joins every model
+    /// OS thread, and returns the recorded schedule plus any failure.
+    pub(crate) fn finish(self: &Arc<Self>) -> (Vec<ChoiceRec>, Option<Failure>) {
+        {
+            let mut st = self.state.lock().expect("engine state");
+            while st.abort.is_none() && st.finished < st.threads.len() {
+                st = self.cv.wait(st).expect("engine state");
+            }
+        }
+        // On abort, threads unwind at their next engine touch; the cv
+        // broadcast in fail() wakes any that are parked.
+        loop {
+            // Pop under the lock, join outside it: a model thread
+            // calling spawn pushes into `handles`.
+            let handle = self.handles.lock().expect("engine handles").pop();
+            let Some(h) = handle else { break };
+            let _ = h.join();
+        }
+        let st = self.state.lock().expect("engine state");
+        (st.schedule.clone(), st.abort.clone())
+    }
+
+    // ---- effects used by the sync primitives ------------------------
+
+    /// The calling thread's clock (for primitives that record accesses).
+    pub(crate) fn thread_clock(st: &EngineState, tid: usize) -> VClock {
+        st.threads[tid].clock
+    }
+
+    /// Joins `other` into `tid`'s clock (acquire edges).
+    pub(crate) fn acquire_into(st: &mut EngineState, tid: usize, other: &VClock) {
+        st.threads[tid].clock.join(other);
+    }
+
+    /// SC-clock exchange for `SeqCst` operations.
+    pub(crate) fn seqcst_exchange(st: &mut EngineState, tid: usize) {
+        let thread_clock = st.threads[tid].clock;
+        st.sc_clock.join(&thread_clock);
+        let sc = st.sc_clock;
+        st.threads[tid].clock.join(&sc);
+    }
+}

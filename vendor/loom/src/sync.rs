@@ -1,0 +1,515 @@
+//! Modeled synchronization primitives: tracked atomics and `Arc`.
+//!
+//! Atomic *values* are sequentially consistent in the simulation (every
+//! load observes the latest store of the current interleaving); the
+//! `Ordering` argument drives the happens-before bookkeeping instead:
+//!
+//! * `Release` (store side) publishes the writer's vector clock on the
+//!   atomic; `Acquire` (load side) joins it into the reader's clock;
+//! * a `Relaxed` store *clears* the published clock (it starts a new,
+//!   unsynchronized store), while a `Relaxed` RMW *keeps* it — an RMW
+//!   continues the release sequence headed by the store it read from;
+//! * `SeqCst` additionally joins through a single global SC clock.
+//!
+//! Non-atomic data guarded by these clocks lives in
+//! [`crate::cell::UnsafeCell`], whose accesses are checked against the
+//! clocks — weakening a publishing `Release` or a consuming `Acquire`
+//! to `Relaxed` severs the edge and surfaces as a reported data race.
+//!
+//! `compare_exchange_weak` never fails spuriously here (modeling
+//! spurious failure would only add schedules to retry loops, not
+//! happens-before edges).
+
+use std::panic::Location;
+use std::sync::Mutex;
+
+use crate::rt::{self, Engine, VClock, MAX_THREADS};
+
+pub use std::sync::Arc;
+
+/// Modeled atomic integer and boolean types.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use super::*;
+
+    /// Shared state of one modeled atomic location.
+    struct AtomicState {
+        value: u64,
+        /// Clock published by the last `Release`-or-stronger store (and
+        /// extended by subsequent RMWs — the release sequence); `None`
+        /// after a plain `Relaxed` store.
+        release: Option<VClock>,
+    }
+
+    fn acquires(ord: Ordering) -> bool {
+        matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+    }
+
+    fn releases(ord: Ordering) -> bool {
+        matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+    }
+
+    /// Modeled load: a scheduling point plus the acquire-side clock
+    /// joins dictated by `ord`.
+    fn do_load(
+        state: &Mutex<AtomicState>,
+        ord: Ordering,
+        what: &'static str,
+        site: &'static Location<'static>,
+    ) -> u64 {
+        if !rt::in_model() {
+            return state.lock().expect("atomic state").value;
+        }
+        rt::with_ctx(|engine, tid| {
+            engine.op(tid, site, what, false, |es, tid| {
+                let st = state.lock().expect("atomic state");
+                if acquires(ord) {
+                    if let Some(rel) = st.release {
+                        Engine::acquire_into(es, tid, &rel);
+                    }
+                }
+                if ord == Ordering::SeqCst {
+                    Engine::seqcst_exchange(es, tid);
+                }
+                Ok(st.value)
+            })
+        })
+    }
+
+    /// Modeled store: a scheduling point plus the release-side clock
+    /// publication dictated by `ord`.
+    fn do_store(
+        state: &Mutex<AtomicState>,
+        value: u64,
+        ord: Ordering,
+        what: &'static str,
+        site: &'static Location<'static>,
+    ) {
+        if !rt::in_model() {
+            state.lock().expect("atomic state").value = value;
+            return;
+        }
+        rt::with_ctx(|engine, tid| {
+            engine.op(tid, site, what, true, |es, tid| {
+                if ord == Ordering::SeqCst {
+                    Engine::seqcst_exchange(es, tid);
+                }
+                let mut st = state.lock().expect("atomic state");
+                st.release = if releases(ord) {
+                    Some(Engine::thread_clock(es, tid))
+                } else {
+                    // A relaxed store heads a new, unsynchronized
+                    // release sequence: readers acquire nothing.
+                    None
+                };
+                st.value = value;
+                Ok(())
+            })
+        })
+    }
+
+    /// Modeled read-modify-write: one scheduling point; acquire side
+    /// joins the published clock, release side extends the release
+    /// sequence (a `Relaxed` RMW keeps the existing head's clock).
+    fn do_rmw(
+        state: &Mutex<AtomicState>,
+        ord: Ordering,
+        what: &'static str,
+        site: &'static Location<'static>,
+        f: impl FnOnce(u64) -> u64,
+    ) -> u64 {
+        if !rt::in_model() {
+            let mut st = state.lock().expect("atomic state");
+            let old = st.value;
+            st.value = f(old);
+            return old;
+        }
+        rt::with_ctx(|engine, tid| {
+            engine.op(tid, site, what, true, |es, tid| {
+                let mut st = state.lock().expect("atomic state");
+                if acquires(ord) {
+                    if let Some(rel) = st.release {
+                        Engine::acquire_into(es, tid, &rel);
+                    }
+                }
+                if ord == Ordering::SeqCst {
+                    Engine::seqcst_exchange(es, tid);
+                }
+                if releases(ord) {
+                    let mut clock = Engine::thread_clock(es, tid);
+                    if let Some(rel) = st.release {
+                        clock.join(&rel);
+                    }
+                    st.release = Some(clock);
+                }
+                let old = st.value;
+                st.value = f(old);
+                Ok(old)
+            })
+        })
+    }
+
+    /// Modeled compare-exchange: an RMW with `success` ordering when
+    /// the comparison holds, a load with `failure` ordering otherwise.
+    fn do_cas(
+        state: &Mutex<AtomicState>,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+        what: &'static str,
+        site: &'static Location<'static>,
+    ) -> Result<u64, u64> {
+        if !rt::in_model() {
+            let mut st = state.lock().expect("atomic state");
+            let old = st.value;
+            if old == current {
+                st.value = new;
+                return Ok(old);
+            }
+            return Err(old);
+        }
+        rt::with_ctx(|engine, tid| {
+            engine.op(tid, site, what, true, |es, tid| {
+                let mut st = state.lock().expect("atomic state");
+                let old = st.value;
+                let (hit, ord) = if old == current {
+                    (true, success)
+                } else {
+                    (false, failure)
+                };
+                if acquires(ord) {
+                    if let Some(rel) = st.release {
+                        Engine::acquire_into(es, tid, &rel);
+                    }
+                }
+                if ord == Ordering::SeqCst {
+                    Engine::seqcst_exchange(es, tid);
+                }
+                if hit {
+                    if releases(success) {
+                        let mut clock = Engine::thread_clock(es, tid);
+                        if let Some(rel) = st.release {
+                            clock.join(&rel);
+                        }
+                        st.release = Some(clock);
+                    }
+                    st.value = new;
+                }
+                Ok(if hit { Ok(old) } else { Err(old) })
+            })
+        })
+    }
+
+    macro_rules! atomic_int {
+        ($(#[$meta:meta])* $name:ident, $ty:ty) => {
+            $(#[$meta])*
+            pub struct $name {
+                state: Mutex<AtomicState>,
+            }
+
+            impl $name {
+                /// Creates a new atomic with the given initial value.
+                pub const fn new(value: $ty) -> Self {
+                    Self {
+                        state: Mutex::new(AtomicState {
+                            value: value as u64,
+                            release: None,
+                        }),
+                    }
+                }
+
+                /// Modeled atomic load.
+                #[track_caller]
+                pub fn load(&self, ord: Ordering) -> $ty {
+                    do_load(
+                        &self.state,
+                        ord,
+                        concat!(stringify!($name), "::load"),
+                        Location::caller(),
+                    ) as $ty
+                }
+
+                /// Modeled atomic store.
+                #[track_caller]
+                pub fn store(&self, value: $ty, ord: Ordering) {
+                    do_store(
+                        &self.state,
+                        value as u64,
+                        ord,
+                        concat!(stringify!($name), "::store"),
+                        Location::caller(),
+                    )
+                }
+
+                /// Modeled atomic swap; returns the previous value.
+                #[track_caller]
+                pub fn swap(&self, value: $ty, ord: Ordering) -> $ty {
+                    do_rmw(
+                        &self.state,
+                        ord,
+                        concat!(stringify!($name), "::swap"),
+                        Location::caller(),
+                        |_| value as u64,
+                    ) as $ty
+                }
+
+                /// Modeled compare-exchange.
+                #[track_caller]
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    do_cas(
+                        &self.state,
+                        current as u64,
+                        new as u64,
+                        success,
+                        failure,
+                        concat!(stringify!($name), "::compare_exchange"),
+                        Location::caller(),
+                    )
+                    .map(|v| v as $ty)
+                    .map_err(|v| v as $ty)
+                }
+
+                /// Modeled weak compare-exchange (never fails
+                /// spuriously here — see module docs).
+                #[track_caller]
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    do_cas(
+                        &self.state,
+                        current as u64,
+                        new as u64,
+                        success,
+                        failure,
+                        concat!(stringify!($name), "::compare_exchange_weak"),
+                        Location::caller(),
+                    )
+                    .map(|v| v as $ty)
+                    .map_err(|v| v as $ty)
+                }
+
+                /// Modeled wrapping add; returns the previous value.
+                #[track_caller]
+                pub fn fetch_add(&self, value: $ty, ord: Ordering) -> $ty {
+                    do_rmw(
+                        &self.state,
+                        ord,
+                        concat!(stringify!($name), "::fetch_add"),
+                        Location::caller(),
+                        |old| (old as $ty).wrapping_add(value) as u64,
+                    ) as $ty
+                }
+
+                /// Modeled wrapping subtract; returns the previous value.
+                #[track_caller]
+                pub fn fetch_sub(&self, value: $ty, ord: Ordering) -> $ty {
+                    do_rmw(
+                        &self.state,
+                        ord,
+                        concat!(stringify!($name), "::fetch_sub"),
+                        Location::caller(),
+                        |old| (old as $ty).wrapping_sub(value) as u64,
+                    ) as $ty
+                }
+
+                /// Modeled bitwise AND; returns the previous value.
+                #[track_caller]
+                pub fn fetch_and(&self, value: $ty, ord: Ordering) -> $ty {
+                    do_rmw(
+                        &self.state,
+                        ord,
+                        concat!(stringify!($name), "::fetch_and"),
+                        Location::caller(),
+                        |old| ((old as $ty) & value) as u64,
+                    ) as $ty
+                }
+
+                /// Modeled bitwise OR; returns the previous value.
+                #[track_caller]
+                pub fn fetch_or(&self, value: $ty, ord: Ordering) -> $ty {
+                    do_rmw(
+                        &self.state,
+                        ord,
+                        concat!(stringify!($name), "::fetch_or"),
+                        Location::caller(),
+                        |old| ((old as $ty) | value) as u64,
+                    ) as $ty
+                }
+
+                /// Modeled max; returns the previous value.
+                #[track_caller]
+                pub fn fetch_max(&self, value: $ty, ord: Ordering) -> $ty {
+                    do_rmw(
+                        &self.state,
+                        ord,
+                        concat!(stringify!($name), "::fetch_max"),
+                        Location::caller(),
+                        |old| (old as $ty).max(value) as u64,
+                    ) as $ty
+                }
+
+                /// Modeled min; returns the previous value.
+                #[track_caller]
+                pub fn fetch_min(&self, value: $ty, ord: Ordering) -> $ty {
+                    do_rmw(
+                        &self.state,
+                        ord,
+                        concat!(stringify!($name), "::fetch_min"),
+                        Location::caller(),
+                        |old| (old as $ty).min(value) as u64,
+                    ) as $ty
+                }
+            }
+
+            impl Default for $name {
+                fn default() -> Self {
+                    Self::new(0 as $ty)
+                }
+            }
+
+            impl std::fmt::Debug for $name {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    let v = self.state.lock().expect("atomic state").value;
+                    f.debug_tuple(stringify!($name)).field(&(v as $ty)).finish()
+                }
+            }
+        };
+    }
+
+    atomic_int!(
+        /// Modeled `AtomicUsize`.
+        AtomicUsize,
+        usize
+    );
+    atomic_int!(
+        /// Modeled `AtomicU64`.
+        AtomicU64,
+        u64
+    );
+    atomic_int!(
+        /// Modeled `AtomicU32`.
+        AtomicU32,
+        u32
+    );
+
+    /// Modeled `AtomicBool`.
+    pub struct AtomicBool {
+        state: Mutex<AtomicState>,
+    }
+
+    impl AtomicBool {
+        /// Creates a new atomic boolean with the given initial value.
+        pub const fn new(value: bool) -> Self {
+            Self {
+                state: Mutex::new(AtomicState {
+                    value: value as u64,
+                    release: None,
+                }),
+            }
+        }
+
+        /// Modeled atomic load.
+        #[track_caller]
+        pub fn load(&self, ord: Ordering) -> bool {
+            do_load(&self.state, ord, "AtomicBool::load", Location::caller()) != 0
+        }
+
+        /// Modeled atomic store.
+        #[track_caller]
+        pub fn store(&self, value: bool, ord: Ordering) {
+            do_store(
+                &self.state,
+                value as u64,
+                ord,
+                "AtomicBool::store",
+                Location::caller(),
+            )
+        }
+
+        /// Modeled atomic swap; returns the previous value.
+        #[track_caller]
+        pub fn swap(&self, value: bool, ord: Ordering) -> bool {
+            do_rmw(
+                &self.state,
+                ord,
+                "AtomicBool::swap",
+                Location::caller(),
+                |_| value as u64,
+            ) != 0
+        }
+
+        /// Modeled compare-exchange.
+        #[track_caller]
+        pub fn compare_exchange(
+            &self,
+            current: bool,
+            new: bool,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<bool, bool> {
+            do_cas(
+                &self.state,
+                current as u64,
+                new as u64,
+                success,
+                failure,
+                "AtomicBool::compare_exchange",
+                Location::caller(),
+            )
+            .map(|v| v != 0)
+            .map_err(|v| v != 0)
+        }
+
+        /// Modeled bitwise OR; returns the previous value.
+        #[track_caller]
+        pub fn fetch_or(&self, value: bool, ord: Ordering) -> bool {
+            do_rmw(
+                &self.state,
+                ord,
+                "AtomicBool::fetch_or",
+                Location::caller(),
+                |old| old | value as u64,
+            ) != 0
+        }
+
+        /// Modeled bitwise AND; returns the previous value.
+        #[track_caller]
+        pub fn fetch_and(&self, value: bool, ord: Ordering) -> bool {
+            do_rmw(
+                &self.state,
+                ord,
+                "AtomicBool::fetch_and",
+                Location::caller(),
+                |old| old & value as u64,
+            ) != 0
+        }
+    }
+
+    impl Default for AtomicBool {
+        fn default() -> Self {
+            Self::new(false)
+        }
+    }
+
+    impl std::fmt::Debug for AtomicBool {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            let v = self.state.lock().expect("atomic state").value;
+            f.debug_tuple("AtomicBool").field(&(v != 0)).finish()
+        }
+    }
+
+    // The unused-width guard: values are stored widened to u64.
+    const _: () = assert!(MAX_THREADS <= u16::MAX as usize);
+}

@@ -1,0 +1,64 @@
+//! Modeled threads: [`spawn`], [`JoinHandle`], and [`yield_now`].
+
+use std::panic::Location;
+use std::sync::{Arc, Mutex};
+
+use crate::rt;
+
+/// Handle to a modeled thread; joining establishes the usual
+/// happens-before edge from everything the thread did.
+pub struct JoinHandle<T> {
+    tid: usize,
+    result: Arc<Mutex<Option<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result.
+    ///
+    /// Unlike `std`, a panic in the model thread aborts the whole
+    /// execution (it is a model violation), so this only returns `Err`
+    /// if the result slot is unexpectedly empty.
+    #[track_caller]
+    pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send + 'static>> {
+        let site = Location::caller();
+        rt::with_ctx(|engine, tid| engine.join_thread(tid, self.tid, site));
+        match self.result.lock().expect("thread result").take() {
+            Some(v) => Ok(v),
+            None => Err(Box::new("model thread produced no result")),
+        }
+    }
+}
+
+/// Spawns a modeled thread running `f`.
+#[track_caller]
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let site = Location::caller();
+    let result = Arc::new(Mutex::new(None));
+    let slot = Arc::clone(&result);
+    let tid = rt::with_ctx(|engine, parent| {
+        engine.spawn_model_thread(
+            parent,
+            site,
+            Box::new(move || {
+                let v = f();
+                *slot.lock().expect("thread result") = Some(v);
+            }),
+        )
+    });
+    JoinHandle { tid, result }
+}
+
+/// Yields the modeled thread: it becomes ineligible to run until some
+/// other thread performs an operation. This is what keeps modeled spin
+/// loops (`while !flag.load(..) { yield_now() }`) from generating
+/// unbounded schedules — the spinner only re-runs after the state it is
+/// polling could have changed.
+#[track_caller]
+pub fn yield_now() {
+    let site = Location::caller();
+    rt::with_ctx(|engine, tid| engine.yield_now(tid, site));
+}

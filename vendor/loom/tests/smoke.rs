@@ -1,0 +1,209 @@
+//! Engine smoke tests: correct protocols pass exhaustively, broken
+//! ones are reported.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use loom::cell::UnsafeCell;
+use loom::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use loom::sync::Arc;
+
+/// Runs `f` under the checker and returns the violation message.
+fn expect_violation(f: impl Fn() + Send + Sync + 'static) -> String {
+    let result = catch_unwind(AssertUnwindSafe(move || loom::model(f)));
+    let payload = result.expect_err("the model checker should have reported a violation");
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default()
+}
+
+#[test]
+fn single_thread_completes() {
+    let report = loom::model::Builder::new().check(|| {
+        let n = AtomicUsize::new(0);
+        n.store(7, Ordering::Relaxed);
+        assert_eq!(n.load(Ordering::Relaxed), 7);
+    });
+    assert!(report.complete);
+    assert_eq!(report.executions, 1);
+}
+
+#[test]
+fn explores_multiple_interleavings() {
+    let report = loom::model::Builder::new().check(|| {
+        let n = Arc::new(AtomicUsize::new(0));
+        let n2 = Arc::clone(&n);
+        let t = loom::thread::spawn(move || {
+            n2.fetch_add(1, Ordering::AcqRel);
+            n2.fetch_add(1, Ordering::AcqRel);
+        });
+        n.fetch_add(1, Ordering::AcqRel);
+        t.join().unwrap();
+        assert_eq!(n.load(Ordering::Acquire), 3);
+    });
+    assert!(report.complete);
+    // Two threads race over the RMWs: there must be more than one
+    // schedule, and the RMW atomicity must hold in all of them.
+    assert!(report.executions > 1, "executions = {}", report.executions);
+}
+
+#[test]
+fn lost_update_is_caught() {
+    // Non-atomic increment (separate load and store): some
+    // interleaving loses an update and the final assert fires.
+    let msg = expect_violation(|| {
+        let n = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let n = Arc::clone(&n);
+            handles.push(loom::thread::spawn(move || {
+                let v = n.load(Ordering::Acquire);
+                n.store(v + 1, Ordering::Release);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(n.load(Ordering::Acquire), 2);
+    });
+    assert!(msg.contains("panicked"), "unexpected report: {msg}");
+}
+
+#[test]
+fn release_acquire_publish_passes() {
+    let report = loom::model::Builder::new().check(|| {
+        let data = Arc::new(UnsafeCell::new(0u32));
+        let flag = Arc::new(AtomicBool::new(false));
+        let (data2, flag2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = loom::thread::spawn(move || {
+            data2.with_mut(|p| unsafe { *p = 42 });
+            flag2.store(true, Ordering::Release);
+        });
+        while !flag.load(Ordering::Acquire) {
+            loom::thread::yield_now();
+        }
+        let v = data.with(|p| unsafe { *p });
+        assert_eq!(v, 42);
+        t.join().unwrap();
+    });
+    assert!(report.complete);
+}
+
+#[test]
+fn relaxed_publish_is_a_data_race() {
+    // Same protocol with the Release store weakened to Relaxed: the
+    // consumer's cell read no longer happens-after the producer's cell
+    // write.
+    let msg = expect_violation(|| {
+        let data = Arc::new(UnsafeCell::new(0u32));
+        let flag = Arc::new(AtomicBool::new(false));
+        let (data2, flag2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = loom::thread::spawn(move || {
+            data2.with_mut(|p| unsafe { *p = 42 });
+            flag2.store(true, Ordering::Relaxed);
+        });
+        while !flag.load(Ordering::Acquire) {
+            loom::thread::yield_now();
+        }
+        let _ = data.with(|p| unsafe { *p });
+        t.join().unwrap();
+    });
+    assert!(msg.contains("data race"), "unexpected report: {msg}");
+}
+
+#[test]
+fn weak_consume_is_a_data_race() {
+    // The dual: Release store kept, Acquire load weakened to Relaxed.
+    let msg = expect_violation(|| {
+        let data = Arc::new(UnsafeCell::new(0u32));
+        let flag = Arc::new(AtomicBool::new(false));
+        let (data2, flag2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = loom::thread::spawn(move || {
+            data2.with_mut(|p| unsafe { *p = 42 });
+            flag2.store(true, Ordering::Release);
+        });
+        while !flag.load(Ordering::Relaxed) {
+            loom::thread::yield_now();
+        }
+        let _ = data.with(|p| unsafe { *p });
+        t.join().unwrap();
+    });
+    assert!(msg.contains("data race"), "unexpected report: {msg}");
+}
+
+#[test]
+fn unsatisfiable_spin_reports_livelock() {
+    let msg = expect_violation(|| {
+        let flag = AtomicBool::new(false);
+        // Nobody ever sets the flag.
+        while !flag.load(Ordering::Acquire) {
+            loom::thread::yield_now();
+        }
+    });
+    assert!(
+        msg.contains("livelock") || msg.contains("exceeded"),
+        "unexpected report: {msg}"
+    );
+}
+
+#[test]
+fn join_establishes_happens_before() {
+    let report = loom::model::Builder::new().check(|| {
+        let data = Arc::new(UnsafeCell::new(0u32));
+        let data2 = Arc::clone(&data);
+        let t = loom::thread::spawn(move || {
+            data2.with_mut(|p| unsafe { *p = 9 });
+        });
+        t.join().unwrap();
+        // No atomics at all: the join edge alone must order the write
+        // before this read.
+        let v = data.with(|p| unsafe { *p });
+        assert_eq!(v, 9);
+    });
+    assert!(report.complete);
+}
+
+#[test]
+fn random_phase_runs_when_budget_truncates() {
+    // Tiny systematic budget forces the seeded random tail to run.
+    let report = loom::model::Builder {
+        max_iterations: 2,
+        random_iterations: 8,
+        seed: 42,
+        ..loom::model::Builder::new()
+    }
+    .check(|| {
+        let n = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let n = Arc::clone(&n);
+            handles.push(loom::thread::spawn(move || {
+                n.fetch_add(1, Ordering::AcqRel);
+                n.fetch_add(1, Ordering::AcqRel);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(n.load(Ordering::Acquire), 4);
+    });
+    assert!(!report.complete);
+    assert_eq!(report.executions, 2 + 8);
+}
+
+#[test]
+fn spin_loop_hint_is_a_yield() {
+    let report = loom::model::Builder::new().check(|| {
+        let flag = Arc::new(AtomicBool::new(false));
+        let flag2 = Arc::clone(&flag);
+        let t = loom::thread::spawn(move || {
+            flag2.store(true, Ordering::Release);
+        });
+        while !flag.load(Ordering::Acquire) {
+            loom::hint::spin_loop();
+        }
+        t.join().unwrap();
+    });
+    assert!(report.complete);
+}
