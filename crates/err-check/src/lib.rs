@@ -47,6 +47,9 @@ const SEQCST_FILES: &[&str] = &[
     "crates/err-runtime/src/gate.rs",
     "crates/err-runtime/src/fault.rs",
     "crates/err-runtime/src/migrate.rs",
+    // FabricGate: the §10 DrainGate `closed+in_flight` Dekker pair
+    // replayed at fabric scope (DESIGN.md §11.3).
+    "crates/err-fabric/src/fabric.rs",
 ];
 
 /// Files allowed to hold a `std::sync::Mutex`. Each is a documented
@@ -63,6 +66,10 @@ const MUTEX_FILES: &[&str] = &[
     // Experiment-harness job queue (parking_lot): offline runner, no
     // runtime fast path.
     "crates/err-experiments/src/runner.rs",
+    // Fabric node registry, kill reports, and fault-event log: taken at
+    // boot, on a chaos kill, and at drain — never per flit (the
+    // per-flit fabric path is the forwarder's lock-free handoff).
+    "crates/err-fabric/src/fabric.rs",
 ];
 
 /// One declarative doc-drift rule: `doc` (under the workspace root)
@@ -128,15 +135,43 @@ const DOC_RULES: &[DocRule] = &[
             "happens-before",
         ],
     },
+    // §11 vocabulary: every routing verdict, forwarder outcome, and
+    // fabric fault the code can take must stay named in the spec.
+    DocRule {
+        doc: "DESIGN.md",
+        section: Some("## 11"),
+        needles: &[
+            // NextHop / LinkEnd (topology.rs).
+            "Eject",
+            "Forward",
+            "Neighbor",
+            // ForwardOutcome (forwarder.rs).
+            "Ejected",
+            "Forwarded",
+            "Refused",
+            "Rerouted",
+            "DeadLettered",
+            // FabricFault (chaos.rs).
+            "KillLink",
+            "KillNode",
+            // The machinery the outcomes ride on.
+            "Forwarder",
+            "FabricFaultPlan",
+            "try_emit",
+            "route_table",
+            "dimension-order",
+            "ECMP",
+        ],
+    },
     DocRule {
         doc: "README.md",
         section: None,
-        needles: &["err-check", "loom"],
+        needles: &["err-check", "loom", "err-fabric", "backpressure"],
     },
     DocRule {
         doc: "EXPERIMENTS.md",
         section: None,
-        needles: &["interleavings", "mutant"],
+        needles: &["interleavings", "mutant", "BENCH_fabric", "isolation"],
     },
 ];
 

@@ -91,21 +91,28 @@ impl FlusherCore {
         self.pending_total == 0 && self.rx.is_empty()
     }
 
-    fn deliver<E: Egress + ?Sized>(
+    /// Offers `flit` to the sink; returns the credit and advances the
+    /// flush clock only on acceptance (DESIGN.md §11.2 — a refusing
+    /// sink keeps the credit withheld, which is how a fabric forwarder
+    /// propagates downstream backpressure into this node's scheduler).
+    fn try_deliver<E: Egress + ?Sized>(
         &self,
         flit: &ServedFlit,
         link: usize,
         links: &LinkSet,
         injector: Option<&StallInjector>,
         sink: &mut E,
-    ) {
-        sink.emit(self.shard, flit);
+    ) -> bool {
+        if !sink.try_emit(self.shard, flit) {
+            return false;
+        }
         links.on_delivered(link);
         // The clock moved: stall events may now be due. Polling per
         // delivery keeps single-shard schedules cycle-exact.
         if let Some(inj) = injector {
             inj.poll(links);
         }
+        true
     }
 
     /// One pump: drain deliverable pending flits, then pop up to
@@ -139,9 +146,14 @@ impl FlusherCore {
                     continue;
                 }
                 while !self.pending[link].is_empty() && !links.blocked(link) {
-                    let flit = self.pending[link].pop_front().expect("checked non-empty");
+                    let flit = *self.pending[link].front().expect("checked non-empty");
+                    if !self.try_deliver(&flit, link, links, injector, sink) {
+                        // Sink refusal: the head flit keeps its credit
+                        // and per-link FIFO holds everything behind it.
+                        break;
+                    }
+                    self.pending[link].pop_front();
                     self.pending_total -= 1;
-                    self.deliver(&flit, link, links, injector, sink);
                     delivered += 1;
                 }
             }
@@ -152,7 +164,10 @@ impl FlusherCore {
             if drop_dead && links.is_dead(link) {
                 links.on_dead_letter(link);
                 self.dead_lettered += 1;
-            } else if links.blocked(link) || !self.pending[link].is_empty() {
+            } else if links.blocked(link)
+                || !self.pending[link].is_empty()
+                || !self.try_deliver(&flit, link, links, injector, sink)
+            {
                 self.pending[link].push_back(flit);
                 self.pending_total += 1;
                 // Every pending flit holds a credit, so the stall
@@ -162,7 +177,6 @@ impl FlusherCore {
                     "pending overflow on link {link}"
                 );
             } else {
-                self.deliver(&flit, link, links, injector, sink);
                 delivered += 1;
             }
         }

@@ -77,6 +77,22 @@ pub use stats::{EgressSnapshot, ShardEgressSnapshot, ShardEgressStats};
 pub trait Egress: Send {
     /// Consumes one flit served by `shard`'s scheduler.
     fn emit(&mut self, shard: usize, flit: &ServedFlit);
+
+    /// Refusable delivery (DESIGN.md §11.2): the flusher calls this and
+    /// returns the flit's link credit **only on acceptance**. Returning
+    /// `false` leaves the flit in the link's pending queue with its
+    /// credit held — the hook a fabric forwarder uses to withhold
+    /// credits while the downstream node's ingress has no room, which
+    /// is what propagates wormhole backpressure hop by hop.
+    ///
+    /// The default accepts unconditionally by delegating to
+    /// [`emit`](Egress::emit). An implementation that refuses must
+    /// eventually accept (or the flit's link must die / enter drain
+    /// dead-lettering), or the egress drain cannot complete.
+    fn try_emit(&mut self, shard: usize, flit: &ServedFlit) -> bool {
+        self.emit(shard, flit);
+        true
+    }
 }
 
 impl<F: FnMut(usize, &ServedFlit) + Send> Egress for F {
@@ -123,6 +139,17 @@ impl<E: Egress> Egress for SharedEgress<E> {
             .expect("shared egress sink poisoned")
             .emit(shard, flit);
     }
+
+    // Forward instead of inheriting the default: the default would
+    // call `emit`, turning the inner sink's refusal into a block held
+    // *under the lock* — every other holder of this sink would stall
+    // behind one refused flit.
+    fn try_emit(&mut self, shard: usize, flit: &ServedFlit) -> bool {
+        self.inner
+            .lock()
+            .expect("shared egress sink poisoned")
+            .try_emit(shard, flit)
+    }
 }
 
 /// Configuration of the buffered egress path.
@@ -134,8 +161,13 @@ pub struct BufferedConfig {
     /// committed-but-undelivered to one link at a time.
     pub credits: u64,
     /// Number of downstream links. Flows map to links statically:
-    /// `link = flow % n_links`.
+    /// `link = flow % n_links`, unless `route_table` overrides it.
     pub n_links: usize,
+    /// Optional flow-indexed routing table (DESIGN.md §11.1): entry
+    /// `flow` names the link carrying that flow, overriding the modulo
+    /// default. Flows past the table's end fall back to the modulo
+    /// rule. The fabric compiles one table per node from its topology.
+    pub route_table: Option<Arc<[u32]>>,
     /// Optional deterministic stall schedule applied on the flush
     /// clock.
     pub stall_plan: Option<StallPlan>,
@@ -153,6 +185,7 @@ impl Default for BufferedConfig {
             ring_capacity: 1024,
             credits: 64,
             n_links: 4,
+            route_table: None,
             stall_plan: None,
             dead_link_deadline: None,
             dead_link_policy: DeadLinkPolicy::default(),

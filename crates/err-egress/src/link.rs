@@ -148,12 +148,17 @@ pub struct LinkSnapshot {
 
 /// The set of downstream links shared by every shard's egress path.
 ///
-/// Flows are mapped to links statically: `link = flow % n_links`. That
-/// matches the wormhole setting, where a flow is a (source, destination)
-/// stream whose packets all traverse the same output channel.
+/// Flows are mapped to links statically: `link = flow % n_links`, or by
+/// an optional flow-indexed routing table (DESIGN.md §11.1 — the fabric
+/// compiles one per node from its topology). Either way the mapping is
+/// fixed for the run, matching the wormhole setting, where a flow is a
+/// (source, destination) stream whose packets all traverse the same
+/// output channel at a given switch.
 pub struct LinkSet {
     links: Vec<Link>,
     credits_per_link: u64,
+    /// Flow→link override; flows past its end use the modulo rule.
+    route_table: Option<std::sync::Arc<[u32]>>,
     /// While draining, `blocked` reports false so buffered flits can
     /// reach the sink even through a frozen link (conservation at
     /// shutdown outranks stall fidelity).
@@ -184,11 +189,31 @@ impl LinkSet {
         dead_deadline: Option<u64>,
         policy: DeadLinkPolicy,
     ) -> Self {
+        Self::with_routing(n_links, credits, dead_deadline, policy, None)
+    }
+
+    /// Creates `n_links` links with a fault policy and an optional
+    /// flow→link routing table (DESIGN.md §11.1). Every table entry
+    /// must name an existing link.
+    pub fn with_routing(
+        n_links: usize,
+        credits: u64,
+        dead_deadline: Option<u64>,
+        policy: DeadLinkPolicy,
+        route_table: Option<std::sync::Arc<[u32]>>,
+    ) -> Self {
         assert!(n_links > 0, "need at least one link");
         assert!(credits > 0, "need at least one credit per link");
+        if let Some(table) = &route_table {
+            assert!(
+                table.iter().all(|&l| (l as usize) < n_links),
+                "route table names a link >= n_links"
+            );
+        }
         Self {
             links: (0..n_links).map(|_| Link::new(credits)).collect(),
             credits_per_link: credits,
+            route_table,
             draining: AtomicBool::new(false),
             flush_clock: AtomicU64::new(0),
             dead_deadline,
@@ -211,8 +236,15 @@ impl LinkSet {
         self.credits_per_link
     }
 
-    /// The link that carries `flow`.
+    /// The link that carries `flow`: the routing table's entry when one
+    /// is installed (falling back to modulo past its end), else
+    /// `flow % n_links`.
     pub fn route(&self, flow: usize) -> usize {
+        if let Some(table) = &self.route_table {
+            if let Some(&link) = table.get(flow) {
+                return link as usize;
+            }
+        }
         flow % self.links.len()
     }
 

@@ -1,0 +1,180 @@
+//! Chaos at fabric scope: killing cables and whole nodes mid-run
+//! (DESIGN.md §11.4).
+//!
+//! Events fire on the fabric's **ejection clock** — total packets
+//! delivered — which is deterministic under a deterministic workload
+//! and monotone under any. A monitor thread owned by the `Fabric`
+//! polls the clock, applies due events, and records what happened.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// One scheduled fabric fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FabricFault {
+    /// Cuts one inter-node cable: the upstream Forwarder sees the dead
+    /// flag and reroutes (or dead-letters) everything routed over it.
+    KillLink {
+        /// Upstream node owning the cable.
+        node: usize,
+        /// That node's link index (never `0`, the eject end).
+        link: usize,
+        /// Ejection-clock value at which the cut happens.
+        at: u64,
+    },
+    /// Force-drains a whole node runtime (§9.4 ladder): residuals are
+    /// counted lost, its handle refuses new submits, and every
+    /// neighbor treats links toward it as dead.
+    KillNode {
+        /// The node to kill.
+        node: usize,
+        /// Ejection-clock value at which the kill happens.
+        at: u64,
+    },
+}
+
+impl FabricFault {
+    /// The ejection-clock deadline of the event.
+    pub fn at(&self) -> u64 {
+        match *self {
+            FabricFault::KillLink { at, .. } | FabricFault::KillNode { at, .. } => at,
+        }
+    }
+}
+
+/// A deterministic schedule of fabric faults.
+#[derive(Clone, Debug, Default)]
+pub struct FabricFaultPlan {
+    events: Vec<FabricFault>,
+}
+
+impl FabricFaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules a cable cut at ejection-clock `at`.
+    pub fn kill_link_at(mut self, node: usize, link: usize, at: u64) -> Self {
+        assert!(link > 0, "link 0 is the eject end, not a cable");
+        self.events.push(FabricFault::KillLink { node, link, at });
+        self
+    }
+
+    /// Schedules a node kill at ejection-clock `at`.
+    pub fn kill_node_at(mut self, node: usize, at: u64) -> Self {
+        self.events.push(FabricFault::KillNode { node, at });
+        self
+    }
+
+    /// The scheduled events, in insertion order.
+    pub fn events(&self) -> &[FabricFault] {
+        &self.events
+    }
+
+    /// Whether the plan schedules anything.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// A fired fault, as observed by the monitor.
+#[derive(Clone, Copy, Debug)]
+pub struct FabricFaultEvent {
+    /// What fired.
+    pub fault: FabricFault,
+    /// Ejection-clock value when the monitor applied it (≥ `at`).
+    pub fired_at: u64,
+    /// Packets the killed node still held (0 for `KillLink`).
+    pub lost_packets: u64,
+}
+
+/// Shared liveness flags the Forwarders consult on every tail handoff:
+/// one per inter-node cable and one per node. Set once (false → true)
+/// by the monitor, read by flusher threads.
+pub struct DeadMap {
+    links: Vec<Vec<AtomicBool>>,
+    nodes: Vec<AtomicBool>,
+}
+
+impl DeadMap {
+    /// All-alive flags for a fabric whose node `i` has `n_links[i]`
+    /// links.
+    pub fn new(n_links: &[usize]) -> Self {
+        Self {
+            links: n_links
+                .iter()
+                .map(|&n| (0..n).map(|_| AtomicBool::new(false)).collect())
+                .collect(),
+            nodes: n_links.iter().map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+
+    /// Marks one cable dead.
+    pub fn kill_link(&self, node: usize, link: usize) {
+        // ordering: Release pairs with the Acquire loads in
+        // `link_dead`/`node_dead` — a forwarder that observes the flag
+        // also observes every write the monitor made before the kill.
+        self.links[node][link].store(true, Ordering::Release);
+    }
+
+    /// Marks a node dead.
+    pub fn kill_node(&self, node: usize) {
+        // ordering: Release; see `kill_link`.
+        self.nodes[node].store(true, Ordering::Release);
+    }
+
+    /// Whether `node`'s cable `link` has been cut.
+    pub fn link_dead(&self, node: usize, link: usize) -> bool {
+        // ordering: Acquire pairs with the Release stores above.
+        self.links[node][link].load(Ordering::Acquire)
+    }
+
+    /// Whether `node` has been killed.
+    pub fn node_dead(&self, node: usize) -> bool {
+        // ordering: Acquire pairs with the Release stores above.
+        self.nodes[node].load(Ordering::Acquire)
+    }
+
+    /// Whether crossing `link` from `node` is still viable: the cable
+    /// is intact and the peer (if `Some`) alive.
+    pub fn viable(&self, node: usize, link: usize, peer: Option<usize>) -> bool {
+        !self.link_dead(node, link) && peer.is_none_or(|p| !self.node_dead(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_builder_orders_events() {
+        let p = FabricFaultPlan::new()
+            .kill_link_at(1, 2, 50)
+            .kill_node_at(3, 100);
+        assert_eq!(p.events().len(), 2);
+        assert_eq!(p.events()[0].at(), 50);
+        assert!(matches!(
+            p.events()[1],
+            FabricFault::KillNode { node: 3, .. }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "eject end")]
+    fn killing_the_eject_end_is_rejected() {
+        let _ = FabricFaultPlan::new().kill_link_at(0, 0, 1);
+    }
+
+    #[test]
+    fn dead_map_flags() {
+        let d = DeadMap::new(&[3, 2]);
+        assert!(d.viable(0, 1, Some(1)));
+        d.kill_link(0, 1);
+        assert!(d.link_dead(0, 1));
+        assert!(!d.viable(0, 1, Some(1)));
+        assert!(d.viable(0, 2, Some(1)));
+        d.kill_node(1);
+        assert!(!d.viable(0, 2, Some(1)));
+        assert!(d.viable(0, 2, None));
+    }
+}

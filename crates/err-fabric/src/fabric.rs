@@ -1,0 +1,612 @@
+//! The `Fabric` handle: boot, submit, drain, queries (DESIGN.md
+//! §11.3) and the chaos monitor (§11.4).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use err_egress::{BufferedConfig, EgressController, StallPlan};
+use err_runtime::{
+    AdmissionPolicy, DrainReport, EgressMode, Runtime, RuntimeConfig, RuntimeHandle, SubmitError,
+    Submitted,
+};
+use err_sched::{Discipline, Packet};
+
+use crate::chaos::{DeadMap, FabricFault, FabricFaultEvent, FabricFaultPlan};
+use crate::forwarder::Forwarder;
+use crate::stats::{FabricLedger, FlowSnapshot, NodeCounters};
+use crate::topology::{FlowSpec, Topology};
+
+/// The fabric-level closed+in-flight Dekker pair (the §10 `DrainGate`
+/// shape): `close` is race-free against concurrent producers — once
+/// the drain has seen `closed && in_flight == 0`, any later submit
+/// must observe the closed flag and bail.
+pub struct FabricGate {
+    closed: AtomicBool,
+    in_flight: AtomicU64,
+}
+
+impl FabricGate {
+    pub(crate) fn new() -> Self {
+        Self {
+            closed: AtomicBool::new(false),
+            in_flight: AtomicU64::new(0),
+        }
+    }
+
+    /// Announces one in-flight packet; `false` if the fabric is closed
+    /// (the announcement is rolled back).
+    pub(crate) fn enter(&self) -> bool {
+        // ordering: SeqCst Dekker with `close` — the increment must be
+        // globally visible before the closed check, so either this
+        // producer sees `closed` or the drain sees `in_flight > 0`.
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        if self.closed.load(Ordering::SeqCst) {
+            // ordering: SeqCst; rollback of the announcement above.
+            self.in_flight.fetch_sub(1, Ordering::SeqCst);
+            return false;
+        }
+        true
+    }
+
+    /// Retires `n` in-flight packets (terminal outcome reached).
+    pub(crate) fn depart(&self, n: u64) {
+        // ordering: SeqCst keeps departures in the same total order
+        // the drain's `in_flight == 0` check participates in.
+        let prev = self.in_flight.fetch_sub(n, Ordering::SeqCst);
+        debug_assert!(prev >= n, "gate underflow");
+    }
+
+    /// Closes the fabric to new submits.
+    pub(crate) fn close(&self) {
+        // ordering: SeqCst Dekker with `enter`; see `enter`.
+        self.closed.store(true, Ordering::SeqCst);
+    }
+
+    /// Packets submitted but not yet terminal.
+    pub(crate) fn in_flight(&self) -> u64 {
+        // ordering: SeqCst; pairs with `enter`/`depart` above.
+        self.in_flight.load(Ordering::SeqCst)
+    }
+}
+
+/// Configuration of a [`Fabric`]: one buffered runtime per topology
+/// node, same knobs fabric-wide (DESIGN.md §11.3).
+#[derive(Clone)]
+pub struct FabricConfig {
+    /// The port graph and routing rule.
+    pub topology: Topology,
+    /// End-to-end flows, indexed by global flow id.
+    pub flows: Vec<FlowSpec>,
+    /// Shards (worker threads) per node.
+    pub shards_per_node: usize,
+    /// Scheduling discipline every node runs.
+    pub discipline: Discipline,
+    /// Per-shard ingress and egress ring capacity.
+    pub ring_capacity: usize,
+    /// Credits per link: the downstream flit buffer each cable models.
+    pub credits: u64,
+    /// Per-flow outstanding-flit cap at every node
+    /// (`AdmissionPolicy::Backpressure`): the bound that turns a full
+    /// downstream into refusals instead of unbounded queueing.
+    pub max_backlog: u64,
+    /// Deterministic egress stall schedules, per node id.
+    pub node_stalls: Vec<(usize, StallPlan)>,
+    /// Chaos schedule on the ejection clock (§11.4).
+    pub fault_plan: Option<FabricFaultPlan>,
+}
+
+impl FabricConfig {
+    /// A fabric over `topology` with the given flows and defaults
+    /// tuned for tests: 1 shard/node, ERR, modest rings and credits.
+    pub fn new(topology: Topology, flows: Vec<FlowSpec>) -> Self {
+        Self {
+            topology,
+            flows,
+            shards_per_node: 1,
+            discipline: Discipline::Err,
+            ring_capacity: 256,
+            credits: 16,
+            max_backlog: 64,
+            node_stalls: Vec::new(),
+            fault_plan: None,
+        }
+    }
+}
+
+/// Per-path facts for one flow (DESIGN.md §11.3, §11.5).
+#[derive(Clone, Debug)]
+pub struct PathStats {
+    /// Inter-node hops on the fault-free route (0 when `src == dst`).
+    pub hops: usize,
+    /// Analytic minimum wormhole latency in cycles for a `len`-flit
+    /// packet on an idle fabric: `hops + len − 1` — head pipelines one
+    /// hop per cycle, the tail trails `len − 1` flit cycles behind,
+    /// and ejection at the destination drains at line rate. This is
+    /// exactly what `wormhole_net` measures on a serialized workload
+    /// (§11.5), pinned by `tests/fabric_cross_validation.rs`.
+    pub min_cycles: u64,
+    /// The flow's ledger snapshot (latency here is measured in µs on
+    /// the fabric's wall clock, not cycles).
+    pub ledger: FlowSnapshot,
+}
+
+/// Final accounting returned by [`Fabric::drain_within`].
+pub struct FabricReport {
+    /// Per-node drain reports, indexed by node id.
+    pub node_reports: Vec<DrainReport>,
+    /// Per-flow ledger at the end.
+    pub flows: Vec<FlowSnapshot>,
+    /// Chaos events that fired (§11.4).
+    pub events: Vec<FabricFaultEvent>,
+    /// Packets lost in killed or force-drained nodes.
+    pub lost_packets: u64,
+    /// Whether the drain deadline forced per-node aborts.
+    pub forced: bool,
+}
+
+impl FabricReport {
+    /// Total packets accepted at source nodes.
+    pub fn submitted_packets(&self) -> u64 {
+        self.flows.iter().map(|f| f.submitted).sum()
+    }
+
+    /// Total packets ejected at their destinations.
+    pub fn ejected_packets(&self) -> u64 {
+        self.flows.iter().map(|f| f.ejected_packets).sum()
+    }
+
+    /// Total admission drops across hops.
+    pub fn dropped_packets(&self) -> u64 {
+        self.flows.iter().map(|f| f.dropped).sum()
+    }
+
+    /// Total no-live-next-hop kills.
+    pub fn dead_lettered_packets(&self) -> u64 {
+        self.flows.iter().map(|f| f.dead_lettered).sum()
+    }
+
+    /// Total packets that crossed an alternate link.
+    pub fn rerouted_packets(&self) -> u64 {
+        self.flows.iter().map(|f| f.rerouted).sum()
+    }
+
+    /// The fabric conservation identity (DESIGN.md §11.3): the
+    /// per-node ledgers telescope into
+    /// `submitted = ejected + dropped + dead_lettered + lost`.
+    pub fn is_conserving(&self) -> bool {
+        self.submitted_packets()
+            == self.ejected_packets()
+                + self.dropped_packets()
+                + self.dead_lettered_packets()
+                + self.lost_packets
+    }
+
+    /// Jain's fairness index over per-flow ejected flits, restricted
+    /// to flows that submitted anything — the blast-radius metric.
+    pub fn jain_ejected(&self) -> f64 {
+        let alloc: Vec<u64> = self
+            .flows
+            .iter()
+            .filter(|f| f.submitted > 0)
+            .map(|f| f.ejected_flits)
+            .collect();
+        fairness_metrics::jain_index(&alloc)
+    }
+}
+
+struct Monitor {
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<()>,
+}
+
+/// A running multi-node fabric (DESIGN.md §11.3).
+pub struct Fabric {
+    topo: Arc<Topology>,
+    specs: Arc<Vec<FlowSpec>>,
+    /// Node runtimes; an entry goes `None` when chaos kills the node
+    /// (its report moves into `killed`). Control-plane only — the hot
+    /// path uses `handles`.
+    nodes: Arc<Mutex<Vec<Option<Runtime>>>>,
+    killed: Arc<Mutex<Vec<(usize, DrainReport)>>>,
+    handles: Vec<RuntimeHandle>,
+    controllers: Vec<EgressController>,
+    counters: Vec<Arc<NodeCounters>>,
+    ledger: Arc<FabricLedger>,
+    gate: Arc<FabricGate>,
+    dead: Arc<DeadMap>,
+    epoch: Instant,
+    next_packet: AtomicU64,
+    events: Arc<Mutex<Vec<FabricFaultEvent>>>,
+    monitor: Option<Monitor>,
+}
+
+impl Fabric {
+    /// Boots one buffered runtime per node, compiles the route tables,
+    /// and wires every Forwarder to every node's ingress handle.
+    pub fn start(cfg: FabricConfig) -> Self {
+        let n_nodes = cfg.topology.n_nodes();
+        assert!(n_nodes >= 1, "a fabric needs at least one node");
+        assert!(!cfg.flows.is_empty(), "a fabric needs at least one flow");
+        let topo = Arc::new(cfg.topology);
+        let specs = Arc::new(cfg.flows);
+        let tables = topo.compile_route_tables(&specs);
+        let ledger = Arc::new(FabricLedger::new(specs.len()));
+        let gate = Arc::new(FabricGate::new());
+        let link_counts: Vec<usize> = (0..n_nodes).map(|n| topo.n_links(n)).collect();
+        let dead = Arc::new(DeadMap::new(&link_counts));
+        let epoch = Instant::now();
+        let handles_cell: Arc<OnceLock<Vec<RuntimeHandle>>> = Arc::new(OnceLock::new());
+        let counters: Vec<Arc<NodeCounters>> = (0..n_nodes)
+            .map(|_| Arc::new(NodeCounters::default()))
+            .collect();
+
+        let mut nodes = Vec::with_capacity(n_nodes);
+        let mut handles = Vec::with_capacity(n_nodes);
+        let mut controllers = Vec::with_capacity(n_nodes);
+        for node in 0..n_nodes {
+            let stall_plan = cfg
+                .node_stalls
+                .iter()
+                .find(|(n, _)| *n == node)
+                .map(|(_, p)| p.clone());
+            let rc = RuntimeConfig {
+                shards: cfg.shards_per_node,
+                n_flows: specs.len(),
+                discipline: cfg.discipline.clone(),
+                ring_capacity: cfg.ring_capacity,
+                batch_packets: 32,
+                batch_flits: 128,
+                admission: AdmissionPolicy::Backpressure {
+                    max_backlog: cfg.max_backlog,
+                },
+                egress: EgressMode::Buffered(BufferedConfig {
+                    ring_capacity: cfg.ring_capacity,
+                    credits: cfg.credits,
+                    n_links: topo.n_links(node),
+                    route_table: Some(tables[node].clone()),
+                    stall_plan,
+                    dead_link_deadline: None,
+                    dead_link_policy: Default::default(),
+                }),
+                stealing: None,
+                supervision: None,
+                fault_plan: None,
+            };
+            let fwd = Forwarder::new(
+                node,
+                Arc::clone(&topo),
+                Arc::clone(&specs),
+                Arc::clone(&handles_cell),
+                Arc::clone(&ledger),
+                Arc::clone(&counters[node]),
+                Arc::clone(&gate),
+                Arc::clone(&dead),
+                epoch,
+            );
+            let (rt, handle) = Runtime::start_with_egress(rc, |_shard| Some(fwd.clone()));
+            controllers.push(
+                rt.egress_controller()
+                    .expect("buffered mode always has a controller")
+                    .clone(),
+            );
+            handles.push(handle);
+            nodes.push(Some(rt));
+        }
+        handles_cell
+            .set(handles.clone())
+            .unwrap_or_else(|_| unreachable!("handles are set exactly once"));
+
+        let nodes = Arc::new(Mutex::new(nodes));
+        let killed = Arc::new(Mutex::new(Vec::new()));
+        let events = Arc::new(Mutex::new(Vec::new()));
+        let monitor = cfg.fault_plan.filter(|p| !p.is_empty()).map(|plan| {
+            let stop = Arc::new(AtomicBool::new(false));
+            let handle = {
+                let stop = Arc::clone(&stop);
+                let ledger = Arc::clone(&ledger);
+                let dead = Arc::clone(&dead);
+                let nodes = Arc::clone(&nodes);
+                let killed = Arc::clone(&killed);
+                let gate = Arc::clone(&gate);
+                let topo = Arc::clone(&topo);
+                let events = Arc::clone(&events);
+                let counters = counters.clone();
+                std::thread::Builder::new()
+                    .name("err-fabric-monitor".into())
+                    .spawn(move || {
+                        run_monitor(
+                            plan, stop, ledger, dead, nodes, killed, gate, topo, counters, events,
+                        )
+                    })
+                    .expect("spawning fabric monitor")
+            };
+            Monitor { stop, handle }
+        });
+
+        Self {
+            topo,
+            specs,
+            nodes,
+            killed,
+            handles,
+            controllers,
+            counters,
+            ledger,
+            gate,
+            dead,
+            epoch,
+            next_packet: AtomicU64::new(0),
+            events,
+            monitor,
+        }
+    }
+
+    /// Submits one `len`-flit packet on `flow`, stamping its arrival
+    /// with the fabric's microsecond clock. Blocks under source-node
+    /// admission backpressure.
+    pub fn submit(&self, flow: usize, len: u32) -> Result<Submitted, SubmitError> {
+        self.submit_inner(flow, len, None)
+    }
+
+    /// Like [`submit`](Self::submit) but non-blocking: a full source
+    /// ingress returns `Err(SubmitError::TimedOut)` instead of
+    /// waiting (nothing is counted; the caller may retry).
+    pub fn try_submit(&self, flow: usize, len: u32) -> Result<Submitted, SubmitError> {
+        self.submit_inner(flow, len, Some(Duration::ZERO))
+    }
+
+    fn submit_inner(
+        &self,
+        flow: usize,
+        len: u32,
+        timeout: Option<Duration>,
+    ) -> Result<Submitted, SubmitError> {
+        assert!(flow < self.specs.len(), "unknown flow {flow}");
+        if !self.gate.enter() {
+            return Err(SubmitError::Closed);
+        }
+        let src = self.specs[flow].src;
+        let pkt = Packet {
+            id: self.next_packet.fetch_add(1, Ordering::Relaxed),
+            flow,
+            len,
+            arrival: self.epoch.elapsed().as_micros() as u64,
+        };
+        let res = match timeout {
+            Some(t) => self.handles[src].submit_within(pkt, t),
+            None => self.handles[src].submit(pkt),
+        };
+        match &res {
+            Ok(Submitted::Enqueued) => self.ledger.on_submitted(flow),
+            Ok(Submitted::Dropped) => {
+                // Source admission accounted it: submitted and
+                // terminally dropped in one step.
+                self.ledger.on_submitted(flow);
+                self.ledger.on_dropped(flow);
+                self.gate.depart(1);
+            }
+            Err(_) => {
+                // Rejected / timed out / source node dead: the packet
+                // never entered the fabric; roll the announcement back.
+                self.gate.depart(1);
+            }
+        }
+        res
+    }
+
+    /// Packets submitted but not yet at a terminal outcome.
+    pub fn in_flight(&self) -> u64 {
+        self.gate.in_flight()
+    }
+
+    /// The live per-flow ledger.
+    pub fn ledger(&self) -> &FabricLedger {
+        &self.ledger
+    }
+
+    /// The topology the fabric realizes.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The egress controller of `node` (freeze/thaw its links; link
+    /// `0` is the node's eject end).
+    pub fn controller(&self, node: usize) -> &EgressController {
+        &self.controllers[node]
+    }
+
+    /// Refused tail handoffs observed at `node` (each one is a
+    /// backpressure event on some outgoing cable).
+    pub fn refusals(&self, node: usize) -> u64 {
+        self.counters[node].refusals()
+    }
+
+    /// Cuts one inter-node cable immediately — the deterministic
+    /// equivalent of a `FabricFault::KillLink` without monitor timing
+    /// (link `0`, the eject end, is not a cable).
+    pub fn cut_link(&self, node: usize, link: usize) {
+        assert!(link > 0 && link < self.topo.n_links(node), "not a cable");
+        self.dead.kill_link(node, link);
+    }
+
+    /// Per-path facts for `flow` (DESIGN.md §11.3): fault-free hop
+    /// count, the analytic minimum latency for `len`-flit packets,
+    /// and the flow's current ledger.
+    pub fn path_stats(&self, flow: usize, len: u32) -> PathStats {
+        let spec = self.specs[flow];
+        let hops = self.topo.path(flow, spec).len() - 1;
+        PathStats {
+            hops,
+            min_cycles: hops as u64 + u64::from(len) - 1,
+            ledger: self.ledger.flow(flow),
+        }
+    }
+
+    /// Jain's index over per-flow ejected flits so far (flows that
+    /// submitted nothing are excluded).
+    pub fn jain_ejected(&self) -> f64 {
+        let alloc: Vec<u64> = (0..self.specs.len())
+            .map(|f| self.ledger.flow(f))
+            .filter(|f| f.submitted > 0)
+            .map(|f| f.ejected_flits)
+            .collect();
+        fairness_metrics::jain_index(&alloc)
+    }
+
+    /// Graceful multi-node drain (DESIGN.md §11.3): close the gate,
+    /// wait for in-flight to reach zero, then shut every node down —
+    /// by then all are empty, so zero flits are lost on this path. A
+    /// deadline miss falls back to forced per-node `shutdown_within`,
+    /// honestly reported (`forced`, extra `lost_packets`).
+    pub fn drain_within(mut self, deadline: Duration) -> FabricReport {
+        self.gate.close();
+        let end = Instant::now() + deadline;
+        while self.gate.in_flight() > 0 && Instant::now() < end {
+            std::thread::yield_now();
+        }
+        let forced = self.gate.in_flight() > 0;
+        if let Some(m) = self.monitor.take() {
+            // ordering: Release pairs with the monitor's Acquire stop
+            // check; the join is the real synchronization point.
+            m.stop.store(true, Ordering::Release);
+            let _ = m.handle.join();
+        }
+        let mut slots = self.nodes.lock().expect("fabric node table poisoned");
+        let mut drains: Vec<Option<DrainReport>> = (0..slots.len()).map(|_| None).collect();
+        for (node, slot) in slots.iter_mut().enumerate() {
+            if let Some(rt) = slot.take() {
+                let report = if forced {
+                    let rep = rt.shutdown_within(Duration::from_millis(200));
+                    let residual = node_residual(&rep, &self.counters[node]);
+                    if residual > 0 {
+                        self.ledger.on_lost(residual);
+                        self.gate.depart(residual);
+                    }
+                    rep
+                } else {
+                    rt.shutdown()
+                };
+                drains[node] = Some(report);
+            }
+        }
+        drop(slots);
+        for (node, rep) in self.killed.lock().expect("kill log poisoned").drain(..) {
+            drains[node] = Some(rep);
+        }
+        let events = std::mem::take(&mut *self.events.lock().expect("event log poisoned"));
+        FabricReport {
+            node_reports: drains
+                .into_iter()
+                .map(|d| d.expect("every node drained exactly once"))
+                .collect(),
+            flows: self.ledger.snapshot(),
+            events,
+            lost_packets: self.ledger.lost(),
+            forced,
+        }
+    }
+}
+
+/// Packets that entered `rep`'s node and never departed through its
+/// Forwarder: the §11.4 lost computation (valid only after the node's
+/// workers *and* flushers are joined, so the counters are final).
+fn node_residual(rep: &DrainReport, counters: &NodeCounters) -> u64 {
+    rep.stats
+        .enqueued_packets()
+        .saturating_sub(counters.departed_packets())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_monitor(
+    plan: FabricFaultPlan,
+    stop: Arc<AtomicBool>,
+    ledger: Arc<FabricLedger>,
+    dead: Arc<DeadMap>,
+    nodes: Arc<Mutex<Vec<Option<Runtime>>>>,
+    killed: Arc<Mutex<Vec<(usize, DrainReport)>>>,
+    gate: Arc<FabricGate>,
+    topo: Arc<Topology>,
+    counters: Vec<Arc<NodeCounters>>,
+    events: Arc<Mutex<Vec<FabricFaultEvent>>>,
+) {
+    let mut pending: Vec<FabricFault> = plan.events().to_vec();
+    // ordering: Acquire pairs with the Release store in drain_within.
+    while !pending.is_empty() && !stop.load(Ordering::Acquire) {
+        let clock = ledger.ejected_total();
+        let mut fired = Vec::new();
+        pending.retain(|f| {
+            if f.at() <= clock {
+                fired.push(*f);
+                false
+            } else {
+                true
+            }
+        });
+        for fault in fired {
+            let lost = apply_fault(
+                fault, &dead, &nodes, &killed, &gate, &ledger, &topo, &counters,
+            );
+            events
+                .lock()
+                .expect("event log poisoned")
+                .push(FabricFaultEvent {
+                    fault,
+                    fired_at: clock,
+                    lost_packets: lost,
+                });
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn apply_fault(
+    fault: FabricFault,
+    dead: &DeadMap,
+    nodes: &Mutex<Vec<Option<Runtime>>>,
+    killed: &Mutex<Vec<(usize, DrainReport)>>,
+    gate: &FabricGate,
+    ledger: &FabricLedger,
+    topo: &Topology,
+    counters: &[Arc<NodeCounters>],
+) -> u64 {
+    match fault {
+        FabricFault::KillLink { node, link, .. } => {
+            dead.kill_link(node, link);
+            0
+        }
+        FabricFault::KillNode { node, .. } => {
+            // Cut every cable touching the node first, so neighbors
+            // reroute instead of queueing against a corpse, then
+            // force-drain it (§9.4 ladder). The handle refuses new
+            // submits the moment the runtime closes its gate.
+            dead.kill_node(node);
+            for link in 1..topo.n_links(node) {
+                dead.kill_link(node, link);
+                let peer = topo.peer(node, link).expect("cable has a peer");
+                if let Some(back) = topo.link_to(peer, node) {
+                    dead.kill_link(peer, back);
+                }
+            }
+            let rt = nodes
+                .lock()
+                .expect("fabric node table poisoned")
+                .get_mut(node)
+                .and_then(Option::take);
+            let Some(rt) = rt else {
+                return 0; // already killed
+            };
+            let rep = rt.shutdown_within(Duration::from_millis(50));
+            // Joined workers and flushers: the node's counters are
+            // final, so entered − departed is exactly what it ate.
+            let lost = node_residual(&rep, &counters[node]);
+            if lost > 0 {
+                ledger.on_lost(lost);
+                gate.depart(lost);
+            }
+            killed.lock().expect("kill log poisoned").push((node, rep));
+            lost
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! The Forwarder: a node's egress sink, running on its flusher
+//! threads, that turns served flits into fabric hops (DESIGN.md
+//! §11.2).
+//!
+//! Body flits of a transit flow always cross (the link credit models
+//! the downstream flit buffer); on the **tail** flit the whole packet
+//! has crossed the link and is handed to the neighbor runtime with a
+//! non-blocking submit. A refused tail stays in the link's pending
+//! queue with its credit held — as flits pile behind it the pool
+//! drains and the upstream scheduler parks exactly the flows routed
+//! over that link (§7): wormhole backpressure, hop by hop.
+
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+use err_egress::Egress;
+use err_runtime::{RuntimeHandle, SubmitError, Submitted};
+use err_sched::{Packet, ServedFlit};
+
+use crate::chaos::DeadMap;
+use crate::fabric::FabricGate;
+use crate::stats::{FabricLedger, NodeCounters};
+use crate::topology::{FlowSpec, NextHop, Topology};
+
+/// The Forwarder's verdict for one served flit (DESIGN.md §11.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ForwardOutcome {
+    /// The flow's route here is `Eject`: delivered locally; on the
+    /// tail flit the ledger records the packet and its latency.
+    Ejected,
+    /// The handoff completed over the primary link — body flits
+    /// always, the tail by downstream accepting the packet (or
+    /// terminally accounting it as an admission drop).
+    Forwarded,
+    /// The neighbor's ingress has no room: the tail flit stays
+    /// pending and its credit stays taken (backpressure).
+    Refused,
+    /// The primary next hop was dead; the packet crossed an alternate
+    /// link instead (mesh: the YX step; fat-tree: the next ECMP
+    /// up-link).
+    Rerouted,
+    /// No live next hop exists: the packet is dropped *and counted*
+    /// in the fabric ledger (fail-stop with an honest ledger).
+    DeadLettered,
+}
+
+/// Per-node egress sink; one clone serves each of the node's shards
+/// (the flusher thread owns it, so `Send` suffices).
+#[derive(Clone)]
+pub struct Forwarder {
+    node: usize,
+    topo: Arc<Topology>,
+    specs: Arc<Vec<FlowSpec>>,
+    /// Every node's ingress handle, set once after all nodes are up
+    /// (resolves the boot-order cycle without a lock on the hot path).
+    handles: Arc<OnceLock<Vec<RuntimeHandle>>>,
+    ledger: Arc<FabricLedger>,
+    counters: Arc<NodeCounters>,
+    gate: Arc<FabricGate>,
+    dead: Arc<DeadMap>,
+    epoch: Instant,
+}
+
+impl Forwarder {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        node: usize,
+        topo: Arc<Topology>,
+        specs: Arc<Vec<FlowSpec>>,
+        handles: Arc<OnceLock<Vec<RuntimeHandle>>>,
+        ledger: Arc<FabricLedger>,
+        counters: Arc<NodeCounters>,
+        gate: Arc<FabricGate>,
+        dead: Arc<DeadMap>,
+        epoch: Instant,
+    ) -> Self {
+        Self {
+            node,
+            topo,
+            specs,
+            handles,
+            ledger,
+            counters,
+            gate,
+            dead,
+            epoch,
+        }
+    }
+
+    /// Classifies and applies one served flit. Everything except
+    /// [`ForwardOutcome::Refused`] consumes the flit.
+    pub fn on_flit(&self, flit: &ServedFlit) -> ForwardOutcome {
+        let flow = flit.flow;
+        let spec = self.specs[flow];
+        match self.topo.next_hop(self.node, flow, spec) {
+            NextHop::Eject => {
+                self.ledger.on_flit_ejected(flow);
+                if flit.is_tail() {
+                    let now_us = self.epoch.elapsed().as_micros() as u64;
+                    self.ledger
+                        .on_packet_ejected(flow, now_us.saturating_sub(flit.arrival));
+                    self.counters.on_ejected();
+                    self.gate.depart(1);
+                }
+                ForwardOutcome::Ejected
+            }
+            NextHop::Forward { .. } => {
+                if !flit.is_tail() {
+                    return ForwardOutcome::Forwarded;
+                }
+                self.hand_off(flit, flow, spec)
+            }
+        }
+    }
+
+    /// Tail-flit packet handoff: non-blocking submit to the first live
+    /// candidate next hop (DESIGN.md §11.2, §11.4).
+    fn hand_off(&self, flit: &ServedFlit, flow: usize, spec: FlowSpec) -> ForwardOutcome {
+        let Some(handles) = self.handles.get() else {
+            // Boot race: the fabric has not finished wiring. Refuse;
+            // the pending queue retries.
+            self.counters.on_refusal();
+            return ForwardOutcome::Refused;
+        };
+        let pkt = Packet {
+            id: flit.packet,
+            flow,
+            len: flit.len,
+            arrival: flit.arrival,
+        };
+        for (nth, link) in self
+            .topo
+            .candidate_links(self.node, flow, spec)
+            .into_iter()
+            .enumerate()
+        {
+            let peer = self
+                .topo
+                .peer(self.node, link)
+                .expect("transit link has a peer");
+            if !self.dead.viable(self.node, link, Some(peer)) {
+                continue;
+            }
+            match handles[peer].submit_within(pkt, Duration::ZERO) {
+                Ok(Submitted::Enqueued) => {
+                    self.counters.on_forwarded();
+                    return if nth > 0 {
+                        self.ledger.on_rerouted(flow);
+                        ForwardOutcome::Rerouted
+                    } else {
+                        ForwardOutcome::Forwarded
+                    };
+                }
+                Ok(Submitted::Dropped) | Err(SubmitError::Rejected) => {
+                    // Downstream admission accounted it: terminal.
+                    self.ledger.on_dropped(flow);
+                    self.counters.on_dropped_downstream();
+                    self.gate.depart(1);
+                    return ForwardOutcome::Forwarded;
+                }
+                Err(SubmitError::TimedOut) => {
+                    // No room right now: hold the flit (and its
+                    // credit) and retry on the next flusher pass.
+                    self.counters.on_refusal();
+                    return ForwardOutcome::Refused;
+                }
+                Err(SubmitError::Closed) => {
+                    // The peer died between the liveness check and the
+                    // submit; fall through to the next candidate.
+                    continue;
+                }
+            }
+        }
+        self.ledger.on_dead_lettered(flow);
+        self.counters.on_dead_lettered();
+        self.gate.depart(1);
+        ForwardOutcome::DeadLettered
+    }
+}
+
+impl Egress for Forwarder {
+    fn emit(&mut self, _shard: usize, flit: &ServedFlit) {
+        // Unconditional delivery: spin out a transient refusal. The
+        // flusher never calls this (it uses `try_emit`); it exists for
+        // direct-driven tests.
+        while self.on_flit(flit) == ForwardOutcome::Refused {
+            std::thread::yield_now();
+        }
+    }
+
+    fn try_emit(&mut self, _shard: usize, flit: &ServedFlit) -> bool {
+        self.on_flit(flit) != ForwardOutcome::Refused
+    }
+}

@@ -1,0 +1,37 @@
+//! A multi-node wormhole fabric with hop-by-hop credit backpressure
+//! (DESIGN.md §11).
+//!
+//! Everything up to `err-runtime` is **one switch**: a single runtime
+//! arbitrating its own egress links. The paper's core premise — a
+//! blocked tail flit stalls the whole wormhole path, and ERR's
+//! fairness must hold *at every hop* — only becomes observable when
+//! several switches are chained with credit flow control between
+//! them. This crate composes N independent buffered runtimes into a
+//! routed [`Topology`]:
+//!
+//! * each node's egress links feed neighbor nodes' ingress rings via
+//!   [`Forwarder`]s running on the flusher threads;
+//! * a refused tail handoff keeps its link credit
+//!   ([`Egress::try_emit`](err_egress::Egress::try_emit)), so a
+//!   stalled downstream starves credits upstream and parks exactly
+//!   the flows routed through it — never unrelated traffic;
+//! * [`Fabric`] gives end-to-end submit, graceful multi-node drain,
+//!   per-path latency/fairness queries, and chaos (killing cables and
+//!   whole nodes mid-run, §11.4).
+//!
+//! The 2×2 serialized workload is cross-validated flit-for-flit
+//! against the single-threaded `wormhole-net` simulator (§11.5).
+
+#![warn(missing_docs)]
+
+pub mod chaos;
+pub mod fabric;
+pub mod forwarder;
+pub mod stats;
+pub mod topology;
+
+pub use chaos::{DeadMap, FabricFault, FabricFaultEvent, FabricFaultPlan};
+pub use fabric::{Fabric, FabricConfig, FabricReport, PathStats};
+pub use forwarder::{ForwardOutcome, Forwarder};
+pub use stats::{FabricLedger, FlowSnapshot, NodeCounters};
+pub use topology::{FlowSpec, LinkEnd, NextHop, Topology};

@@ -1,0 +1,245 @@
+//! The fabric's per-flow end-to-end ledger (DESIGN.md §11.3).
+//!
+//! Monotone counters only, updated with `Relaxed` ordering: readers
+//! take statistical snapshots, never synchronize through them, and the
+//! conservation identity is asserted only after the fabric has drained
+//! (when every writer thread has been joined). The one doubling as a
+//! clock — total ejected packets — orders chaos events (§11.4), which
+//! needs monotonicity, not cross-counter consistency.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-flow counters, all `Relaxed` (see module docs).
+#[derive(Default)]
+pub struct FlowLedger {
+    submitted: AtomicU64,
+    ejected_packets: AtomicU64,
+    ejected_flits: AtomicU64,
+    dropped: AtomicU64,
+    dead_lettered: AtomicU64,
+    rerouted: AtomicU64,
+    latency_sum_us: AtomicU64,
+    latency_max_us: AtomicU64,
+}
+
+/// One flow's ledger at a point in time.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FlowSnapshot {
+    /// Packets accepted into the fabric at the source node.
+    pub submitted: u64,
+    /// Packets delivered at the destination's eject end.
+    pub ejected_packets: u64,
+    /// Flits delivered at the destination's eject end.
+    pub ejected_flits: u64,
+    /// Packets dropped or rejected by admission at any hop.
+    pub dropped: u64,
+    /// Packets killed because no live next hop existed (§11.2).
+    pub dead_lettered: u64,
+    /// Packets that crossed at least one alternate link (§11.4).
+    pub rerouted: u64,
+    /// Sum of end-to-end ejection latencies, microseconds.
+    pub latency_sum_us: u64,
+    /// Largest end-to-end ejection latency, microseconds.
+    pub latency_max_us: u64,
+}
+
+impl FlowSnapshot {
+    /// Mean end-to-end latency in microseconds (0 when nothing ejected).
+    pub fn mean_latency_us(&self) -> f64 {
+        if self.ejected_packets == 0 {
+            return 0.0;
+        }
+        self.latency_sum_us as f64 / self.ejected_packets as f64
+    }
+}
+
+/// The fabric-wide ledger: one [`FlowLedger`] per flow plus the global
+/// ejection clock and the lost count (killed nodes' residuals, §11.4).
+pub struct FabricLedger {
+    flows: Vec<FlowLedger>,
+    ejected_total: AtomicU64,
+    lost: AtomicU64,
+}
+
+impl FabricLedger {
+    /// A zeroed ledger over `n_flows` flows.
+    pub fn new(n_flows: usize) -> Self {
+        Self {
+            flows: (0..n_flows).map(|_| FlowLedger::default()).collect(),
+            ejected_total: AtomicU64::new(0),
+            lost: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of flows.
+    pub fn n_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Records a packet accepted at its source node.
+    pub fn on_submitted(&self, flow: usize) {
+        self.flows[flow].submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one flit delivered at the destination eject end.
+    pub fn on_flit_ejected(&self, flow: usize) {
+        self.flows[flow]
+            .ejected_flits
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a packet fully ejected (its tail flit delivered), with
+    /// its end-to-end latency. Returns the new ejection-clock value.
+    pub fn on_packet_ejected(&self, flow: usize, latency_us: u64) -> u64 {
+        let f = &self.flows[flow];
+        f.ejected_packets.fetch_add(1, Ordering::Relaxed);
+        f.latency_sum_us.fetch_add(latency_us, Ordering::Relaxed);
+        f.latency_max_us.fetch_max(latency_us, Ordering::Relaxed);
+        self.ejected_total.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Records an admission drop/reject at any hop.
+    pub fn on_dropped(&self, flow: usize) {
+        self.flows[flow].dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a no-live-next-hop kill (§11.2).
+    pub fn on_dead_lettered(&self, flow: usize) {
+        self.flows[flow]
+            .dead_lettered
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a packet crossing an alternate link (§11.4).
+    pub fn on_rerouted(&self, flow: usize) {
+        self.flows[flow].rerouted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n` packets lost inside a killed or force-drained node.
+    pub fn on_lost(&self, n: u64) {
+        self.lost.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The ejection clock: total packets ejected fabric-wide.
+    pub fn ejected_total(&self) -> u64 {
+        self.ejected_total.load(Ordering::Relaxed)
+    }
+
+    /// Total packets lost to killed/force-drained nodes.
+    pub fn lost(&self) -> u64 {
+        self.lost.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of one flow.
+    pub fn flow(&self, flow: usize) -> FlowSnapshot {
+        let f = &self.flows[flow];
+        FlowSnapshot {
+            submitted: f.submitted.load(Ordering::Relaxed),
+            ejected_packets: f.ejected_packets.load(Ordering::Relaxed),
+            ejected_flits: f.ejected_flits.load(Ordering::Relaxed),
+            dropped: f.dropped.load(Ordering::Relaxed),
+            dead_lettered: f.dead_lettered.load(Ordering::Relaxed),
+            rerouted: f.rerouted.load(Ordering::Relaxed),
+            latency_sum_us: f.latency_sum_us.load(Ordering::Relaxed),
+            latency_max_us: f.latency_max_us.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Snapshot of every flow, indexed by flow id.
+    pub fn snapshot(&self) -> Vec<FlowSnapshot> {
+        (0..self.flows.len()).map(|f| self.flow(f)).collect()
+    }
+}
+
+/// Per-node forwarder counters (all `Relaxed`; read for reporting and,
+/// after a node's threads are joined, for the §11.4 lost computation —
+/// a packet that entered a node and never shows in these left it).
+#[derive(Default)]
+pub struct NodeCounters {
+    ejected_packets: AtomicU64,
+    forwarded_packets: AtomicU64,
+    dropped_downstream: AtomicU64,
+    dead_lettered: AtomicU64,
+    refusals: AtomicU64,
+}
+
+impl NodeCounters {
+    /// Records a packet ejected at this node.
+    pub fn on_ejected(&self) {
+        self.ejected_packets.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a packet handed to a downstream node's ingress.
+    pub fn on_forwarded(&self) {
+        self.forwarded_packets.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a packet dropped/rejected by downstream admission.
+    pub fn on_dropped_downstream(&self) {
+        self.dropped_downstream.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a packet dead-lettered at this node.
+    pub fn on_dead_lettered(&self) {
+        self.dead_lettered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a refused tail handoff (downstream ingress full).
+    pub fn on_refusal(&self) {
+        self.refusals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Packets that reached a terminal-or-next-hop outcome here:
+    /// ejected, forwarded, dropped downstream, or dead-lettered.
+    pub fn departed_packets(&self) -> u64 {
+        self.ejected_packets.load(Ordering::Relaxed)
+            + self.forwarded_packets.load(Ordering::Relaxed)
+            + self.dropped_downstream.load(Ordering::Relaxed)
+            + self.dead_lettered.load(Ordering::Relaxed)
+    }
+
+    /// Refused tail handoffs (each is one backpressure observation).
+    pub fn refusals(&self) -> u64 {
+        self.refusals.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_counts_and_clock() {
+        let l = FabricLedger::new(2);
+        l.on_submitted(0);
+        l.on_submitted(0);
+        l.on_flit_ejected(0);
+        assert_eq!(l.on_packet_ejected(0, 10), 1);
+        assert_eq!(l.on_packet_ejected(1, 30), 2);
+        l.on_dropped(0);
+        l.on_dead_lettered(1);
+        l.on_rerouted(1);
+        l.on_lost(3);
+        let s = l.flow(0);
+        assert_eq!(s.submitted, 2);
+        assert_eq!(s.ejected_packets, 1);
+        assert_eq!(s.ejected_flits, 1);
+        assert_eq!(s.dropped, 1);
+        assert_eq!(s.mean_latency_us(), 10.0);
+        assert_eq!(l.flow(1).latency_max_us, 30);
+        assert_eq!(l.ejected_total(), 2);
+        assert_eq!(l.lost(), 3);
+    }
+
+    #[test]
+    fn node_counters_departures() {
+        let c = NodeCounters::default();
+        c.on_ejected();
+        c.on_forwarded();
+        c.on_dropped_downstream();
+        c.on_dead_lettered();
+        c.on_refusal();
+        assert_eq!(c.departed_packets(), 4);
+        assert_eq!(c.refusals(), 1);
+    }
+}

@@ -1,0 +1,298 @@
+//! End-to-end fabric behavior: hop-by-hop delivery, backpressure,
+//! reroute, node kills, and the conservation identity (DESIGN.md
+//! §11.2–§11.4).
+
+use std::time::Duration;
+
+use err_fabric::{Fabric, FabricConfig, FabricFaultPlan, FlowSpec, Topology};
+
+const DRAIN: Duration = Duration::from_secs(20);
+
+fn mesh_fabric(cols: usize, rows: usize, flows: Vec<FlowSpec>) -> Fabric {
+    Fabric::start(FabricConfig::new(Topology::mesh(cols, rows), flows))
+}
+
+#[test]
+fn single_node_ejects_locally() {
+    let f = mesh_fabric(1, 1, vec![FlowSpec { src: 0, dst: 0 }]);
+    for _ in 0..10 {
+        f.submit(0, 3).unwrap();
+    }
+    let rep = f.drain_within(DRAIN);
+    assert!(!rep.forced);
+    assert!(rep.is_conserving());
+    assert_eq!(rep.flows[0].ejected_packets, 10);
+    assert_eq!(rep.flows[0].ejected_flits, 30);
+    assert_eq!(rep.lost_packets, 0);
+}
+
+#[test]
+fn packets_cross_hops_and_conserve() {
+    // 3×1 line: flow 0 crosses two hops, flow 1 one hop, flow 2 none.
+    let f = mesh_fabric(
+        3,
+        1,
+        vec![
+            FlowSpec { src: 0, dst: 2 },
+            FlowSpec { src: 1, dst: 0 },
+            FlowSpec { src: 2, dst: 2 },
+        ],
+    );
+    for flow in 0..3 {
+        for _ in 0..20 {
+            f.submit(flow, 4).unwrap();
+        }
+    }
+    let rep = f.drain_within(DRAIN);
+    assert!(!rep.forced, "graceful drain expected");
+    assert!(rep.is_conserving());
+    assert_eq!(rep.lost_packets, 0, "zero loss under graceful drain");
+    for flow in 0..3 {
+        assert_eq!(rep.flows[flow].submitted, 20);
+        assert_eq!(rep.flows[flow].ejected_packets, 20, "flow {flow}");
+        assert_eq!(rep.flows[flow].ejected_flits, 80, "flow {flow}");
+        assert_eq!(rep.flows[flow].dropped, 0);
+    }
+    // Transit accounting: node 1 served flow 0's flits on their way
+    // through (20 packets × 4 flits), plus its own flow 1.
+    assert_eq!(rep.node_reports[1].stats.served_flits(), 80 + 80);
+}
+
+#[test]
+fn frozen_destination_backpressures_then_recovers() {
+    // 2×1 line, everything bound for node 1. Freezing node 1's eject
+    // end starves its credits; the admission window fills; the source
+    // node's forwarder gets refused tails and holds them under credit.
+    let f = Fabric::start({
+        let mut c = FabricConfig::new(Topology::mesh(2, 1), vec![FlowSpec { src: 0, dst: 1 }]);
+        c.max_backlog = 8;
+        c.credits = 4;
+        c
+    });
+    f.controller(1).freeze(0);
+    let mut accepted = 0u64;
+    let mut attempts = 0u64;
+    while accepted < 40 && attempts < 400_000 {
+        attempts += 1;
+        if f.try_submit(0, 2).is_ok() {
+            accepted += 1;
+        }
+    }
+    // The frozen sink must have pushed refusals all the way upstream:
+    // fewer accepts than attempts (source admission window filled).
+    assert!(accepted < attempts, "backpressure never reached the source");
+    f.controller(1).release_stall(0);
+    let rep = f.drain_within(DRAIN);
+    assert!(!rep.forced);
+    assert!(rep.is_conserving());
+    assert_eq!(rep.flows[0].ejected_packets, rep.flows[0].submitted);
+    assert_eq!(rep.lost_packets, 0);
+}
+
+#[test]
+fn unrelated_flows_keep_moving_while_one_path_is_stalled() {
+    // 2×2: flow 0 (0→1, East link) is frozen at its destination; flow
+    // 1 (0→2, South link) shares no link with it and must not park.
+    let f = Fabric::start({
+        let mut c = FabricConfig::new(
+            Topology::mesh(2, 2),
+            vec![FlowSpec { src: 0, dst: 1 }, FlowSpec { src: 0, dst: 2 }],
+        );
+        c.max_backlog = 8;
+        c.credits = 4;
+        c
+    });
+    f.controller(1).freeze(0);
+    // Saturate flow 0 far past its end-to-end buffering.
+    let mut flow0_accepted = 0u64;
+    for _ in 0..200 {
+        if f.try_submit(0, 2).is_ok() {
+            flow0_accepted += 1;
+        }
+    }
+    // Flow 1 must keep ejecting while flow 0 is wedged.
+    let mut flow1_accepted = 0u64;
+    for _ in 0..50 {
+        if f.try_submit(1, 2).is_ok() {
+            flow1_accepted += 1;
+        }
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while f.ledger().flow(1).ejected_packets < flow1_accepted
+        && std::time::Instant::now() < deadline
+    {
+        std::thread::yield_now();
+    }
+    assert_eq!(
+        f.ledger().flow(1).ejected_packets,
+        flow1_accepted,
+        "the stalled path must not park unrelated traffic"
+    );
+    assert!(
+        f.ledger().flow(0).ejected_packets < flow0_accepted,
+        "flow 0 should still be wedged behind the frozen eject"
+    );
+    f.controller(1).release_stall(0);
+    let rep = f.drain_within(DRAIN);
+    assert!(rep.is_conserving());
+    assert_eq!(rep.lost_packets, 0);
+}
+
+#[test]
+fn cut_link_reroutes_via_the_yx_step() {
+    // 2×2, flow 0→3: primary XY route is 0→1→3. Cutting 0's east
+    // cable diverts every tail onto the YX alternate 0→2→3.
+    let f = mesh_fabric(2, 2, vec![FlowSpec { src: 0, dst: 3 }]);
+    let east = f.topology().link_to(0, 1).unwrap();
+    f.cut_link(0, east);
+    for _ in 0..25 {
+        f.submit(0, 3).unwrap();
+    }
+    let rep = f.drain_within(DRAIN);
+    assert!(!rep.forced);
+    assert!(rep.is_conserving());
+    assert_eq!(rep.flows[0].ejected_packets, 25);
+    assert_eq!(rep.flows[0].rerouted, 25, "every packet took the YX step");
+    assert_eq!(rep.lost_packets, 0);
+    // The detour kept node 1 idle and pushed the transit through 2.
+    assert_eq!(rep.node_reports[1].stats.served_flits(), 0);
+    assert_eq!(rep.node_reports[2].stats.served_flits(), 75);
+}
+
+#[test]
+fn cut_final_link_dead_letters_honestly() {
+    // 2×1 line: the only route 0→1 dies; no alternate exists, so
+    // packets dead-letter at the source's forwarder, counted.
+    let f = mesh_fabric(2, 1, vec![FlowSpec { src: 0, dst: 1 }]);
+    f.cut_link(0, 1);
+    for _ in 0..10 {
+        f.submit(0, 2).unwrap();
+    }
+    let rep = f.drain_within(DRAIN);
+    assert!(!rep.forced);
+    assert!(rep.is_conserving());
+    assert_eq!(rep.flows[0].ejected_packets, 0);
+    assert_eq!(rep.flows[0].dead_lettered, 10);
+}
+
+#[test]
+fn chaos_kill_link_mid_run_conserves() {
+    let plan = FabricFaultPlan::new().kill_link_at(0, 1, 10);
+    let f = Fabric::start({
+        let mut c = FabricConfig::new(
+            Topology::mesh(2, 2),
+            vec![FlowSpec { src: 0, dst: 3 }, FlowSpec { src: 3, dst: 0 }],
+        );
+        c.fault_plan = Some(plan);
+        c
+    });
+    for _ in 0..100 {
+        f.submit(0, 2).unwrap();
+        f.submit(1, 2).unwrap();
+    }
+    // Let the monitor observe the clock passing the deadline.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while f.in_flight() > 0 && std::time::Instant::now() < deadline {
+        std::thread::yield_now();
+    }
+    let rep = f.drain_within(DRAIN);
+    assert!(rep.is_conserving());
+    assert_eq!(rep.lost_packets, 0, "a link kill loses nothing");
+    assert_eq!(rep.events.len(), 1, "the scheduled kill fired");
+    assert_eq!(
+        rep.flows[0].ejected_packets + rep.flows[0].dead_lettered,
+        100
+    );
+    assert_eq!(rep.flows[1].ejected_packets, 100, "reverse path unharmed");
+}
+
+#[test]
+fn chaos_kill_node_counts_losses() {
+    // 3×1 line, traffic 0→2 transits node 1, which dies mid-run.
+    let plan = FabricFaultPlan::new().kill_node_at(1, 5);
+    let f = Fabric::start({
+        let mut c = FabricConfig::new(Topology::mesh(3, 1), vec![FlowSpec { src: 0, dst: 2 }]);
+        c.fault_plan = Some(plan);
+        c
+    });
+    let mut accepted = 0u64;
+    for _ in 0..200 {
+        if f.try_submit(0, 2).is_ok() {
+            accepted += 1;
+        }
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while f.in_flight() > 0 && std::time::Instant::now() < deadline {
+        std::thread::yield_now();
+    }
+    let rep = f.drain_within(DRAIN);
+    assert!(rep.is_conserving(), "losses must be counted, not leaked");
+    assert_eq!(rep.flows[0].submitted, accepted);
+    assert_eq!(
+        rep.flows[0].ejected_packets
+            + rep.flows[0].dead_lettered
+            + rep.flows[0].dropped
+            + rep.lost_packets,
+        accepted
+    );
+    assert_eq!(rep.events.len(), 1);
+    // On a line there is no alternate around the corpse: traffic that
+    // had not crossed node 1 yet dead-letters at node 0.
+    assert!(rep.flows[0].dead_lettered > 0 || rep.lost_packets > 0);
+}
+
+#[test]
+fn fat_tree_traffic_conserves() {
+    let topo = Topology::fat_tree(4);
+    // Cross-pod and same-pod flows between edge switches.
+    let flows = vec![
+        FlowSpec { src: 0, dst: 7 },
+        FlowSpec { src: 7, dst: 0 },
+        FlowSpec { src: 0, dst: 1 },
+        FlowSpec { src: 4, dst: 2 },
+    ];
+    let f = Fabric::start(FabricConfig::new(topo, flows));
+    for flow in 0..4 {
+        for _ in 0..15 {
+            f.submit(flow, 3).unwrap();
+        }
+    }
+    let rep = f.drain_within(DRAIN);
+    assert!(!rep.forced);
+    assert!(rep.is_conserving());
+    assert_eq!(rep.lost_packets, 0);
+    for flow in 0..4 {
+        assert_eq!(rep.flows[flow].ejected_packets, 15, "flow {flow}");
+        assert_eq!(rep.flows[flow].ejected_flits, 45, "flow {flow}");
+    }
+}
+
+#[test]
+fn fat_tree_reroutes_over_the_next_ecmp_up_link() {
+    let topo = Topology::fat_tree(4);
+    let spec = FlowSpec { src: 0, dst: 7 };
+    // Cut the flow's primary up-link at the source edge switch.
+    let path = topo.path(0, spec);
+    let primary_up = topo.link_to(0, path[1]).unwrap();
+    let f = Fabric::start(FabricConfig::new(topo, vec![spec]));
+    f.cut_link(0, primary_up);
+    for _ in 0..20 {
+        f.submit(0, 2).unwrap();
+    }
+    let rep = f.drain_within(DRAIN);
+    assert!(rep.is_conserving());
+    assert_eq!(rep.flows[0].ejected_packets, 20);
+    assert_eq!(
+        rep.flows[0].rerouted, 20,
+        "ECMP alternate carried everything"
+    );
+    assert_eq!(rep.lost_packets, 0);
+}
+
+#[test]
+fn submit_after_drain_is_refused() {
+    let f = mesh_fabric(1, 1, vec![FlowSpec { src: 0, dst: 0 }]);
+    f.submit(0, 1).unwrap();
+    let rep = f.drain_within(DRAIN);
+    assert!(rep.is_conserving());
+}

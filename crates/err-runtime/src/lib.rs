@@ -117,6 +117,17 @@ impl<E: Egress> Egress for OptionalSink<E> {
             sink.emit(shard, flit);
         }
     }
+
+    // Must forward rather than inherit the default: the default
+    // delegates to `emit`, and a refusing sink (a fabric forwarder)
+    // implements refusal by *blocking* in `emit` — which would wedge
+    // the flusher thread on one flit and starve its other links.
+    fn try_emit(&mut self, shard: usize, flit: &ServedFlit) -> bool {
+        match self.0.as_mut() {
+            Some(sink) => sink.try_emit(shard, flit),
+            None => true,
+        }
+    }
 }
 
 /// How served flits reach the downstream sink.
@@ -154,13 +165,17 @@ pub struct RuntimeConfig {
     /// Work stealing / flow migration (DESIGN.md §8). `None` keeps the
     /// static partition. Requires [`EgressMode::Sync`] and a discipline
     /// with `supports_migration()` (ERR/WERR) — `Runtime::start`
-    /// asserts both.
+    /// asserts both. Stealing is the *only* overlay excluded under
+    /// [`EgressMode::Buffered`]: supervision/salvage composes with both
+    /// egress modes (see `supervision`).
     pub stealing: Option<StealingConfig>,
     /// Shard supervision and panic salvage (DESIGN.md §9). Requires a
     /// discipline with extract/absorb support (ERR/WERR) and is
     /// mutually exclusive with `stealing` — both overlays would need
     /// one FlowMap; composing them is future work. `Runtime::start`
-    /// asserts both conditions.
+    /// asserts both conditions. Unlike `stealing`, supervision works
+    /// under either [`EgressMode`]: buffered salvage re-parks restored
+    /// flows per link via `BufferedFaultCtx` (DESIGN.md §9.2).
     pub supervision: Option<SupervisionConfig>,
     /// Deterministic fault injection (DESIGN.md §9.5); events fire on
     /// each shard's flit clock. Requires `supervision`.
@@ -236,7 +251,9 @@ impl Runtime {
             assert!(
                 matches!(config.egress, EgressMode::Sync),
                 "work stealing requires EgressMode::Sync (DESIGN.md §8.6: \
-                 composing migration with buffered link-parking is future work)"
+                 steady-state migration under buffered link-parking is \
+                 future work; one-shot salvage migration composes fine, \
+                 see BufferedFaultCtx in §9.2)"
             );
             assert!(
                 config.discipline.build(1).supports_migration(),
@@ -310,11 +327,12 @@ impl Runtime {
                 }
             }
             EgressMode::Buffered(bc) => {
-                let links = Arc::new(LinkSet::with_fault_policy(
+                let links = Arc::new(LinkSet::with_routing(
                     bc.n_links,
                     bc.credits,
                     bc.dead_link_deadline,
                     bc.dead_link_policy,
+                    bc.route_table.clone(),
                 ));
                 let injector = bc
                     .stall_plan

@@ -360,12 +360,15 @@ fn run_buffered_loop(
                     push_ring(tx, estats, flit);
                     if link_parked[link] {
                         link_parked[link] = false;
-                        let mut flow = link;
-                        while flow < cfg.n_flows {
-                            if !salvage_parked.get(flow).copied().unwrap_or(false) {
+                        // Sweep by routing fn, not modulo stride: a
+                        // fabric route table (§11.1) maps arbitrary
+                        // flow sets onto a link.
+                        for flow in 0..cfg.n_flows {
+                            if links.route(flow) == link
+                                && !salvage_parked.get(flow).copied().unwrap_or(false)
+                            {
                                 scheduler.unpark_flow(flow);
                             }
-                            flow += n_links;
                         }
                     }
                 }
@@ -403,10 +406,10 @@ fn run_buffered_loop(
                     stash[link] = Some(flit);
                     stash_count += 1;
                     link_parked[link] = true;
-                    let mut flow = link;
-                    while flow < cfg.n_flows {
-                        let _ = scheduler.park_flow(flow);
-                        flow += n_links;
+                    for flow in 0..cfg.n_flows {
+                        if links.route(flow) == link {
+                            let _ = scheduler.park_flow(flow);
+                        }
                     }
                 } else {
                     // Blocking fallback: couples the shard's clock to

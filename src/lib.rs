@@ -6,6 +6,7 @@
 
 pub use desim;
 pub use err_experiments as experiments;
+pub use err_fabric as fabric;
 pub use err_runtime as runtime;
 pub use err_sched as sched;
 pub use fairness_metrics as fairness;

@@ -1,0 +1,109 @@
+//! Cross-validation of err-fabric against the wormhole-net simulator
+//! (DESIGN.md §11.5): on a small single-VC mesh the fabric's published
+//! per-path latency model must agree, cycle-exact, with what the
+//! discrete simulator measures for the same paths, and a deterministic
+//! fabric run must account for every flit at every hop.
+
+use std::time::Duration;
+
+use err_repro::fabric::{Fabric, FabricConfig, FlowSpec, Topology};
+use err_repro::sched::Packet;
+use err_repro::wormhole::{ArbiterKind, Mesh2D, MeshNetwork};
+
+const COLS: usize = 2;
+const ROWS: usize = 2;
+
+/// All ordered pairs including the diagonal (a local flow ejects
+/// without crossing a cable — hops = 0 — and both models cover it).
+fn all_pairs() -> Vec<FlowSpec> {
+    let n = COLS * ROWS;
+    let mut flows = Vec::with_capacity(n * n);
+    for src in 0..n {
+        for dst in 0..n {
+            flows.push(FlowSpec { src, dst });
+        }
+    }
+    flows
+}
+
+/// A packet alone in the network is the serialized workload: its
+/// latency is the analytic wormhole minimum `hops + len − 1` (the head
+/// pipelines one hop per cycle, the tail trails `len − 1` flit cycles
+/// behind). The simulator measures it; the fabric publishes it as
+/// [`PathStats::min_cycles`]. They must agree exactly for every
+/// (src, dst, len) on the mesh.
+///
+/// [`PathStats::min_cycles`]: err_repro::fabric::PathStats
+#[test]
+fn serialized_per_path_latency_matches_the_simulator() {
+    let flows = all_pairs();
+    let fabric = Fabric::start(FabricConfig::new(Topology::mesh(COLS, ROWS), flows.clone()));
+    for (flow, spec) in flows.iter().enumerate() {
+        for len in [1u32, 3, 5] {
+            let mut net = MeshNetwork::new(Mesh2D::new(COLS, ROWS), 3, ArbiterKind::Err);
+            net.inject(spec.src, &Packet::new(0, flow, len, 0), spec.dst);
+            net.run(0, 10_000);
+            assert!(net.is_idle(), "simulator did not drain {spec:?}");
+            let delivery = &net.deliveries()[0];
+            assert_eq!(delivery.node, spec.dst);
+            let stats = fabric.path_stats(flow, len);
+            assert_eq!(
+                delivery.delivered_at, stats.min_cycles,
+                "{}->{} len {len}: simulator delivered at cycle {} but the fabric \
+                 models hops({}) + len - 1 = {}",
+                spec.src, spec.dst, delivery.delivered_at, stats.hops, stats.min_cycles,
+            );
+        }
+    }
+    let rep = fabric.drain_within(Duration::from_secs(20));
+    assert!(rep.is_conserving());
+}
+
+/// A deterministic workload on the same mesh: with blocking submits and
+/// no faults nothing can drop, dead-letter, or reroute, so the ledger
+/// is flit-exact per flow and each node's scheduler serves exactly the
+/// flits of the flows whose XY path crosses it.
+#[test]
+fn deterministic_run_accounts_for_every_flit_at_every_hop() {
+    const PACKETS: u64 = 25;
+    const LEN: u32 = 4;
+    let flows = all_pairs();
+    let topo = Topology::mesh(COLS, ROWS);
+    // Per-node expected service: every node on a flow's path (source
+    // through destination inclusive) serves each of its flits once.
+    let mut expected_served = vec![0u64; topo.n_nodes()];
+    for (flow, &spec) in flows.iter().enumerate() {
+        for node in topo.path(flow, spec) {
+            expected_served[node] += PACKETS * u64::from(LEN);
+        }
+    }
+    let fabric = Fabric::start(FabricConfig::new(topo, flows.clone()));
+    for _ in 0..PACKETS {
+        for flow in 0..flows.len() {
+            fabric.submit(flow, LEN).expect("fabric is open");
+        }
+    }
+    let rep = fabric.drain_within(Duration::from_secs(20));
+    assert!(!rep.forced, "graceful drain expected");
+    assert!(rep.is_conserving());
+    assert_eq!(rep.lost_packets, 0);
+    for (flow, snap) in rep.flows.iter().enumerate() {
+        assert_eq!(snap.submitted, PACKETS, "flow {flow}");
+        assert_eq!(snap.ejected_packets, PACKETS, "flow {flow}");
+        assert_eq!(
+            snap.ejected_flits,
+            PACKETS * u64::from(LEN),
+            "flow {flow} lost flits in transit"
+        );
+        assert_eq!(snap.dropped, 0, "flow {flow}");
+        assert_eq!(snap.dead_lettered, 0, "flow {flow}");
+        assert_eq!(snap.rerouted, 0, "no faults, no reroutes (flow {flow})");
+    }
+    for (node, rep) in rep.node_reports.iter().enumerate() {
+        assert_eq!(
+            rep.stats.served_flits(),
+            expected_served[node],
+            "node {node} served a different flit count than its path membership"
+        );
+    }
+}
