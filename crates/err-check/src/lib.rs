@@ -70,6 +70,9 @@ const MUTEX_FILES: &[&str] = &[
     // boot, on a chaos kill, and at drain — never per flit (the
     // per-flit fabric path is the forwarder's lock-free handoff).
     "crates/err-fabric/src/fabric.rs",
+    // HopTracker entry stamps (§11.8): sharded map touched once per
+    // packet per hop — never per flit — on the forwarder's tail path.
+    "crates/err-fabric/src/hops.rs",
 ];
 
 /// One declarative doc-drift rule: `doc` (under the workspace root)
@@ -161,17 +164,63 @@ const DOC_RULES: &[DocRule] = &[
             "route_table",
             "dimension-order",
             "ECMP",
+            // Per-hop latency attribution (§11.8, hops.rs / stats.rs).
+            "HopTracker",
+            "HopSnapshot",
+            "flow_hops",
+            "service clock",
+        ],
+    },
+    // §12 vocabulary: the estimator's pipeline stages, regimes, and
+    // acceptance artifacts must stay named in the spec.
+    DocRule {
+        doc: "DESIGN.md",
+        section: Some("## 12"),
+        needles: &[
+            // The pipeline (decompose.rs / linksim.rs / compose.rs).
+            "decompose",
+            "LinkLoad",
+            "simulate_node",
+            "PathEstimate",
+            "EstimateReport",
+            "HopEstimate",
+            "contention domain",
+            // The arrival model and composition regimes.
+            "just-in-time",
+            "primer",
+            "service clock",
+            "credit-share",
+            "funnel",
+            // The envelope and the validation gates.
+            "floor",
+            "ceiling",
+            "envelope",
+            "BENCH_estimate",
+            "--estimate",
         ],
     },
     DocRule {
         doc: "README.md",
         section: None,
-        needles: &["err-check", "loom", "err-fabric", "backpressure"],
+        needles: &[
+            "err-check",
+            "loom",
+            "err-fabric",
+            "err-estimate",
+            "backpressure",
+        ],
     },
     DocRule {
         doc: "EXPERIMENTS.md",
         section: None,
-        needles: &["interleavings", "mutant", "BENCH_fabric", "isolation"],
+        needles: &[
+            "interleavings",
+            "mutant",
+            "BENCH_fabric",
+            "BENCH_estimate",
+            "isolation",
+            "speedup",
+        ],
     },
 ];
 

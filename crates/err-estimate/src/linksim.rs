@@ -1,0 +1,344 @@
+//! The per-node fast simulator (DESIGN.md §12.3): the shipped ERR
+//! scheduler on a virtual flit clock, fed one node's flow set.
+//!
+//! The fabric's contention domain is the *node* — one shard serves
+//! one flit per cycle across all of the node's links — so the
+//! simulator runs one [`LinkDriver`] per node over the union of flows
+//! that decomposition placed on any of its link ends. The arrival
+//! model is a **just-in-time closed loop**: each flow is paced at the
+//! node's local saturation interval (its total demand in flits per
+//! producer round) and holds at most one packet in the node at a
+//! time — packet `j` arrives at its pace deadline or at packet
+//! `j − 1`'s completion, whichever is later, with the first arrival
+//! doubled (a primer) so the standing inventory exists from cycle
+//! zero. This reproduces the refill dynamics of the credit chain:
+//! when a loaded node serves a flow's packet, backpressure upstream
+//! usually has the next one ready, so every crossing flow waits about
+//! one full round of the node per packet. How much of that round a
+//! flow *actually* waits in a given fabric depends on how much
+//! standing inventory its credit share can sustain — the composer
+//! (§12.4) scales the simulated queueing by that per-link share.
+//!
+//! Delay is measured on the node's *service clock* — the count of
+//! flits the node serves between a packet's enqueue and its tail,
+//! tail inclusive — exactly the §11.8 per-hop attribution the fabric
+//! reports, immune to idle gaps the virtual clock jumps over. An
+//! uncontended packet's delay is exactly its length; a packet at a
+//! loaded node waits about one local round.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use err_sched::{Discipline, LinkDriver, Packet};
+
+/// One flow's share of one node's load, prepared by the composer from
+/// the decomposed [`LinkFlowLoad`]s.
+///
+/// [`LinkFlowLoad`]: crate::decompose::LinkFlowLoad
+#[derive(Clone, Copy, Debug)]
+pub struct SimFlow {
+    /// Global flow id.
+    pub flow: usize,
+    /// Packet length in flits.
+    pub len: u32,
+    /// Planned packet count (caps the simulated sample).
+    pub packets: u64,
+    /// First-arrival offset in cycles (producer submit order).
+    pub phase: u64,
+}
+
+/// Tuning knobs for one node's simulation.
+pub struct SimParams {
+    /// Scheduling discipline the node runs.
+    pub discipline: Discipline,
+    /// Post-warmup packets to sample per flow (capped by the flow's
+    /// planned packet count).
+    pub sample_packets: u64,
+    /// Local saturation pace in cycles between a flow's consecutive
+    /// arrivals at this node — the node's own demand per round.
+    pub interval: u64,
+}
+
+/// One flow's delay samples at one node.
+pub struct NodeFlowDelays {
+    /// Global flow id.
+    pub flow: usize,
+    /// Service-clock tail delays, one per sampled packet (warmup
+    /// discarded). Tail inclusive: an uncontended packet scores
+    /// exactly its length.
+    pub samples: Vec<f64>,
+}
+
+/// Leading completions discarded per flow before sampling: the primer
+/// plus a few packets for the staggered phases to reach steady state.
+const WARMUP: u64 = 5;
+
+/// The just-in-time standing inventory: at most one packet of a flow
+/// is in the node at a time. Credit refill cannot put a second packet
+/// ahead of an unserved one without downstream blocking, which the
+/// composer accounts for separately via the credit-share scale.
+const JIT_WINDOW: u64 = 1;
+
+struct FlowState {
+    flow: usize,
+    len: u32,
+    /// Packets to simulate in total (warmup + kept samples).
+    budget: u64,
+    /// Leading completions to discard.
+    warmup: u64,
+    phase: u64,
+    admitted: u64,
+    completed: u64,
+    /// A packet whose pace came due while the previous one was still
+    /// in the node; it is admitted by the completion that frees it.
+    gated: Option<u64>,
+    /// Service-clock stamps of enqueued, not-yet-completed packets,
+    /// oldest first (per-flow service is FIFO).
+    entries: VecDeque<u64>,
+}
+
+impl FlowState {
+    /// Pace deadline of packet `j`: the primer (packet 0) doubles the
+    /// first arrival, every later packet is one interval apart.
+    fn pace(&self, j: u64, interval: u64) -> u64 {
+        self.phase + j.saturating_sub(1) * interval
+    }
+}
+
+/// Runs one node's flow set to completion and returns per-flow
+/// service-clock delay samples. `n_flows` is the global flow-id space
+/// (schedulers index flows by their fabric id). Fully deterministic:
+/// the event heap breaks ties by (cycle, local index, packet index).
+pub fn simulate_node(
+    node_flows: &[SimFlow],
+    n_flows: usize,
+    params: &SimParams,
+) -> Vec<NodeFlowDelays> {
+    let mut states: Vec<FlowState> = Vec::with_capacity(node_flows.len());
+    for f in node_flows {
+        let budget = f.packets.min(params.sample_packets + WARMUP);
+        // Never let warmup eat the whole (or most of a short) run.
+        let warmup = WARMUP.min(budget / 2);
+        states.push(FlowState {
+            flow: f.flow,
+            len: f.len,
+            budget,
+            warmup,
+            phase: f.phase,
+            admitted: 0,
+            completed: 0,
+            gated: None,
+            entries: VecDeque::new(),
+        });
+    }
+    let mut local_of = vec![usize::MAX; n_flows];
+    for (i, s) in states.iter().enumerate() {
+        local_of[s.flow] = i;
+    }
+
+    let mut samples: Vec<Vec<f64>> = states
+        .iter()
+        .map(|s| Vec::with_capacity((s.budget - s.warmup) as usize))
+        .collect();
+
+    // Pace deadlines: (cycle, local flow index, packet index). Each
+    // admission schedules the flow's next packet, so at most one
+    // pending deadline per flow.
+    let mut events: BinaryHeap<Reverse<(u64, usize, u64)>> = BinaryHeap::new();
+    for (i, s) in states.iter().enumerate() {
+        if s.budget > 0 {
+            events.push(Reverse((s.phase, i, 0)));
+        }
+    }
+
+    let mut driver = LinkDriver::new(&params.discipline, n_flows);
+    let mut services: u64 = 0;
+    let mut remaining = states.iter().filter(|s| s.budget > 0).count();
+    let mut next_packet_id: u64 = 0;
+    let mut admit = |s: &mut FlowState,
+                     driver: &mut LinkDriver,
+                     events: &mut BinaryHeap<Reverse<(u64, usize, u64)>>,
+                     i: usize,
+                     services: u64,
+                     at: u64| {
+        driver.enqueue(Packet::new(next_packet_id, s.flow, s.len, at));
+        next_packet_id += 1;
+        s.entries.push_back(services);
+        s.admitted += 1;
+        if s.admitted < s.budget {
+            events.push(Reverse((
+                s.pace(s.admitted, params.interval).max(at),
+                i,
+                s.admitted,
+            )));
+        }
+    };
+
+    while remaining > 0 {
+        // Admit everything due at or before the current cycle whose
+        // slot is free; an occupied slot parks the packet until the
+        // completion that frees it.
+        while let Some(&Reverse((at, i, j))) = events.peek() {
+            if at > driver.now() {
+                break;
+            }
+            events.pop();
+            let s = &mut states[i];
+            if s.admitted - s.completed >= JIT_WINDOW {
+                s.gated = Some(j);
+            } else {
+                admit(s, &mut driver, &mut events, i, services, at);
+            }
+        }
+        match driver.step() {
+            Some(flit) => {
+                services += 1;
+                if !flit.is_tail() {
+                    continue;
+                }
+                let i = local_of[flit.flow];
+                let s = &mut states[i];
+                let entered = s.entries.pop_front().expect("tail without an entry stamp");
+                s.completed += 1;
+                if s.completed > s.warmup {
+                    samples[i].push((services - entered) as f64);
+                }
+                if s.completed == s.budget {
+                    remaining -= 1;
+                } else if s.gated.take().is_some() {
+                    let now = driver.now();
+                    admit(s, &mut driver, &mut events, i, services, now);
+                }
+            }
+            None => {
+                // Idle: jump to the next pace deadline.
+                let Some(&Reverse((at, _, _))) = events.peek() else {
+                    debug_assert!(remaining == 0, "idle with flows unfinished");
+                    break;
+                };
+                driver.advance_to(at);
+            }
+        }
+    }
+
+    states
+        .into_iter()
+        .zip(samples)
+        .map(|(s, samples)| NodeFlowDelays {
+            flow: s.flow,
+            samples,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(interval: u64) -> SimParams {
+        SimParams {
+            discipline: Discipline::Err,
+            sample_packets: 64,
+            interval,
+        }
+    }
+
+    fn flow(flow: usize, len: u32, packets: u64, phase: u64) -> SimFlow {
+        SimFlow {
+            flow,
+            len,
+            packets,
+            phase,
+        }
+    }
+
+    fn mean(samples: &[f64]) -> f64 {
+        samples.iter().sum::<f64>() / samples.len() as f64
+    }
+
+    #[test]
+    fn lone_flow_delay_is_its_length() {
+        // One 4-flit flow paced at its own demand: the just-in-time
+        // loop serves each packet back-to-back, so its service-clock
+        // delay is exactly len.
+        let out = simulate_node(&[flow(0, 4, 200, 0)], 1, &params(4));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].flow, 0);
+        assert_eq!(out[0].samples.len(), 64);
+        assert!(
+            out[0].samples.iter().all(|&d| d == 4.0),
+            "{:?}",
+            &out[0].samples[..8]
+        );
+    }
+
+    #[test]
+    fn loaded_node_delays_approach_the_local_round() {
+        // Four 4-flit flows at local saturation (interval 16): each
+        // flow's standing packet waits one full round between its own
+        // services — ERR's fair rotation at work.
+        let flows = [
+            flow(0, 4, 500, 0),
+            flow(1, 4, 500, 4),
+            flow(2, 4, 500, 8),
+            flow(3, 4, 500, 12),
+        ];
+        let out = simulate_node(&flows, 4, &params(16));
+        for f in &out {
+            let m = mean(&f.samples);
+            assert!(
+                (12.0..=20.0).contains(&m),
+                "flow {} mean {m} far from the 16-cycle round",
+                f.flow
+            );
+        }
+    }
+
+    #[test]
+    fn just_in_time_window_bounds_inventory() {
+        // Pace far faster than the node can serve: the one-packet
+        // slot bounds each flow's standing inventory, so no delay can
+        // exceed one round plus one packet service.
+        let flows = [flow(0, 4, 300, 0), flow(1, 4, 300, 0)];
+        let out = simulate_node(&flows, 2, &params(1));
+        for f in &out {
+            for &d in &f.samples {
+                assert!(
+                    (4.0..=12.0).contains(&d),
+                    "flow {} delay {d} outside the JIT bound",
+                    f.flow
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn short_runs_keep_at_least_half_their_samples() {
+        let out = simulate_node(&[flow(0, 2, 4, 0)], 1, &params(4));
+        assert_eq!(out[0].samples.len(), 2);
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let flows = [flow(0, 4, 300, 0), flow(1, 6, 300, 7), flow(2, 2, 300, 11)];
+        let a = simulate_node(&flows, 3, &params(12));
+        let b = simulate_node(&flows, 3, &params(12));
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.flow, y.flow);
+            assert_eq!(x.samples, y.samples);
+        }
+    }
+
+    #[test]
+    fn every_flow_waits_the_joint_round_regardless_of_length() {
+        // ERR shares bandwidth by flits: at saturation a short flow
+        // still waits the full joint round between its services, so
+        // its delay is dominated by the long flow's packets.
+        let flows = [flow(0, 12, 400, 0), flow(1, 4, 400, 12)];
+        let out = simulate_node(&flows, 2, &params(16));
+        let long = mean(&out[0].samples);
+        let short = mean(&out[1].samples);
+        assert!((12.0..=20.0).contains(&long), "long mean {long}");
+        assert!((8.0..=20.0).contains(&short), "short mean {short}");
+    }
+}

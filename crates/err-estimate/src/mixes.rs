@@ -1,0 +1,100 @@
+//! Seeded traffic mixes for estimator calibration and validation
+//! (DESIGN.md §12.5): the classic wormhole evaluation patterns on a
+//! mesh, deterministic given a seed.
+
+use err_fabric::{FlowSpec, Topology};
+
+/// splitmix64: a tiny deterministic PRNG so mixes are reproducible
+/// without an external randomness dependency.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform random traffic: every node sends to one seeded uniformly
+/// random destination other than itself — the standard "uniform" load
+/// of the wormhole evaluation literature.
+pub fn uniform_random(topo: &Topology, seed: u64) -> Vec<FlowSpec> {
+    let mut state = seed;
+    (0..topo.n_nodes())
+        .map(|src| {
+            let mut dst = src;
+            while dst == src {
+                dst = (splitmix(&mut state) % topo.n_nodes() as u64) as usize;
+            }
+            FlowSpec { src, dst }
+        })
+        .collect()
+}
+
+/// The transpose permutation on a square mesh: `(x, y) → (y, x)`,
+/// diagonal nodes excluded (they would send to themselves).
+pub fn transpose(cols: usize, rows: usize) -> Vec<FlowSpec> {
+    assert_eq!(cols, rows, "transpose needs a square mesh");
+    let mut flows = Vec::new();
+    for y in 0..rows {
+        for x in 0..cols {
+            if x != y {
+                flows.push(FlowSpec {
+                    src: y * cols + x,
+                    dst: x * cols + y,
+                });
+            }
+        }
+    }
+    flows
+}
+
+/// Seeded hotspot: half the non-hot nodes, drawn by a seeded
+/// Fisher-Yates shuffle, all converge on `hot`.
+pub fn hotspot_random(topo: &Topology, hot: usize, seed: u64) -> Vec<FlowSpec> {
+    let mut state = seed;
+    let mut srcs: Vec<usize> = (0..topo.n_nodes()).filter(|&s| s != hot).collect();
+    for i in (1..srcs.len()).rev() {
+        let j = (splitmix(&mut state) % (i as u64 + 1)) as usize;
+        srcs.swap(i, j);
+    }
+    srcs.truncate(srcs.len() / 2);
+    srcs.sort_unstable();
+    srcs.into_iter()
+        .map(|src| FlowSpec { src, dst: hot })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_random_is_seed_deterministic_and_loopless() {
+        let topo = Topology::mesh(4, 4);
+        let a = uniform_random(&topo, 7);
+        let b = uniform_random(&topo, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 16);
+        assert!(a.iter().all(|s| s.src != s.dst));
+        assert_ne!(a, uniform_random(&topo, 8));
+    }
+
+    #[test]
+    fn transpose_swaps_coordinates() {
+        let flows = transpose(4, 4);
+        assert_eq!(flows.len(), 12);
+        for f in &flows {
+            let (x, y) = (f.src % 4, f.src / 4);
+            assert_eq!(f.dst, x * 4 + y);
+        }
+    }
+
+    #[test]
+    fn hotspot_random_converges_on_the_hot_node() {
+        let topo = Topology::mesh(4, 4);
+        let flows = hotspot_random(&topo, 5, 42);
+        assert_eq!(flows.len(), 7);
+        assert!(flows.iter().all(|s| s.dst == 5 && s.src != 5));
+        assert_eq!(flows, hotspot_random(&topo, 5, 42));
+    }
+}

@@ -14,7 +14,8 @@ use err_sched::{Discipline, Packet};
 
 use crate::chaos::{DeadMap, FabricFault, FabricFaultEvent, FabricFaultPlan};
 use crate::forwarder::Forwarder;
-use crate::stats::{FabricLedger, FlowSnapshot, NodeCounters};
+use crate::hops::{HopEntry, HopTracker};
+use crate::stats::{FabricLedger, FlowSnapshot, HopSnapshot, NodeCounters};
 use crate::topology::{FlowSpec, Topology};
 
 /// The fabric-level closed+in-flight Dekker pair (the §10 `DrainGate`
@@ -126,9 +127,26 @@ pub struct PathStats {
     /// exactly what `wormhole_net` measures on a serialized workload
     /// (§11.5), pinned by `tests/fabric_cross_validation.rs`.
     pub min_cycles: u64,
+    /// The fault-free node path, source through destination.
+    pub path: Vec<usize>,
+    /// Per-hop latency attribution (§11.8), parallel to [`path`]:
+    /// measured post-admission delay at each node on the route, in
+    /// the node's service clock and in wall µs.
+    ///
+    /// [`path`]: PathStats::path
+    pub per_hop: Vec<HopSnapshot>,
     /// The flow's ledger snapshot (latency here is measured in µs on
     /// the fabric's wall clock, not cycles).
     pub ledger: FlowSnapshot,
+}
+
+impl PathStats {
+    /// Measured end-to-end mean in service-clock cycles: the sum over
+    /// path nodes of their mean per-hop deltas — the decomposable
+    /// ground truth the §12 estimator validates against.
+    pub fn mean_path_cycles(&self) -> f64 {
+        self.per_hop.iter().map(HopSnapshot::mean_cycles).sum()
+    }
 }
 
 /// Final accounting returned by [`Fabric::drain_within`].
@@ -137,6 +155,11 @@ pub struct FabricReport {
     pub node_reports: Vec<DrainReport>,
     /// Per-flow ledger at the end.
     pub flows: Vec<FlowSnapshot>,
+    /// Per-flow per-hop attribution at the end (§11.8), indexed by
+    /// flow then by hop position along the fault-free route. The sum
+    /// of a flow's hop means is the measured store-and-forward path
+    /// delay the §12 estimator predicts.
+    pub flow_hops: Vec<Vec<HopSnapshot>>,
     /// Chaos events that fired (§11.4).
     pub events: Vec<FabricFaultEvent>,
     /// Packets lost in killed or force-drained nodes.
@@ -215,6 +238,7 @@ pub struct Fabric {
     ledger: Arc<FabricLedger>,
     gate: Arc<FabricGate>,
     dead: Arc<DeadMap>,
+    tracker: Arc<HopTracker>,
     epoch: Instant,
     next_packet: AtomicU64,
     events: Arc<Mutex<Vec<FabricFaultEvent>>>,
@@ -231,7 +255,23 @@ impl Fabric {
         let topo = Arc::new(cfg.topology);
         let specs = Arc::new(cfg.flows);
         let tables = topo.compile_route_tables(&specs);
-        let ledger = Arc::new(FabricLedger::new(specs.len()));
+        // Per-flow path membership for §11.8 hop attribution:
+        // `hop_index[flow * n_nodes + node]` is the node's position on
+        // the flow's fault-free path (u16::MAX off-path), and the
+        // ledger gets one accumulator cell per path node.
+        let mut hop_index = vec![u16::MAX; specs.len() * n_nodes];
+        let mut hop_counts = vec![0usize; specs.len()];
+        for (flow, spec) in specs.iter().enumerate() {
+            let path = topo.path(flow, *spec);
+            hop_counts[flow] = path.len();
+            for (i, &node) in path.iter().enumerate() {
+                hop_index[flow * n_nodes + node] =
+                    u16::try_from(i).expect("paths are far shorter than u16::MAX");
+            }
+        }
+        let hop_index = Arc::new(hop_index);
+        let tracker = Arc::new(HopTracker::new());
+        let ledger = Arc::new(FabricLedger::with_hops(&hop_counts));
         let gate = Arc::new(FabricGate::new());
         let link_counts: Vec<usize> = (0..n_nodes).map(|n| topo.n_links(n)).collect();
         let dead = Arc::new(DeadMap::new(&link_counts));
@@ -282,6 +322,8 @@ impl Fabric {
                 Arc::clone(&counters[node]),
                 Arc::clone(&gate),
                 Arc::clone(&dead),
+                Arc::clone(&tracker),
+                Arc::clone(&hop_index),
                 epoch,
             );
             let (rt, handle) = Runtime::start_with_egress(rc, |_shard| Some(fwd.clone()));
@@ -335,6 +377,7 @@ impl Fabric {
             ledger,
             gate,
             dead,
+            tracker,
             epoch,
             next_packet: AtomicU64::new(0),
             events,
@@ -378,7 +421,22 @@ impl Fabric {
             None => self.handles[src].submit(pkt),
         };
         match &res {
-            Ok(Submitted::Enqueued) => self.ledger.on_submitted(flow),
+            Ok(Submitted::Enqueued) => {
+                self.ledger.on_submitted(flow);
+                // §11.8 entry stamp at the source node, post-admission
+                // (a pre-submit stamp would charge admission-blocked
+                // time to the source hop). Losing the race against an
+                // idle node serving the whole packet first costs one
+                // hop sample, never a misattributed one.
+                self.tracker.stamp(
+                    pkt.id,
+                    HopEntry {
+                        node: src,
+                        entry_us: self.epoch.elapsed().as_micros() as u64,
+                        entry_served_flits: self.handles[src].served_flits(),
+                    },
+                );
+            }
             Ok(Submitted::Dropped) => {
                 // Source admission accounted it: submitted and
                 // terminally dropped in one step.
@@ -435,10 +493,13 @@ impl Fabric {
     /// and the flow's current ledger.
     pub fn path_stats(&self, flow: usize, len: u32) -> PathStats {
         let spec = self.specs[flow];
-        let hops = self.topo.path(flow, spec).len() - 1;
+        let path = self.topo.path(flow, spec);
+        let hops = path.len() - 1;
         PathStats {
             hops,
             min_cycles: hops as u64 + u64::from(len) - 1,
+            per_hop: self.ledger.hop_snapshot(flow),
+            path,
             ledger: self.ledger.flow(flow),
         }
     }
@@ -499,6 +560,9 @@ impl Fabric {
             node_reports: drains
                 .into_iter()
                 .map(|d| d.expect("every node drained exactly once"))
+                .collect(),
+            flow_hops: (0..self.specs.len())
+                .map(|fl| self.ledger.hop_snapshot(fl))
                 .collect(),
             flows: self.ledger.snapshot(),
             events,

@@ -19,6 +19,7 @@ use err_sched::{Packet, ServedFlit};
 
 use crate::chaos::DeadMap;
 use crate::fabric::FabricGate;
+use crate::hops::{HopEntry, HopTracker};
 use crate::stats::{FabricLedger, NodeCounters};
 use crate::topology::{FlowSpec, NextHop, Topology};
 
@@ -58,6 +59,11 @@ pub struct Forwarder {
     counters: Arc<NodeCounters>,
     gate: Arc<FabricGate>,
     dead: Arc<DeadMap>,
+    /// Per-packet entry stamps for §11.8 hop attribution.
+    tracker: Arc<HopTracker>,
+    /// `hop_index[flow * n_nodes + node]`: this node's position on
+    /// the flow's fault-free path, `u16::MAX` when off-path.
+    hop_index: Arc<Vec<u16>>,
     epoch: Instant,
 }
 
@@ -72,6 +78,8 @@ impl Forwarder {
         counters: Arc<NodeCounters>,
         gate: Arc<FabricGate>,
         dead: Arc<DeadMap>,
+        tracker: Arc<HopTracker>,
+        hop_index: Arc<Vec<u16>>,
         epoch: Instant,
     ) -> Self {
         Self {
@@ -83,8 +91,34 @@ impl Forwarder {
             counters,
             gate,
             dead,
+            tracker,
+            hop_index,
             epoch,
         }
+    }
+
+    /// This node's position on `flow`'s fault-free path, if on it.
+    fn hop_of(&self, flow: usize) -> Option<usize> {
+        let h = self.hop_index[flow * self.topo.n_nodes() + self.node];
+        (h != u16::MAX).then_some(h as usize)
+    }
+
+    /// Turns a taken entry stamp into a hop record at this node
+    /// (skipped off-path, §11.7): service-clock and wall deltas from
+    /// post-admission entry to tail service. Entries stamped for a
+    /// different node (a lost stamping race, see `hops`) are dropped.
+    fn record_hop(&self, flow: usize, entry: HopEntry, now_us: u64) {
+        if entry.node != self.node {
+            return;
+        }
+        let (Some(hop), Some(handles)) = (self.hop_of(flow), self.handles.get()) else {
+            return;
+        };
+        let cycles = handles[self.node]
+            .served_flits()
+            .saturating_sub(entry.entry_served_flits);
+        self.ledger
+            .on_hop(flow, hop, cycles, now_us.saturating_sub(entry.entry_us));
     }
 
     /// Classifies and applies one served flit. Everything except
@@ -99,6 +133,9 @@ impl Forwarder {
                     let now_us = self.epoch.elapsed().as_micros() as u64;
                     self.ledger
                         .on_packet_ejected(flow, now_us.saturating_sub(flit.arrival));
+                    if let Some(entry) = self.tracker.take(flit.packet) {
+                        self.record_hop(flow, entry, now_us);
+                    }
                     self.counters.on_ejected();
                     self.gate.depart(1);
                 }
@@ -141,8 +178,25 @@ impl Forwarder {
             if !self.dead.viable(self.node, link, Some(peer)) {
                 continue;
             }
+            // Pre-stamp the peer entry: the instant the submit lands
+            // in the peer's ring its tail may be served there, and
+            // the stamp must already be visible (§11.8). Restored on
+            // refusal, retired on terminal outcomes.
+            let now_us = self.epoch.elapsed().as_micros() as u64;
+            let prev = self.tracker.take(flit.packet);
+            self.tracker.stamp(
+                flit.packet,
+                HopEntry {
+                    node: peer,
+                    entry_us: now_us,
+                    entry_served_flits: handles[peer].served_flits(),
+                },
+            );
             match handles[peer].submit_within(pkt, Duration::ZERO) {
                 Ok(Submitted::Enqueued) => {
+                    if let Some(entry) = prev {
+                        self.record_hop(flow, entry, now_us);
+                    }
                     self.counters.on_forwarded();
                     return if nth > 0 {
                         self.ledger.on_rerouted(flow);
@@ -153,6 +207,7 @@ impl Forwarder {
                 }
                 Ok(Submitted::Dropped) | Err(SubmitError::Rejected) => {
                     // Downstream admission accounted it: terminal.
+                    self.tracker.take(flit.packet);
                     self.ledger.on_dropped(flow);
                     self.counters.on_dropped_downstream();
                     self.gate.depart(1);
@@ -160,17 +215,27 @@ impl Forwarder {
                 }
                 Err(SubmitError::TimedOut) => {
                     // No room right now: hold the flit (and its
-                    // credit) and retry on the next flusher pass.
+                    // credit) and retry on the next flusher pass;
+                    // the entry stamp stays with this node.
+                    self.tracker.take(flit.packet);
+                    if let Some(entry) = prev {
+                        self.tracker.stamp(flit.packet, entry);
+                    }
                     self.counters.on_refusal();
                     return ForwardOutcome::Refused;
                 }
                 Err(SubmitError::Closed) => {
                     // The peer died between the liveness check and the
                     // submit; fall through to the next candidate.
+                    self.tracker.take(flit.packet);
+                    if let Some(entry) = prev {
+                        self.tracker.stamp(flit.packet, entry);
+                    }
                     continue;
                 }
             }
         }
+        self.tracker.take(flit.packet);
         self.ledger.on_dead_lettered(flow);
         self.counters.on_dead_lettered();
         self.gate.depart(1);

@@ -1,0 +1,129 @@
+//! The `HopTracker`: per-packet entry stamps for per-hop latency
+//! attribution (DESIGN.md §11.8).
+//!
+//! When a node accepts a packet (source submit or tail handoff), the
+//! fabric stamps `(entry_us, entry_served_flits)` for it here; when
+//! the packet's tail is served at that node, the Forwarder takes the
+//! stamp back and turns the deltas into a hop record. The map is
+//! touched **once per packet per hop** — never per flit — so a plain
+//! sharded `Mutex<HashMap>` is a documented cold-path lock, not a
+//! fast-path hazard (err-check allowlist).
+//!
+//! The stamp for the next node is written *before* the handoff submit:
+//! the moment the packet lands in the peer's ingress ring its tail may
+//! be served, and the stamp must already be visible then. The one
+//! remaining benign window is the source submit, where the stamp lands
+//! just after the blocking submit returns (a pre-submit stamp would
+//! fold admission-blocked time into the hop, breaking the
+//! post-admission semantics); an idle node can in principle serve a
+//! short packet inside that window, costing one hop *sample*, never a
+//! misattributed one.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Entry stamp of one in-flight packet at the node currently holding
+/// it: wall clock and the node's service clock at acceptance.
+///
+/// `node` guards against the one racy overwrite: a source stamp that
+/// lands *after* an idle node already served and handed the packet
+/// off would clobber the downstream stamp, so consumers ignore any
+/// entry stamped for a different node — one lost sample, never a
+/// cross-node misattribution.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct HopEntry {
+    /// The node this stamp measures (whose service clock was read).
+    pub node: usize,
+    /// Fabric wall clock at post-admission entry, microseconds.
+    pub entry_us: u64,
+    /// The accepting node's cumulative served-flit counter at entry
+    /// (`RuntimeHandle::served_flits`, the §11.8 service clock).
+    pub entry_served_flits: u64,
+}
+
+/// Sharded packet-id → [`HopEntry`] map. Packet ids are a fabric-wide
+/// sequence, so `id % SHARDS` spreads neighbors across locks.
+pub(crate) struct HopTracker {
+    shards: Vec<Mutex<HashMap<u64, HopEntry>>>,
+}
+
+const SHARDS: usize = 16;
+
+impl HopTracker {
+    pub(crate) fn new() -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, packet: u64) -> &Mutex<HashMap<u64, HopEntry>> {
+        &self.shards[(packet % SHARDS as u64) as usize]
+    }
+
+    /// Stamps `packet`'s entry at its (new) holding node, replacing
+    /// any previous stamp.
+    pub(crate) fn stamp(&self, packet: u64, entry: HopEntry) {
+        self.shard(packet)
+            .lock()
+            .expect("hop tracker shard poisoned")
+            .insert(packet, entry);
+    }
+
+    /// Takes `packet`'s stamp back (tail served, or terminal outcome).
+    pub(crate) fn take(&self, packet: u64) -> Option<HopEntry> {
+        self.shard(packet)
+            .lock()
+            .expect("hop tracker shard poisoned")
+            .remove(&packet)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamp_take_roundtrip_and_replacement() {
+        let t = HopTracker::new();
+        assert!(t.take(7).is_none());
+        t.stamp(
+            7,
+            HopEntry {
+                node: 0,
+                entry_us: 10,
+                entry_served_flits: 3,
+            },
+        );
+        t.stamp(
+            7,
+            HopEntry {
+                node: 1,
+                entry_us: 20,
+                entry_served_flits: 9,
+            },
+        );
+        let e = t.take(7).expect("stamped");
+        assert_eq!(e.node, 1);
+        assert_eq!(e.entry_us, 20);
+        assert_eq!(e.entry_served_flits, 9);
+        assert!(t.take(7).is_none(), "take consumes the stamp");
+    }
+
+    #[test]
+    fn packets_shard_independently() {
+        let t = HopTracker::new();
+        for id in 0..64u64 {
+            t.stamp(
+                id,
+                HopEntry {
+                    node: 0,
+                    entry_us: id,
+                    entry_served_flits: 0,
+                },
+            );
+        }
+        for id in 0..64u64 {
+            assert_eq!(t.take(id).expect("stamped").entry_us, id);
+        }
+    }
+}

@@ -27,11 +27,12 @@
 pub mod chaos;
 pub mod fabric;
 pub mod forwarder;
+mod hops;
 pub mod stats;
 pub mod topology;
 
 pub use chaos::{DeadMap, FabricFault, FabricFaultEvent, FabricFaultPlan};
 pub use fabric::{Fabric, FabricConfig, FabricReport, PathStats};
 pub use forwarder::{ForwardOutcome, Forwarder};
-pub use stats::{FabricLedger, FlowSnapshot, NodeCounters};
+pub use stats::{FabricLedger, FlowSnapshot, HopSnapshot, NodeCounters};
 pub use topology::{FlowSpec, LinkEnd, NextHop, Topology};

@@ -20,6 +20,52 @@ pub struct FlowLedger {
     rerouted: AtomicU64,
     latency_sum_us: AtomicU64,
     latency_max_us: AtomicU64,
+    /// One cell per node on the flow's fault-free path (§11.8).
+    hops: Vec<HopCell>,
+}
+
+/// Per-hop latency accumulators of one path node (§11.8): written
+/// once per packet tail served there, in both the node's service
+/// clock (flits served between entry and tail — wall-noise-free) and
+/// wall microseconds (which telescope to the end-to-end figure).
+#[derive(Default)]
+struct HopCell {
+    packets: AtomicU64,
+    sum_cycles: AtomicU64,
+    sum_us: AtomicU64,
+    max_cycles: AtomicU64,
+}
+
+/// One path node's per-hop accumulators at a point in time (§11.8).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HopSnapshot {
+    /// Packet tails attributed to this hop.
+    pub packets: u64,
+    /// Summed service-clock deltas (flits the node served between the
+    /// packet's post-admission entry and its tail service here).
+    pub sum_cycles: u64,
+    /// Summed wall-clock deltas, microseconds.
+    pub sum_us: u64,
+    /// Largest single service-clock delta.
+    pub max_cycles: u64,
+}
+
+impl HopSnapshot {
+    /// Mean per-packet service-clock delay at this hop (0 when empty).
+    pub fn mean_cycles(&self) -> f64 {
+        if self.packets == 0 {
+            return 0.0;
+        }
+        self.sum_cycles as f64 / self.packets as f64
+    }
+
+    /// Mean per-packet wall-clock delay at this hop, microseconds.
+    pub fn mean_us(&self) -> f64 {
+        if self.packets == 0 {
+            return 0.0;
+        }
+        self.sum_us as f64 / self.packets as f64
+    }
 }
 
 /// One flow's ledger at a point in time.
@@ -62,10 +108,23 @@ pub struct FabricLedger {
 }
 
 impl FabricLedger {
-    /// A zeroed ledger over `n_flows` flows.
+    /// A zeroed ledger over `n_flows` flows, without per-hop cells
+    /// (hop attribution disabled; see [`with_hops`](Self::with_hops)).
     pub fn new(n_flows: usize) -> Self {
+        Self::with_hops(&vec![0usize; n_flows])
+    }
+
+    /// A zeroed ledger with `hop_counts[flow]` per-hop cells per flow
+    /// (one per node on the flow's fault-free path, §11.8).
+    pub fn with_hops(hop_counts: &[usize]) -> Self {
         Self {
-            flows: (0..n_flows).map(|_| FlowLedger::default()).collect(),
+            flows: hop_counts
+                .iter()
+                .map(|&h| FlowLedger {
+                    hops: (0..h).map(|_| HopCell::default()).collect(),
+                    ..FlowLedger::default()
+                })
+                .collect(),
             ejected_total: AtomicU64::new(0),
             lost: AtomicU64::new(0),
         }
@@ -118,6 +177,35 @@ impl FabricLedger {
     /// Adds `n` packets lost inside a killed or force-drained node.
     pub fn on_lost(&self, n: u64) {
         self.lost.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one packet tail served at path node `hop` of `flow`:
+    /// `cycles` on the node's service clock, `us` on the wall clock
+    /// (§11.8). Out-of-range hops (reroute detours, or a ledger built
+    /// without hop cells) are ignored.
+    pub fn on_hop(&self, flow: usize, hop: usize, cycles: u64, us: u64) {
+        let Some(cell) = self.flows[flow].hops.get(hop) else {
+            return;
+        };
+        cell.packets.fetch_add(1, Ordering::Relaxed);
+        cell.sum_cycles.fetch_add(cycles, Ordering::Relaxed);
+        cell.sum_us.fetch_add(us, Ordering::Relaxed);
+        cell.max_cycles.fetch_max(cycles, Ordering::Relaxed);
+    }
+
+    /// Snapshot of one flow's per-hop accumulators, in path order
+    /// (empty when the ledger was built without hop cells).
+    pub fn hop_snapshot(&self, flow: usize) -> Vec<HopSnapshot> {
+        self.flows[flow]
+            .hops
+            .iter()
+            .map(|c| HopSnapshot {
+                packets: c.packets.load(Ordering::Relaxed),
+                sum_cycles: c.sum_cycles.load(Ordering::Relaxed),
+                sum_us: c.sum_us.load(Ordering::Relaxed),
+                max_cycles: c.max_cycles.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 
     /// The ejection clock: total packets ejected fabric-wide.
@@ -229,6 +317,25 @@ mod tests {
         assert_eq!(l.flow(1).latency_max_us, 30);
         assert_eq!(l.ejected_total(), 2);
         assert_eq!(l.lost(), 3);
+    }
+
+    #[test]
+    fn hop_cells_accumulate_and_ignore_out_of_range() {
+        let l = FabricLedger::with_hops(&[2, 0]);
+        l.on_hop(0, 0, 10, 3);
+        l.on_hop(0, 0, 20, 5);
+        l.on_hop(0, 1, 7, 1);
+        l.on_hop(0, 5, 99, 99); // reroute detour: no cell, ignored
+        l.on_hop(1, 0, 99, 99); // hopless ledger entry: ignored
+        let h = l.hop_snapshot(0);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h[0].packets, 2);
+        assert_eq!(h[0].mean_cycles(), 15.0);
+        assert_eq!(h[0].sum_us, 8);
+        assert_eq!(h[0].max_cycles, 20);
+        assert_eq!(h[1].packets, 1);
+        assert_eq!(h[1].mean_us(), 1.0);
+        assert!(l.hop_snapshot(1).is_empty());
     }
 
     #[test]

@@ -311,6 +311,22 @@ impl Topology {
         nodes
     }
 
+    /// Every egress end a flow's fault-free route occupies, as
+    /// `(node, link)` pairs in path order: the `Forward` cable end at
+    /// each transit node, then the destination's eject end
+    /// `(dst, 0)`. Each direction of a cable is its own link with its
+    /// own credits, so directed pairs are the granularity for both
+    /// blast-radius disjointness (§11.6) and the §12 decomposition.
+    pub fn links_on_path(&self, flow: usize, spec: FlowSpec) -> Vec<(usize, usize)> {
+        self.path(flow, spec)
+            .into_iter()
+            .map(|node| match self.next_hop(node, flow, spec) {
+                NextHop::Eject => (node, 0),
+                NextHop::Forward { link } => (node, link),
+            })
+            .collect()
+    }
+
     /// Compiles the per-node, flow-indexed link tables installed via
     /// `BufferedConfig::route_table`. Flows not routed through a node
     /// map to its eject end (they never arrive there).

@@ -276,6 +276,14 @@ impl RuntimeHandle {
         RuntimeStats::collect(&self.shared.stats)
     }
 
+    /// Total flits served across all shards so far — the runtime's
+    /// **service clock**: a monotone flit-time that advances only
+    /// while workers serve, cheap enough to read per packet-hop
+    /// (no snapshot allocation, `Relaxed` counter loads only).
+    pub fn served_flits(&self) -> u64 {
+        self.shared.stats.iter().map(|s| s.served_flits.get()).sum()
+    }
+
     /// Whether `shutdown()` has been called.
     pub fn is_closed(&self) -> bool {
         self.shared.is_closed()

@@ -1,0 +1,138 @@
+//! A virtual-clock single-link driver (DESIGN.md §12.3): one
+//! scheduler, one flit per cycle, no threads, no rings.
+//!
+//! The multi-shard runtime drives schedulers on wall time through
+//! rings and flushers; experiments and the §12 estimator instead want
+//! the paper's abstract link — a clock that advances one cycle per
+//! served flit and jumps across idle gaps. `LinkDriver` owns that
+//! clock so callers can interleave arrivals and service without
+//! tracking cycles by hand.
+//!
+//! Timing convention: [`step`](LinkDriver::step) serves a flit *at*
+//! the current cycle, then advances the clock — so after a tail flit
+//! is returned, `now() − tail.arrival` is the packet's delay counted
+//! **inclusive of its own service** (the span of flits the link
+//! carried from the packet's arrival through its tail). That is
+//! exactly the §11.8 service-clock delta the fabric measures per hop,
+//! one more than the paper's `tail_cycle − arrival` dequeue delay.
+
+use desim::Cycle;
+
+use crate::factory::Discipline;
+use crate::packet::Packet;
+use crate::traits::{Scheduler, ServedFlit};
+
+/// A scheduler on a virtual flit clock.
+pub struct LinkDriver {
+    sched: Box<dyn Scheduler + Send>,
+    now: Cycle,
+}
+
+impl LinkDriver {
+    /// A driver over a fresh instance of `discipline` for `n_flows`.
+    pub fn new(discipline: &Discipline, n_flows: usize) -> Self {
+        Self::from_scheduler(discipline.build(n_flows))
+    }
+
+    /// A driver over an existing scheduler, clock at cycle 0.
+    pub fn from_scheduler(sched: Box<dyn Scheduler + Send>) -> Self {
+        Self { sched, now: 0 }
+    }
+
+    /// The current cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Advances the clock to `at` (no-op when `at` is in the past):
+    /// idle time passes without service.
+    pub fn advance_to(&mut self, at: Cycle) {
+        self.now = self.now.max(at);
+    }
+
+    /// Enqueues `pkt` at the current cycle. The packet's `arrival`
+    /// stamp is the caller's (it is what delay is measured against),
+    /// and must not lie in the future of the driver clock.
+    pub fn enqueue(&mut self, pkt: Packet) {
+        debug_assert!(pkt.arrival <= self.now, "arrival in the driver's future");
+        self.sched.enqueue(pkt, self.now);
+    }
+
+    /// Serves one flit at the current cycle and advances the clock by
+    /// one; `None` (clock unchanged) when the scheduler is idle.
+    pub fn step(&mut self) -> Option<ServedFlit> {
+        let flit = self.sched.service_flit(self.now)?;
+        self.now += 1;
+        Some(flit)
+    }
+
+    /// Serves until idle, appending every flit to `out`.
+    pub fn drain_into(&mut self, out: &mut Vec<ServedFlit>) {
+        while let Some(f) = self.step() {
+            out.push(f);
+        }
+    }
+
+    /// Flits currently backlogged.
+    pub fn backlog_flits(&self) -> u64 {
+        self.sched.backlog_flits()
+    }
+
+    /// Whether the scheduler has nothing to send.
+    pub fn is_idle(&self) -> bool {
+        self.sched.is_idle()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialized_packet_delay_is_its_length() {
+        let mut d = LinkDriver::new(&Discipline::Err, 1);
+        d.advance_to(10);
+        d.enqueue(Packet::new(0, 0, 4, 10));
+        let mut out = Vec::new();
+        d.drain_into(&mut out);
+        assert_eq!(out.len(), 4);
+        let tail = out.last().expect("tail");
+        assert!(tail.is_tail());
+        // Inclusive-of-service delay: 4 flits alone on the link.
+        assert_eq!(d.now() - tail.arrival, 4);
+    }
+
+    #[test]
+    fn clock_jumps_idle_gaps_and_counts_contention() {
+        let mut d = LinkDriver::new(&Discipline::Err, 2);
+        d.enqueue(Packet::new(0, 0, 3, 0));
+        let mut out = Vec::new();
+        d.drain_into(&mut out);
+        assert_eq!(d.now(), 3);
+        // Idle gap: nothing served, the clock only moves on demand.
+        assert!(d.step().is_none());
+        assert_eq!(d.now(), 3);
+        d.advance_to(100);
+        // Two packets now compete; the later tail's inclusive delay
+        // covers both packets' flits on the shared link.
+        d.enqueue(Packet::new(1, 0, 2, 100));
+        d.enqueue(Packet::new(2, 1, 2, 100));
+        out.clear();
+        d.drain_into(&mut out);
+        assert_eq!(out.len(), 4);
+        assert_eq!(d.now(), 104);
+        let last = out.last().expect("tail");
+        assert!(last.is_tail());
+        assert_eq!(d.now() - last.arrival, 4);
+    }
+
+    #[test]
+    fn backlog_tracks_enqueues() {
+        let mut d = LinkDriver::new(&Discipline::Err, 1);
+        assert!(d.is_idle());
+        d.enqueue(Packet::new(0, 0, 5, 0));
+        assert_eq!(d.backlog_flits(), 5);
+        d.step();
+        assert_eq!(d.backlog_flits(), 4);
+    }
+}

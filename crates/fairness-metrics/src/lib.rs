@@ -25,7 +25,9 @@
 pub mod delay;
 pub mod jain;
 pub mod monitor;
+pub mod percentile;
 
 pub use delay::DelayRecorder;
 pub use jain::jain_index;
 pub use monitor::FairnessMonitor;
+pub use percentile::{p50, p99, percentile};
