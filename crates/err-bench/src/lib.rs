@@ -1,1 +1,26 @@
-//! See benches/.
+#![warn(missing_docs)]
+//! Criterion benchmark host for the workspace — the measurable claims
+//! live in `benches/`, not here.
+//!
+//! The library target is intentionally empty: criterion benches are
+//! separate compilation units (`harness = false` targets listed in
+//! `Cargo.toml`), and keeping the crate root empty means `cargo doc`
+//! and `cargo test` stay trivial while `cargo bench -p err-bench`
+//! picks up every bench target.
+//!
+//! What each bench measures:
+//!
+//! - `work_complexity` — Table 1's complexity column: ERR's O(1)
+//!   enqueue+dequeue work per flit vs flow count, against the
+//!   O(log n) sorted-queue disciplines (WFQ/SCFQ/Virtual Clock).
+//! - `scheduler_throughput` — flits scheduled per second on the
+//!   paper's Figure 4 traffic mix, full dequeue path included.
+//! - `figure_kernels` — one reduced-horizon kernel per paper figure,
+//!   exercising the exact code path of each `repro` reproduction.
+//! - `wormhole` — wormhole substrate throughput: switch and mesh
+//!   cycles per second across arbiter kinds.
+//! - `runtime_scaling` — the sharded runtime's submit → ring → shard
+//!   scheduler → drain pipeline rate, swept over shard counts.
+//! - `egress_stall` — the buffered egress stage's per-flit toll vs the
+//!   sync sink, with and without a churning `StallPlan` (the
+//!   microbench twin of `BENCH_egress.json`).

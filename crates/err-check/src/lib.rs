@@ -47,6 +47,10 @@ const SEQCST_FILES: &[&str] = &[
     "crates/err-runtime/src/gate.rs",
     "crates/err-runtime/src/fault.rs",
     "crates/err-runtime/src/migrate.rs",
+    // Ownership: the §13.3 submit-window Dekker (window enter vs map
+    // flip) and the §13.2 epoch CAS; modeled with the shipped atomics
+    // by err-check's model_ownership_window_dekker.
+    "crates/err-runtime/src/ownership.rs",
     // FabricGate: the §10 DrainGate `closed+in_flight` Dekker pair
     // replayed at fabric scope (DESIGN.md §11.3).
     "crates/err-fabric/src/fabric.rs",
@@ -197,6 +201,36 @@ const DOC_RULES: &[DocRule] = &[
             "envelope",
             "BENCH_estimate",
             "--estimate",
+        ],
+    },
+    // §13 vocabulary: the ownership authority's states, protocol
+    // verbs, and the resurrection handshake must stay named in the
+    // spec (the ownership layer is spec-first; see §13's preamble).
+    DocRule {
+        doc: "DESIGN.md",
+        section: Some("## 13"),
+        needles: &[
+            // OwnerState (ownership.rs).
+            "Settled",
+            "Stealing",
+            "Salvaging",
+            // The authority and its protocol verbs.
+            "Ownership",
+            "FlowMap",
+            "ClaimToken",
+            "WindowGuard",
+            "try_claim",
+            "seize_for_salvage",
+            "try_reroute",
+            "release",
+            "window_enter",
+            "window_clear",
+            "epoch",
+            "linearization",
+            // The §13.5 fence and §13.6 handshake.
+            "FlushProgress",
+            "Bequest",
+            "resurrection",
         ],
     },
     DocRule {

@@ -15,6 +15,7 @@ use std::sync::Arc;
 use err_egress::{spsc_ring, CreditPool};
 use err_runtime::channel::MpscRing;
 use err_runtime::gate::DrainGate;
+use err_runtime::{OwnerState, Ownership};
 use loom::cell::UnsafeCell;
 use loom::model::Builder;
 use loom::thread;
@@ -220,6 +221,96 @@ fn model_drain_gate_no_lost_packet() {
     assert!(report.complete, "gate model must be exhaustive");
 }
 
+/// The three-party submit-window Dekker (DESIGN.md §13.3) over the
+/// *shipped* [`Ownership`] — not a miniature: two producers race a
+/// mover on one flow. Each producer enters the submit window, reads the
+/// map, and pushes into the ring the map names; the mover claims the
+/// flow, flips the map (epoch CAS), waits for the window to clear, and
+/// only then drains the old ring. The old-ring slots are raw cells, so
+/// the window protocol is the *only* thing keeping a producer's push
+/// and the mover's drain apart — the race detector proves the Dekker,
+/// and the final assertion proves no push strands in the old ring
+/// after the drain (the §13.3 lost-packet hazard).
+#[test]
+fn model_ownership_window_dekker() {
+    let mut b = Builder::new();
+    b.max_preemptions = Some(2);
+    b.max_iterations = 2_000_000;
+    let report = b.check(|| {
+        use loom::sync::atomic::{AtomicU64, Ordering};
+        let own = Arc::new(Ownership::new(1, 2));
+        let src = own.shard_of(0).expect("flow 0 is mapped");
+        let dst = 1 - src;
+        // One old-ring slot per producer (a real MpscRing synchronizes
+        // concurrent pushes internally; per-producer slots model the
+        // ring without re-modeling it).
+        let slots: Arc<[UnsafeCell<u64>; 2]> = Arc::new([UnsafeCell::new(0), UnsafeCell::new(0)]);
+        // The new ring stands in as an atomic counter: its internal
+        // synchronization is someone else's model (the MPSC one above).
+        let dst_ring = Arc::new(AtomicU64::new(0));
+        let producers: Vec<_> = [0usize, 1usize]
+            .into_iter()
+            .map(|i| {
+                let own = Arc::clone(&own);
+                let slots = Arc::clone(&slots);
+                let dst_ring = Arc::clone(&dst_ring);
+                thread::spawn(move || {
+                    let guard = own.window_enter(0).expect("mapped flow has a window");
+                    let home = own.shard_of(0).expect("mapped");
+                    if home == src {
+                        slots[i].with_mut(|p| unsafe { *p += 1 });
+                    } else {
+                        dst_ring.fetch_add(1, Ordering::SeqCst);
+                    }
+                    drop(guard);
+                })
+            })
+            .collect();
+        let mover = {
+            let own = Arc::clone(&own);
+            let slots = Arc::clone(&slots);
+            thread::spawn(move || {
+                let tok = own
+                    .try_claim(0, OwnerState::Stealing, dst)
+                    .expect("flow starts Settled");
+                assert!(own.try_reroute(&tok, dst), "epoch-0 reroute cannot lose");
+                while !own.window_clear(0) {
+                    thread::yield_now();
+                }
+                // Window clear after the flip ⇒ every old-epoch push
+                // is drained here, none lands later.
+                let moved = slots[0].with_mut(|p| unsafe {
+                    let v = *p;
+                    *p = 0;
+                    v
+                }) + slots[1].with_mut(|p| unsafe {
+                    let v = *p;
+                    *p = 0;
+                    v
+                });
+                own.release(&tok);
+                moved
+            })
+        };
+        for p in producers {
+            p.join().expect("producer");
+        }
+        let moved = mover.join().expect("mover");
+        let residue = slots[0].with(|p| unsafe { *p }) + slots[1].with(|p| unsafe { *p });
+        assert_eq!(residue, 0, "a push landed in the old ring after the drain");
+        assert_eq!(
+            moved + dst_ring.load(Ordering::SeqCst),
+            2,
+            "every packet delivered exactly once (moved or re-routed)"
+        );
+    });
+    println!(
+        "model_ownership_window_dekker: {} interleavings (complete={})",
+        report.executions, report.complete
+    );
+    assert!(report.complete, "bounded DFS must exhaust");
+}
+
 // ---------------------------------------------------------------------
 // Mutants: one weakened ordering each; the checker must catch them.
 // Each is a self-contained miniature of the shipped structure with the
@@ -383,6 +474,141 @@ fn mutant_drain_gate_check_then_enter() {
             let drained = ring.with(|p| unsafe { *p });
             let accepted = submitter.join().expect("submitter");
             assert_eq!(drained, u32::from(accepted), "leaked packet");
+        });
+    });
+}
+
+// The §13.3 window protocol needs three orderings to carry
+// happens-before: the producer's window *exit* (WindowGuard's
+// fetch_sub publishes the ring push it covers), the mover's
+// *window-clear load* (joins that publication before the drain), and
+// the claim *release* (publishes the mover's last packet touch to the
+// next claimant). Each gets a mutant below. The enter/flip SeqCst
+// pairing is a store-buffering (value-order) requirement — the
+// vendored checker executes values sequentially consistently (rt.rs
+// header), so weakening those cannot be observed through any
+// interleaving and they carry no cell-guarding edge to cut.
+
+/// `WindowGuard::drop` (`ownership.rs`) weakened from SeqCst to
+/// Relaxed: the relaxed `fetch_sub` extends the release sequence headed
+/// by the *enter* — a clock from before the push — so the mover's
+/// window-clear load no longer acquires the push, and the drain races
+/// it.
+#[test]
+fn mutant_ownership_window_exit_relaxed() {
+    use loom::sync::atomic::{AtomicU64, Ordering};
+    expect_violation("ownership_window_exit_relaxed", || {
+        Builder::new().check(|| {
+            let window = Arc::new(AtomicU64::new(0));
+            let map = Arc::new(AtomicU64::new(0)); // flow homed at src=0
+            let ring = Arc::new(UnsafeCell::new(0u64));
+            let producer = {
+                let (window, map, ring) =
+                    (Arc::clone(&window), Arc::clone(&map), Arc::clone(&ring));
+                thread::spawn(move || {
+                    window.fetch_add(1, Ordering::SeqCst);
+                    if map.load(Ordering::SeqCst) == 0 {
+                        ring.with_mut(|p| unsafe { *p += 1 });
+                    }
+                    // MUTATION: shipped WindowGuard::drop subs SeqCst.
+                    window.fetch_sub(1, Ordering::Relaxed);
+                })
+            };
+            map.store(1, Ordering::SeqCst); // the mover's flip
+            while window.load(Ordering::SeqCst) != 0 {
+                thread::yield_now();
+            }
+            let _drained = ring.with_mut(|p| unsafe {
+                let v = *p;
+                *p = 0;
+                v
+            });
+            producer.join().expect("producer");
+        });
+    });
+}
+
+/// `Ownership::window_clear` (`ownership.rs`) weakened from SeqCst to
+/// Relaxed: the mover sees the counter hit zero but acquires nothing,
+/// so the producer's covered push is unordered against the drain.
+#[test]
+fn mutant_ownership_window_wait_relaxed() {
+    use loom::sync::atomic::{AtomicU64, Ordering};
+    expect_violation("ownership_window_wait_relaxed", || {
+        Builder::new().check(|| {
+            let window = Arc::new(AtomicU64::new(0));
+            let map = Arc::new(AtomicU64::new(0));
+            let ring = Arc::new(UnsafeCell::new(0u64));
+            let producer = {
+                let (window, map, ring) =
+                    (Arc::clone(&window), Arc::clone(&map), Arc::clone(&ring));
+                thread::spawn(move || {
+                    window.fetch_add(1, Ordering::SeqCst);
+                    if map.load(Ordering::SeqCst) == 0 {
+                        ring.with_mut(|p| unsafe { *p += 1 });
+                    }
+                    window.fetch_sub(1, Ordering::SeqCst);
+                })
+            };
+            map.store(1, Ordering::SeqCst);
+            // MUTATION: shipped window_clear loads SeqCst.
+            while window.load(Ordering::Relaxed) != 0 {
+                thread::yield_now();
+            }
+            let _drained = ring.with_mut(|p| unsafe {
+                let v = *p;
+                *p = 0;
+                v
+            });
+            producer.join().expect("producer");
+        });
+    });
+}
+
+/// `Ownership::release` (`ownership.rs`) weakened from SeqCst to
+/// Relaxed: the relaxed CAS keeps the release sequence headed by the
+/// *claim* — a clock from before the mover touched the flow's packets —
+/// so the next claimant's acquire joins a stale clock and its packet
+/// access races the first mover's.
+#[test]
+fn mutant_ownership_release_relaxed() {
+    use loom::sync::atomic::{AtomicU64, Ordering};
+    const SETTLED: u64 = 0;
+    const CLAIMED: u64 = 1;
+    expect_violation("ownership_release_relaxed", || {
+        Builder::new().check(|| {
+            let claim = Arc::new(AtomicU64::new(SETTLED));
+            let packets = Arc::new(UnsafeCell::new(0u64));
+            let first = {
+                let (claim, packets) = (Arc::clone(&claim), Arc::clone(&packets));
+                thread::spawn(move || {
+                    // Spin-claim (the other mover may hold it first;
+                    // losing the race outright must not panic — only
+                    // the ordering bug should fail the model).
+                    while claim
+                        .compare_exchange(SETTLED, CLAIMED, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_err()
+                    {
+                        thread::yield_now();
+                    }
+                    packets.with_mut(|p| unsafe { *p += 1 });
+                    // MUTATION: shipped release CASes SeqCst.
+                    claim
+                        .compare_exchange(CLAIMED, SETTLED, Ordering::Relaxed, Ordering::Relaxed)
+                        .expect("nothing seizes this claim");
+                })
+            };
+            // The next mover: spin-claim, then touch the packets the
+            // release was supposed to publish.
+            while claim
+                .compare_exchange(SETTLED, CLAIMED, Ordering::SeqCst, Ordering::SeqCst)
+                .is_err()
+            {
+                thread::yield_now();
+            }
+            packets.with_mut(|p| unsafe { *p += 1 });
+            claim.store(SETTLED, Ordering::SeqCst);
+            first.join().expect("first mover");
         });
     });
 }

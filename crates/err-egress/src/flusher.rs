@@ -15,7 +15,7 @@
 //! different channels.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use err_sched::ServedFlit;
@@ -46,6 +46,48 @@ const BACKOFF_FLOOR: std::time::Duration = std::time::Duration::from_micros(5);
 /// cap stays within 2x of the fixed 50 us period it replaced.
 const BACKOFF_CAP: std::time::Duration = std::time::Duration::from_micros(100);
 
+/// The flusher's retire watermark (DESIGN.md §13.5): a single monotone
+/// cursor a stealing donor reads to prove its victim's flits have left
+/// the egress path before the flow's home flips.
+///
+/// The value is the flusher's cumulative ring-pop count, published
+/// **only at pending-free instants** — moments when every popped flit
+/// has been delivered or dead-lettered. Because pops follow ring order
+/// and the worker's pushes follow service order, `retired() >= s`
+/// proves the first `s` flits the worker ever pushed are all disposed.
+/// A two-counter design (pops + pending gauge) would admit a
+/// publication race where a reader pairs a fresh pop count with a stale
+/// gauge; the single conditional watermark cannot.
+pub struct FlushProgress {
+    watermark: AtomicU64,
+}
+
+impl Default for FlushProgress {
+    fn default() -> Self {
+        Self {
+            watermark: AtomicU64::new(0),
+        }
+    }
+}
+
+impl FlushProgress {
+    /// The latest pending-free pop count: every one of the first
+    /// `retired()` flits pushed to this shard's ring has been delivered
+    /// or dead-lettered.
+    pub fn retired(&self) -> u64 {
+        // ordering: Acquire pairs with the Release publish in
+        // `FlusherCore::publish_progress` — a donor that reads
+        // `retired() >= s` must also observe the deliveries behind it.
+        self.watermark.load(Ordering::Acquire)
+    }
+
+    fn publish(&self, popped: u64) {
+        // ordering: Release — see `retired`. Monotone by construction:
+        // `popped` never decreases and only this flusher writes.
+        self.watermark.store(popped, Ordering::Release);
+    }
+}
+
 /// Single-threaded flusher state machine. Split from the thread loop so
 /// tests (and proptests) can drive it step-by-step deterministically.
 pub struct FlusherCore {
@@ -55,6 +97,8 @@ pub struct FlusherCore {
     /// per link, in ring order.
     pending: Vec<VecDeque<ServedFlit>>,
     pending_total: usize,
+    /// Cumulative ring pops; the raw material of [`FlushProgress`].
+    popped: u64,
     /// Flits dead-lettered since the last [`take_dead_lettered`]
     /// (DESIGN.md §9.3).
     ///
@@ -70,7 +114,22 @@ impl FlusherCore {
             rx,
             pending: (0..n_links).map(|_| VecDeque::new()).collect(),
             pending_total: 0,
+            popped: 0,
             dead_lettered: 0,
+        }
+    }
+
+    /// Cumulative flits popped from the shard's output ring.
+    pub fn popped(&self) -> u64 {
+        self.popped
+    }
+
+    /// Publishes the retire watermark when (and only when) no popped
+    /// flit is still pending — the §13.5 invariant `FlushProgress`
+    /// documents. The thread loop calls this once per pump.
+    pub fn publish_progress(&self, progress: &FlushProgress) {
+        if self.pending_total == 0 {
+            progress.publish(self.popped);
         }
     }
 
@@ -160,6 +219,7 @@ impl FlusherCore {
         }
         for _ in 0..BURST {
             let Some(flit) = self.rx.pop() else { break };
+            self.popped += 1;
             let link = links.route(flit.flow);
             if drop_dead && links.is_dead(link) {
                 links.on_dead_letter(link);
@@ -216,6 +276,7 @@ pub fn run_flusher<E: Egress>(
     injector: Option<Arc<StallInjector>>,
     closed: Arc<AtomicBool>,
     stats: Arc<ShardEgressStats>,
+    progress: Arc<FlushProgress>,
     mut sink: E,
 ) {
     let inj = injector.as_deref();
@@ -224,6 +285,7 @@ pub fn run_flusher<E: Egress>(
     loop {
         let n = core.step(&links, inj, &mut sink);
         let dead = core.take_dead_lettered();
+        core.publish_progress(&progress);
         if n > 0 || dead > 0 {
             if n > 0 {
                 stats.flushed_flits.fetch_add(n, Ordering::Relaxed);
@@ -430,11 +492,15 @@ mod tests {
             let out = Arc::clone(&out);
             move |s: usize, f: &ServedFlit| out.lock().unwrap().push((s, f.packet))
         };
+        let progress = Arc::new(FlushProgress::default());
         let h = {
             let links = Arc::clone(&links);
             let closed = Arc::clone(&closed);
             let stats = Arc::clone(&stats);
-            std::thread::spawn(move || run_flusher(core, links, None, closed, stats, sink))
+            let progress = Arc::clone(&progress);
+            std::thread::spawn(move || {
+                run_flusher(core, links, None, closed, stats, progress, sink)
+            })
         };
         for i in 0..100u64 {
             links.try_acquire((i % 2) as usize);
@@ -456,5 +522,45 @@ mod tests {
         assert!(out.iter().all(|&(s, _)| s == 3), "shard id propagated");
         assert_eq!(stats.snapshot().flushed_flits, 100);
         assert_eq!(links.flush_clock(), 100);
+        assert_eq!(
+            progress.retired(),
+            100,
+            "watermark reaches the full pop count once everything retired"
+        );
+    }
+
+    #[test]
+    fn progress_watermark_holds_while_flits_pend() {
+        // A frozen link keeps popped flits pending; the watermark must
+        // not advance past the last pending-free instant, even though
+        // the pop count has (§13.5 — the fence would otherwise declare
+        // an undelivered flit retired).
+        let links = LinkSet::new(2, 8);
+        let progress = FlushProgress::default();
+        let (mut tx, rx) = spsc_ring(16);
+        let mut core = FlusherCore::new(0, rx, 2);
+        let mut sink = |_s: usize, _f: &ServedFlit| {};
+        links.try_acquire(0);
+        tx.push(flit(0, 0, 0, 1)).unwrap();
+        core.step(&links, None, &mut sink);
+        core.publish_progress(&progress);
+        assert_eq!(progress.retired(), 1);
+        links.freeze(1);
+        links.try_acquire(1);
+        tx.push(flit(1, 1, 0, 1)).unwrap();
+        links.try_acquire(0);
+        tx.push(flit(0, 2, 0, 1)).unwrap();
+        core.step(&links, None, &mut sink);
+        core.publish_progress(&progress);
+        assert_eq!(core.popped(), 3);
+        assert_eq!(
+            progress.retired(),
+            1,
+            "pending flit on link 1 pins the watermark"
+        );
+        links.release_stall(1);
+        core.step(&links, None, &mut sink);
+        core.publish_progress(&progress);
+        assert_eq!(progress.retired(), 3, "thaw releases the watermark");
     }
 }

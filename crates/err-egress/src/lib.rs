@@ -45,7 +45,7 @@ use std::sync::Arc;
 use err_sched::ServedFlit;
 
 pub use credit::CreditPool;
-pub use flusher::{run_flusher, FlusherCore};
+pub use flusher::{run_flusher, FlushProgress, FlusherCore};
 pub use link::{DeadLinkPolicy, LinkSet, LinkSnapshot, LinkState};
 pub use spsc::{spsc_ring, Consumer, Producer};
 pub use stall::{StallInjector, StallPlan, StallWindow};
@@ -103,17 +103,30 @@ impl<F: FnMut(usize, &ServedFlit) + Send> Egress for F {
 
 /// A cloneable, `Sync`-shareable [`Egress`] over one underlying sink.
 ///
-/// Groundwork for stealing under buffered egress (ROADMAP): a migrated
-/// flow's flits must reach the *same* downstream sink from a different
-/// flusher, which requires a sink handle that several threads can hold.
-/// `SharedEgress` provides that by serializing `emit` through a mutex —
-/// correct, but a lock on the per-flit path, which is why the runtime
-/// does not use it on the hot path yet (see ROADMAP for the remaining
-/// gap: per-link flow parking is keyed by the owning shard, so sharing
-/// the sink alone is not sufficient to enable stealing).
+/// This is the sink handle stealing under buffered egress relies on
+/// (DESIGN.md §13.5): a migrated flow's flits must reach the *same*
+/// downstream sink from a different shard's flusher, so every flusher
+/// holds a clone of one `SharedEgress`. `emit` serializes through a
+/// mutex — a lock, but on the *flusher's* delivery path, never on a
+/// scheduler's flit clock; the per-flow ordering the wormhole needs is
+/// supplied upstream by the egress-retire fence (a donor flips a flow's
+/// home only after its last victim flit has retired), not by this lock.
+/// The handle is `Sync` by construction — asserted below, since the
+/// fence design depends on it.
 pub struct SharedEgress<E: Egress> {
     inner: Arc<std::sync::Mutex<E>>,
 }
+
+// `SharedEgress` must stay shareable across flusher threads (§13.5);
+// a field change that silently dropped `Sync` would re-gate stealing
+// out of buffered mode.
+const _: fn() = || {
+    fn assert_sync_send<T: Sync + Send>() {}
+    fn holds_for<E: Egress>() {
+        assert_sync_send::<SharedEgress<E>>();
+    }
+    let _ = holds_for::<fn(usize, &ServedFlit)>;
+};
 
 impl<E: Egress> SharedEgress<E> {
     /// Wraps `sink` for shared use.

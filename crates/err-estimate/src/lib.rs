@@ -9,9 +9,9 @@
 //! query. Following the decomposition idea of Parsimon-style
 //! estimators, this crate answers the same question in milliseconds:
 //!
-//! 1. [`decompose`] places every flow on exactly the `(node, link)`
+//! 1. [`decompose()`] places every flow on exactly the `(node, link)`
 //!    ends of its route, preserving lengths, counts, and weights;
-//! 2. [`simulate_node`](linksim::simulate_node) runs the *shipped*
+//! 2. [`linksim::simulate_node`] runs the *shipped*
 //!    ERR scheduler (not a model of it) over each loaded node's flow
 //!    set on a virtual flit clock, producing per-flow per-node delay
 //!    distributions;

@@ -3,8 +3,9 @@
 //!
 //! The fault model is *fail-stop with an honest ledger*: a shard worker
 //! that panics (or is quarantined for a frozen heartbeat) salvages its
-//! own state on the way down — every flow the [`FlowMap`] homes on the
-//! dead shard is extracted, its ingress ring drained, and the resulting
+//! own state on the way down — every flow the
+//! [`FlowMap`](crate::ownership::FlowMap) homes on the dead shard is
+//! extracted, its ingress ring drained, and the resulting
 //! packages re-homed to a live rescue shard through a salvage inbox.
 //! What cannot be saved (a mid-packet wormhole cursor, or everything
 //! when no live shard remains) is counted `lost` with its admission
@@ -15,26 +16,34 @@
 //! shard flit clocks, which is what makes the chaos bench an experiment
 //! rather than an anecdote (§9.5).
 //!
-//! Concurrency note (§9.2): all salvage operations — and the
-//! `Exited`/`Dead` health transitions that race them — serialize
-//! through one global salvage mutex. Death is rare, so the lock is
-//! uncontended in practice and never on any hot path; workers take it
-//! with `try_lock` in their exit check so a blocked exit can keep
-//! beating instead of tripping the supervisor.
+//! Concurrency note (§9.2): salvage passes still serialize through one
+//! global salvage mutex (death is rare; the lock is never on a hot
+//! path), but *per-flow* arbitration — a salvage racing a steal —
+//! resolves through the §13 ownership authority: claim (or seize), then
+//! win or lose the epoch CAS. With
+//! [`SupervisionConfig::resurrection`] on, a dead shard is not salvaged
+//! at all: the dying worker posts a whole-state `Bequest` and the
+//! supervisor spawns a fresh worker thread that adopts the shard's
+//! ring, scheduler, and in-flight migration state (§13.6) — the
+//! [`FlowMap`](crate::ownership::FlowMap) never moves.
 
+use std::any::Any;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, TryLockError};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use desim::{Cycle, SimRng};
-use err_egress::LinkSet;
+use err_egress::{LinkSet, Producer};
 use err_sched::migrate::MigratedFlow;
-use err_sched::Scheduler;
+use err_sched::{Scheduler, ServedFlit};
 
 use crate::admission::AdmissionController;
 use crate::ingress::Shared;
-use crate::migrate::FlowMap;
+use crate::migrate::MigrationDriver;
+use crate::ownership::{ClaimToken, OwnerState, Ownership};
+use crate::shard::BufferedWorkerState;
 use crate::stats::{PaddedCounter, ShardStats};
 
 /// Locks `m`, treating poisoning as benign: the protected state is a
@@ -55,6 +64,14 @@ pub struct SupervisionConfig {
     /// the worker's idle park timeout (100µs) — the default leaves two
     /// orders of magnitude of slack.
     pub heartbeat_deadline: Duration,
+    /// True shard resurrection (DESIGN.md §13.6): a dead shard's worker
+    /// is replaced by a fresh thread adopting its ring, scheduler, and
+    /// migration state, instead of its flows being permanently re-homed
+    /// by salvage. Required when stealing and supervision compose
+    /// (`Runtime::start` asserts it): a mid-handoff peer waits on the
+    /// dead shard's next protocol step, which only a successor can
+    /// take.
+    pub resurrection: bool,
 }
 
 impl Default for SupervisionConfig {
@@ -62,6 +79,7 @@ impl Default for SupervisionConfig {
         Self {
             poll: Duration::from_millis(2),
             heartbeat_deadline: Duration::from_millis(50),
+            resurrection: false,
         }
     }
 }
@@ -410,16 +428,45 @@ pub(crate) enum SalvageMsg {
     },
 }
 
+/// The egress half of a [`Bequest`]: whatever the dying worker owned on
+/// its output side, by egress mode.
+pub(crate) enum BequestEgress {
+    /// The sync worker's optional sink, boxed as `Any` — the concrete
+    /// sink type is known only to the spawner closure in `lib.rs`,
+    /// which downcasts it back.
+    Sync(Box<dyn Any + Send>),
+    /// The buffered worker's output-ring producer plus its link-local
+    /// state (stash, parking bitmaps, pushed count).
+    Buffered {
+        tx: Producer<ServedFlit>,
+        state: BufferedWorkerState,
+    },
+}
+
+/// Everything a successor worker needs to adopt a dead shard (§13.6).
+/// Posted by the dying worker's epilogue at an intake-boundary panic —
+/// the only place panics fire, so arrival batches are empty and the
+/// state is consistent by construction. The ingress ring is *not* here:
+/// it lives in `Shared` and the successor simply resumes draining it.
+pub(crate) struct Bequest {
+    pub(crate) scheduler: Box<dyn Scheduler + Send>,
+    pub(crate) driver: Option<MigrationDriver>,
+    /// The shard flit clock at death; the successor continues it.
+    pub(crate) now: Cycle,
+    pub(crate) egress: BequestEgress,
+}
+
+/// Spawner for successor workers, built in `lib.rs` where the egress
+/// generics are known: `(shard, generation, bequest) → join handle`.
+pub(crate) type RespawnFn = Box<dyn Fn(usize, u64, Bequest) -> JoinHandle<Cycle> + Send>;
+
 /// Fault-tolerance state hung off the runtime's `Shared` block when
 /// `RuntimeConfig::supervision` is set.
 pub(crate) struct FaultRuntime {
     pub(crate) board: FaultBoard,
-    /// Flow→shard overlay, reused from §8: salvage re-homes flows with
-    /// the same epoch-bump `reroute` a steal uses.
-    pub(crate) map: FlowMap,
-    /// Per-flow submit window (§8.3 fence 2), maintained by `submit`
-    /// exactly as under stealing.
-    pub(crate) window: Vec<AtomicU32>,
+    /// The §13 ownership authority (map + windows + claims), shared
+    /// with the stealing layer when both overlays are on.
+    pub(crate) own: Arc<Ownership>,
     inboxes: Vec<Mutex<VecDeque<SalvageMsg>>>,
     /// Cheap hot-path signal that a shard's inbox is non-empty.
     inbox_flags: Vec<AtomicBool>,
@@ -430,27 +477,55 @@ pub(crate) struct FaultRuntime {
     /// The global salvage lock (see the module docs): serializes every
     /// salvage and the `Dead`/`Exited` transitions that race them.
     salvage: Mutex<()>,
+    /// Per-shard bequest slot (§13.6): the dying worker posts, the
+    /// supervisor takes.
+    bequests: Vec<Mutex<Option<Bequest>>>,
+    /// Successor worker threads, `(shard, handle)`, pushed by the
+    /// supervisor under this mutex — `drain_within` reads the same lock
+    /// so it can never miss a successor that is mid-spawn.
+    pub(crate) successors: Mutex<Vec<(usize, JoinHandle<Cycle>)>>,
     pub(crate) config: SupervisionConfig,
 }
 
 impl FaultRuntime {
     pub(crate) fn new(
-        n_flows: usize,
+        own: Arc<Ownership>,
         shards: usize,
         config: SupervisionConfig,
         injector: Option<FaultInjector>,
     ) -> Self {
         Self {
             board: FaultBoard::new(shards),
-            map: FlowMap::new(n_flows, shards),
-            window: (0..n_flows).map(|_| AtomicU32::new(0)).collect(),
+            own,
             inboxes: (0..shards).map(|_| Mutex::new(VecDeque::new())).collect(),
             inbox_flags: (0..shards).map(|_| AtomicBool::new(false)).collect(),
             park_acks: AtomicU64::new(0),
             injector,
             salvage: Mutex::new(()),
+            bequests: (0..shards).map(|_| Mutex::new(None)).collect(),
+            successors: Mutex::new(Vec::new()),
             config,
         }
+    }
+
+    /// The dying worker's last act under resurrection (§13.6): post the
+    /// whole-state bequest, then flip to `Dead` — in that order, so a
+    /// supervisor that observes the bequest always finds it complete.
+    pub(crate) fn bequeath(&self, shard: usize, bequest: Bequest) {
+        *lock_unpoisoned(&self.bequests[shard]) = Some(bequest);
+        self.board.set_health(shard, ShardHealth::Dead);
+        self.board.stamp_death(shard);
+    }
+
+    /// Takes `shard`'s pending bequest, if any (supervisor side).
+    pub(crate) fn take_bequest(&self, shard: usize) -> Option<Bequest> {
+        lock_unpoisoned(&self.bequests[shard]).take()
+    }
+
+    /// Whether any shard has posted a bequest the supervisor has not
+    /// yet turned into a successor (`drain_within` waits this out).
+    pub(crate) fn resurrection_pending(&self) -> bool {
+        self.bequests.iter().any(|b| lock_unpoisoned(b).is_some())
     }
 
     /// Pushes messages to `shard`'s inbox and raises its flag.
@@ -687,7 +762,7 @@ pub(crate) fn salvage_shard(
         fr.inbox_flags[shard].store(false, Ordering::Release);
         inbox.drain(..).collect()
     };
-    let n_flows = fr.map.n_flows();
+    let n_flows = fr.own.map.n_flows();
     let mut packages: Vec<Option<MigratedFlow>> = (0..n_flows).map(|_| None).collect();
     for msg in pending {
         if let SalvageMsg::Package { flow, pkg } = msg {
@@ -696,7 +771,7 @@ pub(crate) fn salvage_shard(
     }
 
     let owned: Vec<usize> = (0..n_flows)
-        .filter(|&f| fr.map.shard_of(f) == Some(shard))
+        .filter(|&f| fr.own.shard_of(f) == Some(shard))
         .collect();
 
     // Choose a rescue and pre-park the flows there (the §8 thief-side
@@ -744,29 +819,60 @@ pub(crate) fn salvage_shard(
         excluded.push(candidate);
     };
 
-    // Extract scheduler state and drain the ring into the packages.
-    // With a rescue, the map flips *first* and the submit windows are
-    // waited out, so the ring drain covers every old-epoch push (§8.3).
+    // Per-flow arbitration (§13.1), then extract and drain the ring
+    // into the packages. With a rescue, each flow is *claimed* — or an
+    // in-flight steal's claim is *seized*, since the steal's donor is
+    // this very dying thread and can never advance it — the map flips
+    // by epoch CAS, and the submit window is waited out, so the ring
+    // drain covers every old-epoch push (§13.3). A flow whose reroute
+    // loses the epoch race already lives at its thief: it is dropped
+    // from the salvage set and its claim released untouched.
+    let mut rehomed: Vec<(usize, ClaimToken)> = Vec::new();
     if let Some(r) = rescue {
         for &flow in &owned {
-            fr.map.reroute(flow, r);
+            let mut tok = None;
+            for _ in 0..64 {
+                tok = fr
+                    .own
+                    .try_claim(flow, OwnerState::Salvaging, shard)
+                    .or_else(|| fr.own.seize_for_salvage(flow, shard));
+                if tok.is_some() {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            let Some(tok) = tok else { continue };
+            if fr.own.try_reroute(&tok, r) {
+                rehomed.push((flow, tok));
+            } else {
+                fr.own.release(&tok);
+            }
         }
-        for &flow in &owned {
-            // ordering: SeqCst — the salvager's half of the submit-
-            // window Dekker (migrate.rs WindowGuard): window enter
-            // (SeqCst fetch_add) then map read, versus map flip then
-            // this SeqCst zero-check; one total order means any submit
-            // the flip missed is still counted in the window here.
-            while fr.window[flow].load(Ordering::SeqCst) != 0 {
+        for &(flow, _) in &rehomed {
+            // ordering: SeqCst inside `window_clear` — the salvager's
+            // half of the submit-window Dekker (ownership.rs
+            // WindowGuard): window enter (SeqCst fetch_add) then map
+            // read, versus map flip then this SeqCst zero-check; one
+            // total order means any submit the flip missed is still
+            // counted in the window here.
+            while !fr.own.window_clear(flow) {
                 std::thread::yield_now();
             }
         }
-    }
-    for &flow in &owned {
-        let _ = scheduler.park_flow(flow);
-        if let Some(mut pkg) = scheduler.extract_flow(flow) {
-            strip_cursor(stats, &shared.admission, flow, &mut pkg);
-            merge_package(&mut packages[flow], pkg);
+        for &(flow, _) in &rehomed {
+            let _ = scheduler.park_flow(flow);
+            if let Some(mut pkg) = scheduler.extract_flow(flow) {
+                strip_cursor(stats, &shared.admission, flow, &mut pkg);
+                merge_package(&mut packages[flow], pkg);
+            }
+        }
+    } else {
+        for &flow in &owned {
+            let _ = scheduler.park_flow(flow);
+            if let Some(mut pkg) = scheduler.extract_flow(flow) {
+                strip_cursor(stats, &shared.admission, flow, &mut pkg);
+                merge_package(&mut packages[flow], pkg);
+            }
         }
     }
     while let Some(pkt) = shared.rings[shard].pop() {
@@ -778,19 +884,37 @@ pub(crate) fn salvage_shard(
 
     match rescue {
         Some(r) => {
-            // Deliver a package for every re-homed flow — even an empty
-            // one, since absorption is what unparks the pre-park — and
-            // account the contents as salvaged at this (dying) shard.
+            // Deliver a package for every pre-parked flow — even an
+            // empty one, since absorption is what unparks the pre-park
+            // — and account the contents as salvaged at this (dying)
+            // shard. A dropped flow (reroute lost to a thief) gets an
+            // empty package to clear its pre-park; any ring residue it
+            // left here is old-epoch material the thief's drain already
+            // covered or will cover, but we saw it post-claim, so count
+            // it lost rather than mis-home it.
+            let kept: Vec<usize> = rehomed.iter().map(|&(f, _)| f).collect();
             let msgs: Vec<SalvageMsg> = owned
                 .iter()
                 .map(|&flow| {
-                    let pkg = packages[flow].take().unwrap_or_else(empty_package);
+                    let pkg = if kept.contains(&flow) {
+                        packages[flow].take().unwrap_or_else(empty_package)
+                    } else {
+                        if let Some(stale) = packages[flow].take() {
+                            for p in &stale.packets {
+                                lose_packet(stats, &shared.admission, flow, p.len);
+                            }
+                        }
+                        empty_package()
+                    };
                     stats.salvaged_packets.add(pkg.packets.len() as u64);
                     stats.salvaged_flits.add(pkg.flits());
                     SalvageMsg::Package { flow, pkg }
                 })
                 .collect();
             fr.post(r, msgs);
+            for (_, tok) in &rehomed {
+                fr.own.release(tok);
+            }
         }
         None => {
             // Total failure: no live rescuer (every shard dead, or the
@@ -917,14 +1041,21 @@ pub(crate) fn abort_residuals(
 /// The supervisor loop (DESIGN.md §9.1): every `poll`, quarantine any
 /// `Running` shard whose heartbeat has not advanced for
 /// `heartbeat_deadline`. Never touches a scheduler — quarantine is a
-/// flag the worker's own fault hook honors.
-pub(crate) fn run_supervisor(shared: Arc<Shared>, stop: Arc<AtomicBool>) {
+/// flag the worker's own fault hook honors. With `respawn` set
+/// (resurrection, §13.6), the scan also turns posted bequests into
+/// successor worker threads.
+pub(crate) fn run_supervisor(
+    shared: Arc<Shared>,
+    stop: Arc<AtomicBool>,
+    respawn: Option<RespawnFn>,
+) {
     let Some(fr) = shared.fault.as_ref() else {
         return;
     };
     let shards = fr.board.shards();
     let mut last_beat: Vec<u64> = (0..shards).map(|s| fr.board.heartbeat(s)).collect();
     let mut last_change: Vec<Instant> = vec![Instant::now(); shards];
+    let mut generation: Vec<u64> = vec![0; shards];
     // ordering: Acquire pairs with the Release `stop` store in
     // `Runtime::drain_within` (supervisor shutdown latch).
     while !stop.load(Ordering::Acquire) {
@@ -938,6 +1069,33 @@ pub(crate) fn run_supervisor(shared: Arc<Shared>, stop: Arc<AtomicBool>) {
                 && last_change[s].elapsed() >= fr.config.heartbeat_deadline
             {
                 fr.board.quarantine(s);
+            }
+            let Some(respawn) = respawn.as_ref() else {
+                continue;
+            };
+            // Resurrection (§13.6): adopt a posted bequest. The whole
+            // take→spawn→push runs under the successors lock so
+            // `drain_within`, which reads the same lock, can never
+            // observe "no bequest, no successor" for a shard that is
+            // mid-resurrection.
+            let mut successors = lock_unpoisoned(&fr.successors);
+            // ordering: Acquire pairs with the Release `abort` store in
+            // `Runtime::drain_within` — no successor may spawn after
+            // the forced-abort residue accounting starts.
+            if shared.abort.load(Ordering::Acquire) {
+                continue;
+            }
+            if let Some(bequest) = fr.take_bequest(s) {
+                generation[s] += 1;
+                fr.board.stamp_recovery(s);
+                fr.board.set_health(s, ShardHealth::Running);
+                // A fresh grace window: the successor's first beat may
+                // lag thread spawn, and the stale pre-death timestamp
+                // would instantly re-quarantine it.
+                last_beat[s] = fr.board.heartbeat(s);
+                last_change[s] = Instant::now();
+                let handle = respawn(s, generation[s], bequest);
+                successors.push((s, handle));
             }
         }
     }

@@ -67,11 +67,17 @@ pub(crate) struct Shared {
     pub(crate) rings: Vec<MpscRing<Packet>>,
     pub(crate) stats: Vec<ShardStats>,
     pub(crate) admission: AdmissionController,
+    /// The flow-ownership authority (DESIGN.md §13): routing map,
+    /// submit windows, and per-flow claims. `Some` whenever any overlay
+    /// (stealing or supervision) can move flows; both overlays share
+    /// this one instance, which is what lets a steal race a salvage and
+    /// resolve by epoch instead of by crate layering.
+    pub(crate) own: Option<std::sync::Arc<crate::ownership::Ownership>>,
     /// Work-stealing state (`RuntimeConfig::stealing`); `None` keeps
     /// the static partition and a migration-free submit path.
     pub(crate) steal: Option<crate::migrate::StealRuntime>,
-    /// Fault-tolerance state (`RuntimeConfig::supervision`); mutually
-    /// exclusive with `steal` (DESIGN.md §9.2).
+    /// Fault-tolerance state (`RuntimeConfig::supervision`); composes
+    /// with `steal` when resurrection is on (DESIGN.md §13.6).
     pub(crate) fault: Option<crate::fault::FaultRuntime>,
     /// The shutdown gate: `closed` flag + in-flight submit counter as a
     /// Dekker-style pair, so workers never take their *final* look at
@@ -85,35 +91,17 @@ pub(crate) struct Shared {
 }
 
 impl Shared {
-    /// The shard `flow` currently routes to: the migration overlay's
-    /// mapping when stealing is on (and the flow is inside the id
+    /// The shard `flow` currently routes to: the ownership authority's
+    /// mapping when any overlay is on (and the flow is inside the id
     /// space), else the static hash.
     #[inline]
     pub(crate) fn shard_of(&self, flow: usize) -> usize {
-        if let Some(st) = &self.steal {
-            if let Some(shard) = st.map.shard_of(flow) {
-                return shard;
-            }
-        }
-        if let Some(fr) = &self.fault {
-            if let Some(shard) = fr.map.shard_of(flow) {
+        if let Some(own) = &self.own {
+            if let Some(shard) = own.shard_of(flow) {
                 return shard;
             }
         }
         (mix_flow(flow) % self.rings.len() as u64) as usize
-    }
-
-    /// The per-flow submit-window counter, if any overlay (stealing or
-    /// fault) maintains one for `flow`.
-    #[inline]
-    pub(crate) fn flow_window(&self, flow: usize) -> Option<&std::sync::atomic::AtomicU32> {
-        if let Some(st) = &self.steal {
-            return st.window.get(flow);
-        }
-        if let Some(fr) = &self.fault {
-            return fr.window.get(flow);
-        }
-        None
     }
 
     pub(crate) fn is_closed(&self) -> bool {
@@ -213,17 +201,16 @@ impl RuntimeHandle {
             }
         }
         // Route-and-push, bracketed by the per-flow submit window when
-        // an overlay (stealing or fault) is on (DESIGN.md §8.3 fence 2):
-        // window += 1 → read FlowMap → push → window −= 1 (via the
-        // guard's Drop, on every exit path). The SeqCst pairing with the
-        // map flip and window check guarantees a drain target covers
-        // every old-epoch push. The outer loop re-routes when the target
+        // the ownership authority is on (DESIGN.md §13.3): window += 1
+        // → read FlowMap → push → window −= 1 (via the guard's Drop, on
+        // every exit path). The SeqCst pairing with the map flip and
+        // window check guarantees a mover's drain target covers every
+        // old-epoch push. The outer loop re-routes when the target
         // shard turns out to be dead (§9.2): drop the window, re-read
-        // the map — the salvage is flipping it.
+        // the map — a salvage is flipping it, or (under resurrection,
+        // §13.6) the same shard is about to come back and drain.
         'route: loop {
-            let _window = shared
-                .flow_window(pkt.flow)
-                .map(crate::migrate::WindowGuard::enter_counter);
+            let _window = shared.own.as_ref().and_then(|o| o.window_enter(pkt.flow));
             let shard = shared.shard_of(pkt.flow);
             let stats = &shared.stats[shard];
             // Ring push: one CAS. Full ring means the shard is behind;

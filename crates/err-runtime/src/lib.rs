@@ -48,6 +48,13 @@
 //!   ([`Runtime::shutdown_within`]) and submit
 //!   ([`RuntimeHandle::submit_within`]), and a seeded [`FaultPlan`]
 //!   chaos harness that replays shard and link deaths deterministically.
+//! * [`ownership`] is the single flow-ownership authority
+//!   (DESIGN.md §13): an epoch-stamped [`FlowMap`] plus submit windows
+//!   and per-flow claims, shared by stealing ([`migrate`]) and
+//!   supervision ([`fault`]). One authority is what lets the two
+//!   overlays compose (with [`SupervisionConfig::resurrection`]) and
+//!   lets stealing run under [`EgressMode::Buffered`] via the §13.5
+//!   egress-retire fence.
 //!
 //! # Quick example
 //!
@@ -77,6 +84,7 @@ pub mod fault;
 pub mod gate;
 pub mod ingress;
 pub mod migrate;
+pub mod ownership;
 pub mod shard;
 pub mod stats;
 pub(crate) mod sync;
@@ -86,7 +94,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use err_egress::{spsc_ring, FlusherCore, LinkSet, ShardEgressStats, StallInjector};
+use err_egress::{spsc_ring, FlushProgress, FlusherCore, LinkSet, ShardEgressStats, StallInjector};
 use err_sched::{Discipline, ServedFlit};
 
 pub use admission::{AdmissionController, AdmissionPolicy, AdmitDecision};
@@ -99,7 +107,8 @@ pub use fault::{
     FaultBoard, FaultEvent, FaultInjector, FaultKind, FaultPlan, ShardHealth, SupervisionConfig,
 };
 pub use ingress::{RuntimeHandle, SubmitError, Submitted};
-pub use migrate::{FlowMap, LoadBoard, MigrationPhase, MigrationSlot, StealingConfig};
+pub use migrate::{LoadBoard, MigrationPhase, MigrationSlot, StealingConfig};
+pub use ownership::{ClaimToken, FlowMap, OwnerState, Ownership};
 pub use stats::{RuntimeStats, ShardSnapshot};
 
 use admission::AdmissionController as Controller;
@@ -162,20 +171,27 @@ pub struct RuntimeConfig {
     pub admission: AdmissionPolicy,
     /// Egress coupling; [`EgressMode::Sync`] is the legacy inline path.
     pub egress: EgressMode,
-    /// Work stealing / flow migration (DESIGN.md §8). `None` keeps the
-    /// static partition. Requires [`EgressMode::Sync`] and a discipline
-    /// with `supports_migration()` (ERR/WERR) — `Runtime::start`
-    /// asserts both. Stealing is the *only* overlay excluded under
-    /// [`EgressMode::Buffered`]: supervision/salvage composes with both
-    /// egress modes (see `supervision`).
+    /// Work stealing / flow migration (DESIGN.md §8, §13). `None` keeps
+    /// the static partition. Requires a discipline with
+    /// `supports_migration()` (ERR/WERR) — `Runtime::start` asserts it.
+    /// Works under either [`EgressMode`]: under
+    /// [`EgressMode::Buffered`] the donor adds the §13.5 egress-retire
+    /// fence (a flow's home flips only after its last victim flit has
+    /// retired downstream), so handoffs never interleave a wormhole.
+    /// Composes with `supervision` only when
+    /// [`SupervisionConfig::resurrection`] is on — asserted by
+    /// `Runtime::start` (§13.6).
     pub stealing: Option<StealingConfig>,
-    /// Shard supervision and panic salvage (DESIGN.md §9). Requires a
-    /// discipline with extract/absorb support (ERR/WERR) and is
-    /// mutually exclusive with `stealing` — both overlays would need
-    /// one FlowMap; composing them is future work. `Runtime::start`
-    /// asserts both conditions. Unlike `stealing`, supervision works
-    /// under either [`EgressMode`]: buffered salvage re-parks restored
-    /// flows per link via `BufferedFaultCtx` (DESIGN.md §9.2).
+    /// Shard supervision (DESIGN.md §9): heartbeats, quarantine, and —
+    /// per [`SupervisionConfig::resurrection`] — either panic salvage
+    /// (flows permanently re-homed to a rescue shard) or true shard
+    /// resurrection (a fresh worker thread adopts the dead shard's
+    /// ring, scheduler, and migration state, §13.6). Requires a
+    /// discipline with extract/absorb support (ERR/WERR); works under
+    /// either [`EgressMode`] — buffered salvage re-parks restored flows
+    /// per link via `BufferedFaultCtx` (DESIGN.md §9.2). Per-flow
+    /// arbitration against a racing steal goes through the one
+    /// [`Ownership`] authority (§13.1).
     pub supervision: Option<SupervisionConfig>,
     /// Deterministic fault injection (DESIGN.md §9.5); events fire on
     /// each shard's flit clock. Requires `supervision`.
@@ -247,28 +263,35 @@ impl Runtime {
     ) -> (Self, RuntimeHandle) {
         assert!(config.shards >= 1, "need at least one shard");
         assert!(config.batch_flits >= 1 && config.batch_packets >= 1);
+        // The §13 ownership authority: one instance, shared by whichever
+        // overlays are on (the whole point — a steal racing a salvage
+        // resolves inside one epoch CAS, not across two maps).
+        let own = (config.stealing.is_some() || config.supervision.is_some())
+            .then(|| Arc::new(Ownership::new(config.n_flows, config.shards)));
+        if config.stealing.is_some() {
+            if let Some(sup) = &config.supervision {
+                assert!(
+                    sup.resurrection,
+                    "stealing × supervision requires SupervisionConfig::resurrection \
+                     (DESIGN.md §13.6): a mid-handoff death must resurrect the shard \
+                     so the handoff's next protocol step is taken, not salvage it"
+                );
+            }
+        }
         let steal = config.stealing.map(|sc| {
-            assert!(
-                matches!(config.egress, EgressMode::Sync),
-                "work stealing requires EgressMode::Sync (DESIGN.md §8.6: \
-                 steady-state migration under buffered link-parking is \
-                 future work; one-shot salvage migration composes fine, \
-                 see BufferedFaultCtx in §9.2)"
-            );
             assert!(
                 config.discipline.build(1).supports_migration(),
                 "work stealing requires a discipline with extract/absorb \
                  support (ERR or WERR), got {:?}",
                 config.discipline
             );
-            migrate::StealRuntime::new(config.n_flows, config.shards, sc)
+            migrate::StealRuntime::new(
+                Arc::clone(own.as_ref().expect("stealing implies ownership")),
+                config.shards,
+                sc,
+            )
         });
         let fault = config.supervision.map(|sup| {
-            assert!(
-                config.stealing.is_none(),
-                "supervision is mutually exclusive with work stealing \
-                 (DESIGN.md §9.2: both overlays would need one FlowMap)"
-            );
             assert!(
                 config.discipline.build(1).supports_migration(),
                 "supervision requires a discipline with extract/absorb \
@@ -279,7 +302,12 @@ impl Runtime {
                 .fault_plan
                 .as_ref()
                 .map(|p| fault::FaultInjector::new(p, config.shards));
-            fault::FaultRuntime::new(config.n_flows, config.shards, sup, injector)
+            fault::FaultRuntime::new(
+                Arc::clone(own.as_ref().expect("supervision implies ownership")),
+                config.shards,
+                sup,
+                injector,
+            )
         });
         assert!(
             config.fault_plan.is_none() || fault.is_some(),
@@ -291,25 +319,31 @@ impl Runtime {
                 .collect(),
             stats: (0..config.shards).map(|_| ShardStats::default()).collect(),
             admission: Controller::new(config.admission, config.n_flows),
+            own,
             steal,
             fault,
             gate: gate::DrainGate::new(),
             abort: AtomicBool::new(false),
         });
-        let supervisor = shared.fault.as_ref().map(|_| {
-            let stop = Arc::new(AtomicBool::new(false));
-            let shared = Arc::clone(&shared);
-            let stop2 = Arc::clone(&stop);
-            let handle = std::thread::Builder::new()
-                .name("err-supervisor".into())
-                .spawn(move || fault::run_supervisor(shared, stop2))
-                .expect("spawning supervisor");
-            (stop, handle)
-        });
         let egress_closed = Arc::new(AtomicBool::new(false));
         let mut workers = Vec::with_capacity(config.shards);
         let mut flushers = Vec::new();
         let mut controller = None;
+        // Built per egress mode below (the closure must know the
+        // concrete sink type); `Some` only under resurrection (§13.6).
+        let mut respawn: Option<fault::RespawnFn> = None;
+        let resurrection = shared
+            .fault
+            .as_ref()
+            .is_some_and(|fr| fr.config.resurrection);
+        // A fresh worker steals only if stealing is on; a successor also
+        // inherits its predecessor's driver from the bequest.
+        let fresh_driver = |shared: &Shared, shard: usize| {
+            shared
+                .steal
+                .as_ref()
+                .map(|_| migrate::MigrationDriver::new(shard))
+        };
 
         match &config.egress {
             EgressMode::Sync => {
@@ -318,12 +352,43 @@ impl Runtime {
                     let scheduler = config.discipline.build(config.n_flows);
                     let sink = egress(shard);
                     let cfg = shard_config(&config, shard);
+                    let driver = fresh_driver(&shared, shard);
                     workers.push(
                         std::thread::Builder::new()
                             .name(format!("err-shard-{shard}"))
-                            .spawn(move || shard::run_shard(shared, cfg, scheduler, sink))
+                            .spawn(move || {
+                                shard::run_shard(shared, cfg, scheduler, sink, driver, 0)
+                            })
                             .expect("spawning shard worker"),
                     );
+                }
+                if resurrection {
+                    let shared = Arc::clone(&shared);
+                    let config = config.clone();
+                    respawn = Some(Box::new(move |shard, gen, bequest| {
+                        let shared = Arc::clone(&shared);
+                        let cfg = shard_config(&config, shard);
+                        std::thread::Builder::new()
+                            .name(format!("err-shard-{shard}r{gen}"))
+                            .spawn(move || {
+                                let fault::Bequest {
+                                    scheduler,
+                                    driver,
+                                    now,
+                                    egress,
+                                } = bequest;
+                                let sink = match egress {
+                                    fault::BequestEgress::Sync(b) => *b
+                                        .downcast::<Option<E>>()
+                                        .expect("sync bequest carries the runtime's sink type"),
+                                    fault::BequestEgress::Buffered { .. } => {
+                                        unreachable!("sync runtime never posts a buffered bequest")
+                                    }
+                                };
+                                shard::run_shard(shared, cfg, scheduler, sink, driver, now)
+                            })
+                            .expect("spawning successor worker")
+                    }));
                 }
             }
             EgressMode::Buffered(bc) => {
@@ -338,11 +403,19 @@ impl Runtime {
                     .stall_plan
                     .as_ref()
                     .map(|p| Arc::new(StallInjector::new(p)));
+                let salvage_flows = if config.supervision.is_some() {
+                    config.n_flows
+                } else {
+                    0
+                };
                 let mut shard_stats = Vec::with_capacity(config.shards);
+                let mut progresses = Vec::with_capacity(config.shards);
                 for shard in 0..config.shards {
                     let (tx, rx) = spsc_ring::<ServedFlit>(bc.ring_capacity);
                     let estats = Arc::new(ShardEgressStats::default());
                     shard_stats.push(Arc::clone(&estats));
+                    let progress = Arc::new(FlushProgress::default());
+                    progresses.push(Arc::clone(&progress));
                     let sink = OptionalSink(egress(shard));
                     let core = FlusherCore::new(shard, rx, bc.n_links);
                     {
@@ -350,12 +423,13 @@ impl Runtime {
                         let injector = injector.clone();
                         let closed = Arc::clone(&egress_closed);
                         let estats = Arc::clone(&estats);
+                        let progress = Arc::clone(&progress);
                         flushers.push(
                             std::thread::Builder::new()
                                 .name(format!("err-flusher-{shard}"))
                                 .spawn(move || {
                                     err_egress::run_flusher(
-                                        core, links, injector, closed, estats, sink,
+                                        core, links, injector, closed, estats, progress, sink,
                                     )
                                 })
                                 .expect("spawning flusher"),
@@ -365,18 +439,70 @@ impl Runtime {
                     let scheduler = config.discipline.build(config.n_flows);
                     let links = Arc::clone(&links);
                     let cfg = shard_config(&config, shard);
+                    let state = shard::BufferedWorkerState::new(bc.n_links, salvage_flows);
+                    let driver = fresh_driver(&shared, shard);
                     workers.push(
                         std::thread::Builder::new()
                             .name(format!("err-shard-{shard}"))
                             .spawn(move || {
-                                shard::run_shard_buffered(shared, cfg, scheduler, tx, links, estats)
+                                shard::run_shard_buffered(
+                                    shared, cfg, scheduler, tx, links, estats, progress, state,
+                                    driver, 0,
+                                )
                             })
                             .expect("spawning shard worker"),
                     );
                 }
+                if resurrection {
+                    let shared = Arc::clone(&shared);
+                    let config = config.clone();
+                    let links = Arc::clone(&links);
+                    let shard_stats = shard_stats.clone();
+                    let progresses = progresses.clone();
+                    respawn = Some(Box::new(move |shard, gen, bequest| {
+                        let shared = Arc::clone(&shared);
+                        let cfg = shard_config(&config, shard);
+                        let links = Arc::clone(&links);
+                        let estats = Arc::clone(&shard_stats[shard]);
+                        let progress = Arc::clone(&progresses[shard]);
+                        std::thread::Builder::new()
+                            .name(format!("err-shard-{shard}r{gen}"))
+                            .spawn(move || {
+                                let fault::Bequest {
+                                    scheduler,
+                                    driver,
+                                    now,
+                                    egress,
+                                } = bequest;
+                                let (tx, state) = match egress {
+                                    fault::BequestEgress::Buffered { tx, state } => (tx, state),
+                                    fault::BequestEgress::Sync(_) => {
+                                        unreachable!("buffered runtime never posts a sync bequest")
+                                    }
+                                };
+                                shard::run_shard_buffered(
+                                    shared, cfg, scheduler, tx, links, estats, progress, state,
+                                    driver, now,
+                                )
+                            })
+                            .expect("spawning successor worker")
+                    }));
+                }
                 controller = Some(EgressController::new(links, injector, shard_stats));
             }
         }
+
+        let supervisor = shared.fault.as_ref().map(|_| {
+            let stop = Arc::new(AtomicBool::new(false));
+            let shared = Arc::clone(&shared);
+            let stop2 = Arc::clone(&stop);
+            let respawn = respawn.take();
+            let handle = std::thread::Builder::new()
+                .name("err-supervisor".into())
+                .spawn(move || fault::run_supervisor(shared, stop2, respawn))
+                .expect("spawning supervisor");
+            (stop, handle)
+        });
 
         let handle = RuntimeHandle {
             shared: Arc::clone(&shared),
@@ -469,13 +595,31 @@ impl Runtime {
         });
         let final_deadline = timeout.map(|t| start + t);
         let mut forced = false;
+        // Wedge forensics: `ERR_DRAIN_DEBUG=1` dumps the exit-gate
+        // inputs (per-shard liveness, ring depth, backlog, migration
+        // slot phases) every ~0.5 s of drain so a hung shutdown names
+        // the shard and the protocol phase it is stuck behind.
+        let debug_drain = std::env::var_os("ERR_DRAIN_DEBUG").is_some();
+        let mut debug_polls: u64 = 0;
         loop {
             // Unpark idle workers; they would wake at the park timeout
             // anyway, this shaves the last <=100us per shard.
             for worker in &self.workers {
                 worker.thread().unpark();
             }
-            if self.workers.iter().all(|w| w.is_finished()) {
+            // Under resurrection the drain must also wait out successor
+            // workers *and* bequests the supervisor has not yet adopted.
+            // Both are read under the successors lock — the supervisor's
+            // take→spawn→push runs under the same lock, so there is no
+            // instant where a dying shard is in neither set.
+            let lineage_done = match self.shared.fault.as_ref() {
+                Some(fr) => {
+                    let succ = fault::lock_unpoisoned(&fr.successors);
+                    succ.iter().all(|(_, h)| h.is_finished()) && !fr.resurrection_pending()
+                }
+                None => true,
+            };
+            if lineage_done && self.workers.iter().all(|w| w.is_finished()) {
                 break;
             }
             let now = Instant::now();
@@ -494,6 +638,30 @@ impl Runtime {
             if let Some(f) = final_deadline {
                 if now >= f {
                     break;
+                }
+            }
+            debug_polls += 1;
+            if debug_drain && debug_polls.is_multiple_of(5000) {
+                eprintln!("[drain-debug] poll {debug_polls}");
+                for (i, w) in self.workers.iter().enumerate() {
+                    eprintln!(
+                        "  shard {i}: finished={} ring_len={} backlog={} parks={}",
+                        w.is_finished(),
+                        self.shared.rings[i].len(),
+                        self.shared.stats[i].backlog_flits.get(),
+                        self.shared.stats[i].parks.get(),
+                    );
+                }
+                if let Some(sr) = self.shared.steal.as_ref() {
+                    for (i, s) in sr.slots.iter().enumerate() {
+                        eprintln!(
+                            "  slot {i}: phase={:?} thief={:?} donor={:?} flow={:?}",
+                            s.phase(),
+                            s.thief(),
+                            s.donor(),
+                            s.flow(),
+                        );
+                    }
                 }
             }
             if timeout.is_some() {
@@ -516,12 +684,14 @@ impl Runtime {
             match worker.join() {
                 Ok(cycles) => {
                     // A supervised worker that panicked returns normally
-                    // after salvage; the board remembers the death.
+                    // after salvage or bequeath; the death stamp
+                    // remembers it even after a resurrection sets the
+                    // health back to Running/Exited (§13.6).
                     let died = self
                         .shared
                         .fault
                         .as_ref()
-                        .is_some_and(|fr| fr.board.health(shard) == ShardHealth::Dead);
+                        .is_some_and(|fr| fr.board.death_micros(shard).is_some());
                     exits.push(if died {
                         ShardExit::Panicked
                     } else {
@@ -540,6 +710,51 @@ impl Runtime {
             // Acquire `stop` load (fault.rs) — a plain shutdown latch.
             stop.store(true, Ordering::Release);
             let _ = handle.join();
+        }
+        // Successor workers (§13.6), joined after the supervisor so no
+        // further ones can spawn. A successor's clock continues its
+        // predecessor's, so its return value supersedes the original
+        // worker's for that shard.
+        let successors: Vec<(usize, JoinHandle<u64>)> = match self.shared.fault.as_ref() {
+            Some(fr) => std::mem::take(&mut *fault::lock_unpoisoned(&fr.successors)),
+            None => Vec::new(),
+        };
+        for (shard, handle) in successors {
+            if timeout.is_some() && !handle.is_finished() {
+                if let Some(e) = exits.get_mut(shard) {
+                    *e = ShardExit::Abandoned;
+                }
+                drop(handle);
+                continue;
+            }
+            match handle.join() {
+                Ok(cycles) => {
+                    if let Some(c) = shard_cycles.get_mut(shard) {
+                        *c = (*c).max(cycles);
+                    }
+                }
+                Err(_) => {
+                    if let Some(e) = exits.get_mut(shard) {
+                        *e = ShardExit::Panicked;
+                    }
+                }
+            }
+        }
+        // Bequests nobody adopted (the abort or the deadline beat the
+        // supervisor to them): account their residual state as lost,
+        // exactly like an aborted worker's (§9.4) — the packets are in
+        // the bequeathed scheduler, so the accounting is exact.
+        if let Some(fr) = self.shared.fault.as_ref() {
+            for shard in 0..fr.board.shards() {
+                if let Some(mut bq) = fr.take_bequest(shard) {
+                    fault::abort_residuals(
+                        &self.shared,
+                        shard,
+                        fr.own.map.n_flows(),
+                        &mut bq.scheduler,
+                    );
+                }
+            }
         }
         // Workers are gone (or abandoned): the flushers may final-
         // deliver everything buffered. "Closed and empty" is a stable
@@ -745,16 +960,60 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "requires EgressMode::Sync")]
-    fn stealing_rejects_buffered_egress() {
-        let _ = Runtime::start(RuntimeConfig {
-            stealing: Some(StealingConfig::default()),
+    fn stealing_under_buffered_egress_conserves() {
+        // The §13.5 composition: stealing with per-link credit egress.
+        // Same skew as the sync test; the donor's retire fence must
+        // neither wedge handoffs nor interleave a wormhole, and every
+        // flit must reach a flusher.
+        let (rt, handle) = Runtime::start(RuntimeConfig {
+            shards: 4,
+            n_flows: 8,
+            ring_capacity: 1 << 15,
+            stealing: Some(StealingConfig {
+                min_gap: 64,
+                ..StealingConfig::default()
+            }),
             egress: EgressMode::Buffered(BufferedConfig {
-                ring_capacity: 64,
-                credits: 8,
-                n_links: 1,
+                ring_capacity: 256,
+                credits: 64,
+                n_links: 2,
                 ..BufferedConfig::default()
             }),
+            ..RuntimeConfig::default()
+        });
+        let mut flits = 0u64;
+        for id in 0..30_000u64 {
+            let (flow, len) = if id % 8 < 7 {
+                (0usize, 16u32)
+            } else {
+                ((1 + (id % 7)) as usize, 4u32)
+            };
+            flits += len as u64;
+            handle.submit(Packet::new(id, flow, len, 0)).unwrap();
+        }
+        while handle.stats().served_packets() < 30_000 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let report = rt.shutdown();
+        assert!(report.is_conserving(), "{report:?}");
+        assert_eq!(report.served_packets(), 30_000);
+        assert_eq!(report.stats.served_flits(), flits);
+        assert_eq!(report.stats.flushed_flits(), flits, "no flit stranded");
+        let migrations = report.stats.migrations();
+        let donated: u64 = report.stats.shards.iter().map(|s| s.donated_out).sum();
+        assert_eq!(migrations, donated, "every extract has its absorb");
+        assert!(
+            migrations >= 1,
+            "87% skew on 4 shards should steal under buffered egress too: {report:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "resurrection")]
+    fn stealing_with_supervision_requires_resurrection() {
+        let _ = Runtime::start(RuntimeConfig {
+            stealing: Some(StealingConfig::default()),
+            supervision: Some(SupervisionConfig::default()),
             ..RuntimeConfig::default()
         });
     }

@@ -1,34 +1,55 @@
-//! Flow migration & work stealing across shards (DESIGN.md §8).
+//! Work stealing / flow migration between shards (DESIGN.md §8), built
+//! on the §13 ownership authority.
 //!
-//! The static SplitMix64 partition balances flow *counts*, not flit
-//! load: under a skewed (e.g. Zipf) rate distribution one shard can own
-//! most of the offered flits while its neighbours idle. This module
-//! implements the two-phase quiesce→handoff protocol specified in
-//! DESIGN.md §8 — which the code here must match, state for state:
-//!
-//! * [`FlowMap`] — the epoch-stamped flow→shard routing overlay
-//!   consulted by every `submit`;
-//! * [`LoadBoard`] — per-shard projected finish + backlog, relaxed
-//!   atomics;
-//! * [`MigrationSlot`] + [`MigrationPhase`] — the single global
-//!   migration state machine (`Idle → Requested → Quiescing → Draining
-//!   → InTransit → Idle`);
-//! * `MigrationDriver` (crate-private) — the per-worker tick that
-//!   advances whatever role (thief or donor) its shard currently plays;
-//! * [`StealingConfig`] — the hysteresis policy knobs.
+//! The scheme in one paragraph: every shard publishes its projected
+//! finish time and backlog on a lock-free [`LoadBoard`]. A near-idle
+//! shard (the *thief*) claims its own [`MigrationSlot`] naming a donor;
+//! the donor picks its most backlogged flow, takes a per-flow
+//! `Stealing` claim from the [`Ownership`] authority, and hands the
+//! flow over through the five-phase protocol ([`MigrationPhase`],
+//! `Idle → Requested → Quiescing → Draining → InTransit → Idle`) whose
+//! linearization point is the authority's epoch-CAS reroute. There is
+//! one slot *per thief* (§13.4), so several thieves can pull from one
+//! hot donor concurrently — per-flow claims keep any two slots off the
+//! same flow. Under buffered egress the donor additionally waits out
+//! the egress-retire fence (§13.5) before flipping the map: every flit
+//! it pushed for the victim must have been delivered or dead-lettered
+//! by its flusher, or two flushers could interleave the flow's packets
+//! on one link.
 //!
 //! The scheduler-side state package ([`MigratedFlow`]) and the
-//! extract/absorb operations live in `err_sched::migrate`; this module
-//! owns the *runtime* side: when to steal, how to quiesce, and why no
-//! packet is lost or reordered while a flow changes homes.
+//! extract/absorb operations live in `err_sched::migrate`; the routing
+//! map, submit windows, and per-flow claims live in
+//! [`crate::ownership`]. This module owns the *orchestration*: when to
+//! steal, how to quiesce, and why no packet is lost or reordered while
+//! a flow changes homes.
+//!
+//! Locking note: all slot *transitions* serialize through the slot's
+//! package mutex (cold path — a handful per migration), so an abort
+//! racing a grant can never clobber the other side's cell writes. Slot
+//! *reads* (`phase`, `involves`) stay lock-free atomics.
 
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
+use desim::Cycle;
+use err_egress::{FlushProgress, LinkSet};
 use err_sched::migrate::MigratedFlow;
-use err_sched::Scheduler;
+use err_sched::{Scheduler, ServedFlit};
 
-use crate::ingress::{mix_flow, Shared};
+use crate::fault::lock_unpoisoned;
+use crate::ingress::Shared;
+use crate::ownership::{ClaimToken, OwnerState, Ownership};
+
+/// Sentinel for "no shard / no flow" in the slot's atomic cells.
+const NONE: usize = usize::MAX;
+/// Sentinel for "unset" in the slot's u64 cells (drain/fence targets).
+const UNSET: u64 = u64::MAX;
+/// Donor ticks a buffered-egress fence may pend before the steal
+/// aborts (§13.5). Generous: the fence only stalls behind a frozen or
+/// dead link, and an abort is cheap (the map never flipped).
+const FENCE_BUDGET: u64 = 1 << 16;
 
 /// Policy knobs for work stealing (DESIGN.md §8.5). The defaults are
 /// deliberately conservative: near-balanced shards must never trade
@@ -39,16 +60,17 @@ pub struct StealingConfig {
     /// evaluations while busy (idle workers poll every loop).
     pub poll_interval: u32,
     /// A shard considers stealing only when its own backlog (flits) is
-    /// below this — stealing while busy moves queues, not makespan.
+    /// below a quarter of this, and a donor must carry at least this
+    /// much backlog to be robbed.
     pub steal_threshold: u64,
     /// Absolute hysteresis floor in flits, twice over: the donor's
     /// projected finish must exceed the thief's by at least this, and
-    /// a donor serves at least this many cycles between handoffs (the
-    /// serve-chunk guard, §8.5).
+    /// a donor serves at least this many cycles between handoff grants
+    /// (the serve-chunk guard, §8.5).
     pub min_gap: u64,
-    /// Polls during which a shard that just took part in a migration
-    /// (either role) initiates nothing — its own board entry must
-    /// refresh before it reasons from the board again.
+    /// Polls during which a shard that just completed a steal initiates
+    /// nothing — its own board entry must refresh before it reasons
+    /// from the board again.
     pub cooldown_polls: u32,
 }
 
@@ -63,104 +85,75 @@ impl Default for StealingConfig {
     }
 }
 
-/// Per-shard *projected finish* (flit clock + backlog) and the backlog
-/// term by itself, a pair of relaxed atomics per shard (DESIGN.md
-/// §8.1). Each worker updates only its own entries; everyone reads all
-/// of them. Relaxed is enough: the board only steers a heuristic —
-/// staleness costs efficiency, never correctness.
-///
-/// Projected finish is the quantity `flits_per_shard_cycle` maximizes
-/// over (total flits / max shard clock), and unlike instantaneous
-/// idleness it is noise-free: the clock is monotone and the backlog
-/// only falls when flits are really served, so an arrival gap — or a
-/// time-sliced core whose producers are simply not running during this
-/// worker's slice — does not masquerade as need (§8.5). The backlog
-/// rides along because projected finish alone cannot tell a laggard
-/// from a finisher: a drained shard publishes `finish = clock`, a
-/// record of work done rather than a forecast, and the policy uses the
-/// backlog to keep such shards out of the donor pool and out of the
-/// thief competition.
+/// Lock-free per-shard load summary: projected finish time and backlog
+/// flits, updated by each worker once per service loop (DESIGN.md §8.1).
 pub struct LoadBoard {
     finish: Vec<AtomicU64>,
     backlog: Vec<AtomicU64>,
 }
 
 impl LoadBoard {
-    /// A board for `shards` shards, all projected finishes and
-    /// backlogs zero.
-    pub fn new(shards: usize) -> Self {
+    pub(crate) fn new(shards: usize) -> Self {
         Self {
             finish: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             backlog: (0..shards).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
-    /// Publishes `shard`'s projected finish (its flit clock plus its
-    /// instantaneous flit load: scheduler backlog + ingress-ring
-    /// occupancy) and that flit load by itself. Single writer per
-    /// entry, so plain stores are race-free; the pair is not read
-    /// atomically, which is fine for a heuristic.
-    pub fn update(&self, shard: usize, projected_finish: u64, backlog: u64) {
-        self.finish[shard].store(projected_finish, Ordering::Relaxed);
+    /// Publishes `shard`'s current projected finish and backlog.
+    pub(crate) fn update(&self, shard: usize, now: Cycle, backlog: u64) {
+        // ordering: Relaxed — the board is a heuristic input to the
+        // stealing policy; a stale read costs at most one deferred or
+        // spurious steal attempt, never correctness (§8.1).
+        self.finish[shard].store(now + backlog, Ordering::Relaxed);
         self.backlog[shard].store(backlog, Ordering::Relaxed);
     }
 
-    /// `shard`'s published projected finish.
+    /// Projected finish time (flit clock + backlog) of `shard`.
     pub fn load(&self, shard: usize) -> u64 {
+        // ordering: Relaxed — heuristic read, see `update`.
         self.finish[shard].load(Ordering::Relaxed)
     }
 
-    /// `shard`'s published backlog (flits).
+    /// Last published backlog of `shard`.
     pub fn backlog(&self, shard: usize) -> u64 {
+        // ordering: Relaxed — heuristic read, see `update`.
         self.backlog[shard].load(Ordering::Relaxed)
     }
 
-    /// The donor candidate for `me` (DESIGN.md §8.5): the shard with
-    /// the largest projected finish among shards other than `me` whose
-    /// backlog is at least `min_backlog`. The floor keeps drained
-    /// shards — whose projected finish is their final clock, history
-    /// rather than forecast — and shards with only scraps left out of
-    /// the donor pool.
-    pub fn richest_donor(&self, me: usize, min_backlog: u64) -> Option<usize> {
-        (0..self.finish.len())
-            .filter(|&s| s != me && self.backlog(s) >= min_backlog)
-            .max_by_key(|&s| self.load(s))
-    }
-
-    /// The smallest projected finish among shards other than `me` that
-    /// are themselves eligible thieves (backlog below
-    /// `thief_threshold`) — the competition the minimum-finish gate
-    /// compares against. `u64::MAX` when no such shard exists: a busy
-    /// shard cannot steal, so its low projected finish must not veto
-    /// the idle ones.
-    pub fn min_thief_finish(&self, me: usize, thief_threshold: u64) -> u64 {
-        (0..self.finish.len())
-            .filter(|&s| s != me && self.backlog(s) < thief_threshold)
-            .map(|s| self.load(s))
-            .min()
-            .unwrap_or(u64::MAX)
+    /// The shard with the largest backlog at least `min_backlog`,
+    /// excluding `me`; `None` when nobody qualifies.
+    pub(crate) fn richest_donor(&self, me: usize, min_backlog: u64) -> Option<usize> {
+        let mut best: Option<(usize, u64)> = None;
+        for s in 0..self.backlog.len() {
+            if s == me {
+                continue;
+            }
+            let b = self.backlog(s);
+            if b >= min_backlog && best.map(|(_, bb)| b > bb).unwrap_or(true) {
+                best = Some((s, b));
+            }
+        }
+        best.map(|(s, _)| s)
     }
 }
 
-/// Phase of the (single, global) migration in flight — DESIGN.md §8.2.
-/// Each transition is owned by exactly one side (thief or donor
-/// worker), so no transition races with itself.
+/// Phases of one migration handoff (DESIGN.md §8.2). The slot steps
+/// `Idle → Requested → Quiescing → Draining → InTransit → Idle`; each
+/// arrow is owned by exactly one side (thief or donor).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[repr(u8)]
 pub enum MigrationPhase {
-    /// No migration in flight; the slot is free to claim.
+    /// No handoff in progress on this slot.
     Idle = 0,
-    /// A thief claimed the slot and named a donor; the donor has not
-    /// yet picked a victim.
+    /// The slot's thief has named a donor and waits for a grant.
     Requested = 1,
-    /// The donor parked the victim and published it; waiting for the
-    /// thief to park its side and ack.
+    /// The donor picked and claimed a victim flow; both sides park it.
     Quiescing = 2,
-    /// The FlowMap has flipped; the donor waits out the victim's
-    /// submit window, then pumps its ring to the recorded drain target.
+    /// The commit phase: the donor flips the map (epoch CAS), waits out
+    /// the submit window, and drains its ring past the flip point.
     Draining = 3,
-    /// The donor published the extracted [`MigratedFlow`] package; the
-    /// thief absorbs and unparks.
+    /// The extracted package is published; the thief absorbs it.
     InTransit = 4,
 }
 
@@ -177,250 +170,219 @@ impl MigrationPhase {
     }
 }
 
-/// The single global migration slot (DESIGN.md §8.1): at most one
-/// migration is in flight system-wide, which bounds protocol complexity
-/// and means the handoff never has to compose with itself. The
-/// hysteresis policy, not slot contention, limits the rebalancing rate.
+/// One thief's migration slot (§13.4): the rendezvous cell for a single
+/// in-flight handoff. The runtime holds one slot per shard, indexed by
+/// the thief, so distinct thieves never contend for a slot — per-flow
+/// `Stealing` claims in [`Ownership`] keep them off each other's
+/// victims instead.
 pub struct MigrationSlot {
     phase: AtomicU8,
     thief: AtomicUsize,
     donor: AtomicUsize,
     flow: AtomicUsize,
+    /// Thief→donor signal that the victim is parked at the new home.
     thief_ack: AtomicBool,
-    /// The extracted flow state, donor → thief. A mutex is fine here:
-    /// it is touched twice per migration, never on the packet path.
+    /// Epoch recorded by the donor's `Stealing` claim — the material to
+    /// reconstruct the [`ClaimToken`] on whichever side finishes.
+    claim_epoch: AtomicU64,
+    /// Donor-side ring-drain cursor (enqueue position at flip time).
+    drain_target: AtomicU64,
+    /// Donor-side egress-retire fence snapshot (§13.5; buffered only).
+    fence_target: AtomicU64,
+    /// Donor ticks spent waiting on the fence (abort budget).
+    fence_ticks: AtomicU64,
+    /// The extracted flow state, donor → thief; doubles as the slot's
+    /// transition lock (see the module docs).
     package: Mutex<Option<MigratedFlow>>,
 }
 
-impl Default for MigrationSlot {
-    fn default() -> Self {
+impl MigrationSlot {
+    fn new() -> Self {
         Self {
             phase: AtomicU8::new(MigrationPhase::Idle as u8),
-            thief: AtomicUsize::new(usize::MAX),
-            donor: AtomicUsize::new(usize::MAX),
-            flow: AtomicUsize::new(usize::MAX),
+            thief: AtomicUsize::new(NONE),
+            donor: AtomicUsize::new(NONE),
+            flow: AtomicUsize::new(NONE),
             thief_ack: AtomicBool::new(false),
+            claim_epoch: AtomicU64::new(UNSET),
+            drain_target: AtomicU64::new(UNSET),
+            fence_target: AtomicU64::new(UNSET),
+            fence_ticks: AtomicU64::new(0),
             package: Mutex::new(None),
         }
     }
-}
 
-impl MigrationSlot {
     /// Current phase.
     pub fn phase(&self) -> MigrationPhase {
-        // ordering: SeqCst — the migration state machine is advanced
-        // by thief, donor, and exiting workers; every participant must
-        // see phase transitions in one total order or two shards could
-        // both believe they hold the hand-off baton (DESIGN.md §8.2).
+        // ordering: SeqCst — the phase byte sequences every cross-side
+        // protocol step; both sides' reads must agree with the
+        // transitions in one total order (§8.2).
         MigrationPhase::from_u8(self.phase.load(Ordering::SeqCst))
     }
 
-    /// The claiming (stealing) shard; valid while the phase is not
-    /// [`MigrationPhase::Idle`].
-    pub fn thief(&self) -> usize {
-        // ordering: SeqCst — read against the SeqCst phase machine;
-        // published in `try_claim` before the Requested flip.
-        self.thief.load(Ordering::SeqCst)
+    /// The requesting shard, or `None` outside a handoff.
+    pub fn thief(&self) -> Option<usize> {
+        // ordering: SeqCst — read against the phase protocol.
+        match self.thief.load(Ordering::SeqCst) {
+            NONE => None,
+            s => Some(s),
+        }
     }
 
-    /// The shard being stolen from; valid while the phase is not
-    /// [`MigrationPhase::Idle`].
-    pub fn donor(&self) -> usize {
-        // ordering: SeqCst — see `thief`.
-        self.donor.load(Ordering::SeqCst)
+    /// The donating shard, or `None` outside a handoff.
+    pub fn donor(&self) -> Option<usize> {
+        // ordering: SeqCst — read against the phase protocol.
+        match self.donor.load(Ordering::SeqCst) {
+            NONE => None,
+            s => Some(s),
+        }
     }
 
-    /// The victim flow; valid from [`MigrationPhase::Quiescing`] on.
-    pub fn flow(&self) -> usize {
-        // ordering: SeqCst — published by the donor before the
-        // Quiescing flip; same total order as the phase machine.
-        self.flow.load(Ordering::SeqCst)
+    /// The victim flow, once the donor has chosen one.
+    pub fn flow(&self) -> Option<usize> {
+        // ordering: SeqCst — read against the phase protocol.
+        match self.flow.load(Ordering::SeqCst) {
+            NONE => None,
+            f => Some(f),
+        }
     }
 
-    /// Whether this shard is a party to the migration in flight — the
-    /// extra worker-exit clause of DESIGN.md §8.6.
-    pub fn involves(&self, shard: usize) -> bool {
-        self.phase() != MigrationPhase::Idle && (self.thief() == shard || self.donor() == shard)
+    /// Whether `shard` is a party (thief or donor) to this handoff.
+    pub(crate) fn involves(&self, shard: usize) -> bool {
+        self.phase() != MigrationPhase::Idle
+            && (self.thief() == Some(shard) || self.donor() == Some(shard))
     }
 
-    /// Thief claims the idle slot, naming itself and `donor`. The
-    /// claim is serialized through the package mutex so a losing
-    /// claimant can never tear the winner's thief/donor fields.
+    /// Thief-side slot acquisition: `Idle → Requested` naming a donor.
     pub(crate) fn try_claim(&self, thief: usize, donor: usize) -> bool {
-        let guard = self.package.lock().expect("slot mutex");
+        let _guard = lock_unpoisoned(&self.package);
         if self.phase() != MigrationPhase::Idle {
             return false;
         }
-        // ordering: SeqCst ×4 — identity fields land before the phase
-        // flip in the one total order all parties read them through
-        // (see `phase`); the Requested store is the publication point.
+        // ordering: SeqCst — the role cells must be visible before the
+        // phase store publishes the request (phase is the guard word).
         self.thief.store(thief, Ordering::SeqCst);
         self.donor.store(donor, Ordering::SeqCst);
+        self.flow.store(NONE, Ordering::SeqCst);
         self.thief_ack.store(false, Ordering::SeqCst);
-        self.phase
-            .store(MigrationPhase::Requested as u8, Ordering::SeqCst);
-        drop(guard);
+        self.claim_epoch.store(UNSET, Ordering::SeqCst);
+        self.drain_target.store(UNSET, Ordering::SeqCst);
+        // ordering: SeqCst — same publish-before-phase rule as above.
+        self.fence_target.store(UNSET, Ordering::SeqCst);
+        self.fence_ticks.store(0, Ordering::SeqCst);
+        self.store_phase(MigrationPhase::Requested);
         true
     }
 
-    fn cas_phase(&self, from: MigrationPhase, to: MigrationPhase) -> bool {
-        // ordering: SeqCst/SeqCst — phase transitions race (thief
-        // abort vs donor advance); the single total order makes
-        // exactly one of the racing CASes win (see `phase`).
-        self.phase
-            .compare_exchange(from as u8, to as u8, Ordering::SeqCst, Ordering::SeqCst)
-            .is_ok()
-    }
-
     fn store_phase(&self, to: MigrationPhase) {
-        // ordering: SeqCst — see `phase`.
+        // ordering: SeqCst — every phase transition must land in the
+        // single total order both sides' phase reads observe.
         self.phase.store(to as u8, Ordering::SeqCst);
     }
-}
 
-/// The epoch-stamped flow→shard routing overlay (DESIGN.md §8.1): one
-/// atomic per flow packing `(epoch << 32) | shard`. Producers consult
-/// it inside `submit`; the donor flips it with one `SeqCst` store — the
-/// instant that separates a flow's old home from its new one. Flows
-/// outside the configured id space fall back to the static hash and
-/// never migrate.
-pub struct FlowMap {
-    entries: Vec<AtomicU64>,
-    shards: usize,
-}
+    /// Resets the slot to `Idle`. Callers must hold the package mutex
+    /// and must already have released (or forfeited) the flow claim.
+    fn reset_locked(&self) {
+        // ordering: SeqCst — role cells cleared before the phase store
+        // re-opens the slot.
+        self.thief.store(NONE, Ordering::SeqCst);
+        self.donor.store(NONE, Ordering::SeqCst);
+        self.flow.store(NONE, Ordering::SeqCst);
+        self.thief_ack.store(false, Ordering::SeqCst);
+        self.claim_epoch.store(UNSET, Ordering::SeqCst);
+        self.store_phase(MigrationPhase::Idle);
+    }
 
-impl FlowMap {
-    /// Builds the overlay at epoch 0, matching the static partition.
-    pub fn new(n_flows: usize, shards: usize) -> Self {
-        Self {
-            entries: (0..n_flows)
-                .map(|f| AtomicU64::new(mix_flow(f) % shards as u64))
-                .collect(),
-            shards,
+    /// Reconstructs the donor's claim token from the slot cells.
+    fn token(&self) -> Option<ClaimToken> {
+        let flow = self.flow()?;
+        let thief = self.thief()?;
+        // ordering: SeqCst — read against the phase protocol.
+        match self.claim_epoch.load(Ordering::SeqCst) {
+            UNSET => None,
+            e => Some(ClaimToken::stealing(flow, thief, e as u32)),
         }
     }
-
-    /// Flows covered by the overlay.
-    pub fn n_flows(&self) -> usize {
-        self.entries.len()
-    }
-
-    /// The shard `flow` currently routes to, or `None` for flows
-    /// outside the overlay (static fallback, never migrated).
-    pub fn shard_of(&self, flow: usize) -> Option<usize> {
-        // ordering: SeqCst — producer half of the submit-window Dekker
-        // (§8.3): this map read sits between the SeqCst window enter
-        // and the ring push; one total order against `reroute`'s flip
-        // plus the drain's window zero-check means a flip the producer
-        // missed still sees the producer counted in the window.
-        self.entries
-            .get(flow)
-            .map(|e| (e.load(Ordering::SeqCst) & 0xFFFF_FFFF) as usize)
-    }
-
-    /// `flow`'s migration epoch (0 until first stolen).
-    pub fn epoch_of(&self, flow: usize) -> u64 {
-        // ordering: SeqCst — same read side as `shard_of`.
-        self.entries
-            .get(flow)
-            .map_or(0, |e| e.load(Ordering::SeqCst) >> 32)
-    }
-
-    /// Re-homes `flow` to `shard`, bumping its epoch, in one `SeqCst`
-    /// store. Donor-only, and only while the flow is parked on both
-    /// sides (DESIGN.md §8.3 fence 1).
-    pub(crate) fn reroute(&self, flow: usize, shard: usize) {
-        debug_assert!(shard < self.shards);
-        // ordering: SeqCst load — donor-only writer, so the load just
-        // joins the same total order as the store below.
-        let old = self.entries[flow].load(Ordering::SeqCst);
-        let epoch = (old >> 32) + 1;
-        // ordering: SeqCst — the flip side of the submit-window Dekker
-        // (§8.3 fence 1): ordered against `shard_of`'s SeqCst read and
-        // the window zero-check so no producer can route to the old
-        // home unseen.
-        self.entries[flow].store((epoch << 32) | shard as u64, Ordering::SeqCst);
-    }
 }
 
-/// Shared stealing state hung off the runtime's `Shared` block.
+/// Work-stealing state hung off the runtime's `Shared` block.
 pub(crate) struct StealRuntime {
-    pub(crate) map: FlowMap,
-    /// Per-flow submit window (DESIGN.md §8.3 fence 2): the count of
-    /// producers currently between "read the FlowMap" and "push
-    /// completed" for this flow. SeqCst on both sides gives the
-    /// Dekker-style dichotomy the drain target relies on.
-    pub(crate) window: Vec<AtomicU32>,
+    /// The §13 ownership authority (map + windows + claims), shared
+    /// with the fault layer when supervision is also on.
+    pub(crate) own: Arc<Ownership>,
     pub(crate) board: LoadBoard,
-    pub(crate) slot: MigrationSlot,
+    /// One slot per thief shard (§13.4).
+    pub(crate) slots: Vec<MigrationSlot>,
     pub(crate) config: StealingConfig,
 }
 
 impl StealRuntime {
-    pub(crate) fn new(n_flows: usize, shards: usize, config: StealingConfig) -> Self {
+    pub(crate) fn new(own: Arc<Ownership>, shards: usize, config: StealingConfig) -> Self {
         Self {
-            map: FlowMap::new(n_flows, shards),
-            window: (0..n_flows).map(|_| AtomicU32::new(0)).collect(),
+            own,
             board: LoadBoard::new(shards),
-            slot: MigrationSlot::default(),
+            slots: (0..shards).map(|_| MigrationSlot::new()).collect(),
             config,
         }
     }
 
-    /// Whether no producer currently holds `flow`'s submit window.
-    fn window_clear(&self, flow: usize) -> bool {
-        // ordering: SeqCst — drain half of the §8.3 fence-2 Dekker:
-        // ordered after the map flip, so any producer this check does
-        // not count is guaranteed to have read the flipped map.
-        self.window[flow].load(Ordering::SeqCst) == 0
+    /// Whether any in-flight handoff names `shard` (exit guard, §8.6).
+    pub(crate) fn involves(&self, shard: usize) -> bool {
+        self.slots.iter().any(|s| s.involves(shard))
+    }
+
+    /// Whether any handoff naming `shard` is past `Requested` — the
+    /// hot-spin criterion (a pending request can legitimately wait out
+    /// the donor's serve-chunk guard; later phases cannot).
+    pub(crate) fn hot_handoff(&self, shard: usize) -> bool {
+        self.slots
+            .iter()
+            .any(|s| s.involves(shard) && s.phase() != MigrationPhase::Requested)
     }
 }
 
-/// RAII bracket for the per-flow submit window: `enter` before reading
-/// the FlowMap, dropped after the ring push completes (on every exit
-/// path, including drop-tail and closed returns).
-pub(crate) struct WindowGuard<'a> {
-    counter: &'a AtomicU32,
+/// Buffered-egress context the worker lends to [`MigrationDriver::tick`]
+/// (§13.5): the donor's retire fence reads the flusher's progress
+/// cursor against the worker's own pushed count; the thief's absorb
+/// respects per-link credit parking.
+pub(crate) struct BufferedStealCtx<'a> {
+    pub(crate) links: &'a LinkSet,
+    pub(crate) link_parked: &'a [bool],
+    /// Flits this worker has pushed to its egress ring so far.
+    pub(crate) pushed: u64,
+    /// This shard's flusher retire cursor.
+    pub(crate) progress: &'a FlushProgress,
+    /// The worker's per-link stash of served-but-uncommitted flits.
+    pub(crate) stash: &'a [Option<ServedFlit>],
 }
 
-impl<'a> WindowGuard<'a> {
-    /// Brackets a window counter — the stealing and fault overlays
-    /// (DESIGN.md §8.3 fence 2, §9.2) both maintain per-flow windows
-    /// with the same Dekker discipline, entered via
-    /// `Shared::flow_window`.
-    pub(crate) fn enter_counter(counter: &'a AtomicU32) -> Self {
-        // ordering: SeqCst — producer half of the §8.3 fence-2 Dekker:
-        // the increment precedes the FlowMap read in the total order,
-        // so a drain that sees zero knows this producer will read the
-        // flipped map.
-        counter.fetch_add(1, Ordering::SeqCst);
-        Self { counter }
+impl BufferedStealCtx<'_> {
+    /// Whether every flit of `flow` this worker emitted before the
+    /// `snapshot` push count has been retired downstream (§13.5): the
+    /// flusher's pending-free watermark passed the snapshot, and no
+    /// flit of the flow sits stashed on the worker.
+    fn flow_retired(&self, flow: usize, snapshot: u64) -> bool {
+        let stash_clear = self.stash[self.links.route(flow)]
+            .map(|f| f.flow != flow)
+            .unwrap_or(true);
+        stash_clear && self.progress.retired() >= snapshot
     }
 }
 
-impl Drop for WindowGuard<'_> {
-    fn drop(&mut self) {
-        // ordering: SeqCst — the exit must not sink below the ring
-        // push it brackets; the drain's zero-check relies on it.
-        self.counter.fetch_sub(1, Ordering::SeqCst);
-    }
-}
-
-/// Per-worker migration driver: one lives on each shard worker's stack
-/// and is ticked once per service loop. It advances whatever role the
-/// shard currently plays in the global slot's state machine and
-/// evaluates the stealing policy at poll boundaries.
+/// Per-worker migration driver: the worker-thread half of the stealing
+/// protocol. Owns the thief-side policy state (poll pacing, cooldown)
+/// and the donor-side pacing (serve-chunk guard); everything shared
+/// lives in [`StealRuntime`]. Travels inside the §13.6 bequest when the
+/// shard dies, so a resurrected worker continues its in-flight
+/// handoffs instead of stranding them.
 pub(crate) struct MigrationDriver {
     shard: usize,
     loops_since_poll: u32,
     cooldown: u32,
-    /// This shard's flit clock at the completion of the last migration
-    /// it took part in (either role) — the serve-chunk guard (§8.5)
-    /// refuses to donate again before `min_gap` more cycles of service.
-    last_handoff_clock: u64,
-    /// Donor-side: the ring enqueue cursor recorded once the victim's
-    /// submit window cleared; `None` while still waiting for it.
-    drain_target: Option<usize>,
+    last_handoff_clock: Cycle,
+    /// Victim this thief parked locally for a pending handoff; unparked
+    /// if the donor aborts the slot back to `Idle`.
+    thief_parked: Option<usize>,
 }
 
 impl MigrationDriver {
@@ -430,243 +392,382 @@ impl MigrationDriver {
             loops_since_poll: 0,
             cooldown: 0,
             last_handoff_clock: 0,
-            drain_target: None,
+            thief_parked: None,
         }
     }
 
-    /// Advances the protocol one step, called after the worker's
-    /// intake+service phases (so the ring's dequeue cursor only ever
-    /// covers packets already inside the scheduler). `idle` is whether
-    /// that loop iteration moved nothing: idle workers poll the board
-    /// every tick (§8.5) — the `poll_interval` throttle only protects
-    /// the busy service path, and end-game rebalancing dies if a parked
-    /// shard reacts a park-timeout too late.
-    ///
-    /// `pre_backlog` is the shard's flit load sampled at *intake* time
-    /// (scheduler backlog after arrivals were enqueued, plus leftover
-    /// ring occupancy). Sampling at this post-service instant instead
-    /// would make a shard whose service keeps pace with its intake —
-    /// every batch drained within the loop that pulled it — publish a
-    /// perpetually empty queue, hiding exactly the inflow the donor
-    /// floor looks for (§8.1).
+    /// Advances this worker's role in every handoff that names it, and
+    /// evaluates the stealing policy at poll boundaries (DESIGN.md §8).
+    /// `egress` is `Some` under buffered egress (§13.5), `None` under
+    /// sync egress.
     pub(crate) fn tick(
         &mut self,
         shared: &Shared,
         scheduler: &mut Box<dyn Scheduler + Send>,
         idle: bool,
-        now: u64,
+        now: Cycle,
         pre_backlog: u64,
+        egress: Option<&BufferedStealCtx<'_>>,
     ) {
         let Some(st) = shared.steal.as_ref() else {
             return;
         };
-        let slot = &st.slot;
+        st.board.update(self.shard, now, pre_backlog);
 
-        self.loops_since_poll += 1;
-        if idle || self.loops_since_poll >= st.config.poll_interval {
-            self.loops_since_poll = 0;
-            st.board.update(self.shard, now + pre_backlog, pre_backlog);
-            if self.cooldown > 0 {
-                self.cooldown -= 1;
-            } else if slot.phase() == MigrationPhase::Idle && !shared.is_closed() {
-                self.maybe_request(st, pre_backlog, now + pre_backlog);
+        // Thief side: advance our own slot.
+        match st.slots[self.shard].phase() {
+            MigrationPhase::Idle => {
+                // A donor abort (fence timeout, seized claim, or
+                // withdrawal) reset the slot; unpark the victim we
+                // parked for it.
+                if let Some(flow) = self.thief_parked.take() {
+                    unpark_respecting_links(scheduler, flow, egress);
+                }
+            }
+            MigrationPhase::Requested => {
+                if shared.is_closed() && st.slots[self.shard].thief() == Some(self.shard) {
+                    // §8.6: no new handoffs once draining; withdraw.
+                    let slot = &st.slots[self.shard];
+                    let _guard = lock_unpoisoned(&slot.package);
+                    if slot.phase() == MigrationPhase::Requested {
+                        slot.reset_locked();
+                        shared.stats[self.shard].steal_aborts.add(1);
+                    }
+                }
+            }
+            MigrationPhase::Quiescing => self.thief_quiescing(st, scheduler),
+            MigrationPhase::Draining => {}
+            MigrationPhase::InTransit => self.thief_absorb(shared, st, scheduler, egress),
+        }
+
+        // Donor side: advance every slot that names us as donor. Each
+        // slot runs its own phase machine; per-flow claims keep them on
+        // distinct victims (§13.4).
+        for slot in &st.slots {
+            if slot.donor() != Some(self.shard) {
+                continue;
+            }
+            match slot.phase() {
+                MigrationPhase::Requested => {
+                    self.donor_grant(shared, st, slot, scheduler, now, pre_backlog, egress)
+                }
+                MigrationPhase::Quiescing => self.donor_fence(shared, st, slot, scheduler, egress),
+                MigrationPhase::Draining => {
+                    self.donor_drain(shared, st, slot, scheduler, now, egress)
+                }
+                _ => {}
             }
         }
 
-        match slot.phase() {
-            MigrationPhase::Idle => {}
-            MigrationPhase::Requested => self.tick_requested(shared, st, scheduler, now),
-            MigrationPhase::Quiescing => self.tick_quiescing(shared, st, scheduler),
-            MigrationPhase::Draining => self.tick_draining(shared, st, scheduler, now),
-            MigrationPhase::InTransit => self.tick_in_transit(shared, st, scheduler, now),
+        // Policy: should *we* go steal?
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            return;
         }
+        self.loops_since_poll += 1;
+        if !idle && self.loops_since_poll < st.config.poll_interval {
+            return;
+        }
+        self.loops_since_poll = 0;
+        self.maybe_request(shared, st, now, pre_backlog);
     }
 
-    /// Steal evaluation (DESIGN.md §8.5): request only when near-empty,
-    /// furthest behind among the shards that could steal at all, and
-    /// aimed at a donor with real work whose projected finish is worth
-    /// a handoff.
-    fn maybe_request(&mut self, st: &StealRuntime, my_backlog: u64, my_finish: u64) {
-        if my_backlog >= st.config.steal_threshold {
+    /// Thief policy (DESIGN.md §8.5): request a steal when near-empty
+    /// while some donor is rich enough that moving a flow helps.
+    fn maybe_request(&mut self, shared: &Shared, st: &StealRuntime, now: Cycle, backlog: u64) {
+        if shared.is_closed() || st.slots[self.shard].phase() != MigrationPhase::Idle {
             return;
         }
-        if my_finish
-            > st.board
-                .min_thief_finish(self.shard, st.config.steal_threshold)
-        {
+        // Near-empty check: we are about to go idle.
+        if backlog >= st.config.steal_threshold / 4 {
             return;
         }
-        let Some(donor) = st.board.richest_donor(self.shard, st.config.min_gap) else {
+        let Some(donor) = st
+            .board
+            .richest_donor(self.shard, st.config.steal_threshold)
+        else {
             return;
         };
-        if st.board.load(donor) > my_finish + st.config.min_gap {
-            st.slot.try_claim(self.shard, donor);
+        // Gap check: the imbalance must be worth a handoff.
+        if st.board.load(donor).saturating_sub(now + backlog) < st.config.min_gap {
+            return;
         }
+        st.slots[self.shard].try_claim(self.shard, donor);
     }
 
-    fn tick_requested(
+    /// Donor @ Requested: pick the richest unclaimed flow homed here,
+    /// take its `Stealing` claim, park it locally, and move the slot to
+    /// Quiescing. Grants are paced by the serve-chunk guard (§8.5).
+    #[allow(clippy::too_many_arguments)] // donor handlers share (shared, st, slot, scheduler, …, egress)
+    fn donor_grant(
         &mut self,
         shared: &Shared,
         st: &StealRuntime,
+        slot: &MigrationSlot,
         scheduler: &mut Box<dyn Scheduler + Send>,
-        now: u64,
+        now: Cycle,
+        backlog: u64,
+        egress: Option<&BufferedStealCtx<'_>>,
     ) {
-        let slot = &st.slot;
-        let me = self.shard;
-        if slot.thief() == me && shared.is_closed() {
-            // Abort the own pending request at shutdown; the CAS races
-            // the donor's Requested→Quiescing CAS — whoever wins
-            // decides whether the migration runs or dies (§8.6).
-            if slot.cas_phase(MigrationPhase::Requested, MigrationPhase::Idle) {
-                shared.stats[me].steal_aborts.add(1);
+        let Some(thief) = slot.thief() else { return };
+        // Withdraw when we have stopped being a worthwhile donor: the
+        // thief would otherwise camp on this slot forever.
+        if shared.is_closed() || backlog < st.config.steal_threshold {
+            let _guard = lock_unpoisoned(&slot.package);
+            if slot.phase() == MigrationPhase::Requested {
+                slot.reset_locked();
+                shared.stats[self.shard].steal_aborts.add(1);
             }
             return;
         }
-        if slot.donor() != me {
+        // Serve-chunk guard: grant at most one handoff per `min_gap`
+        // flits of local service (§8.5) — with per-thief slots this
+        // paces *grants*; granted handoffs overlap freely.
+        if now.wrapping_sub(self.last_handoff_clock) < st.config.min_gap {
             return;
         }
-        if shared.is_closed() {
-            if slot.cas_phase(MigrationPhase::Requested, MigrationPhase::Idle) {
-                shared.stats[me].steal_aborts.add(1);
+        // Victim: largest backlog among flows homed here that no mover
+        // holds — the claim *is* the eligibility check (§13.1).
+        let n_flows = st.own.map.n_flows();
+        let mut best: Option<(usize, u64)> = None;
+        for flow in 0..n_flows {
+            if st.own.shard_of(flow) != Some(self.shard) {
+                continue;
             }
+            if st.own.owner_state(flow) != OwnerState::Settled {
+                continue;
+            }
+            let b = scheduler.flow_backlog_flits(flow);
+            if b > 0 && best.map(|(_, bb)| b > bb).unwrap_or(true) {
+                best = Some((flow, b));
+            }
+        }
+        let Some((flow, _)) = best else { return };
+        let Some(token) = st.own.try_claim(flow, OwnerState::Stealing, thief) else {
+            return; // raced by another slot or a salvage; retry next tick
+        };
+        let _ = scheduler.park_flow(flow);
+        let _guard = lock_unpoisoned(&slot.package);
+        if slot.phase() != MigrationPhase::Requested {
+            // The thief withdrew while we were claiming. Unwind — the
+            // slot belongs to whoever owns it now; touch nothing.
+            // Every donor-side unwind must respect link parking: a
+            // direct unpark of a credit-parked flow lets the scheduler
+            // serve a second flit for a link whose stash is occupied,
+            // overwriting the stashed flit and drifting `stash_count`
+            // so the worker's exit gate never opens (§13.5).
+            drop(_guard);
+            st.own.release(&token);
+            unpark_respecting_links(scheduler, flow, egress);
             return;
         }
-        // Victim selection: the heaviest flow the FlowMap still homes
-        // here with a nonzero backlog. `flow_backlog_flits` is O(1) per
-        // flow, so the scan is O(n_flows).
-        let victim = (0..st.map.n_flows())
-            .filter(|&f| st.map.shard_of(f) == Some(me))
-            .map(|f| (scheduler.flow_backlog_flits(f), f))
-            .filter(|&(b, _)| b > 0)
-            .max();
-        match victim {
-            Some((_, flow)) => {
-                // Serve-chunk guard (§8.5): a flow that just landed
-                // here must be *served*, not forwarded — leave the
-                // request pending (the thief waits; we keep serving)
-                // until this shard has put min_gap cycles of work in
-                // since its last handoff. A victim exists, so the
-                // clock is still advancing and the guard must clear.
-                if now.wrapping_sub(self.last_handoff_clock) < st.config.min_gap {
-                    return;
-                }
-                // Quiesce, donor side: park before publishing, so the
-                // flow is unservable here from this point on (§8.3
-                // fence 1).
-                scheduler.park_flow(flow);
-                // ordering: SeqCst — victim published before the
-                // Quiescing flip, in the phase machine's total order.
-                slot.flow.store(flow, Ordering::SeqCst);
-                if !slot.cas_phase(MigrationPhase::Requested, MigrationPhase::Quiescing) {
-                    // The thief aborted concurrently; undo the park.
-                    scheduler.unpark_flow(flow);
-                }
-            }
-            None => {
-                if slot.cas_phase(MigrationPhase::Requested, MigrationPhase::Idle) {
-                    shared.stats[me].steal_aborts.add(1);
-                }
-            }
-        }
+        // ordering: SeqCst — flow + epoch must be visible before the
+        // phase store publishes Quiescing to the thief.
+        slot.flow.store(flow, Ordering::SeqCst);
+        slot.claim_epoch.store(token.epoch as u64, Ordering::SeqCst);
+        slot.store_phase(MigrationPhase::Quiescing);
+        self.last_handoff_clock = now;
     }
 
-    fn tick_quiescing(
+    /// Thief @ Quiescing: park the victim at the new home and ack, so
+    /// no new-epoch arrival can be served before the package lands.
+    fn thief_quiescing(&mut self, st: &StealRuntime, scheduler: &mut Box<dyn Scheduler + Send>) {
+        let slot = &st.slots[self.shard];
+        if slot.thief() != Some(self.shard) {
+            return;
+        }
+        // ordering: SeqCst — the ack is the donor's go signal, read
+        // against the phase protocol.
+        if slot.thief_ack.load(Ordering::SeqCst) {
+            return;
+        }
+        let Some(flow) = slot.flow() else { return };
+        let _ = scheduler.park_flow(flow);
+        self.thief_parked = Some(flow);
+        slot.thief_ack.store(true, Ordering::SeqCst);
+    }
+
+    /// Donor @ Quiescing: wait for the thief's ack and — under buffered
+    /// egress — the egress-retire fence (§13.5), then commit the phase:
+    /// `Quiescing → Draining`. The map flip itself happens at the top
+    /// of the Draining handler (§13.2: phase first, reroute second), so
+    /// a donor resurrected mid-commit replays the flip idempotently.
+    fn donor_fence(
         &mut self,
         shared: &Shared,
         st: &StealRuntime,
+        slot: &MigrationSlot,
         scheduler: &mut Box<dyn Scheduler + Send>,
+        egress: Option<&BufferedStealCtx<'_>>,
     ) {
-        let slot = &st.slot;
-        let me = self.shard;
-        // ordering: SeqCst (ack load/store below) — the ack rides the
-        // phase machine's total order: the donor flips the map only
-        // after seeing the ack, which the thief stores only after
-        // parking its side (§8.3 fence 1, both-parked before flip).
-        if slot.thief() == me && !slot.thief_ack.load(Ordering::SeqCst) {
-            // Quiesce, thief side: park before acking, so new-epoch
-            // arrivals wait unserved until the handoff lands.
-            scheduler.park_flow(slot.flow());
-            slot.thief_ack.store(true, Ordering::SeqCst);
-            // ordering: SeqCst ack load below — donor half; see above.
-        } else if slot.donor() == me && slot.thief_ack.load(Ordering::SeqCst) {
-            // Both sides parked: flip the map. From the next SeqCst
-            // read on, producers route to the thief.
-            st.map.reroute(slot.flow(), slot.thief());
-            self.drain_target = None;
-            slot.store_phase(MigrationPhase::Draining);
-        }
-        let _ = shared;
-    }
-
-    fn tick_draining(
-        &mut self,
-        shared: &Shared,
-        st: &StealRuntime,
-        scheduler: &mut Box<dyn Scheduler + Send>,
-        now: u64,
-    ) {
-        let slot = &st.slot;
-        let me = self.shard;
-        if slot.donor() != me {
+        // ordering: SeqCst — pairs with the thief's ack store.
+        if !slot.thief_ack.load(Ordering::SeqCst) {
             return;
         }
-        let flow = slot.flow();
-        let ring = &shared.rings[me];
-        if self.drain_target.is_none() {
-            // §8.3 fence 2: wait (non-blocking — the worker keeps
-            // pumping intake between ticks, so a producer spinning on
-            // a full donor ring still completes) until no producer is
-            // mid-push under the old routing.
-            if !st.window_clear(flow) {
+        let (Some(flow), Some(token)) = (slot.flow(), slot.token()) else {
+            return;
+        };
+        if let Some(ctx) = egress {
+            // Egress-retire fence: snapshot our pushed count on first
+            // entry, then wait until the flusher's pending-free
+            // watermark passes it and no victim flit sits stashed.
+            // ordering: SeqCst — donor-written cells, kept in the phase
+            // protocol's order for the §13.6 resurrection handover.
+            let snap = match slot.fence_target.load(Ordering::SeqCst) {
+                UNSET => {
+                    slot.fence_target.store(ctx.pushed, Ordering::SeqCst);
+                    ctx.pushed
+                }
+                s => s,
+            };
+            if !ctx.flow_retired(flow, snap) {
+                // ordering: SeqCst — donor-only tick counter.
+                let ticks = slot.fence_ticks.fetch_add(1, Ordering::SeqCst) + 1;
+                if ticks >= FENCE_BUDGET {
+                    // Abort: the link is wedged. The map never flipped,
+                    // so unwinding is local — release, unpark, reset.
+                    // Release precedes the unpark so a victim left
+                    // parked on a stashed link reads `Settled` when the
+                    // unstick sweep finally reaches it (§13.5).
+                    st.own.release(&token);
+                    unpark_respecting_links(scheduler, flow, egress);
+                    let _guard = lock_unpoisoned(&slot.package);
+                    slot.reset_locked();
+                    shared.stats[self.shard].steal_aborts.add(1);
+                }
                 return;
             }
-            self.drain_target = Some(ring.enqueue_pos());
         }
-        let target = self.drain_target.expect("just set");
-        // §8.3 fence 3: the single consumer never skips a slot, so
-        // dequeue ≥ target means every old-epoch packet has been popped
-        // into the (parked) queue that extract_flow is about to take.
-        if (ring.dequeue_pos().wrapping_sub(target) as isize) < 0 {
+        let _guard = lock_unpoisoned(&slot.package);
+        if slot.phase() == MigrationPhase::Quiescing {
+            slot.store_phase(MigrationPhase::Draining);
+        }
+    }
+
+    /// Donor @ Draining: flip the map if not yet flipped (the §13.2
+    /// epoch CAS — the handoff's linearization point), wait out the
+    /// victim's submit window, drain our ring past the flip point, then
+    /// extract and publish the package.
+    fn donor_drain(
+        &mut self,
+        shared: &Shared,
+        st: &StealRuntime,
+        slot: &MigrationSlot,
+        scheduler: &mut Box<dyn Scheduler + Send>,
+        now: Cycle,
+        egress: Option<&BufferedStealCtx<'_>>,
+    ) {
+        let (Some(flow), Some(thief), Some(token)) = (slot.flow(), slot.thief(), slot.token())
+        else {
+            return;
+        };
+        if st.own.map.epoch_of(flow) == token.epoch {
+            // Flip not yet landed (first pass, or a resurrected donor
+            // replaying a death between the phase commit and the CAS).
+            if !st.own.try_reroute(&token, thief) {
+                // Seized by a salvage at our epoch: the flow is no
+                // longer ours to hand over. Unwind.
+                st.own.release(&token); // no-op if seized, by CAS
+                unpark_respecting_links(scheduler, flow, egress);
+                let _guard = lock_unpoisoned(&slot.package);
+                slot.reset_locked();
+                shared.stats[self.shard].steal_aborts.add(1);
+                return;
+            }
+        } else if st.own.shard_of(flow) != Some(thief) {
+            // The epoch moved but not to the thief: a salvage seized
+            // the claim and re-homed the flow. Nothing left to drain.
+            unpark_respecting_links(scheduler, flow, egress);
+            let _guard = lock_unpoisoned(&slot.package);
+            slot.reset_locked();
+            shared.stats[self.shard].steal_aborts.add(1);
             return;
         }
+        // Submit-window wait (§13.3): any producer that read the map
+        // before the flip is still inside its window; once clear, every
+        // old-epoch push is in our ring.
+        if !st.own.window_clear(flow) {
+            return;
+        }
+        let ring = &shared.rings[self.shard];
+        // ordering: SeqCst — donor-written cursor cell, kept in the
+        // phase protocol's order for the §13.6 resurrection handover.
+        let target = match slot.drain_target.load(Ordering::SeqCst) {
+            UNSET => {
+                let t = ring.enqueue_pos() as u64;
+                slot.drain_target.store(t, Ordering::SeqCst);
+                t
+            }
+            t => t,
+        };
+        // Wait until the intake loop has consumed past the flip point;
+        // the worker's intake phase runs before this tick, so progress
+        // is guaranteed while the ring holds pre-flip packets.
+        if (ring.dequeue_pos().wrapping_sub(target as usize) as isize) < 0 {
+            return;
+        }
+        let stats = &shared.stats[self.shard];
         let pkg = scheduler
             .extract_flow(flow)
-            .expect("victim is parked on the donor");
-        shared.stats[me].donated_out.add(1);
-        shared.stats[me].migrated_flits.add(pkg.flits());
-        *slot.package.lock().expect("slot mutex") = Some(pkg);
-        self.drain_target = None;
-        self.cooldown = st.config.cooldown_polls;
+            .unwrap_or_else(|| MigratedFlow {
+                packets: VecDeque::new(),
+                surplus: 0,
+                resume: None,
+            });
+        stats.donated_out.add(1);
+        stats.migrated_flits.add(pkg.flits());
+        let mut guard = lock_unpoisoned(&slot.package);
+        *guard = Some(pkg);
         self.last_handoff_clock = now;
         slot.store_phase(MigrationPhase::InTransit);
     }
 
-    fn tick_in_transit(
+    /// Thief @ InTransit: absorb the package, release the claim (the
+    /// steal's last act, §13.1), reopen the slot.
+    fn thief_absorb(
         &mut self,
         shared: &Shared,
         st: &StealRuntime,
         scheduler: &mut Box<dyn Scheduler + Send>,
-        now: u64,
+        egress: Option<&BufferedStealCtx<'_>>,
     ) {
-        let slot = &st.slot;
-        let me = self.shard;
-        if slot.thief() != me {
+        let slot = &st.slots[self.shard];
+        if slot.thief() != Some(self.shard) {
             return;
         }
-        let flow = slot.flow();
-        let pkg = slot
-            .package
-            .lock()
-            .expect("slot mutex")
-            .take()
-            .expect("donor published the package");
+        let Some(flow) = slot.flow() else { return };
+        let token = slot.token();
+        let Some(pkg) = lock_unpoisoned(&slot.package).take() else {
+            return;
+        };
+        let _ = scheduler.park_flow(flow); // idempotent; parked at ack
         let absorbed = scheduler.absorb_flow(flow, pkg);
-        debug_assert!(absorbed, "thief parked the flow before acking");
-        scheduler.unpark_flow(flow);
-        shared.stats[me].stolen_in.add(1);
+        debug_assert!(absorbed, "thief failed to absorb flow {flow}");
+        self.thief_parked = None;
+        unpark_respecting_links(scheduler, flow, egress);
+        shared.stats[self.shard].stolen_in.add(1);
+        if let Some(token) = token {
+            st.own.release(&token);
+        }
         self.cooldown = st.config.cooldown_polls;
-        self.last_handoff_clock = now;
-        slot.store_phase(MigrationPhase::Idle);
+        let _guard = lock_unpoisoned(&slot.package);
+        slot.reset_locked();
+    }
+}
+
+/// Unparks `flow` unless its egress link is credit-parked (buffered
+/// mode, §13.5): the link's unstick sweep will release it with the
+/// rest, preserving the one-stash-per-link invariant.
+fn unpark_respecting_links(
+    scheduler: &mut Box<dyn Scheduler + Send>,
+    flow: usize,
+    egress: Option<&BufferedStealCtx<'_>>,
+) {
+    let keep_parked = egress
+        .map(|c| c.link_parked[c.links.route(flow)])
+        .unwrap_or(false);
+    if !keep_parked {
+        scheduler.unpark_flow(flow);
     }
 }
 
@@ -675,62 +776,49 @@ mod tests {
     use super::*;
 
     #[test]
-    fn flow_map_starts_on_static_partition_and_reroutes() {
-        let map = FlowMap::new(8, 4);
-        for f in 0..8 {
-            assert_eq!(map.shard_of(f), Some((mix_flow(f) % 4) as usize));
-            assert_eq!(map.epoch_of(f), 0);
-        }
-        assert_eq!(map.shard_of(100), None, "outside the overlay");
-        map.reroute(3, 1);
-        assert_eq!(map.shard_of(3), Some(1));
-        assert_eq!(map.epoch_of(3), 1);
-        map.reroute(3, 2);
-        assert_eq!((map.shard_of(3), map.epoch_of(3)), (Some(2), 2));
-    }
-
-    #[test]
     fn load_board_orders_projected_finishes() {
         let b = LoadBoard::new(3);
-        b.update(0, 1000, 900);
-        b.update(1, 8000, 7000);
-        b.update(2, 500, 100);
-        assert_eq!(b.load(1), 8000, "raw projected finish, no smoothing");
-        assert_eq!(b.backlog(1), 7000);
-        assert_eq!(b.richest_donor(2, 1), Some(1));
-        assert_eq!(b.richest_donor(1, 1), Some(0));
-        // The donor-backlog floor skips shards with only scraps.
-        assert_eq!(b.richest_donor(2, 1000), Some(1), "shard 0 below floor");
-        assert_eq!(b.richest_donor(1, 1000), None, "no donor has enough");
-        // The thief competition only counts near-empty shards: with a
-        // threshold of 256 only shard 2 (backlog 100) competes.
-        assert_eq!(b.min_thief_finish(0, 256), 500);
-        assert_eq!(b.min_thief_finish(2, 256), u64::MAX, "no rival thief");
-        // With a huge threshold everyone competes.
-        assert_eq!(b.min_thief_finish(1, u64::MAX), 500);
-        // A drained shard keeps its final clock as `finish` but drops
-        // out of the donor pool entirely.
-        b.update(1, 8000, 0);
-        assert_eq!(b.richest_donor(2, 1), Some(0));
-        // A 1-shard board has no "others" to steal from.
-        let solo = LoadBoard::new(1);
-        assert_eq!(solo.richest_donor(0, 0), None);
-        assert_eq!(solo.min_thief_finish(0, u64::MAX), u64::MAX);
+        b.update(0, 100, 50);
+        b.update(1, 100, 500);
+        b.update(2, 100, 5);
+        assert_eq!(b.load(1), 600);
+        assert_eq!(b.backlog(2), 5);
+        assert_eq!(b.richest_donor(0, 100), Some(1));
+        assert_eq!(b.richest_donor(1, 1000), None, "threshold respected");
     }
 
     #[test]
-    fn slot_claim_is_exclusive_until_idle() {
-        let slot = MigrationSlot::default();
-        assert_eq!(slot.phase(), MigrationPhase::Idle);
+    fn slot_claim_is_exclusive_until_reset() {
+        let slot = MigrationSlot::new();
         assert!(slot.try_claim(2, 0));
         assert_eq!(slot.phase(), MigrationPhase::Requested);
-        assert_eq!((slot.thief(), slot.donor()), (2, 0));
-        assert!(!slot.try_claim(3, 1), "slot is taken");
-        assert_eq!((slot.thief(), slot.donor()), (2, 0), "fields untorn");
-        assert!(slot.involves(2) && slot.involves(0) && !slot.involves(1));
-        assert!(slot.cas_phase(MigrationPhase::Requested, MigrationPhase::Idle));
+        assert_eq!(slot.thief(), Some(2));
+        assert_eq!(slot.donor(), Some(0));
+        assert!(!slot.try_claim(1, 0), "slot held");
+        assert!(slot.involves(2));
+        assert!(slot.involves(0));
+        assert!(!slot.involves(1));
+        {
+            let _g = lock_unpoisoned(&slot.package);
+            slot.reset_locked();
+        }
+        assert_eq!(slot.phase(), MigrationPhase::Idle);
         assert!(!slot.involves(2));
-        assert!(slot.try_claim(3, 1), "free again");
+        assert!(slot.try_claim(1, 0), "reset reopens the slot");
+    }
+
+    #[test]
+    fn per_thief_slots_are_independent() {
+        let own = Arc::new(Ownership::new(8, 4));
+        let st = StealRuntime::new(own, 4, StealingConfig::default());
+        assert_eq!(st.slots.len(), 4, "one slot per thief");
+        assert!(st.slots[1].try_claim(1, 0));
+        assert!(st.slots[2].try_claim(2, 0), "second thief, same donor");
+        assert!(st.involves(0));
+        assert!(st.involves(1));
+        assert!(st.involves(2));
+        assert!(!st.involves(3));
+        assert!(!st.hot_handoff(1), "Requested is not a hot phase");
     }
 
     #[test]

@@ -28,12 +28,21 @@
 //!   supports it), so the shard keeps serving everyone else — the
 //!   decoupling the paper's stalled-downstream argument calls for.
 //!
-//! Both loops run inside a `catch_unwind` fence with the scheduler owned
-//! *outside* the closure (DESIGN.md §9.2): a panic unwinds out of the
-//! loop, the fence catches it, and — under supervision — the salvage
-//! path re-homes the dead shard's flows with the scheduler state intact.
-//! Without supervision the payload is re-thrown so the join observes the
-//! panic (and shutdown reports it as [`ShardExit::Panicked`](crate::ShardExit)).
+//! Both loops run inside a `catch_unwind` fence with the scheduler (and
+//! under buffered egress, the `BufferedWorkerState`) owned *outside*
+//! the closure (DESIGN.md §9.2): a panic unwinds out of the loop, the
+//! fence catches it, and the epilogue picks one of three paths:
+//!
+//! * **resurrection** (supervision with
+//!   [`SupervisionConfig::resurrection`](crate::SupervisionConfig), §13.6)
+//!   — the intact scheduler, migration driver, and egress state are
+//!   posted as a `Bequest`; the supervisor spawns a successor worker
+//!   that adopts them, and the flow map never moves;
+//! * **salvage** (supervision without resurrection) — the salvage path
+//!   re-homes the dead shard's flows, on this same thread, with the
+//!   scheduler state still owned here;
+//! * **re-throw** (no supervision) — the join observes the panic and
+//!   shutdown reports it as [`ShardExit::Panicked`](crate::ShardExit).
 //!
 //! When there is nothing to do the worker spins briefly, then parks with
 //! a timeout; producers never need to wake it explicitly (no lost-wakeup
@@ -46,11 +55,13 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use desim::Cycle;
-use err_egress::{Egress, LinkSet, Producer, ShardEgressStats};
+use err_egress::{Egress, FlushProgress, LinkSet, Producer, ShardEgressStats};
 use err_sched::{Packet, Scheduler, ServedFlit};
 
-use crate::fault::{abort_residuals, fault_tick, salvage_shard, try_exit};
+use crate::fault::{abort_residuals, fault_tick, salvage_shard, try_exit, Bequest, BequestEgress};
 use crate::ingress::Shared;
+use crate::migrate::{BufferedStealCtx, MigrationDriver};
+use crate::ownership::OwnerState;
 
 /// Spins this many empty loops before parking.
 const SPIN_BEFORE_PARK: u32 = 64;
@@ -67,49 +78,120 @@ pub(crate) struct ShardConfig {
     pub(crate) n_flows: usize,
 }
 
-/// Shared epilogue of both workers: unwrap a clean exit, or handle the
-/// caught panic — salvage under supervision (on this same thread, so
-/// the scheduler state is still owned here), re-throw without it.
-fn finish_worker(
+/// The buffered worker's link-local state, owned *outside* the panic
+/// fence so it can travel in a [`Bequest`] (§13.6): the stash holds
+/// served flits that already passed accounting, so dropping it on a
+/// panic would un-conserve them; the `pushed` count is the numerator of
+/// the §13.5 egress-retire fence and must survive the worker that
+/// advanced it.
+pub(crate) struct BufferedWorkerState {
+    /// At most one served-but-uncommitted flit per link.
+    pub(crate) stash: Vec<Option<ServedFlit>>,
+    pub(crate) stash_count: usize,
+    pub(crate) link_parked: Vec<bool>,
+    /// Flows pre-parked on behalf of a pending salvage (§9.2); the
+    /// unstick sweep must not release them before their package lands.
+    pub(crate) salvage_parked: Vec<bool>,
+    /// Cumulative flits this shard has committed to its egress ring —
+    /// compared against the flusher's [`FlushProgress`] cursor by the
+    /// donor-side retire fence (§13.5).
+    pub(crate) pushed: u64,
+}
+
+impl BufferedWorkerState {
+    pub(crate) fn new(n_links: usize, salvage_flows: usize) -> Self {
+        Self {
+            stash: vec![None; n_links],
+            stash_count: 0,
+            link_parked: vec![false; n_links],
+            salvage_parked: vec![false; salvage_flows],
+            pushed: 0,
+        }
+    }
+}
+
+/// Whether a caught panic should become a [`Bequest`] (§13.6) instead
+/// of a salvage or a re-throw.
+fn resurrection_on(shared: &Shared) -> bool {
+    shared
+        .fault
+        .as_ref()
+        .is_some_and(|fr| fr.config.resurrection)
+}
+
+/// The non-resurrection panic epilogue: salvage under supervision (on
+/// this same thread, so the scheduler state is still owned here),
+/// re-throw without it.
+fn salvage_or_rethrow(
     shared: &Shared,
     cfg: &ShardConfig,
     scheduler: &mut Box<dyn Scheduler + Send>,
-    result: std::thread::Result<()>,
+    payload: Box<dyn std::any::Any + Send>,
     now: Cycle,
 ) -> Cycle {
-    match result {
-        Ok(()) => now,
-        Err(payload) => {
-            if shared.fault.is_some() {
-                // A panic *inside* salvage (double fault) abandons
-                // conservation for this shard — documented in DESIGN.md
-                // §9.2; the fence keeps the worker from aborting the
-                // process under panic=unwind.
-                let _ = panic::catch_unwind(AssertUnwindSafe(|| {
-                    salvage_shard(shared, cfg.shard, scheduler);
-                }));
-                now
-            } else {
-                panic::resume_unwind(payload)
-            }
-        }
+    if shared.fault.is_some() {
+        // A panic *inside* salvage (double fault) abandons
+        // conservation for this shard — documented in DESIGN.md
+        // §9.2; the fence keeps the worker from aborting the
+        // process under panic=unwind.
+        let _ = panic::catch_unwind(AssertUnwindSafe(|| {
+            salvage_shard(shared, cfg.shard, scheduler);
+        }));
+        now
+    } else {
+        panic::resume_unwind(payload)
     }
 }
 
 /// Runs one shard to completion with **synchronous** egress: serves
 /// until `shutdown()` has been called *and* the ring plus the scheduler
 /// are fully drained. Returns the shard's final flit clock.
-pub(crate) fn run_shard<E: Egress>(
+///
+/// `driver` and `start` come from the spawner: fresh for a first-
+/// generation worker, inherited from a [`Bequest`] for a successor
+/// (§13.6) — the clock continues, it never rewinds.
+pub(crate) fn run_shard<E: Egress + 'static>(
     shared: Arc<Shared>,
     cfg: ShardConfig,
     mut scheduler: Box<dyn Scheduler + Send>,
     mut egress: Option<E>,
+    mut driver: Option<MigrationDriver>,
+    start: Cycle,
 ) -> Cycle {
-    let mut now: Cycle = 0;
+    let mut now: Cycle = start;
     let result = panic::catch_unwind(AssertUnwindSafe(|| {
-        run_sync_loop(&shared, &cfg, &mut scheduler, &mut egress, &mut now)
+        run_sync_loop(
+            &shared,
+            &cfg,
+            &mut scheduler,
+            &mut egress,
+            &mut driver,
+            &mut now,
+        )
     }));
-    finish_worker(&shared, &cfg, &mut scheduler, result, now)
+    match result {
+        Ok(()) => now,
+        Err(payload) => {
+            if resurrection_on(&shared) {
+                let fr = shared
+                    .fault
+                    .as_ref()
+                    .expect("resurrection_on checked fault");
+                fr.bequeath(
+                    cfg.shard,
+                    Bequest {
+                        scheduler,
+                        driver,
+                        now,
+                        egress: BequestEgress::Sync(Box::new(egress)),
+                    },
+                );
+                now
+            } else {
+                salvage_or_rethrow(&shared, &cfg, &mut scheduler, payload, now)
+            }
+        }
+    }
 }
 
 fn run_sync_loop<E: Egress>(
@@ -117,14 +199,11 @@ fn run_sync_loop<E: Egress>(
     cfg: &ShardConfig,
     scheduler: &mut Box<dyn Scheduler + Send>,
     egress: &mut Option<E>,
+    driver: &mut Option<MigrationDriver>,
     now: &mut Cycle,
 ) {
     let ring = &shared.rings[cfg.shard];
     let stats = &shared.stats[cfg.shard];
-    let mut migration = shared
-        .steal
-        .as_ref()
-        .map(|_| crate::migrate::MigrationDriver::new(cfg.shard));
     let mut arrivals: Vec<Packet> = Vec::with_capacity(cfg.batch_packets);
     let mut served: Vec<ServedFlit> = Vec::with_capacity(cfg.batch_flits);
     let mut idle_spins: u32 = 0;
@@ -174,24 +253,30 @@ fn run_sync_loop<E: Egress>(
         }
         stats.backlog_flits.set(scheduler.backlog_flits());
 
-        // Migration phase: advance whatever role (thief/donor) this
-        // shard plays in the global slot, and evaluate the stealing
-        // policy at poll boundaries (DESIGN.md §8). Ticked after
-        // intake so the ring's dequeue cursor only covers packets
-        // already enqueued into the scheduler.
+        // Migration phase: advance whatever roles (thief/donor) this
+        // shard plays across the per-thief slots, and evaluate the
+        // stealing policy at poll boundaries (DESIGN.md §8, §13.4).
+        // Ticked after intake so the ring's dequeue cursor only covers
+        // packets already enqueued into the scheduler.
         let mut hot_handoff = false;
         let mut migrating = false;
-        if let Some(driver) = migration.as_mut() {
-            driver.tick(shared, scheduler, pulled == 0 && n == 0, *now, pre_backlog);
+        if let Some(d) = driver.as_mut() {
+            d.tick(
+                shared,
+                scheduler,
+                pulled == 0 && n == 0,
+                *now,
+                pre_backlog,
+                None,
+            );
             if let Some(st) = shared.steal.as_ref() {
-                migrating = st.slot.involves(cfg.shard);
+                migrating = st.involves(cfg.shard);
                 // Requested can stay pending behind the donor's
                 // serve-chunk guard (§8.5) — a thief spinning hot
                 // through that would only steal CPU from the very
                 // shard it is waiting on. Spin hot from Quiescing on,
                 // where the peer needs our next protocol step fast.
-                hot_handoff =
-                    migrating && st.slot.phase() != crate::migrate::MigrationPhase::Requested;
+                hot_handoff = st.hot_handoff(cfg.shard);
             }
         }
 
@@ -273,6 +358,11 @@ fn push_ring(tx: &mut Producer<ServedFlit>, estats: &ShardEgressStats, flit: Ser
 /// exhausted pool — the legacy coupling, kept because skipping without
 /// scheduler cooperation would either reorder flows or buffer
 /// unboundedly.
+///
+/// `state`, `driver`, and `start` come from the spawner: fresh for a
+/// first-generation worker, inherited from a [`Bequest`] for a
+/// successor (§13.6).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_shard_buffered(
     shared: Arc<Shared>,
     cfg: ShardConfig,
@@ -280,8 +370,12 @@ pub(crate) fn run_shard_buffered(
     mut tx: Producer<ServedFlit>,
     links: Arc<LinkSet>,
     estats: Arc<ShardEgressStats>,
+    progress: Arc<FlushProgress>,
+    mut state: BufferedWorkerState,
+    mut driver: Option<MigrationDriver>,
+    start: Cycle,
 ) -> Cycle {
-    let mut now: Cycle = 0;
+    let mut now: Cycle = start;
     let result = panic::catch_unwind(AssertUnwindSafe(|| {
         run_buffered_loop(
             &shared,
@@ -290,12 +384,38 @@ pub(crate) fn run_shard_buffered(
             &mut tx,
             &links,
             &estats,
+            &progress,
+            &mut state,
+            &mut driver,
             &mut now,
         )
     }));
-    finish_worker(&shared, &cfg, &mut scheduler, result, now)
+    match result {
+        Ok(()) => now,
+        Err(payload) => {
+            if resurrection_on(&shared) {
+                let fr = shared
+                    .fault
+                    .as_ref()
+                    .expect("resurrection_on checked fault");
+                fr.bequeath(
+                    cfg.shard,
+                    Bequest {
+                        scheduler,
+                        driver,
+                        now,
+                        egress: BequestEgress::Buffered { tx, state },
+                    },
+                );
+                now
+            } else {
+                salvage_or_rethrow(&shared, &cfg, &mut scheduler, payload, now)
+            }
+        }
+    }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_buffered_loop(
     shared: &Shared,
     cfg: &ShardConfig,
@@ -303,6 +423,9 @@ fn run_buffered_loop(
     tx: &mut Producer<ServedFlit>,
     links: &Arc<LinkSet>,
     estats: &ShardEgressStats,
+    progress: &FlushProgress,
+    st: &mut BufferedWorkerState,
+    driver: &mut Option<MigrationDriver>,
     now: &mut Cycle,
 ) {
     let ring = &shared.rings[cfg.shard];
@@ -310,21 +433,12 @@ fn run_buffered_loop(
     let n_links = links.n_links();
     let parking = scheduler.supports_parking();
     let mut arrivals: Vec<Packet> = Vec::with_capacity(cfg.batch_packets);
-    // At most one served-but-uncommitted flit per link.
-    let mut stash: Vec<Option<ServedFlit>> = vec![None; n_links];
-    let mut stash_count = 0usize;
-    let mut link_parked: Vec<bool> = vec![false; n_links];
-    // Flows pre-parked on behalf of a pending salvage (§9.2); the
-    // unstick sweep must not release them before their package lands.
-    let mut salvage_parked: Vec<bool> = vec![
-        false;
-        if shared.fault.is_some() {
-            cfg.n_flows
-        } else {
-            0
-        }
-    ];
     let mut idle_spins: u32 = 0;
+    // Exit-gate forensics, paired with the drain-side dump in
+    // `Runtime::drain_within` (same `ERR_DRAIN_DEBUG` switch): a worker
+    // that idles without exiting names the predicate holding it.
+    let debug_exit = std::env::var_os("ERR_DRAIN_DEBUG").is_some();
+    let mut debug_parks: u64 = 0;
 
     loop {
         // Fault phase (DESIGN.md §9). On forced abort the stash is
@@ -344,28 +458,40 @@ fn run_buffered_loop(
             *now,
             Some(crate::fault::BufferedFaultCtx {
                 links,
-                link_parked: &link_parked,
-                salvage_parked: &mut salvage_parked,
+                link_parked: &st.link_parked,
+                salvage_parked: &mut st.salvage_parked,
             }),
         );
 
         // Unstick phase: links whose credits returned get their stashed
         // flit committed and their flows unparked (except flows a
         // pending salvage pre-parked — their package has not landed).
-        if stash_count > 0 {
+        if st.stash_count > 0 {
             for link in 0..n_links {
-                if stash[link].is_some() && links.try_acquire(link) {
-                    let flit = stash[link].take().expect("stash checked non-empty");
-                    stash_count -= 1;
+                if st.stash[link].is_some() && links.try_acquire(link) {
+                    let flit = st.stash[link].take().expect("stash checked non-empty");
+                    st.stash_count -= 1;
                     push_ring(tx, estats, flit);
-                    if link_parked[link] {
-                        link_parked[link] = false;
+                    st.pushed += 1;
+                    if st.link_parked[link] {
+                        st.link_parked[link] = false;
                         // Sweep by routing fn, not modulo stride: a
                         // fabric route table (§11.1) maps arbitrary
-                        // flow sets onto a link.
+                        // flow sets onto a link. Flows a pending
+                        // salvage pre-parked stay parked (their package
+                        // has not landed), and so does a flow under an
+                        // active ownership claim (§13.1): a quiesced
+                        // steal victim unparked here would be served
+                        // past the §13.5 retire fence. Its mover unparks
+                        // it when the claim resolves — or, if the claim
+                        // aborted while the link was stashed, the next
+                        // sweep sees it `Settled` and releases it.
                         for flow in 0..cfg.n_flows {
                             if links.route(flow) == link
-                                && !salvage_parked.get(flow).copied().unwrap_or(false)
+                                && !st.salvage_parked.get(flow).copied().unwrap_or(false)
+                                && shared.steal.as_ref().is_none_or(|sr| {
+                                    sr.own.owner_state(flow) == OwnerState::Settled
+                                })
                             {
                                 scheduler.unpark_flow(flow);
                             }
@@ -381,6 +507,8 @@ fn run_buffered_loop(
         for pkt in arrivals.drain(..) {
             scheduler.enqueue(pkt, *now);
         }
+        // LoadBoard input (same sampling argument as the sync loop).
+        let pre_backlog = scheduler.backlog_flits() + ring.len() as u64;
 
         // Service phase, flit by flit: the credit check must sit
         // between serving a flit and serving the next, or a stalled
@@ -399,13 +527,14 @@ fn run_buffered_loop(
             let link = links.route(flit.flow);
             if links.try_acquire(link) {
                 push_ring(tx, estats, flit);
+                st.pushed += 1;
             } else {
                 estats.credit_exhaustions.fetch_add(1, Ordering::Relaxed);
                 if parking {
-                    debug_assert!(stash[link].is_none(), "second stash for link {link}");
-                    stash[link] = Some(flit);
-                    stash_count += 1;
-                    link_parked[link] = true;
+                    debug_assert!(st.stash[link].is_none(), "second stash for link {link}");
+                    st.stash[link] = Some(flit);
+                    st.stash_count += 1;
+                    st.link_parked[link] = true;
                     for flow in 0..cfg.n_flows {
                         if links.route(flow) == link {
                             let _ = scheduler.park_flow(flow);
@@ -419,6 +548,7 @@ fn run_buffered_loop(
                     loop {
                         if links.try_acquire(link) {
                             push_ring(tx, estats, flit);
+                            st.pushed += 1;
                             break;
                         }
                         // ordering: Acquire pairs with the Release
@@ -440,12 +570,40 @@ fn run_buffered_loop(
         }
         stats.backlog_flits.set(scheduler.backlog_flits());
 
+        // Migration phase (§13.5): same placement as the sync loop; the
+        // context lends the donor-side retire fence this worker's
+        // pushed count, stash, and its flusher's progress cursor.
+        let mut hot_handoff = false;
+        let mut migrating = false;
+        if let Some(d) = driver.as_mut() {
+            let ctx = BufferedStealCtx {
+                links,
+                link_parked: &st.link_parked,
+                pushed: st.pushed,
+                progress,
+                stash: &st.stash,
+            };
+            d.tick(
+                shared,
+                scheduler,
+                pulled == 0 && n == 0,
+                *now,
+                pre_backlog,
+                Some(&ctx),
+            );
+            if let Some(sr) = shared.steal.as_ref() {
+                migrating = sr.involves(cfg.shard);
+                hot_handoff = sr.hot_handoff(cfg.shard);
+            }
+        }
+
         if pulled == 0 && n == 0 {
             // Same exit protocol as the sync worker, plus: no flit may
             // sit in a stash. Parked flows keep `is_idle()` false, so a
             // stalled link holds the worker here until drain mode
             // releases the credits (see `Runtime::drain` ordering).
-            if stash_count == 0
+            if st.stash_count == 0
+                && !migrating
                 && shared.can_finish()
                 && ring.is_empty()
                 && scheduler.is_idle()
@@ -454,10 +612,25 @@ fn run_buffered_loop(
                 break;
             }
             idle_spins += 1;
-            if idle_spins < SPIN_BEFORE_PARK {
+            // A hot handoff must keep spinning past SPIN_BEFORE_PARK: a
+            // parked donor mid-quiesce would stall the thief's fence.
+            if hot_handoff || idle_spins < SPIN_BEFORE_PARK {
                 std::hint::spin_loop();
             } else {
                 stats.parks.add(1);
+                debug_parks += 1;
+                if debug_exit && debug_parks.is_multiple_of(100_000) {
+                    eprintln!(
+                        "[exit-debug] shard {} stash_count={} migrating={} \
+                         can_finish={} ring_empty={} sched_idle={}",
+                        cfg.shard,
+                        st.stash_count,
+                        migrating,
+                        shared.can_finish(),
+                        ring.is_empty(),
+                        scheduler.is_idle(),
+                    );
+                }
                 std::thread::park_timeout(PARK_TIMEOUT);
             }
         } else {

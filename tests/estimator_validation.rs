@@ -87,9 +87,11 @@ fn check_mix(name: &str, flows: Vec<FlowSpec>, p50_bound: f64) {
     // Ground truth is a live-thread measurement: debug builds serve
     // flits slowly relative to the racing producers, so queues sit
     // deeper than the release-calibrated model expects. Hold the
-    // calibrated bound in release; in debug only catch gross breakage.
+    // calibrated bound in release; in debug only catch gross breakage
+    // (the hotspot mix measures p50 ≈ 0.6 in debug on a loaded host,
+    // so ×3 sat exactly on the noise and flickered).
     let bound = if cfg!(debug_assertions) {
-        p50_bound * 3.0
+        p50_bound * 4.0
     } else {
         p50_bound
     };

@@ -55,6 +55,7 @@ proptest! {
             supervision: Some(SupervisionConfig {
                 poll: Duration::from_millis(1),
                 heartbeat_deadline: Duration::from_millis(15),
+                resurrection: false,
             }),
             fault_plan: Some(plan),
             ..RuntimeConfig::default()
@@ -97,6 +98,7 @@ fn double_death_total_loss_conserves() {
         supervision: Some(SupervisionConfig {
             poll: Duration::from_millis(1),
             heartbeat_deadline: Duration::from_millis(15),
+            resurrection: false,
         }),
         fault_plan: Some(plan),
         ..RuntimeConfig::default()

@@ -328,6 +328,92 @@ fn seeded_shard_kill_preserves_flow_order_and_conserves() {
     );
 }
 
+/// Resurrection (DESIGN.md §13.6): the same seeded mid-run shard kill,
+/// but with `SupervisionConfig::resurrection` on, the dying worker
+/// bequeaths its scheduler and the supervisor adopts it into a fresh
+/// thread — so *nothing* is lost, not even the wormhole in flight: the
+/// bequest carries the exact scheduler state between flit emissions,
+/// and every flow's emit order is byte-identical to a fault-free run.
+#[test]
+fn resurrection_recovers_a_killed_shard_with_zero_loss() {
+    let plan = seeded_kill_plan(4);
+    let victim = plan.events()[0].shard;
+    let captured: Arc<FlowLog> =
+        Arc::new((0..CHAOS_FLOWS).map(|_| Mutex::new(Vec::new())).collect());
+    let (rt, handle) = Runtime::start_with_egress(
+        RuntimeConfig {
+            shards: 4,
+            n_flows: CHAOS_FLOWS,
+            ring_capacity: 1 << 14,
+            supervision: Some(SupervisionConfig {
+                resurrection: true,
+                ..SupervisionConfig::default()
+            }),
+            fault_plan: Some(plan),
+            ..RuntimeConfig::default()
+        },
+        {
+            let captured = Arc::clone(&captured);
+            move |_shard| {
+                let captured = Arc::clone(&captured);
+                Some(move |_s: usize, f: &ServedFlit| {
+                    captured[f.flow]
+                        .lock()
+                        .unwrap()
+                        .push((f.packet, f.flit_index));
+                })
+            }
+        },
+    );
+    for id in 0..CHAOS_PACKETS {
+        let flow = (id % CHAOS_FLOWS as u64) as usize;
+        assert_eq!(
+            handle.submit(Packet::new(id, flow, CHAOS_LEN, 0)),
+            Ok(Submitted::Enqueued)
+        );
+    }
+    // Wait for the kill to fire *and* the successor to be adopted
+    // before closing, so the test exercises mid-run resurrection
+    // rather than a death racing shutdown.
+    let board = rt.fault_board().expect("supervision publishes a board");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while board.recovery_micros(victim).is_none() {
+        assert!(
+            Instant::now() < deadline,
+            "planned kill never fired / successor never adopted"
+        );
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    let report = rt.shutdown();
+    assert!(report.is_conserving(), "{report:?}");
+    assert_eq!(
+        report.lost_packets(),
+        0,
+        "resurrection adopts the scheduler whole — no wormhole is cut: {report:?}"
+    );
+    assert_eq!(report.served_packets(), CHAOS_PACKETS, "{report:?}");
+    assert_eq!(
+        report.salvaged_packets(),
+        0,
+        "resurrection must not fall back to salvage: {report:?}"
+    );
+    assert_eq!(
+        report.exits[victim],
+        ShardExit::Panicked,
+        "the shard's death is still on the record even though its \
+         lineage recovered: {:?}",
+        report.exits
+    );
+    for (flow, log) in captured.iter().enumerate() {
+        let log = log.lock().unwrap();
+        assert_eq!(
+            *log,
+            expected_flow_log(flow),
+            "flow {flow} diverged from the fault-free emission order"
+        );
+    }
+}
+
 /// A link whose credits never return, escalated to `Dead` under
 /// `HoldForRecovery`, keeps its flits held and its flows parked even
 /// through drain mode (drain releases stalls, never deaths — §9.3).

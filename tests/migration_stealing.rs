@@ -170,3 +170,98 @@ fn stealing_preserves_per_flow_emit_order() {
         assert!(cursor.next().is_none(), "flow {flow}: extra flits emitted");
     }
 }
+
+/// Regression for the §13.5 compose hang: stealing under buffered
+/// egress must shut down cleanly even when donor-side steal aborts race
+/// link credit-parking.
+///
+/// A donor abort (withdrawal, fence timeout, or salvage seize) used to
+/// unpark its victim directly. When the victim's link was
+/// credit-parked, the scheduler would serve a second flit for a link
+/// whose one-deep stash was already occupied; the release build
+/// overwrote the stashed flit (losing it) and drifted the worker's
+/// `stash_count`, so the exit gate never opened and shutdown hung —
+/// reproducing on most runs of the stealing bench's buffered leg. Tight
+/// credits plus an aggressive steal policy make the race hot; four
+/// rounds keep the reproduction probability high without a long wait.
+#[test]
+fn stealing_under_buffered_egress_shuts_down_cleanly() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    use err_runtime::{BufferedConfig, EgressMode, ShardExit};
+
+    const N_FLOWS: usize = 16;
+    const N_LINKS: usize = 4;
+    const PACKETS: u64 = 6_000;
+
+    for round in 0..4 {
+        let delivered = Arc::new(AtomicU64::new(0));
+        let (rt, handle) = Runtime::start_with_egress(
+            RuntimeConfig {
+                shards: 4,
+                n_flows: N_FLOWS,
+                ring_capacity: 1 << 14,
+                stealing: Some(StealingConfig {
+                    poll_interval: 4,
+                    steal_threshold: 128,
+                    min_gap: 64,
+                    cooldown_polls: 1,
+                }),
+                egress: EgressMode::Buffered(BufferedConfig {
+                    ring_capacity: 64,
+                    // Tight credits: links credit-park constantly, so
+                    // steal aborts keep landing on parked victims.
+                    credits: 4,
+                    n_links: N_LINKS,
+                    ..BufferedConfig::default()
+                }),
+                ..RuntimeConfig::default()
+            },
+            {
+                let delivered = Arc::clone(&delivered);
+                move |_shard| {
+                    let delivered = Arc::clone(&delivered);
+                    Some(move |_s: usize, _f: &ServedFlit| {
+                        delivered.fetch_add(1, Ordering::Relaxed);
+                    })
+                }
+            },
+        );
+
+        // ~75% of flits on two flows: heavy skew keeps steals (and
+        // their aborts, via the backlog-withdrawal path) coming.
+        let mut flits = 0u64;
+        for id in 0..PACKETS {
+            let (flow, len) = if id % 4 < 3 {
+                ((id % 2) as usize, 16u32)
+            } else {
+                ((2 + id % 14) as usize, 4u32)
+            };
+            flits += u64::from(len);
+            assert_eq!(
+                handle.submit(Packet::new(id, flow, len, 0)),
+                Ok(Submitted::Enqueued),
+                "round {round}: submit {id}"
+            );
+        }
+        while handle.stats().served_packets() < PACKETS {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+
+        // A drifted stash count wedges the exit gate: the worker is
+        // then Abandoned at the deadline instead of exiting Clean.
+        let report = rt.shutdown_within(std::time::Duration::from_secs(60));
+        assert!(
+            report.exits.iter().all(|e| matches!(e, ShardExit::Clean)),
+            "round {round}: wedged worker: {:?}",
+            report.exits
+        );
+        assert!(report.is_conserving(), "round {round}: {report:?}");
+        assert_eq!(report.served_packets(), PACKETS, "round {round}");
+        assert_eq!(
+            delivered.load(Ordering::Relaxed),
+            flits,
+            "round {round}: a stashed flit was overwritten and lost"
+        );
+    }
+}
