@@ -233,6 +233,33 @@ const DOC_RULES: &[DocRule] = &[
             "resurrection",
         ],
     },
+    // §14 vocabulary: the healing layer's fault events, policies, and
+    // supervision artifacts must stay named in the spec (spec-first,
+    // like §13; see §14's preamble).
+    DocRule {
+        doc: "DESIGN.md",
+        section: Some("## 14"),
+        needles: &[
+            // FabricFault heal events and their builders (chaos.rs).
+            "HealLink",
+            "ReviveNode",
+            "PanicForwarder",
+            "heal_link_at",
+            "revive_node_at",
+            "panic_forwarder_at",
+            // The dead-letter replay machinery (link.rs / flusher.rs).
+            "HoldForRecovery",
+            "resurrect",
+            "replayed",
+            // Bounded drains (fabric.rs).
+            "DrainOutcome",
+            "HeldForRecovery",
+            // Forwarder supervision (forwarder.rs / chaos.rs).
+            "ForwarderExit",
+            "catch_unwind",
+            "poisoned",
+        ],
+    },
     DocRule {
         doc: "README.md",
         section: None,
@@ -254,6 +281,8 @@ const DOC_RULES: &[DocRule] = &[
             "BENCH_estimate",
             "isolation",
             "speedup",
+            "fabric_heal",
+            "fabric_flap",
         ],
     },
 ];

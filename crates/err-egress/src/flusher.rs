@@ -104,6 +104,11 @@ pub struct FlusherCore {
     ///
     /// [`take_dead_lettered`]: FlusherCore::take_dead_lettered
     dead_lettered: u64,
+    /// Per link: whether the current pending backlog was ever observed
+    /// held behind a dead link, so deliveries out of it after a
+    /// resurrect count as replays ([`LinkSet::on_replayed`], DESIGN.md
+    /// §14.2). Cleared whenever the backlog empties.
+    dead_seen: Vec<bool>,
 }
 
 impl FlusherCore {
@@ -116,6 +121,7 @@ impl FlusherCore {
             pending_total: 0,
             popped: 0,
             dead_lettered: 0,
+            dead_seen: vec![false; n_links],
         }
     }
 
@@ -193,16 +199,25 @@ impl FlusherCore {
         // before fresh ones for the same link.
         if self.pending_total > 0 {
             for link in 0..self.pending.len() {
-                if drop_dead && links.is_dead(link) {
-                    // The link died under its backlog: the whole queue
-                    // dead-letters, in order, credits returning as it
-                    // goes (§9.3).
-                    while self.pending[link].pop_front().is_some() {
-                        self.pending_total -= 1;
-                        links.on_dead_letter(link);
-                        self.dead_lettered += 1;
+                if links.is_dead(link) {
+                    if drop_dead {
+                        // The link died under its backlog: the whole
+                        // queue dead-letters, in order, credits
+                        // returning as it goes (§9.3).
+                        while self.pending[link].pop_front().is_some() {
+                            self.pending_total -= 1;
+                            links.on_dead_letter(link);
+                            self.dead_lettered += 1;
+                        }
+                        self.dead_seen[link] = false;
+                        continue;
                     }
-                    continue;
+                    // HoldForRecovery: remember this backlog crossed a
+                    // death window, so its eventual deliveries count as
+                    // replays (§14.2).
+                    if !self.pending[link].is_empty() {
+                        self.dead_seen[link] = true;
+                    }
                 }
                 while !self.pending[link].is_empty() && !links.blocked(link) {
                     let flit = *self.pending[link].front().expect("checked non-empty");
@@ -213,7 +228,13 @@ impl FlusherCore {
                     }
                     self.pending[link].pop_front();
                     self.pending_total -= 1;
+                    if self.dead_seen[link] {
+                        links.on_replayed(link);
+                    }
                     delivered += 1;
+                }
+                if self.pending[link].is_empty() {
+                    self.dead_seen[link] = false;
                 }
             }
         }
@@ -230,6 +251,13 @@ impl FlusherCore {
             {
                 self.pending[link].push_back(flit);
                 self.pending_total += 1;
+                if links.is_dead(link) {
+                    // Parked behind a dead link under HoldForRecovery
+                    // (DropAndAccount never reaches here dead): this
+                    // backlog crossed a death window, so its eventual
+                    // deliveries count as replays (§14.2).
+                    self.dead_seen[link] = true;
+                }
                 // Every pending flit holds a credit, so the stall
                 // buffer is bounded by the credit pool.
                 debug_assert!(
@@ -252,13 +280,20 @@ impl FlusherCore {
     pub fn finalize_dead_letters(&mut self, links: &LinkSet) -> u64 {
         let mut n = 0u64;
         for link in 0..self.pending.len() {
-            if !links.is_dead(link) {
-                continue;
-            }
-            while self.pending[link].pop_front().is_some() {
+            // `is_dead` is rechecked per pop, not once per queue: a
+            // `resurrect` racing this finalize (the monitor healing a
+            // link in the same instant the drain gives up on it) must
+            // not have the rest of the backlog dead-lettered under a
+            // now-live link — the remainder stays pending and the next
+            // `step` delivers it as a replay (§14.2).
+            while !self.pending[link].is_empty() && links.is_dead(link) {
+                self.pending[link].pop_front();
                 self.pending_total -= 1;
                 links.on_dead_letter(link);
                 n += 1;
+            }
+            if self.pending[link].is_empty() {
+                self.dead_seen[link] = false;
             }
         }
         self.dead_lettered += n;
@@ -455,6 +490,126 @@ mod tests {
         links.resurrect(0);
         assert_eq!(core.step(&links, None, &mut sink), 3);
         assert_eq!(out, vec![0, 1, 2], "held flits deliver in order");
+    }
+
+    #[test]
+    fn replay_counter_tracks_death_held_deliveries_only() {
+        let links = LinkSet::with_fault_policy(2, 8, None, DeadLinkPolicy::HoldForRecovery);
+        let (mut tx, rx) = spsc_ring(16);
+        let mut core = FlusherCore::new(0, rx, 2);
+        // Link 0 dies under a 3-flit backlog; link 1 stays healthy.
+        links.declare_dead(0);
+        for i in 0..3u64 {
+            links.try_acquire(0);
+            tx.push(flit(0, i, 0, 1)).unwrap();
+        }
+        links.try_acquire(1);
+        tx.push(flit(1, 10, 0, 1)).unwrap();
+        let mut out = Vec::new();
+        let mut sink = |_s: usize, f: &ServedFlit| out.push(f.packet);
+        assert_eq!(core.step(&links, None, &mut sink), 1, "live link flows");
+        // Another step observes the held backlog behind the dead link.
+        assert_eq!(core.step(&links, None, &mut sink), 0);
+        links.resurrect(0);
+        assert_eq!(core.step(&links, None, &mut sink), 3);
+        let snap = links.snapshot();
+        assert_eq!(snap[0].replayed, 3, "held flits replay on resurrect");
+        assert_eq!(snap[1].replayed, 0, "normal deliveries are not replays");
+        // Post-replay traffic on link 0 is normal again.
+        links.try_acquire(0);
+        tx.push(flit(0, 20, 0, 1)).unwrap();
+        assert_eq!(core.step(&links, None, &mut sink), 1);
+        assert_eq!(links.snapshot()[0].replayed, 3, "replay window closed");
+        assert_eq!(out, vec![10, 0, 1, 2, 20]);
+    }
+
+    #[test]
+    fn finalize_rechecks_death_per_pop_so_resurrect_cannot_strand() {
+        // Regression (§14.2): `finalize_dead_letters` used to test
+        // `is_dead` once per queue and then drain it unconditionally —
+        // a `resurrect` landing mid-drain had the rest of the backlog
+        // dead-lettered under a live link. The per-pop recheck leaves
+        // the remainder pending for the next step to deliver.
+        let links = LinkSet::with_fault_policy(1, 8, None, DeadLinkPolicy::HoldForRecovery);
+        let (mut tx, rx) = spsc_ring(16);
+        let mut core = FlusherCore::new(0, rx, 1);
+        links.declare_dead(0);
+        for i in 0..3u64 {
+            links.try_acquire(0);
+            tx.push(flit(0, i, 0, 1)).unwrap();
+        }
+        let mut out = Vec::new();
+        let mut sink = |_s: usize, f: &ServedFlit| out.push(f.packet);
+        assert_eq!(core.step(&links, None, &mut sink), 0);
+        assert_eq!(core.pending_len(0), 3);
+        // Resurrect *before* finalize: nothing may be dead-lettered.
+        links.resurrect(0);
+        assert_eq!(core.finalize_dead_letters(&links), 0);
+        assert_eq!(core.pending_len(0), 3, "backlog survives the finalize");
+        assert_eq!(core.step(&links, None, &mut sink), 3);
+        assert_eq!(out, vec![0, 1, 2]);
+        let snap = links.snapshot();
+        assert_eq!(snap[0].dead_letter_flits, 0);
+        assert_eq!(snap[0].replayed, 3);
+        assert_eq!(snap[0].credits_available, 8);
+    }
+
+    #[test]
+    fn resurrect_racing_shutdown_strands_no_flit() {
+        // Threaded regression for the same race: a resurrect fired from
+        // another thread while the closed flusher is finalizing must
+        // leave every flit either delivered or dead-lettered — never
+        // stranded — and every credit returned.
+        for round in 0..50u64 {
+            let links = Arc::new(LinkSet::with_fault_policy(
+                1,
+                16,
+                None,
+                DeadLinkPolicy::HoldForRecovery,
+            ));
+            let closed = Arc::new(AtomicBool::new(false));
+            let stats = Arc::new(ShardEgressStats::default());
+            let progress = Arc::new(FlushProgress::default());
+            let (mut tx, rx) = spsc_ring(32);
+            let core = FlusherCore::new(0, rx, 1);
+            let out = Arc::new(std::sync::Mutex::new(Vec::new()));
+            let sink = {
+                let out = Arc::clone(&out);
+                move |_s: usize, f: &ServedFlit| out.lock().unwrap().push(f.packet)
+            };
+            links.declare_dead(0);
+            const PUSHED: u64 = 8;
+            for i in 0..PUSHED {
+                assert!(links.try_acquire(0));
+                tx.push(flit(0, i, 0, 1)).unwrap();
+            }
+            let h = {
+                let (links, closed) = (Arc::clone(&links), Arc::clone(&closed));
+                let (stats, progress) = (Arc::clone(&stats), Arc::clone(&progress));
+                std::thread::spawn(move || {
+                    run_flusher(core, links, None, closed, stats, progress, sink)
+                })
+            };
+            // Jitter the interleaving: closed first, resurrect racing
+            // the finalize that close triggers.
+            closed.store(true, Ordering::Release);
+            for _ in 0..(round % 7) * 40 {
+                std::hint::spin_loop();
+            }
+            links.resurrect(0);
+            h.join().unwrap();
+            let snap = links.snapshot();
+            let delivered = out.lock().unwrap().len() as u64;
+            assert_eq!(
+                delivered + snap[0].dead_letter_flits,
+                PUSHED,
+                "round {round}: every flit disposed exactly once"
+            );
+            assert_eq!(
+                snap[0].credits_available, 16,
+                "round {round}: all credits returned"
+            );
+        }
     }
 
     #[test]

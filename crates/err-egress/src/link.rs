@@ -95,6 +95,10 @@ struct Link {
     deaths: AtomicU64,
     /// Times this link was resurrected.
     resurrections: AtomicU64,
+    /// Flits delivered out of a death-held backlog after a resurrect
+    /// (DESIGN.md §14.2) — the replay half of
+    /// [`DeadLinkPolicy::HoldForRecovery`].
+    replayed: AtomicU64,
     /// Completed stall durations. Watchdog-only state, touched once per
     /// stall release — never on the per-flit path — so a `Mutex` is fine.
     stall_hist: Mutex<Histogram>,
@@ -114,6 +118,7 @@ impl Link {
             dead_letters: AtomicU64::new(0),
             deaths: AtomicU64::new(0),
             resurrections: AtomicU64::new(0),
+            replayed: AtomicU64::new(0),
             stall_hist: Mutex::new(Histogram::new(STALL_HIST_BIN, STALL_HIST_BINS)),
         }
     }
@@ -144,6 +149,9 @@ pub struct LinkSnapshot {
     pub deaths: u64,
     /// Times the link was resurrected.
     pub resurrections: u64,
+    /// Flits delivered out of a death-held backlog after a resurrect
+    /// (DESIGN.md §14.2).
+    pub replayed: u64,
 }
 
 /// The set of downstream links shared by every shard's egress path.
@@ -276,6 +284,17 @@ impl LinkSet {
         let clock = self.flush_clock.fetch_add(1, Ordering::AcqRel) + 1;
         l.last_credit_return.store(clock, Ordering::Relaxed);
         clock
+    }
+
+    /// Records that a flit just delivered on `link` had been held
+    /// through a death window ([`DeadLinkPolicy::HoldForRecovery`]) and
+    /// was replayed after a [`resurrect`](LinkSet::resurrect). Called
+    /// by the flusher, after the matching [`on_delivered`] — replays
+    /// are a subset of deliveries, not a separate clock.
+    ///
+    /// [`on_delivered`]: LinkSet::on_delivered
+    pub fn on_replayed(&self, link: usize) {
+        self.links[link].replayed.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records a flit finally *not* delivered on a dead `link`: the
@@ -489,6 +508,7 @@ impl LinkSet {
                     dead_letter_flits: l.dead_letters.load(Ordering::Relaxed),
                     deaths: l.deaths.load(Ordering::Relaxed),
                     resurrections: l.resurrections.load(Ordering::Relaxed),
+                    replayed: l.replayed.load(Ordering::Relaxed),
                 }
             })
             .collect()
@@ -654,6 +674,16 @@ mod tests {
         // The credit is still outstanding, but the watchdog now measures
         // from the resurrection clock — no instant re-death.
         assert!(links.poll_deadlines().is_empty());
+    }
+
+    #[test]
+    fn replayed_counts_are_per_link_and_snapshot() {
+        let links = LinkSet::with_fault_policy(2, 4, None, DeadLinkPolicy::HoldForRecovery);
+        links.on_replayed(1);
+        links.on_replayed(1);
+        let snap = links.snapshot();
+        assert_eq!(snap[0].replayed, 0);
+        assert_eq!(snap[1].replayed, 2);
     }
 
     #[test]

@@ -28,6 +28,10 @@ pub struct ShardEgressStats {
     pub credit_exhaustions: AtomicU64,
     /// Times the worker found the output ring full and had to spin.
     pub ring_full_spins: AtomicU64,
+    /// Times this shard's flusher body unwound and was caught by its
+    /// supervisor (DESIGN.md §14.4). Written by the flusher thread's
+    /// catch-unwind wrapper, once per panic — never on the flit path.
+    pub flusher_panics: AtomicU64,
 }
 
 impl ShardEgressStats {
@@ -43,6 +47,7 @@ impl ShardEgressStats {
             ring_peak: self.ring_peak.load(Ordering::Relaxed),
             credit_exhaustions: self.credit_exhaustions.load(Ordering::Relaxed),
             ring_full_spins: self.ring_full_spins.load(Ordering::Relaxed),
+            flusher_panics: self.flusher_panics.load(Ordering::Relaxed),
         }
     }
 }
@@ -58,6 +63,8 @@ pub struct ShardEgressSnapshot {
     pub credit_exhaustions: u64,
     /// Ring-full spins seen by the worker.
     pub ring_full_spins: u64,
+    /// Flusher-body panics caught by the supervisor (DESIGN.md §14.4).
+    pub flusher_panics: u64,
 }
 
 /// Aggregate egress view: per-shard counters plus per-link watchdog
@@ -79,6 +86,11 @@ impl EgressSnapshot {
     /// Largest per-shard ring peak.
     pub fn peak_ring_occupancy(&self) -> u64 {
         self.shards.iter().map(|s| s.ring_peak).max().unwrap_or(0)
+    }
+
+    /// Total flusher panics caught across shards (§14.4).
+    pub fn flusher_panics(&self) -> u64 {
+        self.shards.iter().map(|s| s.flusher_panics).sum()
     }
 
     /// Total stall events across links.

@@ -1,5 +1,6 @@
-//! Chaos at fabric scope: killing cables and whole nodes mid-run
-//! (DESIGN.md §11.4).
+//! Chaos at fabric scope: killing cables and whole nodes mid-run, and
+//! healing them back (DESIGN.md §11.4 fail-stop half, §14 recovery
+//! half).
 //!
 //! Events fire on the fabric's **ejection clock** — total packets
 //! delivered — which is deterministic under a deterministic workload
@@ -8,11 +9,13 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
-/// One scheduled fabric fault.
+/// One scheduled fabric fault (or heal — §14.1).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FabricFault {
     /// Cuts one inter-node cable: the upstream Forwarder sees the dead
-    /// flag and reroutes (or dead-letters) everything routed over it.
+    /// flag and handles everything routed over it per the fabric's
+    /// dead-link policy — reroute/dead-letter under `DropAndAccount`
+    /// (§11.4), hold for replay under `HoldForRecovery` (§14.2).
     KillLink {
         /// Upstream node owning the cable.
         node: usize,
@@ -30,13 +33,49 @@ pub enum FabricFault {
         /// Ejection-clock value at which the kill happens.
         at: u64,
     },
+    /// Heals a cut cable (§14.1): the monitor clears the `DeadMap`
+    /// flag — tail handoffs go back to the primary path — and, under
+    /// `HoldForRecovery`, resurrects the upstream egress link so its
+    /// death-held flits replay in FIFO order.
+    HealLink {
+        /// Upstream node owning the cable.
+        node: usize,
+        /// That node's link index (never `0`, the eject end).
+        link: usize,
+        /// Ejection-clock value at which the heal happens.
+        at: u64,
+    },
+    /// Reboots a killed node (§14.1): the monitor starts a successor
+    /// runtime from the node's boot recipe, swaps its submit handle
+    /// back in, and heals the node's cables in both directions. A
+    /// no-op if the node is alive.
+    ReviveNode {
+        /// The node to revive.
+        node: usize,
+        /// Ejection-clock value at which the revival happens.
+        at: u64,
+    },
+    /// Arms a one-shot panic in `node`'s forwarder (§14.4): the next
+    /// transit tail handed off at that node panics inside the
+    /// forwarder body, exercising the catch-unwind supervision and the
+    /// poisoned-cable path.
+    PanicForwarder {
+        /// The node whose forwarder will panic.
+        node: usize,
+        /// Ejection-clock value at which the panic is armed.
+        at: u64,
+    },
 }
 
 impl FabricFault {
     /// The ejection-clock deadline of the event.
     pub fn at(&self) -> u64 {
         match *self {
-            FabricFault::KillLink { at, .. } | FabricFault::KillNode { at, .. } => at,
+            FabricFault::KillLink { at, .. }
+            | FabricFault::KillNode { at, .. }
+            | FabricFault::HealLink { at, .. }
+            | FabricFault::ReviveNode { at, .. }
+            | FabricFault::PanicForwarder { at, .. } => at,
         }
     }
 }
@@ -66,6 +105,26 @@ impl FabricFaultPlan {
         self
     }
 
+    /// Schedules a cable heal at ejection-clock `at` (§14.1).
+    pub fn heal_link_at(mut self, node: usize, link: usize, at: u64) -> Self {
+        assert!(link > 0, "link 0 is the eject end, not a cable");
+        self.events.push(FabricFault::HealLink { node, link, at });
+        self
+    }
+
+    /// Schedules a node revival at ejection-clock `at` (§14.1).
+    pub fn revive_node_at(mut self, node: usize, at: u64) -> Self {
+        self.events.push(FabricFault::ReviveNode { node, at });
+        self
+    }
+
+    /// Schedules a one-shot forwarder panic at ejection-clock `at`
+    /// (§14.4).
+    pub fn panic_forwarder_at(mut self, node: usize, at: u64) -> Self {
+        self.events.push(FabricFault::PanicForwarder { node, at });
+        self
+    }
+
     /// The scheduled events, in insertion order.
     pub fn events(&self) -> &[FabricFault] {
         &self.events
@@ -84,13 +143,69 @@ pub struct FabricFaultEvent {
     pub fault: FabricFault,
     /// Ejection-clock value when the monitor applied it (≥ `at`).
     pub fired_at: u64,
-    /// Packets the killed node still held (0 for `KillLink`).
+    /// Packets the killed node still held (0 for everything but
+    /// `KillNode`).
     pub lost_packets: u64,
 }
 
+/// One caught forwarder unwind (§14.4): what the supervisor salvaged
+/// when a forwarder body panicked mid-flit instead of letting the
+/// panic wedge the flusher and the fabric gate.
+#[derive(Clone, Debug)]
+pub struct ForwarderExit {
+    /// The node whose forwarder unwound.
+    pub node: usize,
+    /// Flow of the flit being processed when the panic hit.
+    pub flow: usize,
+    /// Packet id of that flit.
+    pub packet: u64,
+    /// The cable declared dead by the supervisor (the flit's next hop),
+    /// or `None` when the flit was ejecting locally.
+    pub poisoned_link: Option<usize>,
+    /// The panic payload, when it was a string.
+    pub message: String,
+}
+
+/// One-shot per-node panic triggers for [`FabricFault::PanicForwarder`]
+/// (§14.4): armed by the monitor, consumed by the first transit tail
+/// handed off at that node.
+pub struct PanicSwitch {
+    armed: Vec<AtomicBool>,
+}
+
+impl PanicSwitch {
+    /// All-disarmed switches for `n_nodes` nodes.
+    pub fn new(n_nodes: usize) -> Self {
+        Self {
+            armed: (0..n_nodes).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+
+    /// Arms `node`'s forwarder to panic on its next tail handoff.
+    pub fn arm(&self, node: usize) {
+        // ordering: Release pairs with the Acquire/AcqRel reads in
+        // `take` — the forwarder that fires the panic observes every
+        // monitor write made before the arming.
+        self.armed[node].store(true, Ordering::Release);
+    }
+
+    /// Consumes `node`'s armed trigger, if set. The disarmed fast path
+    /// is a plain load so the per-tail check costs no RMW.
+    pub fn take(&self, node: usize) -> bool {
+        // ordering: Acquire pairs with the Release store in `arm`.
+        if !self.armed[node].load(Ordering::Acquire) {
+            return false;
+        }
+        // ordering: AcqRel — exactly one forwarder thread consumes the
+        // trigger even when several race the armed window.
+        self.armed[node].swap(false, Ordering::AcqRel)
+    }
+}
+
 /// Shared liveness flags the Forwarders consult on every tail handoff:
-/// one per inter-node cable and one per node. Set once (false → true)
-/// by the monitor, read by flusher threads.
+/// one per inter-node cable and one per node. Set (false → true) by
+/// the monitor on a kill and cleared back by a heal (§14.1); read by
+/// flusher threads.
 pub struct DeadMap {
     links: Vec<Vec<AtomicBool>>,
     nodes: Vec<AtomicBool>,
@@ -121,6 +236,33 @@ impl DeadMap {
     pub fn kill_node(&self, node: usize) {
         // ordering: Release; see `kill_link`.
         self.nodes[node].store(true, Ordering::Release);
+    }
+
+    /// Clears a cable's dead flag (§14.1): the next tail handoff may
+    /// cross it again.
+    pub fn heal_link(&self, node: usize, link: usize) {
+        // ordering: Release pairs with the Acquire loads in
+        // `link_dead`/`node_dead` — a forwarder that observes the heal
+        // also observes every replay-side write made before it.
+        self.links[node][link].store(false, Ordering::Release);
+    }
+
+    /// Clears a node's dead flag (§14.1).
+    pub fn revive_node(&self, node: usize) {
+        // ordering: Release; see `heal_link`.
+        self.nodes[node].store(false, Ordering::Release);
+    }
+
+    /// Whether any cable or node is currently dead — the drain's
+    /// held-for-recovery check (§14.3).
+    pub fn any_dead(&self) -> bool {
+        // ordering: Acquire pairs with the Release stores in the
+        // kill/heal methods — same pairing as `link_dead`/`node_dead`.
+        self.links
+            .iter()
+            .flatten()
+            .any(|l| l.load(Ordering::Acquire))
+            || self.nodes.iter().any(|n| n.load(Ordering::Acquire))
     }
 
     /// Whether `node`'s cable `link` has been cut.
@@ -176,5 +318,66 @@ mod tests {
         d.kill_node(1);
         assert!(!d.viable(0, 2, Some(1)));
         assert!(d.viable(0, 2, None));
+    }
+
+    #[test]
+    fn heal_and_revive_restore_viability() {
+        let d = DeadMap::new(&[3, 2]);
+        d.kill_link(0, 1);
+        d.kill_node(1);
+        assert!(d.any_dead());
+        d.heal_link(0, 1);
+        assert!(!d.link_dead(0, 1));
+        assert!(!d.viable(0, 1, Some(1)), "peer still dead");
+        d.revive_node(1);
+        assert!(d.viable(0, 1, Some(1)));
+        assert!(!d.any_dead());
+    }
+
+    #[test]
+    fn heal_plan_builders_order_and_validate() {
+        let p = FabricFaultPlan::new()
+            .kill_link_at(0, 1, 10)
+            .heal_link_at(0, 1, 20)
+            .kill_node_at(2, 30)
+            .revive_node_at(2, 40)
+            .panic_forwarder_at(1, 50);
+        assert_eq!(p.events().len(), 5);
+        assert_eq!(
+            p.events().iter().map(|e| e.at()).collect::<Vec<_>>(),
+            [10, 20, 30, 40, 50]
+        );
+        assert!(matches!(
+            p.events()[1],
+            FabricFault::HealLink {
+                node: 0,
+                link: 1,
+                ..
+            }
+        ));
+        assert!(matches!(
+            p.events()[3],
+            FabricFault::ReviveNode { node: 2, .. }
+        ));
+        assert!(matches!(
+            p.events()[4],
+            FabricFault::PanicForwarder { node: 1, .. }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "eject end")]
+    fn healing_the_eject_end_is_rejected() {
+        let _ = FabricFaultPlan::new().heal_link_at(0, 0, 1);
+    }
+
+    #[test]
+    fn panic_switch_is_one_shot() {
+        let s = PanicSwitch::new(2);
+        assert!(!s.take(0), "disarmed");
+        s.arm(0);
+        assert!(!s.take(1), "per-node");
+        assert!(s.take(0));
+        assert!(!s.take(0), "consumed");
     }
 }

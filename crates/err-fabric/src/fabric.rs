@@ -1,18 +1,21 @@
 //! The `Fabric` handle: boot, submit, drain, queries (DESIGN.md
-//! §11.3) and the chaos monitor (§11.4).
+//! §11.3), the chaos monitor (§11.4), and fabric healing — heal/revive
+//! events, dead-letter replay, and forwarder supervision (§14).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::{Duration, Instant};
 
-use err_egress::{BufferedConfig, EgressController, StallPlan};
+use err_egress::{BufferedConfig, DeadLinkPolicy, EgressController, StallPlan};
 use err_runtime::{
     AdmissionPolicy, DrainReport, EgressMode, Runtime, RuntimeConfig, RuntimeHandle, SubmitError,
     Submitted,
 };
 use err_sched::{Discipline, Packet};
 
-use crate::chaos::{DeadMap, FabricFault, FabricFaultEvent, FabricFaultPlan};
+use crate::chaos::{
+    DeadMap, FabricFault, FabricFaultEvent, FabricFaultPlan, ForwarderExit, PanicSwitch,
+};
 use crate::forwarder::Forwarder;
 use crate::hops::{HopEntry, HopTracker};
 use crate::stats::{FabricLedger, FlowSnapshot, HopSnapshot, NodeCounters};
@@ -64,6 +67,16 @@ impl FabricGate {
         self.closed.store(true, Ordering::SeqCst);
     }
 
+    /// Whether the fabric has been closed to new submits. The chaos
+    /// monitor's exit check (§14.1): once closed, the ejection clock
+    /// can stall for good, so unfired future events are unreachable.
+    pub(crate) fn closed(&self) -> bool {
+        // ordering: SeqCst — same total order as the `enter`/`close`
+        // Dekker, so the monitor's exit decision never runs ahead of a
+        // producer that was admitted before the close.
+        self.closed.load(Ordering::SeqCst)
+    }
+
     /// Packets submitted but not yet terminal.
     pub(crate) fn in_flight(&self) -> u64 {
         // ordering: SeqCst; pairs with `enter`/`depart` above.
@@ -93,8 +106,14 @@ pub struct FabricConfig {
     pub max_backlog: u64,
     /// Deterministic egress stall schedules, per node id.
     pub node_stalls: Vec<(usize, StallPlan)>,
-    /// Chaos schedule on the ejection clock (§11.4).
+    /// Chaos schedule on the ejection clock (§11.4, §14.1).
     pub fault_plan: Option<FabricFaultPlan>,
+    /// What a node does with flits bound for a dead cable (§14.2):
+    /// `DropAndAccount` dead-letters them (the §11.4 fail-stop
+    /// default); `HoldForRecovery` holds them — credits pinned
+    /// upstream, flows parked — and replays them in FIFO order when
+    /// the cable heals.
+    pub dead_link_policy: DeadLinkPolicy,
 }
 
 impl FabricConfig {
@@ -111,8 +130,91 @@ impl FabricConfig {
             max_backlog: 64,
             node_stalls: Vec::new(),
             fault_plan: None,
+            dead_link_policy: DeadLinkPolicy::default(),
         }
     }
+}
+
+/// How a [`Fabric::drain_within`] ended (§14.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DrainOutcome {
+    /// Every in-flight packet reached a terminal outcome before the
+    /// deadline.
+    Graceful,
+    /// Progress stalled while a `HoldForRecovery` link or node was
+    /// still dead: the held flits are waiting for a heal that cannot
+    /// arrive during a drain, so the drain exited early (bounded)
+    /// into forced per-node shutdown with honest lost accounting,
+    /// instead of spinning to the full deadline.
+    HeldForRecovery,
+    /// The deadline expired with packets still in flight.
+    Forced,
+}
+
+/// Per-node ingress handles behind swappable slots (§14.1): set once
+/// at boot — resolving the Forwarder↔Runtime wiring cycle — and
+/// swapped only by the chaos monitor when a `ReviveNode` boots a
+/// node's successor runtime. Readers clone the handle (an `Arc` bump)
+/// instead of borrowing, so a revive never invalidates a reference
+/// another thread holds. The `RwLock` is read-locked once per tail
+/// handoff / submit — never per flit — and write-locked once per
+/// revive.
+pub(crate) struct HandleTable {
+    slots: OnceLock<Vec<RwLock<RuntimeHandle>>>,
+}
+
+impl HandleTable {
+    pub(crate) fn new() -> Self {
+        Self {
+            slots: OnceLock::new(),
+        }
+    }
+
+    fn install(&self, handles: Vec<RuntimeHandle>) {
+        self.slots
+            .set(handles.into_iter().map(RwLock::new).collect())
+            .unwrap_or_else(|_| unreachable!("handles are installed exactly once"));
+    }
+
+    /// The current handle of `node`; `None` only during the boot race
+    /// (a forwarder asking before `install` ran).
+    pub(crate) fn get(&self, node: usize) -> Option<RuntimeHandle> {
+        self.slots
+            .get()
+            .map(|s| s[node].read().expect("handle slot poisoned").clone())
+    }
+
+    /// Replaces `node`'s handle with its successor's (§14.1).
+    fn swap(&self, node: usize, handle: RuntimeHandle) {
+        let slots = self.slots.get().expect("swap before install");
+        *slots[node].write().expect("handle slot poisoned") = handle;
+    }
+}
+
+/// Forwarder unwind reports (§14.4). Lives here rather than in the
+/// forwarder so the cold-path lock stays out of the hot module; it is
+/// touched once per caught panic and once at drain.
+#[derive(Default)]
+pub(crate) struct ExitLog {
+    exits: Mutex<Vec<ForwarderExit>>,
+}
+
+impl ExitLog {
+    pub(crate) fn record(&self, exit: ForwarderExit) {
+        self.exits.lock().expect("exit log poisoned").push(exit);
+    }
+
+    fn take(&self) -> Vec<ForwarderExit> {
+        std::mem::take(&mut *self.exits.lock().expect("exit log poisoned"))
+    }
+}
+
+/// Everything needed to boot (or re-boot) one node's runtime: its
+/// immutable config and its Forwarder prototype. `ReviveNode` replays
+/// this recipe for the successor runtime (§14.1).
+struct NodeBoot {
+    rc: RuntimeConfig,
+    fwd: Forwarder,
 }
 
 /// Per-path facts for one flow (DESIGN.md §11.3, §11.5).
@@ -160,12 +262,23 @@ pub struct FabricReport {
     /// of a flow's hop means is the measured store-and-forward path
     /// delay the §12 estimator predicts.
     pub flow_hops: Vec<Vec<HopSnapshot>>,
-    /// Chaos events that fired (§11.4).
+    /// Chaos events that fired (§11.4, §14.1).
     pub events: Vec<FabricFaultEvent>,
     /// Packets lost in killed or force-drained nodes.
     pub lost_packets: u64,
-    /// Whether the drain deadline forced per-node aborts.
+    /// Whether the drain deadline forced per-node aborts (`outcome !=
+    /// Graceful` — kept alongside [`outcome`](Self::outcome) for
+    /// existing call sites).
     pub forced: bool,
+    /// How the drain ended (§14.3).
+    pub outcome: DrainOutcome,
+    /// Forwarder unwinds caught by the §14.4 supervisor.
+    pub forwarder_exits: Vec<ForwarderExit>,
+    /// Drain reports of node incarnations that were killed and later
+    /// revived (§14.1), as `(node, report)` — `node_reports[node]`
+    /// holds each node's *final* incarnation; earlier ones land here
+    /// so their enqueue/serve counts stay auditable.
+    pub prior_reports: Vec<(usize, DrainReport)>,
 }
 
 impl FabricReport {
@@ -205,6 +318,30 @@ impl FabricReport {
                 + self.lost_packets
     }
 
+    /// Total flits delivered out of a backlog that crossed a death
+    /// window (§14.2), summed over every node incarnation's egress
+    /// links. Nonzero exactly when a heal replayed held traffic.
+    pub fn replayed_flits(&self) -> u64 {
+        self.node_reports
+            .iter()
+            .chain(self.prior_reports.iter().map(|(_, r)| r))
+            .filter_map(|r| r.stats.egress.as_ref())
+            .flat_map(|e| e.links.iter())
+            .map(|l| l.replayed)
+            .sum()
+    }
+
+    /// Total flusher-body unwinds caught by the §14.4 supervisor,
+    /// summed over every node incarnation.
+    pub fn flusher_panics(&self) -> u64 {
+        self.node_reports
+            .iter()
+            .chain(self.prior_reports.iter().map(|(_, r)| r))
+            .filter_map(|r| r.stats.egress.as_ref())
+            .map(|e| e.flusher_panics())
+            .sum()
+    }
+
     /// Jain's fairness index over per-flow ejected flits, restricted
     /// to flows that submitted anything — the blast-radius metric.
     pub fn jain_ejected(&self) -> f64 {
@@ -228,16 +365,27 @@ pub struct Fabric {
     topo: Arc<Topology>,
     specs: Arc<Vec<FlowSpec>>,
     /// Node runtimes; an entry goes `None` when chaos kills the node
-    /// (its report moves into `killed`). Control-plane only — the hot
-    /// path uses `handles`.
+    /// (its report moves into `killed`) and is refilled by a
+    /// `ReviveNode` (§14.1). Control-plane only — the hot path uses
+    /// `handles`.
     nodes: Arc<Mutex<Vec<Option<Runtime>>>>,
     killed: Arc<Mutex<Vec<(usize, DrainReport)>>>,
-    handles: Vec<RuntimeHandle>,
-    controllers: Vec<EgressController>,
+    handles: Arc<HandleTable>,
+    /// Per-node egress controllers; a slot is swapped when a revive
+    /// boots a successor runtime, so access goes through the lock and
+    /// callers get clones.
+    controllers: Arc<Mutex<Vec<EgressController>>>,
     counters: Vec<Arc<NodeCounters>>,
+    /// Per node: `departed_packets()` reading at its last kill, so a
+    /// revived node's residual is judged against its own incarnation's
+    /// enqueues, not its predecessors' departures (§14.1).
+    departed_base: Arc<Vec<AtomicU64>>,
     ledger: Arc<FabricLedger>,
     gate: Arc<FabricGate>,
     dead: Arc<DeadMap>,
+    panic_arm: Arc<PanicSwitch>,
+    exits: Arc<ExitLog>,
+    policy: DeadLinkPolicy,
     tracker: Arc<HopTracker>,
     epoch: Instant,
     next_packet: AtomicU64,
@@ -275,8 +423,11 @@ impl Fabric {
         let gate = Arc::new(FabricGate::new());
         let link_counts: Vec<usize> = (0..n_nodes).map(|n| topo.n_links(n)).collect();
         let dead = Arc::new(DeadMap::new(&link_counts));
+        let panic_arm = Arc::new(PanicSwitch::new(n_nodes));
+        let exits = Arc::new(ExitLog::default());
+        let policy = cfg.dead_link_policy;
         let epoch = Instant::now();
-        let handles_cell: Arc<OnceLock<Vec<RuntimeHandle>>> = Arc::new(OnceLock::new());
+        let handle_table = Arc::new(HandleTable::new());
         let counters: Vec<Arc<NodeCounters>> = (0..n_nodes)
             .map(|_| Arc::new(NodeCounters::default()))
             .collect();
@@ -284,6 +435,7 @@ impl Fabric {
         let mut nodes = Vec::with_capacity(n_nodes);
         let mut handles = Vec::with_capacity(n_nodes);
         let mut controllers = Vec::with_capacity(n_nodes);
+        let mut boots = Vec::with_capacity(n_nodes);
         for node in 0..n_nodes {
             let stall_plan = cfg
                 .node_stalls
@@ -307,7 +459,7 @@ impl Fabric {
                     route_table: Some(tables[node].clone()),
                     stall_plan,
                     dead_link_deadline: None,
-                    dead_link_policy: Default::default(),
+                    dead_link_policy: policy,
                 }),
                 stealing: None,
                 supervision: None,
@@ -317,7 +469,7 @@ impl Fabric {
                 node,
                 Arc::clone(&topo),
                 Arc::clone(&specs),
-                Arc::clone(&handles_cell),
+                Arc::clone(&handle_table),
                 Arc::clone(&ledger),
                 Arc::clone(&counters[node]),
                 Arc::clone(&gate),
@@ -325,8 +477,14 @@ impl Fabric {
                 Arc::clone(&tracker),
                 Arc::clone(&hop_index),
                 epoch,
+                policy,
+                Arc::clone(&panic_arm),
+                Arc::clone(&exits),
             );
-            let (rt, handle) = Runtime::start_with_egress(rc, |_shard| Some(fwd.clone()));
+            let (rt, handle) = {
+                let fwd = fwd.clone();
+                Runtime::start_with_egress(rc.clone(), move |_shard| Some(fwd.clone()))
+            };
             controllers.push(
                 rt.egress_controller()
                     .expect("buffered mode always has a controller")
@@ -334,33 +492,38 @@ impl Fabric {
             );
             handles.push(handle);
             nodes.push(Some(rt));
+            boots.push(NodeBoot { rc, fwd });
         }
-        handles_cell
-            .set(handles.clone())
-            .unwrap_or_else(|_| unreachable!("handles are set exactly once"));
+        handle_table.install(handles);
 
         let nodes = Arc::new(Mutex::new(nodes));
         let killed = Arc::new(Mutex::new(Vec::new()));
         let events = Arc::new(Mutex::new(Vec::new()));
+        let controllers = Arc::new(Mutex::new(controllers));
+        let departed_base = Arc::new((0..n_nodes).map(|_| AtomicU64::new(0)).collect::<Vec<_>>());
         let monitor = cfg.fault_plan.filter(|p| !p.is_empty()).map(|plan| {
             let stop = Arc::new(AtomicBool::new(false));
+            let shared = MonitorShared {
+                ledger: Arc::clone(&ledger),
+                dead: Arc::clone(&dead),
+                nodes: Arc::clone(&nodes),
+                killed: Arc::clone(&killed),
+                gate: Arc::clone(&gate),
+                topo: Arc::clone(&topo),
+                counters: counters.clone(),
+                events: Arc::clone(&events),
+                controllers: Arc::clone(&controllers),
+                handles: Arc::clone(&handle_table),
+                boots: Arc::new(boots),
+                panic_arm: Arc::clone(&panic_arm),
+                departed_base: Arc::clone(&departed_base),
+                policy,
+            };
             let handle = {
                 let stop = Arc::clone(&stop);
-                let ledger = Arc::clone(&ledger);
-                let dead = Arc::clone(&dead);
-                let nodes = Arc::clone(&nodes);
-                let killed = Arc::clone(&killed);
-                let gate = Arc::clone(&gate);
-                let topo = Arc::clone(&topo);
-                let events = Arc::clone(&events);
-                let counters = counters.clone();
                 std::thread::Builder::new()
                     .name("err-fabric-monitor".into())
-                    .spawn(move || {
-                        run_monitor(
-                            plan, stop, ledger, dead, nodes, killed, gate, topo, counters, events,
-                        )
-                    })
+                    .spawn(move || run_monitor(plan, stop, shared))
                     .expect("spawning fabric monitor")
             };
             Monitor { stop, handle }
@@ -371,12 +534,16 @@ impl Fabric {
             specs,
             nodes,
             killed,
-            handles,
+            handles: handle_table,
             controllers,
             counters,
+            departed_base,
             ledger,
             gate,
             dead,
+            panic_arm,
+            exits,
+            policy,
             tracker,
             epoch,
             next_packet: AtomicU64::new(0),
@@ -410,6 +577,10 @@ impl Fabric {
             return Err(SubmitError::Closed);
         }
         let src = self.specs[flow].src;
+        let handle = self
+            .handles
+            .get(src)
+            .expect("handles are installed before the fabric is handed out");
         let pkt = Packet {
             id: self.next_packet.fetch_add(1, Ordering::Relaxed),
             flow,
@@ -417,8 +588,8 @@ impl Fabric {
             arrival: self.epoch.elapsed().as_micros() as u64,
         };
         let res = match timeout {
-            Some(t) => self.handles[src].submit_within(pkt, t),
-            None => self.handles[src].submit(pkt),
+            Some(t) => handle.submit_within(pkt, t),
+            None => handle.submit(pkt),
         };
         match &res {
             Ok(Submitted::Enqueued) => {
@@ -433,7 +604,7 @@ impl Fabric {
                     HopEntry {
                         node: src,
                         entry_us: self.epoch.elapsed().as_micros() as u64,
-                        entry_served_flits: self.handles[src].served_flits(),
+                        entry_served_flits: handle.served_flits(),
                     },
                 );
             }
@@ -469,9 +640,11 @@ impl Fabric {
     }
 
     /// The egress controller of `node` (freeze/thaw its links; link
-    /// `0` is the node's eject end).
-    pub fn controller(&self, node: usize) -> &EgressController {
-        &self.controllers[node]
+    /// `0` is the node's eject end). Returns a clone because a
+    /// `ReviveNode` can swap the slot for the successor runtime's
+    /// controller at any moment (§14.1).
+    pub fn controller(&self, node: usize) -> EgressController {
+        self.controllers.lock().expect("controller table poisoned")[node].clone()
     }
 
     /// Refused tail handoffs observed at `node` (each one is a
@@ -482,10 +655,33 @@ impl Fabric {
 
     /// Cuts one inter-node cable immediately — the deterministic
     /// equivalent of a `FabricFault::KillLink` without monitor timing
-    /// (link `0`, the eject end, is not a cable).
+    /// (link `0`, the eject end, is not a cable). Under
+    /// `HoldForRecovery` the upstream egress link is declared dead
+    /// too, so its flits hold their credits instead of spinning
+    /// against refusals (§14.2).
     pub fn cut_link(&self, node: usize, link: usize) {
         assert!(link > 0 && link < self.topo.n_links(node), "not a cable");
         self.dead.kill_link(node, link);
+        if self.policy == DeadLinkPolicy::HoldForRecovery {
+            self.controller(node).declare_dead(link);
+        }
+    }
+
+    /// Heals a cable cut by [`cut_link`](Self::cut_link) or a
+    /// `KillLink` — the deterministic equivalent of a
+    /// `FabricFault::HealLink` (§14.1): clears the `DeadMap` flag so
+    /// tails take the primary path again and resurrects the upstream
+    /// egress link, replaying any death-held flits in FIFO order.
+    pub fn heal_link(&self, node: usize, link: usize) {
+        assert!(link > 0 && link < self.topo.n_links(node), "not a cable");
+        self.dead.heal_link(node, link);
+        self.controller(node).resurrect(link);
+    }
+
+    /// Arms a one-shot panic in `node`'s forwarder — the deterministic
+    /// equivalent of a `FabricFault::PanicForwarder` (§14.4).
+    pub fn arm_forwarder_panic(&self, node: usize) {
+        self.panic_arm.arm(node);
     }
 
     /// Per-path facts for `flow` (DESIGN.md §11.3): fault-free hop
@@ -515,18 +711,57 @@ impl Fabric {
         fairness_metrics::jain_index(&alloc)
     }
 
+    /// Whether the drain's wait can no longer make progress because a
+    /// `HoldForRecovery` cable or node is still dead: the held flits
+    /// are waiting for a heal the closed fabric can't deliver (§14.3).
+    fn held_for_recovery(&self) -> bool {
+        if self.policy != DeadLinkPolicy::HoldForRecovery {
+            return false;
+        }
+        if self.dead.any_dead() {
+            return true;
+        }
+        let controllers = self.controllers.lock().expect("controller table poisoned");
+        controllers.iter().any(|c| {
+            let links = c.links();
+            (0..links.n_links()).any(|l| links.is_dead(l))
+        })
+    }
+
     /// Graceful multi-node drain (DESIGN.md §11.3): close the gate,
     /// wait for in-flight to reach zero, then shut every node down —
     /// by then all are empty, so zero flits are lost on this path. A
     /// deadline miss falls back to forced per-node `shutdown_within`,
-    /// honestly reported (`forced`, extra `lost_packets`).
+    /// honestly reported (`forced`, extra `lost_packets`). Under
+    /// `HoldForRecovery` with a cable still dead, the wait exits as
+    /// soon as progress stops instead of spinning to the deadline —
+    /// the held flits need a heal that cannot arrive once the fabric
+    /// is closed (§14.3, `DrainOutcome::HeldForRecovery`).
     pub fn drain_within(mut self, deadline: Duration) -> FabricReport {
+        /// How long ejections and departures may stand still before a
+        /// dead held link is judged permanent for this drain.
+        const HELD_STAGNATION: Duration = Duration::from_millis(150);
         self.gate.close();
         let end = Instant::now() + deadline;
-        while self.gate.in_flight() > 0 && Instant::now() < end {
+        let mut outcome = DrainOutcome::Graceful;
+        let mut last_progress = (self.gate.in_flight(), self.ledger.ejected_total());
+        let mut stagnant_since = Instant::now();
+        while self.gate.in_flight() > 0 {
+            if Instant::now() >= end {
+                outcome = DrainOutcome::Forced;
+                break;
+            }
+            let progress = (self.gate.in_flight(), self.ledger.ejected_total());
+            if progress != last_progress {
+                last_progress = progress;
+                stagnant_since = Instant::now();
+            } else if stagnant_since.elapsed() >= HELD_STAGNATION && self.held_for_recovery() {
+                outcome = DrainOutcome::HeldForRecovery;
+                break;
+            }
             std::thread::yield_now();
         }
-        let forced = self.gate.in_flight() > 0;
+        let forced = outcome != DrainOutcome::Graceful;
         if let Some(m) = self.monitor.take() {
             // ordering: Release pairs with the monitor's Acquire stop
             // check; the join is the real synchronization point.
@@ -539,7 +774,8 @@ impl Fabric {
             if let Some(rt) = slot.take() {
                 let report = if forced {
                     let rep = rt.shutdown_within(Duration::from_millis(200));
-                    let residual = node_residual(&rep, &self.counters[node]);
+                    let base = self.departed_base[node].load(Ordering::Relaxed);
+                    let residual = node_residual(&rep, &self.counters[node], base);
                     if residual > 0 {
                         self.ledger.on_lost(residual);
                         self.gate.depart(residual);
@@ -552,8 +788,24 @@ impl Fabric {
             }
         }
         drop(slots);
-        for (node, rep) in self.killed.lock().expect("kill log poisoned").drain(..) {
-            drains[node] = Some(rep);
+        // Killed incarnations: a node that was killed and never
+        // revived contributes its kill-time report as the node report;
+        // one that was revived keeps the successor's report in place
+        // and the predecessors' land in `prior_reports` (§14.1).
+        let mut prior: Vec<(usize, DrainReport)> = self
+            .killed
+            .lock()
+            .expect("kill log poisoned")
+            .drain(..)
+            .collect();
+        for (node, slot) in drains.iter_mut().enumerate() {
+            if slot.is_none() {
+                let last = prior
+                    .iter()
+                    .rposition(|(n, _)| *n == node)
+                    .expect("every node drained exactly once");
+                *slot = Some(prior.remove(last).1);
+            }
         }
         let events = std::mem::take(&mut *self.events.lock().expect("event log poisoned"));
         FabricReport {
@@ -568,6 +820,9 @@ impl Fabric {
             events,
             lost_packets: self.ledger.lost(),
             forced,
+            outcome,
+            forwarder_exits: self.exits.take(),
+            prior_reports: prior,
         }
     }
 }
@@ -575,16 +830,20 @@ impl Fabric {
 /// Packets that entered `rep`'s node and never departed through its
 /// Forwarder: the §11.4 lost computation (valid only after the node's
 /// workers *and* flushers are joined, so the counters are final).
-fn node_residual(rep: &DrainReport, counters: &NodeCounters) -> u64 {
+/// `departed_base` is the counter reading when the node's previous
+/// incarnation died (0 for a never-killed node), since `NodeCounters`
+/// accumulates across revives while `rep` counts one incarnation
+/// (§14.1).
+fn node_residual(rep: &DrainReport, counters: &NodeCounters, departed_base: u64) -> u64 {
     rep.stats
         .enqueued_packets()
-        .saturating_sub(counters.departed_packets())
+        .saturating_sub(counters.departed_packets().saturating_sub(departed_base))
 }
 
-#[allow(clippy::too_many_arguments)]
-fn run_monitor(
-    plan: FabricFaultPlan,
-    stop: Arc<AtomicBool>,
+/// Everything the chaos monitor shares with the fabric: the fault
+/// targets (dead map, node table, controllers, handles) plus the §14.1
+/// boot recipes a `ReviveNode` replays.
+struct MonitorShared {
     ledger: Arc<FabricLedger>,
     dead: Arc<DeadMap>,
     nodes: Arc<Mutex<Vec<Option<Runtime>>>>,
@@ -593,11 +852,29 @@ fn run_monitor(
     topo: Arc<Topology>,
     counters: Vec<Arc<NodeCounters>>,
     events: Arc<Mutex<Vec<FabricFaultEvent>>>,
-) {
+    controllers: Arc<Mutex<Vec<EgressController>>>,
+    handles: Arc<HandleTable>,
+    boots: Arc<Vec<NodeBoot>>,
+    panic_arm: Arc<PanicSwitch>,
+    departed_base: Arc<Vec<AtomicU64>>,
+    policy: DeadLinkPolicy,
+}
+
+impl MonitorShared {
+    fn controller(&self, node: usize) -> EgressController {
+        self.controllers.lock().expect("controller table poisoned")[node].clone()
+    }
+}
+
+fn run_monitor(plan: FabricFaultPlan, stop: Arc<AtomicBool>, shared: MonitorShared) {
     let mut pending: Vec<FabricFault> = plan.events().to_vec();
-    // ordering: Acquire pairs with the Release store in drain_within.
-    while !pending.is_empty() && !stop.load(Ordering::Acquire) {
-        let clock = ledger.ejected_total();
+    loop {
+        // ordering: Acquire pairs with the Release store in
+        // drain_within.
+        if pending.is_empty() || stop.load(Ordering::Acquire) {
+            return;
+        }
+        let clock = shared.ledger.ejected_total();
         let mut fired = Vec::new();
         pending.retain(|f| {
             if f.at() <= clock {
@@ -608,10 +885,9 @@ fn run_monitor(
             }
         });
         for fault in fired {
-            let lost = apply_fault(
-                fault, &dead, &nodes, &killed, &gate, &ledger, &topo, &counters,
-            );
-            events
+            let lost = apply_fault(fault, &shared);
+            shared
+                .events
                 .lock()
                 .expect("event log poisoned")
                 .push(FabricFaultEvent {
@@ -620,24 +896,43 @@ fn run_monitor(
                     lost_packets: lost,
                 });
         }
+        // A closed *and empty* fabric can never eject again, so events
+        // still in the future can never come due — exit instead of
+        // spinning until the drain's stop/join reaches us (the
+        // due-event pass above already ran against the final clock
+        // reading). Closed alone is not enough: in-flight traffic
+        // keeps ejecting through a drain, and a heal scheduled inside
+        // that window must still fire (§14.2).
+        if shared.gate.closed() && shared.gate.in_flight() == 0 {
+            return;
+        }
         std::thread::sleep(Duration::from_micros(200));
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn apply_fault(
-    fault: FabricFault,
-    dead: &DeadMap,
-    nodes: &Mutex<Vec<Option<Runtime>>>,
-    killed: &Mutex<Vec<(usize, DrainReport)>>,
-    gate: &FabricGate,
-    ledger: &FabricLedger,
-    topo: &Topology,
-    counters: &[Arc<NodeCounters>],
-) -> u64 {
+fn apply_fault(fault: FabricFault, shared: &MonitorShared) -> u64 {
+    let MonitorShared {
+        dead, topo, policy, ..
+    } = shared;
+    let hold = *policy == DeadLinkPolicy::HoldForRecovery;
     match fault {
         FabricFault::KillLink { node, link, .. } => {
             dead.kill_link(node, link);
+            if hold {
+                // The upstream egress link dies with the cable, so its
+                // flits hold their credits in the flusher's pending
+                // queue instead of spinning against forwarder refusals
+                // (§14.2).
+                shared.controller(node).declare_dead(link);
+            }
+            0
+        }
+        FabricFault::HealLink { node, link, .. } => {
+            dead.heal_link(node, link);
+            // Resurrect unconditionally: a no-op unless the egress
+            // link was declared dead (the Hold path above, or a
+            // deadline watchdog).
+            shared.controller(node).resurrect(link);
             0
         }
         FabricFault::KillNode { node, .. } => {
@@ -648,12 +943,28 @@ fn apply_fault(
             dead.kill_node(node);
             for link in 1..topo.n_links(node) {
                 dead.kill_link(node, link);
+                if hold {
+                    // The corpse's own cables die at the egress layer
+                    // too: its flusher then dead-letters their held
+                    // flits at shutdown and exits, instead of
+                    // outliving the kill as a zombie whose held tails
+                    // could replay packets already counted lost once
+                    // the cables heal (§14.1).
+                    shared.controller(node).declare_dead(link);
+                }
                 let peer = topo.peer(node, link).expect("cable has a peer");
                 if let Some(back) = topo.link_to(peer, node) {
                     dead.kill_link(peer, back);
+                    if hold {
+                        // Neighbors hold (rather than dead-letter)
+                        // what they owe the corpse, pending a revival
+                        // (§14.2).
+                        shared.controller(peer).declare_dead(back);
+                    }
                 }
             }
-            let rt = nodes
+            let rt = shared
+                .nodes
                 .lock()
                 .expect("fabric node table poisoned")
                 .get_mut(node)
@@ -664,13 +975,68 @@ fn apply_fault(
             let rep = rt.shutdown_within(Duration::from_millis(50));
             // Joined workers and flushers: the node's counters are
             // final, so entered − departed is exactly what it ate.
-            let lost = node_residual(&rep, &counters[node]);
+            let base = shared.departed_base[node].load(Ordering::Relaxed);
+            let lost = node_residual(&rep, &shared.counters[node], base);
+            // Re-base for a possible successor incarnation (§14.1):
+            // its residual is judged on departures made after this
+            // point.
+            shared.departed_base[node]
+                .store(shared.counters[node].departed_packets(), Ordering::Relaxed);
             if lost > 0 {
-                ledger.on_lost(lost);
-                gate.depart(lost);
+                shared.ledger.on_lost(lost);
+                shared.gate.depart(lost);
             }
-            killed.lock().expect("kill log poisoned").push((node, rep));
+            shared
+                .killed
+                .lock()
+                .expect("kill log poisoned")
+                .push((node, rep));
             lost
+        }
+        FabricFault::ReviveNode { node, .. } => {
+            let mut slots = shared.nodes.lock().expect("fabric node table poisoned");
+            if slots[node].is_some() {
+                return 0; // alive: nothing to revive
+            }
+            // Boot the successor from the §14.1 recipe. Forwarders of
+            // other nodes never take this lock, so holding it across
+            // the boot cannot deadlock the data plane; the drain takes
+            // it only after stopping this monitor.
+            let boot = &shared.boots[node];
+            let (rt, handle) = {
+                let fwd = boot.fwd.clone();
+                Runtime::start_with_egress(boot.rc.clone(), move |_shard| Some(fwd.clone()))
+            };
+            let controller = rt
+                .egress_controller()
+                .expect("buffered mode always has a controller")
+                .clone();
+            shared
+                .controllers
+                .lock()
+                .expect("controller table poisoned")[node] = controller;
+            shared.handles.swap(node, handle);
+            slots[node] = Some(rt);
+            drop(slots);
+            // Liveness flags last: a tail handed off the instant the
+            // flags clear must find the successor's handle installed.
+            shared.dead.revive_node(node);
+            for link in 1..topo.n_links(node) {
+                dead.heal_link(node, link);
+                shared.controller(node).resurrect(link);
+                let peer = topo.peer(node, link).expect("cable has a peer");
+                if let Some(back) = topo.link_to(peer, node) {
+                    dead.heal_link(peer, back);
+                    // Replays whatever the neighbor held for the
+                    // corpse (§14.2); a no-op under DropAndAccount.
+                    shared.controller(peer).resurrect(back);
+                }
+            }
+            0
+        }
+        FabricFault::PanicForwarder { node, .. } => {
+            shared.panic_arm.arm(node);
+            0
         }
     }
 }

@@ -9,16 +9,23 @@
 //! queue with its credit held — as flits pile behind it the pool
 //! drains and the upstream scheduler parks exactly the flows routed
 //! over that link (§7): wormhole backpressure, hop by hop.
+//!
+//! The `Egress` entry points run under a catch-unwind supervisor
+//! (DESIGN.md §14.4): a panicking forwarder body poisons the flit's
+//! next-hop cable (declared dead — honest accounting takes over) and
+//! charges the flit's packet as dead-lettered, instead of unwinding
+//! into the flusher and wedging the fabric gate.
 
-use std::sync::{Arc, OnceLock};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use err_egress::Egress;
-use err_runtime::{RuntimeHandle, SubmitError, Submitted};
+use err_egress::{DeadLinkPolicy, Egress};
+use err_runtime::{SubmitError, Submitted};
 use err_sched::{Packet, ServedFlit};
 
-use crate::chaos::DeadMap;
-use crate::fabric::FabricGate;
+use crate::chaos::{DeadMap, ForwarderExit, PanicSwitch};
+use crate::fabric::{ExitLog, FabricGate, HandleTable};
 use crate::hops::{HopEntry, HopTracker};
 use crate::stats::{FabricLedger, NodeCounters};
 use crate::topology::{FlowSpec, NextHop, Topology};
@@ -29,6 +36,11 @@ pub enum ForwardOutcome {
     /// The flow's route here is `Eject`: delivered locally; on the
     /// tail flit the ledger records the packet and its latency.
     Ejected,
+    /// No live next hop exists and the fabric holds for recovery
+    /// (§14.2): like [`Refused`](Self::Refused), the tail stays
+    /// pending with its credit held, waiting for a heal instead of
+    /// dying.
+    Held,
     /// The handoff completed over the primary link — body flits
     /// always, the tail by downstream accepting the packet (or
     /// terminally accounting it as an admission drop).
@@ -52,9 +64,10 @@ pub struct Forwarder {
     node: usize,
     topo: Arc<Topology>,
     specs: Arc<Vec<FlowSpec>>,
-    /// Every node's ingress handle, set once after all nodes are up
-    /// (resolves the boot-order cycle without a lock on the hot path).
-    handles: Arc<OnceLock<Vec<RuntimeHandle>>>,
+    /// Every node's ingress handle, installed once after all nodes are
+    /// up (resolves the boot-order cycle) and swapped per revive
+    /// (§14.1).
+    handles: Arc<HandleTable>,
     ledger: Arc<FabricLedger>,
     counters: Arc<NodeCounters>,
     gate: Arc<FabricGate>,
@@ -65,6 +78,14 @@ pub struct Forwarder {
     /// the flow's fault-free path, `u16::MAX` when off-path.
     hop_index: Arc<Vec<u16>>,
     epoch: Instant,
+    /// What happens when no live next hop exists (§14.2): dead-letter
+    /// (`DropAndAccount`) or hold the tail for a heal
+    /// (`HoldForRecovery`).
+    policy: DeadLinkPolicy,
+    /// One-shot chaos panic triggers (§14.4).
+    panic_arm: Arc<PanicSwitch>,
+    /// Where the §14.4 supervisor records caught unwinds.
+    exits: Arc<ExitLog>,
 }
 
 impl Forwarder {
@@ -73,7 +94,7 @@ impl Forwarder {
         node: usize,
         topo: Arc<Topology>,
         specs: Arc<Vec<FlowSpec>>,
-        handles: Arc<OnceLock<Vec<RuntimeHandle>>>,
+        handles: Arc<HandleTable>,
         ledger: Arc<FabricLedger>,
         counters: Arc<NodeCounters>,
         gate: Arc<FabricGate>,
@@ -81,6 +102,9 @@ impl Forwarder {
         tracker: Arc<HopTracker>,
         hop_index: Arc<Vec<u16>>,
         epoch: Instant,
+        policy: DeadLinkPolicy,
+        panic_arm: Arc<PanicSwitch>,
+        exits: Arc<ExitLog>,
     ) -> Self {
         Self {
             node,
@@ -94,6 +118,9 @@ impl Forwarder {
             tracker,
             hop_index,
             epoch,
+            policy,
+            panic_arm,
+            exits,
         }
     }
 
@@ -111,10 +138,10 @@ impl Forwarder {
         if entry.node != self.node {
             return;
         }
-        let (Some(hop), Some(handles)) = (self.hop_of(flow), self.handles.get()) else {
+        let (Some(hop), Some(handle)) = (self.hop_of(flow), self.handles.get(self.node)) else {
             return;
         };
-        let cycles = handles[self.node]
+        let cycles = handle
             .served_flits()
             .saturating_sub(entry.entry_served_flits);
         self.ledger
@@ -153,12 +180,12 @@ impl Forwarder {
     /// Tail-flit packet handoff: non-blocking submit to the first live
     /// candidate next hop (DESIGN.md §11.2, §11.4).
     fn hand_off(&self, flit: &ServedFlit, flow: usize, spec: FlowSpec) -> ForwardOutcome {
-        let Some(handles) = self.handles.get() else {
-            // Boot race: the fabric has not finished wiring. Refuse;
-            // the pending queue retries.
-            self.counters.on_refusal();
-            return ForwardOutcome::Refused;
-        };
+        if self.panic_arm.take(self.node) {
+            panic!(
+                "FabricFaultPlan: injected forwarder panic at node {} (flow {}, packet {})",
+                self.node, flow, flit.packet
+            );
+        }
         let pkt = Packet {
             id: flit.packet,
             flow,
@@ -178,6 +205,12 @@ impl Forwarder {
             if !self.dead.viable(self.node, link, Some(peer)) {
                 continue;
             }
+            let Some(peer_handle) = self.handles.get(peer) else {
+                // Boot race: the fabric has not finished wiring.
+                // Refuse; the pending queue retries.
+                self.counters.on_refusal();
+                return ForwardOutcome::Refused;
+            };
             // Pre-stamp the peer entry: the instant the submit lands
             // in the peer's ring its tail may be served there, and
             // the stamp must already be visible (§11.8). Restored on
@@ -189,10 +222,10 @@ impl Forwarder {
                 HopEntry {
                     node: peer,
                     entry_us: now_us,
-                    entry_served_flits: handles[peer].served_flits(),
+                    entry_served_flits: peer_handle.served_flits(),
                 },
             );
-            match handles[peer].submit_within(pkt, Duration::ZERO) {
+            match peer_handle.submit_within(pkt, Duration::ZERO) {
                 Ok(Submitted::Enqueued) => {
                     if let Some(entry) = prev {
                         self.record_hop(flow, entry, now_us);
@@ -235,25 +268,78 @@ impl Forwarder {
                 }
             }
         }
+        if self.policy == DeadLinkPolicy::HoldForRecovery {
+            // §14.2: no live next hop, but the fabric holds for
+            // recovery — keep the tail pending (credit held) so a
+            // later heal replays it instead of losing it.
+            self.counters.on_refusal();
+            return ForwardOutcome::Held;
+        }
         self.tracker.take(flit.packet);
         self.ledger.on_dead_lettered(flow);
         self.counters.on_dead_lettered();
         self.gate.depart(1);
         ForwardOutcome::DeadLettered
     }
+
+    /// §14.4 supervisor: runs `on_flit` under `catch_unwind` and, on a
+    /// panic, converts the unwind into honest accounting: the flit's
+    /// next-hop cable is declared dead (routes fail over or hold), a
+    /// tail flit's packet is charged as dead-lettered and departed from
+    /// the gate, and the exit is recorded for the drain report. Returns
+    /// whether the flit was consumed (a caught panic always consumes).
+    fn supervised(&self, flit: &ServedFlit) -> bool {
+        let body = AssertUnwindSafe(|| self.on_flit(flit));
+        match catch_unwind(body) {
+            Ok(outcome) => !matches!(outcome, ForwardOutcome::Refused | ForwardOutcome::Held),
+            Err(payload) => {
+                let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "non-string panic payload".to_string()
+                };
+                let flow = flit.flow;
+                let spec = self.specs[flow];
+                let poisoned_link = match self.topo.next_hop(self.node, flow, spec) {
+                    NextHop::Forward { link } => {
+                        self.dead.kill_link(self.node, link);
+                        Some(link)
+                    }
+                    NextHop::Eject => None,
+                };
+                if flit.is_tail() {
+                    self.tracker.take(flit.packet);
+                    self.ledger.on_dead_lettered(flow);
+                    self.counters.on_dead_lettered();
+                    self.gate.depart(1);
+                }
+                self.exits.record(ForwarderExit {
+                    node: self.node,
+                    flow,
+                    packet: flit.packet,
+                    poisoned_link,
+                    message,
+                });
+                true
+            }
+        }
+    }
 }
 
 impl Egress for Forwarder {
     fn emit(&mut self, _shard: usize, flit: &ServedFlit) {
-        // Unconditional delivery: spin out a transient refusal. The
+        // Unconditional delivery: spin out a transient refusal (or a
+        // §14.2 hold, which only a concurrent heal resolves). The
         // flusher never calls this (it uses `try_emit`); it exists for
         // direct-driven tests.
-        while self.on_flit(flit) == ForwardOutcome::Refused {
+        while !self.supervised(flit) {
             std::thread::yield_now();
         }
     }
 
     fn try_emit(&mut self, _shard: usize, flit: &ServedFlit) -> bool {
-        self.on_flit(flit) != ForwardOutcome::Refused
+        self.supervised(flit)
     }
 }

@@ -31,8 +31,11 @@ mod hops;
 pub mod stats;
 pub mod topology;
 
-pub use chaos::{DeadMap, FabricFault, FabricFaultEvent, FabricFaultPlan};
-pub use fabric::{Fabric, FabricConfig, FabricReport, PathStats};
+pub use chaos::{
+    DeadMap, FabricFault, FabricFaultEvent, FabricFaultPlan, ForwarderExit, PanicSwitch,
+};
+pub use err_egress::DeadLinkPolicy;
+pub use fabric::{DrainOutcome, Fabric, FabricConfig, FabricReport, PathStats};
 pub use forwarder::{ForwardOutcome, Forwarder};
 pub use stats::{FabricLedger, FlowSnapshot, HopSnapshot, NodeCounters};
 pub use topology::{FlowSpec, LinkEnd, NextHop, Topology};

@@ -428,9 +428,27 @@ impl Runtime {
                             std::thread::Builder::new()
                                 .name(format!("err-flusher-{shard}"))
                                 .spawn(move || {
-                                    err_egress::run_flusher(
-                                        core, links, injector, closed, estats, progress, sink,
-                                    )
+                                    // Flusher supervision (DESIGN.md
+                                    // §14.4): a body that unwinds is
+                                    // caught and counted instead of
+                                    // poisoning the drain join; the
+                                    // flits its death strands surface
+                                    // as residual lost packets, never
+                                    // as a wedged shutdown.
+                                    let body = std::panic::AssertUnwindSafe(|| {
+                                        err_egress::run_flusher(
+                                            core,
+                                            links,
+                                            injector,
+                                            closed,
+                                            Arc::clone(&estats),
+                                            progress,
+                                            sink,
+                                        )
+                                    });
+                                    if std::panic::catch_unwind(body).is_err() {
+                                        estats.flusher_panics.fetch_add(1, Ordering::Relaxed);
+                                    }
                                 })
                                 .expect("spawning flusher"),
                         );

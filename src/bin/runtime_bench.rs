@@ -50,7 +50,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use err_fabric::{Fabric, FabricConfig, FabricFaultPlan, FlowSpec, Topology};
+use err_fabric::{DeadLinkPolicy, Fabric, FabricConfig, FabricFaultPlan, FlowSpec, Topology};
 use err_runtime::{
     AdmissionPolicy, BufferedConfig, EgressMode, FaultPlan, Runtime, RuntimeConfig, StallPlan,
     StealingConfig, Submitted, SupervisionConfig,
@@ -849,7 +849,7 @@ fn run_chaos_bench(smoke: bool, fault_out: &str) {
     std::panic::set_hook(Box::new(move |info| {
         let injected = std::thread::current()
             .name()
-            .is_some_and(|n| n.starts_with("err-shard-"))
+            .is_some_and(|n| n.starts_with("err-shard-") || n.starts_with("err-flusher-"))
             && info
                 .payload()
                 .downcast_ref::<String>()
@@ -941,6 +941,29 @@ fn run_chaos_bench(smoke: bool, fault_out: &str) {
         fabric_chaos.ejected, fabric_chaos.rerouted, fabric_chaos.dead_lettered, fabric_chaos.lost
     );
 
+    eprintln!("runtime-bench: transient cut + heal, hold-for-recovery replay (DESIGN.md §14.2)...");
+    let heal = fabric_heal_run(smoke);
+    eprintln!(
+        "  heal: drop-and-account dead-lettered {} -> hold-for-recovery dead-lettered 0 \
+         ({} flits replayed, 0 lost)",
+        heal.drop_dead_lettered, heal.hold_replayed
+    );
+
+    eprintln!("runtime-bench: link flapping, seeded kill/heal cycles (DESIGN.md §14.2)...");
+    let flap = fabric_flap_run(smoke);
+    eprintln!(
+        "  flap: {} cycles, {} replayed flits, 0 lost, 0 dead-lettered, credits restored",
+        flap.cycles, flap.replayed
+    );
+
+    eprintln!("runtime-bench: injected forwarder panic, supervised recovery (DESIGN.md §14.4)...");
+    let fpanic = forwarder_panic_run(smoke);
+    eprintln!(
+        "  panic: 1 exit caught at node 0, {} dead-lettered, {} rerouted past the \
+         poisoned cable, clean drain",
+        fpanic.dead_lettered, fpanic.rerouted
+    );
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"err-runtime fault tolerance\",\n");
@@ -995,7 +1018,39 @@ fn run_chaos_bench(smoke: bool, fault_out: &str) {
         EGRESS_LINKS - 1,
         window.as_secs_f64(),
     ));
-    push_fabric_chaos_json(&mut json, "fabric_kill_link", &fabric_chaos, true);
+    push_fabric_chaos_json(&mut json, "fabric_kill_link", &fabric_chaos, false);
+    json.push_str(&format!(
+        "  \"fabric_heal\": {{\"mesh\": \"{FABRIC_COLS}x{FABRIC_ROWS}\", \
+         \"flows\": [\"0->3\", \"12->15\"], \"cut\": \"node 0 east cable\", \
+         \"kill_at_ejections\": {}, \"heal_at_ejections\": {}, \
+         \"packets_per_flow\": {}, \"drop_dead_lettered\": {}, \
+         \"hold_dead_lettered\": 0, \"hold_replayed_flits\": {}, \
+         \"lost_packets\": 0}},\n",
+        heal.kill_at,
+        heal.heal_at,
+        heal.packets_per_flow,
+        heal.drop_dead_lettered,
+        heal.hold_replayed,
+    ));
+    json.push_str(&format!(
+        "  \"fabric_flap\": {{\"mesh\": \"{FABRIC_COLS}x{FABRIC_ROWS}\", \
+         \"flows\": [\"0->3\", \"12->15\"], \"cut\": \"node 0 east cable\", \
+         \"cycles\": {}, \"victim_packets\": {}, \"keeper_packets\": {}, \
+         \"replayed_flits\": {}, \"lost_packets\": 0, \"dead_lettered\": 0, \
+         \"credits_leaked\": 0}},\n",
+        flap.cycles, flap.victim_packets, flap.keeper_packets, flap.replayed,
+    ));
+    json.push_str(&format!(
+        "  \"forwarder_panic\": {{\"mesh\": \"{FABRIC_COLS}x{FABRIC_ROWS}\", \
+         \"flows\": [\"0->15\", \"15->0\"], \"panic_at_ejections\": {}, \
+         \"packets_per_flow\": {}, \"exits_caught\": 1, \"poisoned_link\": {}, \
+         \"dead_lettered\": {}, \"rerouted\": {}, \"lost_packets\": 0}}\n",
+        fpanic.panic_at,
+        fpanic.packets_per_flow,
+        fpanic.poisoned_link,
+        fpanic.dead_lettered,
+        fpanic.rerouted,
+    ));
     json.push_str("}\n");
 
     std::fs::write(fault_out, json).expect("writing fault bench output");
@@ -1322,6 +1377,252 @@ fn fabric_kill_link_run(smoke: bool) -> FabricChaosSample {
         dead_lettered: rep.flows[0].dead_lettered,
         lost: rep.lost_packets,
         reverse_ejected: rep.flows[1].ejected_packets,
+    }
+}
+
+struct FabricHealSample {
+    packets_per_flow: u64,
+    kill_at: u64,
+    heal_at: u64,
+    /// Dead-letters under `DropAndAccount` (the before).
+    drop_dead_lettered: u64,
+    /// Replayed deliveries under `HoldForRecovery` (the after).
+    hold_replayed: u64,
+}
+
+/// The §14.2 transient-cut leg: flow 0 → 3 crosses the top row of the
+/// mesh — a same-row flow is **single-path** under XY (no YX
+/// alternate), so cutting node 0's east cable is a total outage for
+/// it, while flow 12 → 15 on the bottom row keeps the ejection clock
+/// moving. Run once under `DropAndAccount` (every post-cut tail
+/// dead-letters until the heal) and once under `HoldForRecovery` (the
+/// same schedule ends with zero losses, zero dead-letters, and every
+/// held flit replayed FIFO when the cable heals).
+fn fabric_heal_run(smoke: bool) -> FabricHealSample {
+    let packets: u64 = if smoke { 60 } else { 300 };
+    let kill_at = (packets / 4).max(10);
+    let heal_at = kill_at + packets / 2;
+    let run = |policy: DeadLinkPolicy| {
+        let topo = Topology::mesh(FABRIC_COLS, FABRIC_ROWS);
+        let east = topo
+            .link_to(0, 1)
+            .expect("node 1 is node 0's east neighbor");
+        let mut cfg = FabricConfig::new(
+            topo,
+            vec![FlowSpec { src: 0, dst: 3 }, FlowSpec { src: 12, dst: 15 }],
+        );
+        cfg.max_backlog = 8;
+        cfg.credits = 4;
+        cfg.dead_link_policy = policy;
+        cfg.fault_plan = Some(
+            FabricFaultPlan::new()
+                .kill_link_at(0, east, kill_at)
+                .heal_link_at(0, east, heal_at),
+        );
+        let f = Fabric::start(cfg);
+        // Non-blocking interleave: while the victim's path is cut and
+        // held, its admission backlog fills and `try_submit` refuses —
+        // the keeper must keep submitting regardless.
+        let mut sent = [0u64; 2];
+        while sent[0] < packets || sent[1] < packets {
+            let mut progressed = false;
+            for (fl, n) in sent.iter_mut().enumerate() {
+                if *n < packets && f.try_submit(fl, FABRIC_PKT_LEN).is_ok() {
+                    *n += 1;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                std::thread::yield_now();
+            }
+        }
+        let rep = f.drain_within(Duration::from_secs(120));
+        assert!(rep.is_conserving(), "heal run leaked packets");
+        assert_eq!(rep.events.len(), 2, "kill and heal must both fire");
+        assert_eq!(rep.lost_packets, 0, "a transient cut loses nothing");
+        assert_eq!(
+            rep.flows[1].ejected_packets, packets,
+            "the keeper flow was harmed by an unrelated cut"
+        );
+        rep
+    };
+    let drop_rep = run(DeadLinkPolicy::DropAndAccount);
+    assert!(
+        drop_rep.flows[0].dead_lettered > 0,
+        "the cut landed after the victim finished: nothing dead-lettered \
+         under DropAndAccount, so the HoldForRecovery comparison is vacuous"
+    );
+    let hold_rep = run(DeadLinkPolicy::HoldForRecovery);
+    assert_eq!(
+        hold_rep.dead_lettered_packets(),
+        0,
+        "HoldForRecovery dead-lettered across a healed cut"
+    );
+    assert_eq!(
+        hold_rep.flows[0].ejected_packets, packets,
+        "held traffic did not fully replay after the heal"
+    );
+    assert!(
+        hold_rep.replayed_flits() > 0,
+        "no flit crossed the death window: the hold path was not exercised"
+    );
+    FabricHealSample {
+        packets_per_flow: packets,
+        kill_at,
+        heal_at,
+        drop_dead_lettered: drop_rep.flows[0].dead_lettered,
+        hold_replayed: hold_rep.replayed_flits(),
+    }
+}
+
+struct FabricFlapSample {
+    victim_packets: u64,
+    keeper_packets: u64,
+    cycles: u64,
+    replayed: u64,
+}
+
+/// The §14.2 flap leg: the same single-path victim flow, but the cable
+/// is cut and healed `cycles` times on a seeded schedule. Every cycle
+/// must conserve — no lost packets, no dead-letters, no leaked credits
+/// — with the held backlog replaying across each heal.
+fn fabric_flap_run(smoke: bool) -> FabricFlapSample {
+    let packets: u64 = if smoke { 60 } else { 300 };
+    let keeper_packets = packets * 2;
+    let cycles: u64 = if smoke { 3 } else { 5 };
+    let topo = Topology::mesh(FABRIC_COLS, FABRIC_ROWS);
+    let east = topo
+        .link_to(0, 1)
+        .expect("node 1 is node 0's east neighbor");
+    // The keeper's ejections alone must reach the last heal: space the
+    // 2·cycles events across half the keeper's quota.
+    let step = keeper_packets / (2 * cycles + 2);
+    let mut plan = FabricFaultPlan::new();
+    for i in 0..cycles {
+        plan = plan.kill_link_at(0, east, step * (2 * i + 1)).heal_link_at(
+            0,
+            east,
+            step * (2 * i + 2),
+        );
+    }
+    let mut cfg = FabricConfig::new(
+        topo,
+        vec![FlowSpec { src: 0, dst: 3 }, FlowSpec { src: 12, dst: 15 }],
+    );
+    cfg.max_backlog = 8;
+    cfg.credits = 4;
+    cfg.dead_link_policy = DeadLinkPolicy::HoldForRecovery;
+    cfg.fault_plan = Some(plan);
+    let f = Fabric::start(cfg);
+    let quota = [packets, keeper_packets];
+    let mut sent = [0u64; 2];
+    while sent[0] < quota[0] || sent[1] < quota[1] {
+        let mut progressed = false;
+        for (fl, n) in sent.iter_mut().enumerate() {
+            if *n < quota[fl] && f.try_submit(fl, FABRIC_PKT_LEN).is_ok() {
+                *n += 1;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            std::thread::yield_now();
+        }
+    }
+    let rep = f.drain_within(Duration::from_secs(120));
+    assert!(rep.is_conserving(), "flap run leaked packets");
+    assert_eq!(rep.events.len(), (2 * cycles) as usize, "every flap fired");
+    assert_eq!(rep.lost_packets, 0, "a flapping cable loses nothing");
+    assert_eq!(rep.dead_lettered_packets(), 0, "flaps dead-lettered");
+    assert_eq!(rep.flows[0].ejected_packets, packets);
+    assert_eq!(rep.flows[1].ejected_packets, keeper_packets);
+    assert!(rep.replayed_flits() > 0, "no flap window held any traffic");
+    // Credit-leak check: after the drain every credit of the flapped
+    // cable is back in its pool.
+    let east_snap = rep.node_reports[0]
+        .stats
+        .egress
+        .as_ref()
+        .expect("buffered mode has egress stats")
+        .links[east]
+        .clone();
+    assert_eq!(
+        east_snap.credits_available, 4,
+        "flap cycles leaked credits on the flapped cable"
+    );
+    FabricFlapSample {
+        victim_packets: packets,
+        keeper_packets,
+        cycles,
+        replayed: rep.replayed_flits(),
+    }
+}
+
+struct ForwarderPanicSample {
+    packets_per_flow: u64,
+    panic_at: u64,
+    dead_lettered: u64,
+    rerouted: u64,
+    poisoned_link: usize,
+}
+
+/// The §14.4 supervision leg: a one-shot panic is armed in node 0's
+/// forwarder mid-run. The supervisor must catch the unwind, declare
+/// the packet's next-hop cable poisoned (dead), charge exactly that
+/// packet as dead-lettered, and let every later tail fail over — the
+/// fabric drains clean instead of wedging on a crashed flusher.
+fn forwarder_panic_run(smoke: bool) -> ForwarderPanicSample {
+    let packets: u64 = if smoke { 60 } else { 300 };
+    let panic_at = (packets / 4).max(10);
+    let topo = Topology::mesh(FABRIC_COLS, FABRIC_ROWS);
+    let east = topo
+        .link_to(0, 1)
+        .expect("node 1 is node 0's east neighbor");
+    let mut cfg = FabricConfig::new(
+        topo,
+        vec![FlowSpec { src: 0, dst: 15 }, FlowSpec { src: 15, dst: 0 }],
+    );
+    cfg.max_backlog = 8;
+    cfg.credits = 4;
+    cfg.fault_plan = Some(FabricFaultPlan::new().panic_forwarder_at(0, panic_at));
+    let f = Fabric::start(cfg);
+    for _ in 0..packets {
+        f.submit(0, FABRIC_PKT_LEN).expect("fabric is open");
+        f.submit(1, FABRIC_PKT_LEN).expect("fabric is open");
+    }
+    let rep = f.drain_within(Duration::from_secs(120));
+    assert!(rep.is_conserving(), "panic run leaked packets");
+    assert_eq!(rep.lost_packets, 0, "a caught panic loses nothing");
+    assert_eq!(
+        rep.forwarder_exits.len(),
+        1,
+        "the armed panic must be caught exactly once"
+    );
+    let exit = &rep.forwarder_exits[0];
+    assert_eq!(exit.node, 0, "the panic was armed at node 0");
+    assert_eq!(
+        exit.poisoned_link,
+        Some(east),
+        "the panicking hand-off poisons its next-hop cable"
+    );
+    assert_eq!(
+        rep.flows[0].dead_lettered, 1,
+        "exactly the in-hand packet is charged to the panic"
+    );
+    assert_eq!(rep.flows[0].ejected_packets, packets - 1);
+    assert!(
+        rep.flows[0].rerouted > 0,
+        "traffic after the poisoned cable must take the YX alternate"
+    );
+    assert_eq!(
+        rep.flows[1].ejected_packets, packets,
+        "the reverse flow was harmed by node 0's panic"
+    );
+    ForwarderPanicSample {
+        packets_per_flow: packets,
+        panic_at,
+        dead_lettered: rep.flows[0].dead_lettered,
+        rerouted: rep.flows[0].rerouted,
+        poisoned_link: east,
     }
 }
 
