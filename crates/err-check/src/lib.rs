@@ -17,275 +17,55 @@
 //!   (cold-path locks documented as such); never on a per-flit path.
 //! * **stats-relaxed** — `stats.rs` modules are approximate-under-race
 //!   by contract and may only use `Relaxed`.
-//! * **doc-drift** — declarative needle rules keeping DESIGN.md §8/§9/
-//!   §10, README.md, and EXPERIMENTS.md naming the real protocol
+//! * **try-emit-override** — every `impl Egress` must override
+//!   `try_emit` explicitly (or ack with `// try-emit:`): the trait
+//!   default delegates to the *blocking* `emit`, the PR 6 deadlock
+//!   class.
+//! * **ordering-pairing** — `[pair: label @ file]` clauses inside
+//!   `// ordering:` comments form a cross-file graph; every clause
+//!   must resolve to a scanned file holding a matching clause that
+//!   points back, so a refactor cannot strand one side of an
+//!   Acquire/Release pair. Mandatory in the fabric-era protocol files.
+//! * **park-protocol** — in the per-flow-claim files, every
+//!   `park_flow` call names its unpark authority in a `// unpark:`
+//!   comment (backticked identifiers must resolve to real code), and
+//!   a direct `unpark_flow` needs the same justification — donor
+//!   unwinds go through `unpark_respecting_links` (the PR 8 wedge
+//!   class).
+//! * **panic-boundary** — every spawned-thread closure wraps its body
+//!   in `catch_unwind` or carries a `// panic-policy:` justification.
+//! * **doc-drift** — declarative needle rules keeping DESIGN.md
+//!   §8–§14, README.md, and EXPERIMENTS.md naming the real protocol
 //!   vocabulary (generalizes the PR 3/PR 4 drift tests).
 //!
 //! The scanner is a deliberately small line lexer, not a full parser:
 //! it masks string/char literals and comments (so `"unsafe"` in a
 //! string does not count), tracks nested block comments and raw
 //! strings, and skips `#[cfg(test)]` modules by brace counting. Rules
-//! then run over the masked code with an N-line comment lookback.
+//! then run over the masked code with an N-line comment lookback; the
+//! pairing graph and unpark-authority resolution run as a second,
+//! cross-file pass over the whole scanned set ([`lint_files`]).
+//!
+//! The rule *tables* — allowlists, pass registry, protocol-file lists,
+//! doc-drift needles — live in `rules.rs` (one declarative module), so
+//! growing the workspace means editing data, not lexer code.
 //!
 //! `vendor/` is excluded: the vendored stand-ins (including the loom
 //! checker itself) are the instrumentation layer, not product code.
 
 #![warn(missing_docs)]
 
+mod rules;
+
 use std::fmt;
 use std::path::{Path, PathBuf};
+
+pub use rules::PASSES;
+use rules::{CLAIM_FILES, DOC_RULES, MUTEX_FILES, PAIRED_FILES, SEQCST_FILES, TRAIT_IMPL_RULES};
 
 /// How many lines above an `unsafe`/ordering site a justifying comment
 /// may sit (multi-line statements push the token below its comment).
 const LOOKBACK: usize = 8;
-
-/// Files allowed to use `Ordering::SeqCst`. Everything here is a
-/// store→load (Dekker) protocol where independent total order is the
-/// point: the drain gate's `closed+in_flight` pairing and the
-/// salvage/migration epoch machinery built on it.
-const SEQCST_FILES: &[&str] = &[
-    "crates/err-runtime/src/gate.rs",
-    "crates/err-runtime/src/fault.rs",
-    "crates/err-runtime/src/migrate.rs",
-    // Ownership: the §13.3 submit-window Dekker (window enter vs map
-    // flip) and the §13.2 epoch CAS; modeled with the shipped atomics
-    // by err-check's model_ownership_window_dekker.
-    "crates/err-runtime/src/ownership.rs",
-    // FabricGate: the §10 DrainGate `closed+in_flight` Dekker pair
-    // replayed at fabric scope (DESIGN.md §11.3).
-    "crates/err-fabric/src/fabric.rs",
-];
-
-/// Files allowed to hold a `std::sync::Mutex`. Each is a documented
-/// cold-path lock: never taken on the per-flit fast path.
-const MUTEX_FILES: &[&str] = &[
-    // SharedEgress: serialized sink for stealing groundwork (lib docs).
-    "crates/err-egress/src/lib.rs",
-    // stall_hist: watchdog-only, touched once per stall release.
-    "crates/err-egress/src/link.rs",
-    // MigrationSlot package handoff: once per migration, not per flit.
-    "crates/err-runtime/src/migrate.rs",
-    // Salvage lock + exit collection: once per shard death.
-    "crates/err-runtime/src/fault.rs",
-    // Experiment-harness job queue (parking_lot): offline runner, no
-    // runtime fast path.
-    "crates/err-experiments/src/runner.rs",
-    // Fabric node registry, kill reports, and fault-event log: taken at
-    // boot, on a chaos kill, and at drain — never per flit (the
-    // per-flit fabric path is the forwarder's lock-free handoff).
-    "crates/err-fabric/src/fabric.rs",
-    // HopTracker entry stamps (§11.8): sharded map touched once per
-    // packet per hop — never per flit — on the forwarder's tail path.
-    "crates/err-fabric/src/hops.rs",
-];
-
-/// One declarative doc-drift rule: `doc` (under the workspace root)
-/// must contain every needle, inside `section` when one is given.
-struct DocRule {
-    doc: &'static str,
-    /// A `## N` heading; the rule applies from there to the next `## `.
-    section: Option<&'static str>,
-    needles: &'static [&'static str],
-}
-
-/// The drift contract: normative docs must keep naming the protocol
-/// vocabulary the code exports. Mirrors (and extends to §10) the
-/// enum-derived drift tests in `tests/migration_stealing.rs` and
-/// `tests/fault_tolerance.rs`.
-const DOC_RULES: &[DocRule] = &[
-    DocRule {
-        doc: "DESIGN.md",
-        section: Some("## 8"),
-        needles: &[
-            "Idle",
-            "Requested",
-            "Quiescing",
-            "Draining",
-            "InTransit",
-            "FlowMap",
-            "LoadBoard",
-            "MigrationSlot",
-            "MigratedFlow",
-            "extract_flow",
-            "absorb_flow",
-            "park_flow",
-        ],
-    },
-    DocRule {
-        doc: "DESIGN.md",
-        section: Some("## 9"),
-        needles: &[
-            "Running",
-            "Quarantined",
-            "Dead",
-            "Exited",
-            "Clean",
-            "Panicked",
-            "Abandoned",
-            "FaultBoard",
-            "salvage",
-        ],
-    },
-    DocRule {
-        doc: "DESIGN.md",
-        section: Some("## 10"),
-        needles: &[
-            "MpscRing",
-            "DrainGate",
-            "CreditPool",
-            "spsc",
-            "Acquire",
-            "Release",
-            "SeqCst",
-            "err-check",
-            "loom",
-            "happens-before",
-        ],
-    },
-    // §11 vocabulary: every routing verdict, forwarder outcome, and
-    // fabric fault the code can take must stay named in the spec.
-    DocRule {
-        doc: "DESIGN.md",
-        section: Some("## 11"),
-        needles: &[
-            // NextHop / LinkEnd (topology.rs).
-            "Eject",
-            "Forward",
-            "Neighbor",
-            // ForwardOutcome (forwarder.rs).
-            "Ejected",
-            "Forwarded",
-            "Refused",
-            "Rerouted",
-            "DeadLettered",
-            // FabricFault (chaos.rs).
-            "KillLink",
-            "KillNode",
-            // The machinery the outcomes ride on.
-            "Forwarder",
-            "FabricFaultPlan",
-            "try_emit",
-            "route_table",
-            "dimension-order",
-            "ECMP",
-            // Per-hop latency attribution (§11.8, hops.rs / stats.rs).
-            "HopTracker",
-            "HopSnapshot",
-            "flow_hops",
-            "service clock",
-        ],
-    },
-    // §12 vocabulary: the estimator's pipeline stages, regimes, and
-    // acceptance artifacts must stay named in the spec.
-    DocRule {
-        doc: "DESIGN.md",
-        section: Some("## 12"),
-        needles: &[
-            // The pipeline (decompose.rs / linksim.rs / compose.rs).
-            "decompose",
-            "LinkLoad",
-            "simulate_node",
-            "PathEstimate",
-            "EstimateReport",
-            "HopEstimate",
-            "contention domain",
-            // The arrival model and composition regimes.
-            "just-in-time",
-            "primer",
-            "service clock",
-            "credit-share",
-            "funnel",
-            // The envelope and the validation gates.
-            "floor",
-            "ceiling",
-            "envelope",
-            "BENCH_estimate",
-            "--estimate",
-        ],
-    },
-    // §13 vocabulary: the ownership authority's states, protocol
-    // verbs, and the resurrection handshake must stay named in the
-    // spec (the ownership layer is spec-first; see §13's preamble).
-    DocRule {
-        doc: "DESIGN.md",
-        section: Some("## 13"),
-        needles: &[
-            // OwnerState (ownership.rs).
-            "Settled",
-            "Stealing",
-            "Salvaging",
-            // The authority and its protocol verbs.
-            "Ownership",
-            "FlowMap",
-            "ClaimToken",
-            "WindowGuard",
-            "try_claim",
-            "seize_for_salvage",
-            "try_reroute",
-            "release",
-            "window_enter",
-            "window_clear",
-            "epoch",
-            "linearization",
-            // The §13.5 fence and §13.6 handshake.
-            "FlushProgress",
-            "Bequest",
-            "resurrection",
-        ],
-    },
-    // §14 vocabulary: the healing layer's fault events, policies, and
-    // supervision artifacts must stay named in the spec (spec-first,
-    // like §13; see §14's preamble).
-    DocRule {
-        doc: "DESIGN.md",
-        section: Some("## 14"),
-        needles: &[
-            // FabricFault heal events and their builders (chaos.rs).
-            "HealLink",
-            "ReviveNode",
-            "PanicForwarder",
-            "heal_link_at",
-            "revive_node_at",
-            "panic_forwarder_at",
-            // The dead-letter replay machinery (link.rs / flusher.rs).
-            "HoldForRecovery",
-            "resurrect",
-            "replayed",
-            // Bounded drains (fabric.rs).
-            "DrainOutcome",
-            "HeldForRecovery",
-            // Forwarder supervision (forwarder.rs / chaos.rs).
-            "ForwarderExit",
-            "catch_unwind",
-            "poisoned",
-        ],
-    },
-    DocRule {
-        doc: "README.md",
-        section: None,
-        needles: &[
-            "err-check",
-            "loom",
-            "err-fabric",
-            "err-estimate",
-            "backpressure",
-        ],
-    },
-    DocRule {
-        doc: "EXPERIMENTS.md",
-        section: None,
-        needles: &[
-            "interleavings",
-            "mutant",
-            "BENCH_fabric",
-            "BENCH_estimate",
-            "isolation",
-            "speedup",
-            "fabric_heal",
-            "fabric_flap",
-        ],
-    },
-];
 
 /// One lint finding.
 #[derive(Debug, Clone)]
@@ -535,6 +315,128 @@ fn comment_nearby(lines: &[Line], line: usize, needle: &str) -> bool {
     lines[lo..=line].iter().any(|l| l.comment.contains(needle))
 }
 
+/// Whether `code` opens an `impl <trait_name> for …` item (token
+/// boundary on the trait name, so `SharedEgress for` is not an
+/// `Egress for`).
+fn is_trait_impl(code: &str, trait_name: &str) -> bool {
+    if !has_token(code, "impl") {
+        return false;
+    }
+    let needle = format!("{trait_name} for ");
+    code.match_indices(&needle).any(|(at, _)| {
+        at == 0 || {
+            let c = code.as_bytes()[at - 1] as char;
+            !c.is_alphanumeric() && c != '_'
+        }
+    })
+}
+
+/// Whether the item block opening at (or shortly after) `start`
+/// contains `method` as a token — brace-counted from the first `{`,
+/// so nested fn bodies stay inside the scanned span.
+fn block_has_token(lines: &[Line], start: usize, method: &str) -> bool {
+    let mut depth = 0usize;
+    let mut entered = false;
+    for l in &lines[start..] {
+        if has_token(&l.code, method) {
+            return true;
+        }
+        for c in l.code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    entered = true;
+                }
+                '}' => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+        }
+        if entered && depth == 0 {
+            return false;
+        }
+    }
+    false
+}
+
+/// Whether the `spawn(…)` call starting on `start` contains `needle`
+/// as a token anywhere inside its argument span (paren-counted from
+/// the spawn's opening parenthesis, so the whole closure body is
+/// scanned however many lines it spans).
+fn spawn_span_has_token(lines: &[Line], start: usize, needle: &str) -> bool {
+    let mut depth = 0i64;
+    let mut entered = false;
+    for (j, l) in lines.iter().enumerate().skip(start) {
+        let from = if j == start {
+            l.code
+                .find(".spawn(")
+                .or_else(|| l.code.find("::spawn("))
+                .unwrap_or(0)
+        } else {
+            0
+        };
+        let code = &l.code[from..];
+        if has_token(code, needle) {
+            return true;
+        }
+        for c in code.chars() {
+            match c {
+                '(' => {
+                    depth += 1;
+                    entered = true;
+                }
+                ')' => depth -= 1,
+                _ => {}
+            }
+        }
+        if entered && depth <= 0 {
+            return false;
+        }
+    }
+    false
+}
+
+/// Parses every `[pair: label @ target]` clause out of one comment.
+/// Returns `(label, target)` pairs plus whether a malformed clause
+/// (no `@` or unterminated) was seen.
+fn pair_clauses(comment: &str) -> (Vec<(String, String)>, bool) {
+    let mut out = Vec::new();
+    let mut malformed = false;
+    let mut rest = comment;
+    while let Some(p) = rest.find("[pair:") {
+        let after = &rest[p + "[pair:".len()..];
+        let Some(end) = after.find(']') else {
+            malformed = true;
+            break;
+        };
+        match after[..end].split_once('@') {
+            Some((label, target)) if !label.trim().is_empty() && !target.trim().is_empty() => {
+                out.push((label.trim().to_owned(), target.trim().to_owned()));
+            }
+            _ => malformed = true,
+        }
+        rest = &after[end + 1..];
+    }
+    (out, malformed)
+}
+
+/// Extracts the leading identifier of every `` `backticked` `` span in
+/// a comment (`` `unpark_respecting_links` `` → that name;
+/// `` `park_flow(flow)` `` → `park_flow`).
+fn backticked_idents(text: &str) -> Vec<String> {
+    text.split('`')
+        .skip(1)
+        .step_by(2)
+        .filter_map(|span| {
+            let ident: String = span
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            (!ident.is_empty() && !ident.chars().next().is_some_and(|c| c.is_numeric()))
+                .then_some(ident)
+        })
+        .collect()
+}
+
 /// Runs every source rule over one file. `relpath` uses `/` separators
 /// relative to the workspace root.
 pub fn lint_source(relpath: &str, text: &str) -> Vec<Violation> {
@@ -543,6 +445,8 @@ pub fn lint_source(relpath: &str, text: &str) -> Vec<Violation> {
     let is_stats = relpath.ends_with("src/stats.rs");
     let seqcst_ok = SEQCST_FILES.contains(&relpath);
     let mutex_ok = MUTEX_FILES.contains(&relpath);
+    let paired = PAIRED_FILES.contains(&relpath);
+    let claim_file = CLAIM_FILES.contains(&relpath);
     let mut v = Vec::new();
     let mut push = |line: usize, rule: &'static str, msg: String| {
         v.push(Violation {
@@ -580,6 +484,15 @@ pub fn lint_source(relpath: &str, text: &str) -> Vec<Violation> {
                         .into(),
                 );
             }
+            if paired && !comment_nearby(&lines, i, "[pair:") {
+                push(
+                    i,
+                    "ordering-pairing",
+                    "non-Relaxed site in a fabric-era protocol file without a machine-checkable \
+                     `[pair: label @ file]` clause (use `@ self` for a same-file counterpart)"
+                        .into(),
+                );
+            }
             if is_stats {
                 push(
                     i,
@@ -607,7 +520,217 @@ pub fn lint_source(relpath: &str, text: &str) -> Vec<Violation> {
                     .into(),
             );
         }
+        for (trait_name, method, ack) in TRAIT_IMPL_RULES {
+            if is_trait_impl(&l.code, trait_name)
+                && !block_has_token(&lines, i, method)
+                && !comment_nearby(&lines, i, ack)
+            {
+                push(
+                    i,
+                    "try-emit-override",
+                    format!(
+                        "`impl {trait_name}` without an explicit `{method}` override: the trait \
+                         default delegates to the blocking `emit` (the PR 6 flusher-deadlock \
+                         class); override it, or ack inheriting the default with a `// {ack}` \
+                         comment"
+                    ),
+                );
+            }
+        }
+        if claim_file {
+            if has_token(&l.code, "park_flow") && !comment_nearby(&lines, i, "unpark:") {
+                push(
+                    i,
+                    "park-protocol",
+                    "`park_flow` call without a `// unpark:` comment naming (in backticks) the \
+                     authority that will unpark this flow"
+                        .into(),
+                );
+            }
+            if has_token(&l.code, "unpark_flow") && !comment_nearby(&lines, i, "unpark:") {
+                push(
+                    i,
+                    "park-protocol",
+                    "direct `unpark_flow` call in a claim file: donor-unwind/abort paths must go \
+                     through `unpark_respecting_links` (the PR 8 stash-wedge class); a legitimate \
+                     authority justifies itself with a `// unpark:` comment"
+                        .into(),
+                );
+            }
+        }
+        if (l.code.contains(".spawn(") || l.code.contains("::spawn("))
+            && !spawn_span_has_token(&lines, i, "catch_unwind")
+            && !comment_nearby(&lines, i, "panic-policy:")
+        {
+            push(
+                i,
+                "panic-boundary",
+                "spawned-thread closure without a `catch_unwind` boundary; wrap the body, or \
+                 state the unwind contract in a `// panic-policy:` comment"
+                    .into(),
+            );
+        }
     }
+    v
+}
+
+/// The cross-file pass: resolves the `[pair:]` graph and the
+/// `// unpark:` authorities over the whole scanned set. `files` holds
+/// `(workspace-relative path, source text)` pairs.
+fn lint_cross(files: &[(String, String)]) -> Vec<Violation> {
+    let mut v = Vec::new();
+    // Scrub once per file; keep the flattened code for token lookups.
+    let scrubbed: Vec<(usize, Vec<Line>)> = files
+        .iter()
+        .enumerate()
+        .map(|(fi, (_, text))| (fi, scrub(text)))
+        .collect();
+    let flat_code: Vec<String> = scrubbed
+        .iter()
+        .map(|(_, lines)| {
+            lines
+                .iter()
+                .map(|l| l.code.as_str())
+                .collect::<Vec<_>>()
+                .join("\n")
+        })
+        .collect();
+    let resolves = |ident: &str| flat_code.iter().any(|code| has_token(code, ident));
+    let known_file = |rel: &str| files.iter().any(|(f, _)| f == rel);
+
+    // Every pairing clause, graph-wide: (file idx, line, label, target).
+    struct Clause {
+        file: usize,
+        line: usize,
+        label: String,
+        target: String,
+    }
+    let mut clauses: Vec<Clause> = Vec::new();
+    for (fi, lines) in &scrubbed {
+        // The linter's own sources document the clause grammar in
+        // prose (`[pair: label @ file]` examples); they hold no
+        // atomics and are not protocol annotations.
+        if files[*fi].0.starts_with("crates/err-check/") {
+            continue;
+        }
+        for (i, l) in lines.iter().enumerate() {
+            if l.comment.is_empty() {
+                continue;
+            }
+            let (found, malformed) = pair_clauses(&l.comment);
+            if malformed {
+                v.push(Violation {
+                    file: files[*fi].0.clone(),
+                    line: i + 1,
+                    rule: "ordering-pairing",
+                    msg: "malformed pairing clause; expected `[pair: label @ file]` (target \
+                          `self` for a same-file counterpart)"
+                        .into(),
+                });
+            }
+            for (label, target) in found {
+                let target = if target == "self" {
+                    files[*fi].0.clone()
+                } else {
+                    target
+                };
+                clauses.push(Clause {
+                    file: *fi,
+                    line: i + 1,
+                    label,
+                    target,
+                });
+            }
+        }
+    }
+    for c in &clauses {
+        if !known_file(&c.target) {
+            v.push(Violation {
+                file: files[c.file].0.clone(),
+                line: c.line,
+                rule: "ordering-pairing",
+                msg: format!(
+                    "pairing `{}` targets `{}`, which is not a scanned source file — the \
+                     counterpart moved or the path is stale",
+                    c.label, c.target
+                ),
+            });
+            continue;
+        }
+        let this_file = &files[c.file].0;
+        let paired_back = clauses.iter().any(|d| {
+            d.label == c.label
+                && files[d.file].0 == c.target
+                && d.target == *this_file
+                && (d.file != c.file || d.line != c.line)
+        });
+        if !paired_back {
+            v.push(Violation {
+                file: this_file.clone(),
+                line: c.line,
+                rule: "ordering-pairing",
+                msg: format!(
+                    "one-sided pairing: `{}` claims its counterpart lives in `{}`, but that file \
+                     has no `[pair: {} @ …]` clause pointing back here — half the \
+                     Acquire/Release pair has been stranded",
+                    c.label, c.target, c.label
+                ),
+            });
+        }
+    }
+
+    // Unpark authorities: every backticked name in a claim-file
+    // `// unpark:` comment must resolve to real code somewhere in the
+    // scanned set (a renamed sweep or helper invalidates the comment).
+    for (fi, lines) in &scrubbed {
+        if !CLAIM_FILES.contains(&files[*fi].0.as_str()) {
+            continue;
+        }
+        for (i, l) in lines.iter().enumerate() {
+            let Some(at) = l.comment.find("unpark:") else {
+                continue;
+            };
+            let after = &l.comment[at + "unpark:".len()..];
+            let idents = backticked_idents(after);
+            if idents.is_empty() {
+                v.push(Violation {
+                    file: files[*fi].0.clone(),
+                    line: i + 1,
+                    rule: "park-protocol",
+                    msg: "`// unpark:` comment names no backticked authority; name the function \
+                          or sweep that will unpark the flow"
+                        .into(),
+                });
+                continue;
+            }
+            for ident in idents {
+                if !resolves(&ident) {
+                    v.push(Violation {
+                        file: files[*fi].0.clone(),
+                        line: i + 1,
+                        rule: "park-protocol",
+                        msg: format!(
+                            "`// unpark:` names `{ident}`, which resolves to nothing in the \
+                             scanned sources — the authority was renamed or removed"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    v
+}
+
+/// Runs the per-file rules over every file plus the cross-file passes
+/// (pairing graph, unpark-authority resolution). This is the
+/// source-side entry point `lint_workspace` builds on; tests feed it
+/// miniature in-memory workspaces.
+pub fn lint_files(files: &[(String, String)]) -> Vec<Violation> {
+    let mut v = Vec::new();
+    for (rel, text) in files {
+        v.extend(lint_source(rel, text));
+    }
+    v.extend(lint_cross(files));
     v
 }
 
@@ -700,19 +823,20 @@ fn source_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(files)
 }
 
-/// Lints every in-scope source file plus the doc-drift rules. Returns
+/// Lints every in-scope source file (per-file rules plus the
+/// cross-file pairing/unpark passes) and the doc-drift rules. Returns
 /// all violations, sorted by file and line.
 pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
-    let mut violations = Vec::new();
+    let mut files = Vec::new();
     for path in source_files(root)? {
         let rel = path
             .strip_prefix(root)
             .unwrap_or(&path)
             .to_string_lossy()
             .replace('\\', "/");
-        let text = std::fs::read_to_string(&path)?;
-        violations.extend(lint_source(&rel, &text));
+        files.push((rel, std::fs::read_to_string(&path)?));
     }
+    let mut violations = lint_files(&files);
     violations.extend(check_docs(root));
     violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     Ok(violations)
@@ -862,5 +986,282 @@ mod tests {
         // `unsafety` and `MutexCount` are distinct identifiers, not the
         // `unsafe` / `Mutex` tokens.
         assert!(lint_source("crates/x/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn egress_impl_requires_try_emit_override() {
+        let bad = concat!(
+            "impl Egress for MySink {\n",
+            "    fn emit(&mut self, shard: usize, flit: &ServedFlit) {}\n",
+            "}\n",
+        );
+        assert_eq!(
+            rules_of(&lint_source("crates/x/src/a.rs", bad)),
+            ["try-emit-override"]
+        );
+        let overridden = concat!(
+            "impl Egress for MySink {\n",
+            "    fn emit(&mut self, shard: usize, flit: &ServedFlit) {}\n",
+            "    fn try_emit(&mut self, shard: usize, flit: &ServedFlit) -> bool {\n",
+            "        true\n",
+            "    }\n",
+            "}\n",
+        );
+        assert!(lint_source("crates/x/src/a.rs", overridden).is_empty());
+        let acked = concat!(
+            "// try-emit: this sink never blocks, so inheriting the\n",
+            "// default's emit delegation is safe.\n",
+            "impl Egress for MySink {\n",
+            "    fn emit(&mut self, shard: usize, flit: &ServedFlit) {}\n",
+            "}\n",
+        );
+        assert!(lint_source("crates/x/src/a.rs", acked).is_empty());
+    }
+
+    #[test]
+    fn paired_files_require_machine_checkable_clauses() {
+        let free_text = concat!(
+            "fn f(a: &AtomicU64) {\n",
+            "    // ordering: Acquire pairs with the publish in g.\n",
+            "    a.load(Ordering::Acquire);\n",
+            "}\n",
+        );
+        // Outside the protocol files a free-text comment is enough...
+        assert!(lint_source("crates/x/src/a.rs", free_text).is_empty());
+        // ...inside them the clause is mandatory.
+        assert_eq!(
+            rules_of(&lint_source("crates/err-egress/src/flusher.rs", free_text)),
+            ["ordering-pairing"]
+        );
+        let claused = concat!(
+            "fn f(a: &AtomicU64) {\n",
+            "    // ordering: Acquire pairs with the publish in g.\n",
+            "    // [pair: watermark @ self]\n",
+            "    a.load(Ordering::Acquire);\n",
+            "}\n",
+        );
+        assert!(lint_source("crates/err-egress/src/flusher.rs", claused).is_empty());
+    }
+
+    #[test]
+    fn pairing_graph_resolves_both_sides() {
+        let a = (
+            "crates/x/src/a.rs".to_owned(),
+            concat!(
+                "fn f(x: &AtomicU64) {\n",
+                "    // ordering: Release publishes the state g joins.\n",
+                "    // [pair: x-flag @ crates/x/src/b.rs]\n",
+                "    x.store(1, Ordering::Release);\n",
+                "}\n",
+            )
+            .to_owned(),
+        );
+        let b_ok = (
+            "crates/x/src/b.rs".to_owned(),
+            concat!(
+                "fn g(x: &AtomicU64) {\n",
+                "    // ordering: Acquire joins f's publish.\n",
+                "    // [pair: x-flag @ crates/x/src/a.rs]\n",
+                "    x.load(Ordering::Acquire);\n",
+                "}\n",
+            )
+            .to_owned(),
+        );
+        assert!(lint_files(&[a.clone(), b_ok]).is_empty());
+        // Counterpart clause gone: the pairing is one-sided.
+        let b_bare = ("crates/x/src/b.rs".to_owned(), "fn g() {}\n".to_owned());
+        assert_eq!(
+            rules_of(&lint_files(&[a.clone(), b_bare])),
+            ["ordering-pairing"]
+        );
+        // Target file not in the scanned set: the path went stale.
+        assert_eq!(rules_of(&lint_files(&[a])), ["ordering-pairing"]);
+    }
+
+    #[test]
+    fn self_pairs_need_a_counterpart_clause() {
+        let one_sided = (
+            "crates/x/src/a.rs".to_owned(),
+            "// ordering: Release half of the loop. [pair: loop @ self]\n".to_owned(),
+        );
+        assert_eq!(rules_of(&lint_files(&[one_sided])), ["ordering-pairing"]);
+        let both = (
+            "crates/x/src/a.rs".to_owned(),
+            concat!(
+                "// ordering: Release half of the loop. [pair: loop @ self]\n",
+                "// ordering: Acquire half of the loop. [pair: loop @ self]\n",
+            )
+            .to_owned(),
+        );
+        assert!(lint_files(&[both]).is_empty());
+    }
+
+    #[test]
+    fn malformed_pair_clauses_are_flagged() {
+        for bad in ["// [pair: no-target]\n", "// [pair: unterminated\n"] {
+            let file = ("crates/x/src/a.rs".to_owned(), bad.to_owned());
+            let v = lint_files(&[file]);
+            assert_eq!(rules_of(&v), ["ordering-pairing"], "case: {bad:?}");
+            assert!(v[0].msg.contains("malformed"), "case: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn park_calls_need_an_unpark_comment_in_claim_files() {
+        let bad = "fn f(s: &mut S) {\n    s.sched.park_flow(flow);\n}\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/err-runtime/src/shard.rs", bad)),
+            ["park-protocol"]
+        );
+        // Outside the claim files the pass does not run.
+        assert!(lint_source("crates/x/src/a.rs", bad).is_empty());
+        let direct = "fn f(s: &mut S) {\n    s.sched.unpark_flow(flow);\n}\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/err-runtime/src/shard.rs", direct)),
+            ["park-protocol"]
+        );
+    }
+
+    #[test]
+    fn unpark_authorities_must_resolve() {
+        let live = (
+            "crates/err-runtime/src/shard.rs".to_owned(),
+            concat!(
+                "fn sweep_links() {}\n",
+                "fn f(s: &mut S) {\n",
+                "    // unpark: the `sweep_links` pass at the loop top.\n",
+                "    s.sched.park_flow(flow);\n",
+                "}\n",
+            )
+            .to_owned(),
+        );
+        assert!(lint_files(&[live]).is_empty());
+        let renamed = (
+            "crates/err-runtime/src/shard.rs".to_owned(),
+            concat!(
+                "fn f(s: &mut S) {\n",
+                "    // unpark: the `ghost_sweep` pass at the loop top.\n",
+                "    s.sched.park_flow(flow);\n",
+                "}\n",
+            )
+            .to_owned(),
+        );
+        let v = lint_files(&[renamed]);
+        assert_eq!(rules_of(&v), ["park-protocol"]);
+        assert!(v[0].msg.contains("ghost_sweep"));
+        let nameless = (
+            "crates/err-runtime/src/shard.rs".to_owned(),
+            concat!(
+                "fn f(s: &mut S) {\n",
+                "    // unpark: somebody, eventually.\n",
+                "    s.sched.park_flow(flow);\n",
+                "}\n",
+            )
+            .to_owned(),
+        );
+        assert_eq!(rules_of(&lint_files(&[nameless])), ["park-protocol"]);
+    }
+
+    #[test]
+    fn spawns_need_a_panic_boundary() {
+        let bad = concat!(
+            "fn f() {\n",
+            "    std::thread::spawn(move || {\n",
+            "        work();\n",
+            "    });\n",
+            "}\n",
+        );
+        assert_eq!(
+            rules_of(&lint_source("crates/x/src/a.rs", bad)),
+            ["panic-boundary"]
+        );
+        let caught = concat!(
+            "fn f() {\n",
+            "    std::thread::spawn(move || {\n",
+            "        let _ = std::panic::catch_unwind(|| work());\n",
+            "    });\n",
+            "}\n",
+        );
+        assert!(lint_source("crates/x/src/a.rs", caught).is_empty());
+        let policy = concat!(
+            "fn f() {\n",
+            "    // panic-policy: a worker death is a modeled fault; the\n",
+            "    // supervisor sweep detects and salvages it.\n",
+            "    std::thread::spawn(move || {\n",
+            "        work();\n",
+            "    });\n",
+            "}\n",
+        );
+        assert!(lint_source("crates/x/src/a.rs", policy).is_empty());
+    }
+
+    #[test]
+    fn pair_clause_and_backtick_parsing() {
+        let (clauses, malformed) =
+            pair_clauses("x [pair: a @ self] then [pair: b @ crates/x/src/a.rs]");
+        assert!(!malformed);
+        assert_eq!(
+            clauses,
+            [
+                ("a".to_owned(), "self".to_owned()),
+                ("b".to_owned(), "crates/x/src/a.rs".to_owned()),
+            ]
+        );
+        assert!(pair_clauses("[pair: broken").1);
+        assert!(pair_clauses("[pair: no-at-sign]").1);
+        assert_eq!(
+            backticked_idents("the `unpark_respecting_links` helper, via `park_flow(flow)`"),
+            ["unpark_respecting_links", "park_flow"]
+        );
+        assert!(backticked_idents("`42` and `!` are not identifiers").is_empty());
+    }
+
+    #[test]
+    fn every_normative_design_section_has_a_doc_rule() {
+        let design =
+            std::fs::read_to_string(workspace_root().join("DESIGN.md")).expect("DESIGN.md");
+        for n in 8..=14 {
+            let heading = format!("## {n}");
+            assert!(
+                design.contains(&format!("\n{heading}")),
+                "DESIGN.md lost its normative section `{heading}`"
+            );
+            assert!(
+                DOC_RULES
+                    .iter()
+                    .any(|r| r.doc == "DESIGN.md" && r.section == Some(heading.as_str())),
+                "normative DESIGN.md section `{heading}` has no doc-drift rule; \
+                 add one to rules::DOC_RULES"
+            );
+        }
+    }
+
+    #[test]
+    fn passes_registry_covers_every_emitted_rule() {
+        // Every rule id a lint pass can emit; a new pass must register
+        // itself in `rules::PASSES` so `lint --list` stays honest.
+        let emitted = [
+            "safety-comment",
+            "ordering-comment",
+            "seqcst-scope",
+            "no-std-mutex",
+            "stats-relaxed",
+            "try-emit-override",
+            "ordering-pairing",
+            "park-protocol",
+            "panic-boundary",
+            "doc-drift",
+        ];
+        for rule in emitted {
+            assert!(
+                PASSES.iter().any(|(id, _)| *id == rule),
+                "pass `{rule}` missing from the rules::PASSES registry"
+            );
+        }
+        assert_eq!(
+            PASSES.len(),
+            emitted.len(),
+            "PASSES lists a pass no lint emits"
+        );
     }
 }

@@ -2,6 +2,8 @@
 //!
 //! * `err-check lint [--root PATH]` — run the concurrency source lints
 //!   and doc-drift rules over the workspace; exit 1 on any violation.
+//! * `err-check lint --list` — print every lint pass and what it
+//!   enforces (CI logs this so a green run records which rules ran).
 //! * `err-check mutants` — smoke-run the intentionally-broken model
 //!   mutants (`cargo test -p err-check --features model mutant_`) and
 //!   fail unless every one of them is caught by the checker.
@@ -10,13 +12,20 @@ use std::path::PathBuf;
 use std::process::{Command, ExitCode};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: err-check lint [--root PATH] | err-check mutants");
+    eprintln!("usage: err-check lint [--root PATH | --list] | err-check mutants");
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
+        Some("lint") if args.iter().any(|a| a == "--list") => {
+            println!("err-check lint passes ({}):", err_check::PASSES.len());
+            for (name, what) in err_check::PASSES {
+                println!("  {name:<18} {what}");
+            }
+            ExitCode::SUCCESS
+        }
         Some("lint") => {
             let root = match args.get(1).map(String::as_str) {
                 None => err_check::workspace_root(),

@@ -1,0 +1,356 @@
+//! The declarative rule tables behind the lint passes: file
+//! allowlists, protocol-aware pass configuration, and the doc-drift
+//! vocabulary contract. `lib.rs` holds the lexer and the pass
+//! implementations; everything a reviewer would want to *edit* when
+//! the workspace grows — a new Dekker file, a new DESIGN section, a
+//! new trait whose override is load-bearing — lives here.
+
+/// Every lint pass, in the order `lint` runs them: `(rule id, what it
+/// enforces)`. `cargo run -p err-check -- lint --list` prints this
+/// table so CI logs record exactly which passes ran.
+pub const PASSES: &[(&str, &str)] = &[
+    (
+        "safety-comment",
+        "every `unsafe` token carries a `// SAFETY:` justification within the lookback window",
+    ),
+    (
+        "ordering-comment",
+        "every non-Relaxed atomic ordering carries a `// ordering:` comment naming its pairing site",
+    ),
+    (
+        "seqcst-scope",
+        "`Ordering::SeqCst` only in the allowlisted Dekker files; downgrade or allowlist with proof",
+    ),
+    (
+        "no-std-mutex",
+        "`std::sync::Mutex` only in allowlisted cold-path modules, never per flit",
+    ),
+    (
+        "stats-relaxed",
+        "stats modules are approximate-under-race by contract and stay entirely `Relaxed`",
+    ),
+    (
+        "try-emit-override",
+        "every `impl Egress` overrides `try_emit` explicitly or acks with `// try-emit:` (the PR 6 \
+         deadlock class: the default delegates to the blocking `emit`)",
+    ),
+    (
+        "ordering-pairing",
+        "`[pair: label @ file]` clauses in `// ordering:` comments form a graph; each side must \
+         resolve to a matching clause pointing back (refactors cannot strand half an \
+         Acquire/Release pair); mandatory in the fabric-era protocol files",
+    ),
+    (
+        "park-protocol",
+        "in per-flow-claim files every `park_flow` names its unpark authority in a `// unpark:` \
+         comment whose backticked identifiers resolve, and direct `unpark_flow` calls need the \
+         same justification — donor-unwind paths go through `unpark_respecting_links` (the PR 8 \
+         wedge class)",
+    ),
+    (
+        "panic-boundary",
+        "every spawned-thread closure wraps its body in `catch_unwind` or carries a \
+         `// panic-policy:` justification",
+    ),
+    (
+        "doc-drift",
+        "DESIGN/README/EXPERIMENTS keep naming the protocol vocabulary the code exports",
+    ),
+];
+
+/// Files allowed to use `Ordering::SeqCst`. Everything here is a
+/// store→load (Dekker) protocol where independent total order is the
+/// point: the drain gate's `closed+in_flight` pairing and the
+/// salvage/migration epoch machinery built on it.
+pub(crate) const SEQCST_FILES: &[&str] = &[
+    "crates/err-runtime/src/gate.rs",
+    "crates/err-runtime/src/fault.rs",
+    "crates/err-runtime/src/migrate.rs",
+    // Ownership: the §13.3 submit-window Dekker (window enter vs map
+    // flip) and the §13.2 epoch CAS; modeled with the shipped atomics
+    // by err-check's model_ownership_window_dekker.
+    "crates/err-runtime/src/ownership.rs",
+    // FabricGate: the §10 DrainGate `closed+in_flight` Dekker pair
+    // replayed at fabric scope (DESIGN.md §11.3).
+    "crates/err-fabric/src/fabric.rs",
+];
+
+/// Files allowed to hold a `std::sync::Mutex`. Each is a documented
+/// cold-path lock: never taken on the per-flit fast path.
+pub(crate) const MUTEX_FILES: &[&str] = &[
+    // SharedEgress: serialized sink for stealing groundwork (lib docs).
+    "crates/err-egress/src/lib.rs",
+    // stall_hist: watchdog-only, touched once per stall release.
+    "crates/err-egress/src/link.rs",
+    // MigrationSlot package handoff: once per migration, not per flit.
+    "crates/err-runtime/src/migrate.rs",
+    // Salvage lock + exit collection: once per shard death.
+    "crates/err-runtime/src/fault.rs",
+    // Experiment-harness job queue (parking_lot): offline runner, no
+    // runtime fast path.
+    "crates/err-experiments/src/runner.rs",
+    // Fabric node registry, kill reports, and fault-event log: taken at
+    // boot, on a chaos kill, and at drain — never per flit (the
+    // per-flit fabric path is the forwarder's lock-free handoff).
+    "crates/err-fabric/src/fabric.rs",
+    // HopTracker entry stamps (§11.8): sharded map touched once per
+    // packet per hop — never per flit — on the forwarder's tail path.
+    "crates/err-fabric/src/hops.rs",
+];
+
+/// Trait impls whose method override is load-bearing: `(trait name,
+/// method that must be overridden, ack needle)`. An `impl <trait> for`
+/// block missing the method is a violation unless a `// <ack>` comment
+/// near the impl line justifies inheriting the default.
+///
+/// `Egress::try_emit` is the PR 6 deadlock class: the trait default
+/// delegates to the *blocking* `emit`, so a wrapper that forgets the
+/// override turns a forwarder's polite refusal into a flusher-thread
+/// spin that starves every other link's credits.
+pub(crate) const TRAIT_IMPL_RULES: &[(&str, &str, &str)] = &[("Egress", "try_emit", "try-emit:")];
+
+/// Files whose non-Relaxed atomic sites must carry a machine-checkable
+/// `[pair: label @ file]` clause (the PR 8/9 fabric-era protocol
+/// files). Elsewhere a free-text `// ordering:` comment is enough;
+/// clauses are still graph-checked wherever they appear.
+pub(crate) const PAIRED_FILES: &[&str] = &[
+    "crates/err-runtime/src/ownership.rs",
+    "crates/err-fabric/src/chaos.rs",
+    "crates/err-fabric/src/fabric.rs",
+    "crates/err-egress/src/flusher.rs",
+];
+
+/// Files that take per-flow claims (DESIGN.md §13): the park/unpark
+/// protocol pass runs only here. An unpark that bypasses
+/// `unpark_respecting_links` on a donor-unwind path is the PR 8
+/// stash-wedge class.
+pub(crate) const CLAIM_FILES: &[&str] = &[
+    "crates/err-runtime/src/migrate.rs",
+    "crates/err-runtime/src/fault.rs",
+    "crates/err-runtime/src/shard.rs",
+];
+
+/// One declarative doc-drift rule: `doc` (under the workspace root)
+/// must contain every needle, inside `section` when one is given.
+pub(crate) struct DocRule {
+    pub(crate) doc: &'static str,
+    /// A `## N` heading; the rule applies from there to the next `## `.
+    pub(crate) section: Option<&'static str>,
+    pub(crate) needles: &'static [&'static str],
+}
+
+/// The drift contract: normative docs must keep naming the protocol
+/// vocabulary the code exports. Mirrors (and extends to §10) the
+/// enum-derived drift tests in `tests/migration_stealing.rs` and
+/// `tests/fault_tolerance.rs`. One rule per normative DESIGN section
+/// (§8–§14) — `tests::every_normative_design_section_has_a_doc_rule`
+/// asserts the table stays complete as sections are added.
+pub(crate) const DOC_RULES: &[DocRule] = &[
+    DocRule {
+        doc: "DESIGN.md",
+        section: Some("## 8"),
+        needles: &[
+            "Idle",
+            "Requested",
+            "Quiescing",
+            "Draining",
+            "InTransit",
+            "FlowMap",
+            "LoadBoard",
+            "MigrationSlot",
+            "MigratedFlow",
+            "extract_flow",
+            "absorb_flow",
+            "park_flow",
+        ],
+    },
+    DocRule {
+        doc: "DESIGN.md",
+        section: Some("## 9"),
+        needles: &[
+            "Running",
+            "Quarantined",
+            "Dead",
+            "Exited",
+            "Clean",
+            "Panicked",
+            "Abandoned",
+            "FaultBoard",
+            "salvage",
+        ],
+    },
+    DocRule {
+        doc: "DESIGN.md",
+        section: Some("## 10"),
+        needles: &[
+            "MpscRing",
+            "DrainGate",
+            "CreditPool",
+            "spsc",
+            "Acquire",
+            "Release",
+            "SeqCst",
+            "err-check",
+            "loom",
+            "happens-before",
+            // The v2 protocol-aware passes and fabric-era models.
+            "try-emit-override",
+            "ordering-pairing",
+            "park-protocol",
+            "panic-boundary",
+            "[pair:",
+            "HandleTable",
+            "FlushProgress",
+            "HoldForRecovery",
+        ],
+    },
+    // §11 vocabulary: every routing verdict, forwarder outcome, and
+    // fabric fault the code can take must stay named in the spec.
+    DocRule {
+        doc: "DESIGN.md",
+        section: Some("## 11"),
+        needles: &[
+            // NextHop / LinkEnd (topology.rs).
+            "Eject",
+            "Forward",
+            "Neighbor",
+            // ForwardOutcome (forwarder.rs).
+            "Ejected",
+            "Forwarded",
+            "Refused",
+            "Rerouted",
+            "DeadLettered",
+            // FabricFault (chaos.rs).
+            "KillLink",
+            "KillNode",
+            // The machinery the outcomes ride on.
+            "Forwarder",
+            "FabricFaultPlan",
+            "try_emit",
+            "route_table",
+            "dimension-order",
+            "ECMP",
+            // Per-hop latency attribution (§11.8, hops.rs / stats.rs).
+            "HopTracker",
+            "HopSnapshot",
+            "flow_hops",
+            "service clock",
+        ],
+    },
+    // §12 vocabulary: the estimator's pipeline stages, regimes, and
+    // acceptance artifacts must stay named in the spec.
+    DocRule {
+        doc: "DESIGN.md",
+        section: Some("## 12"),
+        needles: &[
+            // The pipeline (decompose.rs / linksim.rs / compose.rs).
+            "decompose",
+            "LinkLoad",
+            "simulate_node",
+            "PathEstimate",
+            "EstimateReport",
+            "HopEstimate",
+            "contention domain",
+            // The arrival model and composition regimes.
+            "just-in-time",
+            "primer",
+            "service clock",
+            "credit-share",
+            "funnel",
+            // The envelope and the validation gates.
+            "floor",
+            "ceiling",
+            "envelope",
+            "BENCH_estimate",
+            "--estimate",
+        ],
+    },
+    // §13 vocabulary: the ownership authority's states, protocol
+    // verbs, and the resurrection handshake must stay named in the
+    // spec (the ownership layer is spec-first; see §13's preamble).
+    DocRule {
+        doc: "DESIGN.md",
+        section: Some("## 13"),
+        needles: &[
+            // OwnerState (ownership.rs).
+            "Settled",
+            "Stealing",
+            "Salvaging",
+            // The authority and its protocol verbs.
+            "Ownership",
+            "FlowMap",
+            "ClaimToken",
+            "WindowGuard",
+            "try_claim",
+            "seize_for_salvage",
+            "try_reroute",
+            "release",
+            "window_enter",
+            "window_clear",
+            "epoch",
+            "linearization",
+            // The §13.5 fence and §13.6 handshake.
+            "FlushProgress",
+            "Bequest",
+            "resurrection",
+        ],
+    },
+    // §14 vocabulary: the healing layer's fault events, policies, and
+    // supervision artifacts must stay named in the spec (spec-first,
+    // like §13; see §14's preamble).
+    DocRule {
+        doc: "DESIGN.md",
+        section: Some("## 14"),
+        needles: &[
+            // FabricFault heal events and their builders (chaos.rs).
+            "HealLink",
+            "ReviveNode",
+            "PanicForwarder",
+            "heal_link_at",
+            "revive_node_at",
+            "panic_forwarder_at",
+            // The dead-letter replay machinery (link.rs / flusher.rs).
+            "HoldForRecovery",
+            "resurrect",
+            "replayed",
+            // Bounded drains (fabric.rs).
+            "DrainOutcome",
+            "HeldForRecovery",
+            // Forwarder supervision (forwarder.rs / chaos.rs).
+            "ForwarderExit",
+            "catch_unwind",
+            "poisoned",
+        ],
+    },
+    DocRule {
+        doc: "README.md",
+        section: None,
+        needles: &[
+            "err-check",
+            "loom",
+            "err-fabric",
+            "err-estimate",
+            "backpressure",
+        ],
+    },
+    DocRule {
+        doc: "EXPERIMENTS.md",
+        section: None,
+        needles: &[
+            "interleavings",
+            "mutant",
+            "BENCH_fabric",
+            "BENCH_estimate",
+            "isolation",
+            "speedup",
+            "fabric_heal",
+            "fabric_flap",
+            // The four fabric-era models (PR 10) must stay in the
+            // interleaving-count / mutant-kill matrix.
+            "model_credit_hold_refused_try_emit",
+            "model_handle_table_swap_mid_handoff",
+            "model_hold_for_recovery_resurrect_vs_finalize",
+            "model_flush_progress_retire_fence",
+        ],
+    },
+];

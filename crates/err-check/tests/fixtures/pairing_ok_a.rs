@@ -1,0 +1,7 @@
+// Passing fixture: the Release half of a cross-file pair; its
+// counterpart lives in `pairing_ok_b.rs` and points back.
+pub fn publish(flag: &AtomicBool) {
+    // ordering: Release publishes the drained state the reader joins.
+    // [pair: drain-flag @ crates/err-runtime/src/lib.rs]
+    flag.store(true, Ordering::Release);
+}

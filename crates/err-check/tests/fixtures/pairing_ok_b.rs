@@ -1,0 +1,7 @@
+// Passing fixture: the Acquire half pointing back at the Release half
+// in `pairing_ok_a.rs`.
+pub fn join(flag: &AtomicBool) -> bool {
+    // ordering: Acquire joins the drain publish.
+    // [pair: drain-flag @ crates/err-egress/src/flusher.rs]
+    flag.load(Ordering::Acquire)
+}

@@ -1,0 +1,8 @@
+// Violating fixture: the PR 9 stranded-pair class. The Release side
+// claims its Acquire counterpart lives in another file; the pairing
+// graph must notice nothing points back.
+pub fn publish(flag: &AtomicBool) {
+    // ordering: Release publishes the drained state the reader joins.
+    // [pair: drain-flag @ crates/err-runtime/src/lib.rs]
+    flag.store(true, Ordering::Release);
+}

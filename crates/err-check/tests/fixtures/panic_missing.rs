@@ -1,0 +1,7 @@
+// Violating fixture: a bare worker spawn. A panic in `pump` unwinds
+// into a silent thread death — no boundary, no stated contract.
+pub fn start(state: Arc<Shared>) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        pump(&state);
+    })
+}

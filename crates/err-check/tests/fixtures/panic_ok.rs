@@ -1,0 +1,17 @@
+// Passing fixture: one spawn carries an unwind boundary, the other
+// states its contract.
+pub fn start_caught(state: Arc<Shared>) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| pump(&state)));
+        state.record(outcome);
+    })
+}
+
+pub fn start_supervised(state: Arc<Shared>) -> std::thread::JoinHandle<()> {
+    // panic-policy: a pump panic is a modeled fault — the supervisor's
+    // sweep detects the dead thread and the drain-time `join` reports
+    // it; nothing is poisoned.
+    std::thread::spawn(move || {
+        pump(&state);
+    })
+}

@@ -1,0 +1,9 @@
+// Violating fixture: the PR 6 flusher-deadlock class. This wrapper
+// forwards `emit` but forgets `try_emit`, so the trait default turns a
+// downstream refusal into a blocking `emit` under the wrapper.
+impl Egress for TracingSink {
+    fn emit(&mut self, shard: usize, flit: &ServedFlit) {
+        self.log.push((shard, flit.packet));
+        self.inner.emit(shard, flit);
+    }
+}

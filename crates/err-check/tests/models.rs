@@ -12,13 +12,27 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
-use err_egress::{spsc_ring, CreditPool};
+use err_egress::{
+    spsc_ring, CreditPool, DeadLinkPolicy, Egress, FlushProgress, FlusherCore, LinkSet, ServedFlit,
+};
+use err_fabric::HandleTable;
 use err_runtime::channel::MpscRing;
 use err_runtime::gate::DrainGate;
 use err_runtime::{OwnerState, Ownership};
 use loom::cell::UnsafeCell;
 use loom::model::Builder;
 use loom::thread;
+
+/// A one-flit-packet for driving the shipped `FlusherCore`.
+fn served(flow: usize, packet: u64) -> ServedFlit {
+    ServedFlit {
+        flow,
+        packet,
+        arrival: 0,
+        len: 1,
+        flit_index: 0,
+    }
+}
 
 /// Runs `f` under the checker expecting a violation (data race, failed
 /// assertion, deadlock); panics if the mutant escapes.
@@ -312,6 +326,305 @@ fn model_ownership_window_dekker() {
 }
 
 // ---------------------------------------------------------------------
+// Fabric-era shipped models (DESIGN.md §10): the refused-try_emit
+// credit hold, the handle-table incarnation swap, the
+// HoldForRecovery resurrect/finalize race, and the FlushProgress
+// retire fence — each driven through the *shipped* types
+// (FlusherCore, LinkSet, HandleTable, FlushProgress), not miniatures.
+// ---------------------------------------------------------------------
+
+/// The §11.2 refused-`try_emit` protocol through the shipped
+/// `FlusherCore` + `LinkSet`: a downstream sink refuses until its room
+/// flag opens (published with Release after writing the payload cell),
+/// and the flusher holds the flit — and its link credit — across every
+/// refusal. On acceptance the Acquire room-load must carry the payload
+/// write, and exactly one credit returns to the pool.
+#[test]
+fn model_credit_hold_refused_try_emit() {
+    use loom::sync::atomic::{AtomicBool, Ordering};
+
+    struct GatedSink {
+        room: Arc<loom::sync::atomic::AtomicBool>,
+        payload: Arc<UnsafeCell<u64>>,
+        got: u64,
+        accepted: u64,
+    }
+    impl Egress for GatedSink {
+        fn emit(&mut self, _shard: usize, _flit: &ServedFlit) {
+            unreachable!("the flusher delivers through try_emit only");
+        }
+        fn try_emit(&mut self, _shard: usize, _flit: &ServedFlit) -> bool {
+            if !self.room.load(Ordering::Acquire) {
+                // Refusal: the flit stays pending, its credit stays
+                // held (the conservation half asserted below).
+                return false;
+            }
+            self.got = self.payload.with(|p| unsafe { *p });
+            self.accepted += 1;
+            true
+        }
+    }
+
+    let mut b = Builder::new();
+    b.max_preemptions = Some(2);
+    b.max_iterations = 2_000_000;
+    let report = b.check(|| {
+        let links = Arc::new(LinkSet::new(1, 1));
+        let room = Arc::new(AtomicBool::new(false));
+        let payload = Arc::new(UnsafeCell::new(0u64));
+        let (mut tx, rx) = spsc_ring::<ServedFlit>(2);
+        // The worker half, pre-thread: spend the link's only credit and
+        // commit the flit, exactly as `shard.rs` does before pushing.
+        assert!(links.try_acquire(0), "fresh pool has a credit");
+        tx.push(served(0, 7)).expect("ring has room");
+        let flusher = {
+            let (links, room, payload) =
+                (Arc::clone(&links), Arc::clone(&room), Arc::clone(&payload));
+            thread::spawn(move || {
+                let mut core = FlusherCore::new(0, rx, 1);
+                let mut sink = GatedSink {
+                    room,
+                    payload,
+                    got: 0,
+                    accepted: 0,
+                };
+                let mut delivered = 0u64;
+                while delivered < 1 {
+                    delivered += core.step(&links, None, &mut sink);
+                    thread::yield_now();
+                }
+                assert!(core.is_idle(), "one flit in, one flit out");
+                (sink.got, sink.accepted)
+            })
+        };
+        // The downstream node making room: payload first, then the
+        // Release flag the sink's Acquire load pairs with.
+        payload.with_mut(|p| unsafe { *p = 7 });
+        room.store(true, Ordering::Release);
+        let (got, accepted) = flusher.join().expect("flusher");
+        assert_eq!(accepted, 1, "refusals never double-deliver");
+        assert_eq!(got, 7, "acceptance carries the downstream's write");
+        assert!(
+            links.try_acquire(0),
+            "the held credit returned on acceptance"
+        );
+        assert!(!links.try_acquire(0), "exactly one credit returned");
+    });
+    println!(
+        "model_credit_hold_refused_try_emit: {} interleavings (complete={})",
+        report.executions, report.complete
+    );
+    assert!(report.complete, "bounded DFS must exhaust");
+}
+
+/// The §14.1 incarnation swap through the shipped generic
+/// `HandleTable`: a monitor boots a successor (writing its inbox cell)
+/// and swaps it in while a forwarder clones the slot mid-handoff. The
+/// write-unlock Release → read-lock Acquire edge on the slot's RwLock
+/// must publish the successor's boot writes to any reader that
+/// observes the new incarnation, and a clone of the dying incarnation
+/// must stay valid.
+#[test]
+fn model_handle_table_swap_mid_handoff() {
+    #[derive(Clone)]
+    struct MiniHandle {
+        generation: u64,
+        inbox: Arc<UnsafeCell<u64>>,
+    }
+
+    let mut b = Builder::new();
+    b.max_preemptions = Some(2);
+    b.max_iterations = 2_000_000;
+    let report = b.check(|| {
+        let table = Arc::new(HandleTable::<MiniHandle>::new());
+        let boot_inbox = Arc::new(UnsafeCell::new(0u64));
+        boot_inbox.with_mut(|p| unsafe { *p = 5 });
+        table.install(vec![MiniHandle {
+            generation: 0,
+            inbox: Arc::clone(&boot_inbox),
+        }]);
+        let monitor = {
+            let table = Arc::clone(&table);
+            thread::spawn(move || {
+                // Boot the successor: prime its inbox, then swap it
+                // into the slot (write-unlock publishes the priming).
+                let inbox = Arc::new(UnsafeCell::new(0u64));
+                inbox.with_mut(|p| unsafe { *p = 6 });
+                table.swap(
+                    0,
+                    MiniHandle {
+                        generation: 1,
+                        inbox,
+                    },
+                );
+            })
+        };
+        // The forwarder mid-handoff: whichever incarnation `get`
+        // clones, its boot writes must already be visible.
+        let h = table.get(0).expect("installed before the race");
+        let seen = h.inbox.with(|p| unsafe { *p });
+        assert_eq!(
+            seen,
+            5 + h.generation,
+            "incarnation read its predecessor's half-boot"
+        );
+        monitor.join().expect("monitor");
+        // The dying incarnation's clone stays valid after the swap.
+        assert_eq!(boot_inbox.with(|p| unsafe { *p }), 5);
+    });
+    println!(
+        "model_handle_table_swap_mid_handoff: {} interleavings (complete={})",
+        report.executions, report.complete
+    );
+    assert!(report.complete, "bounded DFS must exhaust");
+}
+
+/// The §14.2 resurrect-vs-finalize race through the shipped
+/// `FlusherCore` + `LinkSet` under `HoldForRecovery`: two flits are
+/// held behind a dead link while a monitor resurrects it in the same
+/// instant the drain gives up. `finalize_dead_letters` rechecks
+/// `is_dead` per pop, so every flit is either dead-lettered (link
+/// still dead at its pop) or delivered as a replay (resurrect won) —
+/// never lost, never both — and both credits return either way.
+#[test]
+fn model_hold_for_recovery_resurrect_vs_finalize() {
+    struct CountSink {
+        accepted: u64,
+    }
+    impl Egress for CountSink {
+        fn emit(&mut self, _shard: usize, _flit: &ServedFlit) {
+            unreachable!("the flusher delivers through try_emit only");
+        }
+        fn try_emit(&mut self, _shard: usize, _flit: &ServedFlit) -> bool {
+            self.accepted += 1;
+            true
+        }
+    }
+
+    let mut b = Builder::new();
+    b.max_preemptions = Some(2);
+    b.max_iterations = 2_000_000;
+    let report = b.check(|| {
+        let links = Arc::new(LinkSet::with_fault_policy(
+            1,
+            2,
+            None,
+            DeadLinkPolicy::HoldForRecovery,
+        ));
+        let (mut tx, rx) = spsc_ring::<ServedFlit>(2);
+        assert!(links.try_acquire(0));
+        assert!(links.try_acquire(0));
+        tx.push(served(0, 1)).expect("ring has room");
+        tx.push(served(0, 2)).expect("ring has room");
+        links.declare_dead(0);
+        let flusher = {
+            let links = Arc::clone(&links);
+            thread::spawn(move || {
+                let mut core = FlusherCore::new(0, rx, 1);
+                let mut sink = CountSink { accepted: 0 };
+                let mut delivered = 0u64;
+                let mut dead = 0u64;
+                loop {
+                    delivered += core.step(&links, None, &mut sink);
+                    // The drain giving up on the dead link, racing the
+                    // monitor's resurrect below.
+                    dead += core.finalize_dead_letters(&links);
+                    if core.is_idle() {
+                        break;
+                    }
+                    thread::yield_now();
+                }
+                (delivered, dead, sink.accepted)
+            })
+        };
+        // The monitor healing the link in the same instant.
+        links.resurrect(0);
+        let (delivered, dead, accepted) = flusher.join().expect("flusher");
+        assert_eq!(
+            delivered + dead,
+            2,
+            "each held flit delivered xor dead-lettered"
+        );
+        assert_eq!(accepted, delivered, "the sink saw exactly the deliveries");
+        assert!(links.try_acquire(0), "first credit returned");
+        assert!(links.try_acquire(0), "second credit returned");
+        assert!(!links.try_acquire(0), "no credit minted from thin air");
+    });
+    println!(
+        "model_hold_for_recovery_resurrect_vs_finalize: {} interleavings (complete={})",
+        report.executions, report.complete
+    );
+    assert!(report.complete, "bounded DFS must exhaust");
+}
+
+/// The §13.5 retire fence through the shipped `FlusherCore` +
+/// `FlushProgress`: a donor spins on `retired()` until the victim's
+/// two flits are disposed, then reads the delivery log the sink wrote.
+/// The conditional Release publish (pending-free instants only) →
+/// Acquire `retired` load must carry the sink's writes, or the donor
+/// flips a flow's home while its flits are still in flight.
+#[test]
+fn model_flush_progress_retire_fence() {
+    struct LogSink {
+        log: Arc<UnsafeCell<u64>>,
+    }
+    impl Egress for LogSink {
+        fn emit(&mut self, _shard: usize, _flit: &ServedFlit) {
+            unreachable!("the flusher delivers through try_emit only");
+        }
+        fn try_emit(&mut self, _shard: usize, _flit: &ServedFlit) -> bool {
+            self.log.with_mut(|p| unsafe { *p += 1 });
+            true
+        }
+    }
+
+    let mut b = Builder::new();
+    b.max_preemptions = Some(2);
+    b.max_iterations = 2_000_000;
+    let report = b.check(|| {
+        let links = Arc::new(LinkSet::new(1, 2));
+        let progress = Arc::new(FlushProgress::default());
+        let log = Arc::new(UnsafeCell::new(0u64));
+        let (mut tx, rx) = spsc_ring::<ServedFlit>(2);
+        assert!(links.try_acquire(0));
+        assert!(links.try_acquire(0));
+        tx.push(served(0, 1)).expect("ring has room");
+        tx.push(served(0, 2)).expect("ring has room");
+        let flusher = {
+            let (links, progress, log) =
+                (Arc::clone(&links), Arc::clone(&progress), Arc::clone(&log));
+            thread::spawn(move || {
+                let mut core = FlusherCore::new(0, rx, 1);
+                let mut sink = LogSink { log };
+                let mut delivered = 0u64;
+                while delivered < 2 {
+                    delivered += core.step(&links, None, &mut sink);
+                    core.publish_progress(&progress);
+                    thread::yield_now();
+                }
+                core.publish_progress(&progress);
+            })
+        };
+        // The donor's egress-retire fence: wait for the watermark,
+        // then act on state the flusher's sink wrote.
+        while progress.retired() < 2 {
+            thread::yield_now();
+        }
+        assert_eq!(
+            log.with(|p| unsafe { *p }),
+            2,
+            "retired() >= s must carry the first s deliveries"
+        );
+        flusher.join().expect("flusher");
+    });
+    println!(
+        "model_flush_progress_retire_fence: {} interleavings (complete={})",
+        report.executions, report.complete
+    );
+    assert!(report.complete, "bounded DFS must exhaust");
+}
+
+// ---------------------------------------------------------------------
 // Mutants: one weakened ordering each; the checker must catch them.
 // Each is a self-contained miniature of the shipped structure with the
 // single load/store under test flipped to a broken ordering.
@@ -565,7 +878,7 @@ fn mutant_ownership_window_wait_relaxed() {
     });
 }
 
-/// `Ownership::release` (`ownership.rs`) weakened from SeqCst to
+/// `Ownership::release` (`ownership.rs`) weakened from AcqRel to
 /// Relaxed: the relaxed CAS keeps the release sequence headed by the
 /// *claim* — a clock from before the mover touched the flow's packets —
 /// so the next claimant's acquire joins a stale clock and its packet
@@ -592,7 +905,7 @@ fn mutant_ownership_release_relaxed() {
                         thread::yield_now();
                     }
                     packets.with_mut(|p| unsafe { *p += 1 });
-                    // MUTATION: shipped release CASes SeqCst.
+                    // MUTATION: shipped release CASes AcqRel.
                     claim
                         .compare_exchange(CLAIMED, SETTLED, Ordering::Relaxed, Ordering::Relaxed)
                         .expect("nothing seizes this claim");
@@ -609,6 +922,157 @@ fn mutant_ownership_release_relaxed() {
             packets.with_mut(|p| unsafe { *p += 1 });
             claim.store(SETTLED, Ordering::SeqCst);
             first.join().expect("first mover");
+        });
+    });
+}
+
+// The four fabric-era models above each rest on one Release edge; the
+// mutants below weaken exactly that edge in a miniature of the same
+// protocol. (The miniatures re-create the edge directly because the
+// shipped orderings are not feature-switchable — the point is that
+// the checker would catch the weakening, not that the shipped code
+// contains it.)
+
+/// The refused-`try_emit` acceptance edge
+/// (`model_credit_hold_refused_try_emit`) weakened: the downstream
+/// opens its room flag with a Relaxed store after writing the payload,
+/// so the sink's Acquire room-load carries nothing and its payload
+/// read races the downstream's write.
+#[test]
+fn mutant_credit_hold_room_relaxed() {
+    use loom::sync::atomic::{AtomicBool, Ordering};
+    expect_violation("credit_hold_room_relaxed", || {
+        Builder::new().check(|| {
+            let room = Arc::new(AtomicBool::new(false));
+            let payload = Arc::new(UnsafeCell::new(0u64));
+            let downstream = {
+                let (room, payload) = (Arc::clone(&room), Arc::clone(&payload));
+                thread::spawn(move || {
+                    payload.with_mut(|p| unsafe { *p = 7 });
+                    // MUTATION: the room flag opens with Release.
+                    room.store(true, Ordering::Relaxed);
+                })
+            };
+            // The sink: refuse until room, then read the payload.
+            while !room.load(Ordering::Acquire) {
+                thread::yield_now();
+            }
+            let got = payload.with(|p| unsafe { *p });
+            assert_eq!(got, 7);
+            downstream.join().expect("downstream");
+        });
+    });
+}
+
+/// The handle-table slot lock (`model_handle_table_swap_mid_handoff`)
+/// with the write-unlock weakened: the vendored RwLock's reader-count
+/// protocol, hand-rolled, with the writer's unlock store Relaxed. A
+/// reader whose Acquire read-lock CAS follows the unlock no longer
+/// joins the writer's clock, so cloning the slot races the swap's
+/// write.
+#[test]
+fn mutant_handle_table_unlock_relaxed() {
+    use loom::sync::atomic::{AtomicUsize, Ordering};
+    const WRITE_LOCKED: usize = usize::MAX;
+    expect_violation("handle_table_unlock_relaxed", || {
+        Builder::new().check(|| {
+            let lock = Arc::new(AtomicUsize::new(0));
+            let slot = Arc::new(UnsafeCell::new(0u64));
+            let writer = {
+                let (lock, slot) = (Arc::clone(&lock), Arc::clone(&slot));
+                thread::spawn(move || {
+                    while lock
+                        .compare_exchange(0, WRITE_LOCKED, Ordering::Acquire, Ordering::Relaxed)
+                        .is_err()
+                    {
+                        thread::yield_now();
+                    }
+                    slot.with_mut(|p| unsafe { *p = 1 });
+                    // MUTATION: write-unlock stores with Release.
+                    lock.store(0, Ordering::Relaxed);
+                })
+            };
+            // The reader: count itself in (Acquire), clone, count out.
+            loop {
+                let cur = lock.load(Ordering::Relaxed);
+                if cur != WRITE_LOCKED
+                    && lock
+                        .compare_exchange(cur, cur + 1, Ordering::Acquire, Ordering::Relaxed)
+                        .is_ok()
+                {
+                    break;
+                }
+                thread::yield_now();
+            }
+            let _cloned = slot.with(|p| unsafe { *p });
+            lock.fetch_sub(1, Ordering::Release);
+            writer.join().expect("writer");
+        });
+    });
+}
+
+/// The resurrect edge (`model_hold_for_recovery_resurrect_vs_finalize`)
+/// weakened: the healer revives the dead flag with a Relaxed swap
+/// after writing the link's downstream state. A Relaxed RMW extends
+/// the release sequence headed by the flag's *initialization* — a
+/// clock from before the heal — so the flusher's Acquire liveness
+/// load no longer carries the healer's write and replay delivery
+/// races it.
+#[test]
+fn mutant_hold_for_recovery_heal_relaxed() {
+    use loom::sync::atomic::{AtomicBool, Ordering};
+    expect_violation("hold_for_recovery_heal_relaxed", || {
+        Builder::new().check(|| {
+            let dead = Arc::new(AtomicBool::new(true));
+            let downstream = Arc::new(UnsafeCell::new(0u64));
+            let healer = {
+                let (dead, downstream) = (Arc::clone(&dead), Arc::clone(&downstream));
+                thread::spawn(move || {
+                    downstream.with_mut(|p| unsafe { *p = 1 });
+                    // MUTATION: shipped `resurrect` swaps AcqRel.
+                    dead.swap(false, Ordering::Relaxed);
+                })
+            };
+            // The flusher: hold while dead, then replay into the
+            // downstream state the heal was supposed to publish.
+            while dead.load(Ordering::Acquire) {
+                thread::yield_now();
+            }
+            let ready = downstream.with(|p| unsafe { *p });
+            assert_eq!(ready, 1);
+            healer.join().expect("healer");
+        });
+    });
+}
+
+/// The retire-fence publish (`model_flush_progress_retire_fence`)
+/// weakened: the flusher publishes its watermark with a Relaxed store
+/// after the delivery writes it vouches for, so the donor's Acquire
+/// `retired()` load carries nothing and its post-fence read of the
+/// delivery log is a data race.
+#[test]
+fn mutant_flush_progress_publish_relaxed() {
+    use loom::sync::atomic::{AtomicU64, Ordering};
+    expect_violation("flush_progress_publish_relaxed", || {
+        Builder::new().check(|| {
+            let watermark = Arc::new(AtomicU64::new(0));
+            let log = Arc::new(UnsafeCell::new(0u64));
+            let flusher = {
+                let (watermark, log) = (Arc::clone(&watermark), Arc::clone(&log));
+                thread::spawn(move || {
+                    log.with_mut(|p| unsafe { *p += 1 });
+                    // MUTATION: shipped `publish` stores with Release.
+                    watermark.store(1, Ordering::Relaxed);
+                })
+            };
+            // The donor's fence: wait for the watermark, then act on
+            // the deliveries behind it.
+            while watermark.load(Ordering::Acquire) < 1 {
+                thread::yield_now();
+            }
+            let seen = log.with(|p| unsafe { *p });
+            assert_eq!(seen, 1);
+            flusher.join().expect("flusher");
         });
     });
 }

@@ -15,7 +15,12 @@
 //! different channels.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+// The `FlushProgress` watermark goes through the loom shim so the
+// §13.5 retire fence is model-checkable; the `closed` latch crosses
+// the runtime↔egress crate boundary in `run_flusher`'s signature and
+// stays a std atomic (models drive `FlusherCore::step` directly).
+use crate::sync::{AtomicU64, Ordering};
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
 use err_sched::ServedFlit;
@@ -77,13 +82,16 @@ impl FlushProgress {
     pub fn retired(&self) -> u64 {
         // ordering: Acquire pairs with the Release publish in
         // `FlusherCore::publish_progress` — a donor that reads
-        // `retired() >= s` must also observe the deliveries behind it.
+        // `retired() >= s` must also observe the deliveries behind it
+        // (modeled: model_flush_progress_retire_fence).
+        // [pair: flush-retire @ self]
         self.watermark.load(Ordering::Acquire)
     }
 
     fn publish(&self, popped: u64) {
         // ordering: Release — see `retired`. Monotone by construction:
         // `popped` never decreases and only this flusher writes.
+        // [pair: flush-retire @ self]
         self.watermark.store(popped, Ordering::Release);
     }
 }
@@ -332,6 +340,7 @@ pub fn run_flusher<E: Egress>(
         // ordering: Acquire pairs with the runtime's Release
         // `egress_closed` store at shutdown (err-runtime
         // drain_within) — the one-way "workers are gone" latch.
+        // [pair: egress-closed @ crates/err-runtime/src/lib.rs]
         if closed.load(Ordering::Acquire) {
             if core.is_idle() {
                 return;

@@ -42,9 +42,8 @@ pub(crate) mod sync;
 
 use std::sync::Arc;
 
-use err_sched::ServedFlit;
-
 pub use credit::CreditPool;
+pub use err_sched::ServedFlit;
 pub use flusher::{run_flusher, FlushProgress, FlusherCore};
 pub use link::{DeadLinkPolicy, LinkSet, LinkSnapshot, LinkState};
 pub use spsc::{spsc_ring, Consumer, Producer};
@@ -98,6 +97,15 @@ pub trait Egress: Send {
 impl<F: FnMut(usize, &ServedFlit) + Send> Egress for F {
     fn emit(&mut self, shard: usize, flit: &ServedFlit) {
         self(shard, flit)
+    }
+
+    fn try_emit(&mut self, shard: usize, flit: &ServedFlit) -> bool {
+        // A bare closure sink has no refusal signal: it always accepts,
+        // so the non-blocking path is `emit` spelled out — never the
+        // trait default's blocking delegation (which this override
+        // exists to make explicit; see the try-emit-override lint).
+        self(shard, flit);
+        true
     }
 }
 

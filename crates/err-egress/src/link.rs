@@ -18,7 +18,10 @@
 //! links — not wall time, so stall durations are deterministic and
 //! reproducible.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+// Atomics route through the loom shim so the model suite can check
+// the liveness-flag and flush-clock edges; the histogram Mutex is a
+// cold path (stall end / snapshot only) and stays std.
+use crate::sync::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use desim::Histogram;

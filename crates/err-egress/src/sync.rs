@@ -3,20 +3,21 @@
 //! feature.
 //!
 //! Only the modules whose interleavings are model-checked go through
-//! this shim ([`crate::spsc`], [`crate::credit`]); everything else uses
-//! `std::sync::atomic` directly. The feature is off by default and only
-//! enabled by `err-check`'s model suite (`cargo test -p err-check
-//! --features model`), so every normal build compiles the `std` arm —
-//! where the [`UnsafeCell`] wrapper is a zero-cost `#[inline]` veneer
-//! over `std::cell::UnsafeCell`.
+//! this shim ([`crate::spsc`], [`crate::credit`], [`crate::link`]'s
+//! liveness flags and clocks, [`crate::flusher`]'s `FlushProgress`
+//! watermark); everything else uses `std::sync::atomic` directly. The
+//! feature is off by default and only enabled by `err-check`'s model
+//! suite (`cargo test -p err-check --features model`), so every normal
+//! build compiles the `std` arm — where the [`UnsafeCell`] wrapper is
+//! a zero-cost `#[inline]` veneer over `std::cell::UnsafeCell`.
 
 #[cfg(feature = "loom")]
 pub(crate) use loom::cell::UnsafeCell;
 #[cfg(feature = "loom")]
-pub(crate) use loom::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+pub(crate) use loom::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 #[cfg(not(feature = "loom"))]
-pub(crate) use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+pub(crate) use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 /// `std` stand-in for `loom::cell::UnsafeCell`: the same closure-based
 /// access API, compiled down to plain raw-pointer access.

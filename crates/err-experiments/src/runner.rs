@@ -120,6 +120,9 @@ where
         for _ in 0..workers {
             let tx = tx.clone();
             let job_queue = &job_queue;
+            // panic-policy: scoped worker — a panicked job propagates
+            // out of `thread::scope` and fails the whole experiment
+            // run (offline harness; fail-fast is the contract).
             scope.spawn(move || loop {
                 let Some((idx, job)) = job_queue.lock().pop() else {
                     break;

@@ -186,6 +186,7 @@ impl PanicSwitch {
         // ordering: Release pairs with the Acquire/AcqRel reads in
         // `take` — the forwarder that fires the panic observes every
         // monitor write made before the arming.
+        // [pair: chaos-panic-arm @ self]
         self.armed[node].store(true, Ordering::Release);
     }
 
@@ -193,11 +194,13 @@ impl PanicSwitch {
     /// is a plain load so the per-tail check costs no RMW.
     pub fn take(&self, node: usize) -> bool {
         // ordering: Acquire pairs with the Release store in `arm`.
+        // [pair: chaos-panic-arm @ self]
         if !self.armed[node].load(Ordering::Acquire) {
             return false;
         }
         // ordering: AcqRel — exactly one forwarder thread consumes the
         // trigger even when several race the armed window.
+        // [pair: chaos-panic-arm @ self]
         self.armed[node].swap(false, Ordering::AcqRel)
     }
 }
@@ -229,12 +232,14 @@ impl DeadMap {
         // ordering: Release pairs with the Acquire loads in
         // `link_dead`/`node_dead` — a forwarder that observes the flag
         // also observes every write the monitor made before the kill.
+        // [pair: chaos-dead-map @ self]
         self.links[node][link].store(true, Ordering::Release);
     }
 
     /// Marks a node dead.
     pub fn kill_node(&self, node: usize) {
         // ordering: Release; see `kill_link`.
+        // [pair: chaos-dead-map @ self]
         self.nodes[node].store(true, Ordering::Release);
     }
 
@@ -244,12 +249,14 @@ impl DeadMap {
         // ordering: Release pairs with the Acquire loads in
         // `link_dead`/`node_dead` — a forwarder that observes the heal
         // also observes every replay-side write made before it.
+        // [pair: chaos-dead-map @ self]
         self.links[node][link].store(false, Ordering::Release);
     }
 
     /// Clears a node's dead flag (§14.1).
     pub fn revive_node(&self, node: usize) {
         // ordering: Release; see `heal_link`.
+        // [pair: chaos-dead-map @ self]
         self.nodes[node].store(false, Ordering::Release);
     }
 
@@ -258,6 +265,7 @@ impl DeadMap {
     pub fn any_dead(&self) -> bool {
         // ordering: Acquire pairs with the Release stores in the
         // kill/heal methods — same pairing as `link_dead`/`node_dead`.
+        // [pair: chaos-dead-map @ self]
         self.links
             .iter()
             .flatten()
@@ -268,12 +276,14 @@ impl DeadMap {
     /// Whether `node`'s cable `link` has been cut.
     pub fn link_dead(&self, node: usize, link: usize) -> bool {
         // ordering: Acquire pairs with the Release stores above.
+        // [pair: chaos-dead-map @ self]
         self.links[node][link].load(Ordering::Acquire)
     }
 
     /// Whether `node` has been killed.
     pub fn node_dead(&self, node: usize) -> bool {
         // ordering: Acquire pairs with the Release stores above.
+        // [pair: chaos-dead-map @ self]
         self.nodes[node].load(Ordering::Acquire)
     }
 

@@ -3,7 +3,11 @@
 //! events, dead-letter replay, and forwarder supervision (§14).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::sync::{Arc, Mutex, OnceLock};
+
+// The handle-table lock routes through the loom shim so the §14.1
+// incarnation-swap edges are model-checkable (err-check model suite).
+use crate::sync::RwLock;
 use std::time::{Duration, Instant};
 
 use err_egress::{BufferedConfig, DeadLinkPolicy, EgressController, StallPlan};
@@ -44,9 +48,11 @@ impl FabricGate {
         // ordering: SeqCst Dekker with `close` — the increment must be
         // globally visible before the closed check, so either this
         // producer sees `closed` or the drain sees `in_flight > 0`.
+        // [pair: fabric-gate @ self]
         self.in_flight.fetch_add(1, Ordering::SeqCst);
         if self.closed.load(Ordering::SeqCst) {
             // ordering: SeqCst; rollback of the announcement above.
+            // [pair: fabric-gate @ self]
             self.in_flight.fetch_sub(1, Ordering::SeqCst);
             return false;
         }
@@ -55,15 +61,21 @@ impl FabricGate {
 
     /// Retires `n` in-flight packets (terminal outcome reached).
     pub(crate) fn depart(&self, n: u64) {
-        // ordering: SeqCst keeps departures in the same total order
-        // the drain's `in_flight == 0` check participates in.
-        let prev = self.in_flight.fetch_sub(n, Ordering::SeqCst);
+        // ordering: AcqRel RMW — Release publishes the packet's
+        // terminal-outcome writes to the drain's Acquire-or-stronger
+        // `in_flight` read; Acquire joins earlier departures on the
+        // same counter. Downgraded from SeqCst: depart is not a side of
+        // the `enter`/`close` Dekker (it never checks `closed`), so RMW
+        // coherence on the one counter plus the Release edge is the
+        // whole contract. [pair: fabric-gate @ self]
+        let prev = self.in_flight.fetch_sub(n, Ordering::AcqRel);
         debug_assert!(prev >= n, "gate underflow");
     }
 
     /// Closes the fabric to new submits.
     pub(crate) fn close(&self) {
         // ordering: SeqCst Dekker with `enter`; see `enter`.
+        // [pair: fabric-gate @ self]
         self.closed.store(true, Ordering::SeqCst);
     }
 
@@ -74,12 +86,14 @@ impl FabricGate {
         // ordering: SeqCst — same total order as the `enter`/`close`
         // Dekker, so the monitor's exit decision never runs ahead of a
         // producer that was admitted before the close.
+        // [pair: fabric-gate @ self]
         self.closed.load(Ordering::SeqCst)
     }
 
     /// Packets submitted but not yet terminal.
     pub(crate) fn in_flight(&self) -> u64 {
         // ordering: SeqCst; pairs with `enter`/`depart` above.
+        // [pair: fabric-gate @ self]
         self.in_flight.load(Ordering::SeqCst)
     }
 }
@@ -159,18 +173,33 @@ pub enum DrainOutcome {
 /// another thread holds. The `RwLock` is read-locked once per tail
 /// handoff / submit — never per flit — and write-locked once per
 /// revive.
-pub(crate) struct HandleTable {
-    slots: OnceLock<Vec<RwLock<RuntimeHandle>>>,
+///
+/// Generic over the handle type so the err-check model suite can
+/// drive the *shipped* swap protocol with a miniature handle whose
+/// payload lives in a tracked cell; the fabric instantiates the
+/// default `RuntimeHandle`. The happens-before contract: everything
+/// the monitor wrote booting the successor before [`swap`] is visible
+/// to any reader whose [`get`] clones the new incarnation (write-
+/// unlock `Release` → read-lock `Acquire` on the slot), and a clone
+/// taken from the dying incarnation mid-handoff stays valid — `get`
+/// hands out owned clones, never references into the slot.
+///
+/// [`swap`]: HandleTable::swap
+/// [`get`]: HandleTable::get
+pub struct HandleTable<H = RuntimeHandle> {
+    slots: OnceLock<Vec<RwLock<H>>>,
 }
 
-impl HandleTable {
-    pub(crate) fn new() -> Self {
+impl<H: Clone> HandleTable<H> {
+    /// An empty table; [`install`](HandleTable::install) arms it once.
+    pub fn new() -> Self {
         Self {
             slots: OnceLock::new(),
         }
     }
 
-    fn install(&self, handles: Vec<RuntimeHandle>) {
+    /// Installs the boot-time handles, exactly once.
+    pub fn install(&self, handles: Vec<H>) {
         self.slots
             .set(handles.into_iter().map(RwLock::new).collect())
             .unwrap_or_else(|_| unreachable!("handles are installed exactly once"));
@@ -178,16 +207,22 @@ impl HandleTable {
 
     /// The current handle of `node`; `None` only during the boot race
     /// (a forwarder asking before `install` ran).
-    pub(crate) fn get(&self, node: usize) -> Option<RuntimeHandle> {
+    pub fn get(&self, node: usize) -> Option<H> {
         self.slots
             .get()
             .map(|s| s[node].read().expect("handle slot poisoned").clone())
     }
 
     /// Replaces `node`'s handle with its successor's (§14.1).
-    fn swap(&self, node: usize, handle: RuntimeHandle) {
+    pub fn swap(&self, node: usize, handle: H) {
         let slots = self.slots.get().expect("swap before install");
         *slots[node].write().expect("handle slot poisoned") = handle;
+    }
+}
+
+impl<H: Clone> Default for HandleTable<H> {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -521,6 +556,10 @@ impl Fabric {
             };
             let handle = {
                 let stop = Arc::clone(&stop);
+                // panic-policy: the monitor only injects faults; if it
+                // panics, unfired plan events are lost, the data path
+                // keeps running, and the drain-time `join` absorbs the
+                // unwind without poisoning anything.
                 std::thread::Builder::new()
                     .name("err-fabric-monitor".into())
                     .spawn(move || run_monitor(plan, stop, shared))
@@ -765,6 +804,7 @@ impl Fabric {
         if let Some(m) = self.monitor.take() {
             // ordering: Release pairs with the monitor's Acquire stop
             // check; the join is the real synchronization point.
+            // [pair: monitor-stop @ self]
             m.stop.store(true, Ordering::Release);
             let _ = m.handle.join();
         }
@@ -870,7 +910,7 @@ fn run_monitor(plan: FabricFaultPlan, stop: Arc<AtomicBool>, shared: MonitorShar
     let mut pending: Vec<FabricFault> = plan.events().to_vec();
     loop {
         // ordering: Acquire pairs with the Release store in
-        // drain_within.
+        // drain_within. [pair: monitor-stop @ self]
         if pending.is_empty() || stop.load(Ordering::Acquire) {
             return;
         }

@@ -29,13 +29,14 @@ pub mod fabric;
 pub mod forwarder;
 mod hops;
 pub mod stats;
+mod sync;
 pub mod topology;
 
 pub use chaos::{
     DeadMap, FabricFault, FabricFaultEvent, FabricFaultPlan, ForwarderExit, PanicSwitch,
 };
 pub use err_egress::DeadLinkPolicy;
-pub use fabric::{DrainOutcome, Fabric, FabricConfig, FabricReport, PathStats};
+pub use fabric::{DrainOutcome, Fabric, FabricConfig, FabricReport, HandleTable, PathStats};
 pub use forwarder::{ForwardOutcome, Forwarder};
 pub use stats::{FabricLedger, FlowSnapshot, HopSnapshot, NodeCounters};
 pub use topology::{FlowSpec, LinkEnd, NextHop, Topology};

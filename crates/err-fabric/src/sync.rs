@@ -1,0 +1,15 @@
+//! Synchronization primitives for the model-checkable fabric units,
+//! switched between `std` and the vendored `loom` checker by the
+//! `loom` cargo feature (same pattern as `err-egress::sync`).
+//!
+//! Only the [`HandleTable`](crate::fabric::HandleTable) swap protocol
+//! goes through this shim: its `RwLock` becomes the checker's modeled
+//! reader-count lock so the incarnation-swap happens-before edges are
+//! validated by `err-check`'s model suite. Everything else in the
+//! crate uses `std::sync` directly.
+
+#[cfg(feature = "loom")]
+pub(crate) use loom::sync::RwLock;
+
+#[cfg(not(feature = "loom"))]
+pub(crate) use std::sync::RwLock;

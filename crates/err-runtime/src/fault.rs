@@ -626,6 +626,10 @@ fn drain_inbox(
         match msg {
             SalvageMsg::Park { flows } => {
                 for flow in flows {
+                    // unpark: the `Package` arm below when the flow's
+                    // salvage package arrives — absorption is what
+                    // clears the pre-park; the `salvage_parked` flag
+                    // keeps the link unstick sweep from jumping the gun.
                     let _ = scheduler.park_flow(flow);
                     if let Some(c) = ctx.as_mut() {
                         if let Some(slot) = c.salvage_parked.get_mut(flow) {
@@ -641,6 +645,8 @@ fn drain_inbox(
                 fr.park_acks.fetch_add(1, Ordering::SeqCst);
             }
             SalvageMsg::Package { flow, pkg } => {
+                // unpark: `unpark_flow` just below, gated on the
+                // credit-park check — same tick, same thread.
                 let _ = scheduler.park_flow(flow);
                 let absorbed = scheduler.absorb_flow(flow, pkg);
                 debug_assert!(absorbed, "salvage target failed to absorb flow {flow}");
@@ -657,6 +663,11 @@ fn drain_inbox(
                     None => false,
                 };
                 if !keep_parked {
+                    // unpark: direct call, guarded by `link_parked` —
+                    // the re-check above is exactly
+                    // the guard `unpark_respecting_links` provides
+                    // (that helper lives in migrate.rs and takes the
+                    // steal context; salvage has its own `ctx` here).
                     scheduler.unpark_flow(flow);
                 }
             }
@@ -860,6 +871,10 @@ pub(crate) fn salvage_shard(
             }
         }
         for &(flow, _) in &rehomed {
+            // unpark: at the rescue target's `Package` arm in
+            // `drain_salvage_inbox` — never on this scheduler; the
+            // shard is dying and the extracted flow is absorbed (and
+            // unparked) at its new home.
             let _ = scheduler.park_flow(flow);
             if let Some(mut pkg) = scheduler.extract_flow(flow) {
                 strip_cursor(stats, &shared.admission, flow, &mut pkg);
@@ -868,6 +883,10 @@ pub(crate) fn salvage_shard(
         }
     } else {
         for &flow in &owned {
+            // unpark: never — no rescue target exists; `extract_flow`
+            // empties the flow, the package is accounted as
+            // salvage-lost, and the scheduler is dropped with the
+            // dying shard.
             let _ = scheduler.park_flow(flow);
             if let Some(mut pkg) = scheduler.extract_flow(flow) {
                 strip_cursor(stats, &shared.admission, flow, &mut pkg);
@@ -999,6 +1018,9 @@ pub(crate) fn abort_residuals(
     }
     if scheduler.supports_migration() {
         for flow in 0..n_flows {
+            // unpark: never — `abort_residuals` is the forced-abort
+            // accounting sweep; the scheduler serves nothing after it
+            // and is dropped with the aborted runtime.
             let _ = scheduler.park_flow(flow);
             if let Some(pkg) = scheduler.extract_flow(flow) {
                 if let Some(cursor) = pkg.resume.and_then(|v| v.cursor) {

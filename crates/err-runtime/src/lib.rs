@@ -354,6 +354,10 @@ impl Runtime {
                     let cfg = shard_config(&config, shard);
                     let driver = fresh_driver(&shared, shard);
                     workers.push(
+                        // panic-policy: a worker panic is a modeled
+                        // fault (§9) — the supervisor's sweep detects
+                        // the dead shard and salvages; drain's join
+                        // records it as `ShardExit::Panicked`.
                         std::thread::Builder::new()
                             .name(format!("err-shard-{shard}"))
                             .spawn(move || {
@@ -368,6 +372,9 @@ impl Runtime {
                     respawn = Some(Box::new(move |shard, gen, bequest| {
                         let shared = Arc::clone(&shared);
                         let cfg = shard_config(&config, shard);
+                        // panic-policy: successors die like first-gen
+                        // workers — supervised, salvaged, and reported
+                        // as `ShardExit::Panicked` at drain (§9).
                         std::thread::Builder::new()
                             .name(format!("err-shard-{shard}r{gen}"))
                             .spawn(move || {
@@ -460,6 +467,10 @@ impl Runtime {
                     let state = shard::BufferedWorkerState::new(bc.n_links, salvage_flows);
                     let driver = fresh_driver(&shared, shard);
                     workers.push(
+                        // panic-policy: a worker panic is a modeled
+                        // fault (§9) — the supervisor's sweep detects
+                        // the dead shard and salvages; drain's join
+                        // records it as `ShardExit::Panicked`.
                         std::thread::Builder::new()
                             .name(format!("err-shard-{shard}"))
                             .spawn(move || {
@@ -483,6 +494,9 @@ impl Runtime {
                         let links = Arc::clone(&links);
                         let estats = Arc::clone(&shard_stats[shard]);
                         let progress = Arc::clone(&progresses[shard]);
+                        // panic-policy: successors die like first-gen
+                        // workers — supervised, salvaged, and reported
+                        // as `ShardExit::Panicked` at drain (§9).
                         std::thread::Builder::new()
                             .name(format!("err-shard-{shard}r{gen}"))
                             .spawn(move || {
@@ -515,6 +529,10 @@ impl Runtime {
             let shared = Arc::clone(&shared);
             let stop2 = Arc::clone(&stop);
             let respawn = respawn.take();
+            // panic-policy: a supervisor panic stops salvage and
+            // resurrection but nothing else — workers and flushers
+            // drain normally and the drain-time `join` absorbs the
+            // unwind (its `Err` is deliberately discarded).
             let handle = std::thread::Builder::new()
                 .name("err-supervisor".into())
                 .spawn(move || fault::run_supervisor(shared, stop2, respawn))
@@ -783,6 +801,7 @@ impl Runtime {
         // run_flusher). One-way latch; the ring-empty check the
         // flusher combines it with is ordered by the ring's own
         // Release `tail` store, not by this flag.
+        // [pair: egress-closed @ crates/err-egress/src/flusher.rs]
         self.egress_closed.store(true, Ordering::Release);
         let mut flusher_exits = Vec::with_capacity(self.flushers.len());
         for flusher in self.flushers.drain(..) {

@@ -546,6 +546,9 @@ impl MigrationDriver {
         let Some(token) = st.own.try_claim(flow, OwnerState::Stealing, thief) else {
             return; // raced by another slot or a salvage; retry next tick
         };
+        // unpark: `unpark_respecting_links` on the withdraw-unwind
+        // below; on the happy path the flow leaves this shard and the
+        // thief's `thief_absorb` unparks it at its new home.
         let _ = scheduler.park_flow(flow);
         let _guard = lock_unpoisoned(&slot.package);
         if slot.phase() != MigrationPhase::Requested {
@@ -582,8 +585,13 @@ impl MigrationDriver {
             return;
         }
         let Some(flow) = slot.flow() else { return };
+        // unpark: `unpark_respecting_links` in `thief_absorb` once the
+        // package lands, or in `poll`'s Idle arm (the `thief_parked`
+        // take) when a donor abort resets the slot first.
         let _ = scheduler.park_flow(flow);
         self.thief_parked = Some(flow);
+        // ordering: SeqCst — the ack store, same total order as the
+        // load above and the donor's fence read.
         slot.thief_ack.store(true, Ordering::SeqCst);
     }
 
@@ -740,6 +748,8 @@ impl MigrationDriver {
         let Some(pkg) = lock_unpoisoned(&slot.package).take() else {
             return;
         };
+        // unpark: `unpark_respecting_links` four lines down, after the
+        // absorb — same tick, same thread.
         let _ = scheduler.park_flow(flow); // idempotent; parked at ack
         let absorbed = scheduler.absorb_flow(flow, pkg);
         debug_assert!(absorbed, "thief failed to absorb flow {flow}");
@@ -767,6 +777,9 @@ fn unpark_respecting_links(
         .map(|c| c.link_parked[c.links.route(flow)])
         .unwrap_or(false);
     if !keep_parked {
+        // unpark: this *is* the authority — `unpark_respecting_links`
+        // is the one place a mover may wake a flow, because only here
+        // is the credit-park check guaranteed (§13.5).
         scheduler.unpark_flow(flow);
     }
 }

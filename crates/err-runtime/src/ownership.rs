@@ -121,7 +121,7 @@ impl FlowMap {
     pub fn shard_of(&self, flow: usize) -> Option<usize> {
         // ordering: SeqCst pairs with the submit-window protocol — the
         // map read inside a producer's window and the mover's flip must
-        // fall into one total order (§13.3).
+        // fall into one total order (§13.3). [pair: own-window @ self]
         self.entries
             .get(flow)
             .map(|e| (e.load(Ordering::SeqCst) & EPOCH_MASK) as usize)
@@ -132,6 +132,7 @@ impl FlowMap {
     pub fn epoch_of(&self, flow: usize) -> u32 {
         // ordering: SeqCst — claim-time epoch snapshots must order
         // against the `try_reroute` flip (§13.2).
+        // [pair: own-epoch @ self]
         self.entries
             .get(flow)
             .map(|e| (e.load(Ordering::SeqCst) >> 32) as u32)
@@ -155,6 +156,7 @@ impl<'a> WindowGuard<'a> {
         // `window == 0` check; the two pairs form the Dekker that makes
         // "window clear after flip" imply "no old-epoch push in flight"
         // (modeled: model_ownership_window_dekker).
+        // [pair: own-window @ self]
         counter.fetch_add(1, Ordering::SeqCst);
         Self { counter }
     }
@@ -164,7 +166,7 @@ impl Drop for WindowGuard<'_> {
     #[inline]
     fn drop(&mut self) {
         // ordering: SeqCst — the decrement must not sink below the ring
-        // push it covers (§13.3).
+        // push it covers (§13.3). [pair: own-window @ self]
         self.counter.fetch_sub(1, Ordering::SeqCst);
     }
 }
@@ -210,7 +212,7 @@ impl Ownership {
     #[inline]
     pub fn window_clear(&self, flow: usize) -> bool {
         // ordering: SeqCst load pairs with WindowGuard's SeqCst RMWs —
-        // the §13.3 Dekker check.
+        // the §13.3 Dekker check. [pair: own-window @ self]
         self.window
             .get(flow)
             .map(|w| w.load(Ordering::SeqCst) == 0)
@@ -220,11 +222,15 @@ impl Ownership {
     /// The claim state of `flow` right now (racy read; eligibility
     /// filters and tests only — movers rely on the CAS, not this).
     pub fn owner_state(&self, flow: usize) -> OwnerState {
-        // ordering: SeqCst — same order as the claim CASes it observes.
+        // ordering: Acquire suffices for an observer-only racy read —
+        // nothing here re-enters the claim protocol, and coherence on
+        // the single claim word is all the eligibility filters need
+        // (downgraded from SeqCst: no store on this path, so it can't
+        // participate in a Dekker). [pair: own-claim @ self]
         match self
             .claims
             .get(flow)
-            .map(|c| state_of(c.load(Ordering::SeqCst)))
+            .map(|c| state_of(c.load(Ordering::Acquire)))
         {
             Some(STATE_STEALING) => OwnerState::Stealing,
             Some(STATE_SALVAGING) => OwnerState::Salvaging,
@@ -246,7 +252,7 @@ impl Ownership {
             OwnerState::Settled => return None,
         };
         // ordering: SeqCst — the CAS expectation read, in the same
-        // total order as the claim CAS below.
+        // total order as the claim CAS below. [pair: own-claim @ self]
         let observed = claim.load(Ordering::SeqCst);
         if state_of(observed) != STATE_SETTLED {
             return None;
@@ -255,6 +261,7 @@ impl Ownership {
         let word = pack(state_bits, claimant, epoch);
         // ordering: SeqCst CAS — the claim acquisition must be globally
         // ordered against competing claims and seizes (§13.1).
+        // [pair: own-claim @ self]
         claim
             .compare_exchange(observed, word, Ordering::SeqCst, Ordering::SeqCst)
             .ok()?;
@@ -272,7 +279,7 @@ impl Ownership {
     pub fn seize_for_salvage(&self, flow: usize, claimant: usize) -> Option<ClaimToken> {
         let claim = self.claims.get(flow)?;
         // ordering: SeqCst — the CAS expectation read, in the same
-        // total order as the seize CAS below.
+        // total order as the seize CAS below. [pair: own-claim @ self]
         let observed = claim.load(Ordering::SeqCst);
         if state_of(observed) != STATE_STEALING {
             return None;
@@ -281,6 +288,7 @@ impl Ownership {
         let word = pack(STATE_SALVAGING, claimant, epoch);
         // ordering: SeqCst CAS — a seize must be ordered against the
         // steal's own release/reroute so exactly one mover wins.
+        // [pair: own-claim @ self]
         claim
             .compare_exchange(observed, word, Ordering::SeqCst, Ordering::SeqCst)
             .ok()?;
@@ -297,7 +305,7 @@ impl Ownership {
         };
         debug_assert!(dest < self.map.shards);
         // ordering: SeqCst — the CAS expectation read, in the same
-        // total order as the flip CAS below.
+        // total order as the flip CAS below. [pair: own-epoch @ self]
         let observed = entry.load(Ordering::SeqCst);
         if (observed >> 32) as u32 != token.epoch {
             return false;
@@ -306,6 +314,7 @@ impl Ownership {
         // ordering: SeqCst CAS — the flip is the §13.3 Dekker's store
         // side and the §13.2 epoch race's single winner; both pairings
         // need the flip in the global SeqCst order.
+        // [pair: own-window @ self] [pair: own-epoch @ self]
         entry
             .compare_exchange(observed, next, Ordering::SeqCst, Ordering::SeqCst)
             .is_ok()
@@ -319,9 +328,14 @@ impl Ownership {
             return;
         };
         let settled = pack(STATE_SETTLED, 0, self.map.epoch_of(token.flow));
-        // ordering: SeqCst CAS — the release must not be reordered
-        // before the mover's last touch of the flow's packets.
-        let _ = claim.compare_exchange(token.word, settled, Ordering::SeqCst, Ordering::SeqCst);
+        // ordering: AcqRel CAS — Release publishes the mover's last
+        // touch of the flow's packets to the next claimant (whose
+        // acquiring claim CAS on this same word synchronizes with it);
+        // Acquire joins any seize that beat us. Downgraded from SeqCst:
+        // release races only through this one claim word, so RMW
+        // coherence — not a cross-variable total order — decides the
+        // winner. [pair: own-claim @ self]
+        let _ = claim.compare_exchange(token.word, settled, Ordering::AcqRel, Ordering::Acquire);
     }
 }
 

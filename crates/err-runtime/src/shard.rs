@@ -493,6 +493,12 @@ fn run_buffered_loop(
                                     sr.own.owner_state(flow) == OwnerState::Settled
                                 })
                             {
+                                // unpark: the sweep `unpark_respecting_links`
+                                // defers to for credit-parked links —
+                                // the authority itself — and the
+                                // `salvage_parked` / `owner_state`
+                                // guards above keep claimed flows
+                                // parked (§13.5).
                                 scheduler.unpark_flow(flow);
                             }
                         }
@@ -537,6 +543,9 @@ fn run_buffered_loop(
                     st.link_parked[link] = true;
                     for flow in 0..cfg.n_flows {
                         if links.route(flow) == link {
+                            // unpark: the `link_parked` unstick sweep
+                            // at the top of the loop, when a credit
+                            // frees the link's stash.
                             let _ = scheduler.park_flow(flow);
                         }
                     }

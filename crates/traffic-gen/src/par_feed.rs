@@ -46,6 +46,9 @@ where
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..producers)
             .map(|p| {
+                // panic-policy: scoped producer — a panic propagates
+                // out of `thread::scope` at the end of the feed and
+                // aborts the caller; no partial-feed state survives.
                 scope.spawn(move || {
                     let partition: Vec<(usize, FlowSpec)> = specs
                         .iter()

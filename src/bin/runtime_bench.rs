@@ -250,6 +250,8 @@ fn egress_stall_run(shards: usize, window: Duration) -> EgressSample {
     // released after the measurement window or shutdown would hang.
     let frozen = Arc::new(AtomicBool::new(true));
     let f2 = Arc::clone(&frozen);
+    // panic-policy: the unfreezer only sleeps and stores; the `join`
+    // below re-raises any panic via `expect` (fail-fast bench).
     let unfreezer = std::thread::spawn(move || {
         std::thread::sleep(window + Duration::from_millis(50));
         // ordering: Release pairs with the sync sink's Acquire spin.
@@ -426,6 +428,8 @@ fn stealing_run(
         .map(|parity| {
             let handle = handle.clone();
             let counts = Arc::clone(&counts);
+            // panic-policy: producer panics re-raise at the `join`
+            // loop below via `expect` (fail-fast bench).
             std::thread::spawn(move || {
                 let mut schedule: Vec<(f64, usize, u64)> = Vec::new();
                 for flow in (parity..STEAL_FLOWS).step_by(2) {
@@ -1819,6 +1823,8 @@ fn estimate_ground_truth_run(flows: &[FlowSpec], packets: u64) -> (Vec<f64>, f64
                 continue;
             }
             let f = &f;
+            // panic-policy: scoped submitter — a panic propagates out
+            // of `thread::scope` and fails the bench run.
             s.spawn(move || {
                 for _ in 0..packets {
                     for &flow in &mine {

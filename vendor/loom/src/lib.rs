@@ -35,7 +35,9 @@
 //!
 //! Differences from real loom, beyond the memory-model approximation:
 //! no `loom::sync::Mutex`/`Condvar`/`Notify` (the code under test here
-//! is lock-free), no `lazy_static`/`thread_local` modeling, and
+//! is lock-free; [`sync::RwLock`] exists for the fabric's handle-table
+//! swap, built on a tracked reader-count atomic), no
+//! `lazy_static`/`thread_local` modeling, and
 //! exploration is bounded by `max_iterations`/`max_steps` with an
 //! optional seeded random tail ([`model::Builder::random_iterations`])
 //! instead of loom's partial-order reduction.

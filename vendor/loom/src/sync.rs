@@ -513,3 +513,146 @@ pub mod atomic {
     // The unused-width guard: values are stored widened to u64.
     const _: () = assert!(MAX_THREADS <= u16::MAX as usize);
 }
+
+/// Modeled reader-writer lock: a reader count held in a tracked
+/// [`atomic::AtomicUsize`] (`usize::MAX` while write-locked), spun
+/// with [`crate::thread::yield_now`] so the engine bounds the
+/// schedule instead of exploding it.
+///
+/// The happens-before edges the checker validates are the lock's own
+/// atomic operations: `read`/`write` acquire on the state CAS —
+/// joining every prior unlock's published clock (reader unlocks are
+/// releasing RMWs, so their clocks merge into one release sequence) —
+/// and each unlock releases. Accesses to the guarded `T` itself are
+/// *not* individually tracked (the lock excludes them by
+/// construction); anything the protected update publishes through
+/// tracked [`crate::cell::UnsafeCell`]s is still checked across these
+/// edges exactly as it would be under real loom.
+///
+/// `read`/`write` mirror `std::sync::RwLock`'s `LockResult` signatures
+/// (always `Ok`: a model-thread panic aborts the whole execution, so
+/// poisoning is unobservable).
+pub struct RwLock<T> {
+    /// Reader count, or [`WRITE_LOCKED`].
+    state: atomic::AtomicUsize,
+    data: std::cell::UnsafeCell<T>,
+}
+
+const WRITE_LOCKED: usize = usize::MAX;
+
+// SAFETY: the lock protocol gives a writer exclusive access and
+// readers shared access, with the state CAS/RMW edges carrying the
+// happens-before; `T: Send` moves with the lock, `T: Sync` is needed
+// because readers on several threads hold `&T` concurrently.
+unsafe impl<T: Send> Send for RwLock<T> {}
+unsafe impl<T: Send + Sync> Sync for RwLock<T> {}
+
+impl<T> RwLock<T> {
+    /// Creates a lock owning `value`.
+    pub fn new(value: T) -> Self {
+        Self {
+            state: atomic::AtomicUsize::new(0),
+            data: std::cell::UnsafeCell::new(value),
+        }
+    }
+
+    /// Acquires shared read access, spinning (with a modeled yield)
+    /// while a writer holds the lock.
+    #[track_caller]
+    pub fn read(&self) -> std::sync::LockResult<RwLockReadGuard<'_, T>> {
+        loop {
+            let readers = self.state.load(atomic::Ordering::Relaxed);
+            if readers != WRITE_LOCKED
+                && self
+                    .state
+                    .compare_exchange(
+                        readers,
+                        readers + 1,
+                        // Joins the last writer-unlock's Release.
+                        atomic::Ordering::Acquire,
+                        atomic::Ordering::Relaxed,
+                    )
+                    .is_ok()
+            {
+                return Ok(RwLockReadGuard { lock: self });
+            }
+            crate::thread::yield_now();
+        }
+    }
+
+    /// Acquires exclusive write access, spinning (with a modeled
+    /// yield) while readers or another writer hold the lock.
+    #[track_caller]
+    pub fn write(&self) -> std::sync::LockResult<RwLockWriteGuard<'_, T>> {
+        loop {
+            if self
+                .state
+                .compare_exchange(
+                    0,
+                    WRITE_LOCKED,
+                    // Joins every prior unlock's release clock, so the
+                    // writer sees all earlier readers' and writers'
+                    // work before touching the data.
+                    atomic::Ordering::Acquire,
+                    atomic::Ordering::Relaxed,
+                )
+                .is_ok()
+            {
+                return Ok(RwLockWriteGuard { lock: self });
+            }
+            crate::thread::yield_now();
+        }
+    }
+}
+
+/// Shared-access guard returned by [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the reader count excludes writers while this guard
+        // lives.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    #[track_caller]
+    fn drop(&mut self) {
+        // A releasing RMW: merges this reader's clock into the release
+        // sequence the next writer's Acquire CAS joins.
+        self.lock.state.fetch_sub(1, atomic::Ordering::Release);
+    }
+}
+
+/// Exclusive-access guard returned by [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: `WRITE_LOCKED` excludes every other guard.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: `WRITE_LOCKED` excludes every other guard.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    #[track_caller]
+    fn drop(&mut self) {
+        // Publishes everything written under the guard to the next
+        // Acquire CAS (reader or writer).
+        self.lock.state.store(0, atomic::Ordering::Release);
+    }
+}
